@@ -1,0 +1,74 @@
+//! End-to-end daily-CDI job (Section V): the full
+//! simulate → collect → extract → weight → Algorithm 1 path for one
+//! fleet-day, serial vs the minispark dataflow at several thread counts.
+//!
+//! The paper's job handles ~10 GB of events in ~500 s of core CDI time on
+//! 800 cores; this bench reports the single-machine equivalent so
+//! EXPERIMENTS.md can relate the two.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cdi_repro::daily_job::{run, DailyJobConfig};
+use cloudbot::pipeline::DailyPipeline;
+use simfleet::scenario::{background_faults, BackgroundRates, DAY};
+use simfleet::{Fleet, FleetConfig, SimWorld};
+
+fn world() -> SimWorld {
+    let fleet = Fleet::build(&FleetConfig {
+        regions: vec!["r1".into()],
+        azs_per_region: 1,
+        clusters_per_az: 2,
+        ncs_per_cluster: 4,
+        vms_per_nc: 8,
+        nc_cores: 104,
+        machine_models: vec!["mA".into(), "mB".into()],
+        arch: simfleet::DeploymentArch::Hybrid,
+    });
+    let mut w = SimWorld::new(fleet, 4242);
+    background_faults(&mut w, 0, DAY, &BackgroundRates::quiet().scaled(3.0));
+    w
+}
+
+fn bench_daily_job(c: &mut Criterion) {
+    let w = world();
+    let pipeline = DailyPipeline::default();
+    let n_vms = w.fleet.vms().len() as u64;
+
+    let mut group = c.benchmark_group("daily_job/64vm_day");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n_vms));
+
+    group.bench_function("serial_pipeline", |b| {
+        b.iter(|| black_box(pipeline.vm_cdi_rows(&w, 0, DAY).unwrap()))
+    });
+    for &threads in &[1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("minispark_dataflow", threads),
+            &threads,
+            |b, &threads| {
+                let config = DailyJobConfig { threads, partitions: 16 };
+                b.iter(|| black_box(run(&w, &pipeline, 0, 0, DAY, config).unwrap()))
+            },
+        );
+    }
+    group.finish();
+
+    // Core CDI computation alone (events already extracted): the number the
+    // paper reports as "around 500 seconds" for their scale.
+    let events = pipeline.events(&w, 0, DAY);
+    let mut group = c.benchmark_group("daily_job/core_cdi_only");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("events_to_rows", |b| {
+        b.iter(|| {
+            black_box(
+                pipeline.vm_cdi_rows_from_events(&w, black_box(&events), 0, DAY).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_daily_job);
+criterion_main!(benches);

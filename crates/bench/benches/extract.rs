@@ -1,0 +1,72 @@
+//! Event-extraction throughput: expert threshold rules over raw samples
+//! (the paper's "hundreds of TB → GB" compression step) and the
+//! statistical STL + K-Sigma path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cdi_core::event::{Severity, Target};
+use cloudbot::collector::Collector;
+use cloudbot::extractor::Extractor;
+use simfleet::faults::{FaultInjection, FaultKind, FaultTarget};
+use simfleet::{Fleet, FleetConfig, SimWorld};
+
+const HOUR: i64 = 3_600_000;
+
+fn world() -> SimWorld {
+    let fleet = Fleet::build(&FleetConfig {
+        regions: vec!["r1".into()],
+        azs_per_region: 1,
+        clusters_per_az: 2,
+        ncs_per_cluster: 4,
+        vms_per_nc: 8,
+        nc_cores: 104,
+        machine_models: vec!["mA".into()],
+        arch: simfleet::DeploymentArch::Hybrid,
+    });
+    let mut w = SimWorld::new(fleet, 99);
+    w.inject(FaultInjection::new(
+        FaultKind::SlowIo { factor: 8.0 },
+        FaultTarget::Vm(0),
+        0,
+        2 * HOUR,
+    ));
+    w.inject(FaultInjection::new(FaultKind::NicFlapping, FaultTarget::Nc(1), HOUR, 2 * HOUR));
+    w
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let w = world();
+    let collector = Collector::default();
+    let extractor = Extractor::default();
+
+    // 64 VMs × 5 metrics × 6h of minute samples.
+    let data = collector.collect(&w, 0, 6 * HOUR);
+    let n_samples = data.metrics.len() as u64;
+    let mut group = c.benchmark_group("extract");
+    group.throughput(Throughput::Elements(n_samples));
+    group.bench_function("expert_rules_6h_fleet", |b| {
+        b.iter(|| extractor.extract(black_box(&data)))
+    });
+    group.finish();
+
+    // Statistical path: one VM-day series with an hour-of-day season.
+    let series = w.vm_metric_series(3, simfleet::telemetry::Metric::ReadLatencyMs, 0, 24 * HOUR, 60_000);
+    let mut group = c.benchmark_group("extract_statistical");
+    group.throughput(Throughput::Elements(series.len() as u64));
+    group.bench_function("stl_ksigma_vm_day", |b| {
+        b.iter(|| {
+            extractor.extract_statistical(
+                Target::Vm(3),
+                black_box(&series),
+                60,
+                "slow_io",
+                Severity::Critical,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extract);
+criterion_main!(benches);

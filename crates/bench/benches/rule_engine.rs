@@ -1,0 +1,66 @@
+//! Rule-engine throughput: expression parsing and batch evaluation over
+//! fleets' worth of active events.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cdi_core::event::{RawEvent, Severity, Target};
+use cloudbot::mining::{association_rules, fp_growth, transactions_from_events};
+use cloudbot::rules::{Expr, RuleEngine};
+
+fn make_events(n_targets: u64, per_target: usize) -> Vec<RawEvent> {
+    const NAMES: [&str; 6] =
+        ["slow_io", "nic_flapping", "vm_hang", "packet_loss", "cpu_contention", "vm_crash"];
+    let mut out = Vec::new();
+    for t in 0..n_targets {
+        for i in 0..per_target {
+            out.push(RawEvent::new(
+                NAMES[(t as usize + i) % NAMES.len()],
+                1_000,
+                Target::Vm(t),
+                600_000,
+                Severity::Error,
+            ));
+        }
+    }
+    out
+}
+
+fn bench_rules(c: &mut Criterion) {
+    c.bench_function("rules/parse_expression", |b| {
+        b.iter(|| {
+            Expr::parse(black_box("slow_io && (nic_flapping || packet_loss) && !vm_hang"))
+                .unwrap()
+        })
+    });
+
+    let engine = RuleEngine::paper_rules();
+    let mut group = c.benchmark_group("rules/evaluate");
+    for &targets in &[100u64, 1_000, 10_000] {
+        let events = make_events(targets, 3);
+        group.throughput(Throughput::Elements(events.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(targets), &events, |b, events| {
+            b.iter(|| engine.evaluate(black_box(events), 2_000, &[]))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mining(c: &mut Criterion) {
+    // A fleet-day's worth of co-occurring events for rule discovery.
+    let events = make_events(2_000, 4);
+    let transactions = transactions_from_events(&events, 600_000);
+    c.bench_function("mining/transactions_from_8k_events", |b| {
+        b.iter(|| transactions_from_events(black_box(&events), 600_000))
+    });
+    c.bench_function("mining/fp_growth", |b| {
+        b.iter(|| fp_growth(black_box(&transactions), 20))
+    });
+    let itemsets = fp_growth(&transactions, 20);
+    c.bench_function("mining/association_rules", |b| {
+        b.iter(|| association_rules(black_box(&itemsets), transactions.len(), 0.5))
+    });
+}
+
+criterion_group!(benches, bench_rules, bench_mining);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Cost of the statistical machinery behind the A/B workflow (Fig. 10) and
+//! the anomaly detectors: omnibus tests, post-hoc procedures, the
+//! studentized-range CDF, and the SPOT/GPD fit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use statskit::abtest::{run_ab_test, AbTestConfig};
+use statskit::anomaly::{grimshaw_fit, KSigma};
+use statskit::dist::{Normal, StudentizedRange};
+use statskit::hypothesis::{dagostino_k2, kruskal_wallis, one_way_anova, welch_anova};
+use statskit::posthoc::{dunn, games_howell, tukey_hsd, Adjustment};
+
+/// Deterministic near-normal sample via normal quantiles.
+fn sample(n: usize, mu: f64, sigma: f64) -> Vec<f64> {
+    let std = Normal::standard();
+    (1..=n)
+        .map(|i| mu + sigma * std.quantile(i as f64 / (n + 1) as f64).unwrap())
+        .collect()
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let a = sample(200, 0.0, 1.0);
+    let b = sample(200, 0.3, 1.2);
+    let d = sample(200, 1.0, 0.8);
+    let groups: Vec<&[f64]> = vec![&a, &b, &d];
+
+    c.bench_function("omnibus/one_way_anova_3x200", |bch| {
+        bch.iter(|| one_way_anova(black_box(&groups)).unwrap())
+    });
+    c.bench_function("omnibus/welch_anova_3x200", |bch| {
+        bch.iter(|| welch_anova(black_box(&groups)).unwrap())
+    });
+    c.bench_function("omnibus/kruskal_wallis_3x200", |bch| {
+        bch.iter(|| kruskal_wallis(black_box(&groups)).unwrap())
+    });
+    c.bench_function("normality/dagostino_k2_200", |bch| {
+        bch.iter(|| dagostino_k2(black_box(&a)).unwrap())
+    });
+    c.bench_function("posthoc/tukey_hsd_3x200", |bch| {
+        bch.iter(|| tukey_hsd(black_box(&groups)).unwrap())
+    });
+    c.bench_function("posthoc/games_howell_3x200", |bch| {
+        bch.iter(|| games_howell(black_box(&groups)).unwrap())
+    });
+    c.bench_function("posthoc/dunn_holm_3x200", |bch| {
+        bch.iter(|| dunn(black_box(&groups), Adjustment::Holm).unwrap())
+    });
+    c.bench_function("workflow/full_ab_test_3x200", |bch| {
+        bch.iter(|| run_ab_test(black_box(&groups), &AbTestConfig::default()).unwrap())
+    });
+
+    // The studentized-range CDF is the numerically heaviest primitive: two
+    // nested quadratures per evaluation.
+    let sr = StudentizedRange::new(3, 50.0).unwrap();
+    c.bench_function("dist/studentized_range_cdf", |bch| {
+        bch.iter(|| sr.cdf(black_box(3.5)).unwrap())
+    });
+
+    // SPOT tail fit: Grimshaw root scan + likelihood comparison.
+    let excesses: Vec<f64> =
+        (1..=500).map(|i| -2.0 * (1.0 - i as f64 / 501.0_f64).ln()).collect();
+    c.bench_function("anomaly/grimshaw_fit_500", |bch| {
+        bch.iter(|| grimshaw_fit(black_box(&excesses)).unwrap())
+    });
+
+    // K-Sigma over a year of daily CDI points.
+    let series: Vec<f64> = (0..365).map(|i| (i as f64 * 0.7).sin() * 0.1 + 1.0).collect();
+    c.bench_function("anomaly/ksigma_365", |bch| {
+        bch.iter(|| {
+            let det = KSigma::new(4.0, 28, 1e-9).unwrap();
+            det.detect(black_box(&series))
+        })
+    });
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! Fig. 6 / Case 4 — the Fiscal Year 2024 smoothed CDI trend.
+//!
+//! Paper: over FY2024 the Unavailability, Performance and Control-plane
+//! Indicators dropped by ≈40%, ≈80% and ≈35% respectively, with Performance
+//! falling the most because its governance was earliest-stage.
+
+use cdi_core::indicator::aggregate;
+use serde::Serialize;
+use simfleet::scenario::{fig6_fy2024, fig6_fy2024_selective, DAY};
+use simfleet::SimWorld;
+use statskit::describe::moving_average;
+
+use crate::pipeline_with_step;
+
+/// Fig. 6 result: daily and smoothed yearly curves per sub-metric.
+#[derive(Debug, Serialize)]
+pub struct Fig6Result {
+    /// Raw daily aggregated CDI-U.
+    pub daily_u: Vec<f64>,
+    /// Raw daily aggregated CDI-P.
+    pub daily_p: Vec<f64>,
+    /// Raw daily aggregated CDI-C.
+    pub daily_c: Vec<f64>,
+    /// Smoothed curves (28-day moving average).
+    pub smooth_u: Vec<f64>,
+    /// Smoothed CDI-P.
+    pub smooth_p: Vec<f64>,
+    /// Smoothed CDI-C.
+    pub smooth_c: Vec<f64>,
+    /// Relative reduction of each smoothed curve start→end (paper: 0.40 /
+    /// 0.80 / 0.35).
+    pub reduction_u: f64,
+    /// Performance reduction.
+    pub reduction_p: f64,
+    /// Control-plane reduction.
+    pub reduction_c: f64,
+    /// Mann–Kendall two-sided p-values for the daily curves (all three
+    /// should be decisively decreasing).
+    pub trend_p: [f64; 3],
+    /// Sen's slope per daily curve (all three should be negative).
+    pub sen_slope: [f64; 3],
+}
+
+/// Run the experiment over `days` simulated days (365 for the paper's
+/// year; tests use fewer). VM metrics are sampled every 5 minutes to keep
+/// the year tractable.
+pub fn run(seed: u64, days: usize) -> Fig6Result {
+    run_world(fig6_fy2024(seed, days), days)
+}
+
+/// The per-strategy ablation (Section VI-A): re-run the year with only one
+/// category's governance enabled at a time. The claim under test — each
+/// mitigation strategy moves *its own* sub-metric and leaves the others
+/// flat — comes out as a 3×3 matrix of reductions with a strong diagonal.
+pub fn run_ablation(seed: u64, days: usize) -> [Fig6Result; 3] {
+    [
+        run_world(fig6_fy2024_selective(seed, days, [true, false, false]), days),
+        run_world(fig6_fy2024_selective(seed, days, [false, true, false]), days),
+        run_world(fig6_fy2024_selective(seed, days, [false, false, true]), days),
+    ]
+}
+
+fn run_world(world: SimWorld, days: usize) -> Fig6Result {
+    let pipeline = pipeline_with_step(5);
+    let (mut daily_u, mut daily_p, mut daily_c) = (Vec::new(), Vec::new(), Vec::new());
+    for d in 0..days {
+        let start = d as i64 * DAY;
+        let rows = pipeline.vm_cdi_rows(&world, start, start + DAY).expect("pipeline runs");
+        let agg = aggregate(&rows).expect("non-empty fleet");
+        daily_u.push(agg.unavailability);
+        daily_p.push(agg.performance);
+        daily_c.push(agg.control_plane);
+    }
+    let window = (days / 13).max(3);
+    let smooth_u = moving_average(&daily_u, window);
+    let smooth_p = moving_average(&daily_p, window);
+    let smooth_c = moving_average(&daily_c, window);
+    // Compare the mean of the first and last eighths of the smoothed curve
+    // (more robust than single endpoints).
+    let reduction = |s: &[f64]| -> f64 {
+        let k = (s.len() / 8).max(1);
+        let head: f64 = s[..k].iter().sum::<f64>() / k as f64;
+        let tail: f64 = s[s.len() - k..].iter().sum::<f64>() / k as f64;
+        if head <= 0.0 {
+            0.0
+        } else {
+            1.0 - tail / head
+        }
+    };
+    let mk = |s: &[f64]| statskit::trend::mann_kendall(s).expect("series long enough");
+    let (tu, tp, tc) = (mk(&daily_u), mk(&daily_p), mk(&daily_c));
+    Fig6Result {
+        reduction_u: reduction(&smooth_u),
+        reduction_p: reduction(&smooth_p),
+        reduction_c: reduction(&smooth_c),
+        trend_p: [tu.p_value, tp.p_value, tc.p_value],
+        sen_slope: [tu.sen_slope, tp.sen_slope, tc.sen_slope],
+        daily_u,
+        daily_p,
+        daily_c,
+        smooth_u,
+        smooth_p,
+        smooth_c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reductions_track_paper_percentages() {
+        // A compressed 120-day "year" keeps the test fast; the injected
+        // governance trend is the same as the full year's.
+        let r = run(2024, 120);
+        assert_eq!(r.daily_p.len(), 120);
+        // Head-vs-tail windows cover days 0-14 and 105-119, where the
+        // linear rate decline has progressed ~94% of the way; expected
+        // reductions are therefore slightly below the paper's full-year
+        // numbers.
+        assert!(
+            (0.15..=0.60).contains(&r.reduction_u),
+            "U reduction {} should be near 0.37",
+            r.reduction_u
+        );
+        assert!(
+            (0.55..=0.92).contains(&r.reduction_p),
+            "P reduction {} should be near 0.74",
+            r.reduction_p
+        );
+        assert!(
+            (0.10..=0.55).contains(&r.reduction_c),
+            "C reduction {} should be near 0.32",
+            r.reduction_c
+        );
+        // The paper's ordering: P falls the most.
+        assert!(r.reduction_p > r.reduction_u);
+        assert!(r.reduction_p > r.reduction_c);
+        // Mann-Kendall: the dense Performance curve is decisively declining
+        // even in the compressed run; the sparser U/C daily curves are
+        // noisy at 120 days (the full 365-day run is decisive for all
+        // three), so the compressed test asserts their direction only.
+        assert!(r.trend_p[1] < 0.01, "P trend p = {}", r.trend_p[1]);
+        for (i, slope) in r.sen_slope.iter().enumerate() {
+            assert!(*slope <= 0.0, "curve {i}: slope {slope}");
+        }
+    }
+
+    #[test]
+    fn ablation_attributes_reductions_to_own_strategy() {
+        // With only one category's governance enabled, only that category's
+        // sub-metric should fall materially; the others stay flat (within
+        // noise). Use the Performance arm, whose dense signal is testable
+        // even on a compressed 90-day year.
+        let results = run_ablation(77, 90);
+        let perf_only = &results[1];
+        assert!(
+            perf_only.reduction_p > 0.45,
+            "own sub-metric falls: P reduction {}",
+            perf_only.reduction_p
+        );
+        assert!(
+            perf_only.reduction_u.abs() < 0.35,
+            "ungoverned U stays flat-ish: {}",
+            perf_only.reduction_u
+        );
+        assert!(
+            perf_only.reduction_c.abs() < 0.35,
+            "ungoverned C stays flat-ish: {}",
+            perf_only.reduction_c
+        );
+        // The U-only arm must not move Performance.
+        let u_only = &results[0];
+        assert!(
+            u_only.reduction_p.abs() < 0.2,
+            "P flat under U-only governance: {}",
+            u_only.reduction_p
+        );
+    }
+}

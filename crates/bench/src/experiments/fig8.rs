@@ -1,0 +1,94 @@
+//! Fig. 8 / Case 5 — Performance Indicator of the two deployment
+//! architectures during the homogeneous → hybrid transition.
+//!
+//! Paper: the two curves track each other until Day 13, when the hybrid
+//! pool's Performance Indicator climbs (the core-overlap incompatibility on
+//! one machine model), peaks while mitigation rolls out, and converges back
+//! by Day 28.
+
+use cdi_core::indicator::aggregate;
+use serde::Serialize;
+use simfleet::scenario::{fig8_architecture, DAY};
+
+use crate::pipeline_with_step;
+
+/// Fig. 8 result: one Performance-Indicator series per pool.
+#[derive(Debug, Serialize)]
+pub struct Fig8Result {
+    /// Daily PI of the homogeneous-deployment pool.
+    pub homogeneous: Vec<f64>,
+    /// Daily PI of the hybrid-deployment pool.
+    pub hybrid: Vec<f64>,
+    /// Day the divergence starts (ground truth: 13).
+    pub bug_start_day: usize,
+    /// Day the curves re-converge (ground truth: 28).
+    pub converge_day: usize,
+}
+
+impl Fig8Result {
+    /// Hybrid-to-homogeneous PI ratio per day (1.0 ≈ parity).
+    pub fn divergence(&self) -> Vec<f64> {
+        self.homogeneous
+            .iter()
+            .zip(&self.hybrid)
+            .map(|(h, y)| if *h > 0.0 { y / h } else { f64::NAN })
+            .collect()
+    }
+}
+
+/// Run the experiment for `days` days (paper window: 40; bug on day 13,
+/// peak ~20, convergence by 28).
+pub fn run(seed: u64, days: usize) -> Fig8Result {
+    let (bug_start, peak, converge) = (13usize, 20usize, 28usize);
+    let scenario = fig8_architecture(seed, days, bug_start, peak, converge);
+    let pipeline = pipeline_with_step(1);
+    let mut homogeneous = Vec::with_capacity(days);
+    let mut hybrid = Vec::with_capacity(days);
+    let homo_vms: Vec<u64> = scenario
+        .homogeneous_ncs
+        .iter()
+        .flat_map(|&nc| scenario.world.fleet.vms_on(nc).to_vec())
+        .collect();
+    let hybrid_vms: Vec<u64> = scenario
+        .hybrid_ncs
+        .iter()
+        .flat_map(|&nc| scenario.world.fleet.vms_on(nc).to_vec())
+        .collect();
+    for d in 0..days {
+        let start = d as i64 * DAY;
+        let rows = pipeline
+            .vm_cdi_rows(&scenario.world, start, start + DAY)
+            .expect("pipeline runs");
+        let pool = |vms: &[u64]| {
+            let subset: Vec<_> =
+                rows.iter().filter(|r| vms.contains(&r.vm)).copied().collect();
+            aggregate(&subset).expect("non-empty pool").performance
+        };
+        homogeneous.push(pool(&homo_vms));
+        hybrid.push(pool(&hybrid_vms));
+    }
+    Fig8Result { homogeneous, hybrid, bug_start_day: bug_start, converge_day: converge }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_diverge_then_converge() {
+        let r = run(85, 32);
+        let parity = |d: usize| (r.hybrid[d] - r.homogeneous[d]).abs();
+        // Before the bug: curves comparable (both near background level).
+        let pre: f64 = (3..12).map(parity).sum::<f64>() / 9.0;
+        // During the bug's peak: hybrid clearly above homogeneous.
+        let peak_excess: f64 =
+            (18..22).map(|d| r.hybrid[d] - r.homogeneous[d]).sum::<f64>() / 4.0;
+        assert!(
+            peak_excess > 5.0 * pre.max(1e-6),
+            "peak excess {peak_excess} vs pre-divergence gap {pre}"
+        );
+        // After convergence: back to parity.
+        let post: f64 = (28..32).map(parity).sum::<f64>() / 4.0;
+        assert!(post < peak_excess / 5.0, "post {post} vs peak {peak_excess}");
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per reproduced table/figure. See DESIGN.md §3 for the index.
+
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8;
+pub mod fig9;
+pub mod golden;
+pub mod table5;

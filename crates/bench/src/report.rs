@@ -1,0 +1,117 @@
+//! Plain-text rendering of experiment results: aligned tables and ASCII
+//! sparkline series, so `cargo run --bin experiments` output reads like the
+//! paper's tables and figures.
+
+/// Render rows as an aligned table with a header.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&render_row(&head));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a numeric series as an ASCII sparkline (8 levels), normalized to
+/// its own min/max.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-300);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - lo) / span) * 7.0).round().clamp(0.0, 7.0) as usize;
+            LEVELS[idx]
+        })
+        .collect()
+}
+
+/// Format a float with 4 significant-ish decimals, trimming noise.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 0.01 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Format a ratio as `×N.NN` relative to a baseline (`-` when the baseline
+/// is zero).
+pub fn fmt_ratio(v: f64, baseline: f64) -> String {
+    if baseline <= 0.0 {
+        "-".to_string()
+    } else {
+        format!("x{:.2}", v / baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["day", "cdi"],
+            &[
+                vec!["Daily".into(), "0.001".into()],
+                vec!["20240425".into(), "0.1".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("day"));
+        assert!(lines[2].ends_with("0.001"));
+        // All data lines equally wide.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 1.0, 0.5]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '█');
+        assert!(sparkline(&[]).is_empty());
+        // Constant series renders without NaN panic.
+        assert_eq!(sparkline(&[2.0, 2.0]).chars().count(), 2);
+    }
+
+    #[test]
+    fn fmt_variants() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.1234567), "0.1235");
+        assert!(fmt(0.00012).contains('e'));
+        assert_eq!(fmt_ratio(2.0, 1.0), "x2.00");
+        assert_eq!(fmt_ratio(2.0, 0.0), "-");
+    }
+}

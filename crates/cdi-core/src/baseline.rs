@@ -1,0 +1,179 @@
+//! Incumbent stability metrics that CDI is compared against (Fig. 5 of the
+//! paper): the industry-standard **Downtime Percentage** and Azure's
+//! **Annual Interruption Rate** (Levy et al., OSDI'20).
+//!
+//! Both look only at unavailability, which is the paper's point: on a pure
+//! control-plane incident (like 2025-01-07) they read zero while CDI-C moves.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::event::{Category, EventSpan};
+use crate::indicator::ServicePeriod;
+use crate::time::TimeRange;
+
+/// Days per year used for annualization.
+const DAYS_PER_YEAR: f64 = 365.25;
+
+/// Merge the unavailability spans of one VM into disjoint downtime episodes
+/// (clipped to the service period). Weights are ignored: a VM is either down
+/// or not.
+fn downtime_episodes(spans: &[EventSpan], period: ServicePeriod) -> Vec<TimeRange> {
+    let range = period.range();
+    let mut clipped: Vec<TimeRange> = spans
+        .iter()
+        .filter(|s| s.category == Category::Unavailability && s.weight > 0.0)
+        .filter_map(|s| range.intersect(&TimeRange::new(s.start, s.end.max(s.start))))
+        .collect();
+    clipped.sort_by_key(|r| (r.start, r.end));
+    let mut merged: Vec<TimeRange> = Vec::with_capacity(clipped.len());
+    for r in clipped {
+        match merged.last_mut() {
+            // Touching intervals merge: one continuous outage is one episode.
+            Some(last) if r.start <= last.end => last.end = last.end.max(r.end),
+            _ => merged.push(r),
+        }
+    }
+    merged
+}
+
+/// Downtime Percentage of one VM: unavailable time over service time.
+pub fn downtime_percentage(spans: &[EventSpan], period: ServicePeriod) -> Result<f64> {
+    let down: i64 = downtime_episodes(spans, period).iter().map(TimeRange::duration).sum();
+    Ok(down as f64 / period.service_time() as f64)
+}
+
+/// Number of distinct interruption episodes of one VM (the unit counted by
+/// the Annual Interruption Rate).
+pub fn interruption_count(spans: &[EventSpan], period: ServicePeriod) -> usize {
+    downtime_episodes(spans, period).len()
+}
+
+/// Fleet-level baseline metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetBaselines {
+    /// Service-time-weighted mean Downtime Percentage.
+    pub downtime_percentage: f64,
+    /// Annual Interruption Rate: interruptions per 100 VM-years.
+    pub annual_interruption_rate: f64,
+    /// Total interruption episodes counted.
+    pub interruptions: usize,
+    /// Total service time across the fleet (ms).
+    pub total_service_time: i64,
+}
+
+/// Compute both baselines over a fleet: an iterator of per-VM
+/// `(spans, period)` pairs.
+pub fn fleet_baselines<'a>(
+    vms: impl IntoIterator<Item = (&'a [EventSpan], ServicePeriod)>,
+) -> Result<FleetBaselines> {
+    let mut total_down_ms = 0i64;
+    let mut total_service_ms = 0i64;
+    let mut interruptions = 0usize;
+    for (spans, period) in vms {
+        let episodes = downtime_episodes(spans, period);
+        total_down_ms += episodes.iter().map(TimeRange::duration).sum::<i64>();
+        interruptions += episodes.len();
+        total_service_ms += period.service_time();
+    }
+    if total_service_ms <= 0 {
+        return Err(crate::error::CdiError::degenerate(
+            "fleet baselines need positive total service time",
+        ));
+    }
+    let vm_years = total_service_ms as f64 / (DAYS_PER_YEAR * crate::time::DAY_MS as f64);
+    Ok(FleetBaselines {
+        downtime_percentage: total_down_ms as f64 / total_service_ms as f64,
+        annual_interruption_rate: 100.0 * interruptions as f64 / vm_years,
+        interruptions,
+        total_service_time: total_service_ms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{days, minutes};
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    fn down(s: i64, e: i64) -> EventSpan {
+        EventSpan::new("vm_crash", Category::Unavailability, minutes(s), minutes(e), 1.0)
+    }
+
+    fn perf(s: i64, e: i64) -> EventSpan {
+        EventSpan::new("slow_io", Category::Performance, minutes(s), minutes(e), 0.5)
+    }
+
+    #[test]
+    fn downtime_ignores_non_unavailability() {
+        let spans = vec![down(0, 10), perf(20, 90)];
+        let period = ServicePeriod::new(0, minutes(100)).unwrap();
+        close(downtime_percentage(&spans, period).unwrap(), 0.1, 1e-12);
+    }
+
+    #[test]
+    fn overlapping_and_touching_outages_merge_into_one_episode() {
+        let spans = vec![down(0, 10), down(5, 15), down(15, 20), down(40, 50)];
+        let period = ServicePeriod::new(0, minutes(100)).unwrap();
+        assert_eq!(interruption_count(&spans, period), 2);
+        close(downtime_percentage(&spans, period).unwrap(), 0.3, 1e-12);
+    }
+
+    #[test]
+    fn downtime_clipped_to_period() {
+        let spans = vec![down(-10, 10), down(95, 200)];
+        let period = ServicePeriod::new(0, minutes(100)).unwrap();
+        close(downtime_percentage(&spans, period).unwrap(), 0.15, 1e-12);
+        assert_eq!(interruption_count(&spans, period), 2);
+    }
+
+    #[test]
+    fn no_outage_means_zero_everywhere() {
+        let spans = vec![perf(0, 50)];
+        let period = ServicePeriod::new(0, minutes(100)).unwrap();
+        close(downtime_percentage(&spans, period).unwrap(), 0.0, 1e-15);
+        assert_eq!(interruption_count(&spans, period), 0);
+    }
+
+    #[test]
+    fn air_counts_interruptions_per_100_vm_years() {
+        // 100 VMs serving one year each, 5 interruptions total → AIR = 5.
+        let one_year = ServicePeriod::new(0, (DAYS_PER_YEAR * days(1) as f64) as i64).unwrap();
+        let outage = vec![down(0, 10)];
+        let quiet: Vec<EventSpan> = Vec::new();
+        let mut fleet: Vec<(&[EventSpan], ServicePeriod)> = Vec::new();
+        for i in 0..100 {
+            if i < 5 {
+                fleet.push((&outage, one_year));
+            } else {
+                fleet.push((&quiet, one_year));
+            }
+        }
+        let b = fleet_baselines(fleet).unwrap();
+        close(b.annual_interruption_rate, 5.0, 1e-9);
+        assert_eq!(b.interruptions, 5);
+    }
+
+    #[test]
+    fn fleet_downtime_is_service_time_weighted() {
+        let outage_spans = vec![down(0, 50)];
+        let quiet: Vec<EventSpan> = Vec::new();
+        let small = ServicePeriod::new(0, minutes(100)).unwrap();
+        let big = ServicePeriod::new(0, minutes(900)).unwrap();
+        let fleet: Vec<(&[EventSpan], ServicePeriod)> =
+            vec![(&outage_spans, small), (&quiet, big)];
+        let b = fleet_baselines(fleet).unwrap();
+        // 50 minutes down over 1000 minutes of fleet service.
+        close(b.downtime_percentage, 0.05, 1e-12);
+        assert_eq!(b.total_service_time, minutes(1000));
+    }
+
+    #[test]
+    fn empty_fleet_rejected() {
+        let fleet: Vec<(&[EventSpan], ServicePeriod)> = Vec::new();
+        assert!(fleet_baselines(fleet).is_err());
+    }
+}

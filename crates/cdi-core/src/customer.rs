@@ -1,0 +1,187 @@
+//! Customer-Perspective Indicator (Section VIII-B of the paper).
+//!
+//! ECS instance health diagnosis discloses a *subset* of system events to
+//! customers; computing the CDI framework over only that subset yields a
+//! Customer-Perspective Indicator (CPI) — the stability a customer can
+//! actually observe and correlate with their own symptoms. The paper
+//! designates this as future work; the implementation here reuses
+//! Algorithm 1 unchanged with a visibility filter, exactly as Section
+//! VIII-B proposes ("compute a Customer-Perspective Indicator using the
+//! same framework as the CDI").
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::event::EventSpan;
+use crate::indicator::{cdi, ServicePeriod, VmCdi};
+
+/// The set of event names disclosed to customers through instance health
+/// diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CustomerVisibility {
+    visible: HashSet<String>,
+}
+
+impl CustomerVisibility {
+    /// Build from an explicit list of visible event names.
+    pub fn new(names: impl IntoIterator<Item = String>) -> Self {
+        CustomerVisibility { visible: names.into_iter().collect() }
+    }
+
+    /// The subset modeled on the public instance-health-diagnosis items:
+    /// customer-observable symptoms (IO performance, network loss, crashes,
+    /// control failures on their own instance), excluding host-internal
+    /// telemetry such as TDP inspections, NIC diagnostics, or prediction
+    /// events.
+    pub fn health_diagnosis_defaults() -> Self {
+        CustomerVisibility::new(
+            [
+                "slow_io",
+                "packet_loss",
+                "vm_crash",
+                "vm_hang",
+                "gpu_drop",
+                "ddos_blackhole",
+                "vm_start_failed",
+                "vm_stop_failed",
+                "vm_resize_failed",
+                "vm_release_failed",
+                "qemu_live_upgrade",
+            ]
+            .into_iter()
+            .map(str::to_string),
+        )
+    }
+
+    /// Whether an event name is customer-visible.
+    pub fn is_visible(&self, name: &str) -> bool {
+        self.visible.contains(name)
+    }
+
+    /// Number of visible event names.
+    pub fn len(&self) -> usize {
+        self.visible.len()
+    }
+
+    /// Whether the subset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.visible.is_empty()
+    }
+
+    /// Add an event name to the visible set (per-scenario customization,
+    /// Section VIII-A).
+    pub fn disclose(&mut self, name: impl Into<String>) {
+        self.visible.insert(name.into());
+    }
+
+    /// Remove an event name from the visible set.
+    pub fn withhold(&mut self, name: &str) {
+        self.visible.remove(name);
+    }
+}
+
+/// Compute the Customer-Perspective Indicator of one VM: the CDI sub-metrics
+/// restricted to customer-visible events.
+///
+/// By construction `CPI ≤ CDI` per sub-metric — the customer sees at most
+/// what the provider sees — which the property tests assert.
+pub fn customer_perspective_cdi(
+    vm: u64,
+    spans: &[EventSpan],
+    period: ServicePeriod,
+    visibility: &CustomerVisibility,
+) -> Result<VmCdi> {
+    let visible: Vec<EventSpan> =
+        spans.iter().filter(|s| visibility.is_visible(&s.name)).cloned().collect();
+    crate::indicator::compute_vm_cdi(vm, &visible, period)
+}
+
+/// The customer-visibility gap of one VM: `CDI − CPI` per category summed —
+/// damage the provider knows about but the customer cannot see. Large gaps
+/// flag events worth disclosing through health diagnosis.
+pub fn visibility_gap(
+    spans: &[EventSpan],
+    period: ServicePeriod,
+    visibility: &CustomerVisibility,
+) -> Result<f64> {
+    let all = cdi(spans, period)?;
+    let visible: Vec<EventSpan> =
+        spans.iter().filter(|s| visibility.is_visible(&s.name)).cloned().collect();
+    let seen = cdi(&visible, period)?;
+    Ok(all - seen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Category;
+    use crate::time::minutes;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    fn span(name: &str, cat: Category, s: i64, e: i64, w: f64) -> EventSpan {
+        EventSpan::new(name, cat, minutes(s), minutes(e), w)
+    }
+
+    #[test]
+    fn defaults_expose_symptoms_not_internals() {
+        let v = CustomerVisibility::health_diagnosis_defaults();
+        assert!(v.is_visible("slow_io"));
+        assert!(v.is_visible("vm_crash"));
+        assert!(!v.is_visible("inspect_cpu_power_tdp"));
+        assert!(!v.is_visible("nic_flapping"));
+        assert!(!v.is_visible("nc_down_predicted"));
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn cpi_counts_only_visible_events() {
+        let spans = vec![
+            span("slow_io", Category::Performance, 0, 10, 0.5),
+            span("nic_flapping", Category::Performance, 20, 40, 0.5),
+        ];
+        let period = ServicePeriod::new(0, minutes(100)).unwrap();
+        let v = CustomerVisibility::health_diagnosis_defaults();
+        let cpi = customer_perspective_cdi(1, &spans, period, &v).unwrap();
+        // Only the 10 visible slow_io minutes count.
+        close(cpi.performance, 10.0 * 0.5 / 100.0, 1e-12);
+        // The full CDI sees both.
+        let full = crate::indicator::compute_vm_cdi(1, &spans, period).unwrap();
+        close(full.performance, 30.0 * 0.5 / 100.0, 1e-12);
+        assert!(cpi.performance <= full.performance);
+    }
+
+    #[test]
+    fn gap_measures_invisible_damage() {
+        let spans = vec![
+            span("slow_io", Category::Performance, 0, 10, 0.5),
+            span("nic_flapping", Category::Performance, 20, 40, 0.5),
+        ];
+        let period = ServicePeriod::new(0, minutes(100)).unwrap();
+        let v = CustomerVisibility::health_diagnosis_defaults();
+        close(visibility_gap(&spans, period, &v).unwrap(), 20.0 * 0.5 / 100.0, 1e-12);
+        // Disclosing the event closes the gap.
+        let mut v2 = v.clone();
+        v2.disclose("nic_flapping");
+        close(visibility_gap(&spans, period, &v2).unwrap(), 0.0, 1e-12);
+        // Withholding everything makes the gap the full CDI.
+        let none = CustomerVisibility::new(std::iter::empty());
+        let full = cdi(&spans, period).unwrap();
+        close(visibility_gap(&spans, period, &none).unwrap(), full, 1e-12);
+    }
+
+    #[test]
+    fn disclose_withhold_round_trip() {
+        let mut v = CustomerVisibility::new(std::iter::empty());
+        assert!(v.is_empty());
+        v.disclose("slow_io");
+        assert!(v.is_visible("slow_io"));
+        assert_eq!(v.len(), 1);
+        v.withhold("slow_io");
+        assert!(!v.is_visible("slow_io"));
+    }
+}

@@ -1,0 +1,359 @@
+//! Event-period derivation (Section IV-B of the paper).
+//!
+//! Raw events carry a single extraction timestamp; Algorithm 1 needs
+//! intervals. The derivation depends on the event's [`PeriodKind`]:
+//!
+//! - **Measured duration** — the source logged the impact span; the period
+//!   is `[t − d, t]` with the logged `d` (falling back to a default).
+//! - **Windowed** — the detector fires per fixed window; the period is
+//!   `[t − window, t]`, and a persistently compromised VM produces
+//!   consecutive, naturally tiling windows.
+//! - **Stateful** — start/end marker pairs (e.g. `ddos_blackhole_add` /
+//!   `ddos_blackhole_del`): among consecutive runs of the same marker only
+//!   the earliest is kept (dirty-data filtering, Example 2), then each start
+//!   pairs with the nearest subsequent end.
+//!
+//! Policies for the paper's open questions (DESIGN.md §5): unmatched start
+//! events close per [`UnmatchedPolicy`]; unmatched end events are dropped.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::{EventCatalog, PeriodKind};
+use crate::error::{CdiError, Result};
+use crate::event::{Category, RawEvent, Severity, Target};
+use crate::time::{TimeRange, Timestamp};
+
+/// How to close a stateful start event that never saw its end marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnmatchedPolicy {
+    /// The issue is assumed to persist to the end of the service period.
+    CloseAtServiceEnd,
+    /// The issue is assumed to last for the event's expire interval.
+    CloseAtExpiry,
+}
+
+/// An event whose period has been derived but whose weight has not yet been
+/// assigned — the intermediate between [`RawEvent`] and
+/// [`crate::event::EventSpan`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodedEvent {
+    /// Event name.
+    pub name: String,
+    /// Stability category from the catalog.
+    pub category: Category,
+    /// Target the event refers to.
+    pub target: Target,
+    /// Derived `[t_s, t_e)` period.
+    pub range: TimeRange,
+    /// Severity carried over from extraction.
+    pub severity: Severity,
+}
+
+/// Derive periods for a batch of raw events (possibly spanning many
+/// targets), consulting the catalog for per-name semantics.
+///
+/// `service_end` bounds unmatched stateful starts under
+/// [`UnmatchedPolicy::CloseAtServiceEnd`]. Events with names missing from
+/// the catalog produce [`CdiError::UnknownEvent`].
+pub fn derive_periods(
+    events: &[RawEvent],
+    catalog: &EventCatalog,
+    service_end: Timestamp,
+    policy: UnmatchedPolicy,
+) -> Result<Vec<PeriodedEvent>> {
+    let mut out = Vec::with_capacity(events.len());
+    // Stateful markers grouped by (target, start-event name).
+    #[derive(Debug)]
+    struct Marker {
+        time: Timestamp,
+        is_start: bool,
+        severity: Severity,
+        expire_interval: i64,
+    }
+    let mut stateful: HashMap<(Target, String), Vec<Marker>> = HashMap::new();
+    // Map each end-marker name to its start name so both land in one group.
+    let mut end_to_start: HashMap<&str, &str> = HashMap::new();
+    for (name, spec) in catalog.iter() {
+        if let PeriodKind::StatefulStart { end_name } = &spec.period {
+            end_to_start.insert(end_name.as_str(), name);
+        }
+    }
+
+    for e in events {
+        let spec = catalog
+            .get(&e.name)
+            .ok_or_else(|| CdiError::UnknownEvent(e.name.clone()))?;
+        match &spec.period {
+            PeriodKind::MeasuredDuration { default_ms } => {
+                let d = e.measured_duration.unwrap_or(*default_ms).max(0);
+                out.push(PeriodedEvent {
+                    name: e.name.clone(),
+                    category: spec.category,
+                    target: e.target,
+                    range: TimeRange::new(e.time - d, e.time),
+                    severity: e.level,
+                });
+            }
+            PeriodKind::Windowed { window_ms } => {
+                out.push(PeriodedEvent {
+                    name: e.name.clone(),
+                    category: spec.category,
+                    target: e.target,
+                    range: TimeRange::new(e.time - window_ms, e.time),
+                    severity: e.level,
+                });
+            }
+            PeriodKind::StatefulStart { .. } => {
+                stateful.entry((e.target, e.name.clone())).or_default().push(Marker {
+                    time: e.time,
+                    is_start: true,
+                    severity: e.level,
+                    expire_interval: e.expire_interval,
+                });
+            }
+            PeriodKind::StatefulEnd => {
+                let start_name = end_to_start.get(e.name.as_str()).ok_or_else(|| {
+                    CdiError::invalid(format!(
+                        "stateful end event '{}' has no registered start event",
+                        e.name
+                    ))
+                })?;
+                stateful
+                    .entry((e.target, (*start_name).to_string()))
+                    .or_default()
+                    .push(Marker {
+                        time: e.time,
+                        is_start: false,
+                        severity: e.level,
+                        expire_interval: e.expire_interval,
+                    });
+            }
+        }
+    }
+
+    // Pair the stateful markers per (target, name) group.
+    for ((target, name), mut markers) in stateful {
+        markers.sort_by_key(|m| m.time);
+        // Dirty-data filtering: among consecutive markers of the same kind,
+        // keep only the earliest (Example 2: the add at t3 and del at t5 are
+        // discarded).
+        let mut filtered: Vec<Marker> = Vec::with_capacity(markers.len());
+        for m in markers {
+            match filtered.last() {
+                Some(last) if last.is_start == m.is_start => {}
+                _ => filtered.push(m),
+            }
+        }
+        let spec = catalog.get(&name).expect("start name came from the catalog");
+        let mut idx = 0;
+        // A leading end marker has no start: drop it.
+        if !filtered.is_empty() && !filtered[0].is_start {
+            idx = 1;
+        }
+        while idx < filtered.len() {
+            let start = &filtered[idx];
+            debug_assert!(start.is_start, "alternation guaranteed by the filter");
+            let end_time = if idx + 1 < filtered.len() {
+                filtered[idx + 1].time
+            } else {
+                match policy {
+                    UnmatchedPolicy::CloseAtServiceEnd => service_end,
+                    UnmatchedPolicy::CloseAtExpiry => start.time + start.expire_interval,
+                }
+            };
+            out.push(PeriodedEvent {
+                name: name.clone(),
+                category: spec.category,
+                target,
+                range: TimeRange::new(start.time, end_time.max(start.time)),
+                severity: start.severity,
+            });
+            idx += 2;
+        }
+    }
+
+    out.sort_by(|a, b| {
+        (a.target, a.range.start, a.range.end, &a.name).cmp(&(
+            b.target,
+            b.range.start,
+            b.range.end,
+            &b.name,
+        ))
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::minutes;
+
+    fn catalog() -> EventCatalog {
+        EventCatalog::paper_defaults()
+    }
+
+    fn slow_io_at(t: Timestamp) -> RawEvent {
+        RawEvent::new("slow_io", t, Target::Vm(1), minutes(10), Severity::Critical)
+    }
+
+    #[test]
+    fn windowed_event_traces_back_one_window() {
+        let events = vec![slow_io_at(minutes(10))];
+        let out = derive_periods(&events, &catalog(), minutes(60), UnmatchedPolicy::CloseAtServiceEnd)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].range, TimeRange::new(minutes(9), minutes(10)));
+        assert_eq!(out[0].category, Category::Performance);
+        assert_eq!(out[0].severity, Severity::Critical);
+    }
+
+    #[test]
+    fn consecutive_windowed_events_tile() {
+        // A persistently compromised VM fires every minute; the derived
+        // windows tile [9, 12) without gaps.
+        let events: Vec<RawEvent> = (10..=12).map(|m| slow_io_at(minutes(m))).collect();
+        let out = derive_periods(&events, &catalog(), minutes(60), UnmatchedPolicy::CloseAtServiceEnd)
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        for (i, pe) in out.iter().enumerate() {
+            assert_eq!(pe.range.start, minutes(9 + i as i64));
+            assert_eq!(pe.range.duration(), minutes(1));
+        }
+    }
+
+    #[test]
+    fn measured_duration_used_when_present() {
+        let e = RawEvent::new(
+            "qemu_live_upgrade",
+            minutes(30),
+            Target::Vm(2),
+            minutes(5),
+            Severity::Error,
+        )
+        .with_measured_duration(750);
+        let out = derive_periods(&[e], &catalog(), minutes(60), UnmatchedPolicy::CloseAtServiceEnd)
+            .unwrap();
+        assert_eq!(out[0].range, TimeRange::new(minutes(30) - 750, minutes(30)));
+    }
+
+    #[test]
+    fn measured_duration_falls_back_to_default() {
+        let e = RawEvent::new(
+            "qemu_live_upgrade",
+            minutes(30),
+            Target::Vm(2),
+            minutes(5),
+            Severity::Error,
+        );
+        let out = derive_periods(&[e], &catalog(), minutes(60), UnmatchedPolicy::CloseAtServiceEnd)
+            .unwrap();
+        // paper_defaults sets 200 ms as the fallback.
+        assert_eq!(out[0].range.duration(), 200);
+    }
+
+    #[test]
+    fn stateful_pairing_matches_paper_example_2() {
+        // Fig. 3: add(t2), add(t3), del(t4), del(t5) → one event [t2, t4).
+        let (t2, t3, t4, t5) = (minutes(10), minutes(12), minutes(20), minutes(22));
+        let mk = |name: &str, t| RawEvent::new(name, t, Target::Vm(1), minutes(60), Severity::Fatal);
+        let events = vec![
+            mk("ddos_blackhole", t2),
+            mk("ddos_blackhole", t3),
+            mk("ddos_blackhole_del", t4),
+            mk("ddos_blackhole_del", t5),
+        ];
+        let out = derive_periods(&events, &catalog(), minutes(60), UnmatchedPolicy::CloseAtServiceEnd)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].range, TimeRange::new(t2, t4));
+        assert_eq!(out[0].name, "ddos_blackhole");
+        assert_eq!(out[0].category, Category::Unavailability);
+    }
+
+    #[test]
+    fn multiple_stateful_episodes_pair_independently() {
+        let mk = |name: &str, t| RawEvent::new(name, t, Target::Vm(1), minutes(60), Severity::Fatal);
+        let events = vec![
+            mk("ddos_blackhole", minutes(10)),
+            mk("ddos_blackhole_del", minutes(15)),
+            mk("ddos_blackhole", minutes(40)),
+            mk("ddos_blackhole_del", minutes(45)),
+        ];
+        let out = derive_periods(&events, &catalog(), minutes(60), UnmatchedPolicy::CloseAtServiceEnd)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].range, TimeRange::new(minutes(10), minutes(15)));
+        assert_eq!(out[1].range, TimeRange::new(minutes(40), minutes(45)));
+    }
+
+    #[test]
+    fn unmatched_start_close_at_service_end() {
+        let e = RawEvent::new("ddos_blackhole", minutes(50), Target::Vm(1), minutes(60), Severity::Fatal);
+        let out = derive_periods(&[e], &catalog(), minutes(80), UnmatchedPolicy::CloseAtServiceEnd)
+            .unwrap();
+        assert_eq!(out[0].range, TimeRange::new(minutes(50), minutes(80)));
+    }
+
+    #[test]
+    fn unmatched_start_close_at_expiry() {
+        let e = RawEvent::new("ddos_blackhole", minutes(50), Target::Vm(1), minutes(60), Severity::Fatal);
+        let out =
+            derive_periods(&[e], &catalog(), minutes(300), UnmatchedPolicy::CloseAtExpiry).unwrap();
+        assert_eq!(out[0].range, TimeRange::new(minutes(50), minutes(110)));
+    }
+
+    #[test]
+    fn leading_end_marker_dropped() {
+        let mk = |name: &str, t| RawEvent::new(name, t, Target::Vm(1), minutes(60), Severity::Fatal);
+        let events = vec![
+            mk("ddos_blackhole_del", minutes(5)),
+            mk("ddos_blackhole", minutes(10)),
+            mk("ddos_blackhole_del", minutes(15)),
+        ];
+        let out = derive_periods(&events, &catalog(), minutes(60), UnmatchedPolicy::CloseAtServiceEnd)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].range, TimeRange::new(minutes(10), minutes(15)));
+    }
+
+    #[test]
+    fn stateful_pairing_is_per_target() {
+        let events = vec![
+            RawEvent::new("ddos_blackhole", minutes(10), Target::Vm(1), minutes(60), Severity::Fatal),
+            RawEvent::new("ddos_blackhole_del", minutes(20), Target::Vm(2), minutes(60), Severity::Fatal),
+        ];
+        let out = derive_periods(&events, &catalog(), minutes(60), UnmatchedPolicy::CloseAtServiceEnd)
+            .unwrap();
+        // VM 2's del has no start on VM 2: dropped. VM 1's start is
+        // unmatched: closes at service end.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].target, Target::Vm(1));
+        assert_eq!(out[0].range.end, minutes(60));
+    }
+
+    #[test]
+    fn unknown_event_rejected() {
+        let e = RawEvent::new("not_registered", 0, Target::Vm(1), 0, Severity::Warning);
+        let err = derive_periods(&[e], &catalog(), minutes(60), UnmatchedPolicy::CloseAtServiceEnd)
+            .unwrap_err();
+        assert!(matches!(err, CdiError::UnknownEvent(_)));
+    }
+
+    #[test]
+    fn output_sorted_by_target_then_time() {
+        let events = vec![
+            slow_io_at(minutes(30)),
+            RawEvent::new("slow_io", minutes(10), Target::Vm(2), minutes(10), Severity::Critical),
+            slow_io_at(minutes(10)),
+        ];
+        let out = derive_periods(&events, &catalog(), minutes(60), UnmatchedPolicy::CloseAtServiceEnd)
+            .unwrap();
+        assert_eq!(out[0].target, Target::Vm(1));
+        assert_eq!(out[0].range.start, minutes(9));
+        assert_eq!(out[1].target, Target::Vm(1));
+        assert_eq!(out[1].range.start, minutes(29));
+        assert_eq!(out[2].target, Target::Vm(2));
+    }
+}

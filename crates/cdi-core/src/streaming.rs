@@ -1,0 +1,223 @@
+//! Streaming CDI accumulation.
+//!
+//! The batch pipeline (Section V) recomputes each day from scratch; the
+//! operation-platform applications of Section VIII-C want the *current*
+//! damage state of a target without replaying history. [`CdiAccumulator`]
+//! ingests weighted spans approximately in time order and maintains the
+//! damage integral behind a **watermark**: everything before the watermark
+//! is frozen into a running sum and its spans are dropped, so memory stays
+//! bounded by the number of spans still open — not by history length.
+//!
+//! Late data policy (explicit, like the rest of DESIGN.md §5): a span
+//! arriving with `start` before the current watermark is clipped to the
+//! watermark; a span entirely before it is dropped and counted in
+//! [`CdiAccumulator::late_dropped`].
+
+use crate::error::{CdiError, Result};
+use crate::event::EventSpan;
+use crate::indicator::{envelope_integral, ServicePeriod};
+use crate::time::Timestamp;
+
+/// Watermark-based streaming accumulator for one target and one sub-metric
+/// stream (the caller splits spans by category, as the batch pipeline does).
+#[derive(Debug, Clone)]
+pub struct CdiAccumulator {
+    period_start: Timestamp,
+    watermark: Timestamp,
+    /// Damage integral (weight·ms) frozen up to the watermark.
+    frozen: f64,
+    /// Spans still (partly) ahead of the watermark.
+    open: Vec<EventSpan>,
+    /// Spans dropped for arriving entirely behind the watermark.
+    late_dropped: usize,
+}
+
+impl CdiAccumulator {
+    /// Start accumulating at `period_start` (also the initial watermark).
+    pub fn new(period_start: Timestamp) -> Self {
+        CdiAccumulator {
+            period_start,
+            watermark: period_start,
+            frozen: 0.0,
+            open: Vec::new(),
+            late_dropped: 0,
+        }
+    }
+
+    /// Current watermark.
+    pub fn watermark(&self) -> Timestamp {
+        self.watermark
+    }
+
+    /// Spans dropped as too late.
+    pub fn late_dropped(&self) -> usize {
+        self.late_dropped
+    }
+
+    /// Number of spans currently held (bounded-memory invariant).
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Ingest a span. Spans beginning before the watermark are clipped to
+    /// it; spans ending at or before it are dropped as late.
+    pub fn ingest(&mut self, mut span: EventSpan) -> Result<()> {
+        if !span.weight.is_finite() || !(0.0..=1.0).contains(&span.weight) {
+            return Err(CdiError::invalid(format!(
+                "span weight must be in [0,1], got {}",
+                span.weight
+            )));
+        }
+        if span.end <= self.watermark {
+            self.late_dropped += 1;
+            return Ok(());
+        }
+        if span.start < self.watermark {
+            span.start = self.watermark;
+        }
+        self.open.push(span);
+        Ok(())
+    }
+
+    /// Advance the watermark to `to`, freezing the damage integral of
+    /// `[watermark, to)` and discarding spans that end before `to`.
+    pub fn advance_watermark(&mut self, to: Timestamp) -> Result<()> {
+        if to < self.watermark {
+            return Err(CdiError::invalid(format!(
+                "watermark cannot move backwards ({} -> {to})",
+                self.watermark
+            )));
+        }
+        if to == self.watermark {
+            return Ok(());
+        }
+        let window = ServicePeriod::new(self.watermark, to)?;
+        self.frozen += envelope_integral(&self.open, window)?;
+        self.watermark = to;
+        self.open.retain(|s| s.end > to);
+        Ok(())
+    }
+
+    /// The CDI over `[period_start, watermark)` — the exact value Algorithm
+    /// 1 would produce for every span ingested on time.
+    pub fn cdi(&self) -> Result<f64> {
+        let elapsed = self.watermark - self.period_start;
+        if elapsed <= 0 {
+            return Err(CdiError::degenerate("no elapsed service time yet"));
+        }
+        Ok(self.frozen / elapsed as f64)
+    }
+
+    /// The damage integral (weight·ms) frozen so far.
+    pub fn damage_integral(&self) -> f64 {
+        self.frozen
+    }
+
+    /// The §VIII-C damage pressure: the remaining integral of the open
+    /// spans from the watermark to their last end — what acting on this
+    /// target now would save.
+    pub fn pending_pressure(&self) -> Result<f64> {
+        let horizon = self.open.iter().map(|s| s.end).max().unwrap_or(self.watermark);
+        if horizon <= self.watermark {
+            return Ok(0.0);
+        }
+        envelope_integral(&self.open, ServicePeriod::new(self.watermark, horizon)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Category;
+    use crate::indicator::cdi;
+    use crate::time::minutes;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    fn span(s: i64, e: i64, w: f64) -> EventSpan {
+        EventSpan::new("x", Category::Performance, minutes(s), minutes(e), w)
+    }
+
+    #[test]
+    fn matches_batch_algorithm_on_in_order_stream() {
+        let spans =
+            vec![span(5, 10, 0.5), span(8, 14, 0.9), span(20, 25, 0.3), span(24, 30, 0.6)];
+        let period = ServicePeriod::new(0, minutes(60)).unwrap();
+        let batch = cdi(&spans, period).unwrap();
+
+        let mut acc = CdiAccumulator::new(0);
+        for (i, s) in spans.iter().enumerate() {
+            acc.ingest(s.clone()).unwrap();
+            // Advance conservatively between ingests (watermark ≤ next start).
+            let safe = spans.get(i + 1).map(|n| n.start).unwrap_or(minutes(60));
+            acc.advance_watermark(safe).unwrap();
+        }
+        acc.advance_watermark(minutes(60)).unwrap();
+        close(acc.cdi().unwrap(), batch, 1e-12);
+        assert_eq!(acc.late_dropped(), 0);
+        assert_eq!(acc.open_spans(), 0, "memory drained once spans close");
+    }
+
+    #[test]
+    fn overlaps_take_max_across_watermark_steps() {
+        let mut acc = CdiAccumulator::new(0);
+        acc.ingest(span(0, 10, 0.5)).unwrap();
+        acc.ingest(span(5, 15, 0.9)).unwrap();
+        // Advance through the middle of the overlap: freezing must not
+        // double-count.
+        acc.advance_watermark(minutes(7)).unwrap();
+        acc.advance_watermark(minutes(20)).unwrap();
+        // 5 min at 0.5 + 10 min at 0.9.
+        close(acc.damage_integral(), (5.0 * 0.5 + 10.0 * 0.9) * 60_000.0, 1e-9);
+    }
+
+    #[test]
+    fn late_spans_clip_or_drop() {
+        let mut acc = CdiAccumulator::new(0);
+        acc.advance_watermark(minutes(10)).unwrap();
+        // Entirely behind: dropped.
+        acc.ingest(span(2, 8, 0.5)).unwrap();
+        assert_eq!(acc.late_dropped(), 1);
+        // Straddling: clipped to the watermark.
+        acc.ingest(span(5, 20, 1.0)).unwrap();
+        acc.advance_watermark(minutes(20)).unwrap();
+        close(acc.damage_integral(), 10.0 * 60_000.0, 1e-9);
+    }
+
+    #[test]
+    fn watermark_cannot_regress_and_cdi_needs_time() {
+        let mut acc = CdiAccumulator::new(minutes(5));
+        assert!(acc.cdi().is_err(), "no elapsed time yet");
+        acc.advance_watermark(minutes(10)).unwrap();
+        assert!(acc.advance_watermark(minutes(9)).is_err());
+        // Idempotent same-point advance.
+        acc.advance_watermark(minutes(10)).unwrap();
+        close(acc.cdi().unwrap(), 0.0, 1e-15);
+    }
+
+    #[test]
+    fn pending_pressure_tracks_open_damage() {
+        let mut acc = CdiAccumulator::new(0);
+        acc.ingest(span(0, 30, 0.5)).unwrap();
+        acc.advance_watermark(minutes(10)).unwrap();
+        // 20 minutes of weight-0.5 damage still ahead.
+        close(acc.pending_pressure().unwrap(), 20.0 * 0.5 * 60_000.0, 1e-9);
+        acc.advance_watermark(minutes(30)).unwrap();
+        close(acc.pending_pressure().unwrap(), 0.0, 1e-15);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let mut acc = CdiAccumulator::new(0);
+        let bad = EventSpan {
+            name: "x".into(),
+            category: Category::Performance,
+            start: 0,
+            end: minutes(1),
+            weight: 2.0,
+        };
+        assert!(acc.ingest(bad).is_err());
+    }
+}

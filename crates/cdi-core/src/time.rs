@@ -1,0 +1,133 @@
+//! Time primitives shared across the CDI pipeline.
+//!
+//! All timestamps are integer **milliseconds** since an arbitrary epoch
+//! (the simulator uses its own t = 0). Algorithm 1's per-unit-time sum is
+//! implemented as an exact piecewise-constant integral over millisecond
+//! intervals, which matches the paper's worked example at minute
+//! granularity (DESIGN.md §5, decision 4).
+
+use serde::{Deserialize, Serialize};
+
+/// Milliseconds since the epoch of the data set under analysis.
+pub type Timestamp = i64;
+
+/// Milliseconds in one minute.
+pub const MINUTE_MS: i64 = 60_000;
+/// Milliseconds in one hour.
+pub const HOUR_MS: i64 = 60 * MINUTE_MS;
+/// Milliseconds in one day.
+pub const DAY_MS: i64 = 24 * HOUR_MS;
+
+/// Convenience: a timestamp/duration of `m` minutes.
+pub const fn minutes(m: i64) -> Timestamp {
+    m * MINUTE_MS
+}
+
+/// Convenience: a timestamp/duration of `h` hours.
+pub const fn hours(h: i64) -> Timestamp {
+    h * HOUR_MS
+}
+
+/// Convenience: a timestamp/duration of `d` days.
+pub const fn days(d: i64) -> Timestamp {
+    d * DAY_MS
+}
+
+/// A half-open time interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeRange {
+    /// Inclusive start.
+    pub start: Timestamp,
+    /// Exclusive end.
+    pub end: Timestamp,
+}
+
+impl TimeRange {
+    /// Create a range; callers must ensure `start <= end` (checked in debug).
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        debug_assert!(start <= end, "TimeRange start {start} > end {end}");
+        TimeRange { start, end }
+    }
+
+    /// Duration in milliseconds.
+    pub fn duration(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Intersection with another range (empty ranges collapse to `None`).
+    pub fn intersect(&self, other: &TimeRange) -> Option<TimeRange> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(TimeRange { start, end })
+        } else {
+            None
+        }
+    }
+
+    /// Whether a timestamp lies inside `[start, end)`.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Whether two ranges overlap on a non-empty interval.
+    pub fn overlaps(&self, other: &TimeRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_units() {
+        assert_eq!(minutes(2), 120_000);
+        assert_eq!(hours(1), 3_600_000);
+        assert_eq!(days(1), 86_400_000);
+        assert_eq!(days(1), hours(24));
+    }
+
+    #[test]
+    fn duration_and_emptiness() {
+        let r = TimeRange::new(10, 30);
+        assert_eq!(r.duration(), 20);
+        assert!(!r.is_empty());
+        assert!(TimeRange::new(5, 5).is_empty());
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = TimeRange::new(0, 10);
+        let b = TimeRange::new(5, 15);
+        assert_eq!(a.intersect(&b), Some(TimeRange::new(5, 10)));
+        let disjoint = TimeRange::new(20, 30);
+        assert_eq!(a.intersect(&disjoint), None);
+        // Touching ranges do not intersect (half-open semantics).
+        let touching = TimeRange::new(10, 20);
+        assert_eq!(a.intersect(&touching), None);
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let r = TimeRange::new(0, 10);
+        assert!(r.contains(0));
+        assert!(r.contains(9));
+        assert!(!r.contains(10));
+        assert!(!r.contains(-1));
+    }
+
+    #[test]
+    fn overlaps_matches_intersect() {
+        let a = TimeRange::new(0, 10);
+        for (s, e) in [(5i64, 15i64), (10, 20), (-5, 0), (-5, 1), (3, 7)] {
+            let b = TimeRange::new(s, e);
+            assert_eq!(a.overlaps(&b), a.intersect(&b).is_some(), "({s},{e})");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! A/B trial assignment (Section VI-D).
+//!
+//! "When a VM is hit by a rule, it will randomly carry out one of the
+//! potential actions, following a predefined probability distribution."
+//! The assigner draws from a seeded ChaCha stream so experiments replay
+//! bit-identically, and keeps a per-trial registry so the analysis stage
+//! can slice CDI sequences by arm.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use simfleet::VmId;
+
+/// A seeded, weighted arm assigner.
+#[derive(Debug, Clone)]
+pub struct ActionAssigner {
+    rng: ChaCha8Rng,
+    /// Cumulative probability boundaries, last is 1.0.
+    cumulative: Vec<f64>,
+}
+
+/// One recorded trial assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// The VM the rule fired on.
+    pub vm: VmId,
+    /// Chosen arm index.
+    pub arm: usize,
+    /// When the action executed (ms) — the start of the observation window.
+    pub at: i64,
+}
+
+impl ActionAssigner {
+    /// Create an assigner over `probabilities` (positive, any scale — they
+    /// are normalized). At least two arms are required.
+    pub fn new(seed: u64, probabilities: &[f64]) -> Result<Self, String> {
+        if probabilities.len() < 2 {
+            return Err(format!(
+                "an A/B test needs at least 2 arms, got {}",
+                probabilities.len()
+            ));
+        }
+        if probabilities.iter().any(|&p| !(p.is_finite() && p > 0.0)) {
+            return Err("arm probabilities must be positive and finite".to_string());
+        }
+        let total: f64 = probabilities.iter().sum();
+        let mut acc = 0.0;
+        let mut cumulative = Vec::with_capacity(probabilities.len());
+        for &p in probabilities {
+            acc += p / total;
+            cumulative.push(acc);
+        }
+        // Guard the last boundary against rounding.
+        *cumulative.last_mut().expect("len >= 2") = 1.0;
+        Ok(ActionAssigner { rng: ChaCha8Rng::seed_from_u64(seed), cumulative })
+    }
+
+    /// Number of arms.
+    pub fn arms(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Draw the next arm.
+    pub fn assign(&mut self) -> usize {
+        let u: f64 = self.rng.random();
+        self.cumulative.iter().position(|&c| u < c).unwrap_or(self.cumulative.len() - 1)
+    }
+
+    /// Draw and record an assignment for a rule hit on `vm` at time `at`.
+    pub fn assign_trial(&mut self, vm: VmId, at: i64) -> Assignment {
+        Assignment { vm, arm: self.assign(), at }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statskit::dist::ChiSquared;
+
+    #[test]
+    fn rejects_bad_configurations() {
+        assert!(ActionAssigner::new(1, &[1.0]).is_err());
+        assert!(ActionAssigner::new(1, &[1.0, 0.0]).is_err());
+        assert!(ActionAssigner::new(1, &[1.0, -1.0]).is_err());
+        assert!(ActionAssigner::new(1, &[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let mut a = ActionAssigner::new(42, &[1.0, 1.0, 1.0]).unwrap();
+        let mut b = ActionAssigner::new(42, &[1.0, 1.0, 1.0]).unwrap();
+        let seq_a: Vec<usize> = (0..100).map(|_| a.assign()).collect();
+        let seq_b: Vec<usize> = (0..100).map(|_| b.assign()).collect();
+        assert_eq!(seq_a, seq_b);
+        let mut c = ActionAssigner::new(43, &[1.0, 1.0, 1.0]).unwrap();
+        let seq_c: Vec<usize> = (0..100).map(|_| c.assign()).collect();
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn uniform_arms_pass_chi_squared_goodness_of_fit() {
+        let mut assigner = ActionAssigner::new(7, &[1.0, 1.0, 1.0]).unwrap();
+        let n = 3_000;
+        let mut counts = [0f64; 3];
+        for _ in 0..n {
+            counts[assigner.assign()] += 1.0;
+        }
+        let expected = n as f64 / 3.0;
+        let chi2: f64 = counts.iter().map(|&c| (c - expected).powi(2) / expected).sum();
+        let p = ChiSquared::new(2.0).unwrap().sf(chi2).unwrap();
+        assert!(p > 0.01, "chi2 = {chi2}, p = {p}, counts = {counts:?}");
+    }
+
+    #[test]
+    fn weighted_arms_follow_the_distribution() {
+        // 10% / 90% split, as when a risky new action gets a small share.
+        let mut assigner = ActionAssigner::new(11, &[0.1, 0.9]).unwrap();
+        let n = 5_000;
+        let mut counts = [0usize; 2];
+        for _ in 0..n {
+            counts[assigner.assign()] += 1;
+        }
+        let share = counts[0] as f64 / n as f64;
+        assert!((share - 0.1).abs() < 0.02, "arm-0 share {share}");
+    }
+
+    #[test]
+    fn unnormalized_weights_are_normalized() {
+        let mut a = ActionAssigner::new(5, &[2.0, 2.0]).unwrap();
+        let mut b = ActionAssigner::new(5, &[0.5, 0.5]).unwrap();
+        for _ in 0..50 {
+            assert_eq!(a.assign(), b.assign());
+        }
+        assert_eq!(a.arms(), 2);
+    }
+
+    #[test]
+    fn trials_record_vm_and_time() {
+        let mut assigner = ActionAssigner::new(3, &[1.0, 1.0]).unwrap();
+        let t = assigner.assign_trial(17, 99_000);
+        assert_eq!(t.vm, 17);
+        assert_eq!(t.at, 99_000);
+        assert!(t.arm < 2);
+    }
+}

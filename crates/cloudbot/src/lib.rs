@@ -1,0 +1,55 @@
+//! # cloudbot — the AIOps substrate of the CDI reproduction
+//!
+//! CloudBot is the system described in Section II of *"Stability is Not
+//! Downtime"*: it collects multi-modal raw data, extracts it into
+//! interpretable events, matches operation rules over those events, and
+//! executes operation actions. CDI (in `cdi-core`) is then computed from the
+//! same events.
+//!
+//! The crate mirrors Fig. 1's architecture:
+//!
+//! - [`collector`] — Data Collector: pulls metrics, logs, and control-plane
+//!   operation outcomes from the simulated world (`simfleet`), standing in
+//!   for the eBPF-based production collector.
+//! - [`extractor`] — Event Extractor: expert threshold/log rules,
+//!   statistics-based extraction (STL residuals + K-Sigma / SPOT), and
+//!   control-plane outcome events; all emit `cdi_core::RawEvent`s.
+//! - [`rules`] — Rule Engine: boolean expressions over co-occurring events
+//!   (e.g. `slow_io && nic_flapping && !vm_hang`), with a small parser.
+//! - [`ops`] — Operation Platform: Table III's action taxonomy, conflict
+//!   resolution, ordered execution against the fleet.
+//! - [`tickets`] — the ticket classifier feeding Fig. 2 and the Eq. 2
+//!   customer weights.
+//! - [`optimize`] — Section VIII-C: CDI-weight-driven action prioritization
+//!   and severity-proportionate action selection.
+//! - [`abassign`] — §VI-D's randomized trial assignment with a predefined
+//!   probability distribution (seeded for replayability).
+//! - [`surge`] — §II-F's event-surge alerting against batches of missing
+//!   operations (multi-customer surges page engineers immediately).
+//! - [`mining`] — §II-D's FP-growth association mining over event
+//!   co-occurrence, for discovering candidate operation rules.
+//! - [`noise`] — §II-F's meta-information noise reduction (expected events
+//!   on shared VMs trigger no operations but still count toward CDI).
+//! - [`predict`] — the `nc_down_prediction` scorer driving Case 8.
+//! - [`pipeline`] — end-to-end glue: world + day → events → weighted spans →
+//!   per-VM CDI rows, the equivalent of the paper's daily Spark job.
+
+#![warn(missing_docs)]
+
+pub mod abassign;
+pub mod collector;
+pub mod extractor;
+pub mod mining;
+pub mod noise;
+pub mod ops;
+pub mod optimize;
+pub mod pipeline;
+pub mod predict;
+pub mod rules;
+pub mod surge;
+pub mod tickets;
+
+pub use collector::{CollectedData, Collector};
+pub use extractor::{Extractor, ExtractorConfig};
+pub use ops::{ActionKind, ActionRequest, OperationPlatform};
+pub use rules::{OperationRule, RuleEngine};

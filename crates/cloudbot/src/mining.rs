@@ -1,0 +1,503 @@
+//! Association mining for operation-rule discovery (Section II-D).
+//!
+//! "Based on association mining algorithms [FP-growth], we can optimize
+//! existing rules and discover new rules." This module implements the cited
+//! FP-growth algorithm (Borgelt'05 lineage) over *transactions* — the sets
+//! of event names co-occurring on one target within one time window — and
+//! turns high-confidence associations into candidate rule expressions for
+//! expert review.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cdi_core::event::{RawEvent, Target};
+use simfleet::world::SimWorld;
+
+/// A frequent itemset: event names that co-occur in at least `support`
+/// transactions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// The co-occurring event names (sorted).
+    pub items: Vec<String>,
+    /// Number of supporting transactions.
+    pub support: usize,
+}
+
+/// An association rule `antecedent ⇒ consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// Left-hand side (sorted event names).
+    pub antecedent: Vec<String>,
+    /// Right-hand side (a single event name).
+    pub consequent: String,
+    /// Transactions containing antecedent ∪ consequent.
+    pub support: usize,
+    /// `support(A ∪ c) / support(A)`.
+    pub confidence: f64,
+    /// `confidence / P(c)` — how much more often `c` occurs with `A` than
+    /// alone (> 1 means genuine association).
+    pub lift: f64,
+}
+
+impl AssociationRule {
+    /// Render as a rule-engine expression, e.g.
+    /// `slow_io && nic_flapping` (the antecedent conjunction). Consequent
+    /// and statistics go into the human-facing suggestion.
+    pub fn antecedent_expression(&self) -> String {
+        self.antecedent.join(" && ")
+    }
+}
+
+/// Copy NC-scoped events onto every VM hosted on that NC, so that host
+/// symptoms and guest symptoms land in the same mining transactions —
+/// production's event-correlation step does the same join before mining.
+/// The original NC-scoped events are kept too (host-only patterns are also
+/// worth discovering).
+pub fn expand_nc_events_to_vms(events: &[RawEvent], world: &SimWorld) -> Vec<RawEvent> {
+    let mut out = Vec::with_capacity(events.len());
+    for e in events {
+        out.push(e.clone());
+        if let Target::Nc(nc) = e.target {
+            for &vm in world.fleet.vms_on(nc) {
+                let mut copy = e.clone();
+                copy.target = Target::Vm(vm);
+                out.push(copy);
+            }
+        }
+    }
+    out
+}
+
+/// Group events into transactions: the distinct event names seen on one
+/// target within one `window_ms` bucket.
+pub fn transactions_from_events(
+    events: &[RawEvent],
+    window_ms: i64,
+) -> Vec<Vec<String>> {
+    assert!(window_ms > 0, "window must be positive");
+    let mut buckets: HashMap<(Target, i64), BTreeSet<&str>> = HashMap::new();
+    for e in events {
+        buckets
+            .entry((e.target, e.time.div_euclid(window_ms)))
+            .or_default()
+            .insert(e.name.as_str());
+    }
+    let mut out: Vec<Vec<String>> = buckets
+        .into_values()
+        .map(|set| set.into_iter().map(str::to_string).collect())
+        .collect();
+    out.sort();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// FP-tree
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct FpNode {
+    /// Index into the item dictionary (not the raw name).
+    item: usize,
+    count: usize,
+    parent: Option<usize>,
+    children: HashMap<usize, usize>,
+}
+
+#[derive(Debug)]
+struct FpTree {
+    nodes: Vec<FpNode>,
+    /// item → node indices holding that item.
+    header: HashMap<usize, Vec<usize>>,
+}
+
+impl FpTree {
+    fn new() -> Self {
+        // Node 0 is the root (item usize::MAX).
+        FpTree {
+            nodes: vec![FpNode {
+                item: usize::MAX,
+                count: 0,
+                parent: None,
+                children: HashMap::new(),
+            }],
+            header: HashMap::new(),
+        }
+    }
+
+    /// Insert one (already frequency-ordered) transaction with a weight.
+    fn insert(&mut self, items: &[usize], weight: usize) {
+        let mut cur = 0usize;
+        for &item in items {
+            let next = match self.nodes[cur].children.get(&item) {
+                Some(&idx) => idx,
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(FpNode {
+                        item,
+                        count: 0,
+                        parent: Some(cur),
+                        children: HashMap::new(),
+                    });
+                    self.nodes[cur].children.insert(item, idx);
+                    self.header.entry(item).or_default().push(idx);
+                    idx
+                }
+            };
+            self.nodes[next].count += weight;
+            cur = next;
+        }
+    }
+
+    /// The prefix path of a node (excluding the node itself and the root),
+    /// as item indices from the bottom up.
+    fn prefix_path(&self, mut idx: usize) -> Vec<usize> {
+        let mut path = Vec::new();
+        while let Some(parent) = self.nodes[idx].parent {
+            if parent == 0 {
+                break;
+            }
+            path.push(self.nodes[parent].item);
+            idx = parent;
+        }
+        path
+    }
+}
+
+/// Mine frequent itemsets with FP-growth.
+///
+/// `min_support` is an absolute transaction count (`>= 1`). Returns itemsets
+/// of size ≥ 1 sorted by descending support, then lexicographically.
+pub fn fp_growth(transactions: &[Vec<String>], min_support: usize) -> Vec<FrequentItemset> {
+    assert!(min_support >= 1, "min_support must be >= 1");
+    // Dictionary + global frequencies.
+    let mut dict: Vec<String> = Vec::new();
+    let mut index: HashMap<&str, usize> = HashMap::new();
+    let mut freq: Vec<usize> = Vec::new();
+    for t in transactions {
+        for item in t {
+            let id = *index.entry(item.as_str()).or_insert_with(|| {
+                dict.push(item.clone());
+                freq.push(0);
+                dict.len() - 1
+            });
+            freq[id] += 1;
+        }
+    }
+
+    // Encode transactions with infrequent items dropped, ordered by
+    // descending global frequency (ties by name for determinism).
+    let mut order: Vec<usize> = (0..dict.len()).collect();
+    order.sort_by(|&a, &b| freq[b].cmp(&freq[a]).then(dict[a].cmp(&dict[b])));
+    let rank: HashMap<usize, usize> = order.iter().enumerate().map(|(r, &i)| (i, r)).collect();
+
+    let mut tree = FpTree::new();
+    for t in transactions {
+        let mut items: Vec<usize> = t
+            .iter()
+            .filter_map(|name| index.get(name.as_str()).copied())
+            .filter(|&i| freq[i] >= min_support)
+            .collect();
+        items.sort_by_key(|i| rank[i]);
+        items.dedup();
+        tree.insert(&items, 1);
+    }
+
+    let mut out = Vec::new();
+    mine(&tree, &mut Vec::new(), min_support, &mut out);
+
+    let mut named: Vec<FrequentItemset> = out
+        .into_iter()
+        .map(|(items, support)| {
+            let mut names: Vec<String> = items.into_iter().map(|i| dict[i].clone()).collect();
+            names.sort();
+            FrequentItemset { items: names, support }
+        })
+        .collect();
+    named.sort_by(|a, b| b.support.cmp(&a.support).then(a.items.cmp(&b.items)));
+    named
+}
+
+/// Recursive FP-growth over a (conditional) tree.
+fn mine(
+    tree: &FpTree,
+    suffix: &mut Vec<usize>,
+    min_support: usize,
+    out: &mut Vec<(Vec<usize>, usize)>,
+) {
+    // Process header items; order does not affect the result set.
+    let mut items: Vec<usize> = tree.header.keys().copied().collect();
+    items.sort_unstable();
+    for item in items {
+        let nodes = &tree.header[&item];
+        let support: usize = nodes.iter().map(|&n| tree.nodes[n].count).sum();
+        if support < min_support {
+            continue;
+        }
+        let mut itemset = suffix.clone();
+        itemset.push(item);
+        out.push((itemset.clone(), support));
+
+        // Conditional pattern base → conditional tree.
+        let mut cond = FpTree::new();
+        let mut any = false;
+        for &n in nodes {
+            let mut path = tree.prefix_path(n);
+            if path.is_empty() {
+                continue;
+            }
+            path.reverse();
+            cond.insert(&path, tree.nodes[n].count);
+            any = true;
+        }
+        if any {
+            suffix.push(item);
+            mine(&cond, suffix, min_support, out);
+            suffix.pop();
+        }
+    }
+}
+
+/// Derive association rules `A ⇒ c` from mined itemsets.
+///
+/// For every frequent itemset of size ≥ 2 and every choice of consequent
+/// item, emits the rule if its confidence clears `min_confidence`. Supports
+/// are looked up in the mined set, so call with the *complete* output of
+/// [`fp_growth`] at the same threshold.
+pub fn association_rules(
+    itemsets: &[FrequentItemset],
+    n_transactions: usize,
+    min_confidence: f64,
+) -> Vec<AssociationRule> {
+    let support_of: HashMap<&[String], usize> =
+        itemsets.iter().map(|s| (s.items.as_slice(), s.support)).collect();
+    let mut out = Vec::new();
+    for set in itemsets.iter().filter(|s| s.items.len() >= 2) {
+        for (i, consequent) in set.items.iter().enumerate() {
+            let mut antecedent = set.items.clone();
+            antecedent.remove(i);
+            let Some(&a_support) = support_of.get(antecedent.as_slice()) else {
+                continue;
+            };
+            let Some(&c_support) = support_of.get(std::slice::from_ref(consequent).as_ref())
+            else {
+                continue;
+            };
+            let confidence = set.support as f64 / a_support as f64;
+            if confidence < min_confidence {
+                continue;
+            }
+            let p_c = c_support as f64 / n_transactions as f64;
+            out.push(AssociationRule {
+                antecedent,
+                consequent: consequent.clone(),
+                support: set.support,
+                confidence,
+                lift: confidence / p_c,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .expect("confidences are finite")
+            .then(b.support.cmp(&a.support))
+            .then(a.antecedent.cmp(&b.antecedent))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdi_core::event::Severity;
+
+    fn tx(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// The classic textbook corpus where {slow_io, nic_flapping} is a
+    /// strong pattern.
+    fn corpus() -> Vec<Vec<String>> {
+        vec![
+            tx(&["slow_io", "nic_flapping"]),
+            tx(&["slow_io", "nic_flapping", "packet_loss"]),
+            tx(&["slow_io", "nic_flapping"]),
+            tx(&["slow_io"]),
+            tx(&["packet_loss"]),
+            tx(&["vm_hang"]),
+        ]
+    }
+
+    fn support_of(itemsets: &[FrequentItemset], items: &[&str]) -> Option<usize> {
+        let key: Vec<String> = items.iter().map(|s| s.to_string()).collect();
+        itemsets.iter().find(|s| s.items == key).map(|s| s.support)
+    }
+
+    #[test]
+    fn fp_growth_counts_match_brute_force() {
+        let sets = fp_growth(&corpus(), 2);
+        assert_eq!(support_of(&sets, &["slow_io"]), Some(4));
+        assert_eq!(support_of(&sets, &["nic_flapping"]), Some(3));
+        assert_eq!(support_of(&sets, &["packet_loss"]), Some(2));
+        assert_eq!(support_of(&sets, &["nic_flapping", "slow_io"]), Some(3));
+        // Below threshold: singleton vm_hang (1) and any triple (1).
+        assert_eq!(support_of(&sets, &["vm_hang"]), None);
+        assert!(sets.iter().all(|s| s.support >= 2));
+    }
+
+    #[test]
+    fn fp_growth_agrees_with_exhaustive_enumeration() {
+        // Cross-check every reported itemset against a brute-force count,
+        // and brute-force every subset of seen items up to size 3.
+        let transactions = vec![
+            tx(&["a", "b", "c"]),
+            tx(&["a", "b"]),
+            tx(&["a", "c"]),
+            tx(&["b", "c"]),
+            tx(&["a", "b", "c", "d"]),
+            tx(&["d"]),
+            tx(&["a", "d"]),
+        ];
+        let min_support = 2;
+        let mined = fp_growth(&transactions, min_support);
+        let count = |items: &[String]| {
+            transactions
+                .iter()
+                .filter(|t| items.iter().all(|i| t.contains(i)))
+                .count()
+        };
+        for set in &mined {
+            assert_eq!(count(&set.items), set.support, "itemset {:?}", set.items);
+        }
+        // Completeness: enumerate subsets of {a,b,c,d} and check presence.
+        let names = ["a", "b", "c", "d"];
+        for mask in 1u32..16 {
+            let items: Vec<String> = names
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, n)| n.to_string())
+                .collect();
+            let sup = count(&items);
+            let found = mined.iter().any(|s| s.items == items);
+            assert_eq!(
+                found,
+                sup >= min_support,
+                "itemset {items:?} support {sup} presence mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn rules_have_correct_confidence_and_lift() {
+        let n = corpus().len();
+        let sets = fp_growth(&corpus(), 2);
+        let rules = association_rules(&sets, n, 0.5);
+        // nic_flapping ⇒ slow_io: support 3, antecedent support 3 → conf 1.0,
+        // lift = 1.0 / (4/6) = 1.5.
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == vec!["nic_flapping".to_string()] && r.consequent == "slow_io")
+            .expect("rule mined");
+        assert_eq!(r.support, 3);
+        assert!((r.confidence - 1.0).abs() < 1e-12);
+        assert!((r.lift - 1.5).abs() < 1e-12);
+        // slow_io ⇒ nic_flapping: conf 3/4 = 0.75.
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == vec!["slow_io".to_string()] && r.consequent == "nic_flapping")
+            .expect("rule mined");
+        assert!((r.confidence - 0.75).abs() < 1e-12);
+        // Sorted by descending confidence.
+        for w in rules.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence);
+        }
+        assert_eq!(r.antecedent_expression(), "slow_io");
+    }
+
+    #[test]
+    fn min_confidence_prunes() {
+        let n = corpus().len();
+        let sets = fp_growth(&corpus(), 2);
+        let strict = association_rules(&sets, n, 0.9);
+        assert!(strict.iter().all(|r| r.confidence >= 0.9));
+        assert!(strict.len() < association_rules(&sets, n, 0.1).len());
+    }
+
+    #[test]
+    fn transactions_group_by_target_and_window() {
+        const MIN: i64 = 60_000;
+        let mk = |name: &str, t: i64, vm: u64| {
+            RawEvent::new(name, t, Target::Vm(vm), 10 * MIN, Severity::Error)
+        };
+        let events = vec![
+            // VM 1, window 0: slow_io + nic_flapping (duplicate slow_io folds).
+            mk("slow_io", MIN, 1),
+            mk("slow_io", 2 * MIN, 1),
+            mk("nic_flapping", 3 * MIN, 1),
+            // VM 1, window 1: packet_loss alone.
+            mk("packet_loss", 11 * MIN, 1),
+            // VM 2, window 0: slow_io alone (separate target!).
+            mk("slow_io", MIN, 2),
+        ];
+        let mut txs = transactions_from_events(&events, 10 * MIN);
+        txs.sort();
+        assert_eq!(
+            txs,
+            vec![
+                tx(&["nic_flapping", "slow_io"]),
+                tx(&["packet_loss"]),
+                tx(&["slow_io"]),
+            ]
+        );
+    }
+
+    #[test]
+    fn nc_events_expand_to_hosted_vms() {
+        use simfleet::{DeploymentArch, Fleet, FleetConfig};
+        let fleet = Fleet::build(&FleetConfig {
+            regions: vec!["r1".into()],
+            azs_per_region: 1,
+            clusters_per_az: 1,
+            ncs_per_cluster: 2,
+            vms_per_nc: 3,
+            nc_cores: 8,
+            machine_models: vec!["m".into()],
+            arch: DeploymentArch::Hybrid,
+        });
+        let world = SimWorld::new(fleet, 1);
+        let events = vec![
+            RawEvent::new("nic_flapping", 0, Target::Nc(0), 600_000, Severity::Error),
+            RawEvent::new("slow_io", 0, Target::Vm(0), 600_000, Severity::Critical),
+        ];
+        let expanded = expand_nc_events_to_vms(&events, &world);
+        // Original 2 + 3 VM copies of the NC event.
+        assert_eq!(expanded.len(), 5);
+        // Now the mining transactions join the host symptom with the guest
+        // symptom on VM 0.
+        let txs = transactions_from_events(&expanded, 600_000);
+        assert!(txs.contains(&tx(&["nic_flapping", "slow_io"])), "{txs:?}");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(fp_growth(&[], 1).is_empty());
+        let single = vec![tx(&["a"])];
+        let sets = fp_growth(&single, 1);
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].support, 1);
+        assert!(association_rules(&sets, 1, 0.5).is_empty(), "no size-2 itemsets");
+    }
+
+    #[test]
+    fn mined_expression_feeds_the_rule_engine() {
+        // The discovery loop of §II-D: mine → render → parse → evaluate.
+        let n = corpus().len();
+        let sets = fp_growth(&corpus(), 2);
+        let rules = association_rules(&sets, n, 0.9);
+        let top = &rules[0];
+        let expr = crate::rules::Expr::parse(&top.antecedent_expression()).unwrap();
+        let active: std::collections::HashSet<&str> =
+            top.antecedent.iter().map(String::as_str).collect();
+        assert!(expr.eval(&active));
+    }
+}

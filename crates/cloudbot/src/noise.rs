@@ -1,0 +1,153 @@
+//! Operation-noise reduction (Section II-F-1).
+//!
+//! Events describe anomalous phenomena, not necessarily real issues; acting
+//! on every event would thrash the fleet. Beyond combining events in rules,
+//! the paper reduces noise with *meta-information*: "CPU contention on a
+//! shared VM is consistent with the product definition and needs no
+//! actions." This module implements that filter: a suppression table
+//! consulted against fleet metadata before events reach the rule engine.
+//!
+//! Suppression is **operational only** — suppressed events still flow into
+//! the CDI (a shared VM's contention is real damage from the customer's
+//! perspective; it just isn't the operator's bug to fix with a migration).
+
+use cdi_core::event::{RawEvent, Target};
+use simfleet::topology::VmType;
+use simfleet::world::SimWorld;
+
+/// One suppression rule: an event name that is expected (and hence not
+/// actionable) on VMs of a given type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The event name to suppress.
+    pub event_name: &'static str,
+    /// The VM type on which it is expected behaviour.
+    pub vm_type: VmType,
+}
+
+/// The product-definition suppressions from the paper's example: shared VMs
+/// contend by design, so contention-family events on them trigger no
+/// operations.
+pub fn product_definition_suppressions() -> Vec<Suppression> {
+    vec![
+        Suppression { event_name: "cpu_contention", vm_type: VmType::Shared },
+        Suppression { event_name: "vcpu_high", vm_type: VmType::Shared },
+    ]
+}
+
+/// Split events into `(actionable, suppressed)` per the suppression table
+/// and the fleet's VM metadata. NC-scoped events are never suppressed (the
+/// host is always the operator's concern).
+pub fn filter_actionable(
+    events: Vec<RawEvent>,
+    world: &SimWorld,
+    suppressions: &[Suppression],
+) -> (Vec<RawEvent>, Vec<RawEvent>) {
+    let mut actionable = Vec::with_capacity(events.len());
+    let mut suppressed = Vec::new();
+    for e in events {
+        let is_expected = match e.target {
+            Target::Vm(vm) => world.fleet.vm(vm).is_some_and(|v| {
+                suppressions
+                    .iter()
+                    .any(|s| s.event_name == e.name && s.vm_type == v.vm_type)
+            }),
+            Target::Nc(_) => false,
+        };
+        if is_expected {
+            suppressed.push(e);
+        } else {
+            actionable.push(e);
+        }
+    }
+    (actionable, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdi_core::event::Severity;
+    use simfleet::{DeploymentArch, Fleet, FleetConfig};
+
+    fn world() -> SimWorld {
+        // Hybrid packing alternates Dedicated/Shared: VM 0 dedicated, VM 1
+        // shared, ...
+        let fleet = Fleet::build(&FleetConfig {
+            regions: vec!["r1".into()],
+            azs_per_region: 1,
+            clusters_per_az: 1,
+            ncs_per_cluster: 1,
+            vms_per_nc: 4,
+            nc_cores: 16,
+            machine_models: vec!["m".into()],
+            arch: DeploymentArch::Hybrid,
+        });
+        SimWorld::new(fleet, 1)
+    }
+
+    fn ev(name: &str, target: Target) -> RawEvent {
+        RawEvent::new(name, 1_000, target, 600_000, Severity::Error)
+    }
+
+    #[test]
+    fn shared_vm_contention_is_suppressed_dedicated_is_not() {
+        let w = world();
+        assert_eq!(w.fleet.vm(0).unwrap().vm_type, VmType::Dedicated);
+        assert_eq!(w.fleet.vm(1).unwrap().vm_type, VmType::Shared);
+        let events = vec![
+            ev("cpu_contention", Target::Vm(0)),
+            ev("cpu_contention", Target::Vm(1)),
+        ];
+        let (actionable, suppressed) =
+            filter_actionable(events, &w, &product_definition_suppressions());
+        assert_eq!(actionable.len(), 1);
+        assert_eq!(actionable[0].target, Target::Vm(0), "dedicated contention IS a bug");
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(suppressed[0].target, Target::Vm(1));
+    }
+
+    #[test]
+    fn unrelated_events_always_pass() {
+        let w = world();
+        let events = vec![
+            ev("slow_io", Target::Vm(1)),
+            ev("vm_crash", Target::Vm(1)),
+            ev("nic_flapping", Target::Nc(0)),
+        ];
+        let (actionable, suppressed) =
+            filter_actionable(events, &w, &product_definition_suppressions());
+        assert_eq!(actionable.len(), 3);
+        assert!(suppressed.is_empty());
+    }
+
+    #[test]
+    fn nc_events_never_suppressed() {
+        let w = world();
+        let events = vec![ev("cpu_contention", Target::Nc(0))];
+        let (actionable, suppressed) =
+            filter_actionable(events, &w, &product_definition_suppressions());
+        assert_eq!(actionable.len(), 1);
+        assert!(suppressed.is_empty());
+    }
+
+    #[test]
+    fn empty_suppression_table_passes_everything() {
+        let w = world();
+        let events = vec![ev("cpu_contention", Target::Vm(1))];
+        let (actionable, suppressed) = filter_actionable(events, &w, &[]);
+        assert_eq!(actionable.len(), 1);
+        assert!(suppressed.is_empty());
+    }
+
+    #[test]
+    fn unknown_vm_is_not_suppressed() {
+        // A stale event for a released VM: keep it actionable (the safe
+        // direction) rather than silently dropping it.
+        let w = world();
+        let events = vec![ev("cpu_contention", Target::Vm(9999))];
+        let (actionable, suppressed) =
+            filter_actionable(events, &w, &product_definition_suppressions());
+        assert_eq!(actionable.len(), 1);
+        assert!(suppressed.is_empty());
+    }
+}

@@ -1,0 +1,418 @@
+//! Operation Platform (Section II-E, Table III).
+//!
+//! All operation actions flow through one central platform, which orders
+//! submitted actions, discards conflicting ones, and executes the survivors
+//! against the fleet. Conflicts follow the paper's motivation ("determines
+//! the execution order for all submitted operation actions and discards
+//! the conflicting ones"): at most one disruptive action per target per
+//! cycle, and NC-level control actions trump per-VM repairs on the same
+//! host.
+
+use std::collections::HashSet;
+
+use cdi_core::event::Target;
+use simfleet::world::SimWorld;
+
+/// Action taxonomy of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActionKind {
+    // VM operations.
+    /// Migrate a VM without shutdown.
+    LiveMigrate,
+    /// Reboot a VM on the same NC.
+    InPlaceReboot,
+    /// Reboot and migrate a VM.
+    ColdMigrate,
+    // NC software repairs.
+    /// Clean disks on the NC.
+    DiskClean,
+    /// Compact memory on the NC.
+    MemoryCompaction,
+    /// Restart or update a process on the NC.
+    ProcessRepair,
+    // NC hardware repairs.
+    /// Disable a specific device.
+    DeviceDisable,
+    /// File a repair ticket to IDC engineers.
+    RepairRequest,
+    /// Repair an FPGA error with software/configuration.
+    FpgaSoftRepair,
+    // NC control.
+    /// Reboot the whole NC.
+    NcReboot,
+    /// Halt creation/migration of new VMs onto the NC.
+    NcLock,
+    /// Remove the NC from production.
+    NcDecommission,
+}
+
+impl ActionKind {
+    /// Whether the action disrupts the target (used for conflict rules).
+    pub fn is_disruptive(&self) -> bool {
+        matches!(
+            self,
+            ActionKind::LiveMigrate
+                | ActionKind::InPlaceReboot
+                | ActionKind::ColdMigrate
+                | ActionKind::NcReboot
+                | ActionKind::NcDecommission
+        )
+    }
+
+    /// Priority for execution ordering (lower runs first): protective
+    /// control actions come before migrations, repairs last.
+    pub fn priority(&self) -> u8 {
+        match self {
+            ActionKind::NcLock => 0,
+            ActionKind::LiveMigrate | ActionKind::ColdMigrate | ActionKind::InPlaceReboot => 1,
+            ActionKind::NcReboot | ActionKind::NcDecommission => 2,
+            ActionKind::DiskClean
+            | ActionKind::MemoryCompaction
+            | ActionKind::ProcessRepair
+            | ActionKind::DeviceDisable
+            | ActionKind::FpgaSoftRepair => 3,
+            ActionKind::RepairRequest => 4,
+        }
+    }
+}
+
+/// A submitted action request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionRequest {
+    /// What to do.
+    pub action: ActionKind,
+    /// On which target.
+    pub target: Target,
+    /// The rule that requested it.
+    pub rule: String,
+    /// Submission time.
+    pub time: i64,
+}
+
+/// Result of one executed (or discarded) action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionOutcome {
+    /// The request.
+    pub request: ActionRequest,
+    /// What happened.
+    pub status: ActionStatus,
+}
+
+/// Outcome status.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionStatus {
+    /// Executed successfully.
+    Executed,
+    /// Discarded due to a conflict with an earlier-ordered action.
+    Discarded {
+        /// Human-readable conflict reason.
+        reason: String,
+    },
+    /// Execution failed (e.g. no migration destination available).
+    Failed {
+        /// Failure reason.
+        reason: String,
+    },
+}
+
+/// The central Operation Platform.
+#[derive(Debug, Default)]
+pub struct OperationPlatform {
+    /// Repair tickets filed (IDC queue).
+    pub repair_tickets: Vec<(Target, String)>,
+}
+
+impl OperationPlatform {
+    /// Empty platform.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Order, de-conflict, and execute a batch of requests against the
+    /// world. Returns one outcome per request.
+    ///
+    /// Ordering: by `(priority, time, target)`. Conflicts: (1) at most one
+    /// disruptive action per target per batch; (2) a disruptive NC action
+    /// suppresses disruptive VM actions on that NC's VMs.
+    pub fn execute(
+        &mut self,
+        world: &mut SimWorld,
+        mut requests: Vec<ActionRequest>,
+    ) -> Vec<ActionOutcome> {
+        requests.sort_by(|a, b| {
+            (a.action.priority(), a.time, a.target).cmp(&(b.action.priority(), b.time, b.target))
+        });
+        let mut disrupted_targets: HashSet<Target> = HashSet::new();
+        // Plan ahead: any NC slated for a disruptive action suppresses
+        // disruptive VM actions on that NC, regardless of execution order.
+        let disrupted_ncs: HashSet<u64> = requests
+            .iter()
+            .filter(|r| r.action.is_disruptive())
+            .filter_map(|r| match r.target {
+                Target::Nc(nc) => Some(nc),
+                Target::Vm(_) => None,
+            })
+            .collect();
+        let mut outcomes = Vec::with_capacity(requests.len());
+        for req in requests {
+            // Conflict detection.
+            if req.action.is_disruptive() {
+                let conflict = if disrupted_targets.contains(&req.target) {
+                    Some("target already receives a disruptive action".to_string())
+                } else if let Target::Vm(vm) = req.target {
+                    world
+                        .fleet
+                        .vm(vm)
+                        .map(|v| v.nc)
+                        .filter(|nc| disrupted_ncs.contains(nc))
+                        .map(|nc| format!("hosting NC {nc} already receives a disruptive action"))
+                } else {
+                    None
+                };
+                if let Some(reason) = conflict {
+                    outcomes.push(ActionOutcome {
+                        request: req,
+                        status: ActionStatus::Discarded { reason },
+                    });
+                    continue;
+                }
+            }
+            let status = self.apply(world, &req);
+            if matches!(status, ActionStatus::Executed) && req.action.is_disruptive() {
+                disrupted_targets.insert(req.target);
+            }
+            outcomes.push(ActionOutcome { request: req, status });
+        }
+        outcomes
+    }
+
+    /// Apply one action's effect to the world.
+    fn apply(&mut self, world: &mut SimWorld, req: &ActionRequest) -> ActionStatus {
+        match (req.action, req.target) {
+            (ActionKind::LiveMigrate | ActionKind::ColdMigrate, Target::Vm(vm)) => {
+                let Some(from) = world.fleet.vm(vm).map(|v| v.nc) else {
+                    return ActionStatus::Failed { reason: format!("unknown VM {vm}") };
+                };
+                let Some(dest) = world.fleet.pick_destination(from) else {
+                    return ActionStatus::Failed { reason: "no destination NC".into() };
+                };
+                match world.fleet.migrate(vm, dest) {
+                    Ok(()) => ActionStatus::Executed,
+                    Err(e) => ActionStatus::Failed { reason: e },
+                }
+            }
+            (ActionKind::LiveMigrate | ActionKind::ColdMigrate, Target::Nc(nc)) => {
+                // NC-scoped migration: evacuate every hosted VM.
+                let vms: Vec<u64> = world.fleet.vms_on(nc).to_vec();
+                for vm in vms {
+                    let Some(dest) = world.fleet.pick_destination(nc) else {
+                        return ActionStatus::Failed { reason: "no destination NC".into() };
+                    };
+                    if let Err(e) = world.fleet.migrate(vm, dest) {
+                        return ActionStatus::Failed { reason: e };
+                    }
+                }
+                ActionStatus::Executed
+            }
+            (ActionKind::NcLock, Target::Nc(nc)) => match world.fleet.lock_nc(nc) {
+                Ok(()) => ActionStatus::Executed,
+                Err(e) => ActionStatus::Failed { reason: e },
+            },
+            (ActionKind::NcLock, Target::Vm(vm)) => {
+                // Locking "the VM's NC" — resolve the host.
+                match world.fleet.vm(vm).map(|v| v.nc) {
+                    Some(nc) => match world.fleet.lock_nc(nc) {
+                        Ok(()) => ActionStatus::Executed,
+                        Err(e) => ActionStatus::Failed { reason: e },
+                    },
+                    None => ActionStatus::Failed { reason: format!("unknown VM {vm}") },
+                }
+            }
+            (ActionKind::NcDecommission, Target::Nc(nc)) => {
+                match world.fleet.decommission_nc(nc) {
+                    Ok(()) => ActionStatus::Executed,
+                    Err(e) => ActionStatus::Failed { reason: e },
+                }
+            }
+            (ActionKind::RepairRequest, target) => {
+                self.repair_tickets.push((target, req.rule.clone()));
+                ActionStatus::Executed
+            }
+            // Reboots and software/hardware repairs have no modeled side
+            // effect on the simulated fleet beyond succeeding.
+            (
+                ActionKind::InPlaceReboot
+                | ActionKind::NcReboot
+                | ActionKind::DiskClean
+                | ActionKind::MemoryCompaction
+                | ActionKind::ProcessRepair
+                | ActionKind::DeviceDisable
+                | ActionKind::FpgaSoftRepair,
+                _,
+            ) => ActionStatus::Executed,
+            (other, target) => ActionStatus::Failed {
+                reason: format!("action {other:?} not applicable to target {target}"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simfleet::{Fleet, FleetConfig};
+
+    fn world() -> SimWorld {
+        let fleet = Fleet::build(&FleetConfig {
+            regions: vec!["r1".into()],
+            azs_per_region: 1,
+            clusters_per_az: 1,
+            ncs_per_cluster: 3,
+            vms_per_nc: 2,
+            nc_cores: 8,
+            machine_models: vec!["m".into()],
+            arch: simfleet::DeploymentArch::Hybrid,
+        });
+        SimWorld::new(fleet, 3)
+    }
+
+    fn req(action: ActionKind, target: Target, time: i64) -> ActionRequest {
+        ActionRequest { action, target, rule: "test_rule".into(), time }
+    }
+
+    #[test]
+    fn live_migrate_moves_vm() {
+        let mut w = world();
+        let vm = w.fleet.vms()[0].id;
+        let from = w.fleet.vm(vm).unwrap().nc;
+        let mut p = OperationPlatform::new();
+        let outcomes = p.execute(&mut w, vec![req(ActionKind::LiveMigrate, Target::Vm(vm), 0)]);
+        assert_eq!(outcomes[0].status, ActionStatus::Executed);
+        assert_ne!(w.fleet.vm(vm).unwrap().nc, from);
+    }
+
+    #[test]
+    fn fig1_batch_lock_migrate_ticket() {
+        // The Fig. 1 workflow: live migration + repair ticket + NC lock.
+        let mut w = world();
+        let vm = w.fleet.vms()[0].id;
+        let nc = w.fleet.vm(vm).unwrap().nc;
+        let mut p = OperationPlatform::new();
+        let outcomes = p.execute(
+            &mut w,
+            vec![
+                req(ActionKind::LiveMigrate, Target::Vm(vm), 0),
+                req(ActionKind::RepairRequest, Target::Nc(nc), 0),
+                req(ActionKind::NcLock, Target::Nc(nc), 0),
+            ],
+        );
+        assert!(outcomes.iter().all(|o| o.status == ActionStatus::Executed), "{outcomes:?}");
+        // Lock runs first (priority 0), so the migration cannot land back on
+        // the locked NC.
+        assert!(w.fleet.nc(nc).unwrap().locked);
+        assert_ne!(w.fleet.vm(vm).unwrap().nc, nc);
+        assert_eq!(p.repair_tickets.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_disruptive_actions_discarded() {
+        let mut w = world();
+        let vm = w.fleet.vms()[0].id;
+        let mut p = OperationPlatform::new();
+        let outcomes = p.execute(
+            &mut w,
+            vec![
+                req(ActionKind::LiveMigrate, Target::Vm(vm), 0),
+                req(ActionKind::ColdMigrate, Target::Vm(vm), 1),
+            ],
+        );
+        assert_eq!(outcomes[0].status, ActionStatus::Executed);
+        assert!(matches!(outcomes[1].status, ActionStatus::Discarded { .. }), "{outcomes:?}");
+    }
+
+    #[test]
+    fn nc_disruption_suppresses_vm_disruption() {
+        let mut w = world();
+        let nc = 0u64;
+        let vm = w.fleet.vms_on(nc)[0];
+        let mut p = OperationPlatform::new();
+        let outcomes = p.execute(
+            &mut w,
+            vec![
+                req(ActionKind::NcReboot, Target::Nc(nc), 0),
+                req(ActionKind::InPlaceReboot, Target::Vm(vm), 5),
+            ],
+        );
+        // Sorted by priority the VM reboot comes first, but the planned NC
+        // reboot still suppresses it.
+        let vm_outcome =
+            outcomes.iter().find(|o| o.request.target == Target::Vm(vm)).unwrap();
+        let nc_outcome =
+            outcomes.iter().find(|o| o.request.target == Target::Nc(nc)).unwrap();
+        assert!(matches!(vm_outcome.status, ActionStatus::Discarded { .. }), "{outcomes:?}");
+        assert_eq!(nc_outcome.status, ActionStatus::Executed);
+    }
+
+    #[test]
+    fn evacuation_of_whole_nc() {
+        let mut w = world();
+        let mut p = OperationPlatform::new();
+        let outcomes =
+            p.execute(&mut w, vec![req(ActionKind::LiveMigrate, Target::Nc(0), 0)]);
+        assert_eq!(outcomes[0].status, ActionStatus::Executed);
+        assert!(w.fleet.vms_on(0).is_empty());
+    }
+
+    #[test]
+    fn decommission_fails_on_occupied_nc() {
+        let mut w = world();
+        let mut p = OperationPlatform::new();
+        let outcomes =
+            p.execute(&mut w, vec![req(ActionKind::NcDecommission, Target::Nc(0), 0)]);
+        assert!(matches!(outcomes[0].status, ActionStatus::Failed { .. }));
+    }
+
+    #[test]
+    fn nc_lock_via_vm_target_resolves_host() {
+        let mut w = world();
+        let vm = w.fleet.vms()[0].id;
+        let nc = w.fleet.vm(vm).unwrap().nc;
+        let mut p = OperationPlatform::new();
+        let outcomes = p.execute(&mut w, vec![req(ActionKind::NcLock, Target::Vm(vm), 0)]);
+        assert_eq!(outcomes[0].status, ActionStatus::Executed);
+        assert!(w.fleet.nc(nc).unwrap().locked);
+    }
+
+    #[test]
+    fn ordering_is_priority_then_time() {
+        let mut w = world();
+        let vm = w.fleet.vms()[0].id;
+        let nc = w.fleet.vm(vm).unwrap().nc;
+        let mut p = OperationPlatform::new();
+        let outcomes = p.execute(
+            &mut w,
+            vec![
+                req(ActionKind::RepairRequest, Target::Nc(nc), 0),
+                req(ActionKind::NcLock, Target::Nc(nc), 10),
+            ],
+        );
+        // NcLock (priority 0) ran before RepairRequest (priority 4) despite
+        // the later submission time.
+        assert_eq!(outcomes[0].request.action, ActionKind::NcLock);
+        assert_eq!(outcomes[1].request.action, ActionKind::RepairRequest);
+    }
+
+    #[test]
+    fn migration_fails_when_everything_locked() {
+        let mut w = world();
+        let ncs: Vec<u64> = w.fleet.ncs().iter().map(|n| n.id).collect();
+        for nc in &ncs {
+            w.fleet.lock_nc(*nc).unwrap();
+        }
+        let vm = w.fleet.vms()[0].id;
+        let mut p = OperationPlatform::new();
+        let outcomes =
+            p.execute(&mut w, vec![req(ActionKind::LiveMigrate, Target::Vm(vm), 0)]);
+        assert!(matches!(outcomes[0].status, ActionStatus::Failed { .. }));
+    }
+}

@@ -1,0 +1,139 @@
+//! Operation-platform optimization (Section VIII-C of the paper).
+//!
+//! The CDI's components are reusable *prospectively*: event weights rank
+//! which VM's migration buys the most stability ("the system would give
+//! precedence to the VM with higher event weights, as its migration would
+//! more positively influence overall CDI"), and issue severity selects the
+//! proportionate action ("low-severity issues might result in a ticket
+//! being filed, while high-severity issues could trigger immediate actions
+//! such as VM migration"). The paper designates both as future work; this
+//! module implements them on top of the existing Operation Platform.
+
+use cdi_core::event::{EventSpan, Severity, Target};
+
+use crate::ops::{ActionKind, ActionRequest};
+
+/// Expected CDI relief of acting on a target now: the current max active
+/// weight times the remaining damage time, summed over the target's open
+/// spans after `now`. This is exactly the contribution the spans would add
+/// to the damage integral of Algorithm 1 if left alone.
+pub fn damage_pressure(spans: &[EventSpan], now: i64) -> f64 {
+    // Remaining envelope integral from `now`: reuse the indicator's exact
+    // machinery over a pseudo-period ending at the last span end.
+    let horizon = spans.iter().map(|s| s.end).max().unwrap_or(now);
+    if horizon <= now {
+        return 0.0;
+    }
+    let period = cdi_core::indicator::ServicePeriod::new(now, horizon)
+        .expect("horizon checked above");
+    cdi_core::indicator::envelope_integral(spans, period).unwrap_or(0.0)
+}
+
+/// Order action requests so the targets with the highest remaining damage
+/// pressure execute first (ties keep the submitted order). `spans_of`
+/// supplies each target's currently-active weighted spans.
+pub fn prioritize_by_damage<'a>(
+    mut requests: Vec<ActionRequest>,
+    now: i64,
+    spans_of: impl Fn(&Target) -> &'a [EventSpan],
+) -> Vec<ActionRequest> {
+    // Decorate-sort-undecorate keeps the pressure computation O(n).
+    let mut decorated: Vec<(f64, usize, ActionRequest)> = requests
+        .drain(..)
+        .enumerate()
+        .map(|(i, r)| (damage_pressure(spans_of(&r.target), now), i, r))
+        .collect();
+    decorated.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0).expect("pressures are finite").then(a.1.cmp(&b.1))
+    });
+    decorated.into_iter().map(|(_, _, r)| r).collect()
+}
+
+/// Pick the proportionate action for an issue of the given severity:
+/// warnings file a ticket, errors repair in place, critical issues live
+/// migrate, and fatal issues cold-migrate (the VM is down anyway) and lock
+/// the host.
+pub fn actions_for_severity(severity: Severity) -> Vec<ActionKind> {
+    match severity {
+        Severity::Warning => vec![ActionKind::RepairRequest],
+        Severity::Error => vec![ActionKind::ProcessRepair, ActionKind::RepairRequest],
+        Severity::Critical => vec![ActionKind::LiveMigrate, ActionKind::RepairRequest],
+        Severity::Fatal => {
+            vec![ActionKind::NcLock, ActionKind::ColdMigrate, ActionKind::RepairRequest]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdi_core::event::Category;
+    use cdi_core::time::minutes;
+
+    fn span(s: i64, e: i64, w: f64) -> EventSpan {
+        EventSpan::new("x", Category::Performance, minutes(s), minutes(e), w)
+    }
+
+    fn req(target: Target, time: i64) -> ActionRequest {
+        ActionRequest { action: ActionKind::LiveMigrate, target, rule: "r".into(), time }
+    }
+
+    #[test]
+    fn pressure_is_remaining_weighted_time() {
+        // 10 minutes remaining at weight 0.5 → 5 weight-minutes.
+        let spans = vec![span(0, 20, 0.5)];
+        let p = damage_pressure(&spans, minutes(10));
+        assert!((p - 10.0 * 0.5 * 60_000.0).abs() < 1e-6);
+        // Already-ended spans exert no pressure.
+        assert_eq!(damage_pressure(&spans, minutes(30)), 0.0);
+        assert_eq!(damage_pressure(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn pressure_uses_max_envelope_not_sum() {
+        let spans = vec![span(0, 10, 0.5), span(0, 10, 0.9)];
+        let p = damage_pressure(&spans, 0);
+        assert!((p - 10.0 * 0.9 * 60_000.0).abs() < 1e-6, "overlap takes max: {p}");
+    }
+
+    #[test]
+    fn prioritize_puts_heaviest_damage_first() {
+        let light = vec![span(0, 10, 0.2)];
+        let heavy = vec![span(0, 10, 1.0)];
+        let medium = vec![span(0, 10, 0.5)];
+        let spans_of = |t: &Target| -> &[EventSpan] {
+            match t {
+                Target::Vm(1) => &light,
+                Target::Vm(2) => &heavy,
+                _ => &medium,
+            }
+        };
+        let requests = vec![req(Target::Vm(1), 0), req(Target::Vm(2), 1), req(Target::Vm(3), 2)];
+        let ordered = prioritize_by_damage(requests, 0, spans_of);
+        let targets: Vec<Target> = ordered.iter().map(|r| r.target).collect();
+        assert_eq!(targets, vec![Target::Vm(2), Target::Vm(3), Target::Vm(1)]);
+    }
+
+    #[test]
+    fn prioritize_is_stable_on_ties() {
+        let same = vec![span(0, 10, 0.5)];
+        let spans_of = |_: &Target| -> &[EventSpan] { &same };
+        let requests = vec![req(Target::Vm(9), 0), req(Target::Vm(3), 1), req(Target::Vm(7), 2)];
+        let ordered = prioritize_by_damage(requests, 0, spans_of);
+        let targets: Vec<Target> = ordered.iter().map(|r| r.target).collect();
+        assert_eq!(targets, vec![Target::Vm(9), Target::Vm(3), Target::Vm(7)]);
+    }
+
+    #[test]
+    fn severity_maps_to_proportionate_actions() {
+        assert_eq!(actions_for_severity(Severity::Warning), vec![ActionKind::RepairRequest]);
+        assert!(actions_for_severity(Severity::Critical).contains(&ActionKind::LiveMigrate));
+        let fatal = actions_for_severity(Severity::Fatal);
+        assert!(fatal.contains(&ActionKind::NcLock));
+        assert!(fatal.contains(&ActionKind::ColdMigrate));
+        assert!(
+            !actions_for_severity(Severity::Warning).contains(&ActionKind::LiveMigrate),
+            "warnings never disrupt the VM"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! `nc_down_prediction` (Case 8 / the deep-learning event sources).
+//!
+//! Production uses neural predictors (TAAT, MISP) to flag NCs likely to
+//! fail; their only role in the CDI pipeline is to emit prediction events
+//! that the `nc_down_prediction` rule consumes. This module replaces them
+//! with a transparent logistic scorer over engineered features of the NC's
+//! recent event history — same event interface, tunable precision.
+
+use std::collections::HashMap;
+
+use cdi_core::event::{RawEvent, Severity, Target};
+
+/// Feature weights of the logistic scorer.
+#[derive(Debug, Clone)]
+pub struct NcDownPredictor {
+    /// Weight per event name counted over the lookback window.
+    pub feature_weights: HashMap<String, f64>,
+    /// Intercept (negative: predicting failure needs evidence).
+    pub bias: f64,
+    /// Probability threshold above which a prediction event is emitted.
+    pub threshold: f64,
+    /// Lookback window (ms).
+    pub lookback: i64,
+}
+
+impl Default for NcDownPredictor {
+    fn default() -> Self {
+        let mut w = HashMap::new();
+        // Hardware distress signals weigh heavily; generic performance noise
+        // weighs little.
+        w.insert("nic_flapping".to_string(), 0.8);
+        w.insert("gpu_drop".to_string(), 1.2);
+        w.insert("slow_io".to_string(), 0.15);
+        w.insert("vm_crash".to_string(), 0.9);
+        w.insert("cpu_contention".to_string(), 0.05);
+        NcDownPredictor { feature_weights: w, bias: -3.0, threshold: 0.5, lookback: 3_600_000 }
+    }
+}
+
+impl NcDownPredictor {
+    /// Failure probability of an NC given the fleet's recent events.
+    ///
+    /// Counts events in `[now − lookback, now]` on the NC itself or on the
+    /// given hosted VMs, then applies the logistic function.
+    pub fn score(&self, nc: u64, hosted_vms: &[u64], events: &[RawEvent], now: i64) -> f64 {
+        let mut z = self.bias;
+        for e in events {
+            if e.time > now || e.time < now - self.lookback {
+                continue;
+            }
+            let on_nc = e.target == Target::Nc(nc);
+            let on_vm = matches!(e.target, Target::Vm(v) if hosted_vms.contains(&v));
+            if !(on_nc || on_vm) {
+                continue;
+            }
+            if let Some(w) = self.feature_weights.get(&e.name) {
+                z += w;
+            }
+        }
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Emit a `nc_down_predicted` event if the score crosses the threshold.
+    pub fn predict(
+        &self,
+        nc: u64,
+        hosted_vms: &[u64],
+        events: &[RawEvent],
+        now: i64,
+    ) -> Option<RawEvent> {
+        let p = self.score(nc, hosted_vms, events, now);
+        if p >= self.threshold {
+            Some(RawEvent::new(
+                "nc_down_predicted",
+                now,
+                Target::Nc(nc),
+                self.lookback,
+                Severity::Critical,
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, time: i64, target: Target) -> RawEvent {
+        RawEvent::new(name, time, target, 600_000, Severity::Error)
+    }
+
+    #[test]
+    fn healthy_nc_scores_low() {
+        let p = NcDownPredictor::default();
+        let score = p.score(0, &[1, 2], &[], 1_000_000);
+        assert!(score < 0.1, "score {score}");
+        assert!(p.predict(0, &[1, 2], &[], 1_000_000).is_none());
+    }
+
+    #[test]
+    fn distressed_nc_crosses_threshold() {
+        let p = NcDownPredictor::default();
+        let now = 3_600_000;
+        let events: Vec<RawEvent> = (0..4)
+            .map(|i| ev("nic_flapping", now - i * 60_000, Target::Nc(0)))
+            .chain((0..2).map(|i| ev("vm_crash", now - i * 60_000, Target::Vm(1))))
+            .collect();
+        let score = p.score(0, &[1, 2], &events, now);
+        assert!(score > 0.5, "score {score}");
+        let pred = p.predict(0, &[1, 2], &events, now).expect("prediction fires");
+        assert_eq!(pred.name, "nc_down_predicted");
+        assert_eq!(pred.target, Target::Nc(0));
+    }
+
+    #[test]
+    fn events_outside_lookback_or_scope_ignored() {
+        let p = NcDownPredictor::default();
+        let now = 10 * 3_600_000;
+        let events = vec![
+            // Too old.
+            ev("gpu_drop", now - 2 * p.lookback, Target::Nc(0)),
+            // Wrong NC.
+            ev("gpu_drop", now, Target::Nc(5)),
+            // VM not hosted here.
+            ev("vm_crash", now, Target::Vm(99)),
+            // In the future.
+            ev("gpu_drop", now + 1, Target::Nc(0)),
+        ];
+        let base = p.score(0, &[1], &[], now);
+        assert_eq!(p.score(0, &[1], &events, now), base);
+    }
+
+    #[test]
+    fn score_is_monotone_in_evidence() {
+        let p = NcDownPredictor::default();
+        let now = 3_600_000;
+        let mut events = Vec::new();
+        let mut prev = p.score(0, &[], &events, now);
+        for i in 0..6 {
+            events.push(ev("nic_flapping", now - i * 1000, Target::Nc(0)));
+            let s = p.score(0, &[], &events, now);
+            assert!(s > prev);
+            prev = s;
+        }
+        assert!(prev < 1.0);
+    }
+}

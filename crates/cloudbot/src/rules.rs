@@ -1,0 +1,471 @@
+//! Rule Engine (Section II-D).
+//!
+//! An operation rule pairs a readable boolean expression over event names
+//! with a list of operation actions. When the events concurrently active on
+//! a target satisfy the expression, the rule matches and its actions are
+//! submitted to the Operation Platform.
+//!
+//! Expressions support `&&`, `||`, `!` and parentheses, e.g. the Fig. 1
+//! rules:
+//!
+//! ```text
+//! nic_error_cause_slow_io: slow_io && nic_flapping
+//! nic_error_cause_vm_hang: nic_flapping && vm_hang
+//! ```
+
+use std::collections::HashSet;
+
+use cdi_core::event::{RawEvent, Target};
+
+use crate::ops::{ActionKind, ActionRequest};
+
+/// Boolean expression over event names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// An event name is active.
+    Event(String),
+    /// Both sides hold.
+    And(Box<Expr>, Box<Expr>),
+    /// Either side holds.
+    Or(Box<Expr>, Box<Expr>),
+    /// The inner expression does not hold.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluate against the set of active event names.
+    pub fn eval(&self, active: &HashSet<&str>) -> bool {
+        match self {
+            Expr::Event(name) => active.contains(name.as_str()),
+            Expr::And(a, b) => a.eval(active) && b.eval(active),
+            Expr::Or(a, b) => a.eval(active) || b.eval(active),
+            Expr::Not(e) => !e.eval(active),
+        }
+    }
+
+    /// Parse an expression like `slow_io && (nic_flapping || !vm_hang)`.
+    pub fn parse(input: &str) -> Result<Expr, String> {
+        let tokens = tokenize(input)?;
+        let mut parser = Parser { tokens, pos: 0 };
+        let expr = parser.parse_or()?;
+        if parser.pos != parser.tokens.len() {
+            return Err(format!(
+                "unexpected trailing tokens at position {} in '{input}'",
+                parser.pos
+            ));
+        }
+        Ok(expr)
+    }
+}
+
+impl std::fmt::Display for Expr {
+    /// Render with minimal parentheses; `Expr::parse` inverts this exactly
+    /// (a property test asserts the round trip).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Precedence: Or(0) < And(1) < Not(2) < Event(3). Children print
+        // parenthesized when their precedence is below the context's.
+        fn go(e: &Expr, ctx_prec: u8, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            let prec = match e {
+                Expr::Or(..) => 0,
+                Expr::And(..) => 1,
+                Expr::Not(..) => 2,
+                Expr::Event(..) => 3,
+            };
+            let need_parens = prec < ctx_prec;
+            if need_parens {
+                f.write_str("(")?;
+            }
+            match e {
+                Expr::Event(name) => f.write_str(name)?,
+                Expr::Or(a, b) => {
+                    go(a, 0, f)?;
+                    f.write_str(" || ")?;
+                    // Right child needs parens at equal precedence to keep
+                    // the parser's left-associative shape.
+                    go(b, 1, f)?;
+                }
+                Expr::And(a, b) => {
+                    go(a, 1, f)?;
+                    f.write_str(" && ")?;
+                    go(b, 2, f)?;
+                }
+                Expr::Not(inner) => {
+                    f.write_str("!")?;
+                    go(inner, 2, f)?;
+                }
+            }
+            if need_parens {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        go(self, 0, f)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Name(String),
+    And,
+    Or,
+    Not,
+    Open,
+    Close,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, String> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::Open);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::Close);
+            }
+            '!' => {
+                chars.next();
+                out.push(Token::Not);
+            }
+            '&' => {
+                chars.next();
+                if chars.next() != Some('&') {
+                    return Err("expected '&&'".into());
+                }
+                out.push(Token::And);
+            }
+            '|' => {
+                chars.next();
+                if chars.next() != Some('|') {
+                    return Err("expected '||'".into());
+                }
+                out.push(Token::Or);
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Name(name));
+            }
+            other => return Err(format!("unexpected character '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, String> {
+        let mut left = self.parse_and()?;
+        while self.peek() == Some(&Token::Or) {
+            self.pos += 1;
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, String> {
+        let mut left = self.parse_unary()?;
+        while self.peek() == Some(&Token::And) {
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, String> {
+        match self.peek() {
+            Some(Token::Not) => {
+                self.pos += 1;
+                Ok(Expr::Not(Box::new(self.parse_unary()?)))
+            }
+            Some(Token::Open) => {
+                self.pos += 1;
+                let inner = self.parse_or()?;
+                if self.peek() != Some(&Token::Close) {
+                    return Err("missing ')'".into());
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some(Token::Name(_)) => {
+                let Some(Token::Name(name)) = self.tokens.get(self.pos).cloned() else {
+                    unreachable!()
+                };
+                self.pos += 1;
+                Ok(Expr::Event(name))
+            }
+            other => Err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+/// An operation rule: expression + actions (Section II-D).
+#[derive(Debug, Clone)]
+pub struct OperationRule {
+    /// Rule name, e.g. `nic_error_cause_slow_io`.
+    pub name: String,
+    /// Matching expression over event names.
+    pub expr: Expr,
+    /// Actions submitted when the rule matches.
+    pub actions: Vec<ActionKind>,
+}
+
+impl OperationRule {
+    /// Parse-and-build convenience.
+    pub fn new(name: &str, expression: &str, actions: Vec<ActionKind>) -> Result<Self, String> {
+        Ok(OperationRule { name: name.to_string(), expr: Expr::parse(expression)?, actions })
+    }
+}
+
+/// One rule match on one target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleMatch {
+    /// Name of the matched rule.
+    pub rule: String,
+    /// Target whose active events satisfied the expression.
+    pub target: Target,
+    /// Evaluation time.
+    pub time: i64,
+}
+
+/// The Rule Engine: evaluates every rule against each target's currently
+/// active (non-expired) events.
+#[derive(Debug, Clone, Default)]
+pub struct RuleEngine {
+    rules: Vec<OperationRule>,
+}
+
+impl RuleEngine {
+    /// Engine with no rules.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The production rule set used in the examples: the two NIC rules of
+    /// Fig. 1 plus Case 8's `nc_down_prediction`.
+    pub fn paper_rules() -> Self {
+        let mut e = RuleEngine::new();
+        e.add(
+            OperationRule::new(
+                "nic_error_cause_slow_io",
+                "slow_io && nic_flapping",
+                vec![ActionKind::LiveMigrate, ActionKind::RepairRequest, ActionKind::NcLock],
+            )
+            .expect("static rule parses"),
+        );
+        e.add(
+            OperationRule::new(
+                "nic_error_cause_vm_hang",
+                "nic_flapping && vm_hang",
+                vec![ActionKind::ColdMigrate, ActionKind::RepairRequest, ActionKind::NcLock],
+            )
+            .expect("static rule parses"),
+        );
+        e.add(
+            OperationRule::new(
+                "nc_down_prediction",
+                "nc_down_predicted",
+                vec![ActionKind::LiveMigrate, ActionKind::NcLock],
+            )
+            .expect("static rule parses"),
+        );
+        e
+    }
+
+    /// Add a rule.
+    pub fn add(&mut self, rule: OperationRule) {
+        self.rules.push(rule);
+    }
+
+    /// Registered rules.
+    pub fn rules(&self) -> &[OperationRule] {
+        &self.rules
+    }
+
+    /// Evaluate all rules at time `now` over a batch of events.
+    ///
+    /// An event is *active* if extracted at or before `now` and not yet
+    /// expired (`time + expire_interval > now`). Events are grouped per
+    /// target; NC-scoped events also activate for the VMs the caller maps
+    /// to that NC via `nc_events_apply_to_vms` pairs `(nc_target,
+    /// vm_target)`.
+    pub fn evaluate(
+        &self,
+        events: &[RawEvent],
+        now: i64,
+        nc_to_vms: &[(Target, Target)],
+    ) -> Vec<RuleMatch> {
+        use std::collections::HashMap;
+        let mut active: HashMap<Target, HashSet<&str>> = HashMap::new();
+        for e in events {
+            if e.time <= now && e.expires_at() > now {
+                active.entry(e.target).or_default().insert(e.name.as_str());
+            }
+        }
+        // Propagate NC events onto their VMs (an NC's nic_flapping is the
+        // VM's problem too — Fig. 1 matches them jointly).
+        for (nc, vm) in nc_to_vms {
+            if let Some(nc_events) = active.get(nc).cloned() {
+                active.entry(*vm).or_default().extend(nc_events);
+            }
+        }
+        let mut out = Vec::new();
+        for (target, names) in &active {
+            for rule in &self.rules {
+                if rule.expr.eval(names) {
+                    out.push(RuleMatch { rule: rule.name.clone(), target: *target, time: now });
+                }
+            }
+        }
+        out.sort_by(|a, b| (a.target, &a.rule).cmp(&(b.target, &b.rule)));
+        out
+    }
+
+    /// Expand matches into action requests (one per action of each matched
+    /// rule), preserving rule order.
+    pub fn action_requests(&self, matches: &[RuleMatch]) -> Vec<ActionRequest> {
+        let mut out = Vec::new();
+        for m in matches {
+            if let Some(rule) = self.rules.iter().find(|r| r.name == m.rule) {
+                for &action in &rule.actions {
+                    out.push(ActionRequest {
+                        action,
+                        target: m.target,
+                        rule: m.rule.clone(),
+                        time: m.time,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdi_core::event::Severity;
+
+    fn active(names: &[&'static str]) -> HashSet<&'static str> {
+        names.iter().copied().collect()
+    }
+
+    #[test]
+    fn parser_handles_precedence_and_parens() {
+        // && binds tighter than ||.
+        let e = Expr::parse("a || b && c").unwrap();
+        assert!(e.eval(&active(&["a"])));
+        assert!(e.eval(&active(&["b", "c"])));
+        assert!(!e.eval(&active(&["b"])));
+        let e = Expr::parse("(a || b) && c").unwrap();
+        assert!(!e.eval(&active(&["a"])));
+        assert!(e.eval(&active(&["a", "c"])));
+    }
+
+    #[test]
+    fn parser_handles_negation() {
+        let e = Expr::parse("slow_io && !vm_hang").unwrap();
+        assert!(e.eval(&active(&["slow_io"])));
+        assert!(!e.eval(&active(&["slow_io", "vm_hang"])));
+        let e = Expr::parse("!!a").unwrap();
+        assert!(e.eval(&active(&["a"])));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(Expr::parse("").is_err());
+        assert!(Expr::parse("a &&").is_err());
+        assert!(Expr::parse("a & b").is_err());
+        assert!(Expr::parse("(a").is_err());
+        assert!(Expr::parse("a b").is_err());
+        assert!(Expr::parse("a @ b").is_err());
+    }
+
+    #[test]
+    fn fig1_rule_matching() {
+        // The paper's Fig. 1: slow_io + nic_flapping matches the slow-io
+        // rule; without vm_hang the hang rule must NOT match.
+        let engine = RuleEngine::paper_rules();
+        let now = 17 * 60_000;
+        let events = vec![
+            RawEvent::new("slow_io", now - 60_000, Target::Vm(1), 10 * 60_000, Severity::Critical),
+            RawEvent::new("nic_flapping", now - 32_000, Target::Nc(0), 10 * 60_000, Severity::Error),
+        ];
+        let matches =
+            engine.evaluate(&events, now, &[(Target::Nc(0), Target::Vm(1))]);
+        let names: Vec<&str> = matches.iter().map(|m| m.rule.as_str()).collect();
+        assert!(names.contains(&"nic_error_cause_slow_io"), "{names:?}");
+        assert!(!names.contains(&"nic_error_cause_vm_hang"), "{names:?}");
+    }
+
+    #[test]
+    fn expired_events_do_not_match() {
+        let engine = RuleEngine::paper_rules();
+        let events = vec![
+            RawEvent::new("slow_io", 0, Target::Vm(1), 60_000, Severity::Critical),
+            RawEvent::new("nic_flapping", 0, Target::Vm(1), 60_000, Severity::Error),
+        ];
+        assert_eq!(engine.evaluate(&events, 30_000, &[]).len(), 1);
+        assert!(engine.evaluate(&events, 120_000, &[]).is_empty(), "expired at 60s");
+    }
+
+    #[test]
+    fn future_events_do_not_match() {
+        let engine = RuleEngine::paper_rules();
+        let events = vec![
+            RawEvent::new("slow_io", 100_000, Target::Vm(1), 60_000, Severity::Critical),
+            RawEvent::new("nic_flapping", 100_000, Target::Vm(1), 60_000, Severity::Error),
+        ];
+        assert!(engine.evaluate(&events, 50_000, &[]).is_empty());
+    }
+
+    #[test]
+    fn matches_expand_to_action_requests() {
+        let engine = RuleEngine::paper_rules();
+        let m = RuleMatch {
+            rule: "nic_error_cause_slow_io".into(),
+            target: Target::Vm(1),
+            time: 0,
+        };
+        let reqs = engine.action_requests(&[m]);
+        assert_eq!(reqs.len(), 3);
+        assert_eq!(reqs[0].action, ActionKind::LiveMigrate);
+        assert_eq!(reqs[1].action, ActionKind::RepairRequest);
+        assert_eq!(reqs[2].action, ActionKind::NcLock);
+        assert!(reqs.iter().all(|r| r.target == Target::Vm(1)));
+    }
+
+    #[test]
+    fn per_target_isolation() {
+        // slow_io on VM 1, nic_flapping on VM 2: no rule matches anywhere.
+        let engine = RuleEngine::paper_rules();
+        let events = vec![
+            RawEvent::new("slow_io", 0, Target::Vm(1), 60_000, Severity::Critical),
+            RawEvent::new("nic_flapping", 0, Target::Vm(2), 60_000, Severity::Error),
+        ];
+        assert!(engine.evaluate(&events, 30_000, &[]).is_empty());
+    }
+}

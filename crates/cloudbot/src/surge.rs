@@ -1,0 +1,223 @@
+//! Event-surge alerting (Section II-F-2).
+//!
+//! Missing operations are rare but real; the paper's guard is an alert
+//! mechanism for "the unexpected surge in events and the potential batch of
+//! missing operations it may trigger": if an event's volume jumps far above
+//! its own history **and** the surge spans multiple customers' targets,
+//! engineers are paged immediately rather than waiting for rule matches.
+
+use std::collections::{HashMap, HashSet};
+
+use cdi_core::event::{RawEvent, Target};
+
+/// One raised surge alert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurgeAlert {
+    /// The surging event name.
+    pub event_name: String,
+    /// Start of the surging window (ms).
+    pub window_start: i64,
+    /// Events observed in the window.
+    pub count: usize,
+    /// The historical per-window baseline (median of prior windows).
+    pub baseline: f64,
+    /// Distinct targets the surge touches.
+    pub distinct_targets: usize,
+    /// Whether the paper's escalation criterion is met (multi-customer
+    /// impact ⇒ immediate engineer intervention).
+    pub page_engineers: bool,
+}
+
+/// Surge-detection configuration.
+#[derive(Debug, Clone)]
+pub struct SurgeConfig {
+    /// Bucketing window (ms).
+    pub window_ms: i64,
+    /// Alarm when `count > factor × median(history)`.
+    pub factor: f64,
+    /// Ignore windows below this absolute count (tiny numbers aren't
+    /// surges no matter the ratio).
+    pub min_count: usize,
+    /// Windows of history required before the detector arms.
+    pub min_history: usize,
+    /// Page engineers when at least this many distinct targets are hit.
+    pub page_target_threshold: usize,
+    /// Event names excluded from surge detection because their volume is
+    /// expected to be periodic (e.g. the TDP inspection fires on every NC
+    /// during the daily load peak — a "surge" by construction).
+    pub excluded: Vec<&'static str>,
+}
+
+impl Default for SurgeConfig {
+    fn default() -> Self {
+        SurgeConfig {
+            window_ms: 10 * 60_000,
+            factor: 5.0,
+            min_count: 10,
+            min_history: 6,
+            page_target_threshold: 3,
+            excluded: vec!["inspect_cpu_power_tdp"],
+        }
+    }
+}
+
+/// Scan a time-ordered event batch for surges over `[start, end)`.
+///
+/// Per event name, window counts are compared against the median of all
+/// *previous* windows (including empty ones), so a normally-quiet event
+/// that explodes is caught even on its first bad window.
+pub fn scan(events: &[RawEvent], start: i64, end: i64, config: &SurgeConfig) -> Vec<SurgeAlert> {
+    assert!(config.window_ms > 0, "window must be positive");
+    let n_windows = ((end - start + config.window_ms - 1) / config.window_ms).max(0) as usize;
+    // (name) → per-window (count, targets)
+    let mut per_name: HashMap<&str, Vec<(usize, HashSet<Target>)>> = HashMap::new();
+    for e in events {
+        if e.time < start || e.time >= end {
+            continue;
+        }
+        if config.excluded.iter().any(|x| *x == e.name) {
+            continue;
+        }
+        let w = ((e.time - start) / config.window_ms) as usize;
+        let windows = per_name
+            .entry(e.name.as_str())
+            .or_insert_with(|| vec![(0, HashSet::new()); n_windows]);
+        windows[w].0 += 1;
+        windows[w].1.insert(e.target);
+    }
+
+    let mut alerts = Vec::new();
+    for (name, windows) in per_name {
+        let mut history: Vec<f64> = Vec::with_capacity(n_windows);
+        for (w, (count, targets)) in windows.iter().enumerate() {
+            if history.len() >= config.min_history && *count >= config.min_count {
+                let baseline = median(&history);
+                if *count as f64 > config.factor * baseline.max(1.0) {
+                    alerts.push(SurgeAlert {
+                        event_name: name.to_string(),
+                        window_start: start + w as i64 * config.window_ms,
+                        count: *count,
+                        baseline,
+                        distinct_targets: targets.len(),
+                        page_engineers: targets.len() >= config.page_target_threshold,
+                    });
+                }
+            }
+            history.push(*count as f64);
+        }
+    }
+    alerts.sort_by(|a, b| (a.window_start, &a.event_name).cmp(&(b.window_start, &b.event_name)));
+    alerts
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
+    let n = sorted.len();
+    if n.is_multiple_of(2) {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    } else {
+        sorted[n / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdi_core::event::Severity;
+
+    const MIN: i64 = 60_000;
+
+    fn ev(name: &str, time: i64, vm: u64) -> RawEvent {
+        RawEvent::new(name, time, Target::Vm(vm), 10 * MIN, Severity::Error)
+    }
+
+    /// Steady trickle for 2 hours, then a burst across many VMs.
+    fn corpus_with_surge() -> Vec<RawEvent> {
+        let mut events = Vec::new();
+        // Baseline: 2 slow_io per 10-min window, single VM.
+        for w in 0..12 {
+            events.push(ev("slow_io", w * 10 * MIN, 1));
+            events.push(ev("slow_io", w * 10 * MIN + 5 * MIN, 2));
+        }
+        // Window 12: 40 events across 10 VMs.
+        for i in 0..40u64 {
+            events.push(ev("slow_io", 120 * MIN + (i as i64 % 10) * MIN, i % 10));
+        }
+        events
+    }
+
+    #[test]
+    fn detects_multi_customer_surge_and_pages() {
+        let events = corpus_with_surge();
+        let alerts = scan(&events, 0, 130 * MIN, &SurgeConfig::default());
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        let a = &alerts[0];
+        assert_eq!(a.event_name, "slow_io");
+        assert_eq!(a.window_start, 120 * MIN);
+        assert_eq!(a.count, 40);
+        assert!((a.baseline - 2.0).abs() < 1e-9);
+        assert_eq!(a.distinct_targets, 10);
+        assert!(a.page_engineers);
+    }
+
+    #[test]
+    fn single_customer_surge_does_not_page() {
+        let mut events = Vec::new();
+        for w in 0..12 {
+            events.push(ev("packet_loss", w * 10 * MIN, 1));
+            events.push(ev("packet_loss", w * 10 * MIN + MIN, 1));
+        }
+        // The burst hits only VM 1 — likely that customer's own workload.
+        for i in 0..40 {
+            events.push(ev("packet_loss", 120 * MIN + (i % 10) * MIN, 1));
+        }
+        let alerts = scan(&events, 0, 130 * MIN, &SurgeConfig::default());
+        assert_eq!(alerts.len(), 1);
+        assert!(!alerts[0].page_engineers, "single-target surge stays unescalated");
+    }
+
+    #[test]
+    fn steady_volume_never_alarms() {
+        let mut events = Vec::new();
+        for w in 0..24 {
+            for vm in 0..15 {
+                events.push(ev("slow_io", w * 10 * MIN + vm as i64, vm));
+            }
+        }
+        assert!(scan(&events, 0, 240 * MIN, &SurgeConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn detector_stays_quiet_during_warmup() {
+        let mut events = Vec::new();
+        // Burst in window 2 — before min_history windows accumulate.
+        for i in 0..50 {
+            events.push(ev("slow_io", 20 * MIN + (i % 10) * MIN, i as u64 % 8));
+        }
+        assert!(scan(&events, 0, 40 * MIN, &SurgeConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn tiny_absolute_counts_ignored() {
+        let mut events = Vec::new();
+        // Baseline of zero, then 5 events: a big ratio but a tiny count.
+        for i in 0..5 {
+            events.push(ev("gpu_drop", 120 * MIN + i * MIN, i as u64));
+        }
+        assert!(scan(&events, 0, 130 * MIN, &SurgeConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn quiet_event_exploding_from_zero_is_caught() {
+        let mut events = Vec::new();
+        // Nothing for 2 hours, then 30 events across 6 VMs.
+        for i in 0..30 {
+            events.push(ev("vm_start_failed", 120 * MIN + (i % 10) * MIN, i as u64 % 6));
+        }
+        let alerts = scan(&events, 0, 130 * MIN, &SurgeConfig::default());
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].baseline, 0.0);
+        assert!(alerts[0].page_engineers);
+    }
+}

@@ -1,0 +1,214 @@
+//! Ticket classification (the PAI model stand-in).
+//!
+//! Production uses a classification model on Platform For AI to bucket
+//! support tickets (Section V); its two roles in the CDI pipeline are
+//! (1) the stability-issue distribution of Fig. 2 and (2) the per-event
+//! ticket counts behind the customer weights of Eq. 2. A transparent
+//! keyword scorer over the synthetic corpus drives the same outputs.
+
+use std::collections::HashMap;
+
+use cdi_core::event::Category;
+use simfleet::tickets::Ticket;
+
+/// Keyword weights per category. The scorer sums the weights of matched
+/// keywords and picks the argmax (ties go to Performance, the most common
+/// class).
+#[derive(Debug, Clone)]
+pub struct TicketClassifier {
+    unavailability: Vec<(&'static str, f64)>,
+    performance: Vec<(&'static str, f64)>,
+    control_plane: Vec<(&'static str, f64)>,
+}
+
+impl Default for TicketClassifier {
+    fn default() -> Self {
+        TicketClassifier {
+            unavailability: vec![
+                ("down", 2.0),
+                ("unreachable", 2.0),
+                ("crash", 2.0),
+                ("ssh times out", 1.5),
+                ("offline", 1.5),
+            ],
+            performance: vec![
+                ("latency", 2.0),
+                ("slow", 2.0),
+                ("packet loss", 2.0),
+                ("degraded", 1.5),
+                ("timeout", 0.5),
+            ],
+            control_plane: vec![
+                ("console", 2.0),
+                ("api call fails", 2.5),
+                ("cannot stop", 1.5),
+                ("cannot start", 1.5),
+                ("resize", 1.5),
+                ("release", 1.0),
+            ],
+        }
+    }
+}
+
+impl TicketClassifier {
+    /// Classify a ticket's text.
+    pub fn classify(&self, text: &str) -> Category {
+        let lower = text.to_lowercase();
+        let score = |kws: &[(&str, f64)]| -> f64 {
+            kws.iter().filter(|(k, _)| lower.contains(k)).map(|(_, w)| w).sum()
+        };
+        let u = score(&self.unavailability);
+        let p = score(&self.performance);
+        let c = score(&self.control_plane);
+        if u > p && u > c {
+            Category::Unavailability
+        } else if c > p && c > u {
+            Category::ControlPlane
+        } else {
+            Category::Performance
+        }
+    }
+
+    /// Classify a corpus and return counts per category — the Fig. 2
+    /// distribution.
+    pub fn distribution(&self, tickets: &[Ticket]) -> HashMap<Category, usize> {
+        let mut out = HashMap::new();
+        for t in tickets {
+            *out.entry(self.classify(&t.text)).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Accuracy against the corpus ground truth (for scoring the
+    /// classifier, not used by the pipeline).
+    pub fn accuracy(&self, tickets: &[Ticket]) -> f64 {
+        if tickets.is_empty() {
+            return 0.0;
+        }
+        let correct = tickets
+            .iter()
+            .filter(|t| {
+                let truth = match t.truth {
+                    simfleet::faults::DamageCategory::Unavailability => Category::Unavailability,
+                    simfleet::faults::DamageCategory::Performance => Category::Performance,
+                    simfleet::faults::DamageCategory::ControlPlane => Category::ControlPlane,
+                };
+                self.classify(&t.text) == truth
+            })
+            .count();
+        correct as f64 / tickets.len() as f64
+    }
+}
+
+/// Per-event-name ticket counts (the input to Eq. 2's customer weights).
+///
+/// Production correlates tickets with the events active on the customer's
+/// VM around filing time; the simulator records the originating fault, and
+/// the fault-name → event-name correlation below mirrors what that
+/// correlation step would conclude.
+pub fn ticket_counts_per_event(tickets: &[Ticket]) -> HashMap<String, u64> {
+    let mut out: HashMap<String, u64> = HashMap::new();
+    for t in tickets {
+        let event = match t.fault_name {
+            "vm_down" | "nc_down" => "vm_crash",
+            "slow_io" => "slow_io",
+            "packet_loss" => "packet_loss",
+            "nic_flapping" => "nic_flapping",
+            "cpu_contention" => "cpu_contention",
+            "gpu_drop" => "gpu_drop",
+            "scheduler_data_corruption" => "vm_allocation_failed",
+            "ddos_blackhole" => "ddos_blackhole",
+            "control_plane_outage" => "api_error",
+            "power_zero_bug" => "inspect_cpu_power_tdp",
+            other => other,
+        };
+        *out.entry(event.to_string()).or_insert(0) += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simfleet::faults::DamageCategory;
+
+    fn ticket(text: &str, truth: DamageCategory, fault: &'static str) -> Ticket {
+        Ticket { time: 0, vm: 1, text: text.into(), truth, fault_name: fault }
+    }
+
+    #[test]
+    fn classifies_category_phrasings() {
+        let c = TicketClassifier::default();
+        assert_eq!(
+            c.classify("our instance vm-3 is down and unreachable, ssh times out"),
+            Category::Unavailability
+        );
+        assert_eq!(
+            c.classify("api latency on vm-3 increased sharply, disk io is very slow"),
+            Category::Performance
+        );
+        assert_eq!(
+            c.classify("cannot stop or resize vm-3 from the console, the api call fails"),
+            Category::ControlPlane
+        );
+    }
+
+    #[test]
+    fn ambiguous_text_defaults_to_performance() {
+        let c = TicketClassifier::default();
+        assert_eq!(c.classify("something odd with my instance"), Category::Performance);
+    }
+
+    #[test]
+    fn distribution_counts() {
+        let c = TicketClassifier::default();
+        let corpus = vec![
+            ticket("the vm is down", DamageCategory::Unavailability, "vm_down"),
+            ticket("io is slow", DamageCategory::Performance, "slow_io"),
+            ticket("io is slow again", DamageCategory::Performance, "slow_io"),
+            ticket("console broken, the api call fails", DamageCategory::ControlPlane, "control_plane_outage"),
+        ];
+        let d = c.distribution(&corpus);
+        assert_eq!(d[&Category::Unavailability], 1);
+        assert_eq!(d[&Category::Performance], 2);
+        assert_eq!(d[&Category::ControlPlane], 1);
+    }
+
+    #[test]
+    fn accuracy_on_canonical_corpus_is_high() {
+        let c = TicketClassifier::default();
+        let corpus = vec![
+            ticket(
+                "our instance vm-1 is down and unreachable, ssh times out",
+                DamageCategory::Unavailability,
+                "vm_down",
+            ),
+            ticket(
+                "api latency on vm-2 increased sharply, disk io is very slow",
+                DamageCategory::Performance,
+                "slow_io",
+            ),
+            ticket(
+                "cannot stop or resize vm-3 from the console, the api call fails",
+                DamageCategory::ControlPlane,
+                "control_plane_outage",
+            ),
+        ];
+        assert_eq!(c.accuracy(&corpus), 1.0);
+        assert_eq!(c.accuracy(&[]), 0.0);
+    }
+
+    #[test]
+    fn ticket_counts_map_faults_to_events() {
+        let corpus = vec![
+            ticket("down", DamageCategory::Unavailability, "vm_down"),
+            ticket("down", DamageCategory::Unavailability, "nc_down"),
+            ticket("slow", DamageCategory::Performance, "slow_io"),
+            ticket("console", DamageCategory::ControlPlane, "control_plane_outage"),
+        ];
+        let counts = ticket_counts_per_event(&corpus);
+        assert_eq!(counts["vm_crash"], 2);
+        assert_eq!(counts["slow_io"], 1);
+        assert_eq!(counts["api_error"], 1);
+    }
+}

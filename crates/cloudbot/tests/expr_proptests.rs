@@ -1,0 +1,70 @@
+//! Property tests for the rule-expression language: display/parse round
+//! trip and evaluation laws.
+
+use std::collections::HashSet;
+
+use cloudbot::rules::Expr;
+use proptest::prelude::*;
+
+/// Random expression trees over a small event vocabulary.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop::sample::select(vec!["slow_io", "nic_flapping", "vm_hang", "packet_loss"])
+        .prop_map(|n| Expr::Event(n.to_string()));
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+/// Random active-event subsets.
+fn active_strategy() -> impl Strategy<Value = Vec<&'static str>> {
+    prop::collection::vec(
+        prop::sample::select(vec!["slow_io", "nic_flapping", "vm_hang", "packet_loss"]),
+        0..4,
+    )
+}
+
+proptest! {
+    /// parse(display(e)) reproduces the exact tree.
+    #[test]
+    fn display_parse_round_trip(e in expr_strategy()) {
+        let rendered = e.to_string();
+        let reparsed = Expr::parse(&rendered)
+            .unwrap_or_else(|err| panic!("'{rendered}' failed to parse: {err}"));
+        prop_assert_eq!(reparsed, e);
+    }
+
+    /// Double negation is semantically identity.
+    #[test]
+    fn double_negation_law(e in expr_strategy(), active in active_strategy()) {
+        let set: HashSet<&str> = active.into_iter().collect();
+        let double = Expr::Not(Box::new(Expr::Not(Box::new(e.clone()))));
+        prop_assert_eq!(e.eval(&set), double.eval(&set));
+    }
+
+    /// De Morgan: !(a && b) == !a || !b on every assignment.
+    #[test]
+    fn de_morgan_law(a in expr_strategy(), b in expr_strategy(), active in active_strategy()) {
+        let set: HashSet<&str> = active.into_iter().collect();
+        let lhs = Expr::Not(Box::new(Expr::And(Box::new(a.clone()), Box::new(b.clone()))));
+        let rhs = Expr::Or(
+            Box::new(Expr::Not(Box::new(a))),
+            Box::new(Expr::Not(Box::new(b))),
+        );
+        prop_assert_eq!(lhs.eval(&set), rhs.eval(&set));
+    }
+
+    /// Rendering never produces adjacent identifier tokens (a fuzz guard
+    /// for the printer's spacing).
+    #[test]
+    fn rendering_reparses_to_same_string(e in expr_strategy()) {
+        let once = e.to_string();
+        let twice = Expr::parse(&once).unwrap().to_string();
+        prop_assert_eq!(once, twice);
+    }
+}

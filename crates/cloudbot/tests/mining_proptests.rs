@@ -1,0 +1,77 @@
+//! Property test: FP-growth must agree exactly with brute-force subset
+//! counting on arbitrary small corpora.
+
+use cloudbot::mining::{fp_growth, transactions_from_events};
+use proptest::prelude::*;
+
+const VOCAB: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
+    prop::collection::vec(
+        prop::collection::btree_set(prop::sample::select(VOCAB.to_vec()), 1..5)
+            .prop_map(|set| set.into_iter().map(str::to_string).collect::<Vec<_>>()),
+        0..25,
+    )
+}
+
+proptest! {
+    #[test]
+    fn fp_growth_equals_brute_force(corpus in corpus_strategy(), min_support in 1usize..5) {
+        let mined = fp_growth(&corpus, min_support);
+        let count = |items: &[String]| {
+            corpus.iter().filter(|t| items.iter().all(|i| t.contains(i))).count()
+        };
+        // Soundness: every mined itemset has the exact support claimed.
+        for set in &mined {
+            prop_assert_eq!(count(&set.items), set.support, "itemset {:?}", &set.items);
+            prop_assert!(set.support >= min_support);
+        }
+        // Completeness: every frequent subset of the vocabulary is mined.
+        for mask in 1u32..(1 << VOCAB.len()) {
+            let items: Vec<String> = VOCAB
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, n)| n.to_string())
+                .collect();
+            let sup = count(&items);
+            let found = mined.iter().any(|s| s.items == items);
+            prop_assert_eq!(found, sup >= min_support, "itemset {:?} support {}", items, sup);
+        }
+        // No duplicates.
+        let mut keys: Vec<&[String]> = mined.iter().map(|s| s.items.as_slice()).collect();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), mined.len());
+    }
+
+    /// Transactions are invariant to event ordering and duplication.
+    #[test]
+    fn transactions_invariant_to_event_order(
+        times in prop::collection::vec(0i64..100_000, 1..20),
+        shuffle_seed in 0u64..1000
+    ) {
+        use cdi_core::event::{RawEvent, Severity, Target};
+        let mk = |t: i64| {
+            RawEvent::new(
+                VOCAB[(t % 5) as usize],
+                t,
+                Target::Vm((t % 3) as u64),
+                60_000,
+                Severity::Error,
+            )
+        };
+        let events: Vec<RawEvent> = times.iter().map(|&t| mk(t)).collect();
+        let mut shuffled = events.clone();
+        // Deterministic pseudo-shuffle.
+        let n = shuffled.len();
+        for i in 0..n {
+            let j = ((shuffle_seed as usize).wrapping_mul(31).wrapping_add(i * 7)) % n;
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(
+            transactions_from_events(&events, 10_000),
+            transactions_from_events(&shuffled, 10_000)
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! The Business-Intelligence layer: aggregation queries with dimension
+//! drill-down over [`Table`]s.
+//!
+//! The paper visualizes CDI on an internal BI system that "aggregates the
+//! CDI across diverse dimensions in accordance with Formula 4" — global, per
+//! region, per availability zone, down to cluster level (Section V). The
+//! query builder here reproduces that: filters, group-by over categorical
+//! columns, and aggregates including the service-time-weighted mean that
+//! *is* Formula 4.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Result, SparkError};
+use crate::store::{ColumnType, Row, Schema, Table, Value};
+
+/// Aggregate functions supported by the BI layer.
+#[derive(Debug, Clone)]
+pub enum Aggregate {
+    /// Row count (Int output).
+    Count,
+    /// Sum of a numeric column (Float output).
+    Sum(String),
+    /// Unweighted mean of a numeric column (Float output).
+    Mean(String),
+    /// Minimum of a numeric column (Float output).
+    Min(String),
+    /// Maximum of a numeric column (Float output).
+    Max(String),
+    /// `Σ weight·value / Σ weight` — Formula 4 of the paper when `value` is
+    /// a per-VM CDI and `weight` its service time (Float output).
+    WeightedMean {
+        /// Column holding the values (`Q_i`).
+        value: String,
+        /// Column holding the weights (`T_i`).
+        weight: String,
+    },
+}
+
+/// Group-by keys are categorical: Int or Str (grouping on floats is
+/// rejected).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum GroupKey {
+    Int(i64),
+    Str(String),
+}
+
+/// A drill-down aggregation query.
+#[derive(Default)]
+pub struct Query {
+    #[allow(clippy::type_complexity)]
+    filters: Vec<(String, Box<dyn Fn(&Value) -> bool + Send + Sync>)>,
+    group_by: Vec<String>,
+    aggregates: Vec<(String, Aggregate)>,
+}
+
+impl Query {
+    /// Empty query (no filters, no grouping, no aggregates).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Keep only rows where `column` equals `value`.
+    pub fn filter_eq(self, column: &str, value: Value) -> Self {
+        self.filter(column, move |v| *v == value)
+    }
+
+    /// Keep only rows where `column` satisfies the predicate.
+    pub fn filter(
+        mut self,
+        column: &str,
+        pred: impl Fn(&Value) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.filters.push((column.to_string(), Box::new(pred)));
+        self
+    }
+
+    /// Add a grouping dimension (order defines the output key order).
+    pub fn group_by(mut self, column: &str) -> Self {
+        self.group_by.push(column.to_string());
+        self
+    }
+
+    /// Add an aggregate, named `output` in the result schema.
+    pub fn aggregate(mut self, output: &str, agg: Aggregate) -> Self {
+        self.aggregates.push((output.to_string(), agg));
+        self
+    }
+
+    /// Execute against a table. Without `group_by` the result is one global
+    /// row; with it, one row per distinct key combination (sorted).
+    pub fn run(&self, table: &Table) -> Result<Table> {
+        if self.aggregates.is_empty() {
+            return Err(SparkError::invalid("query needs at least one aggregate"));
+        }
+        // Resolve all column indices up front.
+        let filter_idx: Vec<usize> = self
+            .filters
+            .iter()
+            .map(|(c, _)| table.schema().index_of(c))
+            .collect::<Result<_>>()?;
+        let group_idx: Vec<usize> = self
+            .group_by
+            .iter()
+            .map(|c| table.schema().index_of(c))
+            .collect::<Result<_>>()?;
+        for (c, i) in self.group_by.iter().zip(&group_idx) {
+            if table.schema().field(*i).1 == ColumnType::Float {
+                return Err(SparkError::schema(format!(
+                    "cannot group by float column '{c}'"
+                )));
+            }
+        }
+        // Each aggregate resolves to the column indices it reads.
+        let agg_idx: Vec<Vec<usize>> = self
+            .aggregates
+            .iter()
+            .map(|(_, a)| -> Result<Vec<usize>> {
+                Ok(match a {
+                    Aggregate::Count => vec![],
+                    Aggregate::Sum(c) | Aggregate::Mean(c) | Aggregate::Min(c) | Aggregate::Max(c) => {
+                        vec![table.schema().index_of(c)?]
+                    }
+                    Aggregate::WeightedMean { value, weight } => {
+                        vec![table.schema().index_of(value)?, table.schema().index_of(weight)?]
+                    }
+                })
+            })
+            .collect::<Result<_>>()?;
+
+        // Accumulators per group: (count, per-aggregate state).
+        #[derive(Clone)]
+        struct Acc {
+            count: u64,
+            sums: Vec<f64>,   // Sum/Mean numerators, WeightedMean numerator
+            sums2: Vec<f64>,  // WeightedMean denominator
+            mins: Vec<f64>,
+            maxs: Vec<f64>,
+        }
+        let n_agg = self.aggregates.len();
+        let empty_acc = Acc {
+            count: 0,
+            sums: vec![0.0; n_agg],
+            sums2: vec![0.0; n_agg],
+            mins: vec![f64::INFINITY; n_agg],
+            maxs: vec![f64::NEG_INFINITY; n_agg],
+        };
+        let mut groups: BTreeMap<Vec<GroupKey>, Acc> = BTreeMap::new();
+
+        'rows: for row in table.rows() {
+            for ((_, pred), &idx) in self.filters.iter().zip(&filter_idx) {
+                if !pred(&row[idx]) {
+                    continue 'rows;
+                }
+            }
+            let key: Vec<GroupKey> = group_idx
+                .iter()
+                .map(|&i| match &row[i] {
+                    Value::Int(v) => GroupKey::Int(*v),
+                    Value::Str(s) => GroupKey::Str(s.clone()),
+                    Value::Float(_) => unreachable!("float group-by rejected above"),
+                })
+                .collect();
+            let acc = groups.entry(key).or_insert_with(|| empty_acc.clone());
+            acc.count += 1;
+            for (ai, ((_, agg), idxs)) in self.aggregates.iter().zip(&agg_idx).enumerate() {
+                match agg {
+                    Aggregate::Count => {}
+                    Aggregate::Sum(_) | Aggregate::Mean(_) => {
+                        acc.sums[ai] += row[idxs[0]].as_float()?;
+                    }
+                    Aggregate::Min(_) => {
+                        acc.mins[ai] = acc.mins[ai].min(row[idxs[0]].as_float()?);
+                    }
+                    Aggregate::Max(_) => {
+                        acc.maxs[ai] = acc.maxs[ai].max(row[idxs[0]].as_float()?);
+                    }
+                    Aggregate::WeightedMean { .. } => {
+                        let v = row[idxs[0]].as_float()?;
+                        let w = row[idxs[1]].as_float()?;
+                        acc.sums[ai] += v * w;
+                        acc.sums2[ai] += w;
+                    }
+                }
+            }
+        }
+
+        // Build the output schema: group columns keep their input types.
+        let mut fields: Vec<(&str, ColumnType)> = Vec::new();
+        for (c, &i) in self.group_by.iter().zip(&group_idx) {
+            fields.push((c.as_str(), table.schema().field(i).1));
+        }
+        for (name, agg) in &self.aggregates {
+            let t = match agg {
+                Aggregate::Count => ColumnType::Int,
+                _ => ColumnType::Float,
+            };
+            fields.push((name.as_str(), t));
+        }
+        let mut out = Table::new(Schema::new(fields)?);
+
+        for (key, acc) in groups {
+            let mut row: Row = key
+                .into_iter()
+                .map(|k| match k {
+                    GroupKey::Int(v) => Value::Int(v),
+                    GroupKey::Str(s) => Value::Str(s),
+                })
+                .collect();
+            for (ai, (_, agg)) in self.aggregates.iter().enumerate() {
+                row.push(match agg {
+                    Aggregate::Count => Value::Int(acc.count as i64),
+                    Aggregate::Sum(_) => Value::Float(acc.sums[ai]),
+                    Aggregate::Mean(_) => Value::Float(acc.sums[ai] / acc.count as f64),
+                    Aggregate::Min(_) => Value::Float(acc.mins[ai]),
+                    Aggregate::Max(_) => Value::Float(acc.maxs[ai]),
+                    Aggregate::WeightedMean { .. } => {
+                        if acc.sums2[ai] == 0.0 {
+                            return Err(SparkError::invalid(
+                                "weighted mean over zero total weight",
+                            ));
+                        }
+                        Value::Float(acc.sums[ai] / acc.sums2[ai])
+                    }
+                });
+            }
+            out.push_row(row)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    /// The Table IV fleet as a BI table: per-VM performance CDI + service
+    /// minutes + a region dimension.
+    fn vm_table() -> Table {
+        let schema = Schema::new(vec![
+            ("vm", ColumnType::Int),
+            ("region", ColumnType::Str),
+            ("perf_cdi", ColumnType::Float),
+            ("service_min", ColumnType::Int),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.push_row(vec![Value::Int(1), Value::Str("hz".into()), Value::Float(0.020), Value::Int(60)]).unwrap();
+        t.push_row(vec![Value::Int(2), Value::Str("hz".into()), Value::Float(3.0 / 1440.0), Value::Int(1440)]).unwrap();
+        t.push_row(vec![Value::Int(3), Value::Str("sh".into()), Value::Float(0.004), Value::Int(1000)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn global_weighted_mean_is_formula_4() {
+        let out = Query::new()
+            .aggregate(
+                "perf",
+                Aggregate::WeightedMean { value: "perf_cdi".into(), weight: "service_min".into() },
+            )
+            .run(&vm_table())
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        // Table IV aggregate: 8.2 weight-minutes over 2500 minutes.
+        close(out.row(0)[0].as_float().unwrap(), 8.2 / 2500.0, 1e-12);
+    }
+
+    #[test]
+    fn group_by_region_drills_down() {
+        let out = Query::new()
+            .group_by("region")
+            .aggregate(
+                "perf",
+                Aggregate::WeightedMean { value: "perf_cdi".into(), weight: "service_min".into() },
+            )
+            .aggregate("vms", Aggregate::Count)
+            .run(&vm_table())
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        // Sorted group keys: hz first.
+        assert_eq!(out.row(0)[0], Value::Str("hz".into()));
+        close(out.row(0)[1].as_float().unwrap(), (1.2 + 3.0) / 1500.0, 1e-12);
+        assert_eq!(out.row(0)[2], Value::Int(2));
+        assert_eq!(out.row(1)[0], Value::Str("sh".into()));
+        close(out.row(1)[1].as_float().unwrap(), 0.004, 1e-12);
+    }
+
+    #[test]
+    fn filters_narrow_the_input() {
+        let out = Query::new()
+            .filter_eq("region", Value::Str("hz".into()))
+            .aggregate("n", Aggregate::Count)
+            .aggregate("total_service", Aggregate::Sum("service_min".into()))
+            .run(&vm_table())
+            .unwrap();
+        assert_eq!(out.row(0)[0], Value::Int(2));
+        close(out.row(0)[1].as_float().unwrap(), 1500.0, 1e-12);
+    }
+
+    #[test]
+    fn custom_predicate_filter() {
+        let out = Query::new()
+            .filter("service_min", |v| v.as_float().unwrap() > 100.0)
+            .aggregate("n", Aggregate::Count)
+            .run(&vm_table())
+            .unwrap();
+        assert_eq!(out.row(0)[0], Value::Int(2));
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let out = Query::new()
+            .aggregate("mean", Aggregate::Mean("perf_cdi".into()))
+            .aggregate("min", Aggregate::Min("perf_cdi".into()))
+            .aggregate("max", Aggregate::Max("perf_cdi".into()))
+            .run(&vm_table())
+            .unwrap();
+        let mean = (0.020 + 3.0 / 1440.0 + 0.004) / 3.0;
+        close(out.row(0)[0].as_float().unwrap(), mean, 1e-12);
+        close(out.row(0)[1].as_float().unwrap(), 3.0 / 1440.0, 1e-12);
+        close(out.row(0)[2].as_float().unwrap(), 0.020, 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_queries() {
+        let t = vm_table();
+        // No aggregates.
+        assert!(Query::new().group_by("region").run(&t).is_err());
+        // Unknown columns.
+        assert!(Query::new().aggregate("x", Aggregate::Sum("nope".into())).run(&t).is_err());
+        assert!(Query::new()
+            .group_by("nope")
+            .aggregate("n", Aggregate::Count)
+            .run(&t)
+            .is_err());
+        // Grouping by a float column.
+        assert!(Query::new()
+            .group_by("perf_cdi")
+            .aggregate("n", Aggregate::Count)
+            .run(&t)
+            .is_err());
+        // Weighted mean over a group whose weights sum to zero.
+        let schema =
+            Schema::new(vec![("q", ColumnType::Float), ("w", ColumnType::Int)]).unwrap();
+        let mut zero_w = Table::new(schema);
+        zero_w.push_row(vec![Value::Float(0.5), Value::Int(0)]).unwrap();
+        assert!(Query::new()
+            .aggregate("x", Aggregate::WeightedMean { value: "q".into(), weight: "w".into() })
+            .run(&zero_w)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_group_result_when_all_filtered() {
+        let out = Query::new()
+            .filter_eq("region", Value::Str("nowhere".into()))
+            .group_by("region")
+            .aggregate("n", Aggregate::Count)
+            .run(&vm_table())
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn group_by_int_column() {
+        let out = Query::new()
+            .group_by("vm")
+            .aggregate("n", Aggregate::Count)
+            .run(&vm_table())
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.row(0)[0], Value::Int(1));
+    }
+}

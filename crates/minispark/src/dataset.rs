@@ -1,0 +1,691 @@
+//! Lazy, partitioned datasets with Spark-style narrow and wide operations.
+//!
+//! A [`Dataset<T>`] is a handle on a logical plan. Narrow transformations
+//! (`map`, `filter`, `flat_map`, `map_partitions`, `union`) compose per
+//! partition and never materialize intermediate data. Wide transformations
+//! (`group_by_key`, `reduce_by_key`, `join`, `sort_by_key`, `distinct`)
+//! insert a **shuffle**: the parent's partitions are computed in parallel,
+//! hash-bucketed by key, and cached once (a `OnceLock`, playing the role of
+//! Spark's shuffle files) so that every downstream consumer — and every
+//! output partition — reads the same materialization.
+//!
+//! Actions (`collect`, `count`, `fold`) drive the plan with an
+//! [`ExecContext`], which supplies the worker pool and records metrics.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
+
+use crate::error::{Result, SparkError};
+use crate::exec::ExecContext;
+
+/// Blanket bound for element types flowing through the engine.
+pub trait Data: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> Data for T {}
+
+/// A logical plan node producing partitions of `T`.
+trait Plan<T: Data>: Send + Sync {
+    fn num_partitions(&self) -> usize;
+    fn compute(&self, ctx: &ExecContext, partition: usize) -> Vec<T>;
+}
+
+/// A lazy, partitioned dataset.
+#[derive(Clone)]
+pub struct Dataset<T: Data> {
+    plan: Arc<dyn Plan<T>>,
+}
+
+// ---------------------------------------------------------------------------
+// Plan node implementations
+// ---------------------------------------------------------------------------
+
+struct SourcePlan<T> {
+    partitions: Vec<Vec<T>>,
+}
+
+impl<T: Data> Plan<T> for SourcePlan<T> {
+    fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+    fn compute(&self, _ctx: &ExecContext, partition: usize) -> Vec<T> {
+        self.partitions[partition].clone()
+    }
+}
+
+struct MapPartitionsPlan<T: Data, U: Data> {
+    parent: Arc<dyn Plan<T>>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(Vec<T>) -> Vec<U> + Send + Sync>,
+}
+
+impl<T: Data, U: Data> Plan<U> for MapPartitionsPlan<T, U> {
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn compute(&self, ctx: &ExecContext, partition: usize) -> Vec<U> {
+        (self.f)(self.parent.compute(ctx, partition))
+    }
+}
+
+struct UnionPlan<T: Data> {
+    left: Arc<dyn Plan<T>>,
+    right: Arc<dyn Plan<T>>,
+}
+
+impl<T: Data> Plan<T> for UnionPlan<T> {
+    fn num_partitions(&self) -> usize {
+        self.left.num_partitions() + self.right.num_partitions()
+    }
+    fn compute(&self, ctx: &ExecContext, partition: usize) -> Vec<T> {
+        let n_left = self.left.num_partitions();
+        if partition < n_left {
+            self.left.compute(ctx, partition)
+        } else {
+            self.right.compute(ctx, partition - n_left)
+        }
+    }
+}
+
+/// Hash shuffle: materializes the parent once, bucketing rows by key hash.
+struct ShufflePlan<K: Data + Hash + Eq, V: Data> {
+    parent: Arc<dyn Plan<(K, V)>>,
+    num_out: usize,
+    hasher: RandomState,
+    cache: OnceLock<Vec<Vec<(K, V)>>>,
+}
+
+impl<K: Data + Hash + Eq, V: Data> ShufflePlan<K, V> {
+    fn buckets(&self, ctx: &ExecContext) -> &Vec<Vec<(K, V)>> {
+        self.cache.get_or_init(|| {
+            ctx.metrics.shuffles.fetch_add(1, Ordering::Relaxed);
+            let n_in = self.parent.num_partitions();
+            // Map side: compute every input partition in parallel and
+            // pre-bucket it locally.
+            let per_input: Vec<Vec<Vec<(K, V)>>> = ctx.parallel_indexed(n_in, |p| {
+                let rows = self.parent.compute(ctx, p);
+                let mut local: Vec<Vec<(K, V)>> = (0..self.num_out).map(|_| Vec::new()).collect();
+                for (k, v) in rows {
+                    
+                    
+                    let b = (self.hasher.hash_one(&k) % self.num_out as u64) as usize;
+                    local[b].push((k, v));
+                }
+                local
+            });
+            // Reduce side: concatenate each bucket across inputs.
+            let mut out: Vec<Vec<(K, V)>> = (0..self.num_out).map(|_| Vec::new()).collect();
+            let mut moved = 0u64;
+            for local in per_input {
+                for (b, mut rows) in local.into_iter().enumerate() {
+                    moved += rows.len() as u64;
+                    out[b].append(&mut rows);
+                }
+            }
+            ctx.metrics.shuffled_records.fetch_add(moved, Ordering::Relaxed);
+            out
+        })
+    }
+}
+
+impl<K: Data + Hash + Eq, V: Data> Plan<(K, V)> for ShufflePlan<K, V> {
+    fn num_partitions(&self) -> usize {
+        self.num_out
+    }
+    fn compute(&self, ctx: &ExecContext, partition: usize) -> Vec<(K, V)> {
+        self.buckets(ctx)[partition].clone()
+    }
+}
+
+/// Zip two co-partitioned plans through a combiner — the join back-end.
+struct ZipPartitionsPlan<A: Data, B: Data, U: Data> {
+    left: Arc<dyn Plan<A>>,
+    right: Arc<dyn Plan<B>>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(Vec<A>, Vec<B>) -> Vec<U> + Send + Sync>,
+}
+
+impl<A: Data, B: Data, U: Data> Plan<U> for ZipPartitionsPlan<A, B, U> {
+    fn num_partitions(&self) -> usize {
+        self.left.num_partitions()
+    }
+    fn compute(&self, ctx: &ExecContext, partition: usize) -> Vec<U> {
+        (self.f)(self.left.compute(ctx, partition), self.right.compute(ctx, partition))
+    }
+}
+
+/// Global sort: materializes the parent once, sorts, and range-partitions.
+struct SortPlan<T: Data, K: Data + Ord> {
+    parent: Arc<dyn Plan<T>>,
+    key: Arc<dyn Fn(&T) -> K + Send + Sync>,
+    num_out: usize,
+    cache: OnceLock<Vec<Vec<T>>>,
+}
+
+impl<T: Data, K: Data + Ord> Plan<T> for SortPlan<T, K> {
+    fn num_partitions(&self) -> usize {
+        self.num_out
+    }
+    fn compute(&self, ctx: &ExecContext, partition: usize) -> Vec<T> {
+        self.cache
+            .get_or_init(|| {
+                let n_in = self.parent.num_partitions();
+                let parts = ctx.parallel_indexed(n_in, |p| {
+                    let mut rows = self.parent.compute(ctx, p);
+                    rows.sort_by_key(|a| (self.key)(a));
+                    rows
+                });
+                // K-way merge via flatten + sort (simple and adequate here).
+                let mut all: Vec<T> = parts.into_iter().flatten().collect();
+                all.sort_by_key(|a| (self.key)(a));
+                // Range split into contiguous chunks.
+                let chunk = all.len().div_ceil(self.num_out).max(1);
+                let mut out: Vec<Vec<T>> = Vec::with_capacity(self.num_out);
+                let mut it = all.into_iter().peekable();
+                for _ in 0..self.num_out {
+                    let mut part = Vec::with_capacity(chunk);
+                    for _ in 0..chunk {
+                        match it.next() {
+                            Some(x) => part.push(x),
+                            None => break,
+                        }
+                    }
+                    out.push(part);
+                }
+                out
+            })[partition]
+            .clone()
+    }
+}
+
+/// Materialize-once cache: the first access computes every parent
+/// partition in parallel and pins the result, so iterative consumers (the
+/// day-by-day experiment loops) pay the upstream cost once — Spark's
+/// `.cache()`.
+struct CachePlan<T: Data> {
+    parent: Arc<dyn Plan<T>>,
+    cache: OnceLock<Vec<Vec<T>>>,
+}
+
+impl<T: Data> Plan<T> for CachePlan<T> {
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn compute(&self, ctx: &ExecContext, partition: usize) -> Vec<T> {
+        self.cache
+            .get_or_init(|| {
+                let n = self.parent.num_partitions();
+                ctx.parallel_indexed(n, |p| self.parent.compute(ctx, p))
+            })[partition]
+            .clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+impl<T: Data> Dataset<T> {
+    /// Create a dataset from a vector, split into `num_partitions` chunks.
+    pub fn from_vec(data: Vec<T>, num_partitions: usize) -> Result<Self> {
+        if num_partitions == 0 {
+            return Err(SparkError::invalid("num_partitions must be positive"));
+        }
+        let chunk = data.len().div_ceil(num_partitions).max(1);
+        let mut partitions: Vec<Vec<T>> = Vec::with_capacity(num_partitions);
+        let mut it = data.into_iter().peekable();
+        for _ in 0..num_partitions {
+            let mut p = Vec::with_capacity(chunk);
+            for _ in 0..chunk {
+                match it.next() {
+                    Some(x) => p.push(x),
+                    None => break,
+                }
+            }
+            partitions.push(p);
+        }
+        Ok(Dataset { plan: Arc::new(SourcePlan { partitions }) })
+    }
+
+    /// Number of partitions in the current plan.
+    pub fn num_partitions(&self) -> usize {
+        self.plan.num_partitions()
+    }
+
+    /// Element-wise transformation (narrow).
+    pub fn map<U: Data>(&self, f: impl Fn(T) -> U + Send + Sync + 'static) -> Dataset<U> {
+        let f = Arc::new(f);
+        self.map_partitions(move |rows| rows.into_iter().map(|x| f(x)).collect())
+    }
+
+    /// Keep elements satisfying the predicate (narrow).
+    pub fn filter(&self, f: impl Fn(&T) -> bool + Send + Sync + 'static) -> Dataset<T> {
+        let f = Arc::new(f);
+        self.map_partitions(move |rows| rows.into_iter().filter(|x| f(x)).collect())
+    }
+
+    /// One-to-many transformation (narrow).
+    pub fn flat_map<U: Data, I>(
+        &self,
+        f: impl Fn(T) -> I + Send + Sync + 'static,
+    ) -> Dataset<U>
+    where
+        I: IntoIterator<Item = U>,
+    {
+        let f = Arc::new(f);
+        self.map_partitions(move |rows| rows.into_iter().flat_map(|x| f(x)).collect())
+    }
+
+    /// Whole-partition transformation (narrow) — the primitive the other
+    /// narrow operations are built on.
+    pub fn map_partitions<U: Data>(
+        &self,
+        f: impl Fn(Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    ) -> Dataset<U> {
+        Dataset {
+            plan: Arc::new(MapPartitionsPlan { parent: Arc::clone(&self.plan), f: Arc::new(f) }),
+        }
+    }
+
+    /// Concatenate two datasets (narrow; partitions are appended).
+    pub fn union(&self, other: &Dataset<T>) -> Dataset<T> {
+        Dataset {
+            plan: Arc::new(UnionPlan {
+                left: Arc::clone(&self.plan),
+                right: Arc::clone(&other.plan),
+            }),
+        }
+    }
+
+    /// Materialize this dataset once and serve all later computations from
+    /// the pinned result (Spark's `.cache()`). Worth it exactly when the
+    /// dataset is consumed more than once and recomputation is expensive.
+    pub fn cache(&self) -> Dataset<T> {
+        Dataset {
+            plan: Arc::new(CachePlan { parent: Arc::clone(&self.plan), cache: OnceLock::new() }),
+        }
+    }
+
+    /// Attach a key to every element, producing a pair dataset.
+    pub fn key_by<K: Data + Hash + Eq>(
+        &self,
+        f: impl Fn(&T) -> K + Send + Sync + 'static,
+    ) -> Dataset<(K, T)> {
+        self.map(move |x| (f(&x), x))
+    }
+
+    /// Globally sort by a key (wide; materializes once).
+    pub fn sort_by_key<K: Data + Ord>(
+        &self,
+        num_partitions: usize,
+        key: impl Fn(&T) -> K + Send + Sync + 'static,
+    ) -> Result<Dataset<T>> {
+        if num_partitions == 0 {
+            return Err(SparkError::invalid("num_partitions must be positive"));
+        }
+        Ok(Dataset {
+            plan: Arc::new(SortPlan {
+                parent: Arc::clone(&self.plan),
+                key: Arc::new(key),
+                num_out: num_partitions,
+                cache: OnceLock::new(),
+            }),
+        })
+    }
+
+    /// Action: gather all elements (partition order preserved).
+    pub fn collect(&self, ctx: &ExecContext) -> Vec<T> {
+        let n = self.plan.num_partitions();
+        let plan = &self.plan;
+        ctx.parallel_indexed(n, |p| plan.compute(ctx, p)).into_iter().flatten().collect()
+    }
+
+    /// Action: count elements.
+    pub fn count(&self, ctx: &ExecContext) -> usize {
+        let n = self.plan.num_partitions();
+        let plan = &self.plan;
+        ctx.parallel_indexed(n, |p| plan.compute(ctx, p).len()).into_iter().sum()
+    }
+
+    /// Action: fold all elements with a per-partition accumulator and a
+    /// merge step (both must be associative-friendly with `init`).
+    pub fn fold<A: Data>(
+        &self,
+        ctx: &ExecContext,
+        init: A,
+        fold: impl Fn(A, T) -> A + Send + Sync,
+        merge: impl Fn(A, A) -> A,
+    ) -> A {
+        let n = self.plan.num_partitions();
+        let plan = &self.plan;
+        let partials = ctx.parallel_indexed(n, |p| {
+            plan.compute(ctx, p).into_iter().fold(init.clone(), &fold)
+        });
+        partials.into_iter().fold(init, merge)
+    }
+}
+
+impl<T: Data + Hash + Eq> Dataset<T> {
+    /// Remove duplicates (wide; one shuffle).
+    pub fn distinct(&self, num_partitions: usize) -> Result<Dataset<T>> {
+        Ok(self
+            .map(|x| (x, ()))
+            .reduce_by_key(num_partitions, |_, _| ())?
+            .map(|(k, _)| k))
+    }
+}
+
+impl<K: Data + Hash + Eq, V: Data> Dataset<(K, V)> {
+    /// Insert a hash shuffle with `num_partitions` output buckets.
+    fn shuffle(&self, num_partitions: usize) -> Result<Dataset<(K, V)>> {
+        if num_partitions == 0 {
+            return Err(SparkError::invalid("num_partitions must be positive"));
+        }
+        Ok(Dataset {
+            plan: Arc::new(ShufflePlan {
+                parent: Arc::clone(&self.plan),
+                num_out: num_partitions,
+                // Fixed seeds keep co-partitioning consistent across the
+                // two sides of a join.
+                hasher: fixed_state(),
+                cache: OnceLock::new(),
+            }),
+        })
+    }
+
+    /// Group values by key (wide; one shuffle).
+    pub fn group_by_key(&self, num_partitions: usize) -> Result<Dataset<(K, Vec<V>)>> {
+        let shuffled = self.shuffle(num_partitions)?;
+        Ok(shuffled.map_partitions(|rows| {
+            let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+            for (k, v) in rows {
+                groups.entry(k).or_default().push(v);
+            }
+            groups.into_iter().collect()
+        }))
+    }
+
+    /// Reduce values per key (wide; map-side combine then one shuffle).
+    pub fn reduce_by_key(
+        &self,
+        num_partitions: usize,
+        f: impl Fn(V, V) -> V + Send + Sync + 'static,
+    ) -> Result<Dataset<(K, V)>> {
+        let f = Arc::new(f);
+        // Map-side combine shrinks shuffle volume, as in Spark.
+        let f1 = Arc::clone(&f);
+        let combined = self.map_partitions(move |rows| {
+            let mut acc: HashMap<K, V> = HashMap::new();
+            for (k, v) in rows {
+                match acc.remove(&k) {
+                    Some(prev) => {
+                        acc.insert(k, f1(prev, v));
+                    }
+                    None => {
+                        acc.insert(k, v);
+                    }
+                }
+            }
+            acc.into_iter().collect()
+        });
+        let shuffled = combined.shuffle(num_partitions)?;
+        Ok(shuffled.map_partitions(move |rows| {
+            let mut acc: HashMap<K, V> = HashMap::new();
+            for (k, v) in rows {
+                match acc.remove(&k) {
+                    Some(prev) => {
+                        acc.insert(k, f(prev, v));
+                    }
+                    None => {
+                        acc.insert(k, v);
+                    }
+                }
+            }
+            acc.into_iter().collect()
+        }))
+    }
+
+    /// Inner hash join (wide; both sides shuffled to co-partition).
+    pub fn join<W: Data>(
+        &self,
+        other: &Dataset<(K, W)>,
+        num_partitions: usize,
+    ) -> Result<Dataset<(K, (V, W))>> {
+        let left = self.shuffle(num_partitions)?;
+        let right = other.shuffle(num_partitions)?;
+        Ok(Dataset {
+            plan: Arc::new(ZipPartitionsPlan {
+                left: Arc::clone(&left.plan),
+                right: Arc::clone(&right.plan),
+                f: Arc::new(|l: Vec<(K, V)>, r: Vec<(K, W)>| {
+                    let mut table: HashMap<K, Vec<W>> = HashMap::new();
+                    for (k, w) in r {
+                        table.entry(k).or_default().push(w);
+                    }
+                    let mut out = Vec::new();
+                    for (k, v) in l {
+                        if let Some(ws) = table.get(&k) {
+                            for w in ws {
+                                out.push((k.clone(), (v.clone(), w.clone())));
+                            }
+                        }
+                    }
+                    out
+                }),
+            }),
+        })
+    }
+
+    /// Action: collect into a `HashMap` (last value wins on duplicate keys).
+    pub fn collect_map(&self, ctx: &ExecContext) -> HashMap<K, V> {
+        self.collect(ctx).into_iter().collect()
+    }
+}
+
+/// A `RandomState` with fixed seeds so that separate shuffles co-partition
+/// identically (required for join correctness).
+fn fixed_state() -> RandomState {
+    // `RandomState` cannot be seeded on stable; instead build one per
+    // process and share it.
+    static SHARED: OnceLock<RandomState> = OnceLock::new();
+    SHARED.get_or_init(RandomState::new).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExecContext {
+        ExecContext::with_threads(4)
+    }
+
+    #[test]
+    fn from_vec_partitioning() {
+        let d = Dataset::from_vec((0..10).collect(), 3).unwrap();
+        assert_eq!(d.num_partitions(), 3);
+        assert_eq!(d.collect(&ctx()), (0..10).collect::<Vec<_>>());
+        assert!(Dataset::<i32>::from_vec(vec![], 0).is_err());
+    }
+
+    #[test]
+    fn empty_and_oversized_partitioning() {
+        let d = Dataset::<i32>::from_vec(vec![], 4).unwrap();
+        assert_eq!(d.count(&ctx()), 0);
+        let d = Dataset::from_vec(vec![1, 2], 8).unwrap();
+        assert_eq!(d.num_partitions(), 8);
+        assert_eq!(d.collect(&ctx()), vec![1, 2]);
+    }
+
+    #[test]
+    fn narrow_chain_composes() {
+        let d = Dataset::from_vec((1..=100).collect::<Vec<i64>>(), 4).unwrap();
+        let out = d
+            .map(|x| x * 2)
+            .filter(|x| x % 3 == 0)
+            .flat_map(|x| vec![x, -x])
+            .collect(&ctx());
+        let expected: Vec<i64> = (1..=100i64)
+            .map(|x| x * 2)
+            .filter(|x| x % 3 == 0)
+            .flat_map(|x| vec![x, -x])
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let a = Dataset::from_vec(vec![1, 2], 1).unwrap();
+        let b = Dataset::from_vec(vec![3, 4], 2).unwrap();
+        let u = a.union(&b);
+        assert_eq!(u.num_partitions(), 3);
+        assert_eq!(u.collect(&ctx()), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn count_and_fold() {
+        let d = Dataset::from_vec((1..=100).collect::<Vec<i64>>(), 7).unwrap();
+        assert_eq!(d.count(&ctx()), 100);
+        let sum = d.fold(&ctx(), 0i64, |a, x| a + x, |a, b| a + b);
+        assert_eq!(sum, 5050);
+    }
+
+    #[test]
+    fn group_by_key_collects_all_values() {
+        let pairs: Vec<(u32, u32)> = (0..100).map(|i| (i % 5, i)).collect();
+        let d = Dataset::from_vec(pairs, 4).unwrap();
+        let grouped = d.group_by_key(3).unwrap().collect(&ctx());
+        assert_eq!(grouped.len(), 5);
+        for (k, vs) in grouped {
+            assert_eq!(vs.len(), 20, "key {k}");
+            assert!(vs.iter().all(|v| v % 5 == k));
+        }
+    }
+
+    #[test]
+    fn reduce_by_key_sums() {
+        let pairs: Vec<(u32, u64)> = (0..1000u64).map(|i| ((i % 10) as u32, i)).collect();
+        let d = Dataset::from_vec(pairs, 8).unwrap();
+        let reduced = d.reduce_by_key(4, |a, b| a + b).unwrap().collect_map(&ctx());
+        assert_eq!(reduced.len(), 10);
+        for (k, sum) in reduced {
+            let expected: u64 = (0..1000u64).filter(|i| i % 10 == k as u64).sum();
+            assert_eq!(sum, expected, "key {k}");
+        }
+    }
+
+    #[test]
+    fn map_side_combine_reduces_shuffle_volume() {
+        let pairs: Vec<(u32, u64)> = (0..1000u64).map(|i| ((i % 4) as u32, 1)).collect();
+        let d = Dataset::from_vec(pairs, 8).unwrap();
+        let c = ctx();
+        let reduced = d.reduce_by_key(4, |a, b| a + b).unwrap();
+        let _ = reduced.collect(&c);
+        let (_, shuffled, shuffles) = c.metrics.snapshot();
+        assert_eq!(shuffles, 1);
+        // Without map-side combine 1000 records would cross the shuffle; with
+        // it at most 8 partitions × 4 keys.
+        assert!(shuffled <= 32, "shuffled {shuffled}");
+    }
+
+    #[test]
+    fn join_matches_expected_pairs() {
+        let left = Dataset::from_vec(vec![(1, "a"), (2, "b"), (3, "c"), (2, "B")], 2).unwrap();
+        let right = Dataset::from_vec(vec![(2, 20), (3, 30), (4, 40), (2, 21)], 3).unwrap();
+        let joined = left.join(&right, 4).unwrap();
+        let mut out = joined.collect(&ctx());
+        out.sort_by_key(|(k, (v, w))| (*k, v.to_string(), *w));
+        assert_eq!(
+            out,
+            vec![
+                (2, ("B", 20)),
+                (2, ("B", 21)),
+                (2, ("b", 20)),
+                (2, ("b", 21)),
+                (3, ("c", 30)),
+            ]
+        );
+    }
+
+    #[test]
+    fn sort_by_key_globally_orders() {
+        let data: Vec<i32> = vec![5, 3, 9, 1, 7, 2, 8, 6, 4, 0];
+        let d = Dataset::from_vec(data, 3).unwrap();
+        let sorted = d.sort_by_key(4, |x| *x).unwrap();
+        assert_eq!(sorted.num_partitions(), 4);
+        assert_eq!(sorted.collect(&ctx()), (0..10).collect::<Vec<_>>());
+        assert!(d.sort_by_key(0, |x| *x).is_err());
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let d = Dataset::from_vec(vec![1, 2, 2, 3, 3, 3, 1], 3).unwrap();
+        let mut out = d.distinct(2).unwrap().collect(&ctx());
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn key_by_attaches_keys() {
+        let d = Dataset::from_vec(vec!["apple", "banana", "avocado"], 2).unwrap();
+        let keyed = d.key_by(|s| s.as_bytes()[0]);
+        let grouped = keyed.group_by_key(2).unwrap().collect(&ctx());
+        let a_group = grouped.iter().find(|(k, _)| *k == b'a').unwrap();
+        assert_eq!(a_group.1.len(), 2);
+    }
+
+    #[test]
+    fn shuffle_cache_shared_across_consumers() {
+        let pairs: Vec<(u32, u32)> = (0..100).map(|i| (i % 5, i)).collect();
+        let d = Dataset::from_vec(pairs, 4).unwrap();
+        let grouped = d.group_by_key(3).unwrap();
+        let c = ctx();
+        let _ = grouped.count(&c);
+        let _ = grouped.collect(&c);
+        let (_, _, shuffles) = c.metrics.snapshot();
+        assert_eq!(shuffles, 1, "second action reuses the materialized shuffle");
+    }
+
+    #[test]
+    fn cache_computes_upstream_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let d = Dataset::from_vec((0..100).collect::<Vec<i64>>(), 4).unwrap();
+        let expensive = d.map(|x| {
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            x * 2
+        });
+        let cached = expensive.cache();
+        let c = ctx();
+        let first = cached.collect(&c);
+        let calls_after_first = CALLS.load(Ordering::Relaxed);
+        assert_eq!(calls_after_first, 100);
+        let second = cached.collect(&c);
+        assert_eq!(first, second);
+        assert_eq!(
+            CALLS.load(Ordering::Relaxed),
+            calls_after_first,
+            "second pass must be served from the cache"
+        );
+        // Downstream transformations read the cache too.
+        assert_eq!(cached.filter(|x| *x >= 100).count(&c), 50);
+        assert_eq!(CALLS.load(Ordering::Relaxed), calls_after_first);
+    }
+
+    #[test]
+    fn cache_preserves_partitioning_and_content() {
+        let d = Dataset::from_vec((0..37).collect::<Vec<i64>>(), 5).unwrap();
+        let cached = d.map(|x| x + 1).cache();
+        assert_eq!(cached.num_partitions(), 5);
+        assert_eq!(cached.collect(&ctx()), (1..=37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_partition_wide_ops_rejected() {
+        let d = Dataset::from_vec(vec![(1u32, 1u32)], 1).unwrap();
+        assert!(d.group_by_key(0).is_err());
+        assert!(d.reduce_by_key(0, |a, _| a).is_err());
+        assert!(d.join(&d, 0).is_err());
+        let e = Dataset::from_vec(vec![1, 1, 2], 1).unwrap();
+        assert!(e.distinct(0).is_err());
+    }
+}

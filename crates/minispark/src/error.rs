@@ -1,0 +1,84 @@
+//! Error types for the dataflow engine and stores.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, SparkError>;
+
+/// Errors produced by the engine, stores, and BI layer.
+#[derive(Debug)]
+pub enum SparkError {
+    /// An argument was outside its legal domain.
+    InvalidArgument(String),
+    /// Schema mismatch or unknown column in a table/BI operation.
+    Schema(String),
+    /// Underlying I/O failure (table persistence).
+    Io(std::io::Error),
+    /// Serialization failure (JSON persistence).
+    Serde(String),
+}
+
+impl SparkError {
+    /// Shorthand constructor for [`SparkError::InvalidArgument`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        SparkError::InvalidArgument(msg.into())
+    }
+
+    /// Shorthand constructor for [`SparkError::Schema`].
+    pub fn schema(msg: impl Into<String>) -> Self {
+        SparkError::Schema(msg.into())
+    }
+}
+
+impl fmt::Display for SparkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparkError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            SparkError::Schema(m) => write!(f, "schema error: {m}"),
+            SparkError::Io(e) => write!(f, "io error: {e}"),
+            SparkError::Serde(m) => write!(f, "serialization error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SparkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparkError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SparkError {
+    fn from(e: std::io::Error) -> Self {
+        SparkError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for SparkError {
+    fn from(e: serde_json::Error) -> Self {
+        SparkError::Serde(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(SparkError::invalid("x").to_string(), "invalid argument: x");
+        assert_eq!(SparkError::schema("bad col").to_string(), "schema error: bad col");
+        let io: SparkError = std::io::Error::other("disk gone").into();
+        assert!(io.to_string().contains("disk gone"));
+    }
+
+    #[test]
+    fn io_source_preserved() {
+        use std::error::Error;
+        let io: SparkError = std::io::Error::other("x").into();
+        assert!(io.source().is_some());
+        assert!(SparkError::invalid("y").source().is_none());
+    }
+}

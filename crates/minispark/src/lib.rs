@@ -1,0 +1,34 @@
+//! # minispark — an embedded partitioned batch-dataflow engine
+//!
+//! The paper computes the CDI daily with an Apache Spark application over
+//! ~10 GB of events (Section V, Fig. 4). This crate is the Spark stand-in
+//! for the reproduction: a small, multi-threaded, partitioned dataflow
+//! engine plus the storage services around it.
+//!
+//! - [`dataset`] — lazy `Dataset<T>` plans: narrow transformations
+//!   (map/filter/flat_map) compose per partition without materialization;
+//!   wide transformations (group_by_key/reduce_by_key/join/sort) introduce a
+//!   hash shuffle that materializes once and is shared by downstream
+//!   consumers, mirroring Spark's stage split at shuffle boundaries.
+//! - [`exec`] — the execution context: a scoped thread pool (crossbeam) with
+//!   work-stealing over partitions, plus task/shuffle metrics.
+//! - [`store`] — the storage substrates of the paper's Fig. 4: an
+//!   append-only time-indexed [`store::EventLog`] (Simple Log Service
+//!   stand-in), columnar [`store::Table`]s with CSV/JSON persistence
+//!   (MaxCompute stand-in) and a versioned [`store::ConfigStore`] (MySQL
+//!   stand-in).
+//! - [`bi`] — the Business-Intelligence layer: aggregation queries over
+//!   tables with dimension drill-down and the weighted-ratio aggregate that
+//!   realizes the paper's Formula 4 at any grouping level.
+
+#![warn(missing_docs)]
+
+pub mod bi;
+pub mod dataset;
+pub mod error;
+pub mod exec;
+pub mod store;
+
+pub use dataset::Dataset;
+pub use error::{Result, SparkError};
+pub use exec::ExecContext;

@@ -1,0 +1,157 @@
+//! Property-based tests: every dataset operation must agree with its plain
+//! `Vec`/`HashMap` reference implementation, for any data and any
+//! partitioning.
+
+use std::collections::{BTreeSet, HashMap};
+
+use minispark::{Dataset, ExecContext};
+use proptest::prelude::*;
+
+fn ctx() -> ExecContext {
+    ExecContext::with_threads(4)
+}
+
+proptest! {
+    /// collect() preserves content and order through any partitioning.
+    #[test]
+    fn from_vec_collect_identity(
+        data in prop::collection::vec(-1000i64..1000, 0..200),
+        parts in 1usize..12
+    ) {
+        let d = Dataset::from_vec(data.clone(), parts).unwrap();
+        prop_assert_eq!(d.collect(&ctx()), data);
+    }
+
+    /// map/filter/flat_map chains agree with iterator equivalents.
+    #[test]
+    fn narrow_ops_match_reference(
+        data in prop::collection::vec(-1000i64..1000, 0..200),
+        parts in 1usize..8
+    ) {
+        let d = Dataset::from_vec(data.clone(), parts).unwrap();
+        let got = d
+            .map(|x| x.wrapping_mul(3))
+            .filter(|x| x % 2 == 0)
+            .flat_map(|x| [x, x + 1])
+            .collect(&ctx());
+        let expected: Vec<i64> = data
+            .iter()
+            .map(|x| x.wrapping_mul(3))
+            .filter(|x| x % 2 == 0)
+            .flat_map(|x| [x, x + 1])
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// count and fold agree with len/sum for any partitioning.
+    #[test]
+    fn count_and_fold_match(
+        data in prop::collection::vec(-1000i64..1000, 0..200),
+        parts in 1usize..8
+    ) {
+        let d = Dataset::from_vec(data.clone(), parts).unwrap();
+        prop_assert_eq!(d.count(&ctx()), data.len());
+        let sum = d.fold(&ctx(), 0i64, |a, x| a + x, |a, b| a + b);
+        prop_assert_eq!(sum, data.iter().sum::<i64>());
+    }
+
+    /// reduce_by_key equals a HashMap fold.
+    #[test]
+    fn reduce_by_key_matches_hashmap(
+        pairs in prop::collection::vec((0u8..16, -100i64..100), 0..200),
+        parts in 1usize..8,
+        out_parts in 1usize..8
+    ) {
+        let d = Dataset::from_vec(pairs.clone(), parts).unwrap();
+        let got = d.reduce_by_key(out_parts, |a, b| a + b).unwrap().collect_map(&ctx());
+        let mut expected: HashMap<u8, i64> = HashMap::new();
+        for (k, v) in &pairs {
+            *expected.entry(*k).or_insert(0) += v;
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// group_by_key gathers exactly the multiset of values per key.
+    #[test]
+    fn group_by_key_matches_reference(
+        pairs in prop::collection::vec((0u8..8, -50i64..50), 0..150),
+        parts in 1usize..6
+    ) {
+        let d = Dataset::from_vec(pairs.clone(), parts).unwrap();
+        let mut got: HashMap<u8, Vec<i64>> = d.group_by_key(3).unwrap().collect_map(&ctx());
+        for v in got.values_mut() {
+            v.sort_unstable();
+        }
+        let mut expected: HashMap<u8, Vec<i64>> = HashMap::new();
+        for (k, v) in &pairs {
+            expected.entry(*k).or_default().push(*v);
+        }
+        for v in expected.values_mut() {
+            v.sort_unstable();
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// join equals the nested-loop reference (as multisets).
+    #[test]
+    fn join_matches_nested_loop(
+        left in prop::collection::vec((0u8..6, 0i64..50), 0..60),
+        right in prop::collection::vec((0u8..6, 0i64..50), 0..60),
+        parts in 1usize..6
+    ) {
+        let l = Dataset::from_vec(left.clone(), parts).unwrap();
+        let r = Dataset::from_vec(right.clone(), parts).unwrap();
+        let mut got = l.join(&r, 4).unwrap().collect(&ctx());
+        got.sort_unstable();
+        let mut expected: Vec<(u8, (i64, i64))> = Vec::new();
+        for (lk, lv) in &left {
+            for (rk, rv) in &right {
+                if lk == rk {
+                    expected.push((*lk, (*lv, *rv)));
+                }
+            }
+        }
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// sort_by_key globally orders for any input and partition count.
+    #[test]
+    fn sort_matches_reference(
+        data in prop::collection::vec(-1000i64..1000, 0..200),
+        parts in 1usize..8,
+        out_parts in 1usize..8
+    ) {
+        let d = Dataset::from_vec(data.clone(), parts).unwrap();
+        let got = d.sort_by_key(out_parts, |x| *x).unwrap().collect(&ctx());
+        let mut expected = data;
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// distinct equals the set of inputs.
+    #[test]
+    fn distinct_matches_set(
+        data in prop::collection::vec(-20i64..20, 0..150),
+        parts in 1usize..6
+    ) {
+        let d = Dataset::from_vec(data.clone(), parts).unwrap();
+        let mut got = d.distinct(3).unwrap().collect(&ctx());
+        got.sort_unstable();
+        let expected: Vec<i64> = data.iter().copied().collect::<BTreeSet<_>>().into_iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// union concatenates in order.
+    #[test]
+    fn union_concatenates(
+        a in prop::collection::vec(0i64..100, 0..50),
+        b in prop::collection::vec(0i64..100, 0..50)
+    ) {
+        let da = Dataset::from_vec(a.clone(), 3).unwrap();
+        let db = Dataset::from_vec(b.clone(), 2).unwrap();
+        let mut expected = a;
+        expected.extend(b);
+        prop_assert_eq!(da.union(&db).collect(&ctx()), expected);
+    }
+}

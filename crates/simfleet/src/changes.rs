@@ -1,0 +1,176 @@
+//! Change-release rollouts.
+//!
+//! "The release of changes is a significant contributor to stability
+//! problems" (Section VI-C). A [`ChangeRollout`] deploys a change to NCs in
+//! gradual batches; if the change carries a defect, every touched NC gets
+//! the defect fault from its deployment time until the rollout's `fix_at`
+//! time (Case 6: the scheduler data corruption landed with a change on
+//! Day 13/14 and was fixed on Day 15).
+
+use serde::{Deserialize, Serialize};
+
+use crate::faults::{FaultInjection, FaultKind, FaultTarget};
+use crate::topology::{Fleet, NcId};
+
+/// A gradual change rollout across the fleet's NCs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChangeRollout {
+    /// Human-readable change name.
+    pub name: String,
+    /// Deployment start (ms).
+    pub start: i64,
+    /// Time between batches (ms).
+    pub batch_interval: i64,
+    /// NCs per batch.
+    pub batch_size: usize,
+    /// Total NCs to touch (capped at fleet size).
+    pub total_ncs: usize,
+    /// Defect carried by the change, if any.
+    pub defect: Option<FaultKind>,
+    /// When the defect is fixed everywhere (ms); defects run from each NC's
+    /// deployment time until this instant.
+    pub fix_at: i64,
+}
+
+/// One (NC, deployed-at) record of a rollout plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Deployment {
+    /// Target NC.
+    pub nc: NcId,
+    /// Deployment timestamp (ms).
+    pub at: i64,
+}
+
+impl ChangeRollout {
+    /// The deployment plan over a fleet: NCs in id order, batch by batch.
+    pub fn plan(&self, fleet: &Fleet) -> Vec<Deployment> {
+        let mut out = Vec::new();
+        let ncs: Vec<NcId> = fleet
+            .ncs()
+            .iter()
+            .filter(|n| !n.decommissioned)
+            .map(|n| n.id)
+            .take(self.total_ncs)
+            .collect();
+        for (i, nc) in ncs.into_iter().enumerate() {
+            let batch = i / self.batch_size.max(1);
+            out.push(Deployment { nc, at: self.start + batch as i64 * self.batch_interval });
+        }
+        out
+    }
+
+    /// Fault injections produced by the rollout's defect (empty for clean
+    /// changes). Each touched NC is faulty from its deployment until
+    /// `fix_at`.
+    pub fn defect_injections(&self, fleet: &Fleet) -> Vec<FaultInjection> {
+        let Some(defect) = &self.defect else {
+            return Vec::new();
+        };
+        self.plan(fleet)
+            .into_iter()
+            .filter(|d| d.at < self.fix_at)
+            .map(|d| FaultInjection::new(defect.clone(), FaultTarget::Nc(d.nc), d.at, self.fix_at))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{DeploymentArch, FleetConfig};
+
+    fn fleet() -> Fleet {
+        Fleet::build(&FleetConfig {
+            regions: vec!["r1".into()],
+            azs_per_region: 1,
+            clusters_per_az: 1,
+            ncs_per_cluster: 6,
+            vms_per_nc: 2,
+            nc_cores: 8,
+            machine_models: vec!["m".into()],
+            arch: DeploymentArch::Hybrid,
+        })
+    }
+
+    #[test]
+    fn plan_batches_by_interval() {
+        let r = ChangeRollout {
+            name: "kernel-upgrade".into(),
+            start: 1000,
+            batch_interval: 500,
+            batch_size: 2,
+            total_ncs: 5,
+            defect: None,
+            fix_at: i64::MAX,
+        };
+        let plan = r.plan(&fleet());
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan[0].at, 1000);
+        assert_eq!(plan[1].at, 1000);
+        assert_eq!(plan[2].at, 1500);
+        assert_eq!(plan[4].at, 2000);
+    }
+
+    #[test]
+    fn clean_change_injects_nothing() {
+        let r = ChangeRollout {
+            name: "clean".into(),
+            start: 0,
+            batch_interval: 100,
+            batch_size: 1,
+            total_ncs: 3,
+            defect: None,
+            fix_at: 10_000,
+        };
+        assert!(r.defect_injections(&fleet()).is_empty());
+    }
+
+    #[test]
+    fn defective_change_faults_each_touched_nc_until_fix() {
+        let r = ChangeRollout {
+            name: "bad-scheduler".into(),
+            start: 0,
+            batch_interval: 1_000,
+            batch_size: 1,
+            total_ncs: 3,
+            defect: Some(FaultKind::SchedulerDataCorruption),
+            fix_at: 10_000,
+        };
+        let inj = r.defect_injections(&fleet());
+        assert_eq!(inj.len(), 3);
+        for (i, f) in inj.iter().enumerate() {
+            assert_eq!(f.range.start, i as i64 * 1_000);
+            assert_eq!(f.range.end, 10_000);
+            assert_eq!(f.kind, FaultKind::SchedulerDataCorruption);
+        }
+    }
+
+    #[test]
+    fn deployments_after_fix_produce_no_fault() {
+        let r = ChangeRollout {
+            name: "late".into(),
+            start: 0,
+            batch_interval: 6_000,
+            batch_size: 1,
+            total_ncs: 3,
+            defect: Some(FaultKind::SchedulerDataCorruption),
+            fix_at: 7_000,
+        };
+        // Batches at 0, 6000, 12000; the last is after the fix.
+        assert_eq!(r.defect_injections(&fleet()).len(), 2);
+    }
+
+    #[test]
+    fn plan_capped_at_fleet_size() {
+        let r = ChangeRollout {
+            name: "wide".into(),
+            start: 0,
+            batch_interval: 1,
+            batch_size: 100,
+            total_ncs: 1_000,
+            defect: None,
+            fix_at: 0,
+        };
+        assert_eq!(r.plan(&fleet()).len(), 6);
+    }
+}

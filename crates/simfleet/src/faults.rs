@@ -1,0 +1,202 @@
+//! Injectable faults with ground truth.
+//!
+//! Every fault knows which stability category it damages (per the paper's
+//! Definition 1), which metrics it distorts, and which log lines it emits.
+//! Experiments assert CDI movements against these ground-truth damage
+//! intervals.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::{NcId, VmId};
+
+/// Milliseconds-based time range (mirrors `cdi_core::TimeRange`; kept local
+/// so simfleet does not depend on the metric crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimRange {
+    /// Inclusive start (ms).
+    pub start: i64,
+    /// Exclusive end (ms).
+    pub end: i64,
+}
+
+impl SimRange {
+    /// Construct; start must not exceed end.
+    pub fn new(start: i64, end: i64) -> Self {
+        debug_assert!(start <= end);
+        SimRange { start, end }
+    }
+
+    /// Whether `t` lies in `[start, end)`.
+    pub fn contains(&self, t: i64) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Whether two ranges overlap.
+    pub fn overlaps(&self, other: &SimRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// Target of a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// A single VM.
+    Vm(VmId),
+    /// A whole NC (affects every VM on it).
+    Nc(NcId),
+    /// A whole availability zone by name index (affects all VMs there).
+    Az(u32),
+    /// The entire fleet (e.g. a regional control-plane outage).
+    Global,
+}
+
+/// The fault library.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Cloud-disk IO latency inflated by the given factor.
+    SlowIo {
+        /// Latency multiplier (> 1).
+        factor: f64,
+    },
+    /// Network packet loss at the given rate (0..1).
+    PacketLoss {
+        /// Loss fraction.
+        rate: f64,
+    },
+    /// NIC link flapping: emits `eth0 NIC Link is Down` log lines and
+    /// degrades both latency and loss (Example 1 of the paper).
+    NicFlapping,
+    /// CPU contention from core-allocation overlap (Case 5's hybrid bug).
+    CpuContention {
+        /// Extra steal-time fraction (0..1).
+        steal: f64,
+    },
+    /// GPU dropped off the bus: severe compute loss.
+    GpuDrop,
+    /// VM crashed or stalled: fully unavailable.
+    VmDown,
+    /// NC down: every hosted VM unavailable.
+    NcDown,
+    /// Power-telemetry collector bug: power metric reads zero (Case 7).
+    PowerZeroBug,
+    /// Scheduler resource-data corruption: new VMs over-commit cores and the
+    /// overflow VM suffers allocation failure (Case 6).
+    SchedulerDataCorruption,
+    /// DDoS blackholing: traffic nulled between add/del markers (stateful
+    /// event source, Example 2).
+    DdosBlackhole,
+    /// Control-plane outage: start/stop/release/resize API calls fail
+    /// (Case 2 / the 2025-01-07 incident of Fig. 5).
+    ControlPlaneOutage,
+    /// Loss of monitoring metrics (a control-plane symptom of Case 2).
+    MetricsLoss,
+}
+
+/// Which stability category a fault damages (ground truth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DamageCategory {
+    /// Continuity broken: VM down.
+    Unavailability,
+    /// Consistency broken: VM degraded.
+    Performance,
+    /// Manageability broken: control operations fail.
+    ControlPlane,
+}
+
+impl FaultKind {
+    /// The category this fault damages.
+    pub fn category(&self) -> DamageCategory {
+        match self {
+            FaultKind::VmDown | FaultKind::NcDown | FaultKind::DdosBlackhole => {
+                DamageCategory::Unavailability
+            }
+            FaultKind::SlowIo { .. }
+            | FaultKind::PacketLoss { .. }
+            | FaultKind::NicFlapping
+            | FaultKind::CpuContention { .. }
+            | FaultKind::GpuDrop
+            | FaultKind::PowerZeroBug
+            | FaultKind::SchedulerDataCorruption => DamageCategory::Performance,
+            FaultKind::ControlPlaneOutage | FaultKind::MetricsLoss => {
+                DamageCategory::ControlPlane
+            }
+        }
+    }
+
+    /// Short stable name used in logs and tickets.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::SlowIo { .. } => "slow_io",
+            FaultKind::PacketLoss { .. } => "packet_loss",
+            FaultKind::NicFlapping => "nic_flapping",
+            FaultKind::CpuContention { .. } => "cpu_contention",
+            FaultKind::GpuDrop => "gpu_drop",
+            FaultKind::VmDown => "vm_down",
+            FaultKind::NcDown => "nc_down",
+            FaultKind::PowerZeroBug => "power_zero_bug",
+            FaultKind::SchedulerDataCorruption => "scheduler_data_corruption",
+            FaultKind::DdosBlackhole => "ddos_blackhole",
+            FaultKind::ControlPlaneOutage => "control_plane_outage",
+            FaultKind::MetricsLoss => "metrics_loss",
+        }
+    }
+}
+
+/// One injected fault: what, where, when.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjection {
+    /// The fault.
+    pub kind: FaultKind,
+    /// Where it strikes.
+    pub target: FaultTarget,
+    /// When it is active.
+    pub range: SimRange,
+}
+
+impl FaultInjection {
+    /// Convenience constructor.
+    pub fn new(kind: FaultKind, target: FaultTarget, start: i64, end: i64) -> Self {
+        FaultInjection { kind, target, range: SimRange::new(start, end) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_match_paper_definition() {
+        assert_eq!(FaultKind::VmDown.category(), DamageCategory::Unavailability);
+        assert_eq!(FaultKind::NcDown.category(), DamageCategory::Unavailability);
+        assert_eq!(FaultKind::DdosBlackhole.category(), DamageCategory::Unavailability);
+        assert_eq!(FaultKind::SlowIo { factor: 5.0 }.category(), DamageCategory::Performance);
+        assert_eq!(FaultKind::GpuDrop.category(), DamageCategory::Performance);
+        assert_eq!(
+            FaultKind::ControlPlaneOutage.category(),
+            DamageCategory::ControlPlane
+        );
+        assert_eq!(FaultKind::MetricsLoss.category(), DamageCategory::ControlPlane);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(FaultKind::SlowIo { factor: 2.0 }.name(), "slow_io");
+        assert_eq!(FaultKind::SchedulerDataCorruption.name(), "scheduler_data_corruption");
+    }
+
+    #[test]
+    fn ranges_behave() {
+        let r = SimRange::new(10, 20);
+        assert!(r.contains(10));
+        assert!(!r.contains(20));
+        assert!(r.overlaps(&SimRange::new(15, 30)));
+        assert!(!r.overlaps(&SimRange::new(20, 30)));
+    }
+
+    #[test]
+    fn injection_constructor() {
+        let f = FaultInjection::new(FaultKind::VmDown, FaultTarget::Vm(3), 0, 100);
+        assert_eq!(f.range, SimRange::new(0, 100));
+        assert_eq!(f.target, FaultTarget::Vm(3));
+    }
+}

@@ -1,0 +1,41 @@
+//! # simfleet — a deterministic cloud-fleet simulator
+//!
+//! The paper evaluates CDI on Alibaba Cloud's production fleet (>1M physical
+//! servers, tens of millions of VMs) — data we cannot have. This crate is
+//! the substitution (DESIGN.md §1): a seeded, fully deterministic simulator
+//! that produces the same *kinds* of raw signals CloudBot consumes —
+//! metrics, logs, customer tickets, control-plane operation outcomes — from
+//! a topology of regions, availability zones, clusters, node controllers
+//! (NCs) and VMs, under injected faults with known ground truth.
+//!
+//! Determinism is load-bearing: every experiment in `crates/bench` fixes a
+//! seed, so each paper figure is regenerated bit-identically, and tests can
+//! assert against known injected damage — something the paper itself cannot
+//! do with production data.
+//!
+//! - [`topology`] — the fleet model, including dedicated/shared VM types and
+//!   the homogeneous/hybrid deployment architectures of Fig. 7.
+//! - [`telemetry`] — per-target metric series with daily seasonality, noise,
+//!   and fault-driven distortions.
+//! - [`faults`] — the injectable fault library with per-fault ground truth
+//!   (category, affected metrics, expected events).
+//! - [`changes`] — gradual change-release rollouts that can carry a defect
+//!   (Case 1 / Case 6 style regressions).
+//! - [`tickets`] — customer tickets generated from experienced damage with
+//!   per-category report propensities (drives Fig. 2 and Eq. 2 weights).
+//! - [`world`] — ties everything together: the queryable `SimWorld`.
+//! - [`scenario`] — pre-built worlds for each paper experiment.
+
+#![warn(missing_docs)]
+
+pub mod changes;
+pub mod faults;
+pub mod scenario;
+pub mod telemetry;
+pub mod tickets;
+pub mod topology;
+pub mod world;
+
+pub use faults::{FaultInjection, FaultKind};
+pub use topology::{DeploymentArch, Fleet, FleetConfig, NcId, VmId, VmType};
+pub use world::{LogLine, SimWorld};

@@ -1,0 +1,663 @@
+//! Pre-built scenarios, one per paper experiment (see DESIGN.md §3).
+//!
+//! Each scenario fixes a seed, a fleet shape, and a fault schedule chosen so
+//! that the *shape* of the paper's corresponding figure emerges from the
+//! real pipeline (collector → extractor → CDI), not from hard-coded curves.
+//! Intensities are calibrated to the paper's reported relative magnitudes,
+//! not Alibaba's absolute (and normalized) values.
+
+use serde::{Deserialize, Serialize};
+
+use crate::faults::{FaultInjection, FaultKind, FaultTarget};
+use crate::telemetry::unit;
+use crate::topology::{DeploymentArch, Fleet, FleetConfig, VmId};
+use crate::world::SimWorld;
+
+/// Milliseconds per simulated day.
+pub const DAY: i64 = 86_400_000;
+/// Milliseconds per hour.
+pub const HOUR: i64 = 3_600_000;
+/// Milliseconds per minute.
+pub const MINUTE: i64 = 60_000;
+
+/// Background fault rates: expected faults per VM per day, per category.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundRates {
+    /// Short unavailability episodes (crash + auto-restart).
+    pub unavailability: f64,
+    /// Performance degradations (slow IO, packet loss, contention).
+    pub performance: f64,
+    /// Control-plane hiccups.
+    pub control_plane: f64,
+}
+
+impl BackgroundRates {
+    /// A quiet production day: rare unavailability, occasional performance
+    /// noise, sporadic control hiccups.
+    pub fn quiet() -> Self {
+        BackgroundRates { unavailability: 0.01, performance: 0.15, control_plane: 0.03 }
+    }
+
+    /// Uniformly scale every rate.
+    pub fn scaled(&self, f: f64) -> Self {
+        BackgroundRates {
+            unavailability: self.unavailability * f,
+            performance: self.performance * f,
+            control_plane: self.control_plane * f,
+        }
+    }
+}
+
+/// Deterministically inject background faults over `[start, end)` at the
+/// given per-VM daily rates. Fault start times, kinds and durations all
+/// derive from the seed.
+pub fn background_faults(
+    world: &mut SimWorld,
+    start: i64,
+    end: i64,
+    rates: &BackgroundRates,
+) {
+    let seed = world.seed();
+    let vm_ids: Vec<VmId> = world.fleet.vms().iter().map(|v| v.id).collect();
+    let mut injections = Vec::new();
+    let days = (end - start) / DAY;
+    for vm in vm_ids {
+        for d in 0..days.max(1) {
+            let day_start = start + d * DAY;
+            // Performance faults.
+            let u = unit(seed, vm.wrapping_mul(3) ^ 0x11, day_start);
+            if u < rates.performance {
+                let at = day_start + (unit(seed, vm ^ 0x22, day_start) * DAY as f64) as i64;
+                let dur = 5 * MINUTE + (unit(seed, vm ^ 0x33, day_start) * 25.0) as i64 * MINUTE;
+                let kind = match (u * 1000.0) as u64 % 3 {
+                    0 => FaultKind::SlowIo { factor: 6.0 },
+                    1 => FaultKind::PacketLoss { rate: 0.08 },
+                    _ => FaultKind::CpuContention { steal: 0.25 },
+                };
+                injections.push(FaultInjection::new(
+                    kind,
+                    FaultTarget::Vm(vm),
+                    at,
+                    (at + dur).min(end),
+                ));
+            }
+            // Unavailability faults (short crash + restart).
+            let u = unit(seed, vm.wrapping_mul(5) ^ 0x44, day_start);
+            if u < rates.unavailability {
+                let at = day_start + (unit(seed, vm ^ 0x55, day_start) * DAY as f64) as i64;
+                let dur = 2 * MINUTE + (unit(seed, vm ^ 0x66, day_start) * 8.0) as i64 * MINUTE;
+                injections.push(FaultInjection::new(
+                    FaultKind::VmDown,
+                    FaultTarget::Vm(vm),
+                    at,
+                    (at + dur).min(end),
+                ));
+            }
+            // Control-plane hiccups.
+            let u = unit(seed, vm.wrapping_mul(7) ^ 0x77, day_start);
+            if u < rates.control_plane {
+                let at = day_start + (unit(seed, vm ^ 0x88, day_start) * DAY as f64) as i64;
+                let dur = 10 * MINUTE + (unit(seed, vm ^ 0x99, day_start) * 20.0) as i64 * MINUTE;
+                injections.push(FaultInjection::new(
+                    FaultKind::ControlPlaneOutage,
+                    FaultTarget::Vm(vm),
+                    at,
+                    (at + dur).min(end),
+                ));
+            }
+        }
+    }
+    world.inject_all(injections);
+}
+
+/// A modest default fleet used by most scenarios (~192 VMs).
+pub fn default_fleet() -> Fleet {
+    Fleet::build(&FleetConfig::default())
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5: incident comparison (CDI vs AIR vs Downtime Percentage)
+// ---------------------------------------------------------------------------
+
+/// One Fig. 5 scenario day.
+#[derive(Debug)]
+pub struct IncidentDay {
+    /// Figure label (`Daily`, `20240425`, `20240702`, `20250107`).
+    pub label: &'static str,
+    /// The world with background plus (possibly) incident faults.
+    pub world: SimWorld,
+}
+
+/// Build the four Fig. 5 days: a quiet baseline and three incidents.
+///
+/// - **20240425** — Availability Zone C, Singapore: infrastructure outage
+///   taking VMs down for ~2 hours (unavailability shows in CDI-U, AIR, DP).
+/// - **20240702** — AZ N, Shanghai: network access abnormalities; VMs
+///   unreachable (~70 min) plus heavy packet loss around the window.
+/// - **20250107** — Shanghai region: purchase/modify APIs broken for ~4
+///   hours; **existing VMs unaffected** — only CDI-C can see it.
+pub fn fig5_incident_days(seed: u64) -> Vec<IncidentDay> {
+    let build = |label: &'static str, f: &dyn Fn(&mut SimWorld)| -> IncidentDay {
+        let mut world = SimWorld::new(default_fleet(), seed);
+        background_faults(&mut world, 0, DAY, &BackgroundRates::quiet());
+        f(&mut world);
+        IncidentDay { label, world }
+    };
+    vec![
+        build("Daily", &|_| {}),
+        build("20240425", &|w| {
+            // AZ-wide outage from 09:10 to 11:20. ap-singapore sorts first
+            // alphabetically; its first AZ has index 0.
+            w.inject(FaultInjection::new(
+                FaultKind::NcDown,
+                FaultTarget::Az(0),
+                9 * HOUR + 10 * MINUTE,
+                11 * HOUR + 20 * MINUTE,
+            ));
+        }),
+        build("20240702", &|w| {
+            // Network abnormalities in one Shanghai AZ: unreachable VMs for
+            // ~70 minutes plus packet loss bracketing the outage.
+            let az = 4; // cn-shanghai-a in the sorted AZ list
+            w.inject(FaultInjection::new(
+                FaultKind::VmDown,
+                FaultTarget::Az(az),
+                18 * HOUR + 30 * MINUTE,
+                19 * HOUR + 40 * MINUTE,
+            ));
+            w.inject(FaultInjection::new(
+                FaultKind::PacketLoss { rate: 0.5 },
+                FaultTarget::Az(az),
+                18 * HOUR,
+                21 * HOUR,
+            ));
+        }),
+        build("20250107", &|w| {
+            // Control-plane-only incident in the early evening (the
+            // business peak, as in Case 2).
+            w.inject(FaultInjection::new(
+                FaultKind::ControlPlaneOutage,
+                FaultTarget::Global,
+                17 * HOUR,
+                21 * HOUR,
+            ));
+        }),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6: Fiscal Year 2024 trend
+// ---------------------------------------------------------------------------
+
+/// Per-day fault rates for the FY2024 scenario: the year starts at
+/// `quiet()`-like levels and governance work drives each category down by
+/// the paper's reported reductions (−40% U, −80% P, −35% C).
+pub fn fy2024_rates(day: usize, total_days: usize) -> BackgroundRates {
+    let f = day as f64 / (total_days.max(2) - 1) as f64;
+    let base = BackgroundRates::quiet();
+    BackgroundRates {
+        unavailability: base.unavailability * (1.0 - 0.40 * f),
+        performance: base.performance * (1.0 - 0.80 * f),
+        control_plane: base.control_plane * (1.0 - 0.35 * f),
+    }
+}
+
+/// Build the FY2024 world: `total_days` of background faults with declining
+/// rates.
+pub fn fig6_fy2024(seed: u64, total_days: usize) -> SimWorld {
+    fig6_fy2024_selective(seed, total_days, [true, true, true])
+}
+
+/// FY2024 with governance applied selectively per category
+/// `[unavailability, performance, control-plane]` — the ablation that
+/// attributes each sub-metric's reduction to its own mitigation strategy
+/// (fault prediction / virtualization optimization / redundant deployment
+/// in the paper's Section VI-A). Categories with `false` keep their initial
+/// fault rate all year.
+pub fn fig6_fy2024_selective(seed: u64, total_days: usize, govern: [bool; 3]) -> SimWorld {
+    let mut world = SimWorld::new(default_fleet(), seed);
+    let base = BackgroundRates::quiet();
+    for d in 0..total_days {
+        let declining = fy2024_rates(d, total_days);
+        let rates = BackgroundRates {
+            unavailability: if govern[0] { declining.unavailability } else { base.unavailability },
+            performance: if govern[1] { declining.performance } else { base.performance },
+            control_plane: if govern[2] { declining.control_plane } else { base.control_plane },
+        };
+        let start = d as i64 * DAY;
+        background_faults(&mut world, start, start + DAY, &rates);
+    }
+    world
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8: architecture comparison (Case 5)
+// ---------------------------------------------------------------------------
+
+/// The Fig. 8 world: two NC pools (homogeneous vs hybrid) observed for
+/// `total_days`. From `bug_start_day` the hybrid pool's `modelB` NCs hit the
+/// core-overlap contention bug; mitigation (lock + migrate + rollback)
+/// progressively removes it until `converge_day`.
+pub struct ArchitectureScenario {
+    /// The world (both pools in one fleet).
+    pub world: SimWorld,
+    /// NC ids in the homogeneous pool.
+    pub homogeneous_ncs: Vec<u64>,
+    /// NC ids in the hybrid pool.
+    pub hybrid_ncs: Vec<u64>,
+}
+
+/// Build the Case 5 scenario.
+pub fn fig8_architecture(
+    seed: u64,
+    total_days: usize,
+    bug_start_day: usize,
+    peak_day: usize,
+    converge_day: usize,
+) -> ArchitectureScenario {
+    // One region, two clusters: cluster 0 stays homogeneous, cluster 1 is
+    // the hybrid rollout. Models alternate so half the hybrid NCs are the
+    // affected modelB.
+    let mut fleet = Fleet::build(&FleetConfig {
+        regions: vec!["cn-hangzhou".into()],
+        azs_per_region: 1,
+        clusters_per_az: 2,
+        ncs_per_cluster: 8,
+        vms_per_nc: 8,
+        nc_cores: 104,
+        machine_models: vec!["modelA".into(), "modelB".into()],
+        arch: DeploymentArch::Hybrid,
+    });
+    let (mut homogeneous, mut hybrid) = (Vec::new(), Vec::new());
+    let ncs: Vec<(u64, String)> =
+        fleet.ncs().iter().map(|n| (n.id, n.cluster.clone())).collect();
+    for (id, cluster) in ncs {
+        if cluster.ends_with("c0") {
+            fleet.set_arch(id, DeploymentArch::HomogeneousShared).unwrap();
+            homogeneous.push(id);
+        } else {
+            hybrid.push(id);
+        }
+    }
+    let mut world = SimWorld::new(fleet, seed);
+    background_faults(&mut world, 0, total_days as i64 * DAY, &BackgroundRates::quiet());
+
+    // The incompatibility bug: contention on hybrid modelB NCs. Intensity
+    // ramps up from bug_start_day to peak_day (expansion of the hybrid
+    // rollout), then mitigation shrinks it to zero by converge_day.
+    let model_b: Vec<u64> = hybrid
+        .iter()
+        .copied()
+        .filter(|&id| world.fleet.nc(id).unwrap().machine_model == "modelB")
+        .collect();
+    let mut injections = Vec::new();
+    for d in bug_start_day..converge_day {
+        let intensity = if d < peak_day {
+            (d - bug_start_day + 1) as f64 / (peak_day - bug_start_day) as f64
+        } else {
+            1.0 - (d - peak_day) as f64 / (converge_day - peak_day) as f64
+        };
+        // Each affected NC contends for `intensity`-scaled hours that day.
+        for &nc in &model_b {
+            let hours = (intensity * 10.0).round() as i64;
+            if hours == 0 {
+                continue;
+            }
+            let at = d as i64 * DAY + 9 * HOUR;
+            injections.push(FaultInjection::new(
+                FaultKind::CpuContention { steal: 0.35 },
+                FaultTarget::Nc(nc),
+                at,
+                at + hours * HOUR,
+            ));
+        }
+    }
+    world.inject_all(injections);
+    ArchitectureScenario { world, homogeneous_ncs: homogeneous, hybrid_ncs: hybrid }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9: event-level CDI (Cases 6 and 7)
+// ---------------------------------------------------------------------------
+
+/// Fig. 9(a): a month of low-level `vm_allocation_failed` background, with
+/// the scheduler data-corruption change spiking it on `spike_day` and fixed
+/// the next day.
+pub fn fig9a_allocation(seed: u64, total_days: usize, spike_day: usize) -> SimWorld {
+    let mut world = SimWorld::new(default_fleet(), seed);
+    let n_vms = world.fleet.vms().len() as u64;
+    let mut injections = Vec::new();
+    for d in 0..total_days {
+        let day_start = d as i64 * DAY;
+        // Background: roughly 2% of VMs see a brief allocation failure.
+        for vm in 0..n_vms {
+            if unit(seed, vm ^ 0xA11, day_start) < 0.02 {
+                let at = day_start + (unit(seed, vm ^ 0xA12, day_start) * DAY as f64) as i64;
+                injections.push(FaultInjection::new(
+                    FaultKind::SchedulerDataCorruption,
+                    FaultTarget::Vm(vm),
+                    at,
+                    (at + 30 * MINUTE).min(day_start + DAY),
+                ));
+            }
+        }
+        // The spike: the corrupted scheduler over-commits ~35% of VMs for
+        // most of the day.
+        if d == spike_day {
+            for vm in 0..n_vms {
+                if unit(seed, vm ^ 0xA13, day_start) < 0.35 {
+                    injections.push(FaultInjection::new(
+                        FaultKind::SchedulerDataCorruption,
+                        FaultTarget::Vm(vm),
+                        day_start + 2 * HOUR,
+                        day_start + 20 * HOUR,
+                    ));
+                }
+            }
+        }
+    }
+    world.inject_all(injections);
+    world
+}
+
+/// Fig. 9(b): the power-collector zeroing bug. The `inspect_cpu_power_tdp`
+/// event fires when NC power approaches TDP; the bug (power reads zero)
+/// rolls out across NCs from `decline_day`, bottoms out, and is fixed from
+/// `fix_day`.
+pub fn fig9b_power(seed: u64, total_days: usize, decline_day: usize, fix_day: usize) -> SimWorld {
+    let mut world = SimWorld::new(default_fleet(), seed);
+    let nc_count = world.fleet.ncs().len() as u64;
+    let mut injections = Vec::new();
+    for d in decline_day..fix_day {
+        // Coverage of the buggy collector grows linearly to 100%.
+        let coverage =
+            ((d - decline_day + 1) as f64 / (fix_day - decline_day) as f64).min(1.0);
+        for nc in 0..nc_count {
+            if unit(seed, nc ^ 0xB01, d as i64) < coverage {
+                injections.push(FaultInjection::new(
+                    FaultKind::PowerZeroBug,
+                    FaultTarget::Nc(nc),
+                    d as i64 * DAY,
+                    (d + 1) as i64 * DAY,
+                ));
+            }
+        }
+    }
+    let _ = total_days;
+    world.inject_all(injections);
+    world
+}
+
+// ---------------------------------------------------------------------------
+// Table V / Fig. 11: operation-action A/B test (Case 8)
+// ---------------------------------------------------------------------------
+
+/// One A/B trial: a VM that was live-migrated by one of the candidate
+/// actions, with its post-action damage profile.
+#[derive(Debug, Clone)]
+pub struct AbTrial {
+    /// The VM.
+    pub vm: VmId,
+    /// Which action (0 = A, 1 = B, 2 = C).
+    pub action: usize,
+    /// Start of the 2-day observation window.
+    pub window_start: i64,
+}
+
+/// The Case 8 A/B world: over `months` months, `nc_down_prediction` fires
+/// repeatedly; each hit live-migrates the NC's VMs with one of three
+/// candidate actions. The actions differ only in migration parameters, so
+/// only the **performance** damage differs (paper: mean PI 0.40 / 0.08 /
+/// 0.42 after normalization); unavailability and control-plane damage is
+/// statistically identical across actions (Table V: p = 0.47 / 0.89).
+pub struct AbTestScenario {
+    /// The world with all post-action damage injected.
+    pub world: SimWorld,
+    /// The trials (VM, action, window).
+    pub trials: Vec<AbTrial>,
+    /// Observation window length (ms): the paper's "subsequent two days".
+    pub window: i64,
+}
+
+/// Build the A/B scenario. `trials_per_action` VMs end up in each arm.
+pub fn table5_abtest(seed: u64, trials_per_action: usize) -> AbTestScenario {
+    let mut world = SimWorld::new(default_fleet(), seed);
+    let window = 2 * DAY;
+    // Relative performance-damage intensity per action, tuned to the
+    // paper's normalized means 0.40 / 0.08 / 0.42 (B ≈ 5x better, C
+    // slightly worse than A): hours of residual degradation per 2-day
+    // window. The A-C gap is a touch wider than the paper's 5% so the
+    // rank-based post-hoc can resolve it at our sample sizes (the paper
+    // had months of production trials).
+    let mean_hours = [8.0, 1.6, 8.8];
+    let n_vms = world.fleet.vms().len();
+    let mut trials = Vec::new();
+    let mut injections = Vec::new();
+    for i in 0..trials_per_action * 3 {
+        let action = i % 3;
+        let vm = (i % n_vms) as VmId;
+        // Trials are spread over three months, one firing every ~7 hours.
+        // The spacing is deliberately *not* a divisor of 24 h so the three
+        // arms rotate through all day phases instead of each being pinned
+        // to one (which would confound the arms with daily seasonality).
+        let window_start = (i as i64) * 7 * HOUR;
+        // Post-migration performance damage: slow IO with duration noise
+        // (±20%) around the action's mean. Factor 8 keeps the degraded
+        // latency above the extraction threshold at every seasonal phase.
+        let jitter = 0.8 + 0.4 * unit(seed, vm ^ (0xC0 + action as u64), window_start);
+        let dur = (mean_hours[action] * jitter * HOUR as f64) as i64;
+        injections.push(FaultInjection::new(
+            FaultKind::SlowIo { factor: 8.0 },
+            FaultTarget::Vm(vm),
+            window_start + 2 * HOUR,
+            window_start + 2 * HOUR + dur.max(10 * MINUTE),
+        ));
+        // The live migration itself: a brief, action-independent stall.
+        let stall = 2 * MINUTE + (unit(seed, vm ^ 0xC9, window_start) * 3.0) as i64 * MINUTE;
+        injections.push(FaultInjection::new(
+            FaultKind::VmDown,
+            FaultTarget::Vm(vm),
+            window_start + HOUR,
+            window_start + HOUR + stall,
+        ));
+        // Control-plane noise, also action-independent.
+        if unit(seed, vm ^ 0xCA, window_start) < 0.3 {
+            let at = window_start + 10 * HOUR;
+            injections.push(FaultInjection::new(
+                FaultKind::ControlPlaneOutage,
+                FaultTarget::Vm(vm),
+                at,
+                at + 20 * MINUTE,
+            ));
+        }
+        trials.push(AbTrial { vm, action, window_start });
+    }
+    world.inject_all(injections);
+    AbTestScenario { world, trials, window }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2: ticket corpus
+// ---------------------------------------------------------------------------
+
+/// The Fig. 2 world: 18 (compressed) months of faults whose category mix,
+/// after per-category report propensities, lands near the paper's ticket
+/// distribution (27% unavailability / 44% performance / 29% control-plane).
+pub fn fig2_ticket_world(seed: u64, days: usize) -> SimWorld {
+    let mut world = SimWorld::new(default_fleet(), seed);
+    // With propensities (0.9, 0.5, 0.7), fault counts proportional to
+    // (27/0.9, 44/0.5, 29/0.7) = (30, 88, 41.4) yield the target ticket mix.
+    let per_day = BackgroundRates {
+        unavailability: 0.055,
+        performance: 0.161,
+        control_plane: 0.076,
+    };
+    background_faults(&mut world, 0, days as i64 * DAY, &per_day);
+    world
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::DamageCategory;
+
+    #[test]
+    fn background_rates_scale() {
+        let r = BackgroundRates::quiet().scaled(2.0);
+        assert!((r.performance - 0.30).abs() < 1e-12);
+    }
+
+    #[test]
+    fn background_faults_fill_categories() {
+        let mut w = SimWorld::new(default_fleet(), 11);
+        background_faults(&mut w, 0, 30 * DAY, &BackgroundRates::quiet());
+        let cats: Vec<DamageCategory> =
+            w.faults().iter().map(|f| f.kind.category()).collect();
+        assert!(cats.contains(&DamageCategory::Unavailability));
+        assert!(cats.contains(&DamageCategory::Performance));
+        assert!(cats.contains(&DamageCategory::ControlPlane));
+        // All faults inside the window.
+        assert!(w.faults().iter().all(|f| f.range.start >= 0 && f.range.end <= 30 * DAY));
+    }
+
+    #[test]
+    fn fig5_has_four_labeled_days() {
+        let days = fig5_incident_days(3);
+        let labels: Vec<&str> = days.iter().map(|d| d.label).collect();
+        assert_eq!(labels, vec!["Daily", "20240425", "20240702", "20250107"]);
+        // The control-plane day carries a global control-plane fault.
+        assert!(days[3]
+            .world
+            .faults()
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::ControlPlaneOutage)
+                && f.target == FaultTarget::Global));
+        // The 20240425 day has an AZ-scoped NC outage.
+        assert!(days[1]
+            .world
+            .faults()
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::NcDown)));
+    }
+
+    #[test]
+    fn fy2024_rates_decline_by_paper_percentages() {
+        let first = fy2024_rates(0, 365);
+        let last = fy2024_rates(364, 365);
+        assert!((last.unavailability / first.unavailability - 0.60).abs() < 1e-9);
+        assert!((last.performance / first.performance - 0.20).abs() < 1e-9);
+        assert!((last.control_plane / first.control_plane - 0.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig8_pools_are_disjoint_and_bug_targets_model_b_hybrid() {
+        let s = fig8_architecture(5, 40, 13, 20, 28);
+        assert!(!s.homogeneous_ncs.is_empty());
+        assert!(!s.hybrid_ncs.is_empty());
+        assert!(s.homogeneous_ncs.iter().all(|id| !s.hybrid_ncs.contains(id)));
+        // NC-scoped contention is the injected bug; VM-scoped contention can
+        // also occur as ordinary background noise.
+        let contention: Vec<&FaultInjection> = s
+            .world
+            .faults()
+            .iter()
+            .filter(|f| {
+                matches!(f.kind, FaultKind::CpuContention { .. })
+                    && matches!(f.target, FaultTarget::Nc(_))
+            })
+            .collect();
+        assert!(!contention.is_empty());
+        for f in &contention {
+            let FaultTarget::Nc(nc) = f.target else {
+                panic!("contention must be NC-scoped")
+            };
+            assert!(s.hybrid_ncs.contains(&nc));
+            assert_eq!(s.world.fleet.nc(nc).unwrap().machine_model, "modelB");
+            // Bug active only in [13, 28) days.
+            assert!(f.range.start >= 13 * DAY && f.range.end <= 28 * DAY);
+        }
+    }
+
+    #[test]
+    fn fig9a_spike_day_dominates() {
+        let w = fig9a_allocation(9, 30, 14);
+        let per_day = |d: i64| {
+            w.faults()
+                .iter()
+                .filter(|f| f.range.start >= d * DAY && f.range.start < (d + 1) * DAY)
+                .count()
+        };
+        let spike = per_day(14);
+        let typical = per_day(10).max(1);
+        assert!(spike > 5 * typical, "spike {spike} vs typical {typical}");
+    }
+
+    #[test]
+    fn fig9b_coverage_grows_then_fixes() {
+        let w = fig9b_power(4, 30, 13, 18);
+        let per_day = |d: i64| {
+            w.faults()
+                .iter()
+                .filter(|f| {
+                    matches!(f.kind, FaultKind::PowerZeroBug) && f.range.start == d * DAY
+                })
+                .count()
+        };
+        assert_eq!(per_day(12), 0);
+        assert!(per_day(17) > per_day(13), "coverage grows");
+        assert_eq!(per_day(18), 0, "fixed");
+    }
+
+    #[test]
+    fn abtest_balanced_arms_with_distinct_performance() {
+        let s = table5_abtest(21, 60);
+        assert_eq!(s.trials.len(), 180);
+        for a in 0..3 {
+            assert_eq!(s.trials.iter().filter(|t| t.action == a).count(), 60);
+        }
+        // Mean slow-io duration per arm ordered like the paper: B << A < C.
+        let mean_dur = |action: usize| -> f64 {
+            let trials: Vec<&AbTrial> =
+                s.trials.iter().filter(|t| t.action == action).collect();
+            let total: i64 = trials
+                .iter()
+                .map(|t| {
+                    s.world
+                        .faults()
+                        .iter()
+                        .filter(|f| {
+                            matches!(f.kind, FaultKind::SlowIo { .. })
+                                && f.target == FaultTarget::Vm(t.vm)
+                                && f.range.start >= t.window_start
+                                && f.range.start < t.window_start + s.window
+                        })
+                        .map(|f| f.range.end - f.range.start)
+                        .sum::<i64>()
+                })
+                .sum();
+            total as f64 / trials.len() as f64
+        };
+        let (a, b, c) = (mean_dur(0), mean_dur(1), mean_dur(2));
+        assert!(b < a * 0.4, "B ({b}) must be far below A ({a})");
+        assert!(c > a, "C ({c}) slightly worse than A ({a})");
+    }
+
+    #[test]
+    fn fig2_world_mixes_categories_toward_target() {
+        let w = fig2_ticket_world(2, 90);
+        let count = |c: DamageCategory| {
+            w.faults().iter().filter(|f| f.kind.category() == c).count() as f64
+        };
+        let (u, p, cp) = (
+            count(DamageCategory::Unavailability),
+            count(DamageCategory::Performance),
+            count(DamageCategory::ControlPlane),
+        );
+        let total = u + p + cp;
+        assert!(total > 100.0, "enough faults to be stable: {total}");
+        // Fault mix near (30, 88, 41)/159.
+        assert!((u / total - 0.19).abs() < 0.06, "u share {}", u / total);
+        assert!((p / total - 0.55).abs() < 0.08, "p share {}", p / total);
+        assert!((cp / total - 0.26).abs() < 0.06, "cp share {}", cp / total);
+    }
+}

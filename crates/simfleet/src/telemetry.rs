@@ -1,0 +1,180 @@
+//! Metric-series generation: deterministic baselines with daily seasonality
+//! plus fault-driven distortions.
+//!
+//! Values are pure functions of `(seed, target, metric, timestamp)` — no
+//! stored state — so any time range can be queried lazily at any resolution
+//! and experiments re-generate identical series from a fixed seed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::faults::FaultKind;
+
+/// Metrics the simulated collector can sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Cloud-disk read latency (ms) — the paper's running example.
+    ReadLatencyMs,
+    /// Network packet loss (percent).
+    PacketLossPct,
+    /// CPU steal fraction (0..1) — contention signal for Case 5.
+    CpuSteal,
+    /// NC power draw (watts) — Case 7's TDP inspection input.
+    PowerWatts,
+    /// Liveness: 1.0 when the target responds, 0.0 when down.
+    Heartbeat,
+    /// GPU health: 1.0 healthy, 0.0 dropped off the bus.
+    GpuHealth,
+}
+
+impl Metric {
+    /// All metrics.
+    pub const ALL: [Metric; 6] = [
+        Metric::ReadLatencyMs,
+        Metric::PacketLossPct,
+        Metric::CpuSteal,
+        Metric::PowerWatts,
+        Metric::Heartbeat,
+        Metric::GpuHealth,
+    ];
+}
+
+/// SplitMix64 — the deterministic noise generator.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform noise in `[-0.5, 0.5)` from the tuple `(seed, target, metric, t)`.
+pub fn noise(seed: u64, target: u64, metric: Metric, t: i64) -> f64 {
+    let mixed = splitmix(
+        seed ^ splitmix(target) ^ splitmix(metric as u64 + 1) ^ splitmix(t as u64),
+    );
+    (mixed as f64 / u64::MAX as f64) - 0.5
+}
+
+/// Uniform sample in `[0, 1)` — used for probabilistic decisions (tickets,
+/// sporadic failures) that must stay reproducible.
+pub fn unit(seed: u64, salt: u64, t: i64) -> f64 {
+    noise(seed, salt, Metric::Heartbeat, t) + 0.5
+}
+
+const DAY_MS: f64 = 86_400_000.0;
+
+/// Daily seasonal factor in `[-1, 1]` peaking in the (simulated) evening.
+pub fn seasonal(t: i64) -> f64 {
+    let phase = (t as f64 % DAY_MS) / DAY_MS;
+    (2.0 * std::f64::consts::PI * (phase - 0.25)).sin()
+}
+
+/// Healthy baseline value of a metric at time `t`.
+pub fn baseline(metric: Metric, seed: u64, target: u64, t: i64) -> f64 {
+    let n = noise(seed, target, metric, t);
+    match metric {
+        Metric::ReadLatencyMs => 2.0 + 0.4 * seasonal(t) + 0.2 * n,
+        Metric::PacketLossPct => (0.01 + 0.02 * n.abs()).max(0.0),
+        Metric::CpuSteal => (0.005 + 0.01 * n.abs() + 0.002 * seasonal(t).max(0.0)).max(0.0),
+        Metric::PowerWatts => 300.0 + 60.0 * seasonal(t) + 5.0 * n,
+        Metric::Heartbeat => 1.0,
+        Metric::GpuHealth => 1.0,
+    }
+}
+
+/// Distort a metric value under an active fault. Faults not touching this
+/// metric return the value unchanged.
+pub fn apply_fault(metric: Metric, value: f64, fault: &FaultKind) -> f64 {
+    match (metric, fault) {
+        (Metric::ReadLatencyMs, FaultKind::SlowIo { factor }) => value * factor,
+        // Cloud disks are network-attached: a flapping NIC stalls IO far
+        // beyond the slow-io threshold (the paper's Fig. 1 story).
+        (Metric::ReadLatencyMs, FaultKind::NicFlapping) => value * 6.0,
+        (Metric::PacketLossPct, FaultKind::PacketLoss { rate }) => value + rate * 100.0,
+        (Metric::PacketLossPct, FaultKind::NicFlapping) => value + 5.0,
+        (Metric::PacketLossPct, FaultKind::DdosBlackhole) => 100.0,
+        (Metric::CpuSteal, FaultKind::CpuContention { steal }) => (value + steal).min(1.0),
+        (Metric::CpuSteal, FaultKind::SchedulerDataCorruption) => (value + 0.3).min(1.0),
+        (Metric::PowerWatts, FaultKind::PowerZeroBug) => 0.0,
+        (Metric::Heartbeat, FaultKind::VmDown | FaultKind::NcDown) => 0.0,
+        (Metric::GpuHealth, FaultKind::GpuDrop) => 0.0,
+        _ => value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic_and_varied() {
+        let a = noise(1, 2, Metric::ReadLatencyMs, 300);
+        let b = noise(1, 2, Metric::ReadLatencyMs, 300);
+        assert_eq!(a, b);
+        let c = noise(1, 2, Metric::ReadLatencyMs, 301);
+        assert_ne!(a, c);
+        let d = noise(2, 2, Metric::ReadLatencyMs, 300);
+        assert_ne!(a, d);
+        assert!((-0.5..0.5).contains(&a));
+    }
+
+    #[test]
+    fn noise_is_roughly_centered() {
+        let n = 10_000;
+        let mean: f64 =
+            (0..n).map(|i| noise(7, 3, Metric::CpuSteal, i)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn seasonal_period_is_one_day() {
+        let t = 3_600_000;
+        assert!((seasonal(t) - seasonal(t + 86_400_000)).abs() < 1e-9);
+        // Amplitude bounded.
+        for i in 0..48 {
+            let s = seasonal(i * 1_800_000);
+            assert!((-1.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn baselines_are_sane() {
+        for t in (0..86_400_000).step_by(3_600_000) {
+            let lat = baseline(Metric::ReadLatencyMs, 1, 1, t);
+            assert!((1.0..4.0).contains(&lat), "latency {lat}");
+            let loss = baseline(Metric::PacketLossPct, 1, 1, t);
+            assert!((0.0..1.0).contains(&loss), "loss {loss}");
+            assert_eq!(baseline(Metric::Heartbeat, 1, 1, t), 1.0);
+            assert_eq!(baseline(Metric::GpuHealth, 1, 1, t), 1.0);
+            let p = baseline(Metric::PowerWatts, 1, 1, t);
+            assert!((200.0..400.0).contains(&p), "power {p}");
+        }
+    }
+
+    #[test]
+    fn fault_distortions_hit_right_metrics() {
+        let lat = baseline(Metric::ReadLatencyMs, 1, 1, 0);
+        assert!((apply_fault(Metric::ReadLatencyMs, lat, &FaultKind::SlowIo { factor: 10.0 })
+            / lat
+            - 10.0)
+            .abs()
+            < 1e-9);
+        // SlowIo does not touch packet loss.
+        let loss = baseline(Metric::PacketLossPct, 1, 1, 0);
+        assert_eq!(apply_fault(Metric::PacketLossPct, loss, &FaultKind::SlowIo { factor: 10.0 }), loss);
+        assert_eq!(apply_fault(Metric::Heartbeat, 1.0, &FaultKind::VmDown), 0.0);
+        assert_eq!(apply_fault(Metric::PowerWatts, 321.0, &FaultKind::PowerZeroBug), 0.0);
+        assert_eq!(
+            apply_fault(Metric::PacketLossPct, 0.01, &FaultKind::DdosBlackhole),
+            100.0
+        );
+        assert_eq!(apply_fault(Metric::GpuHealth, 1.0, &FaultKind::GpuDrop), 0.0);
+    }
+
+    #[test]
+    fn unit_in_unit_interval() {
+        for i in 0..1000 {
+            let u = unit(9, 4, i);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Customer-ticket generation.
+//!
+//! Tickets drive two things in the paper: the Fig. 2 distribution
+//! (unavailability 27% / performance 44% / control-plane 29% of
+//! stability-related tickets) and the customer-perceived event weights of
+//! Eq. 2. Here tickets are generated from the ground-truth damage a VM's
+//! owner experienced, with per-category report propensities: performance
+//! issues are individually milder but far more frequent, so they dominate
+//! ticket volume — matching the paper's observed shape.
+
+use serde::{Deserialize, Serialize};
+
+use crate::faults::{DamageCategory, FaultTarget};
+use crate::telemetry::unit;
+use crate::topology::VmId;
+use crate::world::SimWorld;
+
+/// A customer support ticket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ticket {
+    /// Filing time (ms) — shortly after the issue started.
+    pub time: i64,
+    /// The affected VM.
+    pub vm: VmId,
+    /// Free text as a customer might write it.
+    pub text: String,
+    /// Ground-truth category (used to score the classifier, never shown to
+    /// the pipeline).
+    pub truth: DamageCategory,
+    /// Ground-truth fault name (for Eq. 2 per-event ticket counts).
+    pub fault_name: &'static str,
+}
+
+/// Report propensity: probability that a customer files a ticket for one
+/// experienced damage interval of each category.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReportPropensity {
+    /// Unavailability complaints (high: downtime is always noticed).
+    pub unavailability: f64,
+    /// Performance complaints.
+    pub performance: f64,
+    /// Control-plane complaints.
+    pub control_plane: f64,
+}
+
+impl Default for ReportPropensity {
+    fn default() -> Self {
+        ReportPropensity { unavailability: 0.9, performance: 0.5, control_plane: 0.7 }
+    }
+}
+
+/// Synthesize tickets from every fault a VM experienced in `[start, end)`.
+///
+/// Deterministic: the decision to file is a hash of `(seed, vm, fault
+/// start)`. Ticket text mimics customer phrasing per category so the
+/// keyword classifier in `cloudbot` has something realistic to chew on.
+pub fn generate_tickets(
+    world: &SimWorld,
+    start: i64,
+    end: i64,
+    propensity: &ReportPropensity,
+) -> Vec<Ticket> {
+    let mut out = Vec::new();
+    for f in world.faults() {
+        if f.range.start < start || f.range.start >= end {
+            continue;
+        }
+        let category = f.kind.category();
+        let p = match category {
+            DamageCategory::Unavailability => propensity.unavailability,
+            DamageCategory::Performance => propensity.performance,
+            DamageCategory::ControlPlane => propensity.control_plane,
+        };
+        // Expand the fault to the affected VMs.
+        let affected: Vec<VmId> = match f.target {
+            FaultTarget::Vm(v) => vec![v],
+            FaultTarget::Nc(nc) => world.fleet.vms_on(nc).to_vec(),
+            FaultTarget::Az(_) | FaultTarget::Global => world
+                .fleet
+                .vms()
+                .iter()
+                .map(|v| v.id)
+                .filter(|&v| {
+                    world
+                        .active_faults_on_vm(v, f.range.start)
+                        .iter()
+                        .any(|g| std::ptr::eq(*g, f))
+                })
+                .collect(),
+        };
+        for vm in affected {
+            if unit(world.seed(), vm.wrapping_mul(7919), f.range.start) >= p {
+                continue;
+            }
+            let text = match category {
+                DamageCategory::Unavailability => {
+                    format!("our instance vm-{vm} is down and unreachable, ssh times out")
+                }
+                DamageCategory::Performance => format!(
+                    "api latency on vm-{vm} increased sharply, disk io is very slow"
+                ),
+                DamageCategory::ControlPlane => format!(
+                    "cannot stop or resize vm-{vm} from the console, the api call fails"
+                ),
+            };
+            out.push(Ticket {
+                // Customers notice within ~10 minutes.
+                time: f.range.start + 600_000,
+                vm,
+                text,
+                truth: category,
+                fault_name: f.kind.name(),
+            });
+        }
+    }
+    out.sort_by_key(|t| (t.time, t.vm));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultInjection, FaultKind};
+    use crate::topology::{DeploymentArch, Fleet, FleetConfig};
+
+    fn world_with(faults: Vec<FaultInjection>) -> SimWorld {
+        let fleet = Fleet::build(&FleetConfig {
+            regions: vec!["r1".into()],
+            azs_per_region: 1,
+            clusters_per_az: 1,
+            ncs_per_cluster: 4,
+            vms_per_nc: 5,
+            nc_cores: 8,
+            machine_models: vec!["m".into()],
+            arch: DeploymentArch::Hybrid,
+        });
+        let mut w = SimWorld::new(fleet, 7);
+        w.inject_all(faults);
+        w
+    }
+
+    const HOUR: i64 = 3_600_000;
+
+    #[test]
+    fn certain_propensity_files_for_every_affected_vm() {
+        let w = world_with(vec![FaultInjection::new(
+            FaultKind::NcDown,
+            crate::faults::FaultTarget::Nc(0),
+            0,
+            HOUR,
+        )]);
+        let p = ReportPropensity { unavailability: 1.0, performance: 1.0, control_plane: 1.0 };
+        let tickets = generate_tickets(&w, 0, 2 * HOUR, &p);
+        assert_eq!(tickets.len(), w.fleet.vms_on(0).len());
+        assert!(tickets.iter().all(|t| t.truth == DamageCategory::Unavailability));
+        assert!(tickets.iter().all(|t| t.text.contains("down")));
+        assert!(tickets.iter().all(|t| t.fault_name == "nc_down"));
+    }
+
+    #[test]
+    fn zero_propensity_files_nothing() {
+        let w = world_with(vec![FaultInjection::new(
+            FaultKind::SlowIo { factor: 8.0 },
+            crate::faults::FaultTarget::Vm(1),
+            0,
+            HOUR,
+        )]);
+        let p = ReportPropensity { unavailability: 0.0, performance: 0.0, control_plane: 0.0 };
+        assert!(generate_tickets(&w, 0, HOUR, &p).is_empty());
+    }
+
+    #[test]
+    fn faults_outside_window_ignored() {
+        let w = world_with(vec![FaultInjection::new(
+            FaultKind::VmDown,
+            crate::faults::FaultTarget::Vm(1),
+            5 * HOUR,
+            6 * HOUR,
+        )]);
+        let p = ReportPropensity::default();
+        assert!(generate_tickets(&w, 0, HOUR, &p).is_empty());
+        assert!(!generate_tickets(&w, 0, 10 * HOUR, &p).is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let w = world_with(vec![FaultInjection::new(
+            FaultKind::ControlPlaneOutage,
+            crate::faults::FaultTarget::Global,
+            0,
+            HOUR,
+        )]);
+        let p = ReportPropensity::default();
+        let a = generate_tickets(&w, 0, HOUR, &p);
+        let b = generate_tickets(&w, 0, HOUR, &p);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|t| t.truth == DamageCategory::ControlPlane));
+        assert!(a.iter().all(|t| t.text.contains("console")));
+    }
+
+    #[test]
+    fn category_texts_are_distinct() {
+        let w = world_with(vec![
+            FaultInjection::new(FaultKind::VmDown, crate::faults::FaultTarget::Vm(0), 0, HOUR),
+            FaultInjection::new(
+                FaultKind::SlowIo { factor: 9.0 },
+                crate::faults::FaultTarget::Vm(1),
+                0,
+                HOUR,
+            ),
+        ]);
+        let p = ReportPropensity { unavailability: 1.0, performance: 1.0, control_plane: 1.0 };
+        let tickets = generate_tickets(&w, 0, HOUR, &p);
+        assert_eq!(tickets.len(), 2);
+        let down = tickets.iter().find(|t| t.vm == 0).unwrap();
+        let slow = tickets.iter().find(|t| t.vm == 1).unwrap();
+        assert!(down.text.contains("unreachable"));
+        assert!(slow.text.contains("slow"));
+    }
+}

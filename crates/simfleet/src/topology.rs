@@ -1,0 +1,405 @@
+//! The fleet model: regions → availability zones → clusters → node
+//! controllers (NCs) → VMs.
+//!
+//! NCs carry a machine model and a deployment architecture; VMs are
+//! dedicated (pinned cores) or shared (floating cores), mirroring Case 5 of
+//! the paper where the transition from homogeneous to hybrid deployment
+//! (Fig. 7) exposed a core-allocation overlap bug on one machine model.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node controller (physical host).
+pub type NcId = u64;
+/// Identifier of a virtual machine.
+pub type VmId = u64;
+
+/// VM resource type (Case 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VmType {
+    /// Pinned to exclusive physical cores; consistent performance.
+    Dedicated,
+    /// Floats across a shared core pool; may contend at peak.
+    Shared,
+}
+
+/// Deployment architecture of an NC (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeploymentArch {
+    /// Hosts only dedicated VMs.
+    HomogeneousDedicated,
+    /// Hosts only shared VMs.
+    HomogeneousShared,
+    /// Hosts both types on disjoint core ranges — unless the incompatibility
+    /// bug of Case 5 makes the ranges overlap on an affected machine model.
+    Hybrid,
+}
+
+/// A physical host.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Nc {
+    /// Host id.
+    pub id: NcId,
+    /// Region name, e.g. `cn-hangzhou`.
+    pub region: String,
+    /// Availability zone, e.g. `cn-hangzhou-a`.
+    pub az: String,
+    /// Cluster name within the AZ.
+    pub cluster: String,
+    /// Machine model (hardware generation), e.g. `modelA`.
+    pub machine_model: String,
+    /// Physical core count.
+    pub cores: u32,
+    /// Deployment architecture.
+    pub arch: DeploymentArch,
+    /// Locked NCs accept no new VMs (operation platform action).
+    pub locked: bool,
+    /// Decommissioned NCs are out of production.
+    pub decommissioned: bool,
+}
+
+/// A virtual machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vm {
+    /// VM id.
+    pub id: VmId,
+    /// Hosting NC.
+    pub nc: NcId,
+    /// Resource type.
+    pub vm_type: VmType,
+    /// vCPU count.
+    pub cores: u32,
+}
+
+/// Shape of a generated fleet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Region names.
+    pub regions: Vec<String>,
+    /// AZs per region.
+    pub azs_per_region: usize,
+    /// Clusters per AZ.
+    pub clusters_per_az: usize,
+    /// NCs per cluster.
+    pub ncs_per_cluster: usize,
+    /// VMs packed onto each NC.
+    pub vms_per_nc: usize,
+    /// Physical cores per NC (the paper's Case 6 example uses 104).
+    pub nc_cores: u32,
+    /// Machine models cycled across NCs.
+    pub machine_models: Vec<String>,
+    /// Architecture assigned to every NC at build time.
+    pub arch: DeploymentArch,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            regions: vec!["cn-hangzhou".into(), "cn-shanghai".into(), "ap-singapore".into()],
+            azs_per_region: 2,
+            clusters_per_az: 2,
+            ncs_per_cluster: 4,
+            vms_per_nc: 8,
+            nc_cores: 104,
+            machine_models: vec!["modelA".into(), "modelB".into()],
+            arch: DeploymentArch::Hybrid,
+        }
+    }
+}
+
+/// The fleet: all NCs and VMs plus placement indices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fleet {
+    ncs: Vec<Nc>,
+    vms: Vec<Vm>,
+    vm_index: HashMap<VmId, usize>,
+    nc_index: HashMap<NcId, usize>,
+    by_nc: HashMap<NcId, Vec<VmId>>,
+}
+
+impl Fleet {
+    /// Build a fleet from a config: NCs are laid out region → AZ → cluster,
+    /// VMs are packed onto each NC alternating dedicated/shared (hybrid
+    /// NCs) or uniformly typed (homogeneous NCs).
+    pub fn build(config: &FleetConfig) -> Fleet {
+        let mut ncs = Vec::new();
+        let mut vms = Vec::new();
+        let mut next_vm: VmId = 0;
+        let mut next_nc: NcId = 0;
+        for region in &config.regions {
+            for az_i in 0..config.azs_per_region {
+                let az = format!("{region}-{}", (b'a' + az_i as u8) as char);
+                for cl_i in 0..config.clusters_per_az {
+                    let cluster = format!("{az}-c{cl_i}");
+                    for _ in 0..config.ncs_per_cluster {
+                        let model = config.machine_models
+                            [next_nc as usize % config.machine_models.len()]
+                        .clone();
+                        let nc_id = next_nc;
+                        next_nc += 1;
+                        ncs.push(Nc {
+                            id: nc_id,
+                            region: region.clone(),
+                            az: az.clone(),
+                            cluster: cluster.clone(),
+                            machine_model: model,
+                            cores: config.nc_cores,
+                            arch: config.arch,
+                            locked: false,
+                            decommissioned: false,
+                        });
+                        for v in 0..config.vms_per_nc {
+                            let vm_type = match config.arch {
+                                DeploymentArch::HomogeneousDedicated => VmType::Dedicated,
+                                DeploymentArch::HomogeneousShared => VmType::Shared,
+                                DeploymentArch::Hybrid => {
+                                    if v % 2 == 0 {
+                                        VmType::Dedicated
+                                    } else {
+                                        VmType::Shared
+                                    }
+                                }
+                            };
+                            vms.push(Vm { id: next_vm, nc: nc_id, vm_type, cores: 4 });
+                            next_vm += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let vm_index = vms.iter().enumerate().map(|(i, v)| (v.id, i)).collect();
+        let nc_index = ncs.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
+        let mut by_nc: HashMap<NcId, Vec<VmId>> = HashMap::new();
+        for v in &vms {
+            by_nc.entry(v.nc).or_default().push(v.id);
+        }
+        Fleet { ncs, vms, vm_index, nc_index, by_nc }
+    }
+
+    /// All NCs.
+    pub fn ncs(&self) -> &[Nc] {
+        &self.ncs
+    }
+
+    /// All VMs.
+    pub fn vms(&self) -> &[Vm] {
+        &self.vms
+    }
+
+    /// Look up a VM.
+    pub fn vm(&self, id: VmId) -> Option<&Vm> {
+        self.vm_index.get(&id).map(|&i| &self.vms[i])
+    }
+
+    /// Look up an NC.
+    pub fn nc(&self, id: NcId) -> Option<&Nc> {
+        self.nc_index.get(&id).map(|&i| &self.ncs[i])
+    }
+
+    /// The NC hosting a VM.
+    pub fn host_of(&self, vm: VmId) -> Option<&Nc> {
+        self.vm(vm).and_then(|v| self.nc(v.nc))
+    }
+
+    /// VMs placed on an NC.
+    pub fn vms_on(&self, nc: NcId) -> &[VmId] {
+        self.by_nc.get(&nc).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Migrate a VM to a new host (live migration / cold migration effect).
+    /// Fails if the destination is locked, decommissioned, or unknown.
+    pub fn migrate(&mut self, vm: VmId, to: NcId) -> Result<(), String> {
+        let dest = self.nc(to).ok_or_else(|| format!("unknown NC {to}"))?;
+        if dest.locked {
+            return Err(format!("NC {to} is locked"));
+        }
+        if dest.decommissioned {
+            return Err(format!("NC {to} is decommissioned"));
+        }
+        let &vi = self.vm_index.get(&vm).ok_or_else(|| format!("unknown VM {vm}"))?;
+        let from = self.vms[vi].nc;
+        if from == to {
+            return Ok(());
+        }
+        self.vms[vi].nc = to;
+        if let Some(list) = self.by_nc.get_mut(&from) {
+            list.retain(|&v| v != vm);
+        }
+        self.by_nc.entry(to).or_default().push(vm);
+        Ok(())
+    }
+
+    /// Lock an NC (halts new placements and inbound migration).
+    pub fn lock_nc(&mut self, nc: NcId) -> Result<(), String> {
+        let &i = self.nc_index.get(&nc).ok_or_else(|| format!("unknown NC {nc}"))?;
+        self.ncs[i].locked = true;
+        Ok(())
+    }
+
+    /// Unlock an NC.
+    pub fn unlock_nc(&mut self, nc: NcId) -> Result<(), String> {
+        let &i = self.nc_index.get(&nc).ok_or_else(|| format!("unknown NC {nc}"))?;
+        self.ncs[i].locked = false;
+        Ok(())
+    }
+
+    /// Decommission an NC (must be empty of VMs).
+    pub fn decommission_nc(&mut self, nc: NcId) -> Result<(), String> {
+        if !self.vms_on(nc).is_empty() {
+            return Err(format!("NC {nc} still hosts VMs"));
+        }
+        let &i = self.nc_index.get(&nc).ok_or_else(|| format!("unknown NC {nc}"))?;
+        self.ncs[i].decommissioned = true;
+        Ok(())
+    }
+
+    /// An unlocked, in-production NC other than `exclude`, with the fewest
+    /// VMs — the migration destination chooser.
+    pub fn pick_destination(&self, exclude: NcId) -> Option<NcId> {
+        self.ncs
+            .iter()
+            .filter(|n| n.id != exclude && !n.locked && !n.decommissioned)
+            .min_by_key(|n| (self.vms_on(n.id).len(), n.id))
+            .map(|n| n.id)
+    }
+
+    /// Change the architecture tag of an NC (Case 5 rollout / rollback).
+    pub fn set_arch(&mut self, nc: NcId, arch: DeploymentArch) -> Result<(), String> {
+        let &i = self.nc_index.get(&nc).ok_or_else(|| format!("unknown NC {nc}"))?;
+        self.ncs[i].arch = arch;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fleet() -> Fleet {
+        Fleet::build(&FleetConfig {
+            regions: vec!["r1".into(), "r2".into()],
+            azs_per_region: 2,
+            clusters_per_az: 1,
+            ncs_per_cluster: 2,
+            vms_per_nc: 4,
+            nc_cores: 16,
+            machine_models: vec!["mA".into(), "mB".into()],
+            arch: DeploymentArch::Hybrid,
+        })
+    }
+
+    #[test]
+    fn build_counts() {
+        let f = small_fleet();
+        assert_eq!(f.ncs().len(), (2 * 2) * 2);
+        assert_eq!(f.vms().len(), 8 * 4);
+        // Machine models alternate.
+        assert_eq!(f.ncs()[0].machine_model, "mA");
+        assert_eq!(f.ncs()[1].machine_model, "mB");
+    }
+
+    #[test]
+    fn hierarchy_naming() {
+        let f = small_fleet();
+        let nc = &f.ncs()[0];
+        assert_eq!(nc.region, "r1");
+        assert_eq!(nc.az, "r1-a");
+        assert_eq!(nc.cluster, "r1-a-c0");
+        let last = f.ncs().last().unwrap();
+        assert_eq!(last.region, "r2");
+        assert_eq!(last.az, "r2-b");
+    }
+
+    #[test]
+    fn hybrid_packs_both_types() {
+        let f = small_fleet();
+        let on_first = f.vms_on(0);
+        let types: Vec<VmType> = on_first.iter().map(|&v| f.vm(v).unwrap().vm_type).collect();
+        assert!(types.contains(&VmType::Dedicated));
+        assert!(types.contains(&VmType::Shared));
+    }
+
+    #[test]
+    fn homogeneous_packs_one_type() {
+        let f = Fleet::build(&FleetConfig {
+            arch: DeploymentArch::HomogeneousDedicated,
+            ..FleetConfig::default()
+        });
+        assert!(f.vms().iter().all(|v| v.vm_type == VmType::Dedicated));
+    }
+
+    #[test]
+    fn lookups_and_placement() {
+        let f = small_fleet();
+        let vm = f.vms()[5].clone();
+        assert_eq!(f.vm(vm.id).unwrap().id, vm.id);
+        assert_eq!(f.host_of(vm.id).unwrap().id, vm.nc);
+        assert!(f.vms_on(vm.nc).contains(&vm.id));
+        assert!(f.vm(9999).is_none());
+        assert!(f.nc(9999).is_none());
+    }
+
+    #[test]
+    fn migration_moves_and_respects_locks() {
+        let mut f = small_fleet();
+        let vm = f.vms()[0].id;
+        let from = f.vm(vm).unwrap().nc;
+        let to = f.pick_destination(from).unwrap();
+        f.migrate(vm, to).unwrap();
+        assert_eq!(f.vm(vm).unwrap().nc, to);
+        assert!(!f.vms_on(from).contains(&vm));
+        assert!(f.vms_on(to).contains(&vm));
+
+        f.lock_nc(from).unwrap();
+        assert!(f.migrate(vm, from).is_err());
+        f.unlock_nc(from).unwrap();
+        f.migrate(vm, from).unwrap();
+        assert_eq!(f.vm(vm).unwrap().nc, from);
+    }
+
+    #[test]
+    fn migrate_to_same_host_is_noop() {
+        let mut f = small_fleet();
+        let vm = f.vms()[0].id;
+        let nc = f.vm(vm).unwrap().nc;
+        f.migrate(vm, nc).unwrap();
+        assert_eq!(f.vms_on(nc).iter().filter(|&&v| v == vm).count(), 1);
+    }
+
+    #[test]
+    fn decommission_requires_empty() {
+        let mut f = small_fleet();
+        assert!(f.decommission_nc(0).is_err());
+        // Drain NC 0.
+        let vms: Vec<VmId> = f.vms_on(0).to_vec();
+        for vm in vms {
+            let to = f.pick_destination(0).unwrap();
+            f.migrate(vm, to).unwrap();
+        }
+        f.decommission_nc(0).unwrap();
+        assert!(f.nc(0).unwrap().decommissioned);
+        // A decommissioned NC is not a destination.
+        assert_ne!(f.pick_destination(1), Some(0));
+        assert!(f.migrate(f.vms()[0].id, 0).is_err());
+    }
+
+    #[test]
+    fn pick_destination_prefers_least_loaded() {
+        let mut f = small_fleet();
+        // Drain NC 1 onto others; then NC 1 is the emptiest.
+        let vms: Vec<VmId> = f.vms_on(1).to_vec();
+        for vm in vms {
+            f.migrate(vm, 2).unwrap();
+        }
+        assert_eq!(f.pick_destination(0), Some(1));
+    }
+
+    #[test]
+    fn set_arch_changes_tag() {
+        let mut f = small_fleet();
+        f.set_arch(0, DeploymentArch::HomogeneousShared).unwrap();
+        assert_eq!(f.nc(0).unwrap().arch, DeploymentArch::HomogeneousShared);
+        assert!(f.set_arch(999, DeploymentArch::Hybrid).is_err());
+    }
+}

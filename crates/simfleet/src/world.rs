@@ -1,0 +1,535 @@
+//! `SimWorld`: the queryable simulated production environment.
+//!
+//! A world is a fleet plus a set of injected faults and a seed. CloudBot's
+//! collector queries it for metric series, log lines, and control-plane
+//! operation outcomes; experiments additionally read the ground-truth
+//! damage intervals to validate what CDI reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::faults::{DamageCategory, FaultInjection, FaultKind, FaultTarget, SimRange};
+use crate::telemetry::{apply_fault, baseline, unit, Metric};
+use crate::topology::{Fleet, NcId, VmId};
+
+/// A raw log line as the collector would scrape it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogLine {
+    /// Timestamp (ms).
+    pub time: i64,
+    /// Emitting VM, if VM-scoped.
+    pub vm: Option<VmId>,
+    /// Emitting NC, if host-scoped.
+    pub nc: Option<NcId>,
+    /// Raw text.
+    pub text: String,
+}
+
+/// Outcome of one simulated control-plane operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlOp {
+    /// Timestamp (ms).
+    pub time: i64,
+    /// The VM the operation targeted.
+    pub vm: VmId,
+    /// Operation name: `start`, `stop`, `resize`, `release`.
+    pub op: &'static str,
+    /// Whether it succeeded.
+    pub ok: bool,
+}
+
+/// Index of fault positions bucketed by target scope, so that per-sample
+/// fault lookups touch only the handful of faults that can apply to a
+/// target instead of scanning the full injection list (the year-long
+/// scenarios inject tens of thousands of faults).
+#[derive(Debug, Clone, Default)]
+struct FaultIndex {
+    by_vm: std::collections::HashMap<VmId, Vec<usize>>,
+    by_nc: std::collections::HashMap<NcId, Vec<usize>>,
+    by_az: std::collections::HashMap<u32, Vec<usize>>,
+    global: Vec<usize>,
+}
+
+/// The simulated world.
+#[derive(Debug, Clone)]
+pub struct SimWorld {
+    /// The fleet (mutable: operation actions migrate/lock/rollback).
+    pub fleet: Fleet,
+    faults: Vec<FaultInjection>,
+    index: FaultIndex,
+    /// AZ name → index cache (the AZ set is fixed at fleet build time).
+    az_map: std::collections::HashMap<String, u32>,
+    seed: u64,
+}
+
+impl SimWorld {
+    /// Wrap a fleet with a seed.
+    pub fn new(fleet: Fleet, seed: u64) -> Self {
+        let mut azs: Vec<String> = fleet.ncs().iter().map(|n| n.az.clone()).collect();
+        azs.sort();
+        azs.dedup();
+        let az_map = azs.into_iter().enumerate().map(|(i, a)| (a, i as u32)).collect();
+        SimWorld { fleet, faults: Vec::new(), index: FaultIndex::default(), az_map, seed }
+    }
+
+    /// World seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Inject a fault.
+    pub fn inject(&mut self, fault: FaultInjection) {
+        let i = self.faults.len();
+        match fault.target {
+            FaultTarget::Vm(v) => self.index.by_vm.entry(v).or_default().push(i),
+            FaultTarget::Nc(n) => self.index.by_nc.entry(n).or_default().push(i),
+            FaultTarget::Az(a) => self.index.by_az.entry(a).or_default().push(i),
+            FaultTarget::Global => self.index.global.push(i),
+        }
+        self.faults.push(fault);
+    }
+
+    /// Inject many faults.
+    pub fn inject_all(&mut self, faults: impl IntoIterator<Item = FaultInjection>) {
+        for f in faults {
+            self.inject(f);
+        }
+    }
+
+    /// All injected faults.
+    pub fn faults(&self) -> &[FaultInjection] {
+        &self.faults
+    }
+
+    /// Indices of faults that can apply to a VM under its *current*
+    /// placement, pre-filtered to those overlapping `[start, end)`.
+    fn candidate_faults_for_vm(&self, vm: VmId, start: i64, end: i64) -> Vec<usize> {
+        let window = SimRange::new(start, end);
+        let mut out = Vec::new();
+        let mut push_all = |bucket: Option<&Vec<usize>>| {
+            if let Some(list) = bucket {
+                for &i in list {
+                    if self.faults[i].range.overlaps(&window) {
+                        out.push(i);
+                    }
+                }
+            }
+        };
+        push_all(self.index.by_vm.get(&vm));
+        if let Some(host) = self.fleet.host_of(vm) {
+            push_all(self.index.by_nc.get(&host.id));
+            if let Some(az) = self.az_index(&host.az) {
+                push_all(self.index.by_az.get(&az));
+            }
+        }
+        push_all(Some(&self.index.global));
+        out
+    }
+
+    /// Indices of faults that can apply to an NC, pre-filtered by overlap.
+    fn candidate_faults_for_nc(&self, nc: NcId, start: i64, end: i64) -> Vec<usize> {
+        let window = SimRange::new(start, end);
+        let mut out = Vec::new();
+        let mut push_all = |bucket: Option<&Vec<usize>>| {
+            if let Some(list) = bucket {
+                for &i in list {
+                    if self.faults[i].range.overlaps(&window) {
+                        out.push(i);
+                    }
+                }
+            }
+        };
+        push_all(self.index.by_nc.get(&nc));
+        if let Some(n) = self.fleet.nc(nc) {
+            if let Some(az) = self.az_index(&n.az) {
+                push_all(self.index.by_az.get(&az));
+            }
+        }
+        push_all(Some(&self.index.global));
+        out
+    }
+
+    /// Sorted, deduplicated AZ names (the index space of
+    /// [`FaultTarget::Az`]).
+    pub fn az_names(&self) -> Vec<String> {
+        let mut names: Vec<(&u32, &String)> =
+            self.az_map.iter().map(|(a, i)| (i, a)).collect();
+        names.sort();
+        names.into_iter().map(|(_, a)| a.clone()).collect()
+    }
+
+    fn az_index(&self, az: &str) -> Option<u32> {
+        self.az_map.get(az).copied()
+    }
+
+    /// Does a fault apply to this VM (resolving NC/AZ/global scopes through
+    /// the current placement)?
+    fn applies_to_vm(&self, f: &FaultInjection, vm: VmId) -> bool {
+        match f.target {
+            FaultTarget::Vm(v) => v == vm,
+            FaultTarget::Nc(nc) => self.fleet.vm(vm).is_some_and(|v| v.nc == nc),
+            FaultTarget::Az(az) => self
+                .fleet
+                .host_of(vm)
+                .and_then(|n| self.az_index(&n.az))
+                .is_some_and(|i| i == az),
+            FaultTarget::Global => true,
+        }
+    }
+
+    /// Faults active on a VM at time `t`.
+    pub fn active_faults_on_vm(&self, vm: VmId, t: i64) -> Vec<&FaultInjection> {
+        self.faults
+            .iter()
+            .filter(|f| f.range.contains(t) && self.applies_to_vm(f, vm))
+            .collect()
+    }
+
+    /// A VM-scoped metric series over `[start, end)` at `step_ms`
+    /// resolution, with all active fault distortions applied.
+    pub fn vm_metric_series(
+        &self,
+        vm: VmId,
+        metric: Metric,
+        start: i64,
+        end: i64,
+        step_ms: i64,
+    ) -> Vec<(i64, f64)> {
+        assert!(step_ms > 0, "step must be positive");
+        let candidates = self.candidate_faults_for_vm(vm, start, end);
+        let mut out = Vec::with_capacity(((end - start) / step_ms).max(0) as usize);
+        let mut t = start;
+        while t < end {
+            let mut v = baseline(metric, self.seed, vm, t);
+            for &i in &candidates {
+                let f = &self.faults[i];
+                if f.range.contains(t) {
+                    v = apply_fault(metric, v, &f.kind);
+                }
+            }
+            out.push((t, v));
+            t += step_ms;
+        }
+        out
+    }
+
+    /// An NC-scoped metric series (e.g. power) with fault distortions.
+    pub fn nc_metric_series(
+        &self,
+        nc: NcId,
+        metric: Metric,
+        start: i64,
+        end: i64,
+        step_ms: i64,
+    ) -> Vec<(i64, f64)> {
+        assert!(step_ms > 0, "step must be positive");
+        let candidates = self.candidate_faults_for_nc(nc, start, end);
+        let mut out = Vec::with_capacity(((end - start) / step_ms).max(0) as usize);
+        // Salt NC ids away from VM ids in the noise space.
+        let salt = nc ^ 0xA5A5_0000_0000_0000;
+        let mut t = start;
+        while t < end {
+            let mut v = baseline(metric, self.seed, salt, t);
+            for &i in &candidates {
+                let f = &self.faults[i];
+                if f.range.contains(t) {
+                    v = apply_fault(metric, v, &f.kind);
+                }
+            }
+            out.push((t, v));
+            t += step_ms;
+        }
+        out
+    }
+
+    /// Log lines emitted by faults in `[start, end)`, time-sorted.
+    pub fn log_lines(&self, start: i64, end: i64) -> Vec<LogLine> {
+        const MIN: i64 = 60_000;
+        let mut out = Vec::new();
+        for f in &self.faults {
+            let lo = f.range.start.max(start);
+            let hi = f.range.end.min(end);
+            let (vm, nc) = match f.target {
+                FaultTarget::Vm(v) => (Some(v), self.fleet.vm(v).map(|x| x.nc)),
+                FaultTarget::Nc(n) => (None, Some(n)),
+                _ => (None, None),
+            };
+            match &f.kind {
+                FaultKind::NicFlapping => {
+                    // One link-down line per active minute.
+                    let mut t = lo - lo.rem_euclid(MIN) + MIN;
+                    while t < hi {
+                        out.push(LogLine {
+                            time: t,
+                            vm,
+                            nc,
+                            text: "eth0 NIC Link is Down".into(),
+                        });
+                        t += MIN;
+                    }
+                }
+                FaultKind::GpuDrop
+                    if f.range.start >= start && f.range.start < end => {
+                        out.push(LogLine {
+                            time: f.range.start,
+                            vm,
+                            nc,
+                            text: "GPU has fallen off the bus".into(),
+                        });
+                    }
+                FaultKind::NcDown
+                    if f.range.start >= start && f.range.start < end => {
+                        out.push(LogLine {
+                            time: f.range.start,
+                            vm,
+                            nc,
+                            text: "kernel panic - not syncing".into(),
+                        });
+                    }
+                FaultKind::DdosBlackhole => {
+                    if f.range.start >= start && f.range.start < end {
+                        out.push(LogLine {
+                            time: f.range.start,
+                            vm,
+                            nc,
+                            text: "ddos_blackhole_add".into(),
+                        });
+                    }
+                    if f.range.end >= start && f.range.end < end {
+                        out.push(LogLine {
+                            time: f.range.end,
+                            vm,
+                            nc,
+                            text: "ddos_blackhole_del".into(),
+                        });
+                    }
+                }
+                FaultKind::SchedulerDataCorruption => {
+                    // The overflow VM logs an allocation failure every 5 min.
+                    let mut t = lo - lo.rem_euclid(5 * MIN) + 5 * MIN;
+                    while t < hi {
+                        out.push(LogLine {
+                            time: t,
+                            vm,
+                            nc,
+                            text: "vm allocation failed: insufficient exclusive cores".into(),
+                        });
+                        t += 5 * MIN;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.sort_by_key(|l| l.time);
+        out
+    }
+
+    /// Simulated control-plane operations: each VM attempts one operation
+    /// per `interval_ms`; the call fails while a control-plane fault covers
+    /// the VM (plus a tiny deterministic background failure rate).
+    pub fn control_ops(&self, start: i64, end: i64, interval_ms: i64) -> Vec<ControlOp> {
+        assert!(interval_ms > 0);
+        const OPS: [&str; 4] = ["start", "stop", "resize", "release"];
+        let mut out = Vec::new();
+        for vm in self.fleet.vms() {
+            let candidates = self.candidate_faults_for_vm(vm.id, start, end);
+            let mut t = start + (vm.id as i64 % interval_ms.max(1));
+            while t < end {
+                let outage = candidates.iter().any(|&i| {
+                    let f = &self.faults[i];
+                    matches!(f.kind, FaultKind::ControlPlaneOutage) && f.range.contains(t)
+                });
+                // Background noise failure: 0.005%.
+                let background = unit(self.seed, vm.id.wrapping_mul(31), t) < 5e-5;
+                let op = OPS[((t / interval_ms) as usize + vm.id as usize) % OPS.len()];
+                out.push(ControlOp { time: t, vm: vm.id, op, ok: !(outage || background) });
+                t += interval_ms;
+            }
+        }
+        out.sort_by_key(|o| (o.time, o.vm));
+        out
+    }
+
+    /// Ground-truth damage intervals for a VM (category, range) — what an
+    /// oracle would say the stability impact was. Used by experiments to
+    /// validate CDI, never by the pipeline itself.
+    pub fn ground_truth_vm(&self, vm: VmId) -> Vec<(DamageCategory, SimRange)> {
+        self.faults
+            .iter()
+            .filter(|f| self.applies_to_vm(f, vm))
+            .map(|f| (f.kind.category(), f.range))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{DeploymentArch, FleetConfig};
+
+    fn world() -> SimWorld {
+        let fleet = Fleet::build(&FleetConfig {
+            regions: vec!["r1".into(), "r2".into()],
+            azs_per_region: 2,
+            clusters_per_az: 1,
+            ncs_per_cluster: 2,
+            vms_per_nc: 3,
+            nc_cores: 16,
+            machine_models: vec!["mA".into()],
+            arch: DeploymentArch::Hybrid,
+        });
+        SimWorld::new(fleet, 42)
+    }
+
+    const HOUR: i64 = 3_600_000;
+
+    #[test]
+    fn series_deterministic_per_seed() {
+        let w = world();
+        let a = w.vm_metric_series(0, Metric::ReadLatencyMs, 0, HOUR, 60_000);
+        let b = w.vm_metric_series(0, Metric::ReadLatencyMs, 0, HOUR, 60_000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 60);
+        let other_vm = w.vm_metric_series(1, Metric::ReadLatencyMs, 0, HOUR, 60_000);
+        assert_ne!(a, other_vm);
+    }
+
+    #[test]
+    fn vm_fault_elevates_latency_only_inside_range() {
+        let mut w = world();
+        w.inject(FaultInjection::new(
+            FaultKind::SlowIo { factor: 10.0 },
+            FaultTarget::Vm(0),
+            30 * 60_000,
+            40 * 60_000,
+        ));
+        let series = w.vm_metric_series(0, Metric::ReadLatencyMs, 0, HOUR, 60_000);
+        for &(t, v) in &series {
+            if (30 * 60_000..40 * 60_000).contains(&t) {
+                assert!(v > 10.0, "inside fault at {t}: {v}");
+            } else {
+                assert!(v < 5.0, "outside fault at {t}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn nc_fault_hits_all_hosted_vms() {
+        let mut w = world();
+        w.inject(FaultInjection::new(FaultKind::NcDown, FaultTarget::Nc(0), 0, HOUR));
+        let on_nc0: Vec<u64> = w.fleet.vms_on(0).to_vec();
+        assert!(!on_nc0.is_empty());
+        for vm in &on_nc0 {
+            let hb = w.vm_metric_series(*vm, Metric::Heartbeat, 0, HOUR, 60_000);
+            assert!(hb.iter().all(|&(_, v)| v == 0.0));
+        }
+        // A VM on another NC is unaffected.
+        let other = w.fleet.vms_on(1)[0];
+        let hb = w.vm_metric_series(other, Metric::Heartbeat, 0, HOUR, 60_000);
+        assert!(hb.iter().all(|&(_, v)| v == 1.0));
+    }
+
+    #[test]
+    fn az_fault_scopes_by_zone() {
+        let mut w = world();
+        let azs = w.az_names();
+        assert_eq!(azs.len(), 4);
+        w.inject(FaultInjection::new(FaultKind::VmDown, FaultTarget::Az(0), 0, HOUR));
+        for vm in w.fleet.vms() {
+            let in_az0 = w.fleet.host_of(vm.id).unwrap().az == azs[0];
+            let hb = w.vm_metric_series(vm.id, Metric::Heartbeat, 0, HOUR, 30 * 60_000);
+            let down = hb.iter().all(|&(_, v)| v == 0.0);
+            assert_eq!(down, in_az0, "vm {}", vm.id);
+        }
+    }
+
+    #[test]
+    fn nic_flapping_emits_log_lines() {
+        let mut w = world();
+        w.inject(FaultInjection::new(
+            FaultKind::NicFlapping,
+            FaultTarget::Nc(1),
+            0,
+            10 * 60_000,
+        ));
+        let lines = w.log_lines(0, HOUR);
+        assert!(!lines.is_empty());
+        assert!(lines.iter().all(|l| l.text.contains("NIC Link is Down")));
+        assert!(lines.iter().all(|l| l.nc == Some(1)));
+        // Roughly one per minute of fault activity.
+        assert!((8..=10).contains(&lines.len()), "{}", lines.len());
+    }
+
+    #[test]
+    fn ddos_markers_at_boundaries() {
+        let mut w = world();
+        w.inject(FaultInjection::new(
+            FaultKind::DdosBlackhole,
+            FaultTarget::Vm(2),
+            10 * 60_000,
+            50 * 60_000,
+        ));
+        let lines = w.log_lines(0, HOUR);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].text, "ddos_blackhole_add");
+        assert_eq!(lines[0].time, 10 * 60_000);
+        assert_eq!(lines[1].text, "ddos_blackhole_del");
+        assert_eq!(lines[1].time, 50 * 60_000);
+        assert_eq!(lines[0].vm, Some(2));
+    }
+
+    #[test]
+    fn control_ops_fail_during_outage() {
+        let mut w = world();
+        w.inject(FaultInjection::new(
+            FaultKind::ControlPlaneOutage,
+            FaultTarget::Global,
+            0,
+            HOUR,
+        ));
+        let during = w.control_ops(0, HOUR, 10 * 60_000);
+        assert!(!during.is_empty());
+        assert!(during.iter().all(|o| !o.ok), "all ops fail during the outage");
+        let after = w.control_ops(HOUR, 2 * HOUR, 10 * 60_000);
+        let fail_rate =
+            after.iter().filter(|o| !o.ok).count() as f64 / after.len() as f64;
+        assert!(fail_rate < 0.01, "background failure rate {fail_rate}");
+    }
+
+    #[test]
+    fn power_zero_bug_on_nc_series() {
+        let mut w = world();
+        w.inject(FaultInjection::new(
+            FaultKind::PowerZeroBug,
+            FaultTarget::Nc(0),
+            0,
+            HOUR,
+        ));
+        let p = w.nc_metric_series(0, Metric::PowerWatts, 0, HOUR, 15 * 60_000);
+        assert!(p.iter().all(|&(_, v)| v == 0.0));
+        let healthy = w.nc_metric_series(1, Metric::PowerWatts, 0, HOUR, 15 * 60_000);
+        assert!(healthy.iter().all(|&(_, v)| v > 100.0));
+    }
+
+    #[test]
+    fn ground_truth_reports_injections() {
+        let mut w = world();
+        w.inject(FaultInjection::new(
+            FaultKind::SlowIo { factor: 4.0 },
+            FaultTarget::Vm(3),
+            0,
+            HOUR,
+        ));
+        w.inject(FaultInjection::new(
+            FaultKind::ControlPlaneOutage,
+            FaultTarget::Global,
+            0,
+            HOUR,
+        ));
+        let gt = w.ground_truth_vm(3);
+        assert_eq!(gt.len(), 2);
+        assert!(gt.iter().any(|(c, _)| *c == DamageCategory::Performance));
+        assert!(gt.iter().any(|(c, _)| *c == DamageCategory::ControlPlane));
+        // Another VM sees only the global fault.
+        assert_eq!(w.ground_truth_vm(0).len(), 1);
+    }
+}

@@ -1,0 +1,314 @@
+//! The hypothesis-testing workflow of the paper's Fig. 10, used to compare
+//! CDI sequences across candidate operation actions (Section VI-D).
+//!
+//! The workflow checks the distributional assumptions first, then routes to
+//! the matching omnibus test, and — if the omnibus result is significant and
+//! more than two groups are involved — to the matching post-hoc analysis:
+//!
+//! | normality | equal variances | omnibus            | post-hoc        |
+//! |-----------|-----------------|--------------------|-----------------|
+//! | yes       | yes             | one-way ANOVA      | Tukey HSD/Kramer|
+//! | yes       | no              | Welch's ANOVA      | Games–Howell    |
+//! | no        | —               | Kruskal–Wallis H   | Dunn            |
+
+use crate::error::{Result, StatsError};
+use crate::hypothesis::{
+    dagostino_k2, kruskal_wallis, levene, one_way_anova, welch_anova, Center,
+};
+use crate::posthoc::{dunn, games_howell, tukey_hsd, Adjustment, PairwiseComparison};
+
+/// Which omnibus test the workflow selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OmnibusMethod {
+    /// Classical one-way ANOVA (normal, homoscedastic).
+    OneWayAnova,
+    /// Welch's ANOVA (normal, heteroscedastic).
+    WelchAnova,
+    /// Kruskal–Wallis H test (non-normal).
+    KruskalWallis,
+}
+
+/// Which post-hoc procedure the workflow selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PosthocMethod {
+    /// Tukey's HSD (equal group sizes).
+    TukeyHsd,
+    /// Tukey–Kramer (unequal group sizes; same statistic family as HSD).
+    TukeyKramer,
+    /// Games–Howell (heteroscedastic).
+    GamesHowell,
+    /// Dunn's rank-sum comparisons.
+    Dunn,
+}
+
+/// Configuration for the workflow.
+#[derive(Debug, Clone, Copy)]
+pub struct AbTestConfig {
+    /// Significance level for the omnibus decision (paper uses 0.05).
+    pub alpha: f64,
+    /// Significance level for the normality gate.
+    pub normality_alpha: f64,
+    /// Significance level for the variance-homogeneity gate.
+    pub variance_alpha: f64,
+    /// p-value adjustment for Dunn's comparisons.
+    pub dunn_adjustment: Adjustment,
+}
+
+impl Default for AbTestConfig {
+    fn default() -> Self {
+        AbTestConfig {
+            alpha: 0.05,
+            normality_alpha: 0.05,
+            variance_alpha: 0.05,
+            dunn_adjustment: Adjustment::Holm,
+        }
+    }
+}
+
+/// Result of the assumption checks that drove the routing decision.
+#[derive(Debug, Clone)]
+pub struct AssumptionChecks {
+    /// Per-group normality p-values (`None` where the group was too small to
+    /// test; small groups are treated as non-normal, the conservative route).
+    pub normality_p: Vec<Option<f64>>,
+    /// Whether every group passed the normality gate.
+    pub all_normal: bool,
+    /// Levene p-value (only computed when data is normal).
+    pub variance_p: Option<f64>,
+    /// Whether the variance-homogeneity gate passed.
+    pub variances_equal: bool,
+}
+
+/// Full report of one Fig. 10 workflow run.
+#[derive(Debug, Clone)]
+pub struct AbTestReport {
+    /// The omnibus test that was selected.
+    pub omnibus: OmnibusMethod,
+    /// Omnibus test statistic.
+    pub statistic: f64,
+    /// Omnibus p-value.
+    pub p_value: f64,
+    /// Whether the omnibus test rejected at `config.alpha`.
+    pub significant: bool,
+    /// Post-hoc results (present only when significant and k > 2).
+    pub posthoc: Option<(PosthocMethod, Vec<PairwiseComparison>)>,
+    /// Assumption checks that determined the routing.
+    pub assumptions: AssumptionChecks,
+}
+
+impl AbTestReport {
+    /// Indices of group pairs that differ significantly at `alpha`
+    /// (empty when no post-hoc analysis ran).
+    pub fn significant_pairs(&self, alpha: f64) -> Vec<(usize, usize)> {
+        self.posthoc
+            .as_ref()
+            .map(|(_, cmp)| {
+                cmp.iter()
+                    .filter(|c| c.is_significant(alpha))
+                    .map(|c| (c.group_a, c.group_b))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Run the full Fig. 10 workflow over the groups.
+///
+/// Each group is one candidate operation action's sequence of per-VM CDI
+/// values. Groups must be non-empty; at least two groups are required.
+pub fn run_ab_test(groups: &[&[f64]], config: &AbTestConfig) -> Result<AbTestReport> {
+    if groups.len() < 2 {
+        return Err(StatsError::degenerate("A/B test needs at least 2 groups"));
+    }
+    if !(0.0..1.0).contains(&config.alpha) || config.alpha <= 0.0 {
+        return Err(StatsError::invalid(format!("alpha must be in (0,1), got {}", config.alpha)));
+    }
+
+    // Gate 1: normality of every group. Groups too small for the K² test
+    // take the conservative nonparametric route.
+    let mut normality_p = Vec::with_capacity(groups.len());
+    let mut all_normal = true;
+    for g in groups.iter() {
+        match dagostino_k2(g) {
+            Ok(r) => {
+                if r.rejects_normality(config.normality_alpha) {
+                    all_normal = false;
+                }
+                normality_p.push(Some(r.p_value));
+            }
+            Err(_) => {
+                all_normal = false;
+                normality_p.push(None);
+            }
+        }
+    }
+
+    if !all_normal {
+        let kw = kruskal_wallis(groups)?;
+        let significant = kw.is_significant(config.alpha);
+        let posthoc = if significant && groups.len() > 2 {
+            Some((PosthocMethod::Dunn, dunn(groups, config.dunn_adjustment)?))
+        } else {
+            None
+        };
+        return Ok(AbTestReport {
+            omnibus: OmnibusMethod::KruskalWallis,
+            statistic: kw.statistic,
+            p_value: kw.p_value,
+            significant,
+            posthoc,
+            assumptions: AssumptionChecks {
+                normality_p,
+                all_normal,
+                variance_p: None,
+                variances_equal: false,
+            },
+        });
+    }
+
+    // Gate 2: variance homogeneity (Brown–Forsythe).
+    let lev = levene(groups, Center::Median)?;
+    let variances_equal = !lev.rejects_homogeneity(config.variance_alpha);
+
+    let (omnibus, statistic, p_value) = if variances_equal {
+        let a = one_way_anova(groups)?;
+        (OmnibusMethod::OneWayAnova, a.statistic, a.p_value)
+    } else {
+        let a = welch_anova(groups)?;
+        (OmnibusMethod::WelchAnova, a.statistic, a.p_value)
+    };
+    let significant = p_value < config.alpha;
+
+    let posthoc = if significant && groups.len() > 2 {
+        if variances_equal {
+            let equal_sizes = groups.windows(2).all(|w| w[0].len() == w[1].len());
+            let method = if equal_sizes {
+                PosthocMethod::TukeyHsd
+            } else {
+                PosthocMethod::TukeyKramer
+            };
+            Some((method, tukey_hsd(groups)?))
+        } else {
+            Some((PosthocMethod::GamesHowell, games_howell(groups)?))
+        }
+    } else {
+        None
+    };
+
+    Ok(AbTestReport {
+        omnibus,
+        statistic,
+        p_value,
+        significant,
+        posthoc,
+        assumptions: AssumptionChecks {
+            normality_p,
+            all_normal,
+            variance_p: Some(lev.p_value),
+            variances_equal,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Normal;
+
+    /// Deterministic "normal-looking" sample: normal quantiles at plotting
+    /// positions, shifted and scaled.
+    fn normal_sample(n: usize, mu: f64, sigma: f64) -> Vec<f64> {
+        let std = Normal::standard();
+        (1..=n)
+            .map(|i| mu + sigma * std.quantile(i as f64 / (n + 1) as f64).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn routes_to_classical_anova_for_clean_normal_data() {
+        let a = normal_sample(30, 0.0, 1.0);
+        let b = normal_sample(30, 0.2, 1.0);
+        let c = normal_sample(30, 5.0, 1.0);
+        let report = run_ab_test(&[&a, &b, &c], &AbTestConfig::default()).unwrap();
+        assert_eq!(report.omnibus, OmnibusMethod::OneWayAnova);
+        assert!(report.significant);
+        let (method, _) = report.posthoc.as_ref().unwrap();
+        assert_eq!(*method, PosthocMethod::TukeyHsd);
+        // a-b similar, c far away: exactly the pairs (0,2) and (1,2).
+        assert_eq!(report.significant_pairs(0.05), vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn routes_to_tukey_kramer_for_unequal_sizes() {
+        let a = normal_sample(30, 0.0, 1.0);
+        let b = normal_sample(25, 0.1, 1.0);
+        let c = normal_sample(20, 6.0, 1.0);
+        let report = run_ab_test(&[&a, &b, &c], &AbTestConfig::default()).unwrap();
+        assert_eq!(report.omnibus, OmnibusMethod::OneWayAnova);
+        let (method, _) = report.posthoc.as_ref().unwrap();
+        assert_eq!(*method, PosthocMethod::TukeyKramer);
+    }
+
+    #[test]
+    fn routes_to_welch_and_games_howell_for_unequal_variances() {
+        let a = normal_sample(30, 0.0, 0.2);
+        let b = normal_sample(30, 0.1, 0.2);
+        let c = normal_sample(30, 4.0, 5.0);
+        let report = run_ab_test(&[&a, &b, &c], &AbTestConfig::default()).unwrap();
+        assert_eq!(report.omnibus, OmnibusMethod::WelchAnova);
+        assert!(!report.assumptions.variances_equal);
+        if report.significant {
+            let (method, _) = report.posthoc.as_ref().unwrap();
+            assert_eq!(*method, PosthocMethod::GamesHowell);
+        }
+    }
+
+    #[test]
+    fn routes_to_kruskal_for_non_normal_data() {
+        // Heavily skewed data (squared quantiles) in every group.
+        let skew = |n: usize, shift: f64| -> Vec<f64> {
+            normal_sample(n, 0.0, 1.0).iter().map(|x| x * x * x * x + shift).collect()
+        };
+        let a = skew(25, 0.0);
+        let b = skew(25, 0.1);
+        let c = skew(25, 50.0);
+        let report = run_ab_test(&[&a, &b, &c], &AbTestConfig::default()).unwrap();
+        assert_eq!(report.omnibus, OmnibusMethod::KruskalWallis);
+        assert!(report.significant);
+        let (method, _) = report.posthoc.as_ref().unwrap();
+        assert_eq!(*method, PosthocMethod::Dunn);
+    }
+
+    #[test]
+    fn small_groups_take_conservative_route() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.5, 2.5, 3.5];
+        let report = run_ab_test(&[&a, &b], &AbTestConfig::default()).unwrap();
+        assert_eq!(report.omnibus, OmnibusMethod::KruskalWallis);
+        assert!(report.assumptions.normality_p.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn no_posthoc_for_two_groups_or_insignificant_omnibus() {
+        let a = normal_sample(30, 0.0, 1.0);
+        let b = normal_sample(30, 8.0, 1.0);
+        let two = run_ab_test(&[&a, &b], &AbTestConfig::default()).unwrap();
+        assert!(two.significant);
+        assert!(two.posthoc.is_none(), "k = 2 needs no post-hoc");
+
+        let c = normal_sample(30, 0.05, 1.0);
+        let null = run_ab_test(&[&a, &c], &AbTestConfig::default()).unwrap();
+        assert!(!null.significant);
+        assert!(null.posthoc.is_none());
+        assert!(null.significant_pairs(0.05).is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_config_and_layout() {
+        let a = [1.0, 2.0];
+        assert!(run_ab_test(&[&a], &AbTestConfig::default()).is_err());
+        let bad = AbTestConfig { alpha: 0.0, ..AbTestConfig::default() };
+        let b = [3.0, 4.0];
+        assert!(run_ab_test(&[&a, &b], &bad).is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! Analytic Hierarchy Process (AHP) — multi-criteria decision making.
+//!
+//! The paper uses AHP to blend the expert-perceived and customer-perceived
+//! severity of an event into a single weight (Section IV-C, Eq. 3). Given a
+//! pairwise judgment matrix over perspectives, AHP extracts a priority
+//! vector (the principal eigenvector) and a consistency ratio that validates
+//! the judgments.
+
+use crate::error::{Result, StatsError};
+
+/// Random-index table (Saaty) for consistency-ratio computation, indexed by
+/// matrix order `n` (entries for n = 1..=10; larger orders reuse the last).
+const RANDOM_INDEX: [f64; 10] = [0.0, 0.0, 0.58, 0.90, 1.12, 1.24, 1.32, 1.41, 1.45, 1.49];
+
+/// Result of an AHP priority extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AhpResult {
+    /// Normalized priority weights (sum to 1), one per criterion.
+    pub priorities: Vec<f64>,
+    /// Principal eigenvalue estimate λ_max.
+    pub lambda_max: f64,
+    /// Consistency index `(λ_max − n) / (n − 1)`.
+    pub consistency_index: f64,
+    /// Consistency ratio `CI / RI`; judgments with CR ≤ 0.1 are conventionally
+    /// considered consistent.
+    pub consistency_ratio: f64,
+}
+
+impl AhpResult {
+    /// Whether the judgment matrix passes Saaty's CR ≤ 0.1 consistency check.
+    pub fn is_consistent(&self) -> bool {
+        self.consistency_ratio <= 0.1
+    }
+}
+
+/// A pairwise judgment matrix for AHP.
+///
+/// Entry `(i, j)` states how much more important criterion `i` is than
+/// criterion `j` on Saaty's 1–9 scale; the matrix must be positive and
+/// reciprocal (`a_ji = 1 / a_ij`, `a_ii = 1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JudgmentMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl JudgmentMatrix {
+    /// Build a judgment matrix from row-major entries, validating shape,
+    /// positivity, unit diagonal, and reciprocity (to 1% tolerance).
+    pub fn new(n: usize, entries: &[f64]) -> Result<Self> {
+        if n == 0 {
+            return Err(StatsError::invalid("judgment matrix must be non-empty"));
+        }
+        if entries.len() != n * n {
+            return Err(StatsError::invalid(format!(
+                "expected {} entries for a {n}x{n} matrix, got {}",
+                n * n,
+                entries.len()
+            )));
+        }
+        for (k, &v) in entries.iter().enumerate() {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(StatsError::invalid(format!(
+                    "judgment entries must be positive and finite, entry {k} = {v}"
+                )));
+            }
+        }
+        for i in 0..n {
+            if (entries[i * n + i] - 1.0).abs() > 1e-9 {
+                return Err(StatsError::invalid(format!(
+                    "diagonal must be 1, entry ({i},{i}) = {}",
+                    entries[i * n + i]
+                )));
+            }
+            for j in (i + 1)..n {
+                let prod = entries[i * n + j] * entries[j * n + i];
+                if (prod - 1.0).abs() > 0.01 {
+                    return Err(StatsError::invalid(format!(
+                        "matrix must be reciprocal: a[{i}][{j}]*a[{j}][{i}] = {prod}"
+                    )));
+                }
+            }
+        }
+        Ok(JudgmentMatrix { n, data: entries.to_vec() })
+    }
+
+    /// Convenience constructor from the upper triangle (row by row); the
+    /// diagonal is set to 1 and the lower triangle to the reciprocals.
+    ///
+    /// For n = 3, `upper = [a12, a13, a23]`.
+    pub fn from_upper_triangle(n: usize, upper: &[f64]) -> Result<Self> {
+        let expected = n * (n - 1) / 2;
+        if upper.len() != expected {
+            return Err(StatsError::invalid(format!(
+                "expected {expected} upper-triangle entries for n={n}, got {}",
+                upper.len()
+            )));
+        }
+        let mut data = vec![0.0; n * n];
+        let mut it = upper.iter();
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+            for j in (i + 1)..n {
+                let v = *it.next().expect("length checked above");
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(StatsError::invalid(format!(
+                        "judgment entries must be positive, got {v}"
+                    )));
+                }
+                data[i * n + j] = v;
+                data[j * n + i] = 1.0 / v;
+            }
+        }
+        Ok(JudgmentMatrix { n, data })
+    }
+
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Entry accessor.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Extract priorities by power iteration on the matrix (the principal
+    /// eigenvector), plus the consistency diagnostics.
+    pub fn priorities(&self) -> Result<AhpResult> {
+        let n = self.n;
+        if n == 1 {
+            return Ok(AhpResult {
+                priorities: vec![1.0],
+                lambda_max: 1.0,
+                consistency_index: 0.0,
+                consistency_ratio: 0.0,
+            });
+        }
+        let mut v = vec![1.0 / n as f64; n];
+        let mut lambda = 0.0;
+        for _ in 0..200 {
+            let mut w = vec![0.0; n];
+            for (i, wi) in w.iter_mut().enumerate() {
+                for (j, vj) in v.iter().enumerate() {
+                    *wi += self.get(i, j) * vj;
+                }
+            }
+            let sum: f64 = w.iter().sum();
+            if !(sum.is_finite() && sum > 0.0) {
+                return Err(StatsError::NotConverged("AHP power iteration diverged".into()));
+            }
+            // λ_max estimate: mean of per-component Rayleigh quotients.
+            let new_lambda = w
+                .iter()
+                .zip(&v)
+                .map(|(wi, vi)| wi / vi)
+                .sum::<f64>()
+                / n as f64;
+            for x in &mut w {
+                *x /= sum;
+            }
+            let delta: f64 = w.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+            v = w;
+            lambda = new_lambda;
+            if delta < 1e-14 {
+                break;
+            }
+        }
+        let ci = (lambda - n as f64) / (n as f64 - 1.0);
+        let ri = RANDOM_INDEX[(n - 1).min(RANDOM_INDEX.len() - 1)];
+        let cr = if ri > 0.0 { ci / ri } else { 0.0 };
+        Ok(AhpResult {
+            priorities: v,
+            lambda_max: lambda,
+            consistency_index: ci,
+            consistency_ratio: cr,
+        })
+    }
+}
+
+/// Blend per-perspective scores into one weight using AHP priorities
+/// (Eq. 3 of the paper): `w = Σ αᵢ·sᵢ / Σ αᵢ`.
+///
+/// With normalized priorities the denominator is 1, but the general form is
+/// kept so that callers may pass a subset of perspectives.
+pub fn blend_scores(priorities: &[f64], scores: &[f64]) -> Result<f64> {
+    if priorities.len() != scores.len() || priorities.is_empty() {
+        return Err(StatsError::invalid(format!(
+            "need matching non-empty priorities/scores, got {}/{}",
+            priorities.len(),
+            scores.len()
+        )));
+    }
+    let denom: f64 = priorities.iter().sum();
+    if denom <= 0.0 {
+        return Err(StatsError::degenerate("priorities sum to zero"));
+    }
+    let num: f64 = priorities.iter().zip(scores).map(|(a, s)| a * s).sum();
+    Ok(num / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn two_criteria_equal_importance() {
+        // The paper's Example 3 uses α₁ = α₂ = 0.5 — an equal-importance
+        // 2x2 judgment matrix produces exactly that.
+        let m = JudgmentMatrix::from_upper_triangle(2, &[1.0]).unwrap();
+        let r = m.priorities().unwrap();
+        close(r.priorities[0], 0.5, 1e-12);
+        close(r.priorities[1], 0.5, 1e-12);
+        close(r.lambda_max, 2.0, 1e-9);
+        assert!(r.is_consistent());
+    }
+
+    #[test]
+    fn consistent_matrix_recovers_exact_ratios() {
+        // a:b = 2, a:c = 4, b:c = 2 is perfectly consistent with
+        // priorities (4/7, 2/7, 1/7).
+        let m = JudgmentMatrix::from_upper_triangle(3, &[2.0, 4.0, 2.0]).unwrap();
+        let r = m.priorities().unwrap();
+        close(r.priorities[0], 4.0 / 7.0, 1e-9);
+        close(r.priorities[1], 2.0 / 7.0, 1e-9);
+        close(r.priorities[2], 1.0 / 7.0, 1e-9);
+        close(r.lambda_max, 3.0, 1e-8);
+        assert!(r.consistency_ratio < 1e-6);
+    }
+
+    #[test]
+    fn saaty_classic_example_is_consistent_enough() {
+        // Classic 3x3 example: a12 = 3 (moderately more), a13 = 5, a23 = 2.
+        let m = JudgmentMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0]).unwrap();
+        let r = m.priorities().unwrap();
+        assert!(r.is_consistent(), "CR = {}", r.consistency_ratio);
+        assert!(r.priorities[0] > r.priorities[1]);
+        assert!(r.priorities[1] > r.priorities[2]);
+        close(r.priorities.iter().sum::<f64>(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn inconsistent_matrix_flagged() {
+        // a > b, b > c, but c > a: a cyclic (intransitive) judgment.
+        let m = JudgmentMatrix::from_upper_triangle(3, &[5.0, 1.0 / 5.0, 5.0]).unwrap();
+        let r = m.priorities().unwrap();
+        assert!(!r.is_consistent(), "CR = {}", r.consistency_ratio);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_matrices() {
+        assert!(JudgmentMatrix::new(0, &[]).is_err());
+        assert!(JudgmentMatrix::new(2, &[1.0, 2.0, 0.5]).is_err()); // wrong len
+        assert!(JudgmentMatrix::new(2, &[1.0, 2.0, 0.4, 1.0]).is_err()); // not reciprocal
+        assert!(JudgmentMatrix::new(2, &[2.0, 2.0, 0.5, 1.0]).is_err()); // diagonal != 1
+        assert!(JudgmentMatrix::new(2, &[1.0, -2.0, 0.5, 1.0]).is_err()); // negative
+        assert!(JudgmentMatrix::from_upper_triangle(3, &[1.0]).is_err()); // wrong len
+    }
+
+    #[test]
+    fn single_criterion_is_trivial() {
+        let m = JudgmentMatrix::new(1, &[1.0]).unwrap();
+        let r = m.priorities().unwrap();
+        assert_eq!(r.priorities, vec![1.0]);
+        assert_eq!(r.consistency_ratio, 0.0);
+    }
+
+    #[test]
+    fn blend_matches_paper_example_3() {
+        // Example 3: critical level l₃ = 0.75, customer level p₂ = 0.5,
+        // α₁ = α₂ = 0.5 → w = 0.625.
+        let w = blend_scores(&[0.5, 0.5], &[0.75, 0.5]).unwrap();
+        close(w, 0.625, 1e-12);
+    }
+
+    #[test]
+    fn blend_handles_unnormalized_priorities() {
+        let w = blend_scores(&[2.0, 2.0], &[0.75, 0.5]).unwrap();
+        close(w, 0.625, 1e-12);
+        assert!(blend_scores(&[], &[]).is_err());
+        assert!(blend_scores(&[1.0], &[0.5, 0.5]).is_err());
+    }
+}

@@ -1,0 +1,467 @@
+//! Streaming anomaly detectors.
+//!
+//! Two detectors power the paper's pipeline:
+//!
+//! - [`KSigma`] — the classical rolling mean ± k·σ band, used for the
+//!   CDI-curve surveillance of Section VI-C (Cases 6 and 7). It flags both
+//!   **spikes** and **dips**, mirroring the paper's lesson from Case 7 that
+//!   dips deserve the same scrutiny as spikes.
+//! - [`Spot`] — Streaming Peaks-Over-Threshold (Siffer et al., KDD'17): fits
+//!   a Generalized Pareto tail to excesses over a high empirical quantile via
+//!   Grimshaw's likelihood trick and converts a target risk `q` into a
+//!   dynamic alarm threshold. Used by the statistical event extractor
+//!   (Section II-C) on metric residuals.
+
+use crate::describe::quantile;
+use crate::dist::GeneralizedPareto;
+use crate::error::{Result, StatsError};
+
+/// Direction of a detected anomaly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// Value above the expected band — a stability degradation signal.
+    Spike,
+    /// Value below the expected band — either an improvement or, as in the
+    /// paper's Case 7, a data-quality problem. Both deserve investigation.
+    Dip,
+}
+
+/// A detected anomaly at an index of the input series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Anomaly {
+    /// Index into the observed series.
+    pub index: usize,
+    /// The observed value.
+    pub value: f64,
+    /// The band edge (threshold) the value crossed.
+    pub threshold: f64,
+    /// Spike or dip.
+    pub kind: AnomalyKind,
+}
+
+/// Rolling K-Sigma detector.
+///
+/// Maintains mean and variance over a trailing window (excluding the current
+/// point) and flags values outside `mean ± k·σ`. Flagged values are *not*
+/// absorbed into the window, so a level shift keeps alarming until the
+/// detector is reset — matching how the paper treats sustained CDI shifts.
+#[derive(Debug, Clone)]
+pub struct KSigma {
+    k: f64,
+    window: usize,
+    min_sigma: f64,
+    history: Vec<f64>,
+}
+
+impl KSigma {
+    /// Create a detector with band half-width `k` standard deviations and the
+    /// given rolling window length (`window >= 3`).
+    ///
+    /// `min_sigma` puts a floor under the estimated σ so that near-constant
+    /// healthy series (common for per-event CDI curves that sit at ~0) do not
+    /// alarm on noise; use 0.0 to disable.
+    pub fn new(k: f64, window: usize, min_sigma: f64) -> Result<Self> {
+        if k <= 0.0 {
+            return Err(StatsError::invalid(format!("k must be positive, got {k}")));
+        }
+        if window < 3 {
+            return Err(StatsError::invalid(format!("window must be >= 3, got {window}")));
+        }
+        if min_sigma < 0.0 {
+            return Err(StatsError::invalid("min_sigma must be non-negative"));
+        }
+        Ok(KSigma { k, window, min_sigma, history: Vec::new() })
+    }
+
+    /// Observe one value; returns the anomaly if it falls outside the band.
+    ///
+    /// The first `window` observations are used purely for calibration and
+    /// never flagged.
+    pub fn observe(&mut self, index: usize, value: f64) -> Option<Anomaly> {
+        if self.history.len() < self.window {
+            self.history.push(value);
+            return None;
+        }
+        let tail = &self.history[self.history.len() - self.window..];
+        let mean = tail.iter().sum::<f64>() / self.window as f64;
+        let var = tail.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (self.window - 1) as f64;
+        let sigma = var.sqrt().max(self.min_sigma);
+        let hi = mean + self.k * sigma;
+        let lo = mean - self.k * sigma;
+        if value > hi {
+            Some(Anomaly { index, value, threshold: hi, kind: AnomalyKind::Spike })
+        } else if value < lo {
+            Some(Anomaly { index, value, threshold: lo, kind: AnomalyKind::Dip })
+        } else {
+            self.history.push(value);
+            None
+        }
+    }
+
+    /// Run the detector over a whole series, returning all anomalies.
+    pub fn detect(mut self, series: &[f64]) -> Vec<Anomaly> {
+        series
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| self.observe(i, v))
+            .collect()
+    }
+}
+
+/// Fitted tail state of a [`Spot`] detector.
+#[derive(Debug, Clone, Copy)]
+struct TailFit {
+    /// The initial (peaks-over) threshold `t`.
+    t: f64,
+    /// Fitted GPD over excesses above `t`.
+    gpd: GeneralizedPareto,
+    /// Number of excesses used in the fit.
+    n_peaks: usize,
+    /// Total observations seen at fit time.
+    n_total: usize,
+}
+
+/// Streaming Peaks-Over-Threshold detector (upper tail).
+///
+/// Calibrate with [`Spot::fit`], then stream values through
+/// [`Spot::observe`]. Values above the dynamic threshold `z_q` are anomalies;
+/// values between `t` and `z_q` update the tail fit.
+#[derive(Debug, Clone)]
+pub struct Spot {
+    /// Target risk: the tolerated probability of exceeding the threshold.
+    q: f64,
+    /// Initial-threshold quantile level used at calibration (e.g. 0.98).
+    init_level: f64,
+    fit: Option<TailFit>,
+    /// Excesses over `t` retained for refits.
+    peaks: Vec<f64>,
+    /// Current dynamic threshold.
+    z_q: f64,
+}
+
+impl Spot {
+    /// Create an uncalibrated SPOT detector with target risk `q`
+    /// (e.g. `1e-4`) and initial-threshold quantile `init_level ∈ (0.5, 1)`.
+    pub fn new(q: f64, init_level: f64) -> Result<Self> {
+        if !(0.0..1.0).contains(&q) || q <= 0.0 {
+            return Err(StatsError::invalid(format!("risk q must be in (0,1), got {q}")));
+        }
+        if !(0.5..1.0).contains(&init_level) {
+            return Err(StatsError::invalid(format!(
+                "init_level must be in [0.5, 1), got {init_level}"
+            )));
+        }
+        Ok(Spot { q, init_level, fit: None, peaks: Vec::new(), z_q: f64::INFINITY })
+    }
+
+    /// Calibrate on an initial batch (needs enough points above the initial
+    /// threshold to fit a tail — at least 10 excesses).
+    pub fn fit(&mut self, calibration: &[f64]) -> Result<()> {
+        if calibration.len() < 20 {
+            return Err(StatsError::degenerate(format!(
+                "SPOT calibration needs >= 20 points, got {}",
+                calibration.len()
+            )));
+        }
+        let t = quantile(calibration, self.init_level)?;
+        let peaks: Vec<f64> = calibration.iter().filter(|&&x| x > t).map(|x| x - t).collect();
+        if peaks.len() < 10 {
+            return Err(StatsError::degenerate(format!(
+                "SPOT needs >= 10 excesses over the initial threshold, got {}",
+                peaks.len()
+            )));
+        }
+        let gpd = grimshaw_fit(&peaks)?;
+        self.peaks = peaks;
+        self.fit = Some(TailFit { t, gpd, n_peaks: self.peaks.len(), n_total: calibration.len() });
+        self.update_threshold();
+        Ok(())
+    }
+
+    /// The current dynamic alarm threshold `z_q` (infinite until fitted).
+    pub fn threshold(&self) -> f64 {
+        self.z_q
+    }
+
+    /// Observe one streaming value.
+    ///
+    /// Returns `Some(anomaly)` if the value exceeds `z_q`. Values between the
+    /// peaks threshold and `z_q` are folded into the tail model (refitting
+    /// the GPD); anomalous values do not pollute the model.
+    pub fn observe(&mut self, index: usize, value: f64) -> Result<Option<Anomaly>> {
+        let fit = self
+            .fit
+            .as_mut()
+            .ok_or_else(|| StatsError::degenerate("SPOT must be fitted before observing"))?;
+        fit.n_total += 1;
+        if value > self.z_q {
+            return Ok(Some(Anomaly {
+                index,
+                value,
+                threshold: self.z_q,
+                kind: AnomalyKind::Spike,
+            }));
+        }
+        if value > fit.t {
+            self.peaks.push(value - fit.t);
+            fit.n_peaks += 1;
+            fit.gpd = grimshaw_fit(&self.peaks)?;
+            self.update_threshold();
+        }
+        Ok(None)
+    }
+
+    /// Recompute `z_q = t + (σ/γ)·((q·n/N_t)^{−γ} − 1)` from the current fit.
+    fn update_threshold(&mut self) {
+        let fit = self.fit.as_ref().expect("called only after fit");
+        let r = self.q * fit.n_total as f64 / fit.n_peaks as f64;
+        let (sigma, gamma) = (fit.gpd.sigma(), fit.gpd.xi());
+        self.z_q = if gamma.abs() < 1e-12 {
+            fit.t - sigma * r.ln()
+        } else {
+            fit.t + sigma / gamma * (r.powf(-gamma) - 1.0)
+        };
+    }
+}
+
+/// Fit a GPD to excesses via Grimshaw's reduction: all likelihood stationary
+/// points satisfy `u(x)·v(x) = 1` for a scalar `x`, where
+/// `u(x) = mean(1/(1+x·yᵢ))` and `v(x) = 1 + mean(log(1+x·yᵢ))`; then
+/// `γ = v(x*) − 1`, `σ = γ/x*`. The exponential limit (`x → 0`) is always
+/// included as a candidate and the best log-likelihood wins.
+pub fn grimshaw_fit(excesses: &[f64]) -> Result<GeneralizedPareto> {
+    if excesses.len() < 2 {
+        return Err(StatsError::degenerate("GPD fit needs >= 2 excesses"));
+    }
+    if excesses.iter().any(|&y| y <= 0.0 || !y.is_finite()) {
+        return Err(StatsError::invalid("excesses must be positive and finite"));
+    }
+    let y_max = excesses.iter().cloned().fold(f64::MIN, f64::max);
+    let y_mean = excesses.iter().sum::<f64>() / excesses.len() as f64;
+
+    let w = |x: f64| -> f64 {
+        let mut u = 0.0;
+        let mut v = 0.0;
+        for &y in excesses {
+            let s = 1.0 + x * y;
+            u += 1.0 / s;
+            v += s.ln();
+        }
+        let n = excesses.len() as f64;
+        (u / n) * (1.0 + v / n) - 1.0
+    };
+
+    // Candidate x* values: the exponential limit plus roots of w on the
+    // negative branch (-1/y_max, 0) and the positive branch (0, x_hi).
+    let mut candidates: Vec<(f64, f64)> = Vec::new(); // (sigma, gamma)
+    candidates.push((y_mean, 0.0));
+
+    let eps = 1e-8 / y_mean;
+    let lo_neg = -1.0 / y_max + 1e-9 / y_max.max(1.0);
+    let mut brackets = Vec::new();
+    scan_roots(&w, lo_neg, -eps, 60, &mut brackets);
+    scan_roots(&w, eps, 20.0 / y_mean, 60, &mut brackets);
+    for (a, b) in brackets {
+        if let Some(x) = bisect_root(&w, a, b) {
+            let mut v = 0.0;
+            for &y in excesses {
+                v += (1.0 + x * y).ln();
+            }
+            let gamma = v / excesses.len() as f64;
+            let sigma = gamma / x;
+            if sigma > 0.0 && sigma.is_finite() {
+                candidates.push((sigma, gamma));
+            }
+        }
+    }
+
+    let mut best: Option<(f64, GeneralizedPareto)> = None;
+    for (sigma, gamma) in candidates {
+        if let Ok(gpd) = GeneralizedPareto::new(sigma, gamma) {
+            let ll = gpd.log_likelihood(excesses);
+            if ll.is_finite() && best.as_ref().is_none_or(|(b, _)| ll > *b) {
+                best = Some((ll, gpd));
+            }
+        }
+    }
+    best.map(|(_, g)| g)
+        .ok_or_else(|| StatsError::NotConverged("no valid GPD candidate".into()))
+}
+
+/// Scan `[a, b]` in `n` steps and record sign-change brackets of `f`.
+fn scan_roots(f: &impl Fn(f64) -> f64, a: f64, b: f64, n: usize, out: &mut Vec<(f64, f64)>) {
+    if a >= b {
+        return;
+    }
+    let h = (b - a) / n as f64;
+    let mut x0 = a;
+    let mut f0 = f(x0);
+    for i in 1..=n {
+        let x1 = a + i as f64 * h;
+        let f1 = f(x1);
+        if f0.is_finite() && f1.is_finite() && f0 * f1 < 0.0 {
+            out.push((x0, x1));
+        }
+        x0 = x1;
+        f0 = f1;
+    }
+}
+
+/// Bisection root refinement on a sign-change bracket.
+fn bisect_root(f: &impl Fn(f64) -> f64, mut a: f64, mut b: f64) -> Option<f64> {
+    let mut fa = f(a);
+    for _ in 0..100 {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if !fm.is_finite() {
+            return None;
+        }
+        if fa * fm <= 0.0 {
+            b = m;
+        } else {
+            a = m;
+            fa = fm;
+        }
+        if (b - a).abs() < 1e-14 * (1.0 + a.abs()) {
+            break;
+        }
+    }
+    Some(0.5 * (a + b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-noise in [-0.5, 0.5) from a splitmix-style hash.
+    fn noise(i: u64) -> f64 {
+        let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z = z ^ (z >> 31);
+        (z as f64 / u64::MAX as f64) - 0.5
+    }
+
+    #[test]
+    fn ksigma_flags_spike_and_dip() {
+        let mut series: Vec<f64> = (0..60).map(|i| 10.0 + noise(i)).collect();
+        series[40] = 25.0; // spike
+        series[50] = -5.0; // dip
+        let det = KSigma::new(4.0, 20, 0.0).unwrap();
+        let anomalies = det.detect(&series);
+        let kinds: Vec<(usize, AnomalyKind)> =
+            anomalies.iter().map(|a| (a.index, a.kind)).collect();
+        assert!(kinds.contains(&(40, AnomalyKind::Spike)), "{kinds:?}");
+        assert!(kinds.contains(&(50, AnomalyKind::Dip)), "{kinds:?}");
+        assert_eq!(anomalies.len(), 2, "{anomalies:?}");
+    }
+
+    #[test]
+    fn ksigma_quiet_series_is_quiet() {
+        let series: Vec<f64> = (0..200).map(|i| 5.0 + 0.1 * noise(i)).collect();
+        let det = KSigma::new(5.0, 30, 0.0).unwrap();
+        assert!(det.detect(&series).is_empty());
+    }
+
+    #[test]
+    fn ksigma_min_sigma_suppresses_flat_series_noise() {
+        // A series that is exactly constant during calibration, then moves a
+        // hair: without a sigma floor that would alarm, with it it must not.
+        let mut series = vec![1.0; 30];
+        series.push(1.001);
+        let strict = KSigma::new(3.0, 30, 0.0).unwrap();
+        assert_eq!(strict.detect(&series).len(), 1);
+        let floored = KSigma::new(3.0, 30, 0.01).unwrap();
+        assert!(floored.detect(&series).is_empty());
+    }
+
+    #[test]
+    fn ksigma_sustained_shift_keeps_alarming() {
+        let mut series: Vec<f64> = (0..30).map(|i| 10.0 + noise(i)).collect();
+        series.extend((30..40).map(|i| 30.0 + noise(i)));
+        let det = KSigma::new(4.0, 30, 0.0).unwrap();
+        let anomalies = det.detect(&series);
+        assert_eq!(anomalies.len(), 10, "every post-shift point alarms");
+    }
+
+    #[test]
+    fn ksigma_rejects_bad_params() {
+        assert!(KSigma::new(0.0, 10, 0.0).is_err());
+        assert!(KSigma::new(3.0, 2, 0.0).is_err());
+        assert!(KSigma::new(3.0, 10, -1.0).is_err());
+    }
+
+    #[test]
+    fn grimshaw_recovers_exponential_scale() {
+        // Deterministic Exp(scale=2) sample via inverse CDF at plotting
+        // positions.
+        let n = 400;
+        let sample: Vec<f64> =
+            (1..=n).map(|i| -2.0 * (1.0 - i as f64 / (n + 1) as f64).ln()).collect();
+        let gpd = grimshaw_fit(&sample).unwrap();
+        assert!((gpd.sigma() - 2.0).abs() < 0.15, "sigma={}", gpd.sigma());
+        assert!(gpd.xi().abs() < 0.08, "xi={}", gpd.xi());
+    }
+
+    #[test]
+    fn grimshaw_recovers_heavy_tail_shape() {
+        // GPD(sigma=1, xi=0.4) quantile sample.
+        let n = 600;
+        let truth = GeneralizedPareto::new(1.0, 0.4).unwrap();
+        let sample: Vec<f64> =
+            (1..=n).map(|i| truth.quantile(i as f64 / (n + 1) as f64).unwrap()).collect();
+        let gpd = grimshaw_fit(&sample).unwrap();
+        assert!((gpd.xi() - 0.4).abs() < 0.1, "xi={}", gpd.xi());
+        assert!((gpd.sigma() - 1.0).abs() < 0.15, "sigma={}", gpd.sigma());
+    }
+
+    #[test]
+    fn grimshaw_rejects_bad_input() {
+        assert!(grimshaw_fit(&[1.0]).is_err());
+        assert!(grimshaw_fit(&[1.0, -2.0]).is_err());
+        assert!(grimshaw_fit(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn spot_flags_extremes_but_not_ordinary_tail() {
+        // Calibrate on exponential-ish noise, then stream: moderate values
+        // pass, an extreme one alarms.
+        let calib: Vec<f64> =
+            (0..300).map(|i| -((0.5 + noise(i).abs()).ln()) + noise(i * 7).abs()).collect();
+        let mut spot = Spot::new(1e-4, 0.95).unwrap();
+        spot.fit(&calib).unwrap();
+        let z = spot.threshold();
+        assert!(z.is_finite() && z > 0.0);
+        // A value just above the peaks threshold but below z_q: no alarm.
+        assert!(spot.observe(0, z * 0.9).unwrap().is_none());
+        // A value far beyond: alarm.
+        let a = spot.observe(1, z * 3.0).unwrap().expect("should alarm");
+        assert_eq!(a.kind, AnomalyKind::Spike);
+    }
+
+    #[test]
+    fn spot_threshold_exceeds_initial_quantile() {
+        let calib: Vec<f64> = (0..500).map(|i| noise(i).abs() * 2.0).collect();
+        let mut spot = Spot::new(1e-3, 0.9).unwrap();
+        spot.fit(&calib).unwrap();
+        let t = quantile(&calib, 0.9).unwrap();
+        assert!(spot.threshold() > t, "z_q={} t={t}", spot.threshold());
+    }
+
+    #[test]
+    fn spot_requires_fit_before_observe() {
+        let mut spot = Spot::new(1e-3, 0.9).unwrap();
+        assert!(spot.observe(0, 1.0).is_err());
+        assert!(spot.threshold().is_infinite());
+    }
+
+    #[test]
+    fn spot_rejects_bad_params_and_tiny_calibration() {
+        assert!(Spot::new(0.0, 0.9).is_err());
+        assert!(Spot::new(1e-3, 0.3).is_err());
+        assert!(Spot::new(1e-3, 1.0).is_err());
+        let mut spot = Spot::new(1e-3, 0.9).unwrap();
+        assert!(spot.fit(&[1.0; 5]).is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Descriptive statistics: moments, quantiles, and tie-aware ranks.
+//!
+//! These helpers are deliberately small and allocation-light; they are called
+//! in the inner loops of the anomaly detectors and of every hypothesis test.
+
+use crate::error::{Result, StatsError};
+
+/// Arithmetic mean. Returns an error on empty input.
+pub fn mean(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::degenerate("mean of empty slice"));
+    }
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Unbiased (n − 1) sample variance. Requires at least two observations.
+pub fn variance(data: &[f64]) -> Result<f64> {
+    if data.len() < 2 {
+        return Err(StatsError::degenerate("variance requires >= 2 observations"));
+    }
+    let m = mean(data)?;
+    let ss: f64 = data.iter().map(|x| (x - m) * (x - m)).sum();
+    Ok(ss / (data.len() - 1) as f64)
+}
+
+/// Unbiased sample standard deviation.
+pub fn std_dev(data: &[f64]) -> Result<f64> {
+    Ok(variance(data)?.sqrt())
+}
+
+/// Biased (population, divide-by-n) central moment of the given order.
+pub fn central_moment(data: &[f64], order: u32) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::degenerate("moment of empty slice"));
+    }
+    let m = mean(data)?;
+    Ok(data.iter().map(|x| (x - m).powi(order as i32)).sum::<f64>() / data.len() as f64)
+}
+
+/// Sample skewness `g1 = m3 / m2^(3/2)` (biased, moment-based), as used by the
+/// D'Agostino normality test.
+pub fn skewness(data: &[f64]) -> Result<f64> {
+    let m2 = central_moment(data, 2)?;
+    if m2 <= 0.0 {
+        return Err(StatsError::degenerate("skewness of constant data"));
+    }
+    Ok(central_moment(data, 3)? / m2.powf(1.5))
+}
+
+/// Sample kurtosis `g2 = m4 / m2²` (biased, moment-based, *not* excess).
+pub fn kurtosis(data: &[f64]) -> Result<f64> {
+    let m2 = central_moment(data, 2)?;
+    if m2 <= 0.0 {
+        return Err(StatsError::degenerate("kurtosis of constant data"));
+    }
+    Ok(central_moment(data, 4)? / (m2 * m2))
+}
+
+/// Median of the data (linear-interpolated between the two middle order
+/// statistics for even lengths).
+pub fn median(data: &[f64]) -> Result<f64> {
+    quantile(data, 0.5)
+}
+
+/// Type-7 (linear interpolation, R default) sample quantile for `q ∈ [0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::degenerate("quantile of empty slice"));
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::invalid(format!("quantile level must be in [0,1], got {q}")));
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        Ok(sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo]))
+    }
+}
+
+/// Midranks (average ranks for ties), 1-based, in the original data order.
+///
+/// Used by Kruskal–Wallis and Dunn's test. Runs in `O(n log n)`.
+pub fn ranks(data: &[f64]) -> Vec<f64> {
+    let mut indexed: Vec<(usize, f64)> = data.iter().copied().enumerate().collect();
+    indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN in rank input"));
+    let mut out = vec![0.0; data.len()];
+    let mut i = 0;
+    while i < indexed.len() {
+        let mut j = i;
+        while j + 1 < indexed.len() && indexed[j + 1].1 == indexed[i].1 {
+            j += 1;
+        }
+        // Ranks i+1 ..= j+1 share the same value; assign their average.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for item in &indexed[i..=j] {
+            out[item.0] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Sizes of tie groups among the data (groups of size 1 are omitted).
+///
+/// Feeds the tie-correction terms of the rank-based tests.
+pub fn tie_group_sizes(data: &[f64]) -> Vec<usize> {
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in tie input"));
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        if j > i {
+            out.push(j - i + 1);
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Simple moving average with the given window, aligned to the window end.
+///
+/// The first `window - 1` outputs average over the (shorter) available
+/// prefix, so the result has the same length as the input. Used to smooth
+/// the annual CDI curves (Fig. 6 of the paper).
+pub fn moving_average(data: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    let mut out = Vec::with_capacity(data.len());
+    let mut sum = 0.0;
+    for (i, &x) in data.iter().enumerate() {
+        sum += x;
+        if i >= window {
+            sum -= data[i - window];
+        }
+        let n = (i + 1).min(window);
+        out.push(sum / n as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        close(mean(&data).unwrap(), 5.0, 1e-12);
+        // Sum of squared deviations is 32; unbiased variance 32/7.
+        close(variance(&data).unwrap(), 32.0 / 7.0, 1e-12);
+        close(std_dev(&data).unwrap(), (32.0_f64 / 7.0).sqrt(), 1e-12);
+    }
+
+    #[test]
+    fn empty_and_short_inputs_error() {
+        assert!(mean(&[]).is_err());
+        assert!(variance(&[1.0]).is_err());
+        assert!(median(&[]).is_err());
+        assert!(skewness(&[3.0, 3.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn skewness_symmetric_data_is_zero() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        close(skewness(&data).unwrap(), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn kurtosis_of_uniform_five_points() {
+        // For {1..5}: m2 = 2, m4 = 6.8, kurtosis = 1.7.
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        close(kurtosis(&data).unwrap(), 1.7, 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        close(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0, 1e-12);
+        close(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5, 1e-12);
+    }
+
+    #[test]
+    fn quantile_type7_interpolation() {
+        let data = [10.0, 20.0, 30.0, 40.0];
+        close(quantile(&data, 0.0).unwrap(), 10.0, 1e-12);
+        close(quantile(&data, 1.0).unwrap(), 40.0, 1e-12);
+        // h = 0.25 * 3 = 0.75 → 10 + 0.75 * 10 = 17.5 (matches R quantile type 7).
+        close(quantile(&data, 0.25).unwrap(), 17.5, 1e-12);
+        assert!(quantile(&data, 1.5).is_err());
+    }
+
+    #[test]
+    fn ranks_without_ties() {
+        let data = [30.0, 10.0, 20.0];
+        assert_eq!(ranks(&data), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_with_ties_use_midranks() {
+        let data = [1.0, 2.0, 2.0, 3.0];
+        assert_eq!(ranks(&data), vec![1.0, 2.5, 2.5, 4.0]);
+        let data = [5.0, 5.0, 5.0];
+        assert_eq!(ranks(&data), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn tie_groups_detected() {
+        assert_eq!(tie_group_sizes(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]), vec![2, 3]);
+        assert!(tie_group_sizes(&[1.0, 2.0, 3.0]).is_empty());
+    }
+
+    #[test]
+    fn moving_average_smooths_and_keeps_length() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ma = moving_average(&data, 3);
+        assert_eq!(ma.len(), data.len());
+        close(ma[0], 1.0, 1e-12);
+        close(ma[1], 1.5, 1e-12);
+        close(ma[2], 2.0, 1e-12);
+        close(ma[4], 4.0, 1e-12);
+    }
+}

@@ -1,0 +1,139 @@
+//! Chi-squared distribution.
+
+use crate::error::{Result, StatsError};
+use crate::special::{ln_gamma, reg_gamma_p, reg_gamma_q};
+
+use super::bisect_quantile;
+
+/// Chi-squared distribution with `k` degrees of freedom (`k > 0`, possibly
+/// fractional — the tie-corrected Kruskal–Wallis statistic keeps integer df,
+/// but Welch-style approximations elsewhere do not).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    df: f64,
+}
+
+impl ChiSquared {
+    /// Create a chi-squared distribution with `df > 0` degrees of freedom.
+    pub fn new(df: f64) -> Result<Self> {
+        if df <= 0.0 || !df.is_finite() {
+            return Err(StatsError::invalid(format!("chi-squared df must be > 0, got {df}")));
+        }
+        Ok(ChiSquared { df })
+    }
+
+    /// Degrees of freedom.
+    pub fn df(&self) -> f64 {
+        self.df
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            // Degenerate density at the origin for df < 2; conventionally 0 here.
+            return if self.df == 2.0 { 0.5 } else { 0.0 };
+        }
+        let k2 = self.df / 2.0;
+        ((k2 - 1.0) * x.ln() - x / 2.0 - k2 * std::f64::consts::LN_2 - ln_gamma(k2)).exp()
+    }
+
+    /// Cumulative distribution function `P(X <= x) = P(k/2, x/2)`.
+    pub fn cdf(&self, x: f64) -> Result<f64> {
+        if x <= 0.0 {
+            return Ok(0.0);
+        }
+        reg_gamma_p(self.df / 2.0, x / 2.0)
+    }
+
+    /// Survival function `P(X > x)`, precise in the upper tail.
+    pub fn sf(&self, x: f64) -> Result<f64> {
+        if x <= 0.0 {
+            return Ok(1.0);
+        }
+        reg_gamma_q(self.df / 2.0, x / 2.0)
+    }
+
+    /// Quantile (inverse CDF) by bisection over an expanding bracket.
+    pub fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::invalid(format!("probability must be in [0,1], got {p}")));
+        }
+        if p == 0.0 {
+            return Ok(0.0);
+        }
+        if p == 1.0 {
+            return Ok(f64::INFINITY);
+        }
+        // The mean is df and the std dev √(2 df); expand the bracket until
+        // the CDF straddles p.
+        let mut hi = self.df + 10.0 * (2.0 * self.df).sqrt() + 10.0;
+        while self.cdf(hi)? < p {
+            hi *= 2.0;
+        }
+        bisect_quantile(|x| self.cdf(x), p, 0.0, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        // scipy.stats.chi2.cdf reference points.
+        close(ChiSquared::new(2.0).unwrap().cdf(2.0).unwrap(), 0.632_120_558_828_557_7, 1e-12);
+        close(ChiSquared::new(5.0).unwrap().cdf(4.351).unwrap(), 0.5, 2e-4);
+        close(ChiSquared::new(1.0).unwrap().cdf(3.841_458_820_694_124).unwrap(), 0.95, 1e-10);
+        close(ChiSquared::new(10.0).unwrap().cdf(18.307_038_053_275_146).unwrap(), 0.95, 1e-10);
+    }
+
+    #[test]
+    fn sf_tail_precision() {
+        // scipy.stats.chi2.sf(50, 2) = 1.3887943864964021e-11
+        let c = ChiSquared::new(2.0).unwrap();
+        close(c.sf(50.0).unwrap() / 1.388_794_386_496_402_1e-11, 1.0, 1e-8);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        for &df in &[1.0, 2.0, 4.5, 30.0] {
+            let c = ChiSquared::new(df).unwrap();
+            for &p in &[0.01, 0.25, 0.5, 0.9, 0.999] {
+                let x = c.quantile(p).unwrap();
+                close(c.cdf(x).unwrap(), p, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pdf_known_exponential_case() {
+        // chi2(2) is Exp(1/2): pdf(x) = e^{-x/2} / 2.
+        let c = ChiSquared::new(2.0).unwrap();
+        for &x in &[0.5, 1.0, 3.0] {
+            close(c.pdf(x), 0.5 * (-x / 2.0f64).exp(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_df_and_probability() {
+        assert!(ChiSquared::new(0.0).is_err());
+        assert!(ChiSquared::new(-3.0).is_err());
+        assert!(ChiSquared::new(2.0).unwrap().quantile(-0.1).is_err());
+    }
+
+    #[test]
+    fn boundaries() {
+        let c = ChiSquared::new(3.0).unwrap();
+        assert_eq!(c.cdf(-1.0).unwrap(), 0.0);
+        assert_eq!(c.sf(-1.0).unwrap(), 1.0);
+        assert_eq!(c.quantile(0.0).unwrap(), 0.0);
+        assert_eq!(c.quantile(1.0).unwrap(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,150 @@
+//! Fisher–Snedecor F distribution.
+
+use crate::error::{Result, StatsError};
+use crate::special::{ln_beta, reg_beta};
+
+use super::bisect_quantile;
+
+/// F distribution with numerator df `d1` and denominator df `d2` (both > 0,
+/// possibly fractional — Welch's ANOVA produces a fractional denominator df).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FisherF {
+    d1: f64,
+    d2: f64,
+}
+
+impl FisherF {
+    /// Create an F distribution; both degrees of freedom must be positive.
+    pub fn new(d1: f64, d2: f64) -> Result<Self> {
+        if d1 <= 0.0 || d2 <= 0.0 || !d1.is_finite() || !d2.is_finite() {
+            return Err(StatsError::invalid(format!(
+                "F distribution requires d1, d2 > 0, got d1={d1}, d2={d2}"
+            )));
+        }
+        Ok(FisherF { d1, d2 })
+    }
+
+    /// Numerator degrees of freedom.
+    pub fn d1(&self) -> f64 {
+        self.d1
+    }
+
+    /// Denominator degrees of freedom.
+    pub fn d2(&self) -> f64 {
+        self.d2
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let (d1, d2) = (self.d1, self.d2);
+        let ln_num = (d1 / 2.0) * (d1 / d2).ln() + (d1 / 2.0 - 1.0) * x.ln()
+            - ((d1 + d2) / 2.0) * (1.0 + d1 * x / d2).ln();
+        (ln_num - ln_beta(d1 / 2.0, d2 / 2.0)).exp()
+    }
+
+    /// Cumulative distribution function:
+    /// `P(F <= x) = I_{d1 x / (d1 x + d2)}(d1/2, d2/2)`.
+    pub fn cdf(&self, x: f64) -> Result<f64> {
+        if x <= 0.0 {
+            return Ok(0.0);
+        }
+        reg_beta(self.d1 / 2.0, self.d2 / 2.0, self.d1 * x / (self.d1 * x + self.d2))
+    }
+
+    /// Survival function `P(F > x)` — the ANOVA p-value. Computed through the
+    /// mirrored incomplete beta for upper-tail precision.
+    pub fn sf(&self, x: f64) -> Result<f64> {
+        if x <= 0.0 {
+            return Ok(1.0);
+        }
+        reg_beta(self.d2 / 2.0, self.d1 / 2.0, self.d2 / (self.d1 * x + self.d2))
+    }
+
+    /// Quantile (inverse CDF) by bisection over an expanding bracket.
+    pub fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::invalid(format!("probability must be in [0,1], got {p}")));
+        }
+        if p == 0.0 {
+            return Ok(0.0);
+        }
+        if p == 1.0 {
+            return Ok(f64::INFINITY);
+        }
+        let mut hi = 10.0;
+        while self.cdf(hi)? < p {
+            hi *= 2.0;
+            if hi > 1e12 {
+                return Err(StatsError::NotConverged(format!("F quantile bracket at p={p}")));
+            }
+        }
+        bisect_quantile(|x| self.cdf(x), p, 0.0, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::StudentT;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        // Classical F-table critical values (7 significant digits), hence
+        // the looser tolerance on the round-tripped probabilities.
+        close(FisherF::new(3.0, 10.0).unwrap().cdf(3.708_265).unwrap(), 0.95, 1e-6);
+        close(FisherF::new(1.0, 1.0).unwrap().cdf(1.0).unwrap(), 0.5, 1e-10);
+        close(FisherF::new(5.0, 2.0).unwrap().cdf(19.296_41).unwrap(), 0.95, 1e-6);
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let f = FisherF::new(4.0, 7.0).unwrap();
+        for &x in &[0.2, 1.0, 3.5, 10.0] {
+            close(f.cdf(x).unwrap() + f.sf(x).unwrap(), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn f_of_squared_t() {
+        // If T ~ t(v) then T² ~ F(1, v): P(F <= x) = P(|T| <= √x).
+        let v = 9.0;
+        let f = FisherF::new(1.0, v).unwrap();
+        let t = StudentT::new(v).unwrap();
+        for &x in &[0.5_f64, 1.5, 4.0] {
+            let via_t = 1.0 - t.two_sided_p(x.sqrt()).unwrap();
+            close(f.cdf(x).unwrap(), via_t, 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        for &(d1, d2) in &[(1.0, 1.0), (2.0, 10.0), (5.0, 3.7), (30.0, 30.0)] {
+            let f = FisherF::new(d1, d2).unwrap();
+            for &p in &[0.05, 0.5, 0.95, 0.999] {
+                let x = f.quantile(p).unwrap();
+                close(f.cdf(x).unwrap(), p, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pdf_reference() {
+        // Analytic: f(1; 2, 5) = 1.4^{-3.5} = 0.3080008216940...
+        close(FisherF::new(2.0, 5.0).unwrap().pdf(1.0), 1.4_f64.powf(-3.5), 1e-14);
+        assert_eq!(FisherF::new(2.0, 5.0).unwrap().pdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_args() {
+        assert!(FisherF::new(0.0, 1.0).is_err());
+        assert!(FisherF::new(1.0, -1.0).is_err());
+        assert!(FisherF::new(2.0, 2.0).unwrap().quantile(-0.5).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Probability distributions used by the hypothesis tests, post-hoc
+//! procedures, and anomaly detectors.
+//!
+//! Each distribution exposes `pdf` / `cdf` / `sf` (survival function) and a
+//! `quantile` (inverse CDF). CDFs reduce to the special functions of
+//! [`crate::special`]; quantiles use closed forms where available (normal)
+//! and guarded bisection elsewhere.
+
+mod chi_squared;
+mod fisher_f;
+mod gpd;
+mod normal;
+mod student_t;
+mod studentized_range;
+
+pub use chi_squared::ChiSquared;
+pub use fisher_f::FisherF;
+pub use gpd::GeneralizedPareto;
+pub use normal::Normal;
+pub use student_t::StudentT;
+pub use studentized_range::StudentizedRange;
+
+use crate::error::{Result, StatsError};
+
+/// Invert a monotone CDF by bisection over `[lo, hi]`.
+///
+/// `cdf` must be nondecreasing; the bracket is expanded by the callers before
+/// invoking this. Converges to ~1e-12 in at most 200 iterations.
+pub(crate) fn bisect_quantile(
+    cdf: impl Fn(f64) -> Result<f64>,
+    p: f64,
+    mut lo: f64,
+    mut hi: f64,
+) -> Result<f64> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::invalid(format!("probability must be in [0,1], got {p}")));
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if cdf(mid)? < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 * (1.0 + hi.abs()) {
+            break;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_inverts_identity() {
+        let q = bisect_quantile(Ok, 0.3, 0.0, 1.0).unwrap();
+        assert!((q - 0.3).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_probability() {
+        assert!(bisect_quantile(Ok, 1.5, 0.0, 1.0).is_err());
+    }
+}

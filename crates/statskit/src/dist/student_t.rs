@@ -1,0 +1,170 @@
+//! Student's t distribution.
+
+use crate::error::{Result, StatsError};
+use crate::special::{ln_beta, reg_beta};
+
+use super::bisect_quantile;
+
+/// Student's t distribution with `df > 0` degrees of freedom (fractional df
+/// arise from Welch–Satterthwaite approximations in Games–Howell).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    df: f64,
+}
+
+impl StudentT {
+    /// Create a Student-t distribution with `df > 0`.
+    pub fn new(df: f64) -> Result<Self> {
+        if df <= 0.0 || !df.is_finite() {
+            return Err(StatsError::invalid(format!("student-t df must be > 0, got {df}")));
+        }
+        Ok(StudentT { df })
+    }
+
+    /// Degrees of freedom.
+    pub fn df(&self) -> f64 {
+        self.df
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let v = self.df;
+        let ln_norm = -0.5 * v.ln() - ln_beta(0.5, v / 2.0);
+        (ln_norm - (v + 1.0) / 2.0 * (1.0 + x * x / v).ln()).exp()
+    }
+
+    /// Cumulative distribution function via the regularized incomplete beta:
+    /// for `x >= 0`, `P(T <= x) = 1 - I_{v/(v+x²)}(v/2, 1/2) / 2`.
+    pub fn cdf(&self, x: f64) -> Result<f64> {
+        let v = self.df;
+        if x == 0.0 {
+            return Ok(0.5);
+        }
+        let ib = reg_beta(v / 2.0, 0.5, v / (v + x * x))?;
+        Ok(if x > 0.0 { 1.0 - 0.5 * ib } else { 0.5 * ib })
+    }
+
+    /// Survival function `P(T > x)`, precise in the upper tail.
+    pub fn sf(&self, x: f64) -> Result<f64> {
+        let v = self.df;
+        if x == 0.0 {
+            return Ok(0.5);
+        }
+        let ib = reg_beta(v / 2.0, 0.5, v / (v + x * x))?;
+        Ok(if x > 0.0 { 0.5 * ib } else { 1.0 - 0.5 * ib })
+    }
+
+    /// Two-sided p-value `P(|T| > |x|)` — the workhorse of the pairwise tests.
+    pub fn two_sided_p(&self, x: f64) -> Result<f64> {
+        let v = self.df;
+        if x == 0.0 {
+            return Ok(1.0);
+        }
+        reg_beta(v / 2.0, 0.5, v / (v + x * x))
+    }
+
+    /// Quantile (inverse CDF) by symmetric bisection.
+    pub fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::invalid(format!("probability must be in [0,1], got {p}")));
+        }
+        if p == 0.0 {
+            return Ok(f64::NEG_INFINITY);
+        }
+        if p == 1.0 {
+            return Ok(f64::INFINITY);
+        }
+        if (p - 0.5).abs() < 1e-16 {
+            return Ok(0.0);
+        }
+        // Exploit symmetry: solve for the upper half and mirror.
+        let upper = p.max(1.0 - p);
+        let mut hi = 2.0;
+        while self.cdf(hi)? < upper {
+            hi *= 2.0;
+            if hi > 1e12 {
+                return Err(StatsError::NotConverged(format!("t quantile bracket at p={p}")));
+            }
+        }
+        let x = bisect_quantile(|x| self.cdf(x), upper, 0.0, hi)?;
+        Ok(if p >= 0.5 { x } else { -x })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        // scipy.stats.t.cdf reference points.
+        close(StudentT::new(1.0).unwrap().cdf(1.0).unwrap(), 0.75, 1e-12);
+        close(StudentT::new(10.0).unwrap().cdf(2.228_138_851_986_273).unwrap(), 0.975, 1e-10);
+        close(StudentT::new(5.0).unwrap().cdf(-2.015_048_372_669_157).unwrap(), 0.05, 1e-10);
+    }
+
+    #[test]
+    fn converges_to_normal_for_large_df() {
+        let t = StudentT::new(1e6).unwrap();
+        let n = super::super::Normal::standard();
+        for &x in &[-2.0, -0.5, 0.3, 1.96] {
+            close(t.cdf(x).unwrap(), n.cdf(x), 1e-5);
+        }
+    }
+
+    #[test]
+    fn two_sided_p_matches_tails() {
+        let t = StudentT::new(7.0).unwrap();
+        for &x in &[0.5, 1.3, 3.0] {
+            let p2 = t.two_sided_p(x).unwrap();
+            close(p2, 2.0 * t.sf(x).unwrap(), 1e-12);
+            close(p2, t.two_sided_p(-x).unwrap(), 1e-14);
+        }
+        close(t.two_sided_p(0.0).unwrap(), 1.0, 1e-14);
+    }
+
+    #[test]
+    fn quantile_round_trip_and_symmetry() {
+        for &df in &[1.0, 3.0, 12.0, 120.0] {
+            let t = StudentT::new(df).unwrap();
+            for &p in &[0.005, 0.1, 0.5, 0.9, 0.995] {
+                let x = t.quantile(p).unwrap();
+                close(t.cdf(x).unwrap(), p, 1e-9);
+            }
+            close(
+                t.quantile(0.975).unwrap(),
+                -t.quantile(0.025).unwrap(),
+                1e-9,
+            );
+        }
+    }
+
+    #[test]
+    fn cauchy_special_case() {
+        // t(1) is the standard Cauchy: CDF(x) = 1/2 + atan(x)/π.
+        let t = StudentT::new(1.0).unwrap();
+        for &x in &[-4.0, -1.0, 0.7, 5.0] {
+            close(
+                t.cdf(x).unwrap(),
+                0.5 + x.atan() / std::f64::consts::PI,
+                1e-12,
+            );
+        }
+    }
+
+    #[test]
+    fn pdf_reference() {
+        // scipy.stats.t.pdf(0, 5) = 0.3796066898224944
+        close(StudentT::new(5.0).unwrap().pdf(0.0), 0.379_606_689_822_494_4, 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_args() {
+        assert!(StudentT::new(0.0).is_err());
+        assert!(StudentT::new(5.0).unwrap().quantile(2.0).is_err());
+    }
+}

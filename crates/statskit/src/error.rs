@@ -1,0 +1,74 @@
+//! Error types shared across the statistics toolkit.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, StatsError>;
+
+/// Errors produced by statistical routines.
+///
+/// All routines validate their inputs up front and return a structured error
+/// rather than silently producing NaN, so callers in the CDI pipeline can
+/// distinguish "the data is degenerate" from "the math diverged".
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// An argument was outside its legal domain (e.g. a negative degrees of
+    /// freedom, a probability outside `[0, 1]`).
+    InvalidArgument(String),
+    /// The input data cannot support the requested computation (e.g. fewer
+    /// than two groups for an ANOVA, zero variance where a ratio is needed).
+    Degenerate(String),
+    /// An iterative routine failed to converge within its iteration budget.
+    NotConverged(String),
+}
+
+impl StatsError {
+    /// Shorthand constructor for [`StatsError::InvalidArgument`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        StatsError::InvalidArgument(msg.into())
+    }
+
+    /// Shorthand constructor for [`StatsError::Degenerate`].
+    pub fn degenerate(msg: impl Into<String>) -> Self {
+        StatsError::Degenerate(msg.into())
+    }
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            StatsError::Degenerate(msg) => write!(f, "degenerate input: {msg}"),
+            StatsError::NotConverged(msg) => write!(f, "failed to converge: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_each_variant() {
+        assert_eq!(
+            StatsError::invalid("df must be positive").to_string(),
+            "invalid argument: df must be positive"
+        );
+        assert_eq!(
+            StatsError::degenerate("empty group").to_string(),
+            "degenerate input: empty group"
+        );
+        assert_eq!(
+            StatsError::NotConverged("gpd fit".into()).to_string(),
+            "failed to converge: gpd fit"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&StatsError::invalid("x"));
+    }
+}

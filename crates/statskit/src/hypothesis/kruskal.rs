@@ -1,0 +1,145 @@
+//! Kruskal–Wallis H test (rank-based, nonparametric omnibus test).
+
+use crate::describe::{ranks, tie_group_sizes};
+use crate::dist::ChiSquared;
+use crate::error::Result;
+
+use super::validate_groups;
+
+/// Outcome of the Kruskal–Wallis H test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KruskalResult {
+    /// Tie-corrected H statistic.
+    pub statistic: f64,
+    /// p-value against χ²(k − 1).
+    pub p_value: f64,
+    /// Degrees of freedom, `k − 1`.
+    pub df: f64,
+    /// Mean rank of each group (in input order); reused by Dunn's test.
+    pub mean_ranks: Vec<f64>,
+    /// Total number of observations across groups.
+    pub n_total: usize,
+}
+
+impl KruskalResult {
+    /// Whether the group distributions differ significantly at level `alpha`.
+    pub fn is_significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Run the Kruskal–Wallis H test with tie correction.
+///
+/// Ranks are assigned jointly across all groups (midranks for ties); the raw
+/// statistic is divided by the tie-correction factor
+/// `C = 1 − Σ(t³ − t) / (N³ − N)`.
+pub fn kruskal_wallis(groups: &[&[f64]]) -> Result<KruskalResult> {
+    validate_groups(groups, 2, 1)?;
+    let pooled: Vec<f64> = groups.iter().flat_map(|g| g.iter().copied()).collect();
+    let n = pooled.len();
+    let all_ranks = ranks(&pooled);
+
+    let mut h = 0.0;
+    let mut mean_ranks = Vec::with_capacity(groups.len());
+    let mut pos = 0;
+    for g in groups {
+        let rank_sum: f64 = all_ranks[pos..pos + g.len()].iter().sum();
+        pos += g.len();
+        h += rank_sum * rank_sum / g.len() as f64;
+        mean_ranks.push(rank_sum / g.len() as f64);
+    }
+    let n_f = n as f64;
+    h = 12.0 / (n_f * (n_f + 1.0)) * h - 3.0 * (n_f + 1.0);
+
+    let tie_sum: f64 = tie_group_sizes(&pooled)
+        .iter()
+        .map(|&t| {
+            let t = t as f64;
+            t * t * t - t
+        })
+        .sum();
+    let correction = 1.0 - tie_sum / (n_f * n_f * n_f - n_f);
+    if correction <= 0.0 {
+        // Every observation identical: ranks carry no information.
+        return Ok(KruskalResult {
+            statistic: 0.0,
+            p_value: 1.0,
+            df: (groups.len() - 1) as f64,
+            mean_ranks,
+            n_total: n,
+        });
+    }
+    let statistic = h / correction;
+    let df = (groups.len() - 1) as f64;
+    let p_value = ChiSquared::new(df)?.sf(statistic.max(0.0))?;
+    Ok(KruskalResult { statistic, p_value, df, mean_ranks, n_total: n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn matches_independent_reference_untied() {
+        // H computed with an independent pure-Python implementation; the
+        // chi²(2) p-value is exactly exp(-H/2).
+        let g1 = [2.9, 3.0, 2.5, 2.6, 3.2];
+        let g2 = [3.8, 2.7, 4.0, 2.4];
+        let g3 = [2.8, 3.4, 3.7, 2.2, 2.0];
+        let r = kruskal_wallis(&[&g1, &g2, &g3]).unwrap();
+        close(r.statistic, 0.771_428_571_428_572, 1e-10);
+        close(r.p_value, 0.679_964_773_578_894, 1e-10);
+        assert!(!r.is_significant(0.05));
+        assert_eq!(r.n_total, 14);
+        close(r.df, 2.0, 1e-12);
+    }
+
+    #[test]
+    fn matches_independent_reference_with_ties() {
+        let a = [1.0, 1.0, 2.0, 2.0, 3.0];
+        let b = [3.0, 3.0, 4.0, 4.0, 5.0];
+        let c = [5.0, 5.0, 6.0, 6.0, 7.0];
+        let r = kruskal_wallis(&[&a, &b, &c]).unwrap();
+        close(r.statistic, 11.772_262_773_722_6, 1e-9);
+        close(r.p_value, 2.777_701_791_563_87e-3, 1e-10);
+        assert!(r.is_significant(0.05));
+    }
+
+    #[test]
+    fn mean_ranks_ordered_with_shifted_groups() {
+        let lo = [1.0, 2.0, 3.0];
+        let hi = [10.0, 11.0, 12.0];
+        let r = kruskal_wallis(&[&lo, &hi]).unwrap();
+        assert!(r.mean_ranks[0] < r.mean_ranks[1]);
+        close(r.mean_ranks[0], 2.0, 1e-12);
+        close(r.mean_ranks[1], 5.0, 1e-12);
+    }
+
+    #[test]
+    fn all_identical_observations_is_null() {
+        let a = [7.0, 7.0, 7.0];
+        let r = kruskal_wallis(&[&a, &a]).unwrap();
+        close(r.statistic, 0.0, 1e-12);
+        close(r.p_value, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn accepts_singleton_groups() {
+        // KW tolerates n_i = 1 (unlike the variance-based tests).
+        let a = [1.0];
+        let b = [2.0, 3.0];
+        let c = [4.0, 5.0, 6.0];
+        let r = kruskal_wallis(&[&a, &b, &c]).unwrap();
+        assert!(r.p_value > 0.0 && r.p_value <= 1.0);
+    }
+
+    #[test]
+    fn rejects_single_group() {
+        let a = [1.0, 2.0];
+        assert!(kruskal_wallis(&[&a]).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Hypothesis tests backing the paper's A/B-test workflow (Fig. 10).
+//!
+//! The workflow first checks distributional assumptions — normality
+//! ([`dagostino_k2`]) and variance homogeneity ([`levene`]) — then selects an
+//! omnibus test: classical one-way ANOVA ([`one_way_anova`]) when both hold,
+//! Welch's ANOVA ([`welch_anova`]) under heteroscedastic normal data, and the
+//! Kruskal–Wallis H test ([`kruskal_wallis`]) otherwise.
+
+mod anova;
+mod kruskal;
+mod normality;
+mod variance;
+
+pub use anova::{one_way_anova, welch_anova, AnovaResult};
+pub use kruskal::{kruskal_wallis, KruskalResult};
+pub use normality::{dagostino_k2, NormalityResult};
+pub use variance::{levene, Center, LeveneResult};
+
+use crate::error::{Result, StatsError};
+
+/// Validate a group layout: at least `min_groups` groups, each with at least
+/// `min_size` observations. Shared by every k-sample test here.
+pub(crate) fn validate_groups(
+    groups: &[&[f64]],
+    min_groups: usize,
+    min_size: usize,
+) -> Result<()> {
+    if groups.len() < min_groups {
+        return Err(StatsError::degenerate(format!(
+            "need at least {min_groups} groups, got {}",
+            groups.len()
+        )));
+    }
+    for (i, g) in groups.iter().enumerate() {
+        if g.len() < min_size {
+            return Err(StatsError::degenerate(format!(
+                "group {i} has {} observations, need at least {min_size}",
+                g.len()
+            )));
+        }
+        if g.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::invalid(format!("group {i} contains non-finite values")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_small_layouts() {
+        let a = [1.0, 2.0];
+        let b = [3.0];
+        assert!(validate_groups(&[&a], 2, 1).is_err());
+        assert!(validate_groups(&[&a, &b], 2, 2).is_err());
+        assert!(validate_groups(&[&a, &a], 2, 2).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_non_finite() {
+        let a = [1.0, f64::NAN];
+        let b = [3.0, 4.0];
+        assert!(validate_groups(&[&a, &b], 2, 2).is_err());
+    }
+}

@@ -1,0 +1,400 @@
+//! Post-hoc pairwise comparison procedures (Section VI-D of the paper).
+//!
+//! After a significant omnibus test, these identify *which* groups differ:
+//!
+//! - [`tukey_hsd`] — Tukey's honestly-significant-difference test; with
+//!   unequal group sizes it automatically becomes the Tukey–Kramer test.
+//!   Assumes normality and homogeneous variances.
+//! - [`games_howell`] — for heteroscedastic normal data (the Welch-ANOVA
+//!   companion), with per-pair Welch–Satterthwaite degrees of freedom.
+//! - [`dunn`] — rank-based companion to Kruskal–Wallis, with tie correction
+//!   and the usual multiple-comparison adjustments.
+
+use crate::describe::{mean, ranks, tie_group_sizes, variance};
+use crate::dist::{Normal, StudentizedRange};
+use crate::error::{Result, StatsError};
+use crate::hypothesis::one_way_anova;
+
+/// Multiple-comparison p-value adjustment for [`dunn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adjustment {
+    /// Report unadjusted p-values.
+    None,
+    /// Bonferroni: multiply each p by the number of comparisons.
+    Bonferroni,
+    /// Holm step-down: uniformly more powerful than Bonferroni.
+    Holm,
+}
+
+/// One pairwise comparison between groups `a` and `b` (indices into the
+/// caller's group slice).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairwiseComparison {
+    /// Index of the first group.
+    pub group_a: usize,
+    /// Index of the second group.
+    pub group_b: usize,
+    /// Difference of group means (Tukey/Games–Howell) or mean ranks (Dunn),
+    /// `a − b`.
+    pub difference: f64,
+    /// The test statistic (studentized range `q`, or Dunn's `z`).
+    pub statistic: f64,
+    /// The (possibly adjusted) two-sided p-value.
+    pub p_value: f64,
+    /// Degrees of freedom used for this pair.
+    pub df: f64,
+    /// Standard error of `difference` (the denominator of the statistic).
+    pub std_error: f64,
+}
+
+impl PairwiseComparison {
+    /// Whether this pair differs significantly at level `alpha`.
+    pub fn is_significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+
+    /// Simultaneous `(1 − alpha)` confidence interval for the difference.
+    ///
+    /// Tukey/Games–Howell pairs use the studentized range critical value
+    /// with `k` groups at this pair's df (the family-wise Tukey interval);
+    /// Dunn pairs (infinite df) fall back to the plain normal interval on
+    /// the mean-rank difference.
+    pub fn confidence_interval(&self, k: usize, alpha: f64) -> Result<(f64, f64)> {
+        let half = if self.df.is_finite() {
+            StudentizedRange::new(k, self.df)?.quantile(1.0 - alpha)? * self.std_error
+        } else {
+            Normal::standard().quantile(1.0 - alpha / 2.0)? * self.std_error
+        };
+        Ok((self.difference - half, self.difference + half))
+    }
+}
+
+/// Tukey HSD / Tukey–Kramer test across all pairs of groups.
+///
+/// Pools the within-group variance (like the classical ANOVA it follows) and
+/// compares `q_ij = |ȳ_i − ȳ_j| / √(MSE/2 · (1/n_i + 1/n_j))` against the
+/// studentized range with `k` groups and `N − k` degrees of freedom.
+pub fn tukey_hsd(groups: &[&[f64]]) -> Result<Vec<PairwiseComparison>> {
+    let anova = one_way_anova(groups)?;
+    let mse = anova
+        .mean_square_error
+        .expect("one_way_anova always reports MSE");
+    if mse <= 0.0 {
+        return Err(StatsError::degenerate("Tukey HSD requires positive within-group variance"));
+    }
+    let df = anova.df_within;
+    let sr = StudentizedRange::new(groups.len(), df)?;
+    let means: Vec<f64> = groups.iter().map(|g| mean(g)).collect::<Result<_>>()?;
+
+    let mut out = Vec::new();
+    for i in 0..groups.len() {
+        for j in (i + 1)..groups.len() {
+            let se = (mse / 2.0 * (1.0 / groups[i].len() as f64 + 1.0 / groups[j].len() as f64))
+                .sqrt();
+            let diff = means[i] - means[j];
+            let q = diff.abs() / se;
+            out.push(PairwiseComparison {
+                group_a: i,
+                group_b: j,
+                difference: diff,
+                statistic: q,
+                p_value: sr.sf(q)?,
+                df,
+                std_error: se,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Games–Howell test across all pairs of groups.
+///
+/// Uses per-pair standard errors from the individual group variances and a
+/// Welch–Satterthwaite df per pair; the companion to Welch's ANOVA when
+/// variances are unequal.
+pub fn games_howell(groups: &[&[f64]]) -> Result<Vec<PairwiseComparison>> {
+    crate::hypothesis::validate_groups(groups, 2, 2)?;
+    let k = groups.len();
+    let means: Vec<f64> = groups.iter().map(|g| mean(g)).collect::<Result<_>>()?;
+    let vars: Vec<f64> = groups.iter().map(|g| variance(g)).collect::<Result<_>>()?;
+    if vars.iter().any(|&v| v <= 0.0) {
+        return Err(StatsError::degenerate(
+            "Games-Howell requires positive variance in every group",
+        ));
+    }
+
+    let mut out = Vec::new();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let (ni, nj) = (groups[i].len() as f64, groups[j].len() as f64);
+            let (vi, vj) = (vars[i] / ni, vars[j] / nj);
+            let se2 = vi + vj;
+            let df = se2 * se2 / (vi * vi / (ni - 1.0) + vj * vj / (nj - 1.0));
+            let diff = means[i] - means[j];
+            let se = (se2 / 2.0).sqrt();
+            let q = diff.abs() / se;
+            let sr = StudentizedRange::new(k, df)?;
+            out.push(PairwiseComparison {
+                group_a: i,
+                group_b: j,
+                difference: diff,
+                statistic: q,
+                p_value: sr.sf(q)?,
+                df,
+                std_error: se,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Dunn's rank-sum test across all pairs of groups, with tie correction.
+///
+/// The rank-based companion to Kruskal–Wallis. `z_ij` compares mean ranks
+/// against a normal reference; p-values are adjusted per `adjustment`.
+pub fn dunn(groups: &[&[f64]], adjustment: Adjustment) -> Result<Vec<PairwiseComparison>> {
+    if groups.len() < 2 {
+        return Err(StatsError::degenerate("Dunn's test needs at least 2 groups"));
+    }
+    if groups.iter().any(|g| g.is_empty()) {
+        return Err(StatsError::degenerate("Dunn's test requires non-empty groups"));
+    }
+    let pooled: Vec<f64> = groups.iter().flat_map(|g| g.iter().copied()).collect();
+    let n = pooled.len() as f64;
+    let all_ranks = ranks(&pooled);
+
+    let mut mean_ranks = Vec::with_capacity(groups.len());
+    let mut pos = 0;
+    for g in groups {
+        let sum: f64 = all_ranks[pos..pos + g.len()].iter().sum();
+        pos += g.len();
+        mean_ranks.push(sum / g.len() as f64);
+    }
+
+    let tie_sum: f64 = tie_group_sizes(&pooled)
+        .iter()
+        .map(|&t| {
+            let t = t as f64;
+            t * t * t - t
+        })
+        .sum();
+    let tie_term = tie_sum / (12.0 * (n - 1.0));
+    let base_var = n * (n + 1.0) / 12.0 - tie_term;
+    if base_var <= 0.0 {
+        return Err(StatsError::degenerate("all pooled observations are identical"));
+    }
+
+    let std = Normal::standard();
+    let mut out = Vec::new();
+    for i in 0..groups.len() {
+        for j in (i + 1)..groups.len() {
+            let se =
+                (base_var * (1.0 / groups[i].len() as f64 + 1.0 / groups[j].len() as f64)).sqrt();
+            let diff = mean_ranks[i] - mean_ranks[j];
+            let z = diff / se;
+            let p = 2.0 * std.sf(z.abs());
+            out.push(PairwiseComparison {
+                group_a: i,
+                group_b: j,
+                difference: diff,
+                statistic: z,
+                p_value: p.min(1.0),
+                df: f64::INFINITY,
+                std_error: se,
+            });
+        }
+    }
+    adjust_p_values(&mut out, adjustment);
+    Ok(out)
+}
+
+/// Apply a multiple-comparison adjustment in place.
+fn adjust_p_values(comparisons: &mut [PairwiseComparison], adjustment: Adjustment) {
+    let m = comparisons.len() as f64;
+    match adjustment {
+        Adjustment::None => {}
+        Adjustment::Bonferroni => {
+            for c in comparisons.iter_mut() {
+                c.p_value = (c.p_value * m).min(1.0);
+            }
+        }
+        Adjustment::Holm => {
+            // Step-down: sort ascending, multiply by (m − rank), enforce
+            // monotonicity, and write back through the original order.
+            let mut order: Vec<usize> = (0..comparisons.len()).collect();
+            order.sort_by(|&a, &b| {
+                comparisons[a]
+                    .p_value
+                    .partial_cmp(&comparisons[b].p_value)
+                    .expect("p-values are finite")
+            });
+            let mut running_max = 0.0_f64;
+            for (rank, &idx) in order.iter().enumerate() {
+                let adjusted = (comparisons[idx].p_value * (m - rank as f64)).min(1.0);
+                running_max = running_max.max(adjusted);
+                comparisons[idx].p_value = running_max;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn tukey_q_statistic_matches_hand_computation() {
+        // Equal-n case: q = |m_i - m_j| / sqrt(MSE / n).
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        let c = [1.5, 2.5, 3.5];
+        let pairs = tukey_hsd(&[&a, &b, &c]).unwrap();
+        assert_eq!(pairs.len(), 3);
+        // MSE = 1 (each group has variance 1), so q_ab = 3 / sqrt(1/3).
+        let q_ab = pairs[0].statistic;
+        close(q_ab, 3.0 / (1.0f64 / 3.0).sqrt(), 1e-9);
+        close(pairs[0].difference, -3.0, 1e-12);
+        close(pairs[0].df, 6.0, 1e-12);
+    }
+
+    #[test]
+    fn tukey_p_at_table_critical_value_is_five_percent() {
+        // Build 3 groups with pooled df = 10 whose largest q is forced to the
+        // table critical value 3.877 by construction is fiddly; instead check
+        // the distributional statement directly through the same code path.
+        let sr = StudentizedRange::new(3, 10.0).unwrap();
+        close(sr.sf(3.877).unwrap(), 0.05, 2e-3);
+    }
+
+    #[test]
+    fn tukey_detects_separated_group() {
+        let a = [10.0, 10.2, 9.8, 10.1, 9.9];
+        let b = [10.1, 10.3, 9.9, 10.0, 10.2];
+        let far = [20.0, 20.2, 19.8, 20.1, 19.9];
+        let pairs = tukey_hsd(&[&a, &b, &far]).unwrap();
+        let ab = &pairs[0];
+        let a_far = &pairs[1];
+        assert!(!ab.is_significant(0.05), "similar groups: p={}", ab.p_value);
+        assert!(a_far.is_significant(0.001), "separated: p={}", a_far.p_value);
+    }
+
+    #[test]
+    fn tukey_kramer_handles_unequal_sizes() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 3.0];
+        let c = [10.0, 11.0, 12.0];
+        let pairs = tukey_hsd(&[&a, &b, &c]).unwrap();
+        assert_eq!(pairs.len(), 3);
+        for p in &pairs {
+            assert!(p.p_value > 0.0 && p.p_value <= 1.0);
+        }
+    }
+
+    #[test]
+    fn games_howell_matches_independent_reference() {
+        // q and the Welch-Satterthwaite df verified with an independent
+        // pure-Python computation.
+        let a = [6.9, 5.4, 5.8, 4.6, 4.0];
+        let b = [8.3, 6.8, 7.8, 9.2, 6.5];
+        let c = [8.0, 10.5, 8.1, 6.9, 9.3];
+        let pairs = games_howell(&[&a, &b, &c]).unwrap();
+        let ab = &pairs[0];
+        close(ab.statistic, 4.793_673_992_339_03, 1e-9);
+        close(ab.df, 7.998_734_940_809_78, 1e-9);
+        assert!(ab.p_value > 0.0 && ab.p_value < 1.0);
+    }
+
+    #[test]
+    fn games_howell_rejects_constant_group() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [2.0, 3.0, 4.0];
+        assert!(games_howell(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn dunn_matches_independent_reference() {
+        let a = [1.0, 1.0, 2.0, 2.0, 3.0];
+        let b = [3.0, 3.0, 4.0, 4.0, 5.0];
+        let c = [5.0, 5.0, 6.0, 6.0, 7.0];
+        let pairs = dunn(&[&a, &b, &c], Adjustment::None).unwrap();
+        close(pairs[0].statistic, -1.715_536_561_379_75, 1e-9);
+        close(pairs[0].p_value, 0.086_246_898_125_818_6, 1e-9);
+        close(pairs[1].statistic, -3.431_073_122_759_5, 1e-9);
+        close(pairs[1].p_value, 6.011_985_195_286_67e-4, 1e-10);
+        close(pairs[2].statistic, -1.715_536_561_379_75, 1e-9);
+    }
+
+    #[test]
+    fn dunn_bonferroni_scales_p() {
+        let a = [1.0, 1.0, 2.0, 2.0, 3.0];
+        let b = [3.0, 3.0, 4.0, 4.0, 5.0];
+        let c = [5.0, 5.0, 6.0, 6.0, 7.0];
+        let raw = dunn(&[&a, &b, &c], Adjustment::None).unwrap();
+        let bonf = dunn(&[&a, &b, &c], Adjustment::Bonferroni).unwrap();
+        for (r, b) in raw.iter().zip(&bonf) {
+            close(b.p_value, (r.p_value * 3.0).min(1.0), 1e-12);
+        }
+    }
+
+    #[test]
+    fn dunn_holm_is_monotone_and_dominated_by_bonferroni() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [3.0, 4.0, 5.0, 6.0];
+        let c = [8.0, 9.0, 10.0, 11.0];
+        let holm = dunn(&[&a, &b, &c], Adjustment::Holm).unwrap();
+        let bonf = dunn(&[&a, &b, &c], Adjustment::Bonferroni).unwrap();
+        for (h, b) in holm.iter().zip(&bonf) {
+            assert!(h.p_value <= b.p_value + 1e-12, "Holm must not exceed Bonferroni");
+            assert!(h.p_value <= 1.0);
+        }
+    }
+
+    #[test]
+    fn tukey_confidence_intervals_bracket_the_difference() {
+        let a = [10.0, 10.2, 9.8, 10.1, 9.9];
+        let b = [10.1, 10.3, 9.9, 10.0, 10.2];
+        let far = [20.0, 20.2, 19.8, 20.1, 19.9];
+        let pairs = tukey_hsd(&[&a, &b, &far]).unwrap();
+        for p in &pairs {
+            let (lo, hi) = p.confidence_interval(3, 0.05).unwrap();
+            assert!(lo < p.difference && p.difference < hi);
+            // Significant at 0.05 ⟺ the 95% interval excludes zero (Tukey
+            // duality).
+            let excludes_zero = lo > 0.0 || hi < 0.0;
+            assert_eq!(
+                p.is_significant(0.05),
+                excludes_zero,
+                "pair ({},{}) p={} ci=({lo},{hi})",
+                p.group_a,
+                p.group_b,
+                p.p_value
+            );
+        }
+    }
+
+    #[test]
+    fn dunn_confidence_interval_uses_normal_quantile() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [8.0, 9.0, 10.0, 11.0];
+        let pairs = dunn(&[&a, &b], Adjustment::None).unwrap();
+        let p = &pairs[0];
+        let (lo, hi) = p.confidence_interval(2, 0.05).unwrap();
+        // Width = 2 × 1.96 × se.
+        close(hi - lo, 2.0 * 1.959_963_984_540_054 * p.std_error, 1e-6);
+        assert!(lo < p.difference && p.difference < hi);
+    }
+
+    #[test]
+    fn dunn_rejects_degenerate_inputs() {
+        let a = [1.0, 2.0];
+        assert!(dunn(&[&a], Adjustment::None).is_err());
+        let all_same = [3.0, 3.0];
+        assert!(dunn(&[&all_same, &all_same], Adjustment::None).is_err());
+        let empty: [f64; 0] = [];
+        assert!(dunn(&[&a, &empty], Adjustment::None).is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! Seasonal-trend decomposition for metric time series.
+//!
+//! The paper's event extractor combines BacktrackSTL (Wang et al., KDD'24)
+//! with EVT to turn metric series into events (Section II-C). This module
+//! provides the decomposition half in two flavours:
+//!
+//! - [`decompose`] — classical batch seasonal-trend decomposition (centered
+//!   moving-average trend, per-phase seasonal means), for offline analysis.
+//! - [`OnlineStl`] — an online decomposer in the BacktrackSTL spirit: O(1)
+//!   per point, EWMA seasonal profile, robust rolling-median trend, and a
+//!   *backtrack gate* that refuses to absorb anomalous points into the model
+//!   so that the residual stream stays clean for the downstream
+//!   [`crate::anomaly::Spot`] detector.
+
+use std::collections::VecDeque;
+
+use crate::describe::median;
+use crate::error::{Result, StatsError};
+
+/// One decomposed observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StlPoint {
+    /// Slow-moving level component.
+    pub trend: f64,
+    /// Periodic component for this observation's phase.
+    pub seasonal: f64,
+    /// What remains: `value − trend − seasonal`. This is what anomaly
+    /// detection consumes.
+    pub residual: f64,
+}
+
+/// Batch decomposition of a full series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// Trend component, same length as the input.
+    pub trend: Vec<f64>,
+    /// Seasonal component, same length as the input.
+    pub seasonal: Vec<f64>,
+    /// Residual component, same length as the input.
+    pub residual: Vec<f64>,
+}
+
+/// Classical batch seasonal-trend decomposition.
+///
+/// Trend is a centered moving average of width `period` (with shrinking
+/// windows at the edges); the seasonal profile is the per-phase mean of the
+/// detrended series, centered to sum to zero; the residual is the remainder.
+/// Requires at least two full periods of data.
+pub fn decompose(series: &[f64], period: usize) -> Result<Decomposition> {
+    if period < 2 {
+        return Err(StatsError::invalid(format!("period must be >= 2, got {period}")));
+    }
+    if series.len() < 2 * period {
+        return Err(StatsError::degenerate(format!(
+            "need >= 2 periods ({} points), got {}",
+            2 * period,
+            series.len()
+        )));
+    }
+    let n = series.len();
+    let half = period / 2;
+
+    // Centered moving average; window shrinks symmetrically near the edges.
+    let mut trend = Vec::with_capacity(n);
+    for i in 0..n {
+        let r = half.min(i).min(n - 1 - i);
+        let window = &series[i - r..=i + r];
+        trend.push(window.iter().sum::<f64>() / window.len() as f64);
+    }
+
+    // Per-phase mean of detrended values, centered to zero mean.
+    let mut phase_sum = vec![0.0; period];
+    let mut phase_count = vec![0usize; period];
+    for i in 0..n {
+        phase_sum[i % period] += series[i] - trend[i];
+        phase_count[i % period] += 1;
+    }
+    let mut profile: Vec<f64> = phase_sum
+        .iter()
+        .zip(&phase_count)
+        .map(|(s, &c)| s / c as f64)
+        .collect();
+    let profile_mean = profile.iter().sum::<f64>() / period as f64;
+    for p in &mut profile {
+        *p -= profile_mean;
+    }
+
+    let seasonal: Vec<f64> = (0..n).map(|i| profile[i % period]).collect();
+    let residual: Vec<f64> =
+        (0..n).map(|i| series[i] - trend[i] - seasonal[i]).collect();
+    Ok(Decomposition { trend, seasonal, residual })
+}
+
+/// Online seasonal-trend decomposer with a backtrack-style anomaly gate.
+#[derive(Debug, Clone)]
+pub struct OnlineStl {
+    period: usize,
+    /// EWMA smoothing factor for the seasonal profile.
+    seasonal_alpha: f64,
+    /// Residuals larger than `gate_k` robust sigmas are not absorbed.
+    gate_k: f64,
+    /// Per-phase seasonal estimates and whether each has been initialized.
+    profile: Vec<f64>,
+    profile_init: Vec<bool>,
+    /// Recent deseasonalized values feeding the rolling-median trend.
+    recent: VecDeque<f64>,
+    trend_window: usize,
+    /// Robust residual scale estimate (EWMA of |residual|).
+    resid_scale: f64,
+    observed: usize,
+}
+
+impl OnlineStl {
+    /// Create an online decomposer.
+    ///
+    /// - `period`: season length in samples (`>= 2`).
+    /// - `trend_window`: rolling-median window for the trend (`>= 3`).
+    /// - `seasonal_alpha`: EWMA factor in `(0, 1]` for profile updates.
+    /// - `gate_k`: backtrack gate width in robust sigmas (`> 0`); points with
+    ///   residuals beyond the gate are decomposed but not learned from.
+    pub fn new(period: usize, trend_window: usize, seasonal_alpha: f64, gate_k: f64) -> Result<Self> {
+        if period < 2 {
+            return Err(StatsError::invalid(format!("period must be >= 2, got {period}")));
+        }
+        if trend_window < 3 {
+            return Err(StatsError::invalid(format!(
+                "trend_window must be >= 3, got {trend_window}"
+            )));
+        }
+        if !(0.0..=1.0).contains(&seasonal_alpha) || seasonal_alpha == 0.0 {
+            return Err(StatsError::invalid(format!(
+                "seasonal_alpha must be in (0,1], got {seasonal_alpha}"
+            )));
+        }
+        if gate_k <= 0.0 {
+            return Err(StatsError::invalid(format!("gate_k must be > 0, got {gate_k}")));
+        }
+        Ok(OnlineStl {
+            period,
+            seasonal_alpha,
+            gate_k,
+            profile: vec![0.0; period],
+            profile_init: vec![false; period],
+            recent: VecDeque::new(),
+            trend_window,
+            resid_scale: 0.0,
+            observed: 0,
+        })
+    }
+
+    /// Number of points observed so far.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Whether the model is past its warm-up (one full period seen).
+    pub fn warmed_up(&self) -> bool {
+        self.observed >= self.period.max(self.trend_window)
+    }
+
+    /// Observe one value and return its decomposition.
+    pub fn observe(&mut self, value: f64) -> StlPoint {
+        let phase = self.observed % self.period;
+        let seasonal = if self.profile_init[phase] { self.profile[phase] } else { 0.0 };
+        let deseasonalized = value - seasonal;
+
+        let trend = if self.recent.is_empty() {
+            deseasonalized
+        } else {
+            let buf: Vec<f64> = self.recent.iter().copied().collect();
+            median(&buf).expect("recent buffer is non-empty")
+        };
+        let residual = deseasonalized - trend;
+
+        // Backtrack gate: during warm-up learn everything; afterwards refuse
+        // to absorb points whose residual dwarfs the running scale.
+        let anomalous = self.warmed_up()
+            && self.resid_scale > 0.0
+            && residual.abs() > self.gate_k * self.resid_scale;
+
+        if !anomalous {
+            if self.recent.len() == self.trend_window {
+                self.recent.pop_front();
+            }
+            self.recent.push_back(deseasonalized);
+            if self.profile_init[phase] {
+                self.profile[phase] = (1.0 - self.seasonal_alpha) * self.profile[phase]
+                    + self.seasonal_alpha * (value - trend);
+            } else {
+                self.profile[phase] = value - trend;
+                self.profile_init[phase] = true;
+            }
+            // Robust scale: EWMA of absolute residuals (≈ 0.8 σ for normals).
+            let alpha = 0.05;
+            self.resid_scale = if self.resid_scale == 0.0 {
+                residual.abs().max(1e-12)
+            } else {
+                (1.0 - alpha) * self.resid_scale + alpha * residual.abs()
+            };
+        }
+        self.observed += 1;
+        StlPoint { trend, seasonal, residual }
+    }
+
+    /// Decompose a whole series, returning the residual stream (the usual
+    /// input to the EVT detector).
+    pub fn residuals(&mut self, series: &[f64]) -> Vec<f64> {
+        series.iter().map(|&v| self.observe(v).residual).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(n: usize, period: usize) -> Vec<f64> {
+        // level 10, mild upward drift, sinusoidal season of amplitude 3.
+        (0..n)
+            .map(|i| {
+                10.0 + 0.01 * i as f64
+                    + 3.0
+                        * (2.0 * std::f64::consts::PI * (i % period) as f64 / period as f64)
+                            .sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_decomposition_reconstructs_series() {
+        let series = synthetic(96, 24);
+        let d = decompose(&series, 24).unwrap();
+        for (i, &x) in series.iter().enumerate() {
+            let recon = d.trend[i] + d.seasonal[i] + d.residual[i];
+            assert!((recon - x).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn batch_seasonal_profile_has_zero_mean_and_right_amplitude() {
+        let series = synthetic(240, 24);
+        let d = decompose(&series, 24).unwrap();
+        let profile: Vec<f64> = d.seasonal[..24].to_vec();
+        let mean: f64 = profile.iter().sum::<f64>() / 24.0;
+        assert!(mean.abs() < 1e-9);
+        let max = profile.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((max - 3.0).abs() < 0.5, "amplitude ~3, got {max}");
+    }
+
+    #[test]
+    fn batch_residuals_are_small_for_clean_series() {
+        let series = synthetic(240, 24);
+        let d = decompose(&series, 24).unwrap();
+        // Skip the edge-affected first/last period.
+        for i in 24..216 {
+            assert!(d.residual[i].abs() < 0.8, "residual[{i}]={}", d.residual[i]);
+        }
+    }
+
+    #[test]
+    fn batch_rejects_bad_inputs() {
+        assert!(decompose(&[1.0; 10], 1).is_err());
+        assert!(decompose(&[1.0; 10], 8).is_err());
+    }
+
+    #[test]
+    fn online_residual_spikes_on_injected_anomaly() {
+        let mut series = synthetic(300, 24);
+        series[200] += 15.0;
+        let mut stl = OnlineStl::new(24, 5, 0.3, 6.0).unwrap();
+        let residuals = stl.residuals(&series);
+        let baseline: f64 = residuals[100..190].iter().map(|r| r.abs()).sum::<f64>() / 90.0;
+        assert!(
+            residuals[200].abs() > 10.0 * baseline.max(0.1),
+            "anomaly residual {} vs baseline {baseline}",
+            residuals[200]
+        );
+    }
+
+    #[test]
+    fn online_gate_prevents_anomaly_absorption() {
+        let mut series = synthetic(300, 24);
+        series[200] += 15.0;
+        let mut stl = OnlineStl::new(24, 5, 0.3, 6.0).unwrap();
+        let residuals = stl.residuals(&series);
+        // The points right after the anomaly must not inherit a distorted
+        // model: their residuals stay in the normal band.
+        for (i, r) in residuals.iter().enumerate().take(206).skip(201) {
+            assert!(r.abs() < 2.0, "post-anomaly residual[{i}]={r}");
+        }
+    }
+
+    #[test]
+    fn online_tracks_drift() {
+        let series = synthetic(480, 24);
+        let mut stl = OnlineStl::new(24, 5, 0.3, 6.0).unwrap();
+        let mut last_trend = 0.0;
+        for &v in &series {
+            last_trend = stl.observe(v).trend;
+        }
+        // Drift reaches 10 + 0.01*480 ≈ 14.8 at the end.
+        assert!((last_trend - 14.5).abs() < 1.5, "trend={last_trend}");
+        assert!(stl.warmed_up());
+        assert_eq!(stl.observed(), 480);
+    }
+
+    #[test]
+    fn online_rejects_bad_params() {
+        assert!(OnlineStl::new(1, 5, 0.3, 6.0).is_err());
+        assert!(OnlineStl::new(24, 2, 0.3, 6.0).is_err());
+        assert!(OnlineStl::new(24, 5, 0.0, 6.0).is_err());
+        assert!(OnlineStl::new(24, 5, 1.5, 6.0).is_err());
+        assert!(OnlineStl::new(24, 5, 0.3, 0.0).is_err());
+    }
+}

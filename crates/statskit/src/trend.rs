@@ -1,0 +1,159 @@
+//! Trend detection for CDI curves: the Mann–Kendall test and Sen's slope.
+//!
+//! Case 4 of the paper reads yearly improvements off smoothed CDI curves;
+//! Mann–Kendall turns "the curve looks like it declines" into a p-value
+//! (nonparametric, tie-aware), and Sen's slope estimates the per-step
+//! change robustly. Both are standard companions to the K-Sigma/EVT spike
+//! detectors for *slow* drifts that never trip a threshold.
+
+use crate::describe::{median, tie_group_sizes};
+use crate::dist::Normal;
+use crate::error::{Result, StatsError};
+
+/// Direction of a detected trend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrendDirection {
+    /// Statistically significant increase.
+    Increasing,
+    /// Statistically significant decrease.
+    Decreasing,
+    /// No significant monotone trend.
+    None,
+}
+
+/// Outcome of the Mann–Kendall test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannKendallResult {
+    /// The S statistic (Σ sign of pairwise differences).
+    pub s: i64,
+    /// Normal-approximation Z score (continuity-corrected).
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Sen's slope: the median of all pairwise slopes.
+    pub sen_slope: f64,
+}
+
+impl MannKendallResult {
+    /// Classify the trend at significance level `alpha`.
+    pub fn direction(&self, alpha: f64) -> TrendDirection {
+        if self.p_value >= alpha {
+            TrendDirection::None
+        } else if self.s > 0 {
+            TrendDirection::Increasing
+        } else {
+            TrendDirection::Decreasing
+        }
+    }
+}
+
+/// Run the Mann–Kendall trend test with tie correction (requires `n >= 4`).
+pub fn mann_kendall(series: &[f64]) -> Result<MannKendallResult> {
+    let n = series.len();
+    if n < 4 {
+        return Err(StatsError::degenerate(format!("Mann-Kendall requires n >= 4, got {n}")));
+    }
+    if series.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::invalid("series contains non-finite values"));
+    }
+    let mut s: i64 = 0;
+    let mut slopes = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = series[j] - series[i];
+            s += if d > 0.0 {
+                1
+            } else if d < 0.0 {
+                -1
+            } else {
+                0
+            };
+            slopes.push(d / (j - i) as f64);
+        }
+    }
+    let nf = n as f64;
+    let tie_term: f64 = tie_group_sizes(series)
+        .iter()
+        .map(|&t| {
+            let t = t as f64;
+            t * (t - 1.0) * (2.0 * t + 5.0)
+        })
+        .sum();
+    let var_s = (nf * (nf - 1.0) * (2.0 * nf + 5.0) - tie_term) / 18.0;
+    if var_s <= 0.0 {
+        // All values identical.
+        return Ok(MannKendallResult { s: 0, z: 0.0, p_value: 1.0, sen_slope: 0.0 });
+    }
+    // Continuity correction toward zero.
+    let z = match s.cmp(&0) {
+        std::cmp::Ordering::Greater => (s as f64 - 1.0) / var_s.sqrt(),
+        std::cmp::Ordering::Less => (s as f64 + 1.0) / var_s.sqrt(),
+        std::cmp::Ordering::Equal => 0.0,
+    };
+    let p_value = (2.0 * Normal::standard().sf(z.abs())).min(1.0);
+    let sen_slope = median(&slopes)?;
+    Ok(MannKendallResult { s, z, p_value, sen_slope })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn strictly_increasing_series() {
+        let series: Vec<f64> = (0..20).map(|i| i as f64 * 0.5).collect();
+        let r = mann_kendall(&series).unwrap();
+        assert_eq!(r.s, (20 * 19 / 2) as i64);
+        assert!(r.p_value < 1e-6);
+        assert_eq!(r.direction(0.05), TrendDirection::Increasing);
+        close(r.sen_slope, 0.5, 1e-12);
+    }
+
+    #[test]
+    fn declining_cdi_curve_detected() {
+        // The FY2024 story: declining level plus deterministic wobble.
+        let series: Vec<f64> = (0..48)
+            .map(|i| 1.0 - 0.01 * i as f64 + 0.02 * ((i * 7) % 5) as f64 / 5.0)
+            .collect();
+        let r = mann_kendall(&series).unwrap();
+        assert_eq!(r.direction(0.05), TrendDirection::Decreasing);
+        assert!(r.sen_slope < 0.0);
+        close(r.sen_slope, -0.01, 0.003);
+    }
+
+    #[test]
+    fn no_trend_in_alternating_series() {
+        let series: Vec<f64> = (0..30).map(|i| if i % 2 == 0 { 1.0 } else { 2.0 }).collect();
+        let r = mann_kendall(&series).unwrap();
+        assert_eq!(r.direction(0.05), TrendDirection::None, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn constant_series_is_null() {
+        let r = mann_kendall(&[3.0; 10]).unwrap();
+        assert_eq!(r.s, 0);
+        assert_eq!(r.p_value, 1.0);
+        assert_eq!(r.sen_slope, 0.0);
+        assert_eq!(r.direction(0.05), TrendDirection::None);
+    }
+
+    #[test]
+    fn tie_correction_applies() {
+        // Mostly flat with a few increases: ties shrink Var(S) and the test
+        // still runs.
+        let series = [1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0, 4.0];
+        let r = mann_kendall(&series).unwrap();
+        assert!(r.s > 0);
+        assert_eq!(r.direction(0.05), TrendDirection::Increasing);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(mann_kendall(&[1.0, 2.0, 3.0]).is_err());
+        assert!(mann_kendall(&[1.0, f64::NAN, 2.0, 3.0]).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the statistics toolkit: distribution
+//! round-trips, p-value domains, rank invariants, adjustment dominance, and
+//! fit robustness.
+
+use proptest::prelude::*;
+use statskit::ahp::JudgmentMatrix;
+use statskit::anomaly::grimshaw_fit;
+use statskit::describe::{moving_average, ranks};
+use statskit::dist::{ChiSquared, FisherF, GeneralizedPareto, Normal, StudentT};
+use statskit::hypothesis::{kruskal_wallis, levene, one_way_anova, welch_anova, Center};
+use statskit::posthoc::{dunn, Adjustment};
+use statskit::trend::mann_kendall;
+
+proptest! {
+    /// quantile(cdf) round-trips for every closed-form distribution.
+    #[test]
+    fn distribution_quantile_round_trips(
+        p in 0.001f64..0.999,
+        df in 1.0f64..50.0,
+        d2 in 1.0f64..50.0,
+        mu in -5.0f64..5.0,
+        sigma in 0.1f64..10.0,
+    ) {
+        let n = Normal::new(mu, sigma).unwrap();
+        prop_assert!((n.cdf(n.quantile(p).unwrap()) - p).abs() < 1e-9);
+        let c = ChiSquared::new(df).unwrap();
+        prop_assert!((c.cdf(c.quantile(p).unwrap()).unwrap() - p).abs() < 1e-7);
+        let t = StudentT::new(df).unwrap();
+        prop_assert!((t.cdf(t.quantile(p).unwrap()).unwrap() - p).abs() < 1e-7);
+        let f = FisherF::new(df, d2).unwrap();
+        prop_assert!((f.cdf(f.quantile(p).unwrap()).unwrap() - p).abs() < 1e-7);
+    }
+
+    /// CDFs are monotone nondecreasing.
+    #[test]
+    fn cdfs_are_monotone(df in 1.0f64..40.0, a in -10.0f64..10.0, b in -10.0f64..10.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let t = StudentT::new(df).unwrap();
+        prop_assert!(t.cdf(lo).unwrap() <= t.cdf(hi).unwrap() + 1e-12);
+        let n = Normal::standard();
+        prop_assert!(n.cdf(lo) <= n.cdf(hi) + 1e-12);
+    }
+
+    /// GPD cdf/quantile round-trip across the shape range.
+    #[test]
+    fn gpd_round_trips(sigma in 0.1f64..10.0, xi in -0.9f64..2.0, p in 0.01f64..0.99) {
+        let g = GeneralizedPareto::new(sigma, xi).unwrap();
+        let x = g.quantile(p).unwrap();
+        prop_assert!((g.cdf(x) - p).abs() < 1e-9);
+    }
+
+    /// Omnibus tests produce p-values in [0,1] (or a clean error) on
+    /// arbitrary group data — never panics, never NaN.
+    #[test]
+    fn omnibus_p_values_in_unit_interval(
+        groups in prop::collection::vec(
+            prop::collection::vec(-100.0f64..100.0, 3..20),
+            2..5
+        )
+    ) {
+        let refs: Vec<&[f64]> = groups.iter().map(|g| g.as_slice()).collect();
+        if let Ok(r) = one_way_anova(&refs) {
+            prop_assert!((0.0..=1.0).contains(&r.p_value), "anova p = {}", r.p_value);
+        }
+        if let Ok(r) = welch_anova(&refs) {
+            prop_assert!((0.0..=1.0).contains(&r.p_value), "welch p = {}", r.p_value);
+        }
+        if let Ok(r) = kruskal_wallis(&refs) {
+            prop_assert!((0.0..=1.0).contains(&r.p_value), "kw p = {}", r.p_value);
+        }
+        if let Ok(r) = levene(&refs, Center::Median) {
+            prop_assert!((0.0..=1.0).contains(&r.p_value), "levene p = {}", r.p_value);
+        }
+    }
+
+    /// Rank sums equal n(n+1)/2 and midranks stay within [1, n].
+    #[test]
+    fn rank_invariants(data in prop::collection::vec(-50.0f64..50.0, 1..60)) {
+        let r = ranks(&data);
+        let n = data.len() as f64;
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        prop_assert!(r.iter().all(|&x| (1.0..=n).contains(&x)));
+    }
+
+    /// Holm never exceeds Bonferroni, and both stay in [0, 1].
+    #[test]
+    fn holm_dominated_by_bonferroni(
+        groups in prop::collection::vec(
+            prop::collection::vec(-10.0f64..10.0, 3..12),
+            3..5
+        )
+    ) {
+        let refs: Vec<&[f64]> = groups.iter().map(|g| g.as_slice()).collect();
+        let holm = dunn(&refs, Adjustment::Holm);
+        let bonf = dunn(&refs, Adjustment::Bonferroni);
+        if let (Ok(h), Ok(b)) = (holm, bonf) {
+            for (x, y) in h.iter().zip(&b) {
+                prop_assert!(x.p_value <= y.p_value + 1e-12);
+                prop_assert!((0.0..=1.0).contains(&x.p_value));
+            }
+        }
+    }
+
+    /// AHP priorities from any reciprocal matrix are a probability vector.
+    #[test]
+    fn ahp_priorities_are_probabilities(upper in prop::collection::vec(0.2f64..5.0, 3)) {
+        let m = JudgmentMatrix::from_upper_triangle(3, &upper).unwrap();
+        let r = m.priorities().unwrap();
+        let sum: f64 = r.priorities.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(r.priorities.iter().all(|&p| p > 0.0));
+        prop_assert!(r.lambda_max >= 3.0 - 1e-6, "λmax {} >= n", r.lambda_max);
+    }
+
+    /// Grimshaw's GPD fit never does worse than the exponential fallback in
+    /// log-likelihood (the fallback is always a candidate).
+    #[test]
+    fn grimshaw_at_least_exponential(data in prop::collection::vec(0.01f64..20.0, 10..80)) {
+        let fit = grimshaw_fit(&data).unwrap();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let expo = GeneralizedPareto::new(mean, 0.0).unwrap();
+        prop_assert!(
+            fit.log_likelihood(&data) >= expo.log_likelihood(&data) - 1e-9,
+            "fit LL {} < exponential LL {}",
+            fit.log_likelihood(&data),
+            expo.log_likelihood(&data)
+        );
+    }
+
+    /// Mann-Kendall: p in [0,1]; reversing the series negates S and keeps p.
+    #[test]
+    fn mann_kendall_symmetry(data in prop::collection::vec(-10.0f64..10.0, 4..40)) {
+        let fwd = mann_kendall(&data).unwrap();
+        prop_assert!((0.0..=1.0).contains(&fwd.p_value));
+        let mut rev = data.clone();
+        rev.reverse();
+        let bwd = mann_kendall(&rev).unwrap();
+        prop_assert_eq!(fwd.s, -bwd.s);
+        prop_assert!((fwd.p_value - bwd.p_value).abs() < 1e-12);
+    }
+
+    /// Moving averages stay inside the data's range and preserve length.
+    #[test]
+    fn moving_average_bounds(
+        data in prop::collection::vec(-100.0f64..100.0, 1..50),
+        window in 1usize..20
+    ) {
+        let ma = moving_average(&data, window);
+        prop_assert_eq!(ma.len(), data.len());
+        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(ma.iter().all(|&x| x >= lo - 1e-9 && x <= hi + 1e-9));
+    }
+}

@@ -1,0 +1,82 @@
+//! Operation-action optimization by A/B test (the paper's Case 8 /
+//! Table V / Fig. 11 in miniature): three candidate live-migration actions
+//! for the `nc_down_prediction` rule, compared on the CDI of affected VMs
+//! over the two days after each operation, through the Fig. 10
+//! hypothesis-testing workflow.
+//!
+//! Run with: `cargo run --release --example ab_test_actions`
+
+use cdi_core::indicator::{compute_vm_cdi, ServicePeriod};
+use cloudbot::pipeline::DailyPipeline;
+use simfleet::scenario::{table5_abtest, DAY};
+use statskit::abtest::{run_ab_test, AbTestConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 40 trials per arm keeps the example under a few seconds.
+    let scenario = table5_abtest(2024, 40);
+    let pipeline = DailyPipeline::default();
+    let horizon = scenario
+        .trials
+        .iter()
+        .map(|t| t.window_start + scenario.window)
+        .max()
+        .unwrap_or(0);
+    println!("extracting events over the {}-day A/B horizon...", horizon / DAY);
+    let events = pipeline.events_chunked(&scenario.world, 0, horizon, DAY);
+    let spans = pipeline.spans_by_target(&events, horizon)?;
+
+    // One Performance-Indicator observation per trial.
+    let mut groups: [Vec<f64>; 3] = Default::default();
+    let empty = Vec::new();
+    for trial in &scenario.trials {
+        let vm_spans = spans
+            .get(&cdi_core::event::Target::Vm(trial.vm))
+            .unwrap_or(&empty);
+        let window =
+            ServicePeriod::new(trial.window_start, trial.window_start + scenario.window)?;
+        let row = compute_vm_cdi(trial.vm, vm_spans, window)?;
+        groups[trial.action].push(row.performance);
+    }
+
+    for (i, g) in groups.iter().enumerate() {
+        let mean: f64 = g.iter().sum::<f64>() / g.len() as f64;
+        println!(
+            "action {}: n={}, mean Performance Indicator = {:.4}",
+            (b'A' + i as u8) as char,
+            g.len(),
+            mean
+        );
+    }
+
+    // The Fig. 10 workflow: normality gate → variance gate → omnibus →
+    // post-hoc.
+    let refs: Vec<&[f64]> = groups.iter().map(|g| g.as_slice()).collect();
+    let report = run_ab_test(&refs, &AbTestConfig::default())?;
+    println!("\nomnibus: {:?}  p = {:.3e}  significant = {}", report.omnibus, report.p_value, report.significant);
+    if let Some((method, comparisons)) = &report.posthoc {
+        println!("post-hoc ({method:?}):");
+        for c in comparisons {
+            println!(
+                "  {}-{}: p = {:.3e} {}",
+                (b'A' + c.group_a as u8) as char,
+                (b'A' + c.group_b as u8) as char,
+                c.p_value,
+                if c.is_significant(0.05) { "(significant)" } else { "" }
+            );
+        }
+    }
+
+    let best = (0..3)
+        .min_by(|&a, &b| {
+            let ma: f64 = groups[a].iter().sum::<f64>() / groups[a].len() as f64;
+            let mb: f64 = groups[b].iter().sum::<f64>() / groups[b].len() as f64;
+            ma.partial_cmp(&mb).unwrap()
+        })
+        .unwrap();
+    println!(
+        "\naction {} wins and becomes the designated action for nc_down_prediction\n\
+         (the paper selected its action B the same way).",
+        (b'A' + best as u8) as char
+    );
+    Ok(())
+}

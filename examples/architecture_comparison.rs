@@ -1,0 +1,81 @@
+//! Architecture comparison (the paper's Case 5 / Fig. 8 in miniature):
+//! track the Performance Indicator of two deployment architectures through
+//! a hybrid-rollout incompatibility, and mitigate it with the Operation
+//! Platform (lock + evacuate) once the curves diverge.
+//!
+//! Run with: `cargo run --release --example architecture_comparison`
+
+use cdi_core::event::Target;
+use cdi_core::indicator::aggregate;
+use cloudbot::ops::{ActionKind, ActionRequest, OperationPlatform};
+use cloudbot::pipeline::DailyPipeline;
+use simfleet::scenario::{fig8_architecture, DAY};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 24 observed days; the core-overlap bug lands on day 8, would peak at
+    // day 14 and be fully mitigated by day 18 (a compressed Fig. 8).
+    let scenario = fig8_architecture(7, 24, 8, 14, 18);
+    let mut world = scenario.world;
+    let pipeline = DailyPipeline::default();
+
+    let homo_vms: Vec<u64> = scenario
+        .homogeneous_ncs
+        .iter()
+        .flat_map(|&nc| world.fleet.vms_on(nc).to_vec())
+        .collect();
+    let hybrid_vms: Vec<u64> = scenario
+        .hybrid_ncs
+        .iter()
+        .flat_map(|&nc| world.fleet.vms_on(nc).to_vec())
+        .collect();
+
+    println!("day  homogeneous-PI  hybrid-PI   note");
+    let mut locked = false;
+    for day in 0..24 {
+        let start = day as i64 * DAY;
+        let rows = pipeline.vm_cdi_rows(&world, start, start + DAY)?;
+        let pool_pi = |vms: &[u64]| {
+            let subset: Vec<_> = rows.iter().filter(|r| vms.contains(&r.vm)).copied().collect();
+            aggregate(&subset).map(|a| a.performance).unwrap_or(0.0)
+        };
+        let homo = pool_pi(&homo_vms);
+        let hybrid = pool_pi(&hybrid_vms);
+        let mut note = String::new();
+
+        // The Case 5 response: once the hybrid pool's PI exceeds the
+        // homogeneous pool's by 5x, lock the affected machine model's NCs
+        // so no further VMs land on them (the real rollback then migrates
+        // and reverts them, which the scenario models as the fault fading).
+        if !locked && homo > 0.0 && hybrid > 5.0 * homo {
+            let affected: Vec<u64> = scenario
+                .hybrid_ncs
+                .iter()
+                .copied()
+                .filter(|&nc| world.fleet.nc(nc).is_some_and(|n| n.machine_model == "modelB"))
+                .collect();
+            let requests: Vec<ActionRequest> = affected
+                .iter()
+                .map(|&nc| ActionRequest {
+                    action: ActionKind::NcLock,
+                    target: Target::Nc(nc),
+                    rule: "architecture_divergence".into(),
+                    time: start,
+                })
+                .collect();
+            let mut platform = OperationPlatform::new();
+            let outcomes = platform.execute(&mut world, requests);
+            note = format!(
+                "divergence detected -> locked {} modelB hybrid NCs",
+                outcomes.len()
+            );
+            locked = true;
+        }
+        println!("{day:>3}  {homo:>14.6}  {hybrid:>9.6}   {note}");
+    }
+    println!(
+        "\nAs in the paper's Fig. 8: parity, divergence after the hybrid\n\
+         expansion hits the incompatible machine model, mitigation, and\n\
+         convergence — all read directly off the Performance Indicator."
+    );
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! Potential-problem detection on event-level CDI curves (the paper's
+//! Section VI-C, Cases 6 and 7 in miniature): watch the drill-down CDI of
+//! one event name, flag spikes *and* dips with K-Sigma, and localize the
+//! spike's root cause across dimensions.
+//!
+//! Run with: `cargo run --release --example potential_problem_detection`
+
+use cdi_core::event::Target;
+use cloudbot::pipeline::DailyPipeline;
+use simfleet::scenario::{fig9a_allocation, DAY};
+use statskit::anomaly::{AnomalyKind, KSigma};
+use statskit::rootcause::{localize, Leaf, SearchConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 21 days; the scheduler data-corruption change spikes
+    // vm_allocation_failed on day 14 (Case 6).
+    let days = 21usize;
+    let spike_day = 14usize;
+    let world = fig9a_allocation(99, days, spike_day);
+    let pipeline = DailyPipeline::default();
+
+    println!("daily event-level CDI of vm_allocation_failed:");
+    let mut series = Vec::with_capacity(days);
+    let mut per_vm_by_day: Vec<Vec<(u64, f64)>> = Vec::with_capacity(days);
+    for d in 0..days {
+        let start = d as i64 * DAY;
+        let events = pipeline.events(&world, start, start + DAY);
+        let rows = pipeline.event_level_rows(&events, start, start + DAY)?;
+        let mut per_vm = Vec::new();
+        let mut total = 0.0;
+        for (target, name, q) in rows {
+            if name == "vm_allocation_failed" {
+                if let Target::Vm(vm) = target {
+                    per_vm.push((vm, q));
+                    total += q;
+                }
+            }
+        }
+        let fleet_q = total / world.fleet.vms().len() as f64;
+        println!("  day {d:>2}: {fleet_q:.6}");
+        series.push(fleet_q);
+        per_vm_by_day.push(per_vm);
+    }
+
+    // Spike/dip surveillance — the paper's Case 7 lesson is that dips get
+    // equal scrutiny, so both directions alarm.
+    let detector = KSigma::new(5.0, 10, 1e-9)?;
+    let anomalies = detector.detect(&series);
+    for a in &anomalies {
+        let kind = match a.kind {
+            AnomalyKind::Spike => "SPIKE",
+            AnomalyKind::Dip => "DIP",
+        };
+        println!("\n{kind} detected on day {} (value {:.6}, threshold {:.6})", a.index, a.value, a.threshold);
+    }
+
+    // Root-cause localization for the detected spike: which (region, AZ)
+    // drives the deviation? Leaves are per-VM contributions with the
+    // pre-spike average as the forecast.
+    if let Some(spike) = anomalies.iter().find(|a| a.kind == AnomalyKind::Spike) {
+        let baseline_days = spike.index.min(10);
+        let forecast_per_vm: f64 = series[..baseline_days].iter().sum::<f64>()
+            / baseline_days.max(1) as f64;
+        let leaves: Vec<Leaf> = world
+            .fleet
+            .vms()
+            .iter()
+            .map(|vm| {
+                let host = world.fleet.host_of(vm.id).expect("hosted");
+                let actual = per_vm_by_day[spike.index]
+                    .iter()
+                    .find(|(v, _)| *v == vm.id)
+                    .map(|(_, q)| *q)
+                    .unwrap_or(0.0);
+                Leaf {
+                    attributes: vec![host.region.clone(), host.az.clone()],
+                    forecast: forecast_per_vm,
+                    actual,
+                }
+            })
+            .collect();
+        match localize(&leaves, &SearchConfig { min_score: 0.3, ..SearchConfig::default() }) {
+            Ok(causes) if !causes.is_empty() => {
+                println!("root-cause candidates (region, az):");
+                for c in causes.iter().take(3) {
+                    println!(
+                        "  {}  score={:.2}  deviation={:.4}",
+                        c.describe(&["region", "az"]),
+                        c.score,
+                        c.deviation
+                    );
+                }
+                println!(
+                    "\nA fleet-wide scheduler change deviates everywhere at once, so no\n\
+                     single dimension explains it well — exactly the signature that sends\n\
+                     engineers looking at changes rather than hardware (Case 6)."
+                );
+            }
+            _ => println!(
+                "no dimensional root cause stands out -> suspect a fleet-wide change (Case 6)"
+            ),
+        }
+    }
+    Ok(())
+}

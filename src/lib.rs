@@ -1,0 +1,19 @@
+//! # cdi-repro — reproduction of *"Stability is Not Downtime"* (ICDE 2025)
+//!
+//! This root crate ties the workspace together:
+//!
+//! - [`daily_job`] — the paper's daily Spark application (Section V, Fig. 4)
+//!   expressed as a `minispark` dataflow: events in, two output tables out
+//!   (per-VM sub-metrics + event-level drill-down), ready for BI queries.
+//! - `examples/` — runnable walkthroughs of the public API.
+//! - `tests/` — cross-crate integration tests, including the paper's worked
+//!   examples as golden tests and the headline claim (a control-plane
+//!   incident invisible to downtime metrics but visible to CDI) as an
+//!   executable assertion.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+#![warn(missing_docs)]
+
+pub mod daily_job;

@@ -1,0 +1,105 @@
+//! The paper's Example 1 (Fig. 1) as an end-to-end integration test: a NIC
+//! issue flows from raw signals through extraction and rule matching to
+//! operation actions that change the fleet.
+
+use cdi_core::event::Target;
+use cloudbot::collector::Collector;
+use cloudbot::extractor::Extractor;
+use cloudbot::ops::{ActionKind, ActionStatus, OperationPlatform};
+use cloudbot::rules::RuleEngine;
+use simfleet::faults::{FaultInjection, FaultKind, FaultTarget};
+use simfleet::{Fleet, FleetConfig, SimWorld};
+
+const MIN: i64 = 60_000;
+const HOUR: i64 = 3_600_000;
+
+#[test]
+fn nic_error_causes_slow_io_and_triggers_the_fig1_actions() {
+    let fleet = Fleet::build(&FleetConfig {
+        regions: vec!["r1".into()],
+        azs_per_region: 1,
+        clusters_per_az: 1,
+        ncs_per_cluster: 3,
+        vms_per_nc: 2,
+        nc_cores: 16,
+        machine_models: vec!["mA".into()],
+        arch: simfleet::DeploymentArch::Hybrid,
+    });
+    let mut world = SimWorld::new(fleet, 2024);
+
+    // The NIC on NC 0 starts flapping at 12:00; its VMs see slow IO.
+    let faulty_nc = 0u64;
+    world.inject(FaultInjection::new(
+        FaultKind::NicFlapping,
+        FaultTarget::Nc(faulty_nc),
+        12 * HOUR,
+        12 * HOUR + 30 * MIN,
+    ));
+
+    // 1. Data Collector gathers metrics and logs.
+    let collector = Collector::default();
+    let data = collector.collect(&world, 12 * HOUR, 13 * HOUR);
+    assert!(data.logs.iter().any(|l| l.text.contains("NIC Link is Down")));
+
+    // 2. Event Extractor standardizes them into events.
+    let events = Extractor::default().extract(&data);
+    assert!(events.iter().any(|e| e.name == "nic_flapping"));
+    assert!(events.iter().any(|e| e.name == "slow_io"));
+    assert!(
+        !events.iter().any(|e| e.name == "vm_hang"),
+        "no hang: the vm_hang rule must not match"
+    );
+
+    // 3. Rule Engine: co-occurrence matches nic_error_cause_slow_io only.
+    let engine = RuleEngine::paper_rules();
+    let nc_to_vms: Vec<(Target, Target)> = world
+        .fleet
+        .vms_on(faulty_nc)
+        .iter()
+        .map(|&vm| (Target::Nc(faulty_nc), Target::Vm(vm)))
+        .collect();
+    let now = 12 * HOUR + 17 * MIN;
+    let matches = engine.evaluate(&events, now, &nc_to_vms);
+    let rule_names: Vec<&str> = matches.iter().map(|m| m.rule.as_str()).collect();
+    assert!(rule_names.contains(&"nic_error_cause_slow_io"), "{rule_names:?}");
+    assert!(!rule_names.contains(&"nic_error_cause_vm_hang"), "{rule_names:?}");
+
+    // 4. Operation Platform executes: live migration + repair ticket +
+    // NC lock (the three Fig. 1 actions).
+    let vm_matches: Vec<_> = matches
+        .into_iter()
+        .filter(|m| matches!(m.target, Target::Vm(_)))
+        .collect();
+    assert!(!vm_matches.is_empty(), "rule must match on the affected VMs");
+    let requests = engine.action_requests(&vm_matches);
+    let affected_vms: Vec<u64> = world.fleet.vms_on(faulty_nc).to_vec();
+    let mut platform = OperationPlatform::new();
+    let outcomes = platform.execute(&mut world, requests);
+
+    // The NC is locked, preventing new placements.
+    assert!(world.fleet.nc(faulty_nc).unwrap().locked);
+    // Every VM that the rule matched moved off the faulty NC.
+    for vm in &affected_vms {
+        assert_ne!(
+            world.fleet.vm(*vm).unwrap().nc,
+            faulty_nc,
+            "vm {vm} must have migrated away"
+        );
+    }
+    // A repair ticket went to the IDC queue.
+    assert!(!platform.repair_tickets.is_empty());
+    // Nothing failed outright (duplicates may be discarded by design).
+    assert!(outcomes
+        .iter()
+        .all(|o| !matches!(o.status, ActionStatus::Failed { .. })), "{outcomes:#?}");
+    // At least one of each Fig. 1 action kind executed.
+    for kind in [ActionKind::LiveMigrate, ActionKind::RepairRequest, ActionKind::NcLock] {
+        assert!(
+            outcomes
+                .iter()
+                .any(|o| o.request.action == kind
+                    && matches!(o.status, ActionStatus::Executed)),
+            "missing executed {kind:?}"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! The system's reason to exist, as a test: CloudBot's operation actions
+//! reduce the damage CDI measures. A host-level fault degrades every hosted
+//! VM all day; at midday the rule engine reacts and evacuates the host;
+//! the afternoon's CDI must fall accordingly — and in a control world with
+//! no operations it must not.
+
+use cdi_core::event::Target;
+use cdi_core::indicator::aggregate;
+use cloudbot::ops::{ActionKind, ActionRequest, OperationPlatform};
+use cloudbot::pipeline::DailyPipeline;
+use simfleet::faults::{FaultInjection, FaultKind, FaultTarget};
+use simfleet::{Fleet, FleetConfig, SimWorld};
+
+const HOUR: i64 = 3_600_000;
+const DAY: i64 = 24 * HOUR;
+
+fn build_world() -> SimWorld {
+    let fleet = Fleet::build(&FleetConfig {
+        regions: vec!["r1".into()],
+        azs_per_region: 1,
+        clusters_per_az: 1,
+        ncs_per_cluster: 4,
+        vms_per_nc: 4,
+        nc_cores: 16,
+        machine_models: vec!["mA".into()],
+        arch: simfleet::DeploymentArch::Hybrid,
+    });
+    let mut w = SimWorld::new(fleet, 606);
+    // NC 0's disks degrade all day: every hosted VM suffers.
+    w.inject(FaultInjection::new(
+        FaultKind::SlowIo { factor: 9.0 },
+        FaultTarget::Nc(0),
+        0,
+        DAY,
+    ));
+    w
+}
+
+fn perf_cdi(world: &SimWorld, pipeline: &DailyPipeline, start: i64, end: i64) -> f64 {
+    let rows = pipeline.vm_cdi_rows(world, start, end).unwrap();
+    aggregate(&rows).unwrap().performance
+}
+
+#[test]
+fn evacuating_the_faulty_host_halves_the_damage() {
+    let pipeline = DailyPipeline::default();
+
+    // Control world: the fault burns all day, nobody acts.
+    let control = build_world();
+    let control_morning = perf_cdi(&control, &pipeline, 0, 12 * HOUR);
+    let control_afternoon = perf_cdi(&control, &pipeline, 12 * HOUR, DAY);
+    assert!(control_morning > 0.05, "fault visible: {control_morning}");
+    // Without mitigation the damage persists at the same level (within the
+    // seasonal wobble).
+    assert!(
+        control_afternoon > 0.5 * control_morning,
+        "{control_afternoon} vs {control_morning}"
+    );
+
+    // Treated world: at noon the platform evacuates and locks NC 0.
+    let mut treated = build_world();
+    let victims: Vec<u64> = treated.fleet.vms_on(0).to_vec();
+    let morning = perf_cdi(&treated, &pipeline, 0, 12 * HOUR);
+    let mut platform = OperationPlatform::new();
+    let outcomes = platform.execute(
+        &mut treated,
+        vec![
+            ActionRequest {
+                action: ActionKind::NcLock,
+                target: Target::Nc(0),
+                rule: "slow_io_mitigation".into(),
+                time: 12 * HOUR,
+            },
+            ActionRequest {
+                action: ActionKind::LiveMigrate,
+                target: Target::Nc(0),
+                rule: "slow_io_mitigation".into(),
+                time: 12 * HOUR,
+            },
+        ],
+    );
+    assert!(outcomes
+        .iter()
+        .all(|o| matches!(o.status, cloudbot::ops::ActionStatus::Executed)));
+    assert!(treated.fleet.vms_on(0).is_empty());
+
+    let afternoon = perf_cdi(&treated, &pipeline, 12 * HOUR, DAY);
+    // Morning matches the control; the afternoon damage all but vanishes.
+    assert!((morning - control_morning).abs() < 1e-9);
+    assert!(
+        afternoon < 0.05 * control_afternoon,
+        "mitigated {afternoon} vs unmitigated {control_afternoon}"
+    );
+    // And the evacuated VMs are genuinely healthy on their new hosts.
+    for vm in victims {
+        assert_ne!(treated.fleet.vm(vm).unwrap().nc, 0);
+    }
+}

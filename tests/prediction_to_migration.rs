@@ -1,0 +1,100 @@
+//! Case 8's upstream half, end to end: hardware distress signals on an NC
+//! drive the `nc_down_prediction` scorer over the threshold, the rule
+//! engine translates the prediction into actions, and the Operation
+//! Platform evacuates the NC — preventing the predicted failure from
+//! becoming VM unavailability.
+
+use cdi_core::event::Target;
+use cloudbot::collector::Collector;
+use cloudbot::extractor::Extractor;
+use cloudbot::ops::{ActionStatus, OperationPlatform};
+use cloudbot::optimize::prioritize_by_damage;
+use cloudbot::predict::NcDownPredictor;
+use cloudbot::rules::RuleEngine;
+use simfleet::faults::{FaultInjection, FaultKind, FaultTarget};
+use simfleet::{Fleet, FleetConfig, SimWorld};
+
+const MIN: i64 = 60_000;
+const HOUR: i64 = 3_600_000;
+
+#[test]
+fn predicted_nc_failure_is_preempted_by_evacuation() {
+    let fleet = Fleet::build(&FleetConfig {
+        regions: vec!["r1".into()],
+        azs_per_region: 1,
+        clusters_per_az: 1,
+        ncs_per_cluster: 4,
+        vms_per_nc: 3,
+        nc_cores: 16,
+        machine_models: vec!["mA".into()],
+        arch: simfleet::DeploymentArch::Hybrid,
+    });
+    let mut world = SimWorld::new(fleet, 888);
+
+    // NC 2 shows escalating distress: NIC flapping plus a brief VM stall.
+    let sick_nc = 2u64;
+    world.inject(FaultInjection::new(
+        FaultKind::NicFlapping,
+        FaultTarget::Nc(sick_nc),
+        0,
+        40 * MIN,
+    ));
+    let victim = world.fleet.vms_on(sick_nc)[0];
+    world.inject(FaultInjection::new(
+        FaultKind::VmDown,
+        FaultTarget::Vm(victim),
+        20 * MIN,
+        25 * MIN,
+    ));
+
+    // Collect + extract the distress hour.
+    let data = Collector::default().collect(&world, 0, HOUR);
+    let mut events = Extractor::default().extract(&data);
+
+    // The predictor scores the sick NC high and the healthy ones low.
+    let predictor = NcDownPredictor::default();
+    let now = 50 * MIN;
+    for nc in world.fleet.ncs() {
+        let hosted: Vec<u64> = world.fleet.vms_on(nc.id).to_vec();
+        let score = predictor.score(nc.id, &hosted, &events, now);
+        if nc.id == sick_nc {
+            assert!(score > 0.5, "sick NC score {score}");
+        } else {
+            assert!(score < 0.5, "healthy NC {} score {score}", nc.id);
+        }
+    }
+    let hosted: Vec<u64> = world.fleet.vms_on(sick_nc).to_vec();
+    let prediction = predictor
+        .predict(sick_nc, &hosted, &events, now)
+        .expect("prediction event fires");
+    events.push(prediction);
+
+    // The nc_down_prediction rule matches on the prediction event.
+    let engine = RuleEngine::paper_rules();
+    let matches = engine.evaluate(&events, now, &[]);
+    let prediction_matches: Vec<_> =
+        matches.into_iter().filter(|m| m.rule == "nc_down_prediction").collect();
+    assert_eq!(prediction_matches.len(), 1);
+    assert_eq!(prediction_matches[0].target, Target::Nc(sick_nc));
+
+    // Actions execute: NC locked first, then every VM evacuated. The
+    // §VIII-C prioritization is a no-op here (single target) but must not
+    // disturb the order.
+    let requests = engine.action_requests(&prediction_matches);
+    let empty: Vec<cdi_core::event::EventSpan> = Vec::new();
+    let requests = prioritize_by_damage(requests, now, |_| empty.as_slice());
+    let mut platform = OperationPlatform::new();
+    let outcomes = platform.execute(&mut world, requests);
+    assert!(
+        outcomes.iter().all(|o| matches!(o.status, ActionStatus::Executed)),
+        "{outcomes:#?}"
+    );
+    assert!(world.fleet.nc(sick_nc).unwrap().locked);
+    assert!(world.fleet.vms_on(sick_nc).is_empty(), "NC fully evacuated");
+    // Evacuated VMs landed on unlocked, in-production hosts.
+    for vm in &hosted {
+        let host = world.fleet.host_of(*vm).unwrap();
+        assert_ne!(host.id, sick_nc);
+        assert!(!host.locked && !host.decommissioned);
+    }
+}

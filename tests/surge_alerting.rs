@@ -1,0 +1,53 @@
+//! Section II-F end to end: the Case 6 scheduler corruption produces an
+//! event surge that the alert mechanism escalates to engineers (it spans
+//! many customers), while ordinary background days stay quiet.
+
+use cloudbot::pipeline::DailyPipeline;
+use cloudbot::surge::{scan, SurgeConfig};
+use simfleet::scenario::{fig9a_allocation, DAY};
+
+#[test]
+fn scheduler_corruption_surge_pages_engineers() {
+    let spike_day = 14usize;
+    let world = fig9a_allocation(31, 16, spike_day);
+    let pipeline = DailyPipeline::default();
+
+    let config = SurgeConfig {
+        window_ms: 60 * 60_000, // hourly buckets
+        factor: 5.0,
+        min_count: 20,
+        min_history: 12,
+        page_target_threshold: 5,
+        ..SurgeConfig::default()
+    };
+
+    // A normal day: nothing escalates. (Single-customer blips may raise
+    // informational alerts, but nothing multi-customer.)
+    let quiet_start = 10 * DAY;
+    let quiet_events = pipeline.events(&world, quiet_start, quiet_start + DAY);
+    let quiet_alerts = scan(&quiet_events, quiet_start, quiet_start + DAY, &config);
+    assert!(
+        quiet_alerts.iter().all(|a| !a.page_engineers),
+        "background day must not page engineers: {quiet_alerts:?}"
+    );
+
+    // The spike day: vm_allocation_failed surges across many VMs, which is
+    // exactly the multi-customer condition that pages engineers. The scan
+    // covers the preceding quiet day too, so the detector's history window
+    // is armed before the surge begins (it starts at 02:00).
+    let scan_start = (spike_day as i64 - 1) * DAY;
+    let spike_events = pipeline.events(&world, scan_start, scan_start + 2 * DAY);
+    let alerts = scan(&spike_events, scan_start, scan_start + 2 * DAY, &config);
+    let allocation: Vec<_> = alerts
+        .iter()
+        .filter(|a| a.event_name == "vm_allocation_failed")
+        .collect();
+    assert!(!allocation.is_empty(), "the surge must be detected: {alerts:?}");
+    assert!(
+        allocation.iter().any(|a| a.page_engineers),
+        "multi-customer surge must escalate: {allocation:?}"
+    );
+    let worst = allocation.iter().max_by_key(|a| a.count).unwrap();
+    assert!(worst.distinct_targets >= 5, "{worst:?}");
+    assert!(worst.count as f64 > 5.0 * worst.baseline.max(1.0));
+}

@@ -1,0 +1,110 @@
+//! Integration of the Eq. 1–3 weighting chain: simulated customer tickets →
+//! classifier/correlation → ticket counts per event → customer levels →
+//! AHP-blended weight table → CDI that reflects customer perception.
+
+use std::collections::HashMap;
+
+use cdi_core::event::{Category, Severity};
+use cdi_core::indicator::{cdi, ServicePeriod};
+use cdi_core::period::PeriodedEvent;
+use cdi_core::time::{minutes, TimeRange};
+use cdi_core::weight::{CustomerWeights, Priorities, WeightTable};
+use cloudbot::tickets::ticket_counts_per_event;
+use simfleet::scenario::fig2_ticket_world;
+use simfleet::tickets::{generate_tickets, ReportPropensity};
+
+#[test]
+fn ticket_informed_weights_shift_cdi() {
+    // 1. A corpus of tickets from simulated damage.
+    let world = fig2_ticket_world(77, 60);
+    let tickets = generate_tickets(
+        &world,
+        0,
+        60 * 24 * 3_600_000,
+        &ReportPropensity::default(),
+    );
+    assert!(tickets.len() > 500, "corpus size {}", tickets.len());
+
+    // 2. Ticket counts per event name (the PAI-classifier correlation).
+    let counts: HashMap<String, u64> = ticket_counts_per_event(&tickets);
+    assert!(counts.contains_key("slow_io"));
+    assert!(counts.contains_key("vm_crash"));
+
+    // 3. Eq. 2 customer levels + Eq. 3 AHP blend.
+    let customer = CustomerWeights::from_ticket_counts(&counts, 4).unwrap();
+    let priorities = Priorities::from_ahp_judgment(1.0).unwrap();
+    let table = WeightTable::new(customer.clone(), priorities).unwrap();
+
+    // The blended weight differs from the pure expert weight whenever the
+    // customer level disagrees with the expert level.
+    let expert_only = WeightTable::expert_only();
+    let blended: Vec<f64> = counts
+        .keys()
+        .map(|name| table.weight(name, Severity::Error))
+        .collect();
+    let expert: f64 = expert_only.weight("slow_io", Severity::Error);
+    assert!(
+        blended.iter().any(|w| (w - expert).abs() > 1e-9),
+        "customer perception must move at least one weight"
+    );
+
+    // 4. The weight change propagates into CDI: a heavily-ticketed event
+    // (top customer level, p = 1.0) outweighs a rarely-ticketed one at the
+    // same expert severity.
+    let most_ticketed = counts
+        .iter()
+        .max_by_key(|(_, &c)| c)
+        .map(|(n, _)| n.clone())
+        .unwrap();
+    let least_ticketed = counts
+        .iter()
+        .min_by_key(|(_, &c)| c)
+        .map(|(n, _)| n.clone())
+        .unwrap();
+    let span_for = |name: &str| {
+        let pe = PeriodedEvent {
+            name: name.to_string(),
+            category: Category::Performance,
+            target: cdi_core::event::Target::Vm(0),
+            range: TimeRange::new(0, minutes(10)),
+            severity: Severity::Error,
+        };
+        table.assign(std::slice::from_ref(&pe))
+    };
+    let period = ServicePeriod::new(0, minutes(100)).unwrap();
+    let q_hot = cdi(&span_for(&most_ticketed), period).unwrap();
+    let q_cold = cdi(&span_for(&least_ticketed), period).unwrap();
+    assert!(
+        q_hot >= q_cold,
+        "{most_ticketed} (q={q_hot}) must not rank below {least_ticketed} (q={q_cold})"
+    );
+    assert!(q_hot > 0.0);
+}
+
+#[test]
+fn ahp_priorities_shift_the_blend_toward_the_favoured_side() {
+    let mut counts = HashMap::new();
+    counts.insert("noisy_event".to_string(), 100u64);
+    counts.insert("quiet_event".to_string(), 1u64);
+    let customer = CustomerWeights::from_ticket_counts(&counts, 4).unwrap();
+
+    // noisy_event: customer level 4 (p = 1.0); expert severity Warning
+    // (l = 0.25). Favouring the customer side pulls the weight up.
+    let customer_heavy = WeightTable::new(
+        customer.clone(),
+        Priorities::from_ahp_judgment(1.0 / 5.0).unwrap(),
+    )
+    .unwrap();
+    let expert_heavy =
+        WeightTable::new(customer, Priorities::from_ahp_judgment(5.0).unwrap()).unwrap();
+    let w_customer = customer_heavy.weight("noisy_event", Severity::Warning);
+    let w_expert = expert_heavy.weight("noisy_event", Severity::Warning);
+    assert!(
+        w_customer > w_expert,
+        "customer-favouring AHP must weigh the ticket-heavy event higher: {w_customer} vs {w_expert}"
+    );
+    // Both stay inside the convex hull of (0.25, 1.0).
+    for w in [w_customer, w_expert] {
+        assert!((0.25..=1.0).contains(&w), "{w}");
+    }
+}
