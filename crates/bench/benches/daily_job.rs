@@ -47,7 +47,7 @@ fn bench_daily_job(c: &mut Criterion) {
             BenchmarkId::new("minispark_dataflow", threads),
             &threads,
             |b, &threads| {
-                let config = DailyJobConfig { threads, partitions: 16 };
+                let config = DailyJobConfig { threads, partitions: 16, ..Default::default() };
                 b.iter(|| black_box(run(&w, &pipeline, 0, 0, DAY, config).unwrap()))
             },
         );

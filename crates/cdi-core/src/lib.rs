@@ -69,6 +69,7 @@ pub mod error;
 pub mod event;
 pub mod indicator;
 pub mod period;
+pub mod quarantine;
 pub mod streaming;
 pub mod time;
 pub mod weight;
@@ -77,4 +78,8 @@ pub use catalog::{EventCatalog, EventSpec, PeriodKind};
 pub use error::{CdiError, Result};
 pub use event::{Category, EventSpan, RawEvent, Severity, Target};
 pub use indicator::{cdi, CdiBreakdown, ServicePeriod, VmCdi};
+pub use quarantine::{
+    assign_weights_lenient, derive_periods_lenient, DerivationOutcome, QuarantineReason,
+    QuarantinedEvent,
+};
 pub use time::{minutes, TimeRange, Timestamp};

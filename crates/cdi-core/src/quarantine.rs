@@ -1,0 +1,297 @@
+//! Dead-letter quarantine for malformed telemetry.
+//!
+//! The paper's CloudBot ingests events from dozens of independently-evolving
+//! detectors, so unclassifiable or corrupt records are the normal case, not
+//! the exception. The strict [`derive_periods`](crate::period::derive_periods)
+//! fails the whole batch on the first bad event — correct for unit tests,
+//! fatal for a daily job over a fleet. This module provides the lenient
+//! alternative: each event is validated against the catalog and the service
+//! window, and invalid ones are **diverted** to a dead-letter collection
+//! with a typed [`QuarantineReason`] while the rest of the batch proceeds.
+//!
+//! Invariant: for any input batch, `accepted events + quarantined events ==
+//! input events` — nothing is silently dropped, and nothing panics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::{EventCatalog, PeriodKind};
+use crate::event::{EventSpan, RawEvent};
+use crate::period::{derive_periods, PeriodedEvent, UnmatchedPolicy};
+use crate::time::Timestamp;
+use crate::weight::WeightTable;
+
+/// Why an event was diverted to the dead-letter collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QuarantineReason {
+    /// The event name has no catalog entry — the catalog cannot classify it.
+    UnknownEvent,
+    /// The extraction timestamp is negative.
+    NegativeTimestamp,
+    /// The logged span is inverted: a negative measured duration would put
+    /// the period's end before its start.
+    InvertedSpan,
+    /// The event arrived at or after the end of the service period it
+    /// claims to describe.
+    LateArrival,
+    /// A stateful end marker whose start marker is not in the catalog.
+    OrphanStatefulEnd,
+    /// The assigned weight is NaN or infinite — Algorithm 1 would reject
+    /// the whole span set, so the span is diverted instead.
+    NonFiniteWeight,
+}
+
+impl QuarantineReason {
+    /// Stable short label, used as the `reason` column of quarantine tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QuarantineReason::UnknownEvent => "unknown_event",
+            QuarantineReason::NegativeTimestamp => "negative_timestamp",
+            QuarantineReason::InvertedSpan => "inverted_span",
+            QuarantineReason::LateArrival => "late_arrival",
+            QuarantineReason::OrphanStatefulEnd => "orphan_stateful_end",
+            QuarantineReason::NonFiniteWeight => "non_finite_weight",
+        }
+    }
+}
+
+impl std::fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A diverted event together with the reason it was diverted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedEvent {
+    /// The offending raw event, kept verbatim for drill-down.
+    pub event: RawEvent,
+    /// Why it was diverted.
+    pub reason: QuarantineReason,
+}
+
+/// Result of a lenient period derivation: the derived periods of the
+/// accepted events plus the dead-letter collection.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DerivationOutcome {
+    /// Periods derived from the events that passed validation.
+    pub periods: Vec<PeriodedEvent>,
+    /// Events diverted with a typed reason.
+    pub quarantined: Vec<QuarantinedEvent>,
+    /// How many input events passed validation (NOT the period count:
+    /// stateful marker pairs merge into one period, and unmatched markers
+    /// may produce none).
+    pub accepted: usize,
+}
+
+/// Validate one event against the catalog and service window. `None` means
+/// the event is clean.
+fn classify(
+    e: &RawEvent,
+    catalog: &EventCatalog,
+    service_end: Timestamp,
+) -> Option<QuarantineReason> {
+    if e.time < 0 {
+        return Some(QuarantineReason::NegativeTimestamp);
+    }
+    let spec = match catalog.get(&e.name) {
+        Some(s) => s,
+        None => return Some(QuarantineReason::UnknownEvent),
+    };
+    if e.measured_duration.is_some_and(|d| d < 0) {
+        return Some(QuarantineReason::InvertedSpan);
+    }
+    if e.time >= service_end {
+        return Some(QuarantineReason::LateArrival);
+    }
+    if matches!(spec.period, PeriodKind::StatefulEnd) {
+        let has_start = catalog.iter().any(|(_, s)| {
+            matches!(&s.period, PeriodKind::StatefulStart { end_name } if *end_name == e.name)
+        });
+        if !has_start {
+            return Some(QuarantineReason::OrphanStatefulEnd);
+        }
+    }
+    None
+}
+
+/// Lenient counterpart of [`derive_periods`]: malformed events are diverted
+/// to the dead-letter collection instead of failing the batch, and the
+/// function never panics or errors for any input.
+///
+/// Validation, in order of precedence: negative timestamps, names missing
+/// from the catalog, inverted spans (negative measured duration), late
+/// arrivals (`time >= service_end`), and stateful end markers with no
+/// registered start. The surviving events go through the strict derivation
+/// unchanged, so a fully-clean batch produces exactly the same periods as
+/// [`derive_periods`].
+pub fn derive_periods_lenient(
+    events: &[RawEvent],
+    catalog: &EventCatalog,
+    service_end: Timestamp,
+    policy: UnmatchedPolicy,
+) -> DerivationOutcome {
+    let mut clean: Vec<RawEvent> = Vec::with_capacity(events.len());
+    let mut quarantined = Vec::new();
+    for e in events {
+        match classify(e, catalog, service_end) {
+            Some(reason) => quarantined.push(QuarantinedEvent { event: e.clone(), reason }),
+            None => clean.push(e.clone()),
+        }
+    }
+    let accepted = clean.len();
+    let periods = derive_periods(&clean, catalog, service_end, policy)
+        .expect("classify() pre-validates every failure mode of derive_periods");
+    DerivationOutcome { periods, quarantined, accepted }
+}
+
+/// Weight a batch of derived periods, diverting any span whose assigned
+/// weight is NaN or infinite (Algorithm 1 validates weights and would
+/// reject the whole span set). The diverted period is recorded as a
+/// reconstructed raw event with reason
+/// [`QuarantineReason::NonFiniteWeight`]. Never panics.
+pub fn assign_weights_lenient(
+    weights: &WeightTable,
+    periods: &[PeriodedEvent],
+) -> (Vec<EventSpan>, Vec<QuarantinedEvent>) {
+    let mut spans = Vec::with_capacity(periods.len());
+    let mut quarantined = Vec::new();
+    for pe in periods {
+        let assigned = weights.assign(std::slice::from_ref(pe));
+        if assigned.iter().any(|s| !s.weight.is_finite()) {
+            quarantined.push(QuarantinedEvent {
+                event: RawEvent::new(pe.name.clone(), pe.range.end, pe.target, 0, pe.severity),
+                reason: QuarantineReason::NonFiniteWeight,
+            });
+        } else {
+            spans.extend(assigned);
+        }
+    }
+    (spans, quarantined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Severity, Target};
+    use crate::time::minutes;
+
+    fn catalog() -> EventCatalog {
+        EventCatalog::paper_defaults()
+    }
+
+    #[test]
+    fn clean_batch_matches_strict_derivation() {
+        let events = vec![
+            RawEvent::new("slow_io", minutes(10), Target::Vm(1), minutes(10), Severity::Critical),
+            RawEvent::new("ddos_blackhole", minutes(5), Target::Vm(2), minutes(60), Severity::Fatal),
+            RawEvent::new("ddos_blackhole_del", minutes(9), Target::Vm(2), minutes(60), Severity::Fatal),
+        ];
+        let strict =
+            derive_periods(&events, &catalog(), minutes(60), UnmatchedPolicy::CloseAtServiceEnd)
+                .unwrap();
+        let out = derive_periods_lenient(
+            &events,
+            &catalog(),
+            minutes(60),
+            UnmatchedPolicy::CloseAtServiceEnd,
+        );
+        assert_eq!(out.periods, strict);
+        assert!(out.quarantined.is_empty());
+        assert_eq!(out.accepted, 3);
+    }
+
+    #[test]
+    fn unknown_name_is_quarantined_not_fatal() {
+        let events = vec![
+            RawEvent::new("slow_io", minutes(10), Target::Vm(1), minutes(10), Severity::Critical),
+            RawEvent::new("mystery_alarm", minutes(11), Target::Vm(1), 0, Severity::Warning),
+        ];
+        let out = derive_periods_lenient(
+            &events,
+            &catalog(),
+            minutes(60),
+            UnmatchedPolicy::CloseAtServiceEnd,
+        );
+        assert_eq!(out.periods.len(), 1);
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.quarantined[0].reason, QuarantineReason::UnknownEvent);
+        assert_eq!(out.quarantined[0].event.name, "mystery_alarm");
+    }
+
+    #[test]
+    fn invalid_spans_and_times_are_typed() {
+        let events = vec![
+            RawEvent::new("slow_io", -5, Target::Vm(1), minutes(10), Severity::Critical),
+            RawEvent::new("qemu_live_upgrade", minutes(10), Target::Vm(1), 0, Severity::Error)
+                .with_measured_duration(-300),
+            RawEvent::new("slow_io", minutes(90), Target::Vm(1), minutes(10), Severity::Critical),
+        ];
+        let out = derive_periods_lenient(
+            &events,
+            &catalog(),
+            minutes(60),
+            UnmatchedPolicy::CloseAtServiceEnd,
+        );
+        assert!(out.periods.is_empty());
+        let reasons: Vec<QuarantineReason> = out.quarantined.iter().map(|q| q.reason).collect();
+        assert_eq!(
+            reasons,
+            vec![
+                QuarantineReason::NegativeTimestamp,
+                QuarantineReason::InvertedSpan,
+                QuarantineReason::LateArrival,
+            ]
+        );
+    }
+
+    #[test]
+    fn accounting_invariant_holds() {
+        let events = vec![
+            RawEvent::new("slow_io", minutes(10), Target::Vm(1), minutes(10), Severity::Critical),
+            RawEvent::new("bogus", minutes(11), Target::Vm(1), 0, Severity::Warning),
+            RawEvent::new("slow_io", -1, Target::Vm(2), minutes(10), Severity::Critical),
+        ];
+        let out = derive_periods_lenient(
+            &events,
+            &catalog(),
+            minutes(60),
+            UnmatchedPolicy::CloseAtServiceEnd,
+        );
+        assert_eq!(out.accepted + out.quarantined.len(), events.len());
+    }
+
+    #[test]
+    fn negative_timestamp_takes_precedence_over_unknown_name() {
+        let e = RawEvent::new("bogus", -1, Target::Vm(1), 0, Severity::Warning);
+        let out = derive_periods_lenient(
+            &[e],
+            &catalog(),
+            minutes(60),
+            UnmatchedPolicy::CloseAtServiceEnd,
+        );
+        assert_eq!(out.quarantined[0].reason, QuarantineReason::NegativeTimestamp);
+    }
+
+    #[test]
+    fn reason_labels_are_stable() {
+        assert_eq!(QuarantineReason::UnknownEvent.label(), "unknown_event");
+        assert_eq!(QuarantineReason::LateArrival.to_string(), "late_arrival");
+        assert_eq!(QuarantineReason::NonFiniteWeight.label(), "non_finite_weight");
+    }
+
+    #[test]
+    fn lenient_weighting_passes_finite_weights_through() {
+        let events =
+            vec![RawEvent::new("slow_io", minutes(10), Target::Vm(1), minutes(10), Severity::Critical)];
+        let out = derive_periods_lenient(
+            &events,
+            &catalog(),
+            minutes(60),
+            UnmatchedPolicy::CloseAtServiceEnd,
+        );
+        let table = WeightTable::expert_only();
+        let (spans, quarantined) = assign_weights_lenient(&table, &out.periods);
+        assert_eq!(spans, table.assign(&out.periods));
+        assert!(quarantined.is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests for the dead-letter quarantine: for *any* event stream —
+//! known or unknown names, negative timestamps, inverted spans, late
+//! arrivals, stray stateful markers — the lenient derivation never panics
+//! and accounts for every input event exactly once.
+
+use cdi_core::catalog::EventCatalog;
+use cdi_core::event::{RawEvent, Severity, Target};
+use cdi_core::period::UnmatchedPolicy;
+use cdi_core::quarantine::{assign_weights_lenient, derive_periods_lenient, QuarantineReason};
+use cdi_core::time::minutes;
+use cdi_core::weight::WeightTable;
+use proptest::prelude::*;
+
+const SERVICE_END: i64 = 60 * 60_000;
+
+/// Names skewed toward the catalog (so real derivation paths run) but with
+/// a steady stream of strangers, including the stateful pair in both orders.
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        3 => Just("slow_io".to_string()),
+        2 => Just("qemu_live_upgrade".to_string()),
+        2 => Just("ddos_blackhole".to_string()),
+        2 => Just("ddos_blackhole_del".to_string()),
+        2 => Just("packet_loss".to_string()),
+        1 => Just("vm_crash".to_string()),
+        3 => "[a-z_]{1,16}",
+    ]
+}
+
+fn severity_strategy() -> impl Strategy<Value = Severity> {
+    prop_oneof![
+        Just(Severity::Warning),
+        Just(Severity::Error),
+        Just(Severity::Critical),
+        Just(Severity::Fatal),
+    ]
+}
+
+fn event_strategy() -> impl Strategy<Value = RawEvent> {
+    (
+        name_strategy(),
+        // Timestamps from well before zero to well past the window.
+        -SERVICE_END..3 * SERVICE_END,
+        0u64..8,
+        0i64..minutes(60),
+        severity_strategy(),
+        // None, plausible, or inverted logged durations.
+        prop_oneof![
+            2 => Just(None),
+            2 => (1i64..minutes(30)).prop_map(Some),
+            1 => (-minutes(30)..0).prop_map(Some),
+        ],
+    )
+        .prop_map(|(name, time, vm, expire, severity, duration)| {
+            let mut e = RawEvent::new(name, time, Target::Vm(vm), expire, severity);
+            if let Some(d) = duration {
+                e = e.with_measured_duration(d);
+            }
+            e
+        })
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<RawEvent>> {
+    prop::collection::vec(event_strategy(), 0..60)
+}
+
+proptest! {
+    /// The lenient derivation completes for any stream — the `expect` on
+    /// the inner strict derivation is unreachable because classification
+    /// pre-filters every failure mode.
+    #[test]
+    fn lenient_derivation_never_panics(events in stream_strategy()) {
+        let catalog = EventCatalog::paper_defaults();
+        let out = derive_periods_lenient(
+            &events,
+            &catalog,
+            SERVICE_END,
+            UnmatchedPolicy::CloseAtServiceEnd,
+        );
+        // Every derived period refers to a cataloged name inside the window.
+        for p in &out.periods {
+            prop_assert!(catalog.get(&p.name).is_some(), "uncataloged period {}", p.name);
+        }
+    }
+
+    /// Accounting: accepted + quarantined == input, for any stream.
+    #[test]
+    fn every_event_is_accounted_for(events in stream_strategy()) {
+        let out = derive_periods_lenient(
+            &events,
+            &EventCatalog::paper_defaults(),
+            SERVICE_END,
+            UnmatchedPolicy::CloseAtServiceEnd,
+        );
+        prop_assert_eq!(out.accepted + out.quarantined.len(), events.len());
+    }
+
+    /// Quarantine reasons match the malformity that triggered them.
+    #[test]
+    fn reasons_are_consistent_with_the_event(events in stream_strategy()) {
+        let catalog = EventCatalog::paper_defaults();
+        let out = derive_periods_lenient(
+            &events,
+            &catalog,
+            SERVICE_END,
+            UnmatchedPolicy::CloseAtServiceEnd,
+        );
+        for q in &out.quarantined {
+            match q.reason {
+                QuarantineReason::NegativeTimestamp => prop_assert!(q.event.time < 0),
+                QuarantineReason::UnknownEvent => {
+                    prop_assert!(catalog.get(&q.event.name).is_none())
+                }
+                QuarantineReason::InvertedSpan => {
+                    prop_assert!(q.event.measured_duration.unwrap() < 0)
+                }
+                QuarantineReason::LateArrival => prop_assert!(q.event.time >= SERVICE_END),
+                QuarantineReason::OrphanStatefulEnd | QuarantineReason::NonFiniteWeight => {
+                    // paper_defaults pairs its only stateful end, and
+                    // derivation assigns no weights yet.
+                    prop_assert!(false, "unexpected reason {:?}", q.reason)
+                }
+            }
+        }
+    }
+
+    /// Both unmatched-start policies stay panic-free and agree on the
+    /// accounting (the policy changes period shapes, never acceptance).
+    #[test]
+    fn policies_agree_on_accounting(events in stream_strategy()) {
+        let catalog = EventCatalog::paper_defaults();
+        let a = derive_periods_lenient(
+            &events, &catalog, SERVICE_END, UnmatchedPolicy::CloseAtServiceEnd,
+        );
+        let b = derive_periods_lenient(
+            &events, &catalog, SERVICE_END, UnmatchedPolicy::CloseAtExpiry,
+        );
+        prop_assert_eq!(a.accepted, b.accepted);
+        prop_assert_eq!(a.quarantined, b.quarantined);
+    }
+
+    /// The weighting stage also accounts for every period: spans out plus
+    /// non-finite-weight quarantines equals periods in (each period yields
+    /// exactly one weighted span with the expert table).
+    #[test]
+    fn weighting_accounts_for_every_period(events in stream_strategy()) {
+        let out = derive_periods_lenient(
+            &events,
+            &EventCatalog::paper_defaults(),
+            SERVICE_END,
+            UnmatchedPolicy::CloseAtServiceEnd,
+        );
+        let (spans, bad) = assign_weights_lenient(&WeightTable::expert_only(), &out.periods);
+        prop_assert_eq!(spans.len() + bad.len(), out.periods.len());
+        prop_assert!(spans.iter().all(|s| s.weight.is_finite()));
+        prop_assert!(bad.is_empty(), "expert weights are all finite");
+    }
+}

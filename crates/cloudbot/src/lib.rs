@@ -52,4 +52,5 @@ pub mod tickets;
 pub use collector::{CollectedData, Collector};
 pub use extractor::{Extractor, ExtractorConfig};
 pub use ops::{ActionKind, ActionRequest, OperationPlatform};
+pub use pipeline::{DailyPipeline, RunReport};
 pub use rules::{OperationRule, RuleEngine};

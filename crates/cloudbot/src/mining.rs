@@ -297,8 +297,7 @@ pub fn association_rules(
     }
     out.sort_by(|a, b| {
         b.confidence
-            .partial_cmp(&a.confidence)
-            .expect("confidences are finite")
+            .total_cmp(&a.confidence)
             .then(b.support.cmp(&a.support))
             .then(a.antecedent.cmp(&b.antecedent))
     });

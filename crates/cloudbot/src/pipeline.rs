@@ -11,15 +11,46 @@ use std::collections::HashMap;
 
 use cdi_core::catalog::EventCatalog;
 use cdi_core::error::Result;
-use cdi_core::event::{EventSpan, RawEvent, Target};
+use cdi_core::event::{EventSpan, RawEvent, Severity, Target};
 use cdi_core::indicator::{compute_vm_cdi, ServicePeriod, VmCdi};
 use cdi_core::period::{derive_periods, UnmatchedPolicy};
+use cdi_core::quarantine::{assign_weights_lenient, derive_periods_lenient, QuarantinedEvent};
 use cdi_core::weight::WeightTable;
 use simfleet::world::SimWorld;
 use simfleet::VmId;
 
 use crate::collector::Collector;
 use crate::extractor::Extractor;
+
+/// Accounting for one fault-tolerant pipeline run, returned alongside the
+/// output tables. A report with `degraded == false` certifies the run saw
+/// only clean input and no task failures — its rows are exactly what the
+/// strict path would have produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunReport {
+    /// Events diverted to the dead-letter collection.
+    pub quarantined: usize,
+    /// Partition tasks that exhausted their retry budget (always 0 for the
+    /// serial pipeline; the minispark dataflow populates it).
+    pub failed_tasks: u64,
+    /// Task re-attempts after caught panics (0 for the serial pipeline).
+    pub retries: u64,
+    /// Whether anything was quarantined, retried, or failed — i.e. whether
+    /// the output differs from an all-clean run in any way.
+    pub degraded: bool,
+}
+
+impl RunReport {
+    /// Assemble a report, deriving `degraded` from the counters.
+    pub fn new(quarantined: usize, failed_tasks: u64, retries: u64) -> Self {
+        RunReport {
+            quarantined,
+            failed_tasks,
+            retries,
+            degraded: quarantined > 0 || failed_tasks > 0 || retries > 0,
+        }
+    }
+}
 
 /// The daily CDI pipeline configuration.
 #[derive(Debug, Clone)]
@@ -50,12 +81,24 @@ impl Default for DailyPipeline {
 
 impl DailyPipeline {
     /// Collect and extract all events for `[start, end)`.
+    ///
+    /// If the world carries a [`simfleet::ChaosConfig`], its malformed
+    /// events are appended to the batch — they reach the same ingestion
+    /// path as real telemetry, so the strict derivation will reject the
+    /// batch while the lenient paths quarantine exactly those events.
     pub fn events(&self, world: &SimWorld, start: i64, end: i64) -> Vec<RawEvent> {
         let data = self.collector.collect(world, start, end);
         let mut events = self.extractor.extract(&data);
         if self.extractor.config.statistical {
             events.extend(self.statistical_events(world, start, end));
             events.sort_by_key(|e| (e.time, e.target));
+        }
+        for c in world.chaos_events(start, end) {
+            let mut e = RawEvent::new(c.name, c.time, Target::Vm(c.vm), 0, Severity::Error);
+            if let Some(d) = c.measured_duration {
+                e = e.with_measured_duration(d);
+            }
+            events.push(e);
         }
         events
     }
@@ -135,6 +178,28 @@ impl DailyPipeline {
         Ok(out)
     }
 
+    /// Fault-tolerant variant of [`DailyPipeline::spans_by_target`]:
+    /// malformed events are diverted to the returned dead-letter collection
+    /// (with a typed reason) instead of failing the batch, and spans whose
+    /// assigned weight is NaN or infinite are diverted too (Algorithm 1
+    /// would otherwise reject the whole span set). Never panics or errors.
+    #[allow(clippy::type_complexity)]
+    pub fn spans_by_target_lenient(
+        &self,
+        events: &[RawEvent],
+        end: i64,
+    ) -> (HashMap<Target, Vec<EventSpan>>, Vec<QuarantinedEvent>) {
+        let outcome = derive_periods_lenient(events, &self.catalog, end, self.policy);
+        let mut quarantined = outcome.quarantined;
+        let mut out: HashMap<Target, Vec<EventSpan>> = HashMap::new();
+        for pe in &outcome.periods {
+            let (spans, bad) = assign_weights_lenient(&self.weights, std::slice::from_ref(pe));
+            quarantined.extend(bad);
+            out.entry(pe.target).or_default().extend(spans);
+        }
+        (out, quarantined)
+    }
+
     /// The paper's first output table: one [`VmCdi`] row per VM over the
     /// period. Events on a VM's hosting NC also damage the VM, so NC spans
     /// are propagated onto hosted VMs before Algorithm 1 runs.
@@ -154,6 +219,16 @@ impl DailyPipeline {
         end: i64,
     ) -> Result<HashMap<VmId, Vec<EventSpan>>> {
         let by_target = self.spans_by_target(events, end)?;
+        Ok(Self::propagate_nc_damage(world, &by_target))
+    }
+
+    /// Project a by-target span map onto VMs, copying each NC's spans onto
+    /// its hosted VMs (host-only telemetry excluded) — shared by the strict
+    /// and lenient paths.
+    fn propagate_nc_damage(
+        world: &SimWorld,
+        by_target: &HashMap<Target, Vec<EventSpan>>,
+    ) -> HashMap<VmId, Vec<EventSpan>> {
         let empty: Vec<EventSpan> = Vec::new();
         let mut out = HashMap::with_capacity(world.fleet.vms().len());
         for vm in world.fleet.vms() {
@@ -166,7 +241,31 @@ impl DailyPipeline {
             }
             out.insert(vm.id, spans);
         }
-        Ok(out)
+        out
+    }
+
+    /// Fault-tolerant variant of [`DailyPipeline::vm_cdi_rows`]: malformed
+    /// events are quarantined instead of failing the run, and the returned
+    /// [`RunReport`] (plus the dead-letter collection itself) accounts for
+    /// every diverted event. With fully-clean input the rows are identical
+    /// to the strict path and the report is all-zero.
+    #[allow(clippy::type_complexity)]
+    pub fn vm_cdi_rows_report(
+        &self,
+        world: &SimWorld,
+        start: i64,
+        end: i64,
+    ) -> Result<(Vec<VmCdi>, Vec<QuarantinedEvent>, RunReport)> {
+        let events = self.events(world, start, end);
+        let (by_target, quarantined) = self.spans_by_target_lenient(&events, end);
+        let spans = Self::propagate_nc_damage(world, &by_target);
+        let period = ServicePeriod::new(start, end)?;
+        let mut rows = Vec::with_capacity(world.fleet.vms().len());
+        for vm in world.fleet.vms() {
+            rows.push(compute_vm_cdi(vm.id, &spans[&vm.id], period)?);
+        }
+        let report = RunReport::new(quarantined.len(), 0, 0);
+        Ok((rows, quarantined, report))
     }
 
     /// Same as [`DailyPipeline::vm_cdi_rows`] but reusing already-extracted
@@ -379,6 +478,64 @@ mod tests {
             .iter()
             .filter(|e| e.name == "slow_io")
             .all(|e| e.target == Target::Vm(0)));
+    }
+
+    #[test]
+    fn chaos_events_reach_the_batch_and_break_the_strict_path() {
+        let mut w = world();
+        w.set_chaos(Some(simfleet::ChaosConfig::light(5)));
+        let p = DailyPipeline::default();
+        let events = p.events(&w, 0, 6 * HOUR);
+        assert!(events.iter().any(|e| e.name.starts_with("chaos_")));
+        // The strict path rejects the batch (an error, not a panic).
+        assert!(p.vm_cdi_rows(&w, 0, 6 * HOUR).is_err());
+    }
+
+    #[test]
+    fn lenient_run_quarantines_exactly_the_chaos_events() {
+        let mut w = world();
+        w.inject(FaultInjection::new(
+            FaultKind::VmDown,
+            FaultTarget::Vm(0),
+            HOUR,
+            HOUR + 30 * MIN,
+        ));
+        let p = DailyPipeline::default();
+        let (clean_rows, _, clean_report) = p.vm_cdi_rows_report(&w, 0, 6 * HOUR).unwrap();
+        assert_eq!(clean_report, RunReport::default());
+        assert!(!clean_report.degraded);
+
+        let chaos = simfleet::ChaosConfig::light(5);
+        w.set_chaos(Some(chaos));
+        let (rows, quarantined, report) = p.vm_cdi_rows_report(&w, 0, 6 * HOUR).unwrap();
+        assert_eq!(report.quarantined, chaos.total());
+        assert_eq!(quarantined.len(), chaos.total());
+        assert!(report.degraded);
+        // Every chaos event is quarantined, so no VM's CDI moves at all.
+        assert_eq!(rows.len(), clean_rows.len());
+        for (a, b) in rows.iter().zip(clean_rows.iter()) {
+            assert_eq!(a.vm, b.vm);
+            assert!((a.unavailability - b.unavailability).abs() < 1e-12);
+            assert!((a.performance - b.performance).abs() < 1e-12);
+            assert!((a.control_plane - b.control_plane).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lenient_run_matches_strict_on_clean_input() {
+        let mut w = world();
+        w.inject(FaultInjection::new(
+            FaultKind::SlowIo { factor: 8.0 },
+            FaultTarget::Vm(1),
+            HOUR,
+            HOUR + 10 * MIN,
+        ));
+        let p = DailyPipeline::default();
+        let strict = p.vm_cdi_rows(&w, 0, 6 * HOUR).unwrap();
+        let (lenient, quarantined, report) = p.vm_cdi_rows_report(&w, 0, 6 * HOUR).unwrap();
+        assert_eq!(strict, lenient);
+        assert!(quarantined.is_empty());
+        assert_eq!(report, RunReport::new(0, 0, 0));
     }
 
     #[test]

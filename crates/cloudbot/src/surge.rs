@@ -112,7 +112,7 @@ pub fn scan(events: &[RawEvent], start: i64, end: i64, config: &SurgeConfig) -> 
 
 fn median(xs: &[f64]) -> f64 {
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     if n.is_multiple_of(2) {
         (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0

@@ -11,6 +11,13 @@
 //!
 //! Actions (`collect`, `count`, `fold`) drive the plan with an
 //! [`ExecContext`], which supplies the worker pool and records metrics.
+//! Every action routes through the context's fallible
+//! `try_parallel_indexed` primitive, so a panicking user closure fails its
+//! stage with a structured [`TaskError`](crate::exec::TaskError) — after
+//! the context's retry budget — instead of tearing down the process. The
+//! `try_*` action variants surface that error; the plain variants keep the
+//! historical panicking contract for callers that treat stage failure as a
+//! bug.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
@@ -333,22 +340,63 @@ impl<T: Data> Dataset<T> {
         })
     }
 
-    /// Action: gather all elements (partition order preserved).
-    pub fn collect(&self, ctx: &ExecContext) -> Vec<T> {
+    /// Action: gather all elements (partition order preserved), surfacing a
+    /// poisoned task as an error instead of a panic.
+    pub fn try_collect(&self, ctx: &ExecContext) -> Result<Vec<T>> {
         let n = self.plan.num_partitions();
         let plan = &self.plan;
-        ctx.parallel_indexed(n, |p| plan.compute(ctx, p)).into_iter().flatten().collect()
+        Ok(ctx
+            .try_parallel_indexed(n, |p| plan.compute(ctx, p))?
+            .into_iter()
+            .flatten()
+            .collect())
     }
 
-    /// Action: count elements.
-    pub fn count(&self, ctx: &ExecContext) -> usize {
+    /// Action: gather all elements (partition order preserved). Panics if a
+    /// task exhausts its retries; use [`Dataset::try_collect`] to handle
+    /// stage failure gracefully.
+    pub fn collect(&self, ctx: &ExecContext) -> Vec<T> {
+        match self.try_collect(ctx) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Action: count elements, surfacing a poisoned task as an error.
+    pub fn try_count(&self, ctx: &ExecContext) -> Result<usize> {
         let n = self.plan.num_partitions();
         let plan = &self.plan;
-        ctx.parallel_indexed(n, |p| plan.compute(ctx, p).len()).into_iter().sum()
+        Ok(ctx.try_parallel_indexed(n, |p| plan.compute(ctx, p).len())?.into_iter().sum())
+    }
+
+    /// Action: count elements. Panics if a task exhausts its retries.
+    pub fn count(&self, ctx: &ExecContext) -> usize {
+        match self.try_count(ctx) {
+            Ok(n) => n,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Action: fold all elements with a per-partition accumulator and a
-    /// merge step (both must be associative-friendly with `init`).
+    /// merge step (both must be associative-friendly with `init`),
+    /// surfacing a poisoned task as an error.
+    pub fn try_fold<A: Data>(
+        &self,
+        ctx: &ExecContext,
+        init: A,
+        fold: impl Fn(A, T) -> A + Send + Sync,
+        merge: impl Fn(A, A) -> A,
+    ) -> Result<A> {
+        let n = self.plan.num_partitions();
+        let plan = &self.plan;
+        let partials = ctx.try_parallel_indexed(n, |p| {
+            plan.compute(ctx, p).into_iter().fold(init.clone(), &fold)
+        })?;
+        Ok(partials.into_iter().fold(init, merge))
+    }
+
+    /// Action: fold all elements with a per-partition accumulator and a
+    /// merge step. Panics if a task exhausts its retries.
     pub fn fold<A: Data>(
         &self,
         ctx: &ExecContext,
@@ -356,12 +404,10 @@ impl<T: Data> Dataset<T> {
         fold: impl Fn(A, T) -> A + Send + Sync,
         merge: impl Fn(A, A) -> A,
     ) -> A {
-        let n = self.plan.num_partitions();
-        let plan = &self.plan;
-        let partials = ctx.parallel_indexed(n, |p| {
-            plan.compute(ctx, p).into_iter().fold(init.clone(), &fold)
-        });
-        partials.into_iter().fold(init, merge)
+        match self.try_fold(ctx, init, fold, merge) {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -476,7 +522,14 @@ impl<K: Data + Hash + Eq, V: Data> Dataset<(K, V)> {
         })
     }
 
+    /// Action: collect into a `HashMap` (last value wins on duplicate
+    /// keys), surfacing a poisoned task as an error.
+    pub fn try_collect_map(&self, ctx: &ExecContext) -> Result<HashMap<K, V>> {
+        Ok(self.try_collect(ctx)?.into_iter().collect())
+    }
+
     /// Action: collect into a `HashMap` (last value wins on duplicate keys).
+    /// Panics if a task exhausts its retries.
     pub fn collect_map(&self, ctx: &ExecContext) -> HashMap<K, V> {
         self.collect(ctx).into_iter().collect()
     }
@@ -580,11 +633,11 @@ mod tests {
         let c = ctx();
         let reduced = d.reduce_by_key(4, |a, b| a + b).unwrap();
         let _ = reduced.collect(&c);
-        let (_, shuffled, shuffles) = c.metrics.snapshot();
-        assert_eq!(shuffles, 1);
+        let m = c.metrics.snapshot();
+        assert_eq!(m.shuffles, 1);
         // Without map-side combine 1000 records would cross the shuffle; with
         // it at most 8 partitions × 4 keys.
-        assert!(shuffled <= 32, "shuffled {shuffled}");
+        assert!(m.shuffled_records <= 32, "shuffled {}", m.shuffled_records);
     }
 
     #[test]
@@ -641,8 +694,8 @@ mod tests {
         let c = ctx();
         let _ = grouped.count(&c);
         let _ = grouped.collect(&c);
-        let (_, _, shuffles) = c.metrics.snapshot();
-        assert_eq!(shuffles, 1, "second action reuses the materialized shuffle");
+        let m = c.metrics.snapshot();
+        assert_eq!(m.shuffles, 1, "second action reuses the materialized shuffle");
     }
 
     #[test]
@@ -687,5 +740,64 @@ mod tests {
         assert!(d.join(&d, 0).is_err());
         let e = Dataset::from_vec(vec![1, 1, 2], 1).unwrap();
         assert!(e.distinct(0).is_err());
+    }
+
+    #[test]
+    fn poisoned_map_closure_fails_stage_without_killing_process() {
+        std::panic::set_hook(Box::new(|_| {}));
+        let ctx = ExecContext::with_threads(4)
+            .with_retry(crate::exec::RetryPolicy::new(3));
+        let d = Dataset::from_vec((0..40).collect::<Vec<i64>>(), 8).unwrap();
+        let poisoned = d.map(|x| {
+            if x == 17 {
+                panic!("malformed record {x}");
+            }
+            x * 2
+        });
+        let err = poisoned.try_collect(&ctx).unwrap_err();
+        match err {
+            SparkError::Task(t) => {
+                assert_eq!(t.attempts, 3, "retried to the policy's budget");
+                assert!(t.payload.contains("malformed record 17"), "{}", t.payload);
+            }
+            other => panic!("expected Task error, got {other:?}"),
+        }
+        let m = ctx.metrics.snapshot();
+        assert_eq!(m.failed_tasks, 1);
+        assert_eq!(m.retried_tasks, 2);
+        // Other partitions — and the whole context — survive: a clean
+        // dataset still computes on the same context.
+        assert_eq!(d.map(|x| x + 1).try_count(&ctx).unwrap(), 40);
+    }
+
+    #[test]
+    fn try_actions_succeed_on_clean_data() {
+        let c = ctx();
+        let d = Dataset::from_vec((1..=10).collect::<Vec<i64>>(), 3).unwrap();
+        assert_eq!(d.try_collect(&c).unwrap(), (1..=10).collect::<Vec<_>>());
+        assert_eq!(d.try_count(&c).unwrap(), 10);
+        assert_eq!(d.try_fold(&c, 0i64, |a, x| a + x, |a, b| a + b).unwrap(), 55);
+        let pairs = d.map(|x| (x % 2, x));
+        let m = pairs.reduce_by_key(2, |a, b| a + b).unwrap().try_collect_map(&c).unwrap();
+        assert_eq!(m[&0], 2 + 4 + 6 + 8 + 10);
+        assert_eq!(m[&1], 1 + 3 + 5 + 7 + 9);
+    }
+
+    #[test]
+    fn poisoned_shuffle_surfaces_as_stage_error() {
+        std::panic::set_hook(Box::new(|_| {}));
+        let ctx = ExecContext::with_threads(2);
+        let pairs: Vec<(u32, u32)> = (0..50).map(|i| (i % 5, i)).collect();
+        let d = Dataset::from_vec(pairs, 4).unwrap();
+        let poisoned = d.map(|(k, v)| {
+            if v == 33 {
+                panic!("poison pill in shuffle input");
+            }
+            (k, v)
+        });
+        let err = poisoned.group_by_key(3).unwrap().try_collect(&ctx).unwrap_err();
+        assert!(matches!(err, SparkError::Task(_)), "{err:?}");
+        // The context keeps serving fresh jobs after the failed shuffle.
+        assert_eq!(d.try_count(&ctx).unwrap(), 50);
     }
 }

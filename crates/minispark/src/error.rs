@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::exec::TaskError;
+
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, SparkError>;
 
@@ -16,6 +18,8 @@ pub enum SparkError {
     Io(std::io::Error),
     /// Serialization failure (JSON persistence).
     Serde(String),
+    /// A partition task panicked on every allowed attempt, failing its stage.
+    Task(TaskError),
 }
 
 impl SparkError {
@@ -37,6 +41,7 @@ impl fmt::Display for SparkError {
             SparkError::Schema(m) => write!(f, "schema error: {m}"),
             SparkError::Io(e) => write!(f, "io error: {e}"),
             SparkError::Serde(m) => write!(f, "serialization error: {m}"),
+            SparkError::Task(e) => write!(f, "stage failed: {e}"),
         }
     }
 }
@@ -45,6 +50,7 @@ impl std::error::Error for SparkError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SparkError::Io(e) => Some(e),
+            SparkError::Task(e) => Some(e),
             _ => None,
         }
     }
@@ -59,6 +65,12 @@ impl From<std::io::Error> for SparkError {
 impl From<serde_json::Error> for SparkError {
     fn from(e: serde_json::Error) -> Self {
         SparkError::Serde(e.to_string())
+    }
+}
+
+impl From<TaskError> for SparkError {
+    fn from(e: TaskError) -> Self {
+        SparkError::Task(e)
     }
 }
 
@@ -80,5 +92,14 @@ mod tests {
         let io: SparkError = std::io::Error::other("x").into();
         assert!(io.source().is_some());
         assert!(SparkError::invalid("y").source().is_none());
+    }
+
+    #[test]
+    fn task_error_wraps_with_source() {
+        use std::error::Error;
+        let task = TaskError { partition: 2, attempts: 3, payload: "boom".into() };
+        let e: SparkError = task.into();
+        assert!(e.to_string().contains("partition 2"));
+        assert!(e.source().is_some());
     }
 }

@@ -10,8 +10,9 @@
 //!   wide transformations (group_by_key/reduce_by_key/join/sort) introduce a
 //!   hash shuffle that materializes once and is shared by downstream
 //!   consumers, mirroring Spark's stage split at shuffle boundaries.
-//! - [`exec`] — the execution context: a scoped thread pool (crossbeam) with
-//!   work-stealing over partitions, plus task/shuffle metrics.
+//! - [`exec`] — the execution context: a scoped thread pool with
+//!   work-stealing over partitions, panic-isolated tasks with bounded
+//!   retries (Spark's task re-execution), plus task/shuffle metrics.
 //! - [`store`] — the storage substrates of the paper's Fig. 4: an
 //!   append-only time-indexed [`store::EventLog`] (Simple Log Service
 //!   stand-in), columnar [`store::Table`]s with CSV/JSON persistence
@@ -31,4 +32,4 @@ pub mod store;
 
 pub use dataset::Dataset;
 pub use error::{Result, SparkError};
-pub use exec::ExecContext;
+pub use exec::{ExecContext, MetricsSnapshot, RetryPolicy, TaskError};

@@ -1,0 +1,235 @@
+//! Chaos injection: deterministic malformed-telemetry generation.
+//!
+//! Production CloudBot ingests events from dozens of independently-evolving
+//! detectors; records with unknown names, inverted spans, duplicates, and
+//! late arrivals are the normal case. A [`ChaosConfig`] attached to a
+//! [`SimWorld`](crate::world::SimWorld) injects a seeded, reproducible batch
+//! of exactly such records into the extracted event stream, so the
+//! pipeline's quarantine and retry paths are exercised end-to-end and a
+//! test can account for every injected bad event.
+//!
+//! Generation is pure splitmix64 hashing over `(seed, kind, index)` — no
+//! RNG state, so the same config always produces the same batch regardless
+//! of call order.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::VmId;
+
+/// The catalog name chaos borrows for inverted spans: a measured-duration
+/// event whose logged duration is made negative.
+pub const INVERTED_SPAN_NAME: &str = "qemu_live_upgrade";
+
+/// The catalog name chaos borrows for late arrivals: a windowed event
+/// stamped at or after the end of the service period.
+pub const LATE_ARRIVAL_NAME: &str = "slow_io";
+
+/// What is malformed about one injected event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChaosKind {
+    /// A name no catalog will ever contain.
+    UnknownName,
+    /// A negative measured duration, putting the span's end before its start.
+    InvertedSpan,
+    /// A timestamp at or beyond the end of the service window.
+    LateArrival,
+    /// An exact copy of another injected unknown-name event.
+    Duplicate,
+}
+
+/// One injected malformed event, in simulator terms (the pipeline maps it
+/// onto its own raw-event type).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosEvent {
+    /// What is malformed about it.
+    pub kind: ChaosKind,
+    /// Event name.
+    pub name: String,
+    /// Extraction timestamp (ms).
+    pub time: i64,
+    /// Targeted VM.
+    pub vm: VmId,
+    /// Logged duration, when the kind carries one.
+    pub measured_duration: Option<i64>,
+}
+
+/// Seeded malformed-event injection plan for one service window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Chaos stream seed (independent of the world seed, so the same fleet
+    /// can be run under different chaos batches).
+    pub seed: u64,
+    /// Events with names outside any catalog.
+    pub unknown_names: usize,
+    /// Events with a negative measured duration.
+    pub inverted_spans: usize,
+    /// Events stamped at/after the window end.
+    pub late_arrivals: usize,
+    /// Exact copies of unknown-name events.
+    pub duplicates: usize,
+}
+
+impl ChaosConfig {
+    /// A small default dose of every malformity.
+    pub fn light(seed: u64) -> Self {
+        ChaosConfig { seed, unknown_names: 4, inverted_spans: 3, late_arrivals: 3, duplicates: 2 }
+    }
+
+    /// Total events an [`ChaosConfig::events`] call will inject.
+    pub fn total(&self) -> usize {
+        self.unknown_names + self.inverted_spans + self.late_arrivals + self.duplicates
+    }
+
+    /// Generate the malformed batch for `[start, end)` over the given VM
+    /// ids. Deterministic in `(self, vms, start, end)`; returns exactly
+    /// [`ChaosConfig::total`] events. Late arrivals are stamped inside
+    /// `[end, end + (end - start))` — they belong to the window but arrive
+    /// after it closed.
+    pub fn events(&self, vms: &[VmId], start: i64, end: i64) -> Vec<ChaosEvent> {
+        assert!(end > start, "chaos window must be non-empty");
+        if vms.is_empty() {
+            return Vec::new();
+        }
+        let span = end - start;
+        let pick_vm = |h: u64| vms[(h % vms.len() as u64) as usize];
+        let pick_time = |h: u64| start + (h % span as u64) as i64;
+        let mut out = Vec::with_capacity(self.total());
+
+        let mut unknowns = Vec::with_capacity(self.unknown_names);
+        for i in 0..self.unknown_names {
+            let h = splitmix64(self.seed ^ 0x1111_1111 ^ i as u64);
+            let e = ChaosEvent {
+                kind: ChaosKind::UnknownName,
+                name: format!("chaos_unknown_{:08x}", h as u32),
+                time: pick_time(splitmix64(h)),
+                vm: pick_vm(h),
+                measured_duration: None,
+            };
+            unknowns.push(e.clone());
+            out.push(e);
+        }
+        for i in 0..self.inverted_spans {
+            let h = splitmix64(self.seed ^ 0x2222_2222 ^ i as u64);
+            out.push(ChaosEvent {
+                kind: ChaosKind::InvertedSpan,
+                name: INVERTED_SPAN_NAME.to_string(),
+                time: pick_time(splitmix64(h)),
+                vm: pick_vm(h),
+                // Strictly negative logged duration.
+                measured_duration: Some(-((h % 10_000) as i64) - 1),
+            });
+        }
+        for i in 0..self.late_arrivals {
+            let h = splitmix64(self.seed ^ 0x3333_3333 ^ i as u64);
+            out.push(ChaosEvent {
+                kind: ChaosKind::LateArrival,
+                name: LATE_ARRIVAL_NAME.to_string(),
+                time: end + (splitmix64(h) % span as u64) as i64,
+                vm: pick_vm(h),
+                measured_duration: None,
+            });
+        }
+        for i in 0..self.duplicates {
+            let mut e = if unknowns.is_empty() {
+                // No unknown-name events to copy: emit a fresh one so the
+                // duplicate still counts as exactly one injected event.
+                let h = splitmix64(self.seed ^ 0x4444_4444 ^ i as u64);
+                ChaosEvent {
+                    kind: ChaosKind::UnknownName,
+                    name: format!("chaos_dup_{:08x}", h as u32),
+                    time: pick_time(splitmix64(h)),
+                    vm: pick_vm(h),
+                    measured_duration: None,
+                }
+            } else {
+                unknowns[i % unknowns.len()].clone()
+            };
+            e.kind = ChaosKind::Duplicate;
+            out.push(e);
+        }
+        out
+    }
+}
+
+/// The splitmix64 finalizer — a one-shot, stateless 64-bit mixer.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOUR: i64 = 3_600_000;
+
+    fn vms() -> Vec<VmId> {
+        (0..16).collect()
+    }
+
+    #[test]
+    fn batch_is_deterministic_and_sized() {
+        let cfg = ChaosConfig::light(7);
+        let a = cfg.events(&vms(), 0, 6 * HOUR);
+        let b = cfg.events(&vms(), 0, 6 * HOUR);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), cfg.total());
+        assert_eq!(cfg.total(), 12);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ChaosConfig::light(1).events(&vms(), 0, HOUR);
+        let b = ChaosConfig::light(2).events(&vms(), 0, HOUR);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn kinds_carry_their_malformity() {
+        let cfg = ChaosConfig::light(7);
+        let batch = cfg.events(&vms(), 0, 6 * HOUR);
+        for e in &batch {
+            match e.kind {
+                ChaosKind::UnknownName | ChaosKind::Duplicate => {
+                    assert!(e.name.starts_with("chaos_"), "{}", e.name);
+                    assert!((0..6 * HOUR).contains(&e.time));
+                }
+                ChaosKind::InvertedSpan => {
+                    assert_eq!(e.name, INVERTED_SPAN_NAME);
+                    assert!(e.measured_duration.unwrap() < 0);
+                    assert!((0..6 * HOUR).contains(&e.time));
+                }
+                ChaosKind::LateArrival => {
+                    assert_eq!(e.name, LATE_ARRIVAL_NAME);
+                    assert!(e.time >= 6 * HOUR, "late arrival at {}", e.time);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_copy_unknown_events() {
+        let cfg = ChaosConfig { seed: 3, unknown_names: 2, inverted_spans: 0, late_arrivals: 0, duplicates: 3 };
+        let batch = cfg.events(&vms(), 0, HOUR);
+        assert_eq!(batch.len(), 5);
+        let dup = batch.iter().find(|e| e.kind == ChaosKind::Duplicate).unwrap();
+        assert!(batch
+            .iter()
+            .any(|e| e.kind == ChaosKind::UnknownName && e.name == dup.name && e.time == dup.time));
+    }
+
+    #[test]
+    fn duplicates_self_sufficient_without_unknowns() {
+        let cfg = ChaosConfig { seed: 3, unknown_names: 0, inverted_spans: 0, late_arrivals: 0, duplicates: 2 };
+        let batch = cfg.events(&vms(), 0, HOUR);
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|e| e.name.starts_with("chaos_dup_")));
+    }
+
+    #[test]
+    fn empty_vm_list_injects_nothing() {
+        assert!(ChaosConfig::light(1).events(&[], 0, HOUR).is_empty());
+    }
+}

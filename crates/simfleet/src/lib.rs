@@ -21,6 +21,9 @@
 //!   (category, affected metrics, expected events).
 //! - [`changes`] — gradual change-release rollouts that can carry a defect
 //!   (Case 1 / Case 6 style regressions).
+//! - [`chaos`] — seeded malformed-telemetry injection (unknown names,
+//!   inverted spans, duplicates, late arrivals) for exercising the
+//!   pipeline's quarantine and retry paths.
 //! - [`tickets`] — customer tickets generated from experienced damage with
 //!   per-category report propensities (drives Fig. 2 and Eq. 2 weights).
 //! - [`world`] — ties everything together: the queryable `SimWorld`.
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod changes;
+pub mod chaos;
 pub mod faults;
 pub mod scenario;
 pub mod telemetry;
@@ -36,6 +40,7 @@ pub mod tickets;
 pub mod topology;
 pub mod world;
 
+pub use chaos::{ChaosConfig, ChaosEvent, ChaosKind};
 pub use faults::{FaultInjection, FaultKind};
 pub use topology::{DeploymentArch, Fleet, FleetConfig, NcId, VmId, VmType};
 pub use world::{LogLine, SimWorld};

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::chaos::{ChaosConfig, ChaosEvent};
 use crate::faults::{DamageCategory, FaultInjection, FaultKind, FaultTarget, SimRange};
 use crate::telemetry::{apply_fault, baseline, unit, Metric};
 use crate::topology::{Fleet, NcId, VmId};
@@ -59,6 +60,7 @@ pub struct SimWorld {
     /// AZ name → index cache (the AZ set is fixed at fleet build time).
     az_map: std::collections::HashMap<String, u32>,
     seed: u64,
+    chaos: Option<ChaosConfig>,
 }
 
 impl SimWorld {
@@ -68,12 +70,43 @@ impl SimWorld {
         azs.sort();
         azs.dedup();
         let az_map = azs.into_iter().enumerate().map(|(i, a)| (a, i as u32)).collect();
-        SimWorld { fleet, faults: Vec::new(), index: FaultIndex::default(), az_map, seed }
+        SimWorld {
+            fleet,
+            faults: Vec::new(),
+            index: FaultIndex::default(),
+            az_map,
+            seed,
+            chaos: None,
+        }
     }
 
     /// World seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Attach (or clear) a malformed-telemetry injection plan. The
+    /// collector-facing event stream of a chaotic world gains exactly
+    /// [`ChaosConfig::total`] bad events per extraction window.
+    pub fn set_chaos(&mut self, chaos: Option<ChaosConfig>) {
+        self.chaos = chaos;
+    }
+
+    /// The active chaos plan, if any.
+    pub fn chaos(&self) -> Option<&ChaosConfig> {
+        self.chaos.as_ref()
+    }
+
+    /// The malformed events the chaos plan injects for `[start, end)`
+    /// (empty when no plan is attached). Deterministic per plan and window.
+    pub fn chaos_events(&self, start: i64, end: i64) -> Vec<ChaosEvent> {
+        match &self.chaos {
+            Some(cfg) => {
+                let vms: Vec<VmId> = self.fleet.vms().iter().map(|v| v.id).collect();
+                cfg.events(&vms, start, end)
+            }
+            None => Vec::new(),
+        }
     }
 
     /// Inject a fault.
@@ -508,6 +541,21 @@ mod tests {
         assert!(p.iter().all(|&(_, v)| v == 0.0));
         let healthy = w.nc_metric_series(1, Metric::PowerWatts, 0, HOUR, 15 * 60_000);
         assert!(healthy.iter().all(|&(_, v)| v > 100.0));
+    }
+
+    #[test]
+    fn chaos_plan_feeds_events_through_the_world() {
+        let mut w = world();
+        assert!(w.chaos().is_none());
+        assert!(w.chaos_events(0, HOUR).is_empty());
+        let cfg = ChaosConfig::light(99);
+        w.set_chaos(Some(cfg));
+        let batch = w.chaos_events(0, HOUR);
+        assert_eq!(batch.len(), cfg.total());
+        assert_eq!(batch, w.chaos_events(0, HOUR), "deterministic per window");
+        assert!(batch.iter().all(|e| w.fleet.vm(e.vm).is_some()));
+        w.set_chaos(None);
+        assert!(w.chaos_events(0, HOUR).is_empty());
     }
 
     #[test]

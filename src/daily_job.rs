@@ -9,14 +9,24 @@
 //! and weights are derived per target partition, and per-VM rows come out
 //! the other end. An integration test asserts the dataflow's rows equal the
 //! serial `cloudbot::pipeline::DailyPipeline` rows exactly.
+//!
+//! Fault tolerance mirrors the production job: partition tasks run under
+//! panic isolation with a bounded retry budget
+//! ([`DailyJobConfig::max_task_attempts`]), and malformed events — unknown
+//! names, invalid spans, late arrivals — are diverted to a dead-letter
+//! quarantine table with a typed reason instead of aborting the run. The
+//! returned [`RunReport`] accounts for every diverted event and every task
+//! retry/failure, so a `degraded == false` report certifies an all-clean
+//! run.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use cdi_core::event::{EventSpan, RawEvent, Target};
 use cdi_core::indicator::{compute_vm_cdi, event_level_cdi, ServicePeriod, VmCdi};
-use cdi_core::period::derive_periods;
-use cloudbot::pipeline::DailyPipeline;
+use cdi_core::quarantine::{assign_weights_lenient, derive_periods_lenient, QuarantinedEvent};
+use cloudbot::pipeline::{DailyPipeline, RunReport};
+use minispark::exec::RetryPolicy;
 use minispark::store::{ColumnType, Schema, Table, Value};
 use minispark::{Dataset, ExecContext};
 use simfleet::world::SimWorld;
@@ -31,6 +41,11 @@ pub struct DailyJobOutput {
     pub vm_table: Table,
     /// The second output table: per-(target, event) CDI.
     pub event_table: Table,
+    /// The dead-letter table: every quarantined event with its typed
+    /// reason, for drill-down (day, target, event, time, reason).
+    pub quarantine_table: Table,
+    /// Accounting: quarantined events, task failures, task retries.
+    pub report: RunReport,
 }
 
 /// Execution knobs of the job.
@@ -41,17 +56,25 @@ pub struct DailyJobConfig {
     pub threads: usize,
     /// Shuffle partitions.
     pub partitions: usize,
+    /// Total attempts per partition task before the stage fails (Spark's
+    /// `spark.task.maxFailures`); clamped to at least 1.
+    pub max_task_attempts: u32,
 }
 
 impl Default for DailyJobConfig {
     fn default() -> Self {
-        DailyJobConfig { threads: 4, partitions: 8 }
+        DailyJobConfig { threads: 4, partitions: 8, max_task_attempts: 2 }
     }
 }
 
 /// Run the daily job over `[start, end)`.
 ///
 /// `day` labels the output rows (the job runs once per day in production).
+///
+/// A task that panics is retried up to `config.max_task_attempts` times and
+/// then fails the run with a [`minispark::TaskError`]-carrying error — the
+/// process survives. Malformed events never fail the run at all: they are
+/// quarantined into `quarantine_table` and counted in the report.
 pub fn run(
     world: &SimWorld,
     pipeline: &DailyPipeline,
@@ -60,7 +83,8 @@ pub fn run(
     end: i64,
     config: DailyJobConfig,
 ) -> Result<DailyJobOutput, Box<dyn std::error::Error>> {
-    let ctx = ExecContext::with_threads(config.threads);
+    let ctx = ExecContext::with_threads(config.threads)
+        .with_retry(RetryPolicy::new(config.max_task_attempts));
     let events = pipeline.events(world, start, end);
     let period = ServicePeriod::new(start, end)?;
 
@@ -77,51 +101,60 @@ pub fn run(
     let dataset = Dataset::from_vec(events, config.partitions)?;
     let by_target = dataset.key_by(|e: &RawEvent| e.target).group_by_key(config.partitions)?;
 
-    // Stage 2 (narrow): per target, derive periods and weights → spans.
+    // Stage 2 (narrow): per target, derive periods and weights → spans,
+    // diverting malformed events to the quarantine side-channel. Cached,
+    // because the span flow, the quarantine flow, and the event-level table
+    // all consume it.
     let cat = Arc::clone(&catalog);
     let wts = Arc::clone(&weights);
-    let spans_by_target: Dataset<(Target, Vec<EventSpan>)> =
-        by_target.map(move |(target, events)| {
-            let perioded = derive_periods(&events, &cat, end, policy)
-                .expect("catalog covers every extracted event");
-            (target, wts.assign(&perioded))
-        });
+    type Derived = (Target, Vec<EventSpan>, Vec<QuarantinedEvent>);
+    let derived: Dataset<Derived> = by_target
+        .map(move |(target, events)| {
+            let outcome = derive_periods_lenient(&events, &cat, end, policy);
+            let (spans, weight_bad) = assign_weights_lenient(&wts, &outcome.periods);
+            let mut quarantined = outcome.quarantined;
+            quarantined.extend(weight_bad);
+            (target, spans, quarantined)
+        })
+        .cache();
 
     // Stage 3: NC spans must propagate onto hosted VMs, which needs
     // cross-target traffic — a second shuffle keyed by the *final* VM.
     let nc_map = Arc::clone(&nc_of_vm);
-    let routed: Dataset<(u64, Vec<EventSpan>)> = spans_by_target.flat_map(move |(target, spans)| {
-        match target {
-            Target::Vm(vm) => vec![(vm, spans)],
-            Target::Nc(nc) => {
-                // Host-only telemetry (TDP inspection) stays at NC scope.
-                let vm_damage: Vec<EventSpan> = spans
-                    .iter()
-                    .filter(|s| s.name != "inspect_cpu_power_tdp")
-                    .cloned()
-                    .collect();
-                if vm_damage.is_empty() {
-                    return Vec::new();
+    let routed: Dataset<(u64, Vec<EventSpan>)> =
+        derived.flat_map(move |(target, spans, _)| {
+            match target {
+                Target::Vm(vm) => vec![(vm, spans)],
+                Target::Nc(nc) => {
+                    // Host-only telemetry (TDP inspection) stays at NC scope.
+                    let vm_damage: Vec<EventSpan> = spans
+                        .iter()
+                        .filter(|s| s.name != "inspect_cpu_power_tdp")
+                        .cloned()
+                        .collect();
+                    if vm_damage.is_empty() {
+                        return Vec::new();
+                    }
+                    nc_map
+                        .iter()
+                        .filter(|(_, &host)| host == nc)
+                        .map(|(&vm, _)| (vm, vm_damage.clone()))
+                        .collect()
                 }
-                nc_map
-                    .iter()
-                    .filter(|(_, &host)| host == nc)
-                    .map(|(&vm, _)| (vm, vm_damage.clone()))
-                    .collect()
             }
-        }
-    });
+        });
     let merged = routed.reduce_by_key(config.partitions, |mut a, mut b| {
         a.append(&mut b);
         a
     })?;
 
-    // Stage 4 (action): Algorithm 1 per VM.
+    // Stage 4 (action): Algorithm 1 per VM. A poisoned task surfaces as a
+    // structured error after the retry budget, not a process abort.
     let computed: HashMap<u64, VmCdi> = merged
         .map(move |(vm, spans)| {
             (vm, compute_vm_cdi(vm, &spans, period).expect("validated spans"))
         })
-        .collect_map(&ctx);
+        .try_collect_map(&ctx)?;
 
     // VMs with no events still get a (zero) row, as in the paper's table.
     let mut rows: Vec<VmCdi> = world
@@ -167,19 +200,10 @@ pub fn run(
         ])?;
     }
 
-    // Output table 2: event-level drill-down (the Section VI-C input).
-    let ctx2 = ExecContext::with_threads(config.threads);
-    let events2 = pipeline.events(world, start, end);
-    let dataset2 = Dataset::from_vec(events2, config.partitions)?;
-    let cat2 = Arc::clone(&catalog);
-    let wts2 = Arc::clone(&weights);
-    let event_rows: Vec<(String, String, f64)> = dataset2
-        .key_by(|e: &RawEvent| e.target)
-        .group_by_key(config.partitions)?
-        .flat_map(move |(target, events)| {
-            let perioded = derive_periods(&events, &cat2, end, policy)
-                .expect("catalog covers every extracted event");
-            let spans = wts2.assign(&perioded);
+    // Output table 2: event-level drill-down (the Section VI-C input),
+    // served from the same cached derivation — no second extraction pass.
+    let mut event_rows: Vec<(String, String, f64)> = derived
+        .flat_map(move |(target, spans, _)| {
             let mut names: Vec<String> = spans.iter().map(|s| s.name.clone()).collect();
             names.sort_unstable();
             names.dedup();
@@ -191,14 +215,13 @@ pub fn run(
                 })
                 .collect::<Vec<_>>()
         })
-        .collect(&ctx2);
+        .try_collect(&ctx)?;
     let mut event_table = Table::new(Schema::new(vec![
         ("day", ColumnType::Int),
         ("target", ColumnType::Str),
         ("event", ColumnType::Str),
         ("cdi", ColumnType::Float),
     ])?);
-    let mut event_rows = event_rows;
     event_rows.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
     for (target, event, q) in event_rows {
         event_table.push_row(vec![
@@ -209,7 +232,38 @@ pub fn run(
         ])?;
     }
 
-    Ok(DailyJobOutput { rows, vm_table, event_table })
+    // Output table 3: the dead-letter drill-down.
+    let mut quarantined: Vec<QuarantinedEvent> =
+        derived.flat_map(|(_, _, q)| q).try_collect(&ctx)?;
+    quarantined.sort_by(|a, b| {
+        (a.event.target, a.event.time, &a.event.name, a.reason.label()).cmp(&(
+            b.event.target,
+            b.event.time,
+            &b.event.name,
+            b.reason.label(),
+        ))
+    });
+    let mut quarantine_table = Table::new(Schema::new(vec![
+        ("day", ColumnType::Int),
+        ("target", ColumnType::Str),
+        ("event", ColumnType::Str),
+        ("time", ColumnType::Int),
+        ("reason", ColumnType::Str),
+    ])?);
+    for q in &quarantined {
+        quarantine_table.push_row(vec![
+            Value::Int(day),
+            Value::Str(q.event.target.to_string()),
+            Value::Str(q.event.name.clone()),
+            Value::Int(q.event.time),
+            Value::Str(q.reason.label().to_string()),
+        ])?;
+    }
+
+    let m = ctx.metrics.snapshot();
+    let report = RunReport::new(quarantined.len(), m.failed_tasks, m.retried_tasks);
+
+    Ok(DailyJobOutput { rows, vm_table, event_table, quarantine_table, report })
 }
 
 #[cfg(test)]
@@ -275,5 +329,8 @@ mod tests {
             let q = row[3].as_float().unwrap();
             assert!((0.0..=1.0).contains(&q));
         }
+        // A clean run quarantines nothing and reports no degradation.
+        assert_eq!(job.quarantine_table.len(), 0);
+        assert_eq!(job.report, RunReport::default());
     }
 }

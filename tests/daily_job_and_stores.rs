@@ -63,8 +63,15 @@ fn fig4_deployment_loop_round_trips() {
     assert_eq!(weights.weight("slow_io", cdi_core::event::Severity::Critical), 0.75);
 
     // The Spark-equivalent job produces the two MaxCompute tables.
-    let job = run(&world, &pipeline, 1, 0, DAY, DailyJobConfig { threads: 2, partitions: 4 })
-        .unwrap();
+    let job = run(
+        &world,
+        &pipeline,
+        1,
+        0,
+        DAY,
+        DailyJobConfig { threads: 2, partitions: 4, ..Default::default() },
+    )
+    .unwrap();
     assert_eq!(job.vm_table.len(), world.fleet.vms().len());
     assert!(!job.event_table.is_empty());
 
@@ -147,8 +154,15 @@ fn dataflow_agrees_with_serial_at_scale() {
     let pipeline = DailyPipeline::default();
     let serial = pipeline.vm_cdi_rows(&world, 0, DAY).unwrap();
     for threads in [1, 4] {
-        let job = run(&world, &pipeline, 0, 0, DAY, DailyJobConfig { threads, partitions: 7 })
-            .unwrap();
+        let job = run(
+            &world,
+            &pipeline,
+            0,
+            0,
+            DAY,
+            DailyJobConfig { threads, partitions: 7, ..Default::default() },
+        )
+        .unwrap();
         for (a, b) in job.rows.iter().zip(&serial) {
             assert_eq!(a.vm, b.vm);
             assert_eq!(a.unavailability.to_bits(), b.unavailability.to_bits());

@@ -100,7 +100,7 @@ fn bi_drilldown_localizes_regional_incident() {
         0,
         0,
         DAY,
-        cdi_repro::daily_job::DailyJobConfig { threads: 2, partitions: 4 },
+        cdi_repro::daily_job::DailyJobConfig { threads: 2, partitions: 4, ..Default::default() },
     )
     .unwrap();
 
