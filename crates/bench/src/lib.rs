@@ -7,6 +7,9 @@
 //! curves is hard-coded beyond the fault schedules in
 //! `simfleet::scenario`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod experiments;
 pub mod report;
 

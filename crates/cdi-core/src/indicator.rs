@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{CdiError, Result};
 use crate::event::{Category, EventSpan};
+use crate::num::{index_of, ms_f64};
 use crate::time::{TimeRange, Timestamp};
 
 /// A validated service period `[start, end)` with positive duration.
@@ -52,7 +53,7 @@ impl ServicePeriod {
 /// `∫ max-weight dt / (T_e − T_s)` and lies in `[0, 1]` for weights in
 /// `[0, 1]`.
 pub fn cdi(spans: &[EventSpan], period: ServicePeriod) -> Result<f64> {
-    Ok(envelope_integral(spans, period)? / period.service_time() as f64)
+    Ok(envelope_integral(spans, period)? / ms_f64(period.service_time()))
 }
 
 /// The weighted-damage integral `∫ max-weight dt` in weight·ms — the
@@ -90,7 +91,7 @@ pub fn envelope_integral(spans: &[EventSpan], period: ServicePeriod) -> Result<f
     for (t, is_add, bits) in boundaries {
         if t > prev_t {
             if let Some((&max_bits, _)) = active.last_key_value() {
-                integral += f64::from_bits(max_bits) * (t - prev_t) as f64;
+                integral += f64::from_bits(max_bits) * ms_f64(t - prev_t);
             }
             prev_t = t;
         }
@@ -102,7 +103,10 @@ pub fn envelope_integral(spans: &[EventSpan], period: ServicePeriod) -> Result<f
                 Some(_) => {
                     active.remove(&bits);
                 }
-                None => unreachable!("every removal matches a prior addition"),
+                // Every removal boundary was emitted alongside an addition
+                // above, so this branch is unreachable by construction;
+                // ignoring a phantom removal keeps the integral finite.
+                None => debug_assert!(false, "removal without a prior addition"),
             }
         }
     }
@@ -122,15 +126,15 @@ pub fn cdi_naive(spans: &[EventSpan], period: ServicePeriod, step_ms: i64) -> Re
     }
     validate_weights(spans)?;
     let range = period.range();
-    let steps = ((range.duration() + step_ms - 1) / step_ms) as usize;
+    let steps = index_of((range.duration() + step_ms - 1) / step_ms);
     let mut w = vec![0.0f64; steps];
     for s in spans {
         let clipped = match range.intersect(&TimeRange::new(s.start, s.end.max(s.start))) {
             Some(r) => r,
             None => continue,
         };
-        let first = ((clipped.start - range.start) / step_ms) as usize;
-        let last = ((clipped.end - range.start + step_ms - 1) / step_ms) as usize;
+        let first = index_of((clipped.start - range.start) / step_ms);
+        let last = index_of((clipped.end - range.start + step_ms - 1) / step_ms);
         for slot in &mut w[first..last.min(steps)] {
             if s.weight > *slot {
                 *slot = s.weight;
@@ -138,7 +142,7 @@ pub fn cdi_naive(spans: &[EventSpan], period: ServicePeriod, step_ms: i64) -> Re
         }
     }
     let sum: f64 = w.iter().sum();
-    Ok(sum * step_ms as f64 / range.duration() as f64)
+    Ok(sum * ms_f64(step_ms) / ms_f64(range.duration()))
 }
 
 /// The three sub-metrics plus service time for one VM — one row of the
@@ -230,7 +234,7 @@ pub fn aggregate(vms: &[VmCdi]) -> Result<CdiBreakdown> {
         return Err(CdiError::degenerate("total service time must be positive"));
     }
     let weighted = |f: fn(&VmCdi) -> f64| -> f64 {
-        vms.iter().map(|v| v.service_time as f64 * f(v)).sum::<f64>() / total as f64
+        vms.iter().map(|v| ms_f64(v.service_time) * f(v)).sum::<f64>() / ms_f64(total)
     };
     Ok(CdiBreakdown {
         total_service_time: total,

@@ -60,7 +60,9 @@
 //! assert!((q - 0.004).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod baseline;
 pub mod catalog;
@@ -68,6 +70,7 @@ pub mod customer;
 pub mod error;
 pub mod event;
 pub mod indicator;
+pub mod num;
 pub mod period;
 pub mod quarantine;
 pub mod streaming;

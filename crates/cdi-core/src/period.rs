@@ -146,7 +146,9 @@ pub fn derive_periods(
                 _ => filtered.push(m),
             }
         }
-        let spec = catalog.get(&name).expect("start name came from the catalog");
+        let spec = catalog
+            .get(&name)
+            .ok_or_else(|| CdiError::invalid(format!("stateful marker '{name}' left the catalog")))?;
         let mut idx = 0;
         // A leading end marker has no start: drop it.
         if !filtered.is_empty() && !filtered[0].is_start {

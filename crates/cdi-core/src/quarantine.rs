@@ -38,6 +38,11 @@ pub enum QuarantineReason {
     /// The assigned weight is NaN or infinite — Algorithm 1 would reject
     /// the whole span set, so the span is diverted instead.
     NonFiniteWeight,
+    /// The strict derivation rejected a batch that passed per-event
+    /// validation. This means [`classify`] no longer covers every failure
+    /// mode of `derive_periods` — the whole batch is diverted so the
+    /// lenient path still never panics and never drops events silently.
+    DerivationFailed,
 }
 
 impl QuarantineReason {
@@ -50,6 +55,7 @@ impl QuarantineReason {
             QuarantineReason::LateArrival => "late_arrival",
             QuarantineReason::OrphanStatefulEnd => "orphan_stateful_end",
             QuarantineReason::NonFiniteWeight => "non_finite_weight",
+            QuarantineReason::DerivationFailed => "derivation_failed",
         }
     }
 }
@@ -138,10 +144,24 @@ pub fn derive_periods_lenient(
             None => clean.push(e.clone()),
         }
     }
-    let accepted = clean.len();
-    let periods = derive_periods(&clean, catalog, service_end, policy)
-        .expect("classify() pre-validates every failure mode of derive_periods");
-    DerivationOutcome { periods, quarantined, accepted }
+    match derive_periods(&clean, catalog, service_end, policy) {
+        Ok(periods) => {
+            let accepted = clean.len();
+            DerivationOutcome { periods, quarantined, accepted }
+        }
+        Err(_) => {
+            // classify() pre-validates every failure mode of the strict
+            // derivation, so this branch is unreachable today. If the
+            // strict path ever grows a new failure mode, divert the whole
+            // batch instead of panicking: `accepted + quarantined ==
+            // input` still holds, and the daily job degrades gracefully.
+            quarantined.extend(clean.into_iter().map(|event| QuarantinedEvent {
+                event,
+                reason: QuarantineReason::DerivationFailed,
+            }));
+            DerivationOutcome { periods: Vec::new(), quarantined, accepted: 0 }
+        }
+    }
 }
 
 /// Weight a batch of derived periods, diverting any span whose assigned

@@ -16,6 +16,7 @@
 use crate::error::{CdiError, Result};
 use crate::event::EventSpan;
 use crate::indicator::{envelope_integral, ServicePeriod};
+use crate::num::ms_f64;
 use crate::time::Timestamp;
 
 /// Watermark-based streaming accumulator for one target and one sub-metric
@@ -105,7 +106,7 @@ impl CdiAccumulator {
         if elapsed <= 0 {
             return Err(CdiError::degenerate("no elapsed service time yet"));
         }
-        Ok(self.frozen / elapsed as f64)
+        Ok(self.frozen / ms_f64(elapsed))
     }
 
     /// The damage integral (weight·ms) frozen so far.

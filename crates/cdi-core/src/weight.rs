@@ -20,12 +20,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{CdiError, Result};
 use crate::event::{EventSpan, Severity};
+use crate::num::{count_f64, level_of};
 use crate::period::PeriodedEvent;
 use statskit::ahp::JudgmentMatrix;
 
 /// Expert weight of a severity level per Eq. 1: `l_i = i / m`.
 pub fn expert_weight(severity: Severity) -> f64 {
-    severity.rank() as f64 / Severity::count() as f64
+    count_f64(severity.rank()) / count_f64(Severity::count())
 }
 
 /// Customer-perceived levels derived from ticket counts per Eq. 2.
@@ -55,9 +56,9 @@ impl CustomerWeights {
         let e = ranked.len();
         let mut weights = HashMap::with_capacity(e);
         for (idx, (name, _)) in ranked.into_iter().enumerate() {
-            let pct = (idx + 1) as f64 / e as f64;
-            let level = (pct * n_levels as f64).ceil().max(1.0) as usize;
-            weights.insert(name.clone(), level as f64 / n_levels as f64);
+            let pct = count_f64(idx + 1) / count_f64(e);
+            let level = level_of(pct, n_levels);
+            weights.insert(name.clone(), count_f64(level) / count_f64(n_levels));
         }
         Ok(CustomerWeights { n_levels, weights })
     }

@@ -115,9 +115,12 @@ proptest! {
                     prop_assert!(q.event.measured_duration.unwrap() < 0)
                 }
                 QuarantineReason::LateArrival => prop_assert!(q.event.time >= SERVICE_END),
-                QuarantineReason::OrphanStatefulEnd | QuarantineReason::NonFiniteWeight => {
-                    // paper_defaults pairs its only stateful end, and
-                    // derivation assigns no weights yet.
+                QuarantineReason::OrphanStatefulEnd
+                | QuarantineReason::NonFiniteWeight
+                | QuarantineReason::DerivationFailed => {
+                    // paper_defaults pairs its only stateful end, derivation
+                    // assigns no weights yet, and classify() pre-validates
+                    // every strict-derivation failure mode.
                     prop_assert!(false, "unexpected reason {:?}", q.reason)
                 }
             }

@@ -51,8 +51,11 @@ impl ActionAssigner {
             acc += p / total;
             cumulative.push(acc);
         }
-        // Guard the last boundary against rounding.
-        *cumulative.last_mut().expect("len >= 2") = 1.0;
+        // Guard the last boundary against rounding. (`cumulative` has one
+        // entry per arm and at least 2 arms were checked above.)
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
         Ok(ActionAssigner { rng: ChaCha8Rng::seed_from_u64(seed), cumulative })
     }
 

@@ -34,7 +34,9 @@
 //! - [`pipeline`] — end-to-end glue: world + day → events → weighted spans →
 //!   per-VM CDI rows, the equivalent of the paper's daily Spark job.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod abassign;
 pub mod collector;

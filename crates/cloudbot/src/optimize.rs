@@ -24,8 +24,9 @@ pub fn damage_pressure(spans: &[EventSpan], now: i64) -> f64 {
     if horizon <= now {
         return 0.0;
     }
-    let period = cdi_core::indicator::ServicePeriod::new(now, horizon)
-        .expect("horizon checked above");
+    let Ok(period) = cdi_core::indicator::ServicePeriod::new(now, horizon) else {
+        return 0.0;
+    };
     cdi_core::indicator::envelope_integral(spans, period).unwrap_or(0.0)
 }
 
@@ -44,7 +45,7 @@ pub fn prioritize_by_damage<'a>(
         .map(|(i, r)| (damage_pressure(spans_of(&r.target), now), i, r))
         .collect();
     decorated.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0).expect("pressures are finite").then(a.1.cmp(&b.1))
+        b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
     });
     decorated.into_iter().map(|(_, _, r)| r).collect()
 }

@@ -210,10 +210,8 @@ impl Parser {
                 self.pos += 1;
                 Ok(inner)
             }
-            Some(Token::Name(_)) => {
-                let Some(Token::Name(name)) = self.tokens.get(self.pos).cloned() else {
-                    unreachable!()
-                };
+            Some(Token::Name(name)) => {
+                let name = name.clone();
                 self.pos += 1;
                 Ok(Expr::Event(name))
             }
@@ -267,31 +265,30 @@ impl RuleEngine {
     /// The production rule set used in the examples: the two NIC rules of
     /// Fig. 1 plus Case 8's `nc_down_prediction`.
     pub fn paper_rules() -> Self {
+        // Built as literal `Expr` trees (not parsed text) so the static
+        // rule set has no parse-failure path at all.
+        fn event(name: &str) -> Expr {
+            Expr::Event(name.to_string())
+        }
+        fn and(a: &str, b: &str) -> Expr {
+            Expr::And(Box::new(event(a)), Box::new(event(b)))
+        }
         let mut e = RuleEngine::new();
-        e.add(
-            OperationRule::new(
-                "nic_error_cause_slow_io",
-                "slow_io && nic_flapping",
-                vec![ActionKind::LiveMigrate, ActionKind::RepairRequest, ActionKind::NcLock],
-            )
-            .expect("static rule parses"),
-        );
-        e.add(
-            OperationRule::new(
-                "nic_error_cause_vm_hang",
-                "nic_flapping && vm_hang",
-                vec![ActionKind::ColdMigrate, ActionKind::RepairRequest, ActionKind::NcLock],
-            )
-            .expect("static rule parses"),
-        );
-        e.add(
-            OperationRule::new(
-                "nc_down_prediction",
-                "nc_down_predicted",
-                vec![ActionKind::LiveMigrate, ActionKind::NcLock],
-            )
-            .expect("static rule parses"),
-        );
+        e.add(OperationRule {
+            name: "nic_error_cause_slow_io".to_string(),
+            expr: and("slow_io", "nic_flapping"),
+            actions: vec![ActionKind::LiveMigrate, ActionKind::RepairRequest, ActionKind::NcLock],
+        });
+        e.add(OperationRule {
+            name: "nic_error_cause_vm_hang".to_string(),
+            expr: and("nic_flapping", "vm_hang"),
+            actions: vec![ActionKind::ColdMigrate, ActionKind::RepairRequest, ActionKind::NcLock],
+        });
+        e.add(OperationRule {
+            name: "nc_down_prediction".to_string(),
+            expr: event("nc_down_predicted"),
+            actions: vec![ActionKind::LiveMigrate, ActionKind::NcLock],
+        });
         e
     }
 

@@ -53,6 +53,17 @@ pub struct Query {
     aggregates: Vec<(String, Aggregate)>,
 }
 
+impl std::fmt::Debug for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Filter predicates are opaque closures; show the columns they bind.
+        f.debug_struct("Query")
+            .field("filters", &self.filters.iter().map(|(c, _)| c).collect::<Vec<_>>())
+            .field("group_by", &self.group_by)
+            .field("aggregates", &self.aggregates)
+            .finish()
+    }
+}
+
 impl Query {
     /// Empty query (no filters, no grouping, no aggregates).
     pub fn new() -> Self {
@@ -155,11 +166,15 @@ impl Query {
             let key: Vec<GroupKey> = group_idx
                 .iter()
                 .map(|&i| match &row[i] {
-                    Value::Int(v) => GroupKey::Int(*v),
-                    Value::Str(s) => GroupKey::Str(s.clone()),
-                    Value::Float(_) => unreachable!("float group-by rejected above"),
+                    Value::Int(v) => Ok(GroupKey::Int(*v)),
+                    Value::Str(s) => Ok(GroupKey::Str(s.clone())),
+                    // Rejected during schema validation above; surface a
+                    // typed error rather than panic if that ever regresses.
+                    Value::Float(_) => {
+                        Err(SparkError::invalid("float group-by column slipped past validation"))
+                    }
                 })
-                .collect();
+                .collect::<Result<_>>()?;
             let acc = groups.entry(key).or_insert_with(|| empty_acc.clone());
             acc.count += 1;
             for (ai, ((_, agg), idxs)) in self.aggregates.iter().zip(&agg_idx).enumerate() {

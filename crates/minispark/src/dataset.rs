@@ -43,6 +43,16 @@ pub struct Dataset<T: Data> {
     plan: Arc<dyn Plan<T>>,
 }
 
+impl<T: Data> std::fmt::Debug for Dataset<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The plan is a trait object; its partition count is the one thing
+        // every node can report without executing.
+        f.debug_struct("Dataset")
+            .field("partitions", &self.plan.num_partitions())
+            .finish_non_exhaustive()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Plan node implementations
 // ---------------------------------------------------------------------------

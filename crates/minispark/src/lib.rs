@@ -22,7 +22,9 @@
 //!   tables with dimension drill-down and the weighted-ratio aggregate that
 //!   realizes the paper's Formula 4 at any grouping level.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod bi;
 pub mod dataset;

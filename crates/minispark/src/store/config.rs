@@ -53,7 +53,10 @@ impl ConfigStore {
         let versions = inner
             .get(key)
             .ok_or_else(|| SparkError::invalid(format!("unknown config key '{key}'")))?;
-        let latest = versions.last().expect("keys always hold >= 1 version");
+        // `set` never leaves an empty version list behind a key.
+        let latest = versions
+            .last()
+            .ok_or_else(|| SparkError::invalid(format!("config key '{key}' has no versions")))?;
         Ok(serde_json::from_value(latest.payload.clone())?)
     }
 

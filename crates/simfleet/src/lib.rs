@@ -29,7 +29,9 @@
 //! - [`world`] — ties everything together: the queryable `SimWorld`.
 //! - [`scenario`] — pre-built worlds for each paper experiment.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod changes;
 pub mod chaos;

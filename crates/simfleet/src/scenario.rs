@@ -238,6 +238,7 @@ pub fn fig6_fy2024_selective(seed: u64, total_days: usize, govern: [bool; 3]) ->
 /// `total_days`. From `bug_start_day` the hybrid pool's `modelB` NCs hit the
 /// core-overlap contention bug; mitigation (lock + migrate + rollback)
 /// progressively removes it until `converge_day`.
+#[derive(Debug)]
 pub struct ArchitectureScenario {
     /// The world (both pools in one fleet).
     pub world: SimWorld,
@@ -273,8 +274,11 @@ pub fn fig8_architecture(
         fleet.ncs().iter().map(|n| (n.id, n.cluster.clone())).collect();
     for (id, cluster) in ncs {
         if cluster.ends_with("c0") {
-            fleet.set_arch(id, DeploymentArch::HomogeneousShared).unwrap();
-            homogeneous.push(id);
+            // Ids come straight from `fleet.ncs()`, so this cannot fail;
+            // a node that somehow refuses the arch just stays hybrid.
+            if fleet.set_arch(id, DeploymentArch::HomogeneousShared).is_ok() {
+                homogeneous.push(id);
+            }
         } else {
             hybrid.push(id);
         }
@@ -288,7 +292,7 @@ pub fn fig8_architecture(
     let model_b: Vec<u64> = hybrid
         .iter()
         .copied()
-        .filter(|&id| world.fleet.nc(id).unwrap().machine_model == "modelB")
+        .filter(|&id| world.fleet.nc(id).is_some_and(|n| n.machine_model == "modelB"))
         .collect();
     let mut injections = Vec::new();
     for d in bug_start_day..converge_day {
@@ -410,6 +414,7 @@ pub struct AbTrial {
 /// only the **performance** damage differs (paper: mean PI 0.40 / 0.08 /
 /// 0.42 after normalization); unavailability and control-plane damage is
 /// statistically identical across actions (Table V: p = 0.47 / 0.89).
+#[derive(Debug)]
 pub struct AbTestScenario {
     /// The world with all post-action damage injected.
     pub world: SimWorld,

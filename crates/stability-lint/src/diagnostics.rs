@@ -1,0 +1,125 @@
+//! Violation model and rendering (human text and machine-readable JSON).
+
+use crate::rules::RuleId;
+use std::fmt;
+
+/// How a rule's violations affect the exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Violations fail the run (exit 1). CI gates on these.
+    Deny,
+    /// Violations are reported but do not fail the run.
+    Warn,
+}
+
+impl Severity {
+    /// Lowercase name as printed and as written in `lint.toml`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+
+    /// Parse `"deny"` / `"warn"`.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "deny" => Some(Severity::Deny),
+            "warn" => Some(Severity::Warn),
+            _ => None,
+        }
+    }
+}
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Effective severity (after `lint.toml` overrides).
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} [{}/{}] {}: {}\n    fix: {}",
+            self.path,
+            self.line,
+            self.rule.as_str(),
+            self.severity.as_str(),
+            self.rule.name(),
+            self.message,
+            self.hint
+        )
+    }
+}
+
+impl Violation {
+    /// One-line JSON object (JSON Lines output format).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"rule":"{}","name":"{}","severity":"{}","path":"{}","line":{},"message":"{}","hint":"{}"}}"#,
+            self.rule.as_str(),
+            self.rule.name(),
+            self.severity.as_str(),
+            json_escape(&self.path),
+            self.line,
+            json_escape(&self.message),
+            json_escape(&self.hint),
+        )
+    }
+}
+
+/// Escape a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny"), r#"x\ny"#);
+    }
+
+    #[test]
+    fn json_shape() {
+        let v = Violation {
+            rule: RuleId::R2,
+            severity: Severity::Deny,
+            path: "crates/x/src/a.rs".into(),
+            line: 7,
+            message: "m".into(),
+            hint: "h".into(),
+        };
+        let j = v.to_json();
+        assert!(j.contains(r#""rule":"R2""#));
+        assert!(j.contains(r#""line":7"#));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

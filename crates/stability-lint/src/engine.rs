@@ -1,0 +1,174 @@
+//! The lint driver: file discovery, crate scoping, rule execution, and
+//! allowlist application.
+
+use crate::config::Config;
+use crate::diagnostics::{Severity, Violation};
+use crate::lexer;
+use crate::rules::{self, FileCtx, RuleId};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations that survived the allowlist, deny first then warn,
+    /// grouped by path and line.
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by an allowlist entry.
+    pub allowed: Vec<Violation>,
+    /// Indices (into `Config::allow`) of entries that matched nothing:
+    /// stale exceptions that should be deleted.
+    pub stale_allows: Vec<usize>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Count of deny-severity violations (the exit-status signal).
+    pub fn deny_count(&self) -> usize {
+        self.violations.iter().filter(|v| v.severity == Severity::Deny).count()
+    }
+
+    /// Count of warn-severity violations.
+    pub fn warn_count(&self) -> usize {
+        self.violations.iter().filter(|v| v.severity == Severity::Warn).count()
+    }
+}
+
+/// Lint every workspace `.rs` file under `root`, applying `config`.
+pub fn run(root: &Path, config: &Config) -> Result<Report, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    run_on_files(root, &files, config)
+}
+
+/// Lint an explicit file list (paths relative to `root`). Test harnesses
+/// use this to point the engine at fixture files under an assumed crate.
+pub fn run_on_files(root: &Path, files: &[PathBuf], config: &Config) -> Result<Report, String> {
+    let mut report = Report::default();
+    let mut matched = vec![false; config.allow.len()];
+    for rel in files {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let crate_name = crate_of(&rel_str);
+        if skip_file(&rel_str) {
+            continue;
+        }
+        let source = fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("{rel_str}: {e}"))?;
+        report.files_scanned += 1;
+        for v in lint_source(&rel_str, &crate_name, &source) {
+            let v = Violation { severity: config.severity_of(v.rule), ..v };
+            match config.match_allow(&v) {
+                Some(idx) => {
+                    matched[idx] = true;
+                    report.allowed.push(v);
+                }
+                None => report.violations.push(v),
+            }
+        }
+    }
+    report.stale_allows = matched
+        .iter()
+        .enumerate()
+        .filter_map(|(i, m)| (!m).then_some(i))
+        .collect();
+    // Deny before warn; then stable by location for reproducible output.
+    report.violations.sort_by(|a, b| {
+        let sev = |v: &Violation| matches!(v.severity, Severity::Warn) as u8;
+        sev(a)
+            .cmp(&sev(b))
+            .then_with(|| a.path.cmp(&b.path))
+            .then_with(|| a.line.cmp(&b.line))
+    });
+    Ok(report)
+}
+
+/// Lint one in-memory source file under an explicit crate name. This is
+/// the kernel of the engine; everything else is discovery and filtering.
+pub fn lint_source(rel_path: &str, crate_name: &str, source: &str) -> Vec<Violation> {
+    let toks = lexer::lex(source);
+    let in_test = rules::test_mask(&toks);
+    let ctx = FileCtx { path: rel_path, crate_name, toks: &toks, in_test: &in_test };
+    let mut out = Vec::new();
+    for rule in RuleId::all() {
+        if rule.applies_to_crate(crate_name) && rule.applies_to_file(rel_path) {
+            out.extend(rule.check(&ctx));
+        }
+    }
+    out
+}
+
+/// Which crate owns a workspace-relative path.
+fn crate_of(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some((name, _)) = rest.split_once('/') {
+            return name.to_string();
+        }
+    }
+    "cdi-repro".to_string()
+}
+
+/// Files the engine never lints: test code (covered by the runtime chaos
+/// suite, and allowed to use unwrap/expect for brevity), benches,
+/// examples, build output, and the lint engine's own bad-snippet fixtures.
+fn skip_file(rel: &str) -> bool {
+    rel.split('/').any(|seg| {
+        matches!(seg, "target" | ".git" | ".scratch" | "tests" | "benches" | "examples")
+    })
+}
+
+/// Recursively collect `.rs` files, recording paths relative to `root`.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | ".git" | ".scratch" | "node_modules") {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_detection() {
+        assert_eq!(crate_of("crates/cdi-core/src/lib.rs"), "cdi-core");
+        assert_eq!(crate_of("src/lib.rs"), "cdi-repro");
+    }
+
+    #[test]
+    fn test_and_bench_files_are_skipped() {
+        assert!(skip_file("crates/cdi-core/tests/proptests.rs"));
+        assert!(skip_file("crates/bench/benches/stats.rs"));
+        assert!(skip_file("crates/stability-lint/tests/fixtures/r1_bad.rs"));
+        assert!(!skip_file("crates/cdi-core/src/indicator.rs"));
+    }
+
+    #[test]
+    fn lint_source_scopes_rules_by_crate() {
+        let src = "pub fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        // statskit: R1 + R2 fire, R5 does not (cdi-core only).
+        let vs = lint_source("crates/statskit/src/x.rs", "statskit", src);
+        let rules: Vec<&str> = vs.iter().map(|v| v.rule.as_str()).collect();
+        assert!(rules.contains(&"R1") && rules.contains(&"R2"), "{rules:?}");
+        assert!(!rules.contains(&"R5"));
+        // bench: only R2.
+        let vs = lint_source("crates/bench/src/x.rs", "bench", src);
+        let rules: Vec<&str> = vs.iter().map(|v| v.rule.as_str()).collect();
+        assert_eq!(rules, vec!["R2"]);
+    }
+}

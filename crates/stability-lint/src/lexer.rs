@@ -1,0 +1,352 @@
+//! A minimal Rust lexer, sufficient for token-level invariant linting.
+//!
+//! The workspace cannot depend on `syn` (the build must work offline), so
+//! the lint engine scans a token stream instead of a syntax tree. The lexer
+//! only needs to be precise about the things that would otherwise cause
+//! false positives: string/char/byte literals (so `"unwrap()"` inside a
+//! string is not a call), comments (so prose never fires a rule), doc
+//! comments (kept as tokens — rule R5 needs them), lifetimes vs. char
+//! literals, and raw strings/identifiers.
+
+/// What a token is. Literal payloads are dropped; rules only need kinds,
+/// identifier text, and line numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `as`, `pub`, ...).
+    Ident,
+    /// Raw identifier (`r#type`); text holds the part after `r#`.
+    RawIdent,
+    /// Lifetime (`'a`); text holds the name without the quote.
+    Lifetime,
+    /// Any numeric literal.
+    NumLit,
+    /// Any string-like literal (`"…"`, `r"…"`, `b"…"`, `c"…"`).
+    StrLit,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// A single punctuation character (`.`, `(`, `:`, `!`, ...).
+    Punct,
+    /// Outer (`///`, `/** */`) or inner (`//!`, `/*! */`) doc comment.
+    DocComment,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Identifier/lifetime text, or the punctuation character. Empty for
+    /// literals and doc comments (rules never inspect their contents).
+    pub text: String,
+    /// 1-indexed line where the token starts.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly the given text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this the given punctuation character?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes() == &[c as u8][..]
+    }
+}
+
+/// Lex `source` into a token stream. Unterminated literals are tolerated
+/// (the rest of the file becomes one literal token): the linter must never
+/// crash on the code it audits.
+pub fn lex(source: &str) -> Vec<Tok> {
+    Lexer { chars: source.chars().collect(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    self.string_body(line);
+                }
+                'r' if matches!(self.peek(1), Some('"' | '#')) => self.raw_prefix(line),
+                'b' | 'c' if matches!(self.peek(1), Some('"')) => {
+                    self.bump();
+                    self.bump();
+                    self.string_body(line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.bump();
+                    self.char_body(line);
+                }
+                'b' if self.peek(1) == Some('r') && matches!(self.peek(2), Some('"' | '#')) => {
+                    self.bump();
+                    self.raw_prefix(line);
+                }
+                '\'' => self.quote(line),
+                c if c.is_alphabetic() || c == '_' => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        // `///` (but not `////`) and `//!` are doc comments.
+        let doc = (self.peek(2) == Some('/') && self.peek(3) != Some('/'))
+            || self.peek(2) == Some('!');
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        if doc {
+            self.push(TokKind::DocComment, String::new(), line);
+        }
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        // `/**` (but not `/***` or the empty `/**/`) and `/*!` are docs.
+        let doc = (self.peek(2) == Some('*') && !matches!(self.peek(3), Some('*' | '/')))
+            || self.peek(2) == Some('!');
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        if doc {
+            self.push(TokKind::DocComment, String::new(), line);
+        }
+    }
+
+    /// Body of a `"…"` string, opening quote already consumed.
+    fn string_body(&mut self, line: u32) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::StrLit, String::new(), line);
+    }
+
+    /// At `r`, with `"` or `#` next: raw string or raw identifier.
+    fn raw_prefix(&mut self, line: u32) {
+        self.bump(); // the `r`
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek(0) == Some('"') {
+            self.bump();
+            // Raw string: ends at `"` followed by `hashes` hashes.
+            'body: while let Some(c) = self.bump() {
+                if c == '"' {
+                    for i in 0..hashes {
+                        if self.peek(i) != Some('#') {
+                            continue 'body;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            self.push(TokKind::StrLit, String::new(), line);
+        } else if hashes == 1 {
+            // Raw identifier r#foo.
+            let mut text = String::new();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::RawIdent, text, line);
+        }
+        // `r##garbage` without a quote: swallowed; the lexer is lenient.
+    }
+
+    /// Body of a `'…'` char/byte literal, opening quote consumed.
+    fn char_body(&mut self, line: u32) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::CharLit, String::new(), line);
+    }
+
+    /// At a `'`: lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+    fn quote(&mut self, line: u32) {
+        // A lifetime is `'` + ident-start, NOT followed by a closing `'`.
+        let next = self.peek(1);
+        let is_lifetime = matches!(next, Some(c) if c.is_alphabetic() || c == '_')
+            && self.peek(2) != Some('\'');
+        self.bump(); // the quote
+        if is_lifetime {
+            let mut text = String::new();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line);
+        } else {
+            self.char_body(line);
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        // Coarse: consume digits, letters (type suffixes, hex, exponent),
+        // `_` separators, and `.` only when followed by a digit (so `1.0`
+        // is one token but `1.max(2)` leaves `.max` alone).
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else if c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && matches!(self.chars.get(self.pos.wrapping_sub(1)), Some('e' | 'E'))
+            {
+                // Exponent sign inside `1e-9`.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::NumLit, String::new(), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_calls() {
+        let toks = kinds(r#"let s = "x.unwrap()";"#);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::StrLit));
+    }
+
+    #[test]
+    fn comments_hide_calls_and_docs_survive() {
+        let toks = kinds("// x.unwrap()\n/// docs\nfn f() {}");
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::DocComment).count(), 1);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::CharLit).count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_idents() {
+        let toks = kinds(r##"let a = r#"panic!("x")"#; let r#type = 1;"##);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "panic"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::RawIdent && t == "type"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls() {
+        let toks = kinds("let x = 1.max(2); let y = 1.5e-3;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "max"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::NumLit).count(), 3);
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

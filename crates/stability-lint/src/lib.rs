@@ -1,0 +1,39 @@
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+//! # stability-lint — workspace-wide invariant linting
+//!
+//! The CDI pipeline is only trustworthy if the code computing it cannot
+//! silently panic, reorder NaNs, or break simulator determinism. Runtime
+//! fault injection (the chaos suite from the fault-tolerance PR) samples
+//! those failure modes; this crate makes them *statically impossible* to
+//! reintroduce. It parses every `.rs` file in the workspace with a
+//! dependency-free lexer (the build must work offline, so no `syn`) and
+//! enforces five repo-specific invariants:
+//!
+//! | id | name | scope | default |
+//! |----|------|-------|---------|
+//! | R1 | no-panic-path | library crates, outside tests | deny |
+//! | R2 | nan-unsafe-sort | whole workspace | deny |
+//! | R3 | nondeterminism | `simfleet`, `cdi-core` | deny |
+//! | R4 | lossy-numeric-cast | metric-math modules | deny |
+//! | R5 | undocumented-pub | `cdi-core` public API | warn |
+//!
+//! Audited exceptions live in `lint.toml` at the workspace root — every
+//! entry carries a mandatory `reason`, and entries that stop matching are
+//! reported as stale so the allowlist can only shrink. Run it with:
+//!
+//! ```text
+//! cargo run -p stability-lint            # human output, exit 1 on deny
+//! cargo run -p stability-lint -- --format json
+//! ```
+
+pub mod config;
+pub mod diagnostics;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{AllowEntry, Config};
+pub use diagnostics::{Severity, Violation};
+pub use engine::{lint_source, run, run_on_files, Report};
+pub use rules::RuleId;

@@ -1,0 +1,565 @@
+//! The invariant rules (R1–R5) and the token-stream analyses they share.
+//!
+//! Every rule is a pure function from a [`FileCtx`] to violations; the
+//! engine decides which files each rule sees (crate scoping, test-file
+//! exclusion) and the config layer decides which violations survive
+//! (allowlist, severity overrides).
+
+use crate::diagnostics::{Severity, Violation};
+use crate::lexer::{Tok, TokKind};
+
+/// Everything a rule needs to know about one source file.
+#[derive(Debug)]
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub path: &'a str,
+    /// Owning crate (`cdi-core`, ..., `cdi-repro` for the root crate).
+    pub crate_name: &'a str,
+    /// Lexed token stream.
+    pub toks: &'a [Tok],
+    /// Parallel to `toks`: true for tokens inside `#[cfg(test)]` /
+    /// `#[test]` regions (including the attribute itself).
+    pub in_test: &'a [bool],
+}
+
+/// Stable rule identifier (`R1`..`R5`), also the allowlist key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// No `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+    /// `unimplemented!` in library crates outside tests.
+    R1,
+    /// Float comparators inside sorts must be `total_cmp`, not
+    /// `partial_cmp`.
+    R2,
+    /// No wall-clock reads or unseeded RNG in deterministic crates.
+    R3,
+    /// No numeric `as` casts in metric-math modules.
+    R4,
+    /// Public items in `cdi-core` must carry doc comments.
+    R5,
+}
+
+impl RuleId {
+    /// The identifier as printed in diagnostics and written in `lint.toml`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::R1 => "R1",
+            RuleId::R2 => "R2",
+            RuleId::R3 => "R3",
+            RuleId::R4 => "R4",
+            RuleId::R5 => "R5",
+        }
+    }
+
+    /// Short machine-readable rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::R1 => "no-panic-path",
+            RuleId::R2 => "nan-unsafe-sort",
+            RuleId::R3 => "nondeterminism",
+            RuleId::R4 => "lossy-numeric-cast",
+            RuleId::R5 => "undocumented-pub",
+        }
+    }
+
+    /// Parse `"R1"`..`"R5"`.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "R1" => Some(RuleId::R1),
+            "R2" => Some(RuleId::R2),
+            "R3" => Some(RuleId::R3),
+            "R4" => Some(RuleId::R4),
+            "R5" => Some(RuleId::R5),
+            _ => None,
+        }
+    }
+
+    /// All rules, in id order.
+    pub fn all() -> [RuleId; 5] {
+        [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4, RuleId::R5]
+    }
+
+    /// Built-in severity. R5 starts as `warn` (doc debt should not block a
+    /// build mid-burn-down); everything else is `deny`. `lint.toml` can
+    /// override either way.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            RuleId::R5 => Severity::Warn,
+            _ => Severity::Deny,
+        }
+    }
+
+    /// Does this rule look at the given crate?
+    pub fn applies_to_crate(self, crate_name: &str) -> bool {
+        match self {
+            // Library crates with typed error channels.
+            RuleId::R1 => {
+                matches!(crate_name, "cdi-core" | "statskit" | "minispark" | "simfleet" | "cloudbot")
+            }
+            // NaN-safety matters everywhere floats are ordered.
+            RuleId::R2 => true,
+            // Deterministic-replay crates.
+            RuleId::R3 => matches!(crate_name, "simfleet" | "cdi-core"),
+            RuleId::R4 => crate_name == "cdi-core",
+            RuleId::R5 => crate_name == "cdi-core",
+        }
+    }
+
+    /// Does this rule look at the given file? (On top of crate scoping.)
+    pub fn applies_to_file(self, path: &str) -> bool {
+        match self {
+            // Metric-math modules only: the hot numeric kernels.
+            RuleId::R4 => {
+                path.ends_with("indicator.rs")
+                    || path.ends_with("weight.rs")
+                    || path.ends_with("streaming.rs")
+            }
+            _ => true,
+        }
+    }
+
+    /// Run this rule over one file.
+    pub fn check(self, ctx: &FileCtx<'_>) -> Vec<Violation> {
+        match self {
+            RuleId::R1 => r1_no_panic_path(ctx),
+            RuleId::R2 => r2_nan_unsafe_sort(ctx),
+            RuleId::R3 => r3_nondeterminism(ctx),
+            RuleId::R4 => r4_lossy_numeric_cast(ctx),
+            RuleId::R5 => r5_undocumented_pub(ctx),
+        }
+    }
+}
+
+/// Compute the `#[cfg(test)]` / `#[test]` mask for a token stream: true
+/// for every token from a test-marking attribute through the closing brace
+/// (or semicolon) of the item it decorates.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if let Some(attr_end) = test_attr_end(toks, i) {
+            let body_end = item_end(toks, attr_end);
+            for m in mask.iter_mut().take(body_end.min(toks.len())).skip(i) {
+                *m = true;
+            }
+            i = body_end;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// If `toks[i]` starts a test-marking outer attribute (`#[test]`,
+/// `#[cfg(test)]`, `#[tokio::test]`, ...), return the index one past its
+/// closing `]`.
+fn test_attr_end(toks: &[Tok], i: usize) -> Option<usize> {
+    if !toks[i].is_punct('#') || !toks.get(i + 1)?.is_punct('[') {
+        return None;
+    }
+    // Balanced bracket scan.
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    let mut idents: Vec<&str> = Vec::new();
+    loop {
+        let t = toks.get(j)?;
+        match t.kind {
+            TokKind::Punct if t.text == "[" || t.text == "(" => depth += 1,
+            TokKind::Punct if t.text == ")" => depth = depth.saturating_sub(1),
+            TokKind::Punct if t.text == "]" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokKind::Ident => idents.push(&t.text),
+            _ => {}
+        }
+        j += 1;
+    }
+    // `#[test]` / `#[foo::test]`: last path segment is `test`.
+    let bare_test = idents.last() == Some(&"test") && idents.first() != Some(&"cfg");
+    // `#[cfg(...test...)]` — but not `#[cfg(not(test))]`, which marks code
+    // *excluded* from test builds.
+    let cfg_test = idents.first() == Some(&"cfg")
+        && idents.iter().any(|s| *s == "test")
+        && !idents.iter().any(|s| *s == "not");
+    if bare_test || cfg_test {
+        Some(j + 1)
+    } else {
+        None
+    }
+}
+
+/// One past the end of the item that starts at `from` (after its
+/// attributes): skips further attributes and doc comments, then either a
+/// balanced `{...}` body or a trailing `;`.
+fn item_end(toks: &[Tok], mut from: usize) -> usize {
+    // Skip stacked attributes and doc comments between the test attribute
+    // and the item keyword.
+    loop {
+        match toks.get(from) {
+            Some(t) if t.kind == TokKind::DocComment => from += 1,
+            Some(t) if t.is_punct('#') && toks.get(from + 1).is_some_and(|n| n.is_punct('[')) => {
+                let mut depth = 0usize;
+                while let Some(t) = toks.get(from) {
+                    if t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    from += 1;
+                }
+                from += 1;
+            }
+            _ => break,
+        }
+    }
+    // Find the body: first `{` at paren-depth 0, or a `;` that ends the
+    // item without a body.
+    let mut j = from;
+    let mut paren = 0usize;
+    while let Some(t) = toks.get(j) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren = paren.saturating_sub(1),
+                ";" if paren == 0 => return j + 1,
+                "{" if paren == 0 => {
+                    // Balanced brace scan for the body.
+                    let mut depth = 0usize;
+                    while let Some(t) = toks.get(j) {
+                        if t.is_punct('{') {
+                            depth += 1;
+                        } else if t.is_punct('}') {
+                            depth -= 1;
+                            if depth == 0 {
+                                return j + 1;
+                            }
+                        }
+                        j += 1;
+                    }
+                    return j;
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+fn violation(rule: RuleId, ctx: &FileCtx<'_>, line: u32, message: String, hint: &str) -> Violation {
+    Violation {
+        rule,
+        severity: rule.default_severity(),
+        path: ctx.path.to_string(),
+        line,
+        message,
+        hint: hint.to_string(),
+    }
+}
+
+/// R1: panic paths. Flags `.unwrap()`, `.expect(`, `panic!`,
+/// `unreachable!`, `todo!`, `unimplemented!` outside test regions.
+/// `unwrap_or`, `unwrap_or_else`, `unwrap_or_default`, `debug_assert!` and
+/// friends are fine — they are not panic paths.
+fn r1_no_panic_path(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+    let mut out = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && ctx.toks[i - 1].is_punct('.');
+        let next = ctx.toks.get(i + 1);
+        if (t.text == "unwrap" || t.text == "expect")
+            && prev_dot
+            && next.is_some_and(|n| n.is_punct('('))
+        {
+            out.push(violation(
+                RuleId::R1,
+                ctx,
+                t.line,
+                format!("`.{}()` is a panic path in a library crate", t.text),
+                "return the crate's typed error (CdiError/StatsError/SparkError/TaskError) or restructure so the failure case is impossible; audited sites go in lint.toml",
+            ));
+        } else if MACROS.contains(&t.text.as_str())
+            && !prev_dot
+            && next.is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(violation(
+                RuleId::R1,
+                ctx,
+                t.line,
+                format!("`{}!` is a panic path in a library crate", t.text),
+                "propagate a typed error instead of aborting the task; if the branch is truly impossible, restructure so the compiler proves it",
+            ));
+        }
+    }
+    out
+}
+
+/// R2: NaN-unsafe float ordering. Flags `partial_cmp` appearing inside the
+/// argument list of `sort_by` / `sort_unstable_by` / `max_by` / `min_by`.
+fn r2_nan_unsafe_sort(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    const SORTS: [&str; 4] = ["sort_by", "sort_unstable_by", "max_by", "min_by"];
+    let mut out = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test[i] || t.kind != TokKind::Ident || !SORTS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !ctx.toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        // Scan the balanced argument span for `partial_cmp`.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while let Some(a) = ctx.toks.get(j) {
+            if a.is_punct('(') {
+                depth += 1;
+            } else if a.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if a.is_ident("partial_cmp") {
+                out.push(violation(
+                    RuleId::R2,
+                    ctx,
+                    a.line,
+                    format!("`partial_cmp` inside `{}` reorders on NaN", t.text),
+                    "use `f64::total_cmp` (total order, NaN sorts last) — matches the surge/mining fix from the fault-tolerance PR",
+                ));
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+/// R3: nondeterminism in replay crates. Flags wall-clock reads
+/// (`SystemTime::now`, `Instant::now`, `Utc::now`, `Local::now`) and
+/// unseeded RNG (`thread_rng`, `rand::random`, `from_entropy`).
+fn r3_nondeterminism(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    const CLOCKS: [&str; 4] = ["SystemTime", "Instant", "Utc", "Local"];
+    let mut out = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let path_now = CLOCKS.contains(&t.text.as_str())
+            && ctx.toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && ctx.toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && ctx.toks.get(i + 3).is_some_and(|n| n.is_ident("now"));
+        if path_now {
+            out.push(violation(
+                RuleId::R3,
+                ctx,
+                t.line,
+                format!("`{}::now()` reads the wall clock in a deterministic crate", t.text),
+                "thread simulated time (an i64 ms timestamp) through the call instead; the simulator must replay bit-identically from a seed",
+            ));
+            continue;
+        }
+        if t.text == "thread_rng" || t.text == "from_entropy" {
+            out.push(violation(
+                RuleId::R3,
+                ctx,
+                t.line,
+                format!("`{}` draws OS entropy in a deterministic crate", t.text),
+                "use a seeded generator (e.g. ChaCha8Rng::seed_from_u64) owned by the caller",
+            ));
+            continue;
+        }
+        let rand_random = t.text == "rand"
+            && ctx.toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && ctx.toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && ctx.toks.get(i + 3).is_some_and(|n| n.is_ident("random"));
+        if rand_random {
+            out.push(violation(
+                RuleId::R3,
+                ctx,
+                t.line,
+                "`rand::random` draws OS entropy in a deterministic crate".to_string(),
+                "use a seeded generator owned by the caller",
+            ));
+        }
+    }
+    out
+}
+
+/// R4: numeric `as` casts in metric-math modules. Any `as <numeric type>`
+/// can silently truncate, wrap, or lose precision; the metric kernels must
+/// go through the audited helpers in `cdi_core::num` instead.
+fn r4_lossy_numeric_cast(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    const NUMERIC: [&str; 14] = [
+        "f32", "f64", "i8", "i16", "i32", "i64", "i128", "u8", "u16", "u32", "u64", "u128",
+        "isize", "usize",
+    ];
+    let mut out = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test[i] || !t.is_ident("as") {
+            continue;
+        }
+        if let Some(ty) = ctx.toks.get(i + 1) {
+            if ty.kind == TokKind::Ident && NUMERIC.contains(&ty.text.as_str()) {
+                out.push(violation(
+                    RuleId::R4,
+                    ctx,
+                    t.line,
+                    format!("`as {}` cast in a metric-math module", ty.text),
+                    "use the checked/lossless helpers in cdi_core::num (exact_f64, checked_index, level_of) or TryFrom with explicit rounding",
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Modifiers that may sit between `pub` and the item keyword.
+const ITEM_MODIFIERS: [&str; 4] = ["unsafe", "async", "const", "extern"];
+/// Item keywords whose public occurrences must be documented.
+const ITEM_KEYWORDS: [&str; 9] =
+    ["fn", "struct", "enum", "trait", "mod", "type", "const", "static", "union"];
+
+/// R5: public API documentation. Every fully-public item (`pub`, not
+/// `pub(crate)`/`pub(super)`, not `pub use` re-exports) must be preceded
+/// by a doc comment, possibly with attributes in between. Out-of-line
+/// module declarations (`pub mod x;`) are exempt — their docs live as the
+/// `//!` header of the module file, which this rule checks separately:
+/// every linted file must open with module-level `//!` docs.
+fn r5_undocumented_pub(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if !has_module_docs(ctx.toks) {
+        out.push(violation(
+            RuleId::R5,
+            ctx,
+            1,
+            "file has no module-level `//!` docs".to_string(),
+            "open the file with a //! header stating what the module is for",
+        ));
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test[i] || !t.is_ident("pub") {
+            continue;
+        }
+        // Restricted visibility (`pub(crate)`) is not public API.
+        let Some(next) = ctx.toks.get(i + 1) else { continue };
+        if next.is_punct('(') {
+            continue;
+        }
+        // Walk over modifiers to the item keyword; anything else (e.g.
+        // `pub use`, struct fields `pub name: T`) is out of scope.
+        let mut j = i + 1;
+        while ctx.toks.get(j).is_some_and(|t| {
+            t.kind == TokKind::Ident && ITEM_MODIFIERS.contains(&t.text.as_str())
+        }) {
+            // `pub const NAME` — `const` here is the item keyword iff the
+            // token after it is a plain identifier followed by `:`.
+            if ctx.toks[j].is_ident("const") {
+                let name = ctx.toks.get(j + 1);
+                let colon = ctx.toks.get(j + 2);
+                let named_const = name.is_some_and(|n| {
+                    n.kind == TokKind::Ident && !ITEM_KEYWORDS.contains(&n.text.as_str())
+                }) && colon.is_some_and(|c| c.is_punct(':'));
+                if named_const {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let Some(kw) = ctx.toks.get(j) else { continue };
+        if kw.kind != TokKind::Ident || !ITEM_KEYWORDS.contains(&kw.text.as_str()) {
+            continue;
+        }
+        // `pub mod name;` — docs are the module file's `//!` header.
+        if kw.is_ident("mod") && ctx.toks.get(j + 2).is_some_and(|t| t.is_punct(';')) {
+            continue;
+        }
+        if has_doc_before(ctx.toks, i) {
+            continue;
+        }
+        let item_name = ctx.toks.get(j + 1).map(|t| t.text.clone()).unwrap_or_default();
+        out.push(violation(
+            RuleId::R5,
+            ctx,
+            t.line,
+            format!("public item `{}` has no doc comment", item_name),
+            "add a /// comment stating the contract (units, error cases, paper section if applicable)",
+        ));
+    }
+    out
+}
+
+/// Does the file open with `//!` module docs? Inner attributes
+/// (`#![forbid(unsafe_code)]`) may precede them.
+fn has_module_docs(toks: &[Tok]) -> bool {
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            t if t.kind == TokKind::DocComment => return true,
+            t if t.is_punct('#') && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) => {
+                // Skip the inner attribute's balanced bracket group.
+                let mut depth = 0usize;
+                while let Some(t) = toks.get(i) {
+                    if t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Is the token before index `i` (skipping attribute groups) a doc
+/// comment?
+fn has_doc_before(toks: &[Tok], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.kind == TokKind::DocComment {
+            return true;
+        }
+        // Skip one `#[...]` attribute group, scanning backwards from `]`.
+        if t.is_punct(']') {
+            let mut depth = 0usize;
+            loop {
+                let t = &toks[j];
+                if t.is_punct(']') {
+                    depth += 1;
+                } else if t.is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return false;
+                }
+                j -= 1;
+            }
+            // Require the `#` so a slice index `a[0]` ends the walk.
+            if j == 0 || !toks[j - 1].is_punct('#') {
+                return false;
+            }
+            j -= 1;
+            continue;
+        }
+        return false;
+    }
+    false
+}

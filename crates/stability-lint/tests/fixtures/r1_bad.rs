@@ -1,0 +1,21 @@
+//! R1 fixture: panic-family calls outside tests in a library crate.
+
+fn opt() -> Option<u32> {
+    Some(1)
+}
+
+pub fn uses_unwrap() -> u32 {
+    opt().unwrap() //~ R1
+}
+
+pub fn uses_expect() -> u32 {
+    opt().expect("value present") //~ R1
+}
+
+pub fn hits_panic() {
+    panic!("boom"); //~ R1
+}
+
+pub fn hits_unreachable() -> u32 {
+    unreachable!() //~ R1
+}

@@ -1,0 +1,17 @@
+//! R1 fixture: panics in test code and non-panicking fallbacks are fine.
+
+pub fn fallback(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        if v.is_none() {
+            panic!("test-only");
+        }
+    }
+}

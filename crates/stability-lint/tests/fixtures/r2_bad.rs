@@ -1,0 +1,17 @@
+//! R2 fixture: NaN-unsafe float comparators inside sort/max/min adapters.
+
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)); //~ R2
+}
+
+pub fn sort_pairs(xs: &mut [(f64, u32)]) {
+    xs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)); //~ R2
+}
+
+pub fn max_latency(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)) //~ R2
+}
+
+pub fn min_latency(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)) //~ R2
+}

@@ -1,0 +1,14 @@
+//! R2 fixture: `total_cmp` sorts and `partial_cmp` outside sort adapters
+//! are both fine.
+
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn sort_pairs(xs: &mut [(f64, u32)]) {
+    xs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+}
+
+pub fn roughly_equal(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b) == Some(std::cmp::Ordering::Equal)
+}

@@ -1,0 +1,18 @@
+//! R3 fixture: wall-clock reads and unseeded randomness in a deterministic
+//! crate break replayability.
+
+pub fn wall_clock_ms() -> u128 {
+    std::time::SystemTime::now() //~ R3
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+pub fn stopwatch_start() -> std::time::Instant {
+    std::time::Instant::now() //~ R3
+}
+
+pub fn unseeded_sample() -> u64 {
+    let mut rng = rand::thread_rng(); //~ R3
+    rand::Rng::random(&mut rng)
+}

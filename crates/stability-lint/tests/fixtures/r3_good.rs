@@ -1,0 +1,18 @@
+//! R3 fixture: injected clocks and seeded RNGs keep simulations
+//! deterministic.
+
+pub struct SimClock {
+    now_ms: i64,
+}
+
+impl SimClock {
+    pub fn now(&self) -> i64 {
+        self.now_ms
+    }
+}
+
+pub fn seeded_sample(seed: u64) -> u64 {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    rng.random()
+}

@@ -1,0 +1,14 @@
+//! R4 fixture: `as` casts in metric-math files silently truncate or lose
+//! precision.
+
+fn to_seconds(ms: i64) -> f64 {
+    ms as f64 / 1000.0 //~ R4
+}
+
+fn to_index(x: f64) -> usize {
+    x as usize //~ R4
+}
+
+fn narrow(n: u64) -> u32 {
+    n as u32 //~ R4
+}

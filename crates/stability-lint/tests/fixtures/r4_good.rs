@@ -1,0 +1,9 @@
+//! R4 fixture: lossless `From` and checked `try_from` conversions pass.
+
+fn to_seconds(ms: i64) -> f64 {
+    f64::from(i32::try_from(ms).unwrap_or(0)) / 1000.0
+}
+
+fn widen(n: u32) -> u64 {
+    u64::from(n)
+}

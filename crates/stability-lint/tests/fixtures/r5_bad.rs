@@ -1,0 +1,9 @@
+// R5 fixture: no `//!` header, so the file itself is flagged. //~ R5
+
+pub struct Sample { //~ R5
+    pub value: f64,
+}
+
+pub fn undocumented() -> u32 { //~ R5
+    0
+}

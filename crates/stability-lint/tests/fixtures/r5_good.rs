@@ -1,0 +1,16 @@
+//! R5 fixture: a documented public surface passes.
+
+/// A labelled measurement.
+pub struct Sample {
+    /// Metric value in milliseconds.
+    pub value: f64,
+}
+
+/// Returns the number of samples processed so far.
+pub fn documented() -> u32 {
+    0
+}
+
+pub(crate) fn internal_no_docs_needed() -> u32 {
+    1
+}

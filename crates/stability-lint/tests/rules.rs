@@ -1,0 +1,185 @@
+//! Fixture-driven rule tests.
+//!
+//! Each `fixtures/rN_bad.rs` snippet embeds `//~ RULE` markers on the lines
+//! that must fire; the test asserts the linter reports *exactly* that set of
+//! (rule, line) pairs — nothing missing, nothing extra. The matching
+//! `rN_good.rs` snippet shows the approved alternative and must be clean.
+//!
+//! Fixtures live under `tests/fixtures/`, which the engine's workspace walk
+//! skips, so they never pollute a real `cargo run -p stability-lint`.
+
+use stability_lint::{lint_source, RuleId};
+
+/// Collect `(rule, line)` expectations from `//~` markers in a fixture.
+fn expected_markers(src: &str) -> Vec<(&'static str, u32)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let Some(pos) = line.find("//~") else { continue };
+        for word in line[pos + 3..].split_whitespace() {
+            let rule = RuleId::parse(word)
+                .unwrap_or_else(|| panic!("fixture marker names unknown rule `{word}`"));
+            out.push((rule.as_str(), u32::try_from(i + 1).unwrap_or(u32::MAX)));
+        }
+    }
+    out
+}
+
+/// Lint a fixture as if it lived at `rel_path` inside `crate_name` and
+/// compare the fired (rule, line) pairs against the embedded markers.
+fn check(fixture: &str, rel_path: &str, crate_name: &str) {
+    let mut expected = expected_markers(fixture);
+    let mut got: Vec<(&'static str, u32)> = lint_source(rel_path, crate_name, fixture)
+        .iter()
+        .map(|v| (v.rule.as_str(), v.line))
+        .collect();
+    expected.sort_unstable();
+    got.sort_unstable();
+    assert_eq!(
+        got, expected,
+        "violations reported for {rel_path} (left) differ from the //~ markers (right)"
+    );
+}
+
+#[test]
+fn r1_fires_on_each_panic_site() {
+    check(
+        include_str!("fixtures/r1_bad.rs"),
+        "crates/statskit/src/fixture.rs",
+        "statskit",
+    );
+}
+
+#[test]
+fn r1_ignores_tests_and_fallbacks() {
+    check(
+        include_str!("fixtures/r1_good.rs"),
+        "crates/statskit/src/fixture.rs",
+        "statskit",
+    );
+}
+
+#[test]
+fn r1_is_silent_outside_library_crates() {
+    // Same panic-heavy source, but in a binary/bench crate: no findings.
+    let violations = lint_source(
+        "crates/bench/src/fixture.rs",
+        "bench",
+        include_str!("fixtures/r1_bad.rs"),
+    );
+    assert!(
+        violations.is_empty(),
+        "R1 must not apply to non-library crates, got {violations:?}"
+    );
+}
+
+#[test]
+fn r2_fires_inside_every_sort_adapter() {
+    check(
+        include_str!("fixtures/r2_bad.rs"),
+        "crates/cloudbot/src/fixture.rs",
+        "cloudbot",
+    );
+}
+
+#[test]
+fn r2_accepts_total_cmp_and_unrelated_partial_cmp() {
+    check(
+        include_str!("fixtures/r2_good.rs"),
+        "crates/cloudbot/src/fixture.rs",
+        "cloudbot",
+    );
+}
+
+#[test]
+fn r3_fires_on_wall_clock_and_unseeded_rng() {
+    check(
+        include_str!("fixtures/r3_bad.rs"),
+        "crates/simfleet/src/fixture.rs",
+        "simfleet",
+    );
+}
+
+#[test]
+fn r3_accepts_injected_clock_and_seeded_rng() {
+    check(
+        include_str!("fixtures/r3_good.rs"),
+        "crates/simfleet/src/fixture.rs",
+        "simfleet",
+    );
+}
+
+#[test]
+fn r3_is_silent_outside_deterministic_crates() {
+    let violations = lint_source(
+        "crates/cloudbot/src/fixture.rs",
+        "cloudbot",
+        include_str!("fixtures/r3_good.rs"),
+    );
+    assert!(
+        violations.is_empty(),
+        "clean fixture must stay clean in any crate, got {violations:?}"
+    );
+}
+
+#[test]
+fn r4_fires_on_numeric_as_casts_in_metric_math() {
+    check(
+        include_str!("fixtures/r4_bad.rs"),
+        "crates/cdi-core/src/indicator.rs",
+        "cdi-core",
+    );
+}
+
+#[test]
+fn r4_accepts_from_and_try_from() {
+    check(
+        include_str!("fixtures/r4_good.rs"),
+        "crates/cdi-core/src/indicator.rs",
+        "cdi-core",
+    );
+}
+
+#[test]
+fn r4_is_scoped_to_metric_math_files() {
+    // The same casts outside indicator/weight/streaming are not R4's business.
+    let violations = lint_source(
+        "crates/cdi-core/src/num.rs",
+        "cdi-core",
+        include_str!("fixtures/r4_bad.rs"),
+    );
+    assert!(
+        violations.is_empty(),
+        "R4 must only watch the metric-math files, got {violations:?}"
+    );
+}
+
+#[test]
+fn r5_fires_on_missing_docs() {
+    check(
+        include_str!("fixtures/r5_bad.rs"),
+        "crates/cdi-core/src/fixture.rs",
+        "cdi-core",
+    );
+}
+
+#[test]
+fn r5_accepts_documented_public_surface() {
+    check(
+        include_str!("fixtures/r5_good.rs"),
+        "crates/cdi-core/src/fixture.rs",
+        "cdi-core",
+    );
+}
+
+#[test]
+fn r5_is_scoped_to_cdi_core() {
+    let violations = lint_source(
+        "crates/statskit/src/fixture.rs",
+        "statskit",
+        include_str!("fixtures/r5_bad.rs"),
+    );
+    assert!(
+        violations.is_empty(),
+        "R5 must only apply to cdi-core, got {violations:?}"
+    );
+}

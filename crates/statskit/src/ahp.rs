@@ -97,11 +97,16 @@ impl JudgmentMatrix {
             )));
         }
         let mut data = vec![0.0; n * n];
-        let mut it = upper.iter();
+        let mut next = 0usize;
         for i in 0..n {
             data[i * n + i] = 1.0;
             for j in (i + 1)..n {
-                let v = *it.next().expect("length checked above");
+                // `next` walks 0..expected, and `upper.len() == expected`
+                // was checked above, so the index is always in range.
+                let Some(&v) = upper.get(next) else {
+                    return Err(StatsError::invalid("upper-triangle iterator exhausted early"));
+                };
+                next += 1;
                 if !(v.is_finite() && v > 0.0) {
                     return Err(StatsError::invalid(format!(
                         "judgment entries must be positive, got {v}"

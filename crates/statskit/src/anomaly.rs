@@ -214,7 +214,9 @@ impl Spot {
 
     /// Recompute `z_q = t + (σ/γ)·((q·n/N_t)^{−γ} − 1)` from the current fit.
     fn update_threshold(&mut self) {
-        let fit = self.fit.as_ref().expect("called only after fit");
+        // Called only after `fit` is populated; a stray early call leaves
+        // the previous threshold in place instead of panicking.
+        let Some(fit) = self.fit.as_ref() else { return };
         let r = self.q * fit.n_total as f64 / fit.n_peaks as f64;
         let (sigma, gamma) = (fit.gpd.sigma(), fit.gpd.xi());
         self.z_q = if gamma.abs() < 1e-12 {

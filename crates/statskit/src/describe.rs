@@ -71,7 +71,7 @@ pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
         return Err(StatsError::invalid(format!("quantile level must be in [0,1], got {q}")));
     }
     let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let h = q * (sorted.len() - 1) as f64;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;
@@ -87,7 +87,7 @@ pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
 /// Used by Kruskal–Wallis and Dunn's test. Runs in `O(n log n)`.
 pub fn ranks(data: &[f64]) -> Vec<f64> {
     let mut indexed: Vec<(usize, f64)> = data.iter().copied().enumerate().collect();
-    indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN in rank input"));
+    indexed.sort_by(|a, b| a.1.total_cmp(&b.1));
     let mut out = vec![0.0; data.len()];
     let mut i = 0;
     while i < indexed.len() {
@@ -110,7 +110,7 @@ pub fn ranks(data: &[f64]) -> Vec<f64> {
 /// Feeds the tie-correction terms of the rank-based tests.
 pub fn tie_group_sizes(data: &[f64]) -> Vec<usize> {
     let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in tie input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let mut out = Vec::new();
     let mut i = 0;
     while i < sorted.len() {

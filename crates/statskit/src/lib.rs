@@ -30,7 +30,9 @@
 //! for the studentized range) are asserted in the test suite against
 //! reference values from R and scipy.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod abtest;
 pub mod ahp;

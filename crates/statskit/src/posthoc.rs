@@ -76,9 +76,9 @@ impl PairwiseComparison {
 /// studentized range with `k` groups and `N − k` degrees of freedom.
 pub fn tukey_hsd(groups: &[&[f64]]) -> Result<Vec<PairwiseComparison>> {
     let anova = one_way_anova(groups)?;
-    let mse = anova
-        .mean_square_error
-        .expect("one_way_anova always reports MSE");
+    let Some(mse) = anova.mean_square_error else {
+        return Err(StatsError::degenerate("one_way_anova reported no MSE"));
+    };
     if mse <= 0.0 {
         return Err(StatsError::degenerate("Tukey HSD requires positive within-group variance"));
     }
@@ -223,10 +223,7 @@ fn adjust_p_values(comparisons: &mut [PairwiseComparison], adjustment: Adjustmen
             // monotonicity, and write back through the original order.
             let mut order: Vec<usize> = (0..comparisons.len()).collect();
             order.sort_by(|&a, &b| {
-                comparisons[a]
-                    .p_value
-                    .partial_cmp(&comparisons[b].p_value)
-                    .expect("p-values are finite")
+                comparisons[a].p_value.total_cmp(&comparisons[b].p_value)
             });
             let mut running_max = 0.0_f64;
             for (rank, &idx) in order.iter().enumerate() {

@@ -143,8 +143,7 @@ pub fn localize(leaves: &[Leaf], config: &SearchConfig) -> Result<Vec<RootCause>
     best.retain(|c| c.score >= config.min_score);
     best.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .expect("scores are finite")
+            .total_cmp(&a.score)
             .then(a.constraints.len().cmp(&b.constraints.len()))
     });
     best.dedup_by(|a, b| a.constraints == b.constraints);
@@ -205,7 +204,7 @@ fn score_candidate(leaves: &[Leaf], constraints: &[(usize, String)]) -> Option<R
 
 /// Sort candidates by descending score and keep the top `beam_width`.
 fn sort_and_trim(candidates: &mut Vec<RootCause>, beam_width: usize) {
-    candidates.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+    candidates.sort_by(|a, b| b.score.total_cmp(&a.score));
     candidates.truncate(beam_width);
 }
 

@@ -64,7 +64,9 @@ pub fn erf(x: f64) -> f64 {
     if x == 0.0 {
         return 0.0;
     }
-    let p = reg_gamma_p(0.5, x * x).expect("P(1/2, x^2) is always defined");
+    // `P(1/2, x²)` is defined for every finite x; a NaN input (the only
+    // way the call can fail) propagates as NaN rather than a panic.
+    let p = reg_gamma_p(0.5, x * x).unwrap_or(f64::NAN);
     if x > 0.0 {
         p
     } else {
@@ -80,7 +82,9 @@ pub fn erfc(x: f64) -> f64 {
     if x == 0.0 {
         return 1.0;
     }
-    let q = reg_gamma_q(0.5, x * x).expect("Q(1/2, x^2) is always defined");
+    // As in `erf`: only a NaN input can fail, and NaN-in/NaN-out beats a
+    // panic in a library crate.
+    let q = reg_gamma_q(0.5, x * x).unwrap_or(f64::NAN);
     if x > 0.0 {
         q
     } else {

@@ -168,7 +168,9 @@ impl OnlineStl {
             deseasonalized
         } else {
             let buf: Vec<f64> = self.recent.iter().copied().collect();
-            median(&buf).expect("recent buffer is non-empty")
+            // The buffer is non-empty here; fall back to the current
+            // deseasonalized value rather than panic if that ever changes.
+            median(&buf).unwrap_or(deseasonalized)
         };
         let residual = deseasonalized - trend;
 
