@@ -127,7 +127,7 @@ impl Config {
     /// Index of the first allowlist entry matching the violation, if any.
     pub fn match_allow(&self, v: &Violation) -> Option<usize> {
         self.allow.iter().position(|a| {
-            a.rule == v.rule && a.path == v.path && a.line.map_or(true, |l| l == v.line)
+            a.rule == v.rule && a.path == v.path && a.line.is_none_or(|l| l == v.line)
         })
     }
 }

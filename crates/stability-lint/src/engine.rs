@@ -111,10 +111,14 @@ fn crate_of(rel: &str) -> String {
 
 /// Files the engine never lints: test code (covered by the runtime chaos
 /// suite, and allowed to use unwrap/expect for brevity), benches,
-/// examples, build output, and the lint engine's own bad-snippet fixtures.
+/// examples, build output, the lint engine's own bad-snippet fixtures, and
+/// the vendored offline dependency stubs (build tooling, not product code).
 fn skip_file(rel: &str) -> bool {
     rel.split('/').any(|seg| {
-        matches!(seg, "target" | ".git" | ".scratch" | "tests" | "benches" | "examples")
+        matches!(
+            seg,
+            "target" | ".git" | ".scratch" | "tests" | "benches" | "examples" | "offline-stubs"
+        )
     })
 }
 
@@ -127,7 +131,10 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if matches!(name.as_ref(), "target" | ".git" | ".scratch" | "node_modules") {
+            if matches!(
+                name.as_ref(),
+                "target" | ".git" | ".scratch" | "node_modules" | "offline-stubs"
+            ) {
                 continue;
             }
             collect_rs_files(root, &path, out)?;
@@ -155,6 +162,7 @@ mod tests {
         assert!(skip_file("crates/cdi-core/tests/proptests.rs"));
         assert!(skip_file("crates/bench/benches/stats.rs"));
         assert!(skip_file("crates/stability-lint/tests/fixtures/r1_bad.rs"));
+        assert!(skip_file("tools/offline-stubs/serde/src/lib.rs"));
         assert!(!skip_file("crates/cdi-core/src/indicator.rs"));
     }
 

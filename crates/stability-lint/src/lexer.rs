@@ -283,9 +283,10 @@ impl Lexer {
         // `_` separators, and `.` only when followed by a digit (so `1.0`
         // is one token but `1.max(2)` leaves `.max` alone).
         while let Some(c) = self.peek(0) {
-            if c.is_alphanumeric() || c == '_' {
-                self.bump();
-            } else if c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+            if c.is_alphanumeric()
+                || c == '_'
+                || (c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()))
+            {
                 self.bump();
             } else if (c == '+' || c == '-')
                 && matches!(self.chars.get(self.pos.wrapping_sub(1)), Some('e' | 'E'))

@@ -5,7 +5,7 @@
 //! usage/config errors).
 
 use stability_lint::{config::Config, engine, Severity};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Args {
@@ -54,10 +54,10 @@ fn parse_args() -> Result<Args, String> {
 
 /// Locate the workspace root: walk up from `start` until a directory with
 /// a `Cargo.toml` containing `[workspace]` is found.
-fn find_workspace_root(start: &PathBuf) -> PathBuf {
+fn find_workspace_root(start: &Path) -> PathBuf {
     let mut dir = match start.canonicalize() {
         Ok(d) => d,
-        Err(_) => return start.clone(),
+        Err(_) => return start.to_path_buf(),
     };
     loop {
         let manifest = dir.join("Cargo.toml");
@@ -67,7 +67,7 @@ fn find_workspace_root(start: &PathBuf) -> PathBuf {
             }
         }
         if !dir.pop() {
-            return start.clone();
+            return start.to_path_buf();
         }
     }
 }

@@ -182,8 +182,8 @@ fn test_attr_end(toks: &[Tok], i: usize) -> Option<usize> {
     // `#[cfg(...test...)]` — but not `#[cfg(not(test))]`, which marks code
     // *excluded* from test builds.
     let cfg_test = idents.first() == Some(&"cfg")
-        && idents.iter().any(|s| *s == "test")
-        && !idents.iter().any(|s| *s == "not");
+        && idents.contains(&"test")
+        && !idents.contains(&"not");
     if bare_test || cfg_test {
         Some(j + 1)
     } else {

@@ -1,0 +1,263 @@
+//! Offline stand-in for `criterion`: same macro/API surface, with a small
+//! wall-clock measurement loop instead of criterion's statistics engine.
+//!
+//! Behavior:
+//! - default (`cargo bench`): warm up briefly, then time `sample_size`
+//!   batches and report the median ns/iter plus throughput when set.
+//! - `--test` on the command line (criterion's quick mode, used by the CI
+//!   smoke job): run every benchmark closure exactly once and report `ok`.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Just the parameter, as when the group name already names the function.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// The per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    quick: bool,
+    iters_per_sample: u64,
+    samples: usize,
+    /// Median nanoseconds per iteration, filled by `iter`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the median ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.quick {
+            black_box(f());
+            self.median_ns = 0.0;
+            return;
+        }
+        // Calibrate: grow the batch until one batch takes >= 1ms, so cheap
+        // closures aren't dominated by timer overhead.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(1) || batch >= self.iters_per_sample {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the group's throughput annotation.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set how many timing samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measurement time is accepted for API compatibility and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_bench_id());
+        let quick = self.criterion.quick;
+        let mut b = Bencher {
+            quick,
+            iters_per_sample: 1 << 20,
+            samples: self.sample_size,
+            median_ns: 0.0,
+        };
+        f(&mut b);
+        report(&full, &b, self.throughput, quick);
+        self
+    }
+
+    /// Benchmark a closure with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_bench_id());
+        let quick = self.criterion.quick;
+        let mut b = Bencher {
+            quick,
+            iters_per_sample: 1 << 20,
+            samples: self.sample_size,
+            median_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(&full, &b, self.throughput, quick);
+        self
+    }
+
+    /// Finish the group (no-op; reports were emitted eagerly).
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>, quick: bool) {
+    if quick {
+        println!("{name}: ok (quick mode)");
+        return;
+    }
+    let per_iter = b.median_ns;
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            let eps = n as f64 / (per_iter / 1e9);
+            println!("{name}: {:.0} ns/iter ({:.3} Melem/s)", per_iter, eps / 1e6);
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            let bps = n as f64 / (per_iter / 1e9);
+            println!("{name}: {:.0} ns/iter ({:.3} MiB/s)", per_iter, bps / (1024.0 * 1024.0));
+        }
+        _ => println!("{name}: {per_iter:.0} ns/iter"),
+    }
+}
+
+/// Accepts both `&str` and `BenchmarkId` where criterion does.
+pub trait IntoBenchId {
+    /// Render the id segment.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.name
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--test");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; returns self unchanged.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let quick = self.quick;
+        let mut b = Bencher { quick, iters_per_sample: 1 << 20, samples: 10, median_ns: 0.0 };
+        f(&mut b);
+        report(name, &b, None, quick);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark entry point, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

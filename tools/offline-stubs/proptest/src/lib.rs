@@ -1,0 +1,536 @@
+//! Offline API-subset stand-in for `proptest`.
+//!
+//! Same macro surface (`proptest!`, `prop_oneof!`, `prop_assert*!`) and
+//! strategy combinators as real proptest, minus shrinking: each test runs a
+//! fixed number of deterministically-seeded random cases, and a failing
+//! case panics with the ordinary assert message. Seeds derive from the test
+//! name, so failures reproduce exactly across runs.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// Deterministic case generator (splitmix64).
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; 0 when `bound` is 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator (subset of proptest's `Strategy`).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase into a clonable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let this = Rc::new(self);
+        BoxedStrategy(Rc::new(move |rng| this.generate(rng)))
+    }
+
+    /// Build recursive values: at each of `depth` levels, choose between
+    /// the base strategy and `recurse` applied to the level below. The
+    /// `_desired_size`/`_expected_branch` tuning knobs of real proptest are
+    /// accepted and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut strat = base.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = union(vec![(1, base.clone()), (3, deeper)]);
+        }
+        strat
+    }
+}
+
+/// A clonable, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produce a clone of the given value, as in proptest.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between boxed arms (backs `prop_oneof!`).
+pub fn union<T: 'static>(arms: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
+    let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+    BoxedStrategy(Rc::new(move |rng| {
+        let mut pick = rng.below(total.max(1));
+        for (w, arm) in &arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return arm.generate(rng);
+            }
+            pick -= w;
+        }
+        // Unreachable with nonzero total weight; fall back to the last arm.
+        arms[arms.len() - 1].1.generate(rng)
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let width = (self.end as i128) - (self.start as i128);
+                if width <= 0 {
+                    return self.start;
+                }
+                let off = (rng.next_u64() as u128 % width as u128) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                if hi <= lo {
+                    return *self.start();
+                }
+                let width = (hi - lo + 1) as u128;
+                let off = (rng.next_u64() as u128 % width) as i128;
+                (lo + off) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let u = rng.unit_f64() as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let u = rng.unit_f64() as $t;
+                self.start() + u * (self.end() - self.start())
+            }
+        }
+    )*};
+}
+
+float_range_strategies!(f32, f64);
+
+/// `&str` as a regex strategy, as in proptest. Supports the subset this
+/// workspace's tests use: literal characters, `.`, character classes with
+/// ranges (`[a-z_]`), and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`
+/// (star/plus bounded at 8 repeats).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let n = *lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                let i = rng.below(chars.len() as u64) as usize;
+                out.push(chars[i]);
+            }
+        }
+        out
+    }
+}
+
+/// Parse a pattern into (alternatives, min-reps, max-reps) atoms.
+fn parse_regex(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+    const DOT: &str = "abcdefghijklmnopqrstuvwxyz0123456789_-";
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms: Vec<(Vec<char>, usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("stub proptest: unclosed '[' in {pattern:?}"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (a, b) = (chars[j], chars[j + 2]);
+                        for c in a..=b {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '.' => {
+                i += 1;
+                DOT.chars().collect()
+            }
+            '\\' => {
+                i += 2;
+                vec![*chars.get(i - 1).unwrap_or(&'\\')]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("stub proptest: unclosed '{{' in {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().unwrap_or(0),
+                        n.trim().parse().unwrap_or(8),
+                    ),
+                    None => {
+                        let n = body.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        if !set.is_empty() {
+            atoms.push((set, lo, hi.max(lo)));
+        }
+    }
+    atoms
+}
+
+macro_rules! tuple_strategies {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// ---------------------------------------------------------------------------
+// Modules mirrored from proptest
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (`proptest::collection` subset).
+pub mod collection {
+    use super::{BTreeSet, Strategy, TestRng};
+
+    /// Element-count specification: an exact count or a range of counts.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Exclusive.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi: r.end.max(r.start + 1) }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: r.end().saturating_add(1) }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            let width = (self.hi - self.lo).max(1) as u64;
+            self.lo + rng.below(width) as usize
+        }
+    }
+
+    /// `Vec` of generated elements with a size in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet` of generated elements with a size in `size` (best-effort
+    /// when the element domain is smaller than the requested size).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    /// Strategy produced by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < n && attempts < n * 20 + 20 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Sampling strategies (`proptest::sample` subset).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniformly select one of `items`.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        Select { items }
+    }
+
+    /// Strategy produced by [`select`].
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.items.len() as u64) as usize;
+            self.items[i].clone()
+        }
+    }
+}
+
+/// The glob-import surface, as `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, Strategy,
+    };
+}
+
+/// Number of cases each property runs.
+pub const CASES: u64 = 64;
+
+/// Drive `case` through [`CASES`] deterministic seeds derived from `name`.
+pub fn run_cases<F: FnMut(&mut TestRng)>(name: &str, mut case: F) {
+    // FNV-1a over the test name, so distinct tests explore distinct seeds.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for i in 0..CASES {
+        let mut rng = TestRng::new(h ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        case(&mut rng);
+    }
+}
+
+/// Define property tests, as proptest's `proptest!` macro.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Weighted/unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::union(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+/// Property assertion (stub: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property inequality assertion (stub: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}

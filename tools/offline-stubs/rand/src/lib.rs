@@ -1,0 +1,106 @@
+//! Offline API-subset stand-in for `rand` 0.9 (core traits only — no OS
+//! entropy, which the workspace's own stability-lint bans anyway).
+
+/// Low-level uniform-bits generator.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let chunk = self.next_u32().to_le_bytes();
+            let n = (dest.len() - i).min(4);
+            dest[i..i + n].copy_from_slice(&chunk[..n]);
+            i += n;
+        }
+    }
+}
+
+/// Distribution plumbing (subset of `rand::distr`).
+pub mod distr {
+    use super::RngCore;
+
+    /// Types samplable from the standard uniform distribution.
+    pub trait StandardSample: Sized {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl StandardSample for f64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // rand 0.9's StandardUniform for f64: 53 mantissa bits.
+            let precision = 52 + 1;
+            let scale = 1.0 / ((1u64 << precision) as f64);
+            scale * ((rng.next_u64() >> (64 - precision)) as f64)
+        }
+    }
+
+    impl StandardSample for f32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            let precision = 23 + 1;
+            let scale = 1.0 / ((1u32 << precision) as f32);
+            scale * ((rng.next_u32() >> (32 - precision)) as f32)
+        }
+    }
+
+    impl StandardSample for u32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl StandardSample for u64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl StandardSample for bool {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() & 1 == 1
+        }
+    }
+}
+
+/// User-facing generator trait (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample a value from the standard distribution.
+    fn random<T: distr::StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with rand_core's PCG32-based
+    /// expansion (bit-identical to real `SeedableRng::seed_from_u64`).
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let bytes = pcg32(&mut state);
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}

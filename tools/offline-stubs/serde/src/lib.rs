@@ -1,0 +1,368 @@
+//! Offline API-subset stand-in for `serde` (no-network build harness).
+//!
+//! Instead of serde's `Serializer`/`Deserializer` visitor machinery, this
+//! stub routes everything through a concrete JSON value tree
+//! ([`json::Value`]). The derive macros (`serde_derive` stub) generate
+//! impls of the two traits below; `serde_json` (stub) renders/parses the
+//! tree. The visible surface (`serde::Serialize`, `serde::Deserialize`,
+//! `serde::de::DeserializeOwned`, `#[derive(Serialize, Deserialize)]`)
+//! matches real serde for the subset this workspace uses, so the same
+//! source builds against real serde when a registry is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+use json::{Error, Value};
+
+/// Serialize into the stub JSON tree (stand-in for `serde::Serialize`).
+pub trait Serialize {
+    /// Convert `self` to a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Deserialize from the stub JSON tree (stand-in for `serde::Deserialize`).
+pub trait Deserialize<'de>: Sized {
+    /// Build `Self` from a JSON value.
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// `serde::de` module subset.
+pub mod de {
+    pub use crate::Deserialize;
+
+    /// Owned-deserialization marker, as in real serde.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+/// `serde::ser` module subset.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    other => Err(Error::msg(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(Error::msg(format!("expected float, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for &'static str {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            // The stub has no borrowed-deserialization plumbing; tests that
+            // round-trip `&'static str` fields get a leaked copy instead.
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for char {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().unwrap_or('\0'))
+            }
+            other => Err(Error::msg(format!("expected char, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_json_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        Ok(($($t::from_json_value(
+                            items.get($n).ok_or_else(|| {
+                                Error::msg("tuple arity mismatch")
+                            })?,
+                        )?,)+))
+                    }
+                    other => Err(Error::msg(format!(
+                        "expected array for tuple, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )+};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Map keys serde_json can represent as JSON object keys: strings, and
+/// integers (rendered in decimal, as real serde_json does).
+pub trait JsonKey: Sized {
+    /// Render the key.
+    fn to_key_string(&self) -> String;
+    /// Parse the key back.
+    fn from_key_string(s: &str) -> Result<Self, Error>;
+}
+
+impl JsonKey for String {
+    fn to_key_string(&self) -> String {
+        self.clone()
+    }
+    fn from_key_string(s: &str) -> Result<Self, Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! int_key_impls {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_key_string(&self) -> String {
+                self.to_string()
+            }
+            fn from_key_string(s: &str) -> Result<Self, Error> {
+                s.parse::<$t>()
+                    .map_err(|e| Error::msg(format!("bad integer key '{s}': {e}")))
+            }
+        }
+    )*};
+}
+
+int_key_impls!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<K: JsonKey + Ord, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        // Sorted keys: the stub is deterministic where real serde_json
+        // would leak hasher order.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_key_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+impl<'de, K, V> Deserialize<'de> for std::collections::HashMap<K, V>
+where
+    K: JsonKey + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+{
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, val)| Ok((K::from_key_string(k)?, V::from_json_value(val)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: JsonKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, val)| (k.to_key_string(), val.to_json_value()))
+                .collect(),
+        )
+    }
+}
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: JsonKey + Ord,
+    V: Deserialize<'de>,
+{
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, val)| Ok((K::from_key_string(k)?, V::from_json_value(val)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::HashSet<T> {
+    fn to_json_value(&self) -> Value {
+        // Sorted elements: deterministic where real serde_json would leak
+        // hasher order.
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Array(items.into_iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<'de, T: Deserialize<'de> + Ord + std::hash::Hash> Deserialize<'de>
+    for std::collections::HashSet<T>
+{
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl<'de> Deserialize<'de> for Value {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,486 @@
+//! Offline stand-in for `serde_derive`: hand-rolled parsing of the derive
+//! input (no `syn`/`quote`), generating impls of the stub `serde` traits.
+//!
+//! Supported shapes — the ones this workspace actually derives on:
+//! structs with named fields, unit structs, tuple structs, and enums whose
+//! variants are unit, newtype, tuple, or struct-like. Generics and
+//! `#[serde(...)]` attributes are intentionally unsupported; deriving on
+//! such a type fails loudly at compile time rather than silently
+//! mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_json_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::json::Value::Object(::std::vec![{}])",
+                pairs.join(", ")
+            )
+        }
+        Shape::TupleStruct(n) => {
+            if *n == 1 {
+                "::serde::Serialize::to_json_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "::serde::json::Value::Array(::std::vec![{}])",
+                    items.join(", ")
+                )
+            }
+        }
+        Shape::UnitStruct => "::serde::json::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| serialize_arm(&item.name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn to_json_value(&self) -> ::serde::json::Value {{ {} }}\n\
+         }}",
+        item.name, body
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json_value(__v.field(\"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({} {{ {} }})",
+                item.name,
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(n) => {
+            if *n == 1 {
+                format!(
+                    "::std::result::Result::Ok({}(\
+                     ::serde::Deserialize::from_json_value(__v)?))",
+                    item.name
+                )
+            } else {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_json_value(\
+                             __items.get({i}).ok_or_else(|| \
+                             ::serde::json::Error::msg(\"tuple struct arity\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "match __v {{ ::serde::json::Value::Array(__items) => \
+                     ::std::result::Result::Ok({}({})), \
+                     __other => ::std::result::Result::Err(\
+                     ::serde::json::Error::msg(\
+                     format!(\"expected array, got {{__other:?}}\"))) }}",
+                    item.name,
+                    inits.join(", ")
+                )
+            }
+        }
+        Shape::UnitStruct => {
+            format!("::std::result::Result::Ok({})", item.name)
+        }
+        Shape::Enum(variants) => deserialize_enum(&item.name, variants),
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {} {{\n\
+         fn from_json_value(__v: &::serde::json::Value) \
+         -> ::std::result::Result<Self, ::serde::json::Error> {{ {} }}\n\
+         }}",
+        item.name, body
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Codegen helpers
+// ---------------------------------------------------------------------------
+
+fn serialize_arm(name: &str, v: &Variant) -> String {
+    match &v.fields {
+        VariantFields::Unit => format!(
+            "{name}::{v} => ::serde::json::Value::Str(\
+             ::std::string::String::from(\"{v}\")),",
+            v = v.name
+        ),
+        VariantFields::Tuple(1) => format!(
+            "{name}::{v}(__f0) => ::serde::json::Value::Object(::std::vec![(\
+             ::std::string::String::from(\"{v}\"), \
+             ::serde::Serialize::to_json_value(__f0))]),",
+            v = v.name
+        ),
+        VariantFields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json_value(__f{i})"))
+                .collect();
+            format!(
+                "{name}::{v}({binds}) => ::serde::json::Value::Object(::std::vec![(\
+                 ::std::string::String::from(\"{v}\"), \
+                 ::serde::json::Value::Array(::std::vec![{items}]))]),",
+                v = v.name,
+                binds = binds.join(", "),
+                items = items.join(", ")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let binds = fields.join(", ");
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_json_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{v} {{ {binds} }} => ::serde::json::Value::Object(::std::vec![(\
+                 ::std::string::String::from(\"{v}\"), \
+                 ::serde::json::Value::Object(::std::vec![{pairs}]))]),",
+                v = v.name,
+                pairs = pairs.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as bare strings; data variants as single-key
+    // objects — serde's externally-tagged representation.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| {
+            format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}),",
+                v = v.name
+            )
+        })
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| match &v.fields {
+            VariantFields::Unit => None,
+            VariantFields::Tuple(1) => Some(format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                 ::serde::Deserialize::from_json_value(__inner)?)),",
+                v = v.name
+            )),
+            VariantFields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_json_value(\
+                             __items.get({i}).ok_or_else(|| \
+                             ::serde::json::Error::msg(\"variant arity\"))?)?"
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => match __inner {{ \
+                     ::serde::json::Value::Array(__items) => \
+                     ::std::result::Result::Ok({name}::{v}({inits})), \
+                     __other => ::std::result::Result::Err(\
+                     ::serde::json::Error::msg(\"expected array variant data\")) }},",
+                    v = v.name,
+                    inits = inits.join(", ")
+                ))
+            }
+            VariantFields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_json_value(\
+                             __inner.field(\"{f}\")?)?"
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {inits} }}),",
+                    v = v.name,
+                    inits = inits.join(", ")
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "match __v {{\n\
+         ::serde::json::Value::Str(__s) => match __s.as_str() {{\n\
+         {unit}\n\
+         __other => ::std::result::Result::Err(::serde::json::Error::msg(\
+         format!(\"unknown variant '{{__other}}' of {name}\"))),\n\
+         }},\n\
+         ::serde::json::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+         let (__tag, __inner) = &__fields[0];\n\
+         match __tag.as_str() {{\n\
+         {data}\n\
+         __other => ::std::result::Result::Err(::serde::json::Error::msg(\
+         format!(\"unknown variant '{{__other}}' of {name}\"))),\n\
+         }}\n\
+         }},\n\
+         __other => ::std::result::Result::Err(::serde::json::Error::msg(\
+         format!(\"cannot deserialize {name} from {{__other:?}}\"))),\n\
+         }}",
+        unit = unit_arms.join("\n"),
+        data = data_arms.join("\n"),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if *id.to_string() == *"pub" => {
+                i += 1;
+                // `pub(crate)` and friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("stub serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("stub serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!(
+                "stub serde_derive: generic type `{name}` unsupported — \
+                 extend tools/offline-stubs/serde_derive if needed"
+            );
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("stub serde_derive: bad struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("stub serde_derive: bad enum body {other:?}"),
+        },
+        other => panic!("stub serde_derive: unsupported item kind `{other}`"),
+    };
+    Item { name, shape }
+}
+
+/// Extract field names from `a: T, pub b: U, ...`, tolerating commas inside
+/// generic arguments (`HashMap<K, V>`): a field name is an ident directly
+/// followed by `:` at angle-bracket depth 0, directly after a `,` (or the
+/// start), skipping attributes and `pub`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut angle: i32 = 0;
+    let mut at_field_start = true;
+    let mut i = 0;
+    let mut prev_dash = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '#' && angle == 0 {
+                    // Field attribute (`#[doc = ...]` etc.): skip it whole,
+                    // leaving the field-start flag untouched.
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if g.delimiter() == Delimiter::Bracket {
+                            i += 2;
+                            prev_dash = false;
+                            continue;
+                        }
+                    }
+                }
+                if c == '<' {
+                    angle += 1;
+                } else if c == '>' {
+                    if prev_dash {
+                        // `->` inside a type: not an angle close.
+                    } else {
+                        angle -= 1;
+                    }
+                } else if c == ',' && angle == 0 {
+                    at_field_start = true;
+                }
+                prev_dash = c == '-';
+                i += 1;
+                continue;
+            }
+            TokenTree::Ident(id) if at_field_start && angle == 0 => {
+                let word = id.to_string();
+                if word == "pub" {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                    prev_dash = false;
+                    continue;
+                }
+                if let Some(TokenTree::Punct(p)) = tokens.get(i + 1) {
+                    if p.as_char() == ':' {
+                        fields.push(word);
+                        at_field_start = false;
+                        i += 2;
+                        prev_dash = false;
+                        continue;
+                    }
+                }
+                at_field_start = false;
+            }
+            TokenTree::Group(_) | TokenTree::Ident(_) | TokenTree::Literal(_) => {
+                at_field_start = false;
+            }
+        }
+        prev_dash = false;
+        i += 1;
+    }
+    fields
+}
+
+/// Count fields of a tuple struct/variant: top-level commas + 1 (angle
+/// depth tracked as above).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle: i32 = 0;
+    let mut commas = 0;
+    let mut prev_dash = false;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = t {
+            let c = p.as_char();
+            if c == '<' {
+                angle += 1;
+            } else if c == '>' && !prev_dash {
+                angle -= 1;
+            } else if c == ',' && angle == 0 {
+                commas += 1;
+                trailing_comma = true;
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+    commas + 1 - usize::from(trailing_comma)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                let fields = match tokens.get(i + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 2;
+                        VariantFields::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g))
+                        if g.delimiter() == Delimiter::Parenthesis =>
+                    {
+                        i += 2;
+                        VariantFields::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    _ => {
+                        i += 1;
+                        VariantFields::Unit
+                    }
+                };
+                variants.push(Variant { name, fields });
+            }
+            other => panic!("stub serde_derive: unexpected token in enum: {other:?}"),
+        }
+    }
+    variants
+}

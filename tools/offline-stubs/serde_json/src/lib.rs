@@ -1,0 +1,58 @@
+//! Offline API-subset stand-in for `serde_json`, backed by the stub
+//! serde's [`serde::json::Value`] tree.
+
+use std::io::{Read, Write};
+
+pub use serde::json::{Error, Value};
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Convert a serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Build a typed value from a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T> {
+    T::from_json_value(&value)
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.to_json_value().render_compact(&mut out);
+    Ok(out)
+}
+
+/// Serialize to a pretty (2-space-indented) JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.to_json_value().render_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Parse a typed value from a JSON string.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T> {
+    T::from_json_value(&serde::json::parse(text)?)
+}
+
+/// Serialize compact JSON into a writer.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let text = to_string(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error::msg(format!("io: {e}")))
+}
+
+/// Deserialize a typed value from a reader.
+pub fn from_reader<R: Read, T: DeserializeOwned>(mut reader: R) -> Result<T> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| Error::msg(format!("io: {e}")))?;
+    from_str(&text)
+}
