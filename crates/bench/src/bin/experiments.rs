@@ -15,6 +15,7 @@
 //!   table5  A/B hypothesis tests (Case 8)           [--trials N, default 120]
 //!   fig11   per-action Performance Indicator distributions
 //!   all     everything above
+//!   bench   engine throughput probes (JSON lines)   [--iters N, default 3]
 //! ```
 //!
 //! Each run also writes machine-readable JSON into `results/`.
@@ -28,6 +29,14 @@ fn main() {
     let seed = flag_value(&args, "--seed").unwrap_or(20250) as u64;
     let run = |name: &str| cmd == "all" || cmd == name || (cmd == "fig11" && name == "table5");
     let mut ran_any = false;
+
+    // `bench` is deliberately NOT part of `all`: its output is wall-clock
+    // timing, which must never land in the byte-stable `results/` files.
+    if cmd == "bench" {
+        let iters = flag_value(&args, "--iters").unwrap_or(3) as usize;
+        run_bench(iters.max(1));
+        return;
+    }
 
     if run("fig2") {
         ran_any = true;
@@ -100,6 +109,18 @@ fn save_json(name: &str, value: &impl serde::Serialize) {
 
 fn heading(title: &str) {
     println!("\n==== {title} ====");
+}
+
+fn run_bench(iters: usize) {
+    eprintln!("(engine throughput probes, best of {iters} timed iterations each)");
+    let records = bench::perfbench::run(iters);
+    for r in &records {
+        // One JSON object per line so shell pipelines can pick workloads out.
+        match serde_json::to_string(r) {
+            Ok(line) => println!("{line}"),
+            Err(e) => eprintln!("bench record failed to serialize: {e}"),
+        }
+    }
 }
 
 fn run_fig2(seed: u64) {

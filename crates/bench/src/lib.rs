@@ -11,6 +11,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod perfbench;
 pub mod report;
 
 use cdi_core::catalog::{EventCatalog, PeriodKind};

@@ -1,0 +1,163 @@
+//! Wall-clock throughput probes for the minispark engine.
+//!
+//! Unlike the criterion benches (`benches/pipeline.rs`), these emit a
+//! machine-readable record per workload so the perf trajectory can be
+//! committed and compared across PRs (`BENCH_PR4.json`). Workload inputs
+//! are deterministic; the timings of course are not, which is why this
+//! output goes to stdout rather than `results/` (everything under
+//! `results/` must be byte-identical between runs).
+
+use minispark::bi::{Aggregate, Query};
+use minispark::store::{ColumnType, Schema, Table, Value};
+use minispark::{Dataset, ExecContext};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured workload at one thread count.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchRecord {
+    /// Workload name, matching the criterion group where one exists.
+    pub op: String,
+    /// Worker threads in the `ExecContext`.
+    pub threads: usize,
+    /// Input elements processed per iteration.
+    pub elements: u64,
+    /// Best-of-N wall-clock seconds for one iteration.
+    pub secs: f64,
+    /// `elements / secs` for the best iteration.
+    pub elements_per_sec: f64,
+}
+
+fn measure(
+    op: &str,
+    threads: usize,
+    elements: u64,
+    iters: usize,
+    mut f: impl FnMut(),
+) -> BenchRecord {
+    // Warm-up once (allocator, page faults), then best-of-N: the minimum is
+    // the least noisy estimator for a throughput floor on a shared box.
+    f();
+    let mut best = f64::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        let secs = t.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+        }
+    }
+    BenchRecord {
+        op: op.to_string(),
+        threads,
+        elements,
+        secs: best,
+        elements_per_sec: elements as f64 / best,
+    }
+}
+
+/// Run every engine workload; `iters` timed iterations each (best-of-N).
+pub fn run(iters: usize) -> Vec<BenchRecord> {
+    let mut out = Vec::new();
+
+    // reduce_by_key over 1M pairs — the core shuffle pattern of the CDI
+    // job and the headline scaling number.
+    let pairs: Vec<(u32, u64)> = (0..1_000_000u64).map(|i| ((i % 1024) as u32, i)).collect();
+    for &threads in &[1usize, 2, 4, 8] {
+        let pairs = pairs.clone();
+        out.push(measure("reduce_by_key_1M", threads, 1_000_000, iters, move || {
+            let ctx = ExecContext::with_threads(threads);
+            let d = Dataset::from_vec(pairs.clone(), 16).unwrap();
+            let r = d.reduce_by_key(16, |a, b| a + b).unwrap();
+            black_box(r.count(&ctx));
+        }));
+    }
+
+    // group_by_key over the same pairs: stresses the reduce-side concat.
+    for &threads in &[1usize, 8] {
+        let pairs = pairs.clone();
+        out.push(measure("group_by_key_1M", threads, 1_000_000, iters, move || {
+            let ctx = ExecContext::with_threads(threads);
+            let d = Dataset::from_vec(pairs.clone(), 16).unwrap();
+            let r = d.group_by_key(16).unwrap();
+            black_box(r.count(&ctx));
+        }));
+    }
+
+    // Global sort of 1M u64s: exercises the SortPlan merge path.
+    let nums: Vec<u64> = (0..1_000_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    for &threads in &[1usize, 8] {
+        let nums = nums.clone();
+        out.push(measure("sort_by_key_1M", threads, 1_000_000, iters, move || {
+            let ctx = ExecContext::with_threads(threads);
+            let d = Dataset::from_vec(nums.clone(), 16).unwrap();
+            let r = d.sort_by_key(16, |x| *x).unwrap();
+            black_box(r.count(&ctx));
+        }));
+    }
+
+    // Narrow map/filter chain (no shuffle) at 4 threads.
+    let data: Vec<i64> = (0..1_000_000).collect();
+    out.push(measure("narrow_chain_1M", 4, 1_000_000, iters, move || {
+        let ctx = ExecContext::with_threads(4);
+        let d = Dataset::from_vec(data.clone(), 16).unwrap();
+        black_box(d.map(|x| x * 3).filter(|x| x % 7 == 0).count(&ctx));
+    }));
+
+    // Cached dataset re-read at 8 threads: the path Arc-shared partitions
+    // turn from a deep copy into a pointer bump.
+    let nums2: Vec<u64> = (0..1_000_000u64).collect();
+    out.push(measure("cached_reread_1M", 8, 1_000_000, iters, move || {
+        let ctx = ExecContext::with_threads(8);
+        let d = Dataset::from_vec(nums2.clone(), 16).unwrap().cache();
+        black_box(d.count(&ctx)); // populate
+        for _ in 0..8 {
+            black_box(d.count(&ctx)); // re-reads
+        }
+    }));
+
+    // BI drill-down over a 100k-row CDI table (Formula 4 per region).
+    let schema = Schema::new(vec![
+        ("region", ColumnType::Str),
+        ("cdi", ColumnType::Float),
+        ("service", ColumnType::Int),
+    ])
+    .unwrap();
+    let mut table = Table::new(schema);
+    for i in 0..100_000u64 {
+        table
+            .push_row(vec![
+                Value::Str(format!("region-{}", i % 8)),
+                Value::Float((i % 100) as f64 / 1e4),
+                Value::Int(1440),
+            ])
+            .unwrap();
+    }
+    let query = Query::new().group_by("region").aggregate(
+        "cdi",
+        Aggregate::WeightedMean { value: "cdi".into(), weight: "service".into() },
+    );
+    out.push(measure("bi_drilldown_100k", 1, 100_000, iters, move || {
+        black_box(query.run(&table).unwrap());
+    }));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_positive_and_serializable() {
+        let rec = measure("tiny", 1, 100, 1, || {
+            black_box((0..100u64).sum::<u64>());
+        });
+        assert!(rec.secs > 0.0);
+        assert!(rec.elements_per_sec > 0.0);
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.contains("\"op\""), "{json}");
+        assert!(json.contains("\"elements_per_sec\""), "{json}");
+    }
+}

@@ -35,6 +35,10 @@ pub struct RunReport {
     pub failed_tasks: u64,
     /// Task re-attempts after caught panics (0 for the serial pipeline).
     pub retries: u64,
+    /// Rows the dataflow engine deep-copied out of shared partitions
+    /// (0 for the serial pipeline; the minispark dataflow populates it).
+    /// Perf accounting, not a degradation signal.
+    pub rows_cloned: u64,
     /// Whether anything was quarantined, retried, or failed — i.e. whether
     /// the output differs from an all-clean run in any way.
     pub degraded: bool,
@@ -47,8 +51,15 @@ impl RunReport {
             quarantined,
             failed_tasks,
             retries,
+            rows_cloned: 0,
             degraded: quarantined > 0 || failed_tasks > 0 || retries > 0,
         }
+    }
+
+    /// Attach the engine's data-movement accounting (builder style).
+    pub fn with_rows_cloned(mut self, rows_cloned: u64) -> Self {
+        self.rows_cloned = rows_cloned;
+        self
     }
 }
 

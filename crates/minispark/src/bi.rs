@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use crate::error::{Result, SparkError};
-use crate::store::{ColumnType, Row, Schema, Table, Value};
+use crate::store::{Column, ColumnType, Row, Schema, Table, Value};
 
 /// Aggregate functions supported by the BI layer.
 #[derive(Debug, Clone)]
@@ -99,20 +99,29 @@ impl Query {
 
     /// Execute against a table. Without `group_by` the result is one global
     /// row; with it, one row per distinct key combination (sorted).
+    ///
+    /// The scan is columnar: cells are read straight out of the typed
+    /// column vectors, so a row is never materialized — no per-row `Vec`,
+    /// no cloned strings outside the group keys themselves.
     pub fn run(&self, table: &Table) -> Result<Table> {
         if self.aggregates.is_empty() {
             return Err(SparkError::invalid("query needs at least one aggregate"));
         }
-        // Resolve all column indices up front.
-        let filter_idx: Vec<usize> = self
+        // Resolve all columns up front.
+        let filter_cols: Vec<&Column> = self
             .filters
             .iter()
-            .map(|(c, _)| table.schema().index_of(c))
+            .map(|(c, _)| table.column(c))
             .collect::<Result<_>>()?;
         let group_idx: Vec<usize> = self
             .group_by
             .iter()
             .map(|c| table.schema().index_of(c))
+            .collect::<Result<_>>()?;
+        let group_cols: Vec<&Column> = self
+            .group_by
+            .iter()
+            .map(|c| table.column(c))
             .collect::<Result<_>>()?;
         for (c, i) in self.group_by.iter().zip(&group_idx) {
             if table.schema().field(*i).1 == ColumnType::Float {
@@ -121,18 +130,18 @@ impl Query {
                 )));
             }
         }
-        // Each aggregate resolves to the column indices it reads.
-        let agg_idx: Vec<Vec<usize>> = self
+        // Each aggregate resolves to the columns it reads.
+        let agg_cols: Vec<Vec<&Column>> = self
             .aggregates
             .iter()
-            .map(|(_, a)| -> Result<Vec<usize>> {
+            .map(|(_, a)| -> Result<Vec<&Column>> {
                 Ok(match a {
                     Aggregate::Count => vec![],
                     Aggregate::Sum(c) | Aggregate::Mean(c) | Aggregate::Min(c) | Aggregate::Max(c) => {
-                        vec![table.schema().index_of(c)?]
+                        vec![table.column(c)?]
                     }
                     Aggregate::WeightedMean { value, weight } => {
-                        vec![table.schema().index_of(value)?, table.schema().index_of(weight)?]
+                        vec![table.column(value)?, table.column(weight)?]
                     }
                 })
             })
@@ -157,41 +166,43 @@ impl Query {
         };
         let mut groups: BTreeMap<Vec<GroupKey>, Acc> = BTreeMap::new();
 
-        'rows: for row in table.rows() {
-            for ((_, pred), &idx) in self.filters.iter().zip(&filter_idx) {
-                if !pred(&row[idx]) {
+        'rows: for i in 0..table.len() {
+            for ((_, pred), col) in self.filters.iter().zip(&filter_cols) {
+                // Filter predicates take `&Value`, so a filtered cell is
+                // materialized — but only filter cells, never the row.
+                if !pred(&col.get(i)) {
                     continue 'rows;
                 }
             }
-            let key: Vec<GroupKey> = group_idx
+            let key: Vec<GroupKey> = group_cols
                 .iter()
-                .map(|&i| match &row[i] {
-                    Value::Int(v) => Ok(GroupKey::Int(*v)),
-                    Value::Str(s) => Ok(GroupKey::Str(s.clone())),
+                .map(|col| match col {
+                    Column::Int(c) => Ok(GroupKey::Int(c[i])),
+                    Column::Str(c) => Ok(GroupKey::Str(c[i].clone())),
                     // Rejected during schema validation above; surface a
                     // typed error rather than panic if that ever regresses.
-                    Value::Float(_) => {
+                    Column::Float(_) => {
                         Err(SparkError::invalid("float group-by column slipped past validation"))
                     }
                 })
                 .collect::<Result<_>>()?;
             let acc = groups.entry(key).or_insert_with(|| empty_acc.clone());
             acc.count += 1;
-            for (ai, ((_, agg), idxs)) in self.aggregates.iter().zip(&agg_idx).enumerate() {
+            for (ai, ((_, agg), cols)) in self.aggregates.iter().zip(&agg_cols).enumerate() {
                 match agg {
                     Aggregate::Count => {}
                     Aggregate::Sum(_) | Aggregate::Mean(_) => {
-                        acc.sums[ai] += row[idxs[0]].as_float()?;
+                        acc.sums[ai] += cols[0].float_at(i)?;
                     }
                     Aggregate::Min(_) => {
-                        acc.mins[ai] = acc.mins[ai].min(row[idxs[0]].as_float()?);
+                        acc.mins[ai] = acc.mins[ai].min(cols[0].float_at(i)?);
                     }
                     Aggregate::Max(_) => {
-                        acc.maxs[ai] = acc.maxs[ai].max(row[idxs[0]].as_float()?);
+                        acc.maxs[ai] = acc.maxs[ai].max(cols[0].float_at(i)?);
                     }
                     Aggregate::WeightedMean { .. } => {
-                        let v = row[idxs[0]].as_float()?;
-                        let w = row[idxs[1]].as_float()?;
+                        let v = cols[0].float_at(i)?;
+                        let w = cols[1].float_at(i)?;
                         acc.sums[ai] += v * w;
                         acc.sums2[ai] += w;
                     }

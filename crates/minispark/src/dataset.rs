@@ -18,23 +18,39 @@
 //! `try_*` action variants surface that error; the plain variants keep the
 //! historical panicking contract for callers that treat stage failure as a
 //! bug.
+//!
+//! **Zero-copy data plane.** Plan nodes exchange [`Partition<T>`] handles
+//! (`Arc`-shared row vectors), so materialized data — shuffle buckets, sort
+//! output, cache contents, source chunks — is built once and read by every
+//! consumer through a refcount bump. Rows are deep-copied only when a
+//! consumer needs ownership of a still-shared partition, and each such copy
+//! is counted in [`ExecMetrics::rows_cloned`](crate::exec::ExecMetrics).
+//! Wide operations aggregate through insertion-ordered index maps, so their
+//! output order is the deterministic first-seen key order, independent of
+//! hasher and thread count.
 
-use std::collections::HashMap;
-use std::hash::{BuildHasher, Hash, RandomState};
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use crate::error::{Result, SparkError};
 use crate::exec::ExecContext;
+use crate::hash::FixedState;
+use crate::partition::Partition;
 
 /// Blanket bound for element types flowing through the engine.
 pub trait Data: Clone + Send + Sync + 'static {}
 impl<T: Clone + Send + Sync + 'static> Data for T {}
 
-/// A logical plan node producing partitions of `T`.
+/// A logical plan node producing partitions of `T`. Computing a partition
+/// yields a shared handle; nodes that pin materialized state (source,
+/// shuffle, sort, cache) serve every call with an `Arc` clone of the same
+/// rows.
 trait Plan<T: Data>: Send + Sync {
     fn num_partitions(&self) -> usize;
-    fn compute(&self, ctx: &ExecContext, partition: usize) -> Vec<T>;
+    fn compute(&self, ctx: &ExecContext, partition: usize) -> Partition<T>;
 }
 
 /// A lazy, partitioned dataset.
@@ -58,14 +74,16 @@ impl<T: Data> std::fmt::Debug for Dataset<T> {
 // ---------------------------------------------------------------------------
 
 struct SourcePlan<T> {
-    partitions: Vec<Vec<T>>,
+    partitions: Vec<Partition<T>>,
 }
 
 impl<T: Data> Plan<T> for SourcePlan<T> {
     fn num_partitions(&self) -> usize {
         self.partitions.len()
     }
-    fn compute(&self, _ctx: &ExecContext, partition: usize) -> Vec<T> {
+    fn compute(&self, _ctx: &ExecContext, partition: usize) -> Partition<T> {
+        // Arc bump: the source keeps its rows for recompute/retry, readers
+        // share them.
         self.partitions[partition].clone()
     }
 }
@@ -80,8 +98,31 @@ impl<T: Data, U: Data> Plan<U> for MapPartitionsPlan<T, U> {
     fn num_partitions(&self) -> usize {
         self.parent.num_partitions()
     }
-    fn compute(&self, ctx: &ExecContext, partition: usize) -> Vec<U> {
-        (self.f)(self.parent.compute(ctx, partition))
+    fn compute(&self, ctx: &ExecContext, partition: usize) -> Partition<U> {
+        // The public closure consumes owned rows; `into_vec` moves them
+        // when the parent partition is unshared and clones (counted) when
+        // it is pinned elsewhere.
+        let rows = self.parent.compute(ctx, partition).into_vec(&ctx.metrics);
+        Partition::new((self.f)(rows))
+    }
+}
+
+/// Borrow-based sibling of [`MapPartitionsPlan`] for engine-internal
+/// consumers (wide-op aggregation) that only need to *read* the parent's
+/// rows: skips the ownership transfer entirely, so reading a shared shuffle
+/// bucket clones nothing.
+struct MapPartitionsRefPlan<T: Data, U: Data> {
+    parent: Arc<dyn Plan<T>>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(&[T]) -> Vec<U> + Send + Sync>,
+}
+
+impl<T: Data, U: Data> Plan<U> for MapPartitionsRefPlan<T, U> {
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn compute(&self, ctx: &ExecContext, partition: usize) -> Partition<U> {
+        Partition::new((self.f)(&self.parent.compute(ctx, partition)))
     }
 }
 
@@ -94,7 +135,7 @@ impl<T: Data> Plan<T> for UnionPlan<T> {
     fn num_partitions(&self) -> usize {
         self.left.num_partitions() + self.right.num_partitions()
     }
-    fn compute(&self, ctx: &ExecContext, partition: usize) -> Vec<T> {
+    fn compute(&self, ctx: &ExecContext, partition: usize) -> Partition<T> {
         let n_left = self.left.num_partitions();
         if partition < n_left {
             self.left.compute(ctx, partition)
@@ -105,40 +146,58 @@ impl<T: Data> Plan<T> for UnionPlan<T> {
 }
 
 /// Hash shuffle: materializes the parent once, bucketing rows by key hash.
+/// The fixed-seed hasher makes bucket assignment identical across plans,
+/// processes, and runs — the co-partitioning contract joins rely on.
 struct ShufflePlan<K: Data + Hash + Eq, V: Data> {
     parent: Arc<dyn Plan<(K, V)>>,
     num_out: usize,
-    hasher: RandomState,
-    cache: OnceLock<Vec<Vec<(K, V)>>>,
+    hasher: FixedState,
+    cache: OnceLock<Vec<Partition<(K, V)>>>,
 }
 
 impl<K: Data + Hash + Eq, V: Data> ShufflePlan<K, V> {
-    fn buckets(&self, ctx: &ExecContext) -> &Vec<Vec<(K, V)>> {
+    fn buckets(&self, ctx: &ExecContext) -> &Vec<Partition<(K, V)>> {
         self.cache.get_or_init(|| {
             ctx.metrics.shuffles.fetch_add(1, Ordering::Relaxed);
             let n_in = self.parent.num_partitions();
             // Map side: compute every input partition in parallel and
             // pre-bucket it locally.
             let per_input: Vec<Vec<Vec<(K, V)>>> = ctx.parallel_indexed(n_in, |p| {
-                let rows = self.parent.compute(ctx, p);
+                let rows = self.parent.compute(ctx, p).into_vec(&ctx.metrics);
                 let mut local: Vec<Vec<(K, V)>> = (0..self.num_out).map(|_| Vec::new()).collect();
                 for (k, v) in rows {
-                    
-                    
                     let b = (self.hasher.hash_one(&k) % self.num_out as u64) as usize;
                     local[b].push((k, v));
                 }
                 local
             });
-            // Reduce side: concatenate each bucket across inputs.
-            let mut out: Vec<Vec<(K, V)>> = (0..self.num_out).map(|_| Vec::new()).collect();
-            let mut moved = 0u64;
+            // Transpose to bucket-major (Vec headers only, no row moves),
+            // behind per-bucket mutexes so the reduce side can take them
+            // from parallel tasks.
+            let mut by_bucket: Vec<Vec<Vec<(K, V)>>> =
+                (0..self.num_out).map(|_| Vec::with_capacity(n_in)).collect();
             for local in per_input {
-                for (b, mut rows) in local.into_iter().enumerate() {
-                    moved += rows.len() as u64;
-                    out[b].append(&mut rows);
+                for (b, rows) in local.into_iter().enumerate() {
+                    by_bucket[b].push(rows);
                 }
             }
+            let by_bucket: Vec<Mutex<Vec<_>>> = by_bucket.into_iter().map(Mutex::new).collect();
+            // Reduce side: concatenate each output bucket in parallel —
+            // buckets are independent, so they scale across the pool
+            // instead of serializing on one thread. Input-partition order
+            // is preserved within each bucket, keeping output deterministic.
+            let out: Vec<Partition<(K, V)>> = ctx.parallel_indexed(self.num_out, |b| {
+                let pieces = std::mem::take(
+                    &mut *by_bucket[b].lock().unwrap_or_else(PoisonError::into_inner),
+                );
+                let total = pieces.iter().map(Vec::len).sum();
+                let mut rows: Vec<(K, V)> = Vec::with_capacity(total);
+                for mut piece in pieces {
+                    rows.append(&mut piece);
+                }
+                Partition::new(rows)
+            });
+            let moved: u64 = out.iter().map(|p| p.len() as u64).sum();
             ctx.metrics.shuffled_records.fetch_add(moved, Ordering::Relaxed);
             out
         })
@@ -149,86 +208,123 @@ impl<K: Data + Hash + Eq, V: Data> Plan<(K, V)> for ShufflePlan<K, V> {
     fn num_partitions(&self) -> usize {
         self.num_out
     }
-    fn compute(&self, ctx: &ExecContext, partition: usize) -> Vec<(K, V)> {
+    fn compute(&self, ctx: &ExecContext, partition: usize) -> Partition<(K, V)> {
+        // Arc bump: consumers read the pinned bucket, they don't copy it.
         self.buckets(ctx)[partition].clone()
     }
 }
 
 /// Zip two co-partitioned plans through a combiner — the join back-end.
+/// The combiner borrows both sides, so reading shared shuffle buckets
+/// copies nothing; it clones only the rows it emits.
 struct ZipPartitionsPlan<A: Data, B: Data, U: Data> {
     left: Arc<dyn Plan<A>>,
     right: Arc<dyn Plan<B>>,
     #[allow(clippy::type_complexity)]
-    f: Arc<dyn Fn(Vec<A>, Vec<B>) -> Vec<U> + Send + Sync>,
+    f: Arc<dyn Fn(&[A], &[B]) -> Vec<U> + Send + Sync>,
 }
 
 impl<A: Data, B: Data, U: Data> Plan<U> for ZipPartitionsPlan<A, B, U> {
     fn num_partitions(&self) -> usize {
         self.left.num_partitions()
     }
-    fn compute(&self, ctx: &ExecContext, partition: usize) -> Vec<U> {
-        (self.f)(self.left.compute(ctx, partition), self.right.compute(ctx, partition))
+    fn compute(&self, ctx: &ExecContext, partition: usize) -> Partition<U> {
+        Partition::new((self.f)(
+            &self.left.compute(ctx, partition),
+            &self.right.compute(ctx, partition),
+        ))
     }
 }
 
-/// Global sort: materializes the parent once, sorts, and range-partitions.
+/// Global sort: sorts each parent partition in parallel, k-way merges the
+/// runs, and range-partitions the merged stream. Materializes once.
 struct SortPlan<T: Data, K: Data + Ord> {
     parent: Arc<dyn Plan<T>>,
     key: Arc<dyn Fn(&T) -> K + Send + Sync>,
     num_out: usize,
-    cache: OnceLock<Vec<Vec<T>>>,
+    cache: OnceLock<Vec<Partition<T>>>,
+}
+
+impl<T: Data, K: Data + Ord> SortPlan<T, K> {
+    /// Sort each input partition in parallel, then k-way merge the sorted
+    /// runs through a binary heap — O(n log k) merge instead of re-sorting
+    /// the concatenation, and the output streams straight into the
+    /// range-partitioned chunks.
+    fn sorted(&self, ctx: &ExecContext) -> Vec<Partition<T>> {
+        let n_in = self.parent.num_partitions();
+        let runs: Vec<Vec<T>> = ctx.parallel_indexed(n_in, |p| {
+            let mut rows = self.parent.compute(ctx, p).into_vec(&ctx.metrics);
+            rows.sort_by_key(|a| (self.key)(a));
+            rows
+        });
+        let total: usize = runs.iter().map(Vec::len).sum();
+        let chunk = total.div_ceil(self.num_out).max(1);
+        let mut iters: Vec<std::vec::IntoIter<T>> =
+            runs.into_iter().map(Vec::into_iter).collect();
+        // Heap of (key, run): `Reverse` turns the max-heap into a min-heap;
+        // the run index tie-breaks equal keys in run order, which — with
+        // stable per-run sorts — keeps the merge as stable as the old
+        // flatten-and-resort.
+        let mut heads: Vec<Option<T>> = Vec::with_capacity(iters.len());
+        let mut heap: BinaryHeap<std::cmp::Reverse<(K, usize)>> =
+            BinaryHeap::with_capacity(iters.len());
+        for (run, it) in iters.iter_mut().enumerate() {
+            match it.next() {
+                Some(x) => {
+                    heap.push(std::cmp::Reverse(((self.key)(&x), run)));
+                    heads.push(Some(x));
+                }
+                None => heads.push(None),
+            }
+        }
+        let mut out: Vec<Partition<T>> = Vec::with_capacity(self.num_out);
+        let mut cur: Vec<T> = Vec::with_capacity(chunk.min(total.max(1)));
+        while let Some(std::cmp::Reverse((_, run))) = heap.pop() {
+            if let Some(x) = heads[run].take() {
+                cur.push(x);
+            }
+            if let Some(next) = iters[run].next() {
+                heap.push(std::cmp::Reverse(((self.key)(&next), run)));
+                heads[run] = Some(next);
+            }
+            if cur.len() == chunk {
+                out.push(Partition::new(std::mem::take(&mut cur)));
+            }
+        }
+        if !cur.is_empty() {
+            out.push(Partition::new(cur));
+        }
+        // Keep the partition count contract: trailing ranges may be empty.
+        while out.len() < self.num_out {
+            out.push(Partition::empty());
+        }
+        out
+    }
 }
 
 impl<T: Data, K: Data + Ord> Plan<T> for SortPlan<T, K> {
     fn num_partitions(&self) -> usize {
         self.num_out
     }
-    fn compute(&self, ctx: &ExecContext, partition: usize) -> Vec<T> {
-        self.cache
-            .get_or_init(|| {
-                let n_in = self.parent.num_partitions();
-                let parts = ctx.parallel_indexed(n_in, |p| {
-                    let mut rows = self.parent.compute(ctx, p);
-                    rows.sort_by_key(|a| (self.key)(a));
-                    rows
-                });
-                // K-way merge via flatten + sort (simple and adequate here).
-                let mut all: Vec<T> = parts.into_iter().flatten().collect();
-                all.sort_by_key(|a| (self.key)(a));
-                // Range split into contiguous chunks.
-                let chunk = all.len().div_ceil(self.num_out).max(1);
-                let mut out: Vec<Vec<T>> = Vec::with_capacity(self.num_out);
-                let mut it = all.into_iter().peekable();
-                for _ in 0..self.num_out {
-                    let mut part = Vec::with_capacity(chunk);
-                    for _ in 0..chunk {
-                        match it.next() {
-                            Some(x) => part.push(x),
-                            None => break,
-                        }
-                    }
-                    out.push(part);
-                }
-                out
-            })[partition]
-            .clone()
+    fn compute(&self, ctx: &ExecContext, partition: usize) -> Partition<T> {
+        self.cache.get_or_init(|| self.sorted(ctx))[partition].clone()
     }
 }
 
 /// Materialize-once cache: the first access computes every parent
 /// partition in parallel and pins the result, so iterative consumers (the
 /// day-by-day experiment loops) pay the upstream cost once — Spark's
-/// `.cache()`.
+/// `.cache()`. Serving a cached partition is an `Arc` bump, not a copy.
 struct CachePlan<T: Data> {
     parent: Arc<dyn Plan<T>>,
-    cache: OnceLock<Vec<Vec<T>>>,
+    cache: OnceLock<Vec<Partition<T>>>,
 }
 
 impl<T: Data> Plan<T> for CachePlan<T> {
     fn num_partitions(&self) -> usize {
         self.parent.num_partitions()
     }
-    fn compute(&self, ctx: &ExecContext, partition: usize) -> Vec<T> {
+    fn compute(&self, ctx: &ExecContext, partition: usize) -> Partition<T> {
         self.cache
             .get_or_init(|| {
                 let n = self.parent.num_partitions();
@@ -249,7 +345,7 @@ impl<T: Data> Dataset<T> {
             return Err(SparkError::invalid("num_partitions must be positive"));
         }
         let chunk = data.len().div_ceil(num_partitions).max(1);
-        let mut partitions: Vec<Vec<T>> = Vec::with_capacity(num_partitions);
+        let mut partitions: Vec<Partition<T>> = Vec::with_capacity(num_partitions);
         let mut it = data.into_iter().peekable();
         for _ in 0..num_partitions {
             let mut p = Vec::with_capacity(chunk);
@@ -259,7 +355,7 @@ impl<T: Data> Dataset<T> {
                     None => break,
                 }
             }
-            partitions.push(p);
+            partitions.push(Partition::new(p));
         }
         Ok(Dataset { plan: Arc::new(SourcePlan { partitions }) })
     }
@@ -301,6 +397,18 @@ impl<T: Data> Dataset<T> {
     ) -> Dataset<U> {
         Dataset {
             plan: Arc::new(MapPartitionsPlan { parent: Arc::clone(&self.plan), f: Arc::new(f) }),
+        }
+    }
+
+    /// Engine-internal borrow-based partition map: the closure reads the
+    /// parent's rows in place, so consuming a shared (cached/shuffled)
+    /// partition never deep-copies it.
+    fn map_partitions_ref<U: Data>(
+        &self,
+        f: impl Fn(&[T]) -> Vec<U> + Send + Sync + 'static,
+    ) -> Dataset<U> {
+        Dataset {
+            plan: Arc::new(MapPartitionsRefPlan { parent: Arc::clone(&self.plan), f: Arc::new(f) }),
         }
     }
 
@@ -355,11 +463,13 @@ impl<T: Data> Dataset<T> {
     pub fn try_collect(&self, ctx: &ExecContext) -> Result<Vec<T>> {
         let n = self.plan.num_partitions();
         let plan = &self.plan;
-        Ok(ctx
-            .try_parallel_indexed(n, |p| plan.compute(ctx, p))?
-            .into_iter()
-            .flatten()
-            .collect())
+        let parts = ctx.try_parallel_indexed(n, |p| plan.compute(ctx, p))?;
+        let total = parts.iter().map(|p| p.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for part in parts {
+            out.append(&mut part.into_vec(&ctx.metrics));
+        }
+        Ok(out)
     }
 
     /// Action: gather all elements (partition order preserved). Panics if a
@@ -400,7 +510,10 @@ impl<T: Data> Dataset<T> {
         let n = self.plan.num_partitions();
         let plan = &self.plan;
         let partials = ctx.try_parallel_indexed(n, |p| {
-            plan.compute(ctx, p).into_iter().fold(init.clone(), &fold)
+            plan.compute(ctx, p)
+                .into_vec(&ctx.metrics)
+                .into_iter()
+                .fold(init.clone(), &fold)
         })?;
         Ok(partials.into_iter().fold(init, merge))
     }
@@ -431,6 +544,38 @@ impl<T: Data + Hash + Eq> Dataset<T> {
     }
 }
 
+/// Combine rows by key with a first-seen-ordered index map: values land in
+/// a vector in the order their keys first appear, while a pre-sized hash
+/// index finds the slot for repeats — one pass, no remove-and-reinsert
+/// double hashing, and the output order is deterministic regardless of
+/// hasher internals or thread count. Keys are cloned once per *distinct*
+/// key, values once per row (the closure needs owned values).
+fn combine_by_key<K, V>(rows: &[(K, V)], f: &(impl Fn(V, V) -> V + ?Sized)) -> Vec<(K, V)>
+where
+    K: Data + Hash + Eq,
+    V: Data,
+{
+    let mut index: HashMap<&K, usize, FixedState> =
+        HashMap::with_capacity_and_hasher(rows.len(), FixedState);
+    let mut out: Vec<(K, Option<V>)> = Vec::new();
+    for (k, v) in rows {
+        match index.entry(k) {
+            Entry::Occupied(e) => {
+                let slot = &mut out[*e.get()].1;
+                // `take` + `map` keeps the combine panic-free: the slot is
+                // always occupied, but an Option round-trip costs nothing
+                // and avoids an unwrap.
+                *slot = slot.take().map(|prev| f(prev, v.clone()));
+            }
+            Entry::Vacant(e) => {
+                e.insert(out.len());
+                out.push((k.clone(), Some(v.clone())));
+            }
+        }
+    }
+    out.into_iter().filter_map(|(k, v)| v.map(|v| (k, v))).collect()
+}
+
 impl<K: Data + Hash + Eq, V: Data> Dataset<(K, V)> {
     /// Insert a hash shuffle with `num_partitions` output buckets.
     fn shuffle(&self, num_partitions: usize) -> Result<Dataset<(K, V)>> {
@@ -441,27 +586,38 @@ impl<K: Data + Hash + Eq, V: Data> Dataset<(K, V)> {
             plan: Arc::new(ShufflePlan {
                 parent: Arc::clone(&self.plan),
                 num_out: num_partitions,
-                // Fixed seeds keep co-partitioning consistent across the
-                // two sides of a join.
-                hasher: fixed_state(),
+                // The fixed-seed hasher keeps co-partitioning consistent
+                // across the two sides of a join — and across processes,
+                // so committed results are reproducible.
+                hasher: FixedState,
                 cache: OnceLock::new(),
             }),
         })
     }
 
-    /// Group values by key (wide; one shuffle).
+    /// Group values by key (wide; one shuffle). Output order within each
+    /// partition is the first-seen key order — deterministic across runs.
     pub fn group_by_key(&self, num_partitions: usize) -> Result<Dataset<(K, Vec<V>)>> {
         let shuffled = self.shuffle(num_partitions)?;
-        Ok(shuffled.map_partitions(|rows| {
-            let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+        Ok(shuffled.map_partitions_ref(|rows| {
+            let mut index: HashMap<&K, usize, FixedState> =
+                HashMap::with_capacity_and_hasher(rows.len(), FixedState);
+            let mut out: Vec<(K, Vec<V>)> = Vec::new();
             for (k, v) in rows {
-                groups.entry(k).or_default().push(v);
+                match index.entry(k) {
+                    Entry::Occupied(e) => out[*e.get()].1.push(v.clone()),
+                    Entry::Vacant(e) => {
+                        e.insert(out.len());
+                        out.push((k.clone(), vec![v.clone()]));
+                    }
+                }
             }
-            groups.into_iter().collect()
+            out
         }))
     }
 
     /// Reduce values per key (wide; map-side combine then one shuffle).
+    /// Output order within each partition is the first-seen key order.
     pub fn reduce_by_key(
         &self,
         num_partitions: usize,
@@ -470,38 +626,14 @@ impl<K: Data + Hash + Eq, V: Data> Dataset<(K, V)> {
         let f = Arc::new(f);
         // Map-side combine shrinks shuffle volume, as in Spark.
         let f1 = Arc::clone(&f);
-        let combined = self.map_partitions(move |rows| {
-            let mut acc: HashMap<K, V> = HashMap::new();
-            for (k, v) in rows {
-                match acc.remove(&k) {
-                    Some(prev) => {
-                        acc.insert(k, f1(prev, v));
-                    }
-                    None => {
-                        acc.insert(k, v);
-                    }
-                }
-            }
-            acc.into_iter().collect()
-        });
+        let combined = self.map_partitions_ref(move |rows| combine_by_key(rows, f1.as_ref()));
         let shuffled = combined.shuffle(num_partitions)?;
-        Ok(shuffled.map_partitions(move |rows| {
-            let mut acc: HashMap<K, V> = HashMap::new();
-            for (k, v) in rows {
-                match acc.remove(&k) {
-                    Some(prev) => {
-                        acc.insert(k, f(prev, v));
-                    }
-                    None => {
-                        acc.insert(k, v);
-                    }
-                }
-            }
-            acc.into_iter().collect()
-        }))
+        Ok(shuffled.map_partitions_ref(move |rows| combine_by_key(rows, f.as_ref())))
     }
 
-    /// Inner hash join (wide; both sides shuffled to co-partition).
+    /// Inner hash join (wide; both sides shuffled to co-partition). The
+    /// build side is indexed by *borrowed* keys, so only emitted rows are
+    /// cloned.
     pub fn join<W: Data>(
         &self,
         other: &Dataset<(K, W)>,
@@ -513,15 +645,16 @@ impl<K: Data + Hash + Eq, V: Data> Dataset<(K, V)> {
             plan: Arc::new(ZipPartitionsPlan {
                 left: Arc::clone(&left.plan),
                 right: Arc::clone(&right.plan),
-                f: Arc::new(|l: Vec<(K, V)>, r: Vec<(K, W)>| {
-                    let mut table: HashMap<K, Vec<W>> = HashMap::new();
+                f: Arc::new(|l: &[(K, V)], r: &[(K, W)]| {
+                    let mut table: HashMap<&K, Vec<&W>, FixedState> =
+                        HashMap::with_capacity_and_hasher(r.len(), FixedState);
                     for (k, w) in r {
                         table.entry(k).or_default().push(w);
                     }
                     let mut out = Vec::new();
                     for (k, v) in l {
-                        if let Some(ws) = table.get(&k) {
-                            for w in ws {
+                        if let Some(ws) = table.get(k) {
+                            for &w in ws {
                                 out.push((k.clone(), (v.clone(), w.clone())));
                             }
                         }
@@ -543,15 +676,6 @@ impl<K: Data + Hash + Eq, V: Data> Dataset<(K, V)> {
     pub fn collect_map(&self, ctx: &ExecContext) -> HashMap<K, V> {
         self.collect(ctx).into_iter().collect()
     }
-}
-
-/// A `RandomState` with fixed seeds so that separate shuffles co-partition
-/// identically (required for join correctness).
-fn fixed_state() -> RandomState {
-    // `RandomState` cannot be seeded on stable; instead build one per
-    // process and share it.
-    static SHARED: OnceLock<RandomState> = OnceLock::new();
-    SHARED.get_or_init(RandomState::new).clone()
 }
 
 #[cfg(test)]

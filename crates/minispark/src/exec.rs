@@ -35,6 +35,14 @@ pub struct ExecMetrics {
     pub shuffled_records: AtomicU64,
     /// Number of shuffle materializations.
     pub shuffles: AtomicU64,
+    /// Rows deep-copied out of a *shared* partition (cache, shuffle, or
+    /// source) because a consumer needed ownership. Zero-copy plans keep
+    /// this at zero on re-reads; see [`Partition::into_vec`](crate::Partition::into_vec).
+    pub rows_cloned: AtomicU64,
+    /// Approximate payload bytes behind `rows_cloned`, computed from the
+    /// static element size (heap payloads of `String`-like rows are not
+    /// followed).
+    pub bytes_cloned: AtomicU64,
 }
 
 /// A plain-number copy of [`ExecMetrics`] at one instant.
@@ -52,6 +60,10 @@ pub struct MetricsSnapshot {
     pub shuffled_records: u64,
     /// Shuffle materializations.
     pub shuffles: u64,
+    /// Rows deep-copied out of shared partitions.
+    pub rows_cloned: u64,
+    /// Approximate bytes behind `rows_cloned`.
+    pub bytes_cloned: u64,
 }
 
 impl ExecMetrics {
@@ -64,6 +76,8 @@ impl ExecMetrics {
             retried_tasks: self.retried_tasks.load(Ordering::Relaxed),
             shuffled_records: self.shuffled_records.load(Ordering::Relaxed),
             shuffles: self.shuffles.load(Ordering::Relaxed),
+            rows_cloned: self.rows_cloned.load(Ordering::Relaxed),
+            bytes_cloned: self.bytes_cloned.load(Ordering::Relaxed),
         }
     }
 }
@@ -244,10 +258,14 @@ impl ExecContext {
         }
         let cursor = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
-        // Each worker claims indices from the shared cursor and keeps its
-        // results locally; results are merged into ordered slots after the
-        // scope. A terminal task failure flips `failed` so siblings drain.
+        // Each worker claims a *chunk* of indices from the shared cursor per
+        // contended fetch_add (one atomic for several tasks), runs them, and
+        // keeps results locally; results are merged into ordered slots after
+        // the scope. The chunk is sized so every worker still gets several
+        // claims — load balance survives a skewed tail. A terminal task
+        // failure flips `failed` so siblings drain.
         let workers = self.threads.min(n);
+        let chunk = (n / (workers * 4)).max(1);
         let results: Vec<Result<Vec<(usize, R)>, TaskError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -256,19 +274,24 @@ impl ExecContext {
                     let f = &f;
                     scope.spawn(move || {
                         let mut local = Vec::new();
-                        loop {
+                        'claims: loop {
                             if failed.load(Ordering::Relaxed) {
                                 break;
                             }
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
                                 break;
                             }
-                            match self.run_task(i, f) {
-                                Ok(r) => local.push((i, r)),
-                                Err(e) => {
-                                    failed.store(true, Ordering::Relaxed);
-                                    return Err(e);
+                            for i in start..(start + chunk).min(n) {
+                                if failed.load(Ordering::Relaxed) {
+                                    break 'claims;
+                                }
+                                match self.run_task(i, f) {
+                                    Ok(r) => local.push((i, r)),
+                                    Err(e) => {
+                                        failed.store(true, Ordering::Relaxed);
+                                        return Err(e);
+                                    }
                                 }
                             }
                         }

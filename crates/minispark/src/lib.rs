@@ -10,9 +10,18 @@
 //!   wide transformations (group_by_key/reduce_by_key/join/sort) introduce a
 //!   hash shuffle that materializes once and is shared by downstream
 //!   consumers, mirroring Spark's stage split at shuffle boundaries.
+//! - [`partition`] — [`Partition<T>`]: the `Arc`-shared immutable row
+//!   vectors plans exchange. Materialized data (shuffles, sorts, caches,
+//!   sources) is pinned once and read everywhere by refcount bump; deep
+//!   copies happen only when a consumer needs ownership of still-shared
+//!   rows, and are counted in the engine metrics.
 //! - [`exec`] — the execution context: a scoped thread pool with
-//!   work-stealing over partitions, panic-isolated tasks with bounded
-//!   retries (Spark's task re-execution), plus task/shuffle metrics.
+//!   chunked work-stealing over partitions, panic-isolated tasks with
+//!   bounded retries (Spark's task re-execution), plus task/shuffle/copy
+//!   metrics.
+//! - [`hash`] — the fixed-seed [`hash::FixedState`] hasher: shuffle bucket
+//!   assignment is identical across plans, processes, and runs, which is
+//!   what makes joins co-partition and committed results reproducible.
 //! - [`store`] — the storage substrates of the paper's Fig. 4: an
 //!   append-only time-indexed [`store::EventLog`] (Simple Log Service
 //!   stand-in), columnar [`store::Table`]s with CSV/JSON persistence
@@ -30,8 +39,11 @@ pub mod bi;
 pub mod dataset;
 pub mod error;
 pub mod exec;
+pub mod hash;
+pub mod partition;
 pub mod store;
 
 pub use dataset::Dataset;
 pub use error::{Result, SparkError};
 pub use exec::{ExecContext, MetricsSnapshot, RetryPolicy, TaskError};
+pub use partition::Partition;

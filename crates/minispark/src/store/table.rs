@@ -177,11 +177,23 @@ impl Column {
         Ok(())
     }
 
-    fn get(&self, i: usize) -> Value {
+    /// Materialize cell `i` as a [`Value`] (clones string cells).
+    pub fn get(&self, i: usize) -> Value {
         match self {
             Column::Int(c) => Value::Int(c[i]),
             Column::Float(c) => Value::Float(c[i]),
             Column::Str(c) => Value::Str(c[i].clone()),
+        }
+    }
+
+    /// Float view of cell `i` without materializing a [`Value`] (integers
+    /// coerce losslessly) — the allocation-free accessor columnar scans
+    /// aggregate through.
+    pub fn float_at(&self, i: usize) -> Result<f64> {
+        match self {
+            Column::Float(c) => Ok(c[i]),
+            Column::Int(c) => Ok(c[i] as f64),
+            Column::Str(_) => Err(SparkError::schema("string column has no float view")),
         }
     }
 
@@ -299,7 +311,8 @@ impl Table {
         out
     }
 
-    /// New table with only the named columns, in the given order.
+    /// New table with only the named columns, in the given order. Copies
+    /// whole columns, never materializing intermediate rows.
     pub fn select(&self, columns: &[&str]) -> Result<Table> {
         let indices: Vec<usize> = columns
             .iter()
@@ -307,11 +320,11 @@ impl Table {
             .collect::<Result<_>>()?;
         let fields: Vec<(&str, ColumnType)> =
             indices.iter().map(|&i| self.schema.field(i)).collect();
-        let mut out = Table::new(Schema::new(fields)?);
-        for r in self.rows() {
-            out.push_row(indices.iter().map(|&i| r[i].clone()).collect())?;
-        }
-        Ok(out)
+        Ok(Table {
+            schema: Schema::new(fields)?,
+            columns: indices.iter().map(|&i| self.columns[i].clone()).collect(),
+            rows: self.rows,
+        })
     }
 
     // --- persistence -------------------------------------------------------

@@ -129,6 +129,44 @@ proptest! {
         prop_assert_eq!(got, expected);
     }
 
+    /// sort_by_key is stable: rows with equal keys keep their input order.
+    /// The k-way merge breaks ties by run index, so stability survives any
+    /// partitioning, not just the single-partition case.
+    #[test]
+    fn sort_is_stable_under_any_partitioning(
+        keys in prop::collection::vec(0u8..6, 0..200),
+        parts in 1usize..8,
+        out_parts in 1usize..8
+    ) {
+        let pairs: Vec<(u8, usize)> = keys.into_iter().enumerate().map(|(i, k)| (k, i)).collect();
+        let d = Dataset::from_vec(pairs.clone(), parts).unwrap();
+        let got = d.sort_by_key(out_parts, |&(k, _)| k).unwrap().collect(&ctx());
+        let mut expected = pairs;
+        expected.sort_by_key(|&(k, _)| k); // std stable sort is the reference
+        prop_assert_eq!(got, expected);
+    }
+
+    /// reduce_by_key output order is a pure function of the data: fresh
+    /// contexts with different thread counts produce the identical Vec.
+    #[test]
+    fn reduce_by_key_order_is_scheduling_independent(
+        pairs in prop::collection::vec((0u8..16, -100i64..100), 0..200),
+        parts in 1usize..8,
+        out_parts in 1usize..8
+    ) {
+        let run = |threads: usize| {
+            let c = ExecContext::with_threads(threads);
+            Dataset::from_vec(pairs.clone(), parts)
+                .unwrap()
+                .reduce_by_key(out_parts, |a, b| a.wrapping_add(b))
+                .unwrap()
+                .collect(&c)
+        };
+        let serial = run(1);
+        prop_assert_eq!(&run(4), &serial);
+        prop_assert_eq!(&run(7), &serial);
+    }
+
     /// distinct equals the set of inputs.
     #[test]
     fn distinct_matches_set(

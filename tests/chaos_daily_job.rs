@@ -10,7 +10,7 @@
 //! run.
 
 use cdi_repro::daily_job::{run, DailyJobConfig};
-use cloudbot::pipeline::{DailyPipeline, RunReport};
+use cloudbot::pipeline::DailyPipeline;
 use minispark::store::Value;
 use simfleet::faults::{FaultInjection, FaultKind, FaultTarget};
 use simfleet::{ChaosConfig, ChaosKind, Fleet, FleetConfig, SimWorld};
@@ -59,7 +59,10 @@ fn chaos_run_completes_and_clean_vm_cdi_is_unchanged() {
 
     let clean_world = world();
     let clean = run(&clean_world, &pipeline, 0, 0, 6 * HOUR, config).unwrap();
-    assert_eq!(clean.report, RunReport::default());
+    // rows_cloned is perf accounting, not a health signal: ignore it here.
+    assert_eq!(clean.report.quarantined, 0);
+    assert_eq!(clean.report.failed_tasks, 0);
+    assert_eq!(clean.report.retries, 0);
     assert!(!clean.report.degraded);
     assert_eq!(clean.quarantine_table.len(), 0);
     assert!(
