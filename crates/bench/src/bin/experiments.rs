@@ -16,6 +16,7 @@
 //!   fig11   per-action Performance Indicator distributions
 //!   all     everything above
 //!   bench   engine throughput probes (JSON lines)   [--iters N, default 3]
+//!   bench-serve  cdi-serve ingest/query probes      [--iters N] [--quick]
 //! ```
 //!
 //! Each run also writes machine-readable JSON into `results/`.
@@ -35,6 +36,12 @@ fn main() {
     if cmd == "bench" {
         let iters = flag_value(&args, "--iters").unwrap_or(3) as usize;
         run_bench(iters.max(1));
+        return;
+    }
+    if cmd == "bench-serve" {
+        let iters = flag_value(&args, "--iters").unwrap_or(3) as usize;
+        let quick = args.iter().any(|a| a == "--quick");
+        run_bench_serve(iters.max(1), quick);
         return;
     }
 
@@ -116,6 +123,20 @@ fn run_bench(iters: usize) {
     let records = bench::perfbench::run(iters);
     for r in &records {
         // One JSON object per line so shell pipelines can pick workloads out.
+        match serde_json::to_string(r) {
+            Ok(line) => println!("{line}"),
+            Err(e) => eprintln!("bench record failed to serialize: {e}"),
+        }
+    }
+}
+
+fn run_bench_serve(iters: usize, quick: bool) {
+    eprintln!(
+        "(cdi-serve probes, best of {iters} timed iterations{})",
+        if quick { ", quick mode" } else { "" }
+    );
+    let records = bench::servebench::run(iters, quick);
+    for r in &records {
         match serde_json::to_string(r) {
             Ok(line) => println!("{line}"),
             Err(e) => eprintln!("bench record failed to serialize: {e}"),

@@ -13,6 +13,7 @@
 pub mod experiments;
 pub mod perfbench;
 pub mod report;
+pub mod servebench;
 
 use cdi_core::catalog::{EventCatalog, PeriodKind};
 use cloudbot::collector::Collector;

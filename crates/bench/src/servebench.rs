@@ -1,0 +1,222 @@
+//! Wall-clock probes for the `cdi-serve` live serving layer.
+//!
+//! Three families, all emitted as JSON lines (`experiments bench-serve`):
+//!
+//! - `serve_ingest_*`: multi-producer ingest throughput at 1/4/8 shards.
+//!   Eight producer threads hammer the service concurrently — with one
+//!   shard they serialize on a single queue mutex, with eight they spread
+//!   across eight, which is the contention sharding exists to remove (and
+//!   is measurable even on a single-core box).
+//! - `serve_point_query` / `serve_top_k`: per-query latency percentiles
+//!   against a populated service.
+//! - `serve_merge_top_k`: the k-way merge in isolation, per-merge cost.
+//!
+//! Inputs are deterministic; timings go to stdout, never `results/`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cdi_core::event::{Category, EventSpan, Target};
+use cdi_serve::{merge_top_k, BackpressurePolicy, CdiService, ServeConfig};
+use serde::Serialize;
+
+const MIN: i64 = 60_000;
+/// Distinct VM targets in the synthetic stream.
+const TARGETS: u64 = 512;
+/// Concurrent producer threads on the ingest side.
+const PRODUCERS: usize = 8;
+
+/// One measured serving workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBenchRecord {
+    /// Workload name.
+    pub op: String,
+    /// Shard (worker-thread) count of the service under test.
+    pub shards: usize,
+    /// Spans ingested, queries issued, or merges performed.
+    pub elements: u64,
+    /// Best-of-N wall-clock seconds for the whole workload.
+    pub secs: f64,
+    /// `elements / secs` for the best iteration.
+    pub elements_per_sec: f64,
+    /// Median per-operation latency in microseconds (0 when the workload
+    /// is throughput-shaped and individual operations are not timed).
+    pub p50_us: f64,
+    /// 99th-percentile per-operation latency in microseconds.
+    pub p99_us: f64,
+}
+
+/// The `i`-th span of the synthetic stream: targets cycle, time advances
+/// one minute every full cycle, categories rotate.
+fn nth_span(i: u64) -> (Target, EventSpan) {
+    let tick = (i / TARGETS) as i64;
+    let cat = match i % 3 {
+        0 => Category::Unavailability,
+        1 => Category::Performance,
+        _ => Category::ControlPlane,
+    };
+    let span = EventSpan::new("bench_span", cat, tick * MIN, (tick + 1) * MIN, 0.5);
+    (Target::Vm(i % TARGETS), span)
+}
+
+fn service(shards: usize) -> CdiService {
+    // Modest per-shard queues: aggregate buffering scales with the shard
+    // count, exactly as it does in a real deployment.
+    let cfg = ServeConfig {
+        shards,
+        queue_capacity: 256,
+        policy: BackpressurePolicy::Block,
+        period_start: 0,
+        ..ServeConfig::default()
+    };
+    CdiService::new(cfg).unwrap_or_else(|e| unreachable!("static config is valid: {e}"))
+}
+
+/// One timed ingest run: `spans` deliveries from [`PRODUCERS`] concurrent
+/// producers, then a final watermark + flush so every span is applied.
+fn ingest_once(shards: usize, spans: u64) -> f64 {
+    let svc = Arc::new(service(shards));
+    let t = Instant::now();
+    let mut handles = Vec::with_capacity(PRODUCERS);
+    let chunk = spans / PRODUCERS as u64;
+    for p in 0..PRODUCERS as u64 {
+        let svc = Arc::clone(&svc);
+        handles.push(std::thread::spawn(move || {
+            let hi = if p + 1 == PRODUCERS as u64 { spans } else { (p + 1) * chunk };
+            for i in (p * chunk)..hi {
+                let (target, span) = nth_span(i);
+                svc.ingest(target, span);
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let horizon = ((spans / TARGETS) as i64 + 1) * MIN;
+    let _ = svc.advance_watermark(horizon);
+    svc.flush();
+    t.elapsed().as_secs_f64()
+}
+
+fn best_of(iters: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut best = f(); // doubles as warm-up
+    for _ in 1..iters {
+        best = best.min(f());
+    }
+    best
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// A populated service for the query-side probes: the full synthetic
+/// stream ingested and frozen behind the watermark.
+fn populated(shards: usize, spans: u64) -> CdiService {
+    let svc = service(shards);
+    for i in 0..spans {
+        let (target, span) = nth_span(i);
+        svc.ingest(target, span);
+    }
+    let horizon = ((spans / TARGETS) as i64 + 1) * MIN;
+    let _ = svc.advance_watermark(horizon);
+    svc.flush();
+    svc
+}
+
+/// Run every serving workload; `iters` timed iterations for the
+/// throughput probes (best-of-N). `quick` shrinks the stream for CI
+/// smoke runs.
+pub fn run(iters: usize, quick: bool) -> Vec<ServeBenchRecord> {
+    let spans: u64 = if quick { 20_000 } else { 200_000 };
+    let queries: usize = if quick { 2_000 } else { 20_000 };
+    let topk_calls: usize = if quick { 200 } else { 2_000 };
+    let merges: usize = if quick { 200 } else { 2_000 };
+    let mut out = Vec::new();
+
+    // Ingest throughput: the headline sharding scaling number.
+    for &shards in &[1usize, 4, 8] {
+        let secs = best_of(iters, || ingest_once(shards, spans));
+        out.push(ServeBenchRecord {
+            op: format!("serve_ingest_{PRODUCERS}p"),
+            shards,
+            elements: spans,
+            secs,
+            elements_per_sec: spans as f64 / secs,
+            p50_us: 0.0,
+            p99_us: 0.0,
+        });
+    }
+
+    // Query latency against a populated 8-shard service.
+    let svc = populated(8, spans);
+    let mut lat = Vec::with_capacity(queries);
+    let t_all = Instant::now();
+    for q in 0..queries {
+        let t = Instant::now();
+        let _ = svc.point(Target::Vm(q as u64 % TARGETS));
+        lat.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let total = t_all.elapsed().as_secs_f64();
+    lat.sort_by(f64::total_cmp);
+    out.push(ServeBenchRecord {
+        op: "serve_point_query".into(),
+        shards: 8,
+        elements: queries as u64,
+        secs: total,
+        elements_per_sec: queries as f64 / total,
+        p50_us: percentile(&lat, 0.50),
+        p99_us: percentile(&lat, 0.99),
+    });
+
+    // End-to-end top-K: per-shard top-k plus the k-way merge.
+    let mut lat = Vec::with_capacity(topk_calls);
+    let t_all = Instant::now();
+    for _ in 0..topk_calls {
+        let t = Instant::now();
+        let _ = svc.top_k(10, Category::Performance);
+        lat.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let total = t_all.elapsed().as_secs_f64();
+    lat.sort_by(f64::total_cmp);
+    out.push(ServeBenchRecord {
+        op: "serve_top_k10".into(),
+        shards: 8,
+        elements: topk_calls as u64,
+        secs: total,
+        elements_per_sec: topk_calls as f64 / total,
+        p50_us: percentile(&lat, 0.50),
+        p99_us: percentile(&lat, 0.99),
+    });
+
+    // The merge in isolation: 8 shard lists of 1024 candidates, k=64.
+    let lists: Vec<Vec<(Target, f64)>> = (0..8u64)
+        .map(|s| {
+            (0..1024u64)
+                .map(|i| (Target::Vm(s * 10_000 + i), 1.0 / (1.0 + (s * 1024 + i) as f64)))
+                .collect()
+        })
+        .collect();
+    let secs = best_of(iters, || {
+        let t = Instant::now();
+        for _ in 0..merges {
+            std::hint::black_box(merge_top_k(std::hint::black_box(&lists), 64));
+        }
+        t.elapsed().as_secs_f64()
+    });
+    out.push(ServeBenchRecord {
+        op: "serve_merge_top_k64_8x1024".into(),
+        shards: 8,
+        elements: merges as u64,
+        secs,
+        elements_per_sec: merges as f64 / secs,
+        p50_us: secs / merges as f64 * 1e6,
+        p99_us: 0.0,
+    });
+
+    out
+}

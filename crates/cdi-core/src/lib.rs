@@ -85,4 +85,5 @@ pub use quarantine::{
     assign_weights_lenient, derive_periods_lenient, DerivationOutcome, QuarantineReason,
     QuarantinedEvent,
 };
+pub use streaming::{AccumulatorSnapshot, CdiAccumulator};
 pub use time::{minutes, TimeRange, Timestamp};

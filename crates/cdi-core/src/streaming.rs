@@ -10,8 +10,16 @@
 //!
 //! Late data policy (explicit, like the rest of DESIGN.md §5): a span
 //! arriving with `start` before the current watermark is clipped to the
-//! watermark; a span entirely before it is dropped and counted in
-//! [`CdiAccumulator::late_dropped`].
+//! watermark (counted in [`CdiAccumulator::late_clipped`]); a span entirely
+//! before it is dropped and counted in [`CdiAccumulator::late_dropped`].
+//!
+//! The serving layer (`crates/cdi-serve`) builds on two additional
+//! operations: [`CdiAccumulator::snapshot`] / [`CdiAccumulator::restore`]
+//! freeze and revive an accumulator across process boundaries (crash
+//! recovery, re-sharding), and [`CdiAccumulator::merge`] combines two
+//! accumulators tracking **time-disjoint** sub-streams of the same target.
+
+use serde::{Deserialize, Serialize};
 
 use crate::error::{CdiError, Result};
 use crate::event::EventSpan;
@@ -31,6 +39,31 @@ pub struct CdiAccumulator {
     open: Vec<EventSpan>,
     /// Spans dropped for arriving entirely behind the watermark.
     late_dropped: usize,
+    /// Spans that straddled the watermark on arrival and lost their tail.
+    late_clipped: usize,
+}
+
+/// A serializable, self-contained image of a [`CdiAccumulator`] — the unit
+/// of the serving layer's crash-recovery snapshots.
+///
+/// The fields are public so snapshot files remain inspectable; restoring
+/// one re-validates every invariant ([`CdiAccumulator::restore`]), so a
+/// hand-edited or corrupted snapshot surfaces a typed error instead of a
+/// silently wrong CDI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccumulatorSnapshot {
+    /// Start of the service period being accumulated.
+    pub period_start: Timestamp,
+    /// Watermark at snapshot time.
+    pub watermark: Timestamp,
+    /// Damage integral (weight·ms) frozen up to the watermark.
+    pub frozen: f64,
+    /// Spans still (partly) ahead of the watermark.
+    pub open: Vec<EventSpan>,
+    /// Spans dropped for arriving entirely behind the watermark.
+    pub late_dropped: usize,
+    /// Spans clipped to the watermark on arrival.
+    pub late_clipped: usize,
 }
 
 impl CdiAccumulator {
@@ -42,6 +75,7 @@ impl CdiAccumulator {
             frozen: 0.0,
             open: Vec::new(),
             late_dropped: 0,
+            late_clipped: 0,
         }
     }
 
@@ -50,9 +84,20 @@ impl CdiAccumulator {
         self.watermark
     }
 
+    /// Start of the service period being accumulated.
+    pub fn period_start(&self) -> Timestamp {
+        self.period_start
+    }
+
     /// Spans dropped as too late.
     pub fn late_dropped(&self) -> usize {
         self.late_dropped
+    }
+
+    /// Spans clipped to the watermark on arrival (their pre-watermark tail
+    /// was discarded, the rest was kept).
+    pub fn late_clipped(&self) -> usize {
+        self.late_clipped
     }
 
     /// Number of spans currently held (bounded-memory invariant).
@@ -75,6 +120,7 @@ impl CdiAccumulator {
         }
         if span.start < self.watermark {
             span.start = self.watermark;
+            self.late_clipped += 1;
         }
         self.open.push(span);
         Ok(())
@@ -123,6 +169,101 @@ impl CdiAccumulator {
             return Ok(0.0);
         }
         envelope_integral(&self.open, ServicePeriod::new(self.watermark, horizon)?)
+    }
+
+    /// Freeze the accumulator into a serializable [`AccumulatorSnapshot`].
+    ///
+    /// The snapshot is exact: [`CdiAccumulator::restore`] on it yields an
+    /// accumulator whose every future observation (CDI, damage integral,
+    /// pending pressure, late counters) equals the original's.
+    pub fn snapshot(&self) -> AccumulatorSnapshot {
+        AccumulatorSnapshot {
+            period_start: self.period_start,
+            watermark: self.watermark,
+            frozen: self.frozen,
+            open: self.open.clone(),
+            late_dropped: self.late_dropped,
+            late_clipped: self.late_clipped,
+        }
+    }
+
+    /// Revive an accumulator from a snapshot, re-validating every invariant
+    /// the type normally maintains: the watermark cannot precede the period
+    /// start, the frozen integral must be a finite non-negative number, and
+    /// every open span must carry a valid weight, a non-inverted range, and
+    /// an end strictly ahead of the watermark.
+    pub fn restore(snap: AccumulatorSnapshot) -> Result<CdiAccumulator> {
+        if snap.watermark < snap.period_start {
+            return Err(CdiError::invalid(format!(
+                "snapshot watermark {} precedes period start {}",
+                snap.watermark, snap.period_start
+            )));
+        }
+        if !snap.frozen.is_finite() || snap.frozen < 0.0 {
+            return Err(CdiError::invalid(format!(
+                "snapshot frozen integral must be finite and non-negative, got {}",
+                snap.frozen
+            )));
+        }
+        for s in &snap.open {
+            if !s.weight.is_finite() || !(0.0..=1.0).contains(&s.weight) {
+                return Err(CdiError::invalid(format!(
+                    "snapshot span '{}' weight must be in [0,1], got {}",
+                    s.name, s.weight
+                )));
+            }
+            if s.start > s.end {
+                return Err(CdiError::invalid(format!(
+                    "snapshot span '{}' has start {} after end {}",
+                    s.name, s.start, s.end
+                )));
+            }
+            if s.end <= snap.watermark {
+                return Err(CdiError::invalid(format!(
+                    "snapshot span '{}' ends at {} behind the watermark {}",
+                    s.name, s.end, snap.watermark
+                )));
+            }
+        }
+        Ok(CdiAccumulator {
+            period_start: snap.period_start,
+            watermark: snap.watermark,
+            frozen: snap.frozen,
+            open: snap.open,
+            late_dropped: snap.late_dropped,
+            late_clipped: snap.late_clipped,
+        })
+    }
+
+    /// Fold another accumulator into this one.
+    ///
+    /// Both must track the same service period and stand at the same
+    /// watermark (the serving layer flushes to a coordinated watermark
+    /// before merging). The merged damage integral is the **sum** of the
+    /// operands', which equals the true max-envelope integral exactly when
+    /// the operand streams are time-disjoint — the case for every use in
+    /// this workspace: re-sharding routes each span to exactly one operand,
+    /// and per-event-name splits never overlap by construction. Merging
+    /// streams whose spans *do* overlap in time yields an upper bound
+    /// (`sum ≥ max`), never an undercount.
+    pub fn merge(&mut self, other: &CdiAccumulator) -> Result<()> {
+        if self.period_start != other.period_start {
+            return Err(CdiError::invalid(format!(
+                "cannot merge accumulators of different periods ({} vs {})",
+                self.period_start, other.period_start
+            )));
+        }
+        if self.watermark != other.watermark {
+            return Err(CdiError::invalid(format!(
+                "cannot merge accumulators at different watermarks ({} vs {})",
+                self.watermark, other.watermark
+            )));
+        }
+        self.frozen += other.frozen;
+        self.open.extend(other.open.iter().cloned());
+        self.late_dropped += other.late_dropped;
+        self.late_clipped += other.late_clipped;
+        Ok(())
     }
 }
 
@@ -220,5 +361,120 @@ mod tests {
             weight: 2.0,
         };
         assert!(acc.ingest(bad).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_stream() {
+        let mut acc = CdiAccumulator::new(0);
+        acc.ingest(span(0, 30, 0.5)).unwrap();
+        acc.ingest(span(10, 40, 0.9)).unwrap();
+        acc.advance_watermark(minutes(20)).unwrap();
+        // Late spans so both counters are non-zero in the snapshot.
+        acc.ingest(span(1, 5, 0.2)).unwrap();
+        acc.ingest(span(15, 35, 0.4)).unwrap();
+
+        let snap = acc.snapshot();
+        let mut restored = CdiAccumulator::restore(snap.clone()).unwrap();
+        assert_eq!(restored.watermark(), acc.watermark());
+        assert_eq!(restored.late_dropped(), 1);
+        assert_eq!(restored.late_clipped(), 1);
+        assert_eq!(restored.open_spans(), acc.open_spans());
+
+        // Continue both sides identically: observations stay equal.
+        acc.advance_watermark(minutes(50)).unwrap();
+        restored.advance_watermark(minutes(50)).unwrap();
+        close(restored.cdi().unwrap(), acc.cdi().unwrap(), 1e-15);
+        close(restored.damage_integral(), acc.damage_integral(), 1e-15);
+
+        // And the snapshot itself survives a JSON round trip.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: AccumulatorSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn restore_rejects_corrupted_snapshots() {
+        let acc = {
+            let mut a = CdiAccumulator::new(minutes(5));
+            a.ingest(span(6, 30, 0.5)).unwrap();
+            a.advance_watermark(minutes(10)).unwrap();
+            a
+        };
+        let good = acc.snapshot();
+        assert!(CdiAccumulator::restore(good.clone()).is_ok());
+
+        let mut bad = good.clone();
+        bad.watermark = minutes(4); // behind period_start
+        assert!(CdiAccumulator::restore(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.frozen = f64::NAN;
+        assert!(CdiAccumulator::restore(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.open[0].weight = 3.0;
+        assert!(CdiAccumulator::restore(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.open[0].end = minutes(9); // behind the watermark
+        assert!(CdiAccumulator::restore(bad).is_err());
+
+        let mut bad = good;
+        bad.open[0].start = minutes(40);
+        bad.open[0].end = minutes(30); // inverted
+        assert!(CdiAccumulator::restore(bad).is_err());
+    }
+
+    #[test]
+    fn merge_is_exact_for_time_disjoint_streams() {
+        // One logical stream split across two producers by time.
+        let all = [span(0, 10, 0.5), span(20, 30, 0.9), span(40, 50, 0.3)];
+        let mut whole = CdiAccumulator::new(0);
+        let mut left = CdiAccumulator::new(0);
+        let mut right = CdiAccumulator::new(0);
+        for (i, s) in all.iter().enumerate() {
+            whole.ingest(s.clone()).unwrap();
+            if i % 2 == 0 {
+                left.ingest(s.clone()).unwrap();
+            } else {
+                right.ingest(s.clone()).unwrap();
+            }
+        }
+        for acc in [&mut whole, &mut left, &mut right] {
+            acc.advance_watermark(minutes(35)).unwrap();
+        }
+        left.merge(&right).unwrap();
+        close(left.damage_integral(), whole.damage_integral(), 1e-9);
+        close(left.cdi().unwrap(), whole.cdi().unwrap(), 1e-15);
+        // Open spans travel too.
+        left.advance_watermark(minutes(60)).unwrap();
+        whole.advance_watermark(minutes(60)).unwrap();
+        close(left.damage_integral(), whole.damage_integral(), 1e-9);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_periods_and_watermarks() {
+        let mut a = CdiAccumulator::new(0);
+        let b = CdiAccumulator::new(minutes(1));
+        assert!(a.merge(&b).is_err(), "different period starts");
+
+        let mut a = CdiAccumulator::new(0);
+        let mut b = CdiAccumulator::new(0);
+        b.advance_watermark(minutes(5)).unwrap();
+        assert!(a.merge(&b).is_err(), "different watermarks");
+        a.advance_watermark(minutes(5)).unwrap();
+        assert!(a.merge(&b).is_ok());
+    }
+
+    #[test]
+    fn clip_counter_distinguishes_drop_from_clip() {
+        let mut acc = CdiAccumulator::new(0);
+        acc.advance_watermark(minutes(10)).unwrap();
+        acc.ingest(span(0, 10, 0.5)).unwrap(); // end == watermark: dropped
+        acc.ingest(span(0, 11, 0.5)).unwrap(); // straddles: clipped
+        acc.ingest(span(10, 20, 0.5)).unwrap(); // start == watermark: clean
+        assert_eq!(acc.late_dropped(), 1);
+        assert_eq!(acc.late_clipped(), 1);
+        assert_eq!(acc.open_spans(), 2);
     }
 }

@@ -1,0 +1,175 @@
+//! Property-based tests for the streaming accumulator invariants the
+//! serving layer (`crates/cdi-serve`) leans on: watermark monotonicity,
+//! exact late-span clipping at watermark boundaries, and snapshot/restore
+//! transparency.
+
+use cdi_core::event::{Category, EventSpan};
+use cdi_core::indicator::{cdi, ServicePeriod};
+use cdi_core::streaming::CdiAccumulator;
+use cdi_core::time::minutes;
+use proptest::prelude::*;
+
+const HORIZON_MIN: i64 = 600;
+
+/// Strategy: a span with minute-aligned boundaries inside [0, 600) minutes
+/// and a positive duration, weight on a small grid.
+fn span_strategy() -> impl Strategy<Value = EventSpan> {
+    (0i64..HORIZON_MIN, 1i64..120, 1usize..=10).prop_map(|(start, len, w10)| {
+        EventSpan::new(
+            "prop_event",
+            Category::Performance,
+            minutes(start),
+            minutes(start + len),
+            w10 as f64 / 10.0,
+        )
+    })
+}
+
+fn spans_strategy() -> impl Strategy<Value = Vec<EventSpan>> {
+    prop::collection::vec(span_strategy(), 0..30)
+}
+
+/// Strategy: an arbitrary (unsorted) list of watermark advance points.
+fn marks_strategy() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(0i64..=HORIZON_MIN, 1..12)
+}
+
+proptest! {
+    /// The watermark never moves backwards: any advance below the current
+    /// watermark errors and leaves the state (watermark, integral, open
+    /// spans, counters) untouched.
+    #[test]
+    fn watermark_is_monotone(spans in spans_strategy(), marks in marks_strategy()) {
+        let mut acc = CdiAccumulator::new(0);
+        for s in &spans {
+            acc.ingest(s.clone()).unwrap();
+        }
+        for &m in &marks {
+            let before = acc.snapshot();
+            let result = acc.advance_watermark(minutes(m));
+            if minutes(m) < before.watermark {
+                prop_assert!(result.is_err(), "regressing advance to {m} must fail");
+                prop_assert_eq!(acc.snapshot(), before, "failed advance must not mutate");
+            } else {
+                prop_assert!(result.is_ok());
+                prop_assert_eq!(acc.watermark(), minutes(m));
+            }
+        }
+    }
+
+    /// Late-span policy at exact boundaries: `end <= watermark` drops,
+    /// `start < watermark < end` keeps exactly the post-watermark
+    /// remainder, and `start == watermark` is fully on time. The resulting
+    /// CDI equals the batch CDI of the same spans pre-clipped to the
+    /// watermark.
+    #[test]
+    fn late_spans_clip_exactly_at_the_watermark(
+        spans in spans_strategy(),
+        mark in 0i64..=HORIZON_MIN,
+    ) {
+        let wm = minutes(mark);
+        let horizon = minutes(HORIZON_MIN + 120);
+        let mut acc = CdiAccumulator::new(0);
+        acc.advance_watermark(wm).unwrap();
+        let mut expect_dropped = 0usize;
+        let mut expect_clipped = 0usize;
+        let mut surviving: Vec<EventSpan> = Vec::new();
+        for s in &spans {
+            acc.ingest(s.clone()).unwrap();
+            if s.end <= wm {
+                expect_dropped += 1;
+            } else {
+                if s.start < wm {
+                    expect_clipped += 1;
+                }
+                let mut kept = s.clone();
+                kept.start = kept.start.max(wm);
+                surviving.push(kept);
+            }
+        }
+        prop_assert_eq!(acc.late_dropped(), expect_dropped);
+        prop_assert_eq!(acc.late_clipped(), expect_clipped);
+        prop_assert_eq!(acc.open_spans(), surviving.len());
+
+        acc.advance_watermark(horizon).unwrap();
+        let live = acc.cdi().unwrap();
+        // Batch reference over the same elapsed window [0, horizon) with
+        // the surviving clipped spans.
+        let period = ServicePeriod::new(0, horizon).unwrap();
+        let batch = cdi(&surviving, period).unwrap();
+        prop_assert!((live - batch).abs() < 1e-9, "live {live} vs batch {batch}");
+    }
+
+    /// Snapshot/restore at an arbitrary mid-stream point is transparent:
+    /// feeding the remaining spans to the restored accumulator yields the
+    /// same CDI as the uninterrupted run.
+    #[test]
+    fn snapshot_restore_is_transparent(
+        spans in spans_strategy(),
+        cut in 0usize..30,
+        mark in 0i64..HORIZON_MIN,
+    ) {
+        let cut = cut.min(spans.len());
+        let horizon = minutes(HORIZON_MIN + 120);
+
+        let mut whole = CdiAccumulator::new(0);
+        let mut first = CdiAccumulator::new(0);
+        for s in &spans[..cut] {
+            whole.ingest(s.clone()).unwrap();
+            first.ingest(s.clone()).unwrap();
+        }
+        whole.advance_watermark(minutes(mark)).unwrap();
+        first.advance_watermark(minutes(mark)).unwrap();
+
+        // Kill and revive.
+        let mut revived = CdiAccumulator::restore(first.snapshot()).unwrap();
+        for s in &spans[cut..] {
+            whole.ingest(s.clone()).unwrap();
+            revived.ingest(s.clone()).unwrap();
+        }
+        whole.advance_watermark(horizon).unwrap();
+        revived.advance_watermark(horizon).unwrap();
+        let a = whole.cdi().unwrap();
+        let b = revived.cdi().unwrap();
+        prop_assert!((a - b).abs() < 1e-12, "uninterrupted {a} vs restored {b}");
+        prop_assert_eq!(whole.late_dropped(), revived.late_dropped());
+        prop_assert_eq!(whole.late_clipped(), revived.late_clipped());
+    }
+
+    /// Merging a stream split across two accumulators (each span routed to
+    /// exactly one) reproduces the damage integral of the unsplit stream.
+    #[test]
+    fn merge_reassembles_a_partitioned_stream(
+        spans in spans_strategy(),
+        mark in 0i64..=HORIZON_MIN,
+    ) {
+        // Time-disjoint split: sort by start, group spans into connected
+        // overlap components, and alternate whole components between the
+        // two sides. No span on one side then overlaps any span on the
+        // other, which is the merge contract's exactness condition.
+        let mut sorted = spans.clone();
+        sorted.sort_by_key(|s| (s.start, s.end));
+        let mut whole = CdiAccumulator::new(0);
+        let mut halves = [CdiAccumulator::new(0), CdiAccumulator::new(0)];
+        let mut side = 0usize;
+        let mut component_end = i64::MIN;
+        for s in &sorted {
+            if s.start >= component_end && component_end != i64::MIN {
+                side = 1 - side;
+            }
+            component_end = component_end.max(s.end);
+            whole.ingest(s.clone()).unwrap();
+            halves[side].ingest(s.clone()).unwrap();
+        }
+        let wm = minutes(mark);
+        whole.advance_watermark(wm).unwrap();
+        for h in &mut halves {
+            h.advance_watermark(wm).unwrap();
+        }
+        let [mut left, right] = halves;
+        left.merge(&right).unwrap();
+        let a = whole.damage_integral();
+        let b = left.damage_integral();
+        prop_assert!((a - b).abs() < 1e-9, "whole {a} vs merged {b}");
+    }
+}

@@ -1,0 +1,150 @@
+//! The `serve` binary: stand up a live CDI service over TCP.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--shards N] [--workers N] [--demo]
+//! ```
+//!
+//! With `--demo`, a small deterministic simfleet world is built, a few
+//! faults are injected, and one simulated day is streamed through the
+//! service before serving — so `Point`/`TopK`/`Rollup` queries have
+//! something to answer immediately. Without it the service starts empty
+//! and is populated over the wire with `Ingest`/`Advance` requests.
+//!
+//! Speak to it in JSON lines, e.g.:
+//!
+//! ```text
+//! {"TopK":{"k":3,"category":"Performance"}}
+//! {"Rollup":{"scope":{"Region":"r1"}}}
+//! "Shutdown"
+//! ```
+//!
+//! (Variants without a payload — `Flush`, `Metrics`, `Snapshot`,
+//! `Shutdown` — are bare JSON strings on the wire.)
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use cdi_serve::{serve, CdiService, ServeConfig};
+use cloudbot::feed::LiveFeed;
+use cloudbot::DailyPipeline;
+use simfleet::faults::{FaultInjection, FaultKind, FaultTarget};
+use simfleet::world::SimWorld;
+use simfleet::{Fleet, FleetConfig};
+
+const HOUR: i64 = 3_600_000;
+const MIN: i64 = 60_000;
+
+struct Args {
+    addr: String,
+    shards: usize,
+    workers: usize,
+    demo: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { addr: "127.0.0.1:7070".to_string(), shards: 4, workers: 4, demo: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                args.addr = it.next().ok_or("--addr needs a HOST:PORT value")?;
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                args.shards =
+                    v.parse().map_err(|e| format!("bad --shards value '{v}': {e}"))?;
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                args.workers =
+                    v.parse().map_err(|e| format!("bad --workers value '{v}': {e}"))?;
+            }
+            "--demo" => args.demo = true,
+            "--help" | "-h" => {
+                return Err("usage: serve [--addr HOST:PORT] [--shards N] [--workers N] [--demo]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// A small two-region fleet with a handful of injected faults.
+fn demo_world() -> SimWorld {
+    let fleet = Fleet::build(&FleetConfig {
+        regions: vec!["r1".into(), "r2".into()],
+        azs_per_region: 2,
+        clusters_per_az: 1,
+        ncs_per_cluster: 2,
+        vms_per_nc: 4,
+        nc_cores: 16,
+        machine_models: vec!["modelA".into()],
+        arch: simfleet::DeploymentArch::Hybrid,
+    });
+    let mut world = SimWorld::new(fleet, 7);
+    world.inject(FaultInjection::new(
+        FaultKind::VmDown,
+        FaultTarget::Vm(0),
+        2 * HOUR,
+        2 * HOUR + 45 * MIN,
+    ));
+    world.inject(FaultInjection::new(
+        FaultKind::SlowIo { factor: 8.0 },
+        FaultTarget::Vm(5),
+        6 * HOUR,
+        7 * HOUR,
+    ));
+    world.inject(FaultInjection::new(
+        FaultKind::NicFlapping,
+        FaultTarget::Nc(3),
+        10 * HOUR,
+        10 * HOUR + 30 * MIN,
+    ));
+    world
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let cfg = ServeConfig { shards: args.shards, ..ServeConfig::default() };
+    let world = demo_world();
+    let service =
+        CdiService::new(cfg).map_err(|e| e.to_string())?.with_fleet_routing(&world.fleet);
+
+    if args.demo {
+        let pipeline = DailyPipeline::default();
+        let feed = LiveFeed::build(&pipeline, &world, 0, 24 * HOUR, 15 * MIN)
+            .map_err(|e| e.to_string())?;
+        for batch in &feed.batches {
+            for (target, span) in &batch.spans {
+                service.ingest(*target, span.clone());
+            }
+            service.advance_watermark(batch.watermark).map_err(|e| e.to_string())?;
+        }
+        service.flush();
+        println!(
+            "demo: streamed one simulated day ({} spans, {} targets)",
+            feed.total_spans(),
+            service.target_count()
+        );
+    }
+
+    let fleet = Arc::new(world.fleet.clone());
+    let handle = serve(Arc::new(service), Some(fleet), &args.addr, args.workers)
+        .map_err(|e| e.to_string())?;
+    println!("cdi-serve listening on {} (JSON lines; send \"Shutdown\" to stop)", handle.addr());
+    handle.join();
+    println!("cdi-serve stopped");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Service-level counters: what the service accepted, shed, and clipped.
+//!
+//! The paper's operation platform treats observability of the metric
+//! pipeline itself as part of stability (Section VIII-C): a serving layer
+//! that silently drops late or shed spans would report an optimistic CDI.
+//! Every lossy path in `cdi-serve` therefore lands in a counter here, and
+//! [`MetricsReport`] is queryable over the wire like any CDI value.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Monotonic counters shared by all shards and the server front-end.
+///
+/// Relaxed ordering everywhere: counters are independent statistics, not
+/// synchronization points.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Span deliveries accepted into a shard queue (after NC fan-out, so
+    /// one NC span hosting four VMs counts five deliveries).
+    pub spans_ingested: AtomicU64,
+    /// Span deliveries rejected by a full queue under
+    /// [`crate::queue::BackpressurePolicy::Shed`].
+    pub spans_shed: AtomicU64,
+    /// Queries answered (point, top-K, and rollup alike).
+    pub queries: AtomicU64,
+    /// Snapshots taken.
+    pub snapshots: AtomicU64,
+}
+
+impl ServiceMetrics {
+    /// Bump a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the service counters, extended with the late
+    /// and rejection totals the shards report.
+    pub fn report(&self, late_dropped: u64, late_clipped: u64, rejected: u64) -> MetricsReport {
+        MetricsReport {
+            spans_ingested: self.spans_ingested.load(Ordering::Relaxed),
+            spans_shed: self.spans_shed.load(Ordering::Relaxed),
+            late_dropped,
+            late_clipped,
+            rejected,
+            queries: self.queries.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Re-seed the service counters from a restored report (crash
+    /// recovery keeps the loss accounting, not just the CDI state).
+    pub fn reseed(&self, report: &MetricsReport) {
+        self.spans_ingested.store(report.spans_ingested, Ordering::Relaxed);
+        self.spans_shed.store(report.spans_shed, Ordering::Relaxed);
+        self.queries.store(report.queries, Ordering::Relaxed);
+        self.snapshots.store(report.snapshots, Ordering::Relaxed);
+    }
+}
+
+/// A serializable point-in-time view of [`ServiceMetrics`], plus the late
+/// counters aggregated across every accumulator in every shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Span deliveries accepted into shard queues.
+    pub spans_ingested: u64,
+    /// Span deliveries shed by full queues.
+    pub spans_shed: u64,
+    /// Spans dropped by accumulators for arriving entirely behind the
+    /// watermark.
+    pub late_dropped: u64,
+    /// Spans clipped to the watermark on arrival.
+    pub late_clipped: u64,
+    /// Deliveries the accumulators rejected outright (invalid weight) —
+    /// non-zero only if upstream validation was bypassed.
+    pub rejected: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Snapshots taken.
+    pub snapshots: u64,
+}

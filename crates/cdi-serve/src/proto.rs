@@ -1,0 +1,173 @@
+//! The wire protocol: JSON-lines over TCP.
+//!
+//! One request per line, one response line per request, both serde-JSON
+//! enums tagged by variant name — payload variants serialize as
+//! `{"Variant":{...}}`, payload-free ones (`Flush`, `Metrics`,
+//! `Snapshot`, `Shutdown`) as the bare string `"Variant"` — trivially
+//! scriptable with `nc` and a JSON tool. The protocol is deliberately stateless per line (no session
+//! state beyond the TCP connection), so any number of clients can ingest
+//! and query concurrently; ordering guarantees are exactly the service's:
+//! a client that needs "all my spans are visible" sends `Flush` and waits
+//! for its `Ok`.
+
+use cdi_core::event::{Category, EventSpan, Target};
+use cdi_core::indicator::CdiBreakdown;
+use cdi_core::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use simfleet::Scope;
+
+use crate::metrics::MetricsReport;
+use crate::shard::TargetCdi;
+use crate::snapshot::ServiceSnapshot;
+
+/// A client request — one JSON object per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Deliver a span to a target (NC targets fan out per service config).
+    Ingest {
+        /// The span's target.
+        target: Target,
+        /// The weighted span.
+        span: EventSpan,
+    },
+    /// Advance the coordinated watermark.
+    Advance {
+        /// New watermark (ms); must not regress.
+        watermark: Timestamp,
+    },
+    /// Block until everything accepted so far is applied.
+    Flush,
+    /// Live CDI of one target.
+    Point {
+        /// The target to look up.
+        target: Target,
+    },
+    /// The `k` worst targets by one category's indicator.
+    TopK {
+        /// How many targets.
+        k: usize,
+        /// Which sub-metric to rank by.
+        category: Category,
+    },
+    /// Formula 4 rollup over a fleet hierarchy scope.
+    Rollup {
+        /// The scope to aggregate.
+        scope: Scope,
+    },
+    /// Service counters.
+    Metrics,
+    /// Freeze the full service state.
+    Snapshot,
+    /// Stop accepting connections and shut the server down.
+    Shutdown,
+}
+
+/// One entry of a top-K answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopEntry {
+    /// The target.
+    pub target: Target,
+    /// Its indicator value for the ranked category.
+    pub score: f64,
+}
+
+/// A server response — one JSON object per line, mirroring the request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The request succeeded with nothing to report.
+    Ok,
+    /// The request failed; the service state is unchanged.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Outcome of an `Ingest` (deliveries after NC fan-out).
+    Ingested {
+        /// Deliveries accepted.
+        accepted: usize,
+        /// Deliveries shed by full queues.
+        shed: usize,
+    },
+    /// Answer to `Point`; `found` is `None` for never-seen targets.
+    Point {
+        /// The live CDI, if the target is tracked.
+        found: Option<TargetCdi>,
+    },
+    /// Answer to `TopK`, descending by score.
+    TopK {
+        /// The merged worst targets.
+        entries: Vec<TopEntry>,
+    },
+    /// Answer to `Rollup`.
+    Rollup {
+        /// VMs beneath the scope.
+        vm_count: usize,
+        /// Their Formula 4 aggregate.
+        breakdown: CdiBreakdown,
+    },
+    /// Answer to `Metrics`.
+    Metrics {
+        /// The counters.
+        report: MetricsReport,
+    },
+    /// Answer to `Snapshot`.
+    Snapshot {
+        /// The full serializable service state.
+        snapshot: ServiceSnapshot,
+    },
+    /// Acknowledgement of `Shutdown`; the server exits after this line.
+    ShuttingDown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let reqs = vec![
+            Request::Ingest {
+                target: Target::Vm(3),
+                span: EventSpan::new(
+                    "slow_io",
+                    Category::Performance,
+                    60_000,
+                    120_000,
+                    0.5,
+                ),
+            },
+            Request::Advance { watermark: 3_600_000 },
+            Request::Flush,
+            Request::Point { target: Target::Nc(1) },
+            Request::TopK { k: 5, category: Category::Unavailability },
+            Request::Rollup { scope: Scope::Az("r1-a".into()) },
+            Request::Metrics,
+            Request::Snapshot,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = serde_json::to_string(&req).unwrap();
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, req, "line was {line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_json() {
+        let resps = vec![
+            Response::Ok,
+            Response::Error { message: "bad".into() },
+            Response::Ingested { accepted: 5, shed: 1 },
+            Response::Point { found: None },
+            Response::TopK {
+                entries: vec![TopEntry { target: Target::Vm(1), score: 0.25 }],
+            },
+            Response::ShuttingDown,
+        ];
+        for resp in resps {
+            let line = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, resp, "line was {line}");
+        }
+    }
+}

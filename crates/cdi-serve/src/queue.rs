@@ -1,0 +1,228 @@
+//! Bounded MPSC queues with an explicit backpressure policy.
+//!
+//! Every shard worker drains one [`BoundedQueue`]. The queue is the only
+//! place the service can fall behind its producers, so the overload
+//! behaviour is a first-class, configurable decision rather than an
+//! accident of buffer sizes:
+//!
+//! - [`BackpressurePolicy::Block`] — producers wait for space. Ingest is
+//!   lossless; a slow shard slows its producers (the batch-replay and
+//!   parity-test mode).
+//! - [`BackpressurePolicy::Shed`] — a full queue rejects the span, the
+//!   service counts it ([`crate::metrics::ServiceMetrics::spans_shed`]),
+//!   and the producer moves on (the overload-survival mode).
+//!
+//! Control messages (watermarks, flush barriers) always use the blocking
+//! push: shedding a watermark would silently stall the frozen integral,
+//! which is a correctness bug rather than load shedding.
+//!
+//! The queue also supports *pausing* consumers, which exists purely so
+//! tests can deterministically fill a queue and observe the policy instead
+//! of racing the worker.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// What a producer experiences when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Wait for the consumer to make space (lossless, producers stall).
+    Block,
+    /// Drop the offered item and count it (lossy, producers never stall).
+    Shed,
+}
+
+/// Outcome of offering an item to a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The item was enqueued.
+    Accepted,
+    /// The queue was full under [`BackpressurePolicy::Shed`]; the item was
+    /// dropped.
+    Shed,
+    /// The queue was closed; the item was dropped.
+    Closed,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    paused: bool,
+}
+
+/// A bounded FIFO shared between producers and one consumer thread.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    /// Signalled when space appears (producers wait here under `Block`).
+    not_full: Condvar,
+    /// Signalled when an item appears, the queue closes, or pause lifts.
+    not_empty: Condvar,
+}
+
+fn relock<'a, T>(
+    r: std::sync::LockResult<MutexGuard<'a, State<T>>>,
+) -> MutexGuard<'a, State<T>> {
+    // A poisoned lock means another thread panicked mid-push/pop; the queue
+    // state itself is still structurally valid (VecDeque ops don't tear),
+    // so serving degraded beats deadlocking the whole service.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(State { items: VecDeque::new(), closed: false, paused: false }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueue under the given policy: blocks for space under
+    /// [`BackpressurePolicy::Block`], sheds under
+    /// [`BackpressurePolicy::Shed`].
+    pub fn push(&self, item: T, policy: BackpressurePolicy) -> PushOutcome {
+        match policy {
+            BackpressurePolicy::Block => self.push_blocking(item),
+            BackpressurePolicy::Shed => self.try_push(item),
+        }
+    }
+
+    /// Enqueue, waiting for space if full. Returns [`PushOutcome::Closed`]
+    /// if the queue closed while waiting.
+    pub fn push_blocking(&self, item: T) -> PushOutcome {
+        let mut st = relock(self.state.lock());
+        while st.items.len() >= self.capacity && !st.closed {
+            st = relock(self.not_full.wait(st));
+        }
+        if st.closed {
+            return PushOutcome::Closed;
+        }
+        st.items.push_back(item);
+        self.not_empty.notify_one();
+        PushOutcome::Accepted
+    }
+
+    /// Enqueue only if space is available right now.
+    pub fn try_push(&self, item: T) -> PushOutcome {
+        let mut st = relock(self.state.lock());
+        if st.closed {
+            return PushOutcome::Closed;
+        }
+        if st.items.len() >= self.capacity {
+            return PushOutcome::Shed;
+        }
+        st.items.push_back(item);
+        self.not_empty.notify_one();
+        PushOutcome::Accepted
+    }
+
+    /// Dequeue, blocking until an item is available (and the queue is not
+    /// paused). Returns `None` once the queue is closed *and* drained —
+    /// the consumer's termination signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = relock(self.state.lock());
+        loop {
+            if !st.paused {
+                if let Some(item) = st.items.pop_front() {
+                    self.not_full.notify_one();
+                    return Some(item);
+                }
+                if st.closed {
+                    return None;
+                }
+            }
+            st = relock(self.not_empty.wait(st));
+        }
+    }
+
+    /// Close the queue: producers are rejected, the consumer drains what
+    /// remains and then sees `None`.
+    pub fn close(&self) {
+        let mut st = relock(self.state.lock());
+        st.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Halt the consumer (items accumulate). Test instrumentation for
+    /// deterministic backpressure scenarios.
+    pub fn pause(&self) {
+        relock(self.state.lock()).paused = true;
+    }
+
+    /// Resume a paused consumer.
+    pub fn resume(&self) {
+        let mut st = relock(self.state.lock());
+        st.paused = false;
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        relock(self.state.lock()).items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn shed_policy_drops_when_full_and_counts_nothing_silently() {
+        let q = BoundedQueue::new(2);
+        q.pause();
+        assert_eq!(q.push(1, BackpressurePolicy::Shed), PushOutcome::Accepted);
+        assert_eq!(q.push(2, BackpressurePolicy::Shed), PushOutcome::Accepted);
+        assert_eq!(q.push(3, BackpressurePolicy::Shed), PushOutcome::Shed);
+        assert_eq!(q.len(), 2);
+        q.resume();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(4, BackpressurePolicy::Shed), PushOutcome::Accepted);
+    }
+
+    #[test]
+    fn block_policy_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push_blocking(0);
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push_blocking(1));
+        // The producer is blocked on a full queue until we pop.
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(producer.join().unwrap(), PushOutcome::Accepted);
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn close_drains_then_terminates() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        q.push_blocking(7);
+        q.close();
+        assert_eq!(q.push_blocking(8), PushOutcome::Closed);
+        assert_eq!(q.try_push(9), PushOutcome::Closed);
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_unblocks_waiting_producer() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push_blocking(0);
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push_blocking(1));
+        // Give the producer a chance to park, then close under it.
+        std::thread::yield_now();
+        q.close();
+        assert_eq!(producer.join().unwrap(), PushOutcome::Closed);
+    }
+}

@@ -1,0 +1,230 @@
+//! The TCP front-end: `std::net` listener, a small thread pool, JSON
+//! lines in, JSON lines out.
+//!
+//! Zero async runtime, zero external dependencies: an accept thread hands
+//! connections to a fixed pool of workers over the same [`BoundedQueue`]
+//! the shards use (blocking policy — a connection is never shed). Each
+//! worker speaks the [`crate::proto`] protocol line-by-line against the
+//! shared [`CdiService`].
+//!
+//! Shutdown is cooperative and clock-free: the `Shutdown` request (or
+//! [`ServerHandle::stop`]) raises a flag and pokes the accept loop with a
+//! loopback connection so it observes the flag without needing accept
+//! timeouts.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cdi_core::error::{CdiError, Result};
+use simfleet::Fleet;
+
+use crate::proto::{Request, Response, TopEntry};
+use crate::queue::BoundedQueue;
+use crate::rollup::rollup;
+use crate::service::CdiService;
+
+/// Shared context of every connection handler.
+#[derive(Debug)]
+struct ServerCtx {
+    service: Arc<CdiService>,
+    /// Topology for `Rollup` requests; without one, rollups answer with an
+    /// error instead of a wrong empty aggregate.
+    fleet: Option<Arc<Fleet>>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A running server: join or stop it through this handle.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<ServerCtx>,
+    conns: Arc<BoundedQueue<TcpStream>>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Has a shutdown been requested (by `stop` or a `Shutdown` request)?
+    pub fn is_shutting_down(&self) -> bool {
+        self.ctx.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown and wait for the accept loop and all workers to
+    /// finish their current connections.
+    pub fn stop(&mut self) {
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+        // Poke the blocking accept so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        self.conns.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Wait until the server shuts down on its own (a `Shutdown` request).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        self.conns.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve the
+/// protocol with `workers` handler threads.
+pub fn serve(
+    service: Arc<CdiService>,
+    fleet: Option<Arc<Fleet>>,
+    addr: &str,
+    workers: usize,
+) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)
+        .map_err(|e| CdiError::invalid(format!("cannot bind {addr}: {e}")))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| CdiError::invalid(format!("cannot resolve bound address: {e}")))?;
+    let ctx = Arc::new(ServerCtx {
+        service,
+        fleet,
+        shutdown: AtomicBool::new(false),
+        addr: bound,
+    });
+    // A small connection backlog; blocking push means a flood of
+    // connections waits in the kernel, it is not dropped.
+    let conns = Arc::new(BoundedQueue::new(64));
+
+    let accept_ctx = Arc::clone(&ctx);
+    let accept_conns = Arc::clone(&conns);
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_ctx.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Ok(stream) = stream {
+                accept_conns.push_blocking(stream);
+            }
+        }
+    });
+
+    let worker_count = workers.max(1);
+    let mut handles = Vec::with_capacity(worker_count);
+    for _ in 0..worker_count {
+        let worker_ctx = Arc::clone(&ctx);
+        let worker_conns = Arc::clone(&conns);
+        handles.push(std::thread::spawn(move || {
+            while let Some(stream) = worker_conns.pop() {
+                handle_connection(stream, &worker_ctx);
+            }
+        }));
+    }
+
+    Ok(ServerHandle { addr: bound, ctx, conns, accept_thread: Some(accept_thread), workers: handles })
+}
+
+/// Serve one connection until EOF or a `Shutdown` request.
+fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = write_half;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = match serde_json::from_str::<Request>(&line) {
+            Ok(req) => dispatch(req, ctx),
+            Err(e) => (Response::Error { message: format!("bad request: {e}") }, false),
+        };
+        if shutdown {
+            // Raise the flag before acknowledging, so a client that has
+            // read the reply observes the server as shutting down.
+            ctx.shutdown.store(true, Ordering::SeqCst);
+        }
+        let payload = match serde_json::to_string(&response) {
+            Ok(p) => p,
+            Err(e) => format!(
+                "{{\"Error\":{{\"message\":\"response serialization failed: {e}\"}}}}"
+            ),
+        };
+        if writer.write_all(payload.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+        if shutdown {
+            // Poke the accept loop awake so it exits.
+            let _ = TcpStream::connect(ctx.addr);
+            break;
+        }
+    }
+}
+
+/// Execute one request. Returns the response and whether the server
+/// should shut down after sending it.
+fn dispatch(req: Request, ctx: &ServerCtx) -> (Response, bool) {
+    let service = &ctx.service;
+    let response = match req {
+        Request::Ingest { target, span } => {
+            let report = service.ingest(target, span);
+            Response::Ingested { accepted: report.accepted, shed: report.shed }
+        }
+        Request::Advance { watermark } => match service.advance_watermark(watermark) {
+            Ok(()) => Response::Ok,
+            Err(e) => Response::Error { message: e.to_string() },
+        },
+        Request::Flush => {
+            service.flush();
+            Response::Ok
+        }
+        Request::Point { target } => match service.point(target) {
+            Ok(found) => Response::Point { found },
+            Err(e) => Response::Error { message: e.to_string() },
+        },
+        Request::TopK { k, category } => match service.top_k(k, category) {
+            Ok(entries) => Response::TopK {
+                entries: entries
+                    .into_iter()
+                    .map(|(target, score)| TopEntry { target, score })
+                    .collect(),
+            },
+            Err(e) => Response::Error { message: e.to_string() },
+        },
+        Request::Rollup { scope } => match &ctx.fleet {
+            Some(fleet) => match rollup(service, fleet, &scope) {
+                Ok(r) => Response::Rollup { vm_count: r.vm_count, breakdown: r.breakdown },
+                Err(e) => Response::Error { message: e.to_string() },
+            },
+            None => Response::Error {
+                message: "server has no fleet topology; rollups unavailable".to_string(),
+            },
+        },
+        Request::Metrics => Response::Metrics { report: service.metrics() },
+        Request::Snapshot => Response::Snapshot { snapshot: service.snapshot() },
+        Request::Shutdown => return (Response::ShuttingDown, true),
+    };
+    (response, false)
+}

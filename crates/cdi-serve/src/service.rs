@@ -1,0 +1,313 @@
+//! The sharded CDI service: routing, coordinated watermark, and queries.
+//!
+//! [`CdiService`] owns N shard workers. Every span delivery is routed to a
+//! shard by `minispark`'s deterministic [`FixedState`] hash of its target,
+//! so a target's whole stream lands on one shard, any process computing
+//! the routing agrees on it, and snapshots restore correctly even into a
+//! *different* shard count (targets simply re-hash).
+//!
+//! NC fan-out happens at the service edge, mirroring the batch daily job:
+//! a span targeting an NC also damages every VM hosted on it — except
+//! host-only telemetry (e.g. `inspect_cpu_power_tdp`), which stays at NC
+//! scope. The NC's own accumulators keep the full stream either way, so
+//! NC-scoped point lookups still answer.
+//!
+//! The watermark is coordinated: [`CdiService::advance_watermark`] checks
+//! monotonicity once at the service level, then broadcasts the advance to
+//! every shard queue with *blocking* pushes — watermarks are control
+//! messages and are never shed, whatever the span policy is.
+
+use std::collections::HashMap;
+use std::hash::BuildHasher;
+use std::sync::atomic::Ordering;
+use std::sync::{Mutex, PoisonError};
+
+use cdi_core::error::{CdiError, Result};
+use cdi_core::event::{Category, EventSpan, Target};
+use cdi_core::indicator::VmCdi;
+use cdi_core::time::Timestamp;
+use minispark::hash::FixedState;
+use simfleet::Fleet;
+
+use crate::metrics::{MetricsReport, ServiceMetrics};
+use crate::queue::{BackpressurePolicy, PushOutcome};
+use crate::shard::{Shard, ShardMsg, ShardState, TargetCdi};
+use crate::snapshot::ServiceSnapshot;
+use crate::topk::merge_top_k;
+
+/// Configuration of a [`CdiService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of shards (and worker threads). At least 1.
+    pub shards: usize,
+    /// Capacity of each shard's ingest queue.
+    pub queue_capacity: usize,
+    /// What producers experience when a queue fills.
+    pub policy: BackpressurePolicy,
+    /// Start of the service period every accumulator measures from.
+    pub period_start: Timestamp,
+    /// Event names that stay at NC scope instead of fanning out to hosted
+    /// VMs (the batch job's host-only telemetry exclusion).
+    pub host_only_events: Vec<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            queue_capacity: 1024,
+            policy: BackpressurePolicy::Block,
+            period_start: 0,
+            host_only_events: vec!["inspect_cpu_power_tdp".to_string()],
+        }
+    }
+}
+
+/// What happened to one logical span offered to [`CdiService::ingest`]
+/// (after NC fan-out, one logical span can be several deliveries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestReport {
+    /// Deliveries accepted into shard queues.
+    pub accepted: usize,
+    /// Deliveries shed by full queues (only under
+    /// [`BackpressurePolicy::Shed`]).
+    pub shed: usize,
+}
+
+/// The sharded, live CDI service.
+#[derive(Debug)]
+pub struct CdiService {
+    cfg: ServeConfig,
+    shards: Vec<Shard>,
+    /// NC → hosted VMs, for ingest-time fan-out.
+    routes: HashMap<u64, Vec<u64>>,
+    /// The coordinated watermark (the value last broadcast).
+    watermark: Mutex<Timestamp>,
+    metrics: ServiceMetrics,
+}
+
+impl CdiService {
+    /// Start a service with empty state.
+    pub fn new(cfg: ServeConfig) -> Result<CdiService> {
+        Self::validate(&cfg)?;
+        let shards =
+            (0..cfg.shards).map(|_| Shard::spawn(cfg.period_start, cfg.queue_capacity)).collect();
+        let watermark = Mutex::new(cfg.period_start);
+        Ok(CdiService { cfg, shards, routes: HashMap::new(), watermark, metrics: ServiceMetrics::default() })
+    }
+
+    fn validate(cfg: &ServeConfig) -> Result<()> {
+        if cfg.shards == 0 {
+            return Err(CdiError::invalid("service needs at least one shard"));
+        }
+        if cfg.queue_capacity == 0 {
+            return Err(CdiError::invalid("queue capacity must be positive"));
+        }
+        Ok(())
+    }
+
+    /// Install NC → VM routing from the fleet topology (builder style).
+    pub fn with_fleet_routing(mut self, fleet: &Fleet) -> CdiService {
+        let mut routes: HashMap<u64, Vec<u64>> = HashMap::new();
+        for nc in fleet.ncs() {
+            routes.insert(nc.id, fleet.vms_on(nc.id).to_vec());
+        }
+        self.routes = routes;
+        self
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The coordinated watermark (last value broadcast to the shards).
+    pub fn watermark(&self) -> Timestamp {
+        *self.watermark.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Deterministic shard index of a target.
+    pub fn shard_of(&self, target: Target) -> usize {
+        (FixedState.hash_one(target) % self.shards.len() as u64) as usize
+    }
+
+    /// Offer one logical span. NC targets fan out to their hosted VMs
+    /// (host-only event names excepted) in addition to the NC itself.
+    pub fn ingest(&self, target: Target, span: EventSpan) -> IngestReport {
+        let mut report = IngestReport::default();
+        if let Target::Nc(nc) = target {
+            if !self.cfg.host_only_events.iter().any(|n| n == &span.name) {
+                if let Some(vms) = self.routes.get(&nc) {
+                    for &vm in vms {
+                        self.deliver(Target::Vm(vm), span.clone(), &mut report);
+                    }
+                }
+            }
+        }
+        self.deliver(target, span, &mut report);
+        report
+    }
+
+    fn deliver(&self, target: Target, span: EventSpan, report: &mut IngestReport) {
+        let shard = &self.shards[self.shard_of(target)];
+        match shard.queue.push(ShardMsg::Span { target, span }, self.cfg.policy) {
+            PushOutcome::Accepted => {
+                shard.note_enqueued();
+                ServiceMetrics::bump(&self.metrics.spans_ingested);
+                report.accepted += 1;
+            }
+            PushOutcome::Shed | PushOutcome::Closed => {
+                ServiceMetrics::bump(&self.metrics.spans_shed);
+                report.shed += 1;
+            }
+        }
+    }
+
+    /// Advance the coordinated watermark, broadcasting to every shard.
+    /// Watermarks are control messages: the broadcast blocks for space
+    /// regardless of the span backpressure policy.
+    pub fn advance_watermark(&self, to: Timestamp) -> Result<()> {
+        {
+            let mut wm = self.watermark.lock().unwrap_or_else(PoisonError::into_inner);
+            if to < *wm {
+                return Err(CdiError::invalid(format!(
+                    "watermark cannot move backwards ({} -> {to})",
+                    *wm
+                )));
+            }
+            *wm = to;
+        }
+        for shard in &self.shards {
+            if shard.queue.push_blocking(ShardMsg::Watermark(to)) == PushOutcome::Accepted {
+                shard.note_enqueued();
+            }
+        }
+        Ok(())
+    }
+
+    /// Block until every shard has applied everything accepted so far.
+    pub fn flush(&self) {
+        for shard in &self.shards {
+            shard.flush();
+        }
+    }
+
+    /// Live CDI of one target, or `None` if the service has never seen it.
+    pub fn point(&self, target: Target) -> Result<Option<TargetCdi>> {
+        ServiceMetrics::bump(&self.metrics.queries);
+        self.shards[self.shard_of(target)]
+            .with_state(|st| st.point(target))
+            .transpose()
+    }
+
+    /// The global `k` worst targets by one category's indicator: each
+    /// shard reports its own top `k`, merged with a k-way heap merge.
+    pub fn top_k(&self, k: usize, category: Category) -> Result<Vec<(Target, f64)>> {
+        ServiceMetrics::bump(&self.metrics.queries);
+        let mut lists = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            lists.push(shard.with_state(|st| st.top_k(k, category))?);
+        }
+        Ok(merge_top_k(&lists, k))
+    }
+
+    /// A Formula 4-shaped row for one VM (zero damage if never seen).
+    pub fn vm_row(&self, vm: u64) -> Result<VmCdi> {
+        self.shards[self.shard_of(Target::Vm(vm))].with_state(|st| st.vm_row(vm))
+    }
+
+    /// Total distinct targets tracked across all shards.
+    pub fn target_count(&self) -> usize {
+        self.shards.iter().map(|s| s.with_state(|st| st.target_count())).sum()
+    }
+
+    /// Service counters plus shard-level late/rejection totals.
+    pub fn metrics(&self) -> MetricsReport {
+        let mut dropped = 0u64;
+        let mut clipped = 0u64;
+        let mut rejected = 0u64;
+        for shard in &self.shards {
+            let (d, c) = shard.with_state(|st| st.late_totals());
+            dropped += d;
+            clipped += c;
+            rejected += shard.with_state(|st| st.rejected());
+        }
+        self.metrics.report(dropped, clipped, rejected)
+    }
+
+    /// Freeze the whole service into a serializable snapshot: flushes all
+    /// shards, then collects every target's accumulator snapshots sorted
+    /// by target (stable bytes for identical state).
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        self.flush();
+        ServiceMetrics::bump(&self.metrics.snapshots);
+        let mut targets = Vec::new();
+        for shard in &self.shards {
+            targets.extend(shard.with_state(|st| st.snapshot()));
+        }
+        targets.sort_by_key(|a| a.target);
+        ServiceSnapshot {
+            period_start: self.cfg.period_start,
+            watermark: self.watermark(),
+            targets,
+            metrics: self.metrics(),
+        }
+    }
+
+    /// Revive a service from a snapshot. The shard count of `cfg` may
+    /// differ from the snapshotted service's — targets re-hash, which is
+    /// how an operator re-shards: snapshot, restore at the new width.
+    pub fn restore(cfg: ServeConfig, snap: &ServiceSnapshot) -> Result<CdiService> {
+        Self::validate(&cfg)?;
+        if snap.watermark < snap.period_start {
+            return Err(CdiError::invalid(format!(
+                "snapshot watermark {} precedes period start {}",
+                snap.watermark, snap.period_start
+            )));
+        }
+        let cfg = ServeConfig { period_start: snap.period_start, ..cfg };
+        let mut states: Vec<ShardState> =
+            (0..cfg.shards).map(|_| ShardState::new(cfg.period_start)).collect();
+        for st in &mut states {
+            st.set_watermark(snap.watermark);
+        }
+        for target_snap in &snap.targets {
+            let idx =
+                (FixedState.hash_one(target_snap.target) % cfg.shards as u64) as usize;
+            states[idx].restore_target(target_snap)?;
+        }
+        let queue_capacity = cfg.queue_capacity;
+        let shards =
+            states.into_iter().map(|st| Shard::spawn_with_state(st, queue_capacity)).collect();
+        let watermark = Mutex::new(snap.watermark);
+        let service =
+            CdiService { cfg, shards, routes: HashMap::new(), watermark, metrics: ServiceMetrics::default() };
+        service.metrics.reseed(&snap.metrics);
+        Ok(service)
+    }
+
+    /// Close every queue and join every worker. Further ingest is shed;
+    /// queries keep answering from the final state.
+    pub fn shutdown(&mut self) {
+        for shard in &mut self.shards {
+            shard.shutdown();
+        }
+    }
+
+    /// Test/bench instrumentation: pause or resume all shard workers to
+    /// deterministically exercise full-queue behaviour.
+    pub fn set_paused(&self, paused: bool) {
+        for shard in &self.shards {
+            if paused {
+                shard.queue.pause();
+            } else {
+                shard.queue.resume();
+            }
+        }
+    }
+
+    /// Snapshot of one internal counter for tests: total spans accepted.
+    pub fn spans_ingested(&self) -> u64 {
+        self.metrics.spans_ingested.load(Ordering::Relaxed)
+    }
+}

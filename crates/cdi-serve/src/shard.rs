@@ -1,0 +1,477 @@
+//! One shard: a worker thread draining a bounded queue into per-target
+//! streaming accumulators.
+//!
+//! A shard owns every target whose `FixedState` hash maps to it. Per
+//! target it keeps three [`CdiAccumulator`]s — one per stability category,
+//! exactly how the batch path splits spans before Algorithm 1 — so the
+//! live sub-metrics never mask each other (DESIGN.md §5, decision 3).
+//!
+//! The worker applies two message kinds in arrival order: span deliveries
+//! and watermark advances. Because the service broadcasts watermarks to
+//! every shard *after* the spans of the tick (and producers enqueue spans
+//! before the watermark), each shard's state at a watermark equals a batch
+//! computation over everything it has seen.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use cdi_core::error::{CdiError, Result};
+use cdi_core::event::{Category, EventSpan, Target};
+use cdi_core::indicator::VmCdi;
+use cdi_core::streaming::{AccumulatorSnapshot, CdiAccumulator};
+use cdi_core::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::queue::BoundedQueue;
+
+/// A message on a shard's ingest queue.
+#[derive(Debug, Clone)]
+pub enum ShardMsg {
+    /// Deliver one weighted span to one target.
+    Span {
+        /// The accumulator key (already fanned out from NC to hosted VMs).
+        target: Target,
+        /// The weighted event span.
+        span: EventSpan,
+    },
+    /// Advance every accumulator in the shard to this watermark.
+    Watermark(Timestamp),
+}
+
+/// Index of a category in the per-target accumulator triple.
+pub(crate) fn cat_index(category: Category) -> usize {
+    match category {
+        Category::Unavailability => 0,
+        Category::Performance => 1,
+        Category::ControlPlane => 2,
+    }
+}
+
+/// Live CDI of one target across all three sub-metrics — the point-lookup
+/// answer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TargetCdi {
+    /// The target.
+    pub target: Target,
+    /// Watermark the values are current to.
+    pub watermark: Timestamp,
+    /// Live Unavailability Indicator.
+    pub unavailability: f64,
+    /// Live Performance Indicator.
+    pub performance: f64,
+    /// Live Control-Plane Indicator.
+    pub control_plane: f64,
+}
+
+impl TargetCdi {
+    /// The indicator for one category.
+    pub fn get(&self, category: Category) -> f64 {
+        match category {
+            Category::Unavailability => self.unavailability,
+            Category::Performance => self.performance,
+            Category::ControlPlane => self.control_plane,
+        }
+    }
+}
+
+/// Serializable state of one target: its three accumulator snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetSnapshot {
+    /// The target.
+    pub target: Target,
+    /// Unavailability-stream accumulator.
+    pub unavailability: AccumulatorSnapshot,
+    /// Performance-stream accumulator.
+    pub performance: AccumulatorSnapshot,
+    /// Control-plane-stream accumulator.
+    pub control_plane: AccumulatorSnapshot,
+}
+
+/// The accumulator table of one shard.
+#[derive(Debug)]
+pub struct ShardState {
+    period_start: Timestamp,
+    watermark: Timestamp,
+    targets: HashMap<Target, [CdiAccumulator; 3]>,
+    /// Deliveries the accumulators rejected (invalid weight, regressed
+    /// watermark) — upstream validation should make this stay 0.
+    rejected: u64,
+}
+
+impl ShardState {
+    /// Empty shard accumulating from `period_start`.
+    pub fn new(period_start: Timestamp) -> Self {
+        ShardState {
+            period_start,
+            watermark: period_start,
+            targets: HashMap::new(),
+            rejected: 0,
+        }
+    }
+
+    /// Apply one message. Accumulator-level rejections are counted, not
+    /// propagated: one malformed delivery must not stall the queue.
+    pub fn apply(&mut self, msg: ShardMsg) {
+        match msg {
+            ShardMsg::Span { target, span } => {
+                let accs = self.targets.entry(target).or_insert_with(|| {
+                    let mut fresh = [
+                        CdiAccumulator::new(self.period_start),
+                        CdiAccumulator::new(self.period_start),
+                        CdiAccumulator::new(self.period_start),
+                    ];
+                    // A target first seen mid-stream starts at the shard
+                    // watermark: its elapsed service time is the shard's.
+                    // Cannot fail — the shard watermark never precedes the
+                    // period start a fresh accumulator begins at.
+                    for acc in &mut fresh {
+                        let _ = acc.advance_watermark(self.watermark);
+                    }
+                    fresh
+                });
+                if accs[cat_index(span.category)].ingest(span).is_err() {
+                    self.rejected += 1;
+                }
+            }
+            ShardMsg::Watermark(to) => {
+                if to < self.watermark {
+                    self.rejected += 1;
+                    return;
+                }
+                self.watermark = to;
+                for accs in self.targets.values_mut() {
+                    for acc in accs.iter_mut() {
+                        if acc.advance_watermark(to).is_err() {
+                            self.rejected += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Watermark this shard has reached.
+    pub fn watermark(&self) -> Timestamp {
+        self.watermark
+    }
+
+    /// Number of distinct targets tracked.
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Deliveries rejected by accumulators.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Totals of (late-dropped, late-clipped) spans across all
+    /// accumulators.
+    pub fn late_totals(&self) -> (u64, u64) {
+        let mut dropped = 0u64;
+        let mut clipped = 0u64;
+        for accs in self.targets.values() {
+            for acc in accs {
+                dropped += acc.late_dropped() as u64;
+                clipped += acc.late_clipped() as u64;
+            }
+        }
+        (dropped, clipped)
+    }
+
+    /// Live CDI of one target, or `None` if the shard has never seen it.
+    ///
+    /// Errors if no service time has elapsed yet (watermark still at the
+    /// period start) — there is no CDI of an empty period.
+    pub fn point(&self, target: Target) -> Option<Result<TargetCdi>> {
+        let accs = self.targets.get(&target)?;
+        Some(self.target_cdi(target, accs))
+    }
+
+    fn target_cdi(&self, target: Target, accs: &[CdiAccumulator; 3]) -> Result<TargetCdi> {
+        Ok(TargetCdi {
+            target,
+            watermark: self.watermark,
+            unavailability: accs[0].cdi()?,
+            performance: accs[1].cdi()?,
+            control_plane: accs[2].cdi()?,
+        })
+    }
+
+    /// This shard's `k` worst targets by the given category's indicator,
+    /// descending, ties broken by target order. The per-shard half of the
+    /// service's top-K (merged across shards in [`crate::topk`]).
+    pub fn top_k(&self, k: usize, category: Category) -> Result<Vec<(Target, f64)>> {
+        let mut rows = Vec::with_capacity(self.targets.len());
+        for (&target, accs) in &self.targets {
+            rows.push((target, accs[cat_index(category)].cdi()?));
+        }
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(k);
+        Ok(rows)
+    }
+
+    /// A [`VmCdi`] row for one VM target this shard tracks, in the exact
+    /// shape `aggregate` (Formula 4) consumes. Untracked VMs get an
+    /// all-zero row — a VM with no events has zero damage, matching the
+    /// batch path which computes over an empty span list.
+    pub fn vm_row(&self, vm: u64) -> Result<VmCdi> {
+        let service_time = self.watermark - self.period_start;
+        if service_time <= 0 {
+            return Err(CdiError::degenerate("no elapsed service time yet"));
+        }
+        match self.targets.get(&Target::Vm(vm)) {
+            Some(accs) => Ok(VmCdi {
+                vm,
+                service_time,
+                unavailability: accs[0].cdi()?,
+                performance: accs[1].cdi()?,
+                control_plane: accs[2].cdi()?,
+            }),
+            None => Ok(VmCdi {
+                vm,
+                service_time,
+                unavailability: 0.0,
+                performance: 0.0,
+                control_plane: 0.0,
+            }),
+        }
+    }
+
+    /// Does this shard track the target?
+    pub fn contains(&self, target: Target) -> bool {
+        self.targets.contains_key(&target)
+    }
+
+    /// Snapshot every target, sorted by target for stable output.
+    pub fn snapshot(&self) -> Vec<TargetSnapshot> {
+        let mut out: Vec<TargetSnapshot> = self
+            .targets
+            .iter()
+            .map(|(&target, accs)| TargetSnapshot {
+                target,
+                unavailability: accs[0].snapshot(),
+                performance: accs[1].snapshot(),
+                control_plane: accs[2].snapshot(),
+            })
+            .collect();
+        out.sort_by_key(|a| a.target);
+        out
+    }
+
+    /// Insert a revived target (snapshot restore path). Validates each
+    /// accumulator snapshot and requires all three to agree on the
+    /// watermark, which then must match the shard's.
+    pub fn restore_target(&mut self, snap: &TargetSnapshot) -> Result<()> {
+        let u = CdiAccumulator::restore(snap.unavailability.clone())?;
+        let p = CdiAccumulator::restore(snap.performance.clone())?;
+        let c = CdiAccumulator::restore(snap.control_plane.clone())?;
+        for acc in [&u, &p, &c] {
+            if acc.watermark() != self.watermark {
+                return Err(CdiError::invalid(format!(
+                    "snapshot of {} is at watermark {}, shard at {}",
+                    snap.target,
+                    acc.watermark(),
+                    self.watermark
+                )));
+            }
+        }
+        self.targets.insert(snap.target, [u, p, c]);
+        Ok(())
+    }
+
+    /// Force the shard watermark without touching accumulators — restore
+    /// path only, where accumulators are inserted already at this mark.
+    pub(crate) fn set_watermark(&mut self, to: Timestamp) {
+        self.watermark = to;
+    }
+}
+
+/// A running shard: queue, worker thread, and the shared state they drain
+/// into.
+#[derive(Debug)]
+pub struct Shard {
+    /// The ingest queue producers push to.
+    pub queue: Arc<BoundedQueue<ShardMsg>>,
+    state: Arc<Mutex<ShardState>>,
+    /// Messages accepted into the queue (producers bump this on accept).
+    enqueued: Arc<AtomicU64>,
+    /// Messages applied by the worker, with a condvar for flush waiters.
+    applied: Arc<(Mutex<u64>, Condvar)>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Shard {
+    /// Spawn a shard worker over an empty state.
+    pub fn spawn(period_start: Timestamp, queue_capacity: usize) -> Shard {
+        Self::spawn_with_state(ShardState::new(period_start), queue_capacity)
+    }
+
+    /// Spawn a shard worker over pre-built (restored) state.
+    pub fn spawn_with_state(state: ShardState, queue_capacity: usize) -> Shard {
+        let queue = Arc::new(BoundedQueue::new(queue_capacity));
+        let state = Arc::new(Mutex::new(state));
+        let enqueued = Arc::new(AtomicU64::new(0));
+        let applied = Arc::new((Mutex::new(0u64), Condvar::new()));
+
+        let worker_queue = Arc::clone(&queue);
+        let worker_state = Arc::clone(&state);
+        let worker_applied = Arc::clone(&applied);
+        let worker = std::thread::spawn(move || {
+            while let Some(msg) = worker_queue.pop() {
+                worker_state.lock().unwrap_or_else(PoisonError::into_inner).apply(msg);
+                let (count, cv) = &*worker_applied;
+                *count.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+                cv.notify_all();
+            }
+        });
+
+        Shard { queue, state, enqueued, applied, worker: Some(worker) }
+    }
+
+    /// Record that a message was accepted into the queue. Producers must
+    /// call this exactly once per accepted push so [`Shard::flush`] knows
+    /// what to wait for.
+    pub fn note_enqueued(&self) {
+        self.enqueued.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Block until every message accepted so far has been applied.
+    pub fn flush(&self) {
+        let goal = self.enqueued.load(Ordering::SeqCst);
+        let (count, cv) = &*self.applied;
+        let mut done = count.lock().unwrap_or_else(PoisonError::into_inner);
+        while *done < goal {
+            done = cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Run `f` against the shard state under its lock.
+    pub fn with_state<R>(&self, f: impl FnOnce(&ShardState) -> R) -> R {
+        f(&self.state.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Close the queue and join the worker (drains remaining messages).
+    pub fn shutdown(&mut self) {
+        self.queue.close();
+        if let Some(h) = self.worker.take() {
+            // A worker that panicked already poisoned nothing we read past
+            // this point; ignore the join error rather than propagating a
+            // panic through shutdown.
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdi_core::time::minutes;
+
+    fn span(s: i64, e: i64, w: f64, cat: Category) -> EventSpan {
+        EventSpan::new("x", cat, minutes(s), minutes(e), w)
+    }
+
+    #[test]
+    fn categories_accumulate_independently() {
+        let mut st = ShardState::new(0);
+        st.apply(ShardMsg::Span {
+            target: Target::Vm(1),
+            span: span(0, 10, 1.0, Category::Unavailability),
+        });
+        st.apply(ShardMsg::Span {
+            target: Target::Vm(1),
+            span: span(0, 20, 0.5, Category::Performance),
+        });
+        st.apply(ShardMsg::Watermark(minutes(100)));
+        let p = st.point(Target::Vm(1)).unwrap().unwrap();
+        assert!((p.unavailability - 10.0 / 100.0).abs() < 1e-12);
+        assert!((p.performance - 0.5 * 20.0 / 100.0).abs() < 1e-12);
+        assert!(p.control_plane.abs() < 1e-15);
+        assert!(st.point(Target::Vm(2)).is_none());
+    }
+
+    #[test]
+    fn late_first_sight_fast_forwards_the_accumulator() {
+        let mut st = ShardState::new(0);
+        st.apply(ShardMsg::Watermark(minutes(50)));
+        // First delivery for this target arrives mid-period.
+        st.apply(ShardMsg::Span {
+            target: Target::Vm(9),
+            span: span(50, 60, 1.0, Category::Unavailability),
+        });
+        st.apply(ShardMsg::Watermark(minutes(100)));
+        let p = st.point(Target::Vm(9)).unwrap().unwrap();
+        // 10 damaged minutes over the full 100-minute elapsed period.
+        assert!((p.unavailability - 10.0 / 100.0).abs() < 1e-12, "{p:?}");
+    }
+
+    #[test]
+    fn shard_top_k_sorts_descending_with_stable_ties() {
+        let mut st = ShardState::new(0);
+        for (vm, mins) in [(1u64, 30i64), (2, 10), (3, 20)] {
+            st.apply(ShardMsg::Span {
+                target: Target::Vm(vm),
+                span: span(0, mins, 1.0, Category::Unavailability),
+            });
+        }
+        st.apply(ShardMsg::Watermark(minutes(100)));
+        let top = st.top_k(2, Category::Unavailability).unwrap();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, Target::Vm(1));
+        assert_eq!(top[1].0, Target::Vm(3));
+    }
+
+    #[test]
+    fn worker_applies_and_flush_waits() {
+        let shard = Shard::spawn(0, 64);
+        for i in 0..10 {
+            shard.queue.push_blocking(ShardMsg::Span {
+                target: Target::Vm(i % 3),
+                span: span(0, 10, 0.5, Category::Performance),
+            });
+            shard.note_enqueued();
+        }
+        shard.queue.push_blocking(ShardMsg::Watermark(minutes(60)));
+        shard.note_enqueued();
+        shard.flush();
+        shard.with_state(|st| {
+            assert_eq!(st.target_count(), 3);
+            assert_eq!(st.watermark(), minutes(60));
+            assert_eq!(st.rejected(), 0);
+        });
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_restore_target() {
+        let mut st = ShardState::new(0);
+        st.apply(ShardMsg::Span {
+            target: Target::Vm(4),
+            span: span(0, 30, 0.5, Category::Performance),
+        });
+        st.apply(ShardMsg::Watermark(minutes(10)));
+        let snaps = st.snapshot();
+        assert_eq!(snaps.len(), 1);
+
+        let mut revived = ShardState::new(0);
+        revived.set_watermark(minutes(10));
+        revived.restore_target(&snaps[0]).unwrap();
+        revived.apply(ShardMsg::Watermark(minutes(40)));
+        st.apply(ShardMsg::Watermark(minutes(40)));
+        let a = st.point(Target::Vm(4)).unwrap().unwrap();
+        let b = revived.point(Target::Vm(4)).unwrap().unwrap();
+        assert!((a.performance - b.performance).abs() < 1e-15);
+
+        // Watermark mismatch is rejected.
+        let mut stale = ShardState::new(0);
+        assert!(stale.restore_target(&snaps[0]).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! The service snapshot format: serde-JSON, inspectable, re-shardable.
+//!
+//! A snapshot is the full durable state of a [`crate::service::CdiService`]
+//! at a flushed watermark: one [`crate::shard::TargetSnapshot`] per target
+//! (each holding the three per-category accumulator snapshots) plus the
+//! loss-accounting counters. Everything else — shard count, queue sizes,
+//! routing — is configuration, deliberately *not* part of the snapshot, so
+//! an operator can restore into a different deployment shape (that is the
+//! re-sharding procedure: snapshot, restore at the new width).
+//!
+//! Restores re-validate every accumulator invariant; a corrupted or
+//! hand-edited snapshot surfaces a typed error instead of a silently wrong
+//! CDI.
+
+use cdi_core::error::{CdiError, Result};
+use cdi_core::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::MetricsReport;
+use crate::shard::TargetSnapshot;
+
+/// The durable state of a whole service at one flushed watermark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSnapshot {
+    /// Start of the service period.
+    pub period_start: Timestamp,
+    /// The coordinated watermark at snapshot time.
+    pub watermark: Timestamp,
+    /// Every tracked target, sorted by target.
+    pub targets: Vec<TargetSnapshot>,
+    /// Service counters at snapshot time (loss accounting survives
+    /// recovery).
+    pub metrics: MetricsReport,
+}
+
+impl ServiceSnapshot {
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| CdiError::invalid(format!("snapshot serialization failed: {e}")))
+    }
+
+    /// Parse from a JSON string.
+    pub fn from_json(s: &str) -> Result<ServiceSnapshot> {
+        serde_json::from_str(s)
+            .map_err(|e| CdiError::invalid(format!("snapshot parse failed: {e}")))
+    }
+}

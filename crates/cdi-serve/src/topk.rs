@@ -1,0 +1,114 @@
+//! K-way merge of per-shard top-K lists.
+//!
+//! Each shard answers "my k worst targets" from its own accumulator table;
+//! the service merges those N sorted lists into the global k worst. The
+//! merge is a classic heap-of-heads: `O(N + k log N)` comparisons instead
+//! of re-sorting the concatenation, which is what the `topk_merge` bench
+//! measures against fleet size.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use cdi_core::event::Target;
+
+/// One list head inside the merge heap: orders by score descending, then
+/// target ascending (the same total order the shards sort by), then list
+/// index for full determinism.
+#[derive(Debug)]
+struct Head {
+    score: f64,
+    target: Target,
+    list: usize,
+    pos: usize,
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Head {}
+
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: "greater" must mean "merges first",
+        // i.e. higher score, then smaller target.
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.target.cmp(&self.target))
+            .then_with(|| other.list.cmp(&self.list))
+    }
+}
+
+/// Merge descending-sorted `(target, score)` lists into the global top
+/// `k`, preserving the shards' order: score descending, ties by target.
+pub fn merge_top_k(lists: &[Vec<(Target, f64)>], k: usize) -> Vec<(Target, f64)> {
+    let mut heap = BinaryHeap::with_capacity(lists.len());
+    for (li, list) in lists.iter().enumerate() {
+        if let Some(&(target, score)) = list.first() {
+            heap.push(Head { score, target, list: li, pos: 0 });
+        }
+    }
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        let Some(head) = heap.pop() else { break };
+        out.push((head.target, head.score));
+        let next = head.pos + 1;
+        if let Some(&(target, score)) = lists[head.list].get(next) {
+            heap.push(Head { score, target, list: head.list, pos: next });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u64) -> Target {
+        Target::Vm(id)
+    }
+
+    #[test]
+    fn merges_sorted_lists_globally() {
+        let lists = vec![
+            vec![(t(1), 0.9), (t(4), 0.4)],
+            vec![(t(2), 0.7), (t(5), 0.1)],
+            vec![(t(3), 0.8)],
+        ];
+        let top = merge_top_k(&lists, 3);
+        assert_eq!(top.iter().map(|x| x.0).collect::<Vec<_>>(), vec![t(1), t(3), t(2)]);
+    }
+
+    #[test]
+    fn k_larger_than_total_returns_everything() {
+        let lists = vec![vec![(t(1), 0.5)], vec![], vec![(t(2), 0.3)]];
+        let top = merge_top_k(&lists, 10);
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn ties_break_by_target_order() {
+        let lists = vec![vec![(t(9), 0.5)], vec![(t(2), 0.5)], vec![(t(5), 0.5)]];
+        let top = merge_top_k(&lists, 3);
+        assert_eq!(top.iter().map(|x| x.0).collect::<Vec<_>>(), vec![t(2), t(5), t(9)]);
+    }
+
+    #[test]
+    fn nan_scores_sort_last_not_first() {
+        // total_cmp puts NaN above +inf in descending order? No: total_cmp
+        // orders +NaN greatest, so a NaN head would merge first — the
+        // shards never produce NaN (cdi() is a ratio of finite integrals),
+        // but the merge must still terminate and include every element.
+        let lists = vec![vec![(t(1), f64::NAN)], vec![(t(2), 0.5)]];
+        let top = merge_top_k(&lists, 2);
+        assert_eq!(top.len(), 2);
+    }
+}

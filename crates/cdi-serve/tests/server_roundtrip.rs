@@ -1,0 +1,145 @@
+//! Wire-level round trip: every request variant over a real TCP socket.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use cdi_core::event::{Category, EventSpan, Target};
+use cdi_serve::proto::{Request, Response};
+use cdi_serve::{serve, CdiService, ServeConfig};
+use simfleet::{Fleet, FleetConfig, Scope};
+
+const MIN: i64 = 60_000;
+
+fn fleet() -> Fleet {
+    Fleet::build(&FleetConfig {
+        regions: vec!["r1".into()],
+        azs_per_region: 1,
+        clusters_per_az: 1,
+        ncs_per_cluster: 1,
+        vms_per_nc: 2,
+        nc_cores: 8,
+        machine_models: vec!["mA".into()],
+        arch: simfleet::DeploymentArch::Hybrid,
+    })
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { reader, writer: stream }
+    }
+
+    fn call(&mut self, req: &Request) -> Response {
+        let line = serde_json::to_string(req).unwrap();
+        self.send_raw(&line)
+    }
+
+    fn send_raw(&mut self, line: &str) -> Response {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        serde_json::from_str(&reply).unwrap()
+    }
+}
+
+#[test]
+fn every_request_variant_round_trips_over_tcp() {
+    let fleet = fleet();
+    let service = Arc::new(
+        CdiService::new(ServeConfig { shards: 2, ..ServeConfig::default() })
+            .unwrap()
+            .with_fleet_routing(&fleet),
+    );
+    let handle = serve(Arc::clone(&service), Some(Arc::new(fleet)), "127.0.0.1:0", 2).unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    // Ingest an NC span: fans out to both hosted VMs plus the NC itself.
+    let span = EventSpan::new("nic_flapping", Category::Performance, 0, 10 * MIN, 0.8);
+    match client.call(&Request::Ingest { target: Target::Nc(0), span }) {
+        Response::Ingested { accepted, shed } => {
+            assert_eq!(accepted, 3);
+            assert_eq!(shed, 0);
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    assert!(matches!(client.call(&Request::Advance { watermark: 60 * MIN }), Response::Ok));
+    assert!(matches!(client.call(&Request::Flush), Response::Ok));
+
+    match client.call(&Request::Point { target: Target::Vm(0) }) {
+        Response::Point { found: Some(cdi) } => {
+            assert_eq!(cdi.watermark, 60 * MIN);
+            assert!(cdi.performance > 0.0);
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+    match client.call(&Request::Point { target: Target::Vm(999) }) {
+        Response::Point { found: None } => {}
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    match client.call(&Request::TopK { k: 2, category: Category::Performance }) {
+        Response::TopK { entries } => {
+            assert_eq!(entries.len(), 2);
+            assert!(entries[0].score >= entries[1].score);
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    match client.call(&Request::Rollup { scope: Scope::Region("r1".into()) }) {
+        Response::Rollup { vm_count, breakdown } => {
+            assert_eq!(vm_count, 2);
+            assert!(breakdown.performance > 0.0);
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    match client.call(&Request::Metrics) {
+        Response::Metrics { report } => {
+            assert_eq!(report.spans_ingested, 3);
+            assert_eq!(report.spans_shed, 0);
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    match client.call(&Request::Snapshot) {
+        Response::Snapshot { snapshot } => {
+            assert_eq!(snapshot.watermark, 60 * MIN);
+            assert_eq!(snapshot.targets.len(), 3);
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    // Malformed input answers an Error instead of dropping the line.
+    assert!(matches!(client.send_raw("{this is not json"), Response::Error { .. }));
+    // Semantic errors too: a backwards watermark.
+    assert!(matches!(
+        client.call(&Request::Advance { watermark: 0 }),
+        Response::Error { .. }
+    ));
+
+    assert!(matches!(client.call(&Request::Shutdown), Response::ShuttingDown));
+    assert!(handle.is_shutting_down());
+    handle.join();
+}
+
+#[test]
+fn rollup_without_a_fleet_is_a_clean_error() {
+    let service = Arc::new(CdiService::new(ServeConfig::default()).unwrap());
+    let handle = serve(service, None, "127.0.0.1:0", 1).unwrap();
+    let mut client = Client::connect(handle.addr());
+    assert!(matches!(
+        client.call(&Request::Rollup { scope: Scope::Region("r1".into()) }),
+        Response::Error { .. }
+    ));
+    assert!(matches!(client.call(&Request::Shutdown), Response::ShuttingDown));
+    handle.join();
+}

@@ -33,6 +33,8 @@
 //! - [`predict`] — the `nc_down_prediction` scorer driving Case 8.
 //! - [`pipeline`] — end-to-end glue: world + day → events → weighted spans →
 //!   per-VM CDI rows, the equivalent of the paper's daily Spark job.
+//! - [`feed`] — the same extraction sliced into watermarked span batches,
+//!   feeding the live serving layer (`cdi-serve`) instead of a daily batch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +43,7 @@
 pub mod abassign;
 pub mod collector;
 pub mod extractor;
+pub mod feed;
 pub mod mining;
 pub mod noise;
 pub mod ops;
@@ -53,6 +56,7 @@ pub mod tickets;
 
 pub use collector::{CollectedData, Collector};
 pub use extractor::{Extractor, ExtractorConfig};
+pub use feed::{FeedBatch, LiveFeed};
 pub use ops::{ActionKind, ActionRequest, OperationPlatform};
 pub use pipeline::{DailyPipeline, RunReport};
 pub use rules::{OperationRule, RuleEngine};

@@ -44,5 +44,5 @@ pub mod world;
 
 pub use chaos::{ChaosConfig, ChaosEvent, ChaosKind};
 pub use faults::{FaultInjection, FaultKind};
-pub use topology::{DeploymentArch, Fleet, FleetConfig, NcId, VmId, VmType};
+pub use topology::{DeploymentArch, Fleet, FleetConfig, NcId, Scope, VmId, VmType};
 pub use world::{LogLine, SimWorld};

@@ -108,6 +108,22 @@ impl Default for FleetConfig {
     }
 }
 
+/// One level of the fleet hierarchy (region → AZ → cluster → NC → VM), the
+/// unit of the serving layer's hierarchical CDI rollups.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// A whole region, by name (e.g. `cn-hangzhou`).
+    Region(String),
+    /// An availability zone, by name (e.g. `cn-hangzhou-a`).
+    Az(String),
+    /// A cluster, by name (e.g. `cn-hangzhou-a-c0`).
+    Cluster(String),
+    /// One physical host and everything on it.
+    Nc(NcId),
+    /// A single VM.
+    Vm(VmId),
+}
+
 /// The fleet: all NCs and VMs plus placement indices.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fleet {
@@ -205,6 +221,36 @@ impl Fleet {
     /// VMs placed on an NC.
     pub fn vms_on(&self, nc: NcId) -> &[VmId] {
         self.by_nc.get(&nc).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// VMs inside a hierarchy scope, in ascending id order. Unknown names
+    /// and ids yield an empty slice-equivalent rather than an error — a
+    /// rollup over nothing is an empty rollup.
+    pub fn vms_in(&self, scope: &Scope) -> Vec<VmId> {
+        let mut out: Vec<VmId> = match scope {
+            Scope::Region(name) => self
+                .ncs
+                .iter()
+                .filter(|n| &n.region == name)
+                .flat_map(|n| self.vms_on(n.id).iter().copied())
+                .collect(),
+            Scope::Az(name) => self
+                .ncs
+                .iter()
+                .filter(|n| &n.az == name)
+                .flat_map(|n| self.vms_on(n.id).iter().copied())
+                .collect(),
+            Scope::Cluster(name) => self
+                .ncs
+                .iter()
+                .filter(|n| &n.cluster == name)
+                .flat_map(|n| self.vms_on(n.id).iter().copied())
+                .collect(),
+            Scope::Nc(id) => self.vms_on(*id).to_vec(),
+            Scope::Vm(id) => self.vm(*id).map(|v| vec![v.id]).unwrap_or_default(),
+        };
+        out.sort_unstable();
+        out
     }
 
     /// Migrate a VM to a new host (live migration / cold migration effect).
@@ -393,6 +439,24 @@ mod tests {
             f.migrate(vm, 2).unwrap();
         }
         assert_eq!(f.pick_destination(0), Some(1));
+    }
+
+    #[test]
+    fn scopes_select_the_hierarchy() {
+        let f = small_fleet();
+        // 2 regions × 2 AZs × 1 cluster × 2 NCs × 4 VMs.
+        assert_eq!(f.vms_in(&Scope::Region("r1".into())).len(), 16);
+        assert_eq!(f.vms_in(&Scope::Az("r1-a".into())).len(), 8);
+        assert_eq!(f.vms_in(&Scope::Cluster("r1-a-c0".into())).len(), 8);
+        assert_eq!(f.vms_in(&Scope::Nc(0)).len(), 4);
+        assert_eq!(f.vms_in(&Scope::Vm(3)), vec![3]);
+        assert!(f.vms_in(&Scope::Region("nope".into())).is_empty());
+        assert!(f.vms_in(&Scope::Vm(9999)).is_empty());
+        // Scopes nest: every AZ VM is in its region.
+        let region: Vec<VmId> = f.vms_in(&Scope::Region("r1".into()));
+        for vm in f.vms_in(&Scope::Az("r1-b".into())) {
+            assert!(region.contains(&vm));
+        }
     }
 
     #[test]

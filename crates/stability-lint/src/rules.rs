@@ -94,12 +94,17 @@ impl RuleId {
         match self {
             // Library crates with typed error channels.
             RuleId::R1 => {
-                matches!(crate_name, "cdi-core" | "statskit" | "minispark" | "simfleet" | "cloudbot")
+                matches!(
+                    crate_name,
+                    "cdi-core" | "statskit" | "minispark" | "simfleet" | "cloudbot" | "cdi-serve"
+                )
             }
             // NaN-safety matters everywhere floats are ordered.
             RuleId::R2 => true,
-            // Deterministic-replay crates.
-            RuleId::R3 => matches!(crate_name, "simfleet" | "cdi-core"),
+            // Deterministic-replay crates. cdi-serve is included so the
+            // serving layer stays clock-free: watermarks come from the
+            // feed, never from wall time.
+            RuleId::R3 => matches!(crate_name, "simfleet" | "cdi-core" | "cdi-serve"),
             RuleId::R4 => crate_name == "cdi-core",
             RuleId::R5 => crate_name == "cdi-core",
         }

@@ -1,0 +1,155 @@
+//! Batch/live parity: one simulated day streamed through `cdi-serve`
+//! reproduces the distributed daily job's per-target CDI within 1e-9.
+//!
+//! This is the serving layer's core correctness claim: a flushed service
+//! at watermark `end` is *the same computation* as the batch job over
+//! `[start, end)` — same lenient derivation, same NC→VM damage
+//! propagation, same per-category Algorithm 1 — just arriving one tick at
+//! a time.
+
+use cdi_repro::daily_job::{run, DailyJobConfig};
+use cdi_serve::{BackpressurePolicy, CdiService, ServeConfig};
+use cloudbot::feed::LiveFeed;
+use cloudbot::pipeline::DailyPipeline;
+use simfleet::faults::{FaultInjection, FaultKind, FaultTarget};
+use simfleet::{Fleet, FleetConfig, SimWorld};
+
+const HOUR: i64 = 3_600_000;
+const MIN: i64 = 60_000;
+const DAY: i64 = 24 * HOUR;
+
+fn eventful_world() -> SimWorld {
+    let fleet = Fleet::build(&FleetConfig {
+        regions: vec!["r1".into(), "r2".into()],
+        azs_per_region: 1,
+        clusters_per_az: 1,
+        ncs_per_cluster: 2,
+        vms_per_nc: 3,
+        nc_cores: 16,
+        machine_models: vec!["mA".into(), "mB".into()],
+        arch: simfleet::DeploymentArch::Hybrid,
+    });
+    let mut w = SimWorld::new(fleet, 4242);
+    // Touch all three categories plus NC propagation.
+    w.inject(FaultInjection::new(
+        FaultKind::VmDown,
+        FaultTarget::Vm(0),
+        2 * HOUR,
+        2 * HOUR + 40 * MIN,
+    ));
+    w.inject(FaultInjection::new(
+        FaultKind::SlowIo { factor: 9.0 },
+        FaultTarget::Vm(4),
+        5 * HOUR,
+        5 * HOUR + 90 * MIN,
+    ));
+    w.inject(FaultInjection::new(
+        FaultKind::NicFlapping,
+        FaultTarget::Nc(1),
+        9 * HOUR,
+        9 * HOUR + 25 * MIN,
+    ));
+    w.inject(FaultInjection::new(
+        FaultKind::ControlPlaneOutage,
+        FaultTarget::Global,
+        14 * HOUR,
+        14 * HOUR + HOUR,
+    ));
+    w
+}
+
+#[test]
+fn live_service_matches_daily_job_within_1e9() {
+    let world = eventful_world();
+    let pipeline = DailyPipeline::default();
+
+    // Batch reference: the minispark daily job.
+    let batch = run(&world, &pipeline, 0, 0, DAY, DailyJobConfig::default()).unwrap();
+
+    // Live run: the same day, tick by tick through the sharded service.
+    let service = CdiService::new(ServeConfig {
+        shards: 4,
+        queue_capacity: 256,
+        policy: BackpressurePolicy::Block,
+        period_start: 0,
+        ..ServeConfig::default()
+    })
+    .unwrap()
+    .with_fleet_routing(&world.fleet);
+    let feed = LiveFeed::build(&pipeline, &world, 0, DAY, 15 * MIN).unwrap();
+    assert!(feed.total_spans() > 0, "an eventful day must produce spans");
+    for batch_msg in &feed.batches {
+        for (target, span) in &batch_msg.spans {
+            let report = service.ingest(*target, span.clone());
+            assert_eq!(report.shed, 0, "blocking policy never sheds");
+        }
+        service.advance_watermark(batch_msg.watermark).unwrap();
+    }
+    service.flush();
+
+    assert!(!batch.rows.is_empty());
+    for row in &batch.rows {
+        let live = service.vm_row(row.vm).unwrap();
+        assert_eq!(live.service_time, row.service_time, "vm {}", row.vm);
+        assert!(
+            (live.unavailability - row.unavailability).abs() < 1e-9,
+            "vm {} unavailability: live {} vs batch {}",
+            row.vm,
+            live.unavailability,
+            row.unavailability
+        );
+        assert!(
+            (live.performance - row.performance).abs() < 1e-9,
+            "vm {} performance: live {} vs batch {}",
+            row.vm,
+            live.performance,
+            row.performance
+        );
+        assert!(
+            (live.control_plane - row.control_plane).abs() < 1e-9,
+            "vm {} control-plane: live {} vs batch {}",
+            row.vm,
+            live.control_plane,
+            row.control_plane
+        );
+    }
+
+    // The feed never delivers behind the watermark, so nothing was lost.
+    let metrics = service.metrics();
+    assert_eq!(metrics.spans_shed, 0);
+    assert_eq!(metrics.late_dropped, 0);
+    assert_eq!(metrics.late_clipped, 0);
+    assert_eq!(metrics.rejected, 0);
+}
+
+#[test]
+fn rollups_are_consistent_with_vm_rows() {
+    let world = eventful_world();
+    let pipeline = DailyPipeline::default();
+    let service = CdiService::new(ServeConfig { shards: 3, ..ServeConfig::default() })
+        .unwrap()
+        .with_fleet_routing(&world.fleet);
+    let feed = LiveFeed::build(&pipeline, &world, 0, 6 * HOUR, 30 * MIN).unwrap();
+    for b in &feed.batches {
+        for (target, span) in &b.spans {
+            service.ingest(*target, span.clone());
+        }
+        service.advance_watermark(b.watermark).unwrap();
+    }
+    service.flush();
+
+    // Manual Formula 4 over the region's VM rows == the service's rollup.
+    let scope = simfleet::Scope::Region("r1".into());
+    let r = cdi_serve::rollup(&service, &world.fleet, &scope).unwrap();
+    let vms = world.fleet.vms_in(&scope);
+    assert_eq!(r.vm_count, vms.len());
+    let rows: Vec<_> = vms.iter().map(|&vm| service.vm_row(vm).unwrap()).collect();
+    let expect = cdi_core::indicator::aggregate(&rows).unwrap();
+    assert!((r.breakdown.unavailability - expect.unavailability).abs() < 1e-12);
+    assert!((r.breakdown.performance - expect.performance).abs() < 1e-12);
+    assert!((r.breakdown.control_plane - expect.control_plane).abs() < 1e-12);
+
+    // The whole-fleet rollup over both regions weighs by service time.
+    let all = cdi_serve::rollup(&service, &world.fleet, &simfleet::Scope::Region("r2".into()));
+    assert!(all.is_ok());
+}
