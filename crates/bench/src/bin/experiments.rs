@@ -17,6 +17,7 @@
 //!   all     everything above
 //!   bench   engine throughput probes (JSON lines)   [--iters N, default 3]
 //!   bench-serve  cdi-serve ingest/query probes      [--iters N] [--quick]
+//!   drill   cdi-serve chaos drill → BENCH_PR6.json  [--seed N] [--quick]
 //! ```
 //!
 //! Each run also writes machine-readable JSON into `results/`.
@@ -42,6 +43,11 @@ fn main() {
         let iters = flag_value(&args, "--iters").unwrap_or(3) as usize;
         let quick = args.iter().any(|a| a == "--quick");
         run_bench_serve(iters.max(1), quick);
+        return;
+    }
+    if cmd == "drill" {
+        let quick = args.iter().any(|a| a == "--quick");
+        run_drill(seed, quick);
         return;
     }
 
@@ -141,6 +147,60 @@ fn run_bench_serve(iters: usize, quick: bool) {
             Ok(line) => println!("{line}"),
             Err(e) => eprintln!("bench record failed to serialize: {e}"),
         }
+    }
+}
+
+fn run_drill(seed: u64, quick: bool) {
+    eprintln!(
+        "(cdi-serve chaos drill, seed {seed}{}; wall-clock numbers vary, the agreement gate does not)",
+        if quick { ", quick mode" } else { "" }
+    );
+    let report = bench::drill::run(seed, quick);
+    println!(
+        "SLO ramp: breach at {} producers (p99 ingest {:.0} us / staleness {} ms at the last step)",
+        report
+            .slo_ramp
+            .breach_producers
+            .map_or("no".to_string(), |p| p.to_string()),
+        report.slo_ramp.steps.last().map_or(0.0, |s| s.p99_ingest_us),
+        report.slo_ramp.steps.last().map_or(0, |s| s.staleness_ms),
+    );
+    println!(
+        "chaos agreement: shard path {:?}, {} kill(s), {} respawn(s), {} restart(s), max CDI delta {:.3e} → {}",
+        report.chaos_agreement.shard_path,
+        report.chaos_agreement.kills,
+        report.chaos_agreement.respawns,
+        report.chaos_agreement.restarts,
+        report.chaos_agreement.max_cdi_delta,
+        if report.chaos_agreement.passed { "PASS" } else { "FAIL" },
+    );
+    println!(
+        "resize overhead: steady {:.3}s vs resized {:.3}s ({} live resizes) → {:.2}x",
+        report.resize_overhead.steady_secs,
+        report.resize_overhead.resized_secs,
+        report.resize_overhead.resizes,
+        report.resize_overhead.overhead_ratio,
+    );
+    println!(
+        "autoscale: peak {} shards, settled at {}",
+        report.autoscale.peak_shards, report.autoscale.final_shards
+    );
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_PR6.json", json + "\n") {
+                eprintln!("cannot write BENCH_PR6.json: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote BENCH_PR6.json");
+        }
+        Err(e) => {
+            eprintln!("drill report failed to serialize: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !report.gate.passed {
+        eprintln!("chaos agreement gate FAILED");
+        std::process::exit(1);
     }
 }
 

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_debug_implementations)]
 
+pub mod drill;
 pub mod experiments;
 pub mod perfbench;
 pub mod report;

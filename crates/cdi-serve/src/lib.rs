@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod lifecycle;
 pub mod metrics;
 pub mod proto;
 pub mod queue;
@@ -43,7 +44,8 @@ pub mod shard;
 pub mod snapshot;
 pub mod topk;
 
-pub use metrics::{MetricsReport, ServiceMetrics};
+pub use lifecycle::{AdmissionGate, AutoScalerPolicy, ResizeOutcome};
+pub use metrics::{LifecycleEvent, MetricsReport, ServiceMetrics};
 pub use queue::{BackpressurePolicy, BoundedQueue, PushOutcome};
 pub use rollup::{rollup, Rollup};
 pub use server::{serve, ServerHandle};

@@ -16,6 +16,7 @@ use cdi_core::time::Timestamp;
 use serde::{Deserialize, Serialize};
 use simfleet::Scope;
 
+use crate::lifecycle::ResizeOutcome;
 use crate::metrics::MetricsReport;
 use crate::shard::TargetCdi;
 use crate::snapshot::ServiceSnapshot;
@@ -58,8 +59,35 @@ pub enum Request {
     Metrics,
     /// Freeze the full service state.
     Snapshot,
+    /// Elastically resize the shard pool while producers keep writing.
+    Resize {
+        /// New shard count (≥ 1).
+        shards: usize,
+    },
+    /// Run one chaos-drill operation against the shard pool.
+    Drill {
+        /// The operation.
+        op: DrillOp,
+    },
     /// Stop accepting connections and shut the server down.
     Shutdown,
+}
+
+/// A chaos-drill operation, driven over the wire so drills audit the
+/// service exactly as an external operator would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DrillOp {
+    /// Kill one shard worker (its live state is wiped; supervision
+    /// respawns it from checkpoint + journal).
+    KillShard {
+        /// Index of the shard to kill.
+        shard: usize,
+    },
+    /// Restart every shard in place, one at a time, each under its own
+    /// fence epoch.
+    RollingRestart,
+    /// Sweep the pool for dead shards and respawn them.
+    Supervise,
 }
 
 /// One entry of a top-K answer.
@@ -115,6 +143,16 @@ pub enum Response {
         /// The full serializable service state.
         snapshot: ServiceSnapshot,
     },
+    /// Answer to `Resize`: the committed outcome.
+    Resized {
+        /// What the resize did (epoch, widths, moved targets, drain).
+        outcome: ResizeOutcome,
+    },
+    /// Answer to `Drill { op: Supervise }`.
+    Supervised {
+        /// Dead shards respawned by the sweep.
+        respawned: usize,
+    },
     /// Acknowledgement of `Shutdown`; the server exits after this line.
     ShuttingDown,
 }
@@ -143,6 +181,10 @@ mod tests {
             Request::Rollup { scope: Scope::Az("r1-a".into()) },
             Request::Metrics,
             Request::Snapshot,
+            Request::Resize { shards: 8 },
+            Request::Drill { op: DrillOp::KillShard { shard: 2 } },
+            Request::Drill { op: DrillOp::RollingRestart },
+            Request::Drill { op: DrillOp::Supervise },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -162,6 +204,16 @@ mod tests {
             Response::TopK {
                 entries: vec![TopEntry { target: Target::Vm(1), score: 0.25 }],
             },
+            Response::Resized {
+                outcome: ResizeOutcome {
+                    epoch: 3,
+                    from_shards: 2,
+                    to_shards: 4,
+                    moved_targets: 17,
+                    drained_msgs: 120,
+                },
+            },
+            Response::Supervised { respawned: 1 },
             Response::ShuttingDown,
         ];
         for resp in resps {

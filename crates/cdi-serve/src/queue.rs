@@ -16,11 +16,26 @@
 //! push: shedding a watermark would silently stall the frozen integral,
 //! which is a correctness bug rather than load shedding.
 //!
-//! The queue also supports *pausing* consumers, which exists purely so
-//! tests can deterministically fill a queue and observe the policy instead
-//! of racing the worker.
+//! The queue also supports *pausing* consumers, which the lifecycle layer
+//! uses to freeze one shard deterministically (and tests use to fill a
+//! queue and observe the policy instead of racing the worker). Two wakeup
+//! rules keep pause/resume well-behaved:
+//!
+//! - `close` overrides `pause`: a paused consumer still drains and
+//!   terminates once the queue closes, so shutdown never deadlocks on a
+//!   forgotten `resume` (the lost-wakeup case).
+//! - `resume` hands *one* blocked pusher a wakeup (`notify_one`), and
+//!   every subsequent pop chains the next one — never a `notify_all`
+//!   stampede of producers racing for a single slot (the thundering-herd
+//!   case).
+//!
+//! For the auto-scaler, the queue keeps a [`BoundedQueue::high_water_mark`]
+//! gauge: the deepest the queue has been since the gauge was last taken.
+//! Queue depth is the earliest overload signal the service has — it rises
+//! before anything is shed or late.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// What a producer experiences when the queue is full.
@@ -60,6 +75,8 @@ pub struct BoundedQueue<T> {
     not_full: Condvar,
     /// Signalled when an item appears, the queue closes, or pause lifts.
     not_empty: Condvar,
+    /// Deepest the queue has been since the gauge was last taken.
+    high_water: AtomicUsize,
 }
 
 fn relock<'a, T>(
@@ -79,6 +96,7 @@ impl<T> BoundedQueue<T> {
             state: Mutex::new(State { items: VecDeque::new(), closed: false, paused: false }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
+            high_water: AtomicUsize::new(0),
         }
     }
 
@@ -103,6 +121,7 @@ impl<T> BoundedQueue<T> {
             return PushOutcome::Closed;
         }
         st.items.push_back(item);
+        self.note_depth(st.items.len());
         self.not_empty.notify_one();
         PushOutcome::Accepted
     }
@@ -117,6 +136,7 @@ impl<T> BoundedQueue<T> {
             return PushOutcome::Shed;
         }
         st.items.push_back(item);
+        self.note_depth(st.items.len());
         self.not_empty.notify_one();
         PushOutcome::Accepted
     }
@@ -124,10 +144,13 @@ impl<T> BoundedQueue<T> {
     /// Dequeue, blocking until an item is available (and the queue is not
     /// paused). Returns `None` once the queue is closed *and* drained —
     /// the consumer's termination signal.
+    ///
+    /// `close` overrides `pause`: a paused queue that closes still drains
+    /// and terminates, so a worker can always be joined.
     pub fn pop(&self) -> Option<T> {
         let mut st = relock(self.state.lock());
         loop {
-            if !st.paused {
+            if !st.paused || st.closed {
                 if let Some(item) = st.items.pop_front() {
                     self.not_full.notify_one();
                     return Some(item);
@@ -141,7 +164,7 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Close the queue: producers are rejected, the consumer drains what
-    /// remains and then sees `None`.
+    /// remains and then sees `None` (even if the queue is paused).
     pub fn close(&self) {
         let mut st = relock(self.state.lock());
         st.closed = true;
@@ -149,17 +172,27 @@ impl<T> BoundedQueue<T> {
         self.not_full.notify_all();
     }
 
-    /// Halt the consumer (items accumulate). Test instrumentation for
-    /// deterministic backpressure scenarios.
+    /// Halt the consumer (items accumulate). The lifecycle fence freezes
+    /// one shard with this; tests use it for deterministic backpressure
+    /// scenarios.
     pub fn pause(&self) {
         relock(self.state.lock()).paused = true;
     }
 
     /// Resume a paused consumer.
+    ///
+    /// Wakes every parked consumer (they re-check the pause flag under the
+    /// lock, so extra wakeups are harmless re-checks, and the server's
+    /// multi-consumer connection queue needs all of them looking again) —
+    /// but blocked *pushers* get exactly one `notify_one`: the first one
+    /// re-checks capacity immediately, and each subsequent pop chains the
+    /// next. A `notify_all` here would stampede every blocked producer at
+    /// a queue that still has at most one free slot.
     pub fn resume(&self) {
         let mut st = relock(self.state.lock());
         st.paused = false;
         self.not_empty.notify_all();
+        self.not_full.notify_one();
     }
 
     /// Items currently queued.
@@ -170,6 +203,28 @@ impl<T> BoundedQueue<T> {
     /// Whether the queue is currently empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Current depth — alias of [`BoundedQueue::len`] named for the
+    /// metrics surface.
+    pub fn depth(&self) -> usize {
+        self.len()
+    }
+
+    /// Deepest the queue has been since the gauge was last
+    /// [taken](BoundedQueue::take_high_water_mark).
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Read and reset the high-water mark — the auto-scaler's sampling
+    /// primitive: each sample sees the worst depth of its own interval.
+    pub fn take_high_water_mark(&self) -> usize {
+        self.high_water.swap(0, Ordering::Relaxed)
+    }
+
+    fn note_depth(&self, depth: usize) {
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
     }
 }
 
@@ -224,5 +279,80 @@ mod tests {
         std::thread::yield_now();
         q.close();
         assert_eq!(producer.join().unwrap(), PushOutcome::Closed);
+    }
+
+    /// The lost-wakeup regression: closing a *paused* queue must still let
+    /// the consumer drain and terminate. Before the fix, `pop` skipped the
+    /// `closed` check while paused and parked forever.
+    #[test]
+    fn close_overrides_pause_so_shutdown_terminates() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push_blocking(1);
+        q.push_blocking(2);
+        q.pause();
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = q2.pop() {
+                got.push(v);
+            }
+            got
+        });
+        // Consumer is parked on the pause. Close without resuming.
+        std::thread::yield_now();
+        q.close();
+        assert_eq!(consumer.join().unwrap(), vec![1, 2]);
+    }
+
+    /// Pushers blocked across a pause all complete after resume, and every
+    /// item is conserved: the single-notify handoff chains through pops
+    /// without losing a producer.
+    #[test]
+    fn resume_wakes_blocked_pushers_without_loss() {
+        const PUSHERS: usize = 4;
+        let q = Arc::new(BoundedQueue::new(2));
+        q.pause();
+        q.push_blocking(100);
+        q.push_blocking(101);
+        let producers: Vec<_> = (0..PUSHERS)
+            .map(|i| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.push_blocking(i as u32))
+            })
+            .collect();
+        // All four are parked on a full, paused queue.
+        std::thread::yield_now();
+        q.resume();
+        let mut drained = Vec::new();
+        for _ in 0..(PUSHERS + 2) {
+            drained.push(q.pop().expect("queue should hold every pushed item"));
+        }
+        for p in producers {
+            assert_eq!(p.join().unwrap(), PushOutcome::Accepted);
+        }
+        drained.sort_unstable();
+        assert_eq!(drained, vec![0, 1, 2, 3, 100, 101]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn high_water_mark_tracks_and_resets() {
+        let q = BoundedQueue::new(8);
+        assert_eq!(q.high_water_mark(), 0);
+        q.push_blocking(1);
+        q.push_blocking(2);
+        q.push_blocking(3);
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.high_water_mark(), 3);
+        let _ = q.pop();
+        let _ = q.pop();
+        // Gauge keeps the worst depth, not the current one.
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.high_water_mark(), 3);
+        assert_eq!(q.take_high_water_mark(), 3);
+        // After taking, the gauge restarts from the activity that follows.
+        assert_eq!(q.high_water_mark(), 0);
+        q.push_blocking(4);
+        assert_eq!(q.high_water_mark(), 2);
     }
 }

@@ -21,7 +21,7 @@ use std::thread::JoinHandle;
 use cdi_core::error::{CdiError, Result};
 use simfleet::Fleet;
 
-use crate::proto::{Request, Response, TopEntry};
+use crate::proto::{DrillOp, Request, Response, TopEntry};
 use crate::queue::BoundedQueue;
 use crate::rollup::rollup;
 use crate::service::CdiService;
@@ -224,6 +224,24 @@ fn dispatch(req: Request, ctx: &ServerCtx) -> (Response, bool) {
         },
         Request::Metrics => Response::Metrics { report: service.metrics() },
         Request::Snapshot => Response::Snapshot { snapshot: service.snapshot() },
+        Request::Resize { shards } => match service.resize(shards) {
+            Ok(outcome) => Response::Resized { outcome },
+            Err(e) => Response::Error { message: e.to_string() },
+        },
+        Request::Drill { op } => match op {
+            DrillOp::KillShard { shard } => {
+                if service.kill_shard(shard) {
+                    Response::Ok
+                } else {
+                    Response::Error { message: format!("no shard {shard}") }
+                }
+            }
+            DrillOp::RollingRestart => match service.rolling_restart() {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error { message: e.to_string() },
+            },
+            DrillOp::Supervise => Response::Supervised { respawned: service.supervise() },
+        },
         Request::Shutdown => return (Response::ShuttingDown, true),
     };
     (response, false)

@@ -1,10 +1,12 @@
-//! The sharded CDI service: routing, coordinated watermark, and queries.
+//! The sharded CDI service: routing, coordinated watermark, queries — and
+//! the shard-pool lifecycle (elastic resize, rolling restart, crash
+//! supervision).
 //!
 //! [`CdiService`] owns N shard workers. Every span delivery is routed to a
-//! shard by `minispark`'s deterministic [`FixedState`] hash of its target,
-//! so a target's whole stream lands on one shard, any process computing
-//! the routing agrees on it, and snapshots restore correctly even into a
-//! *different* shard count (targets simply re-hash).
+//! shard by `minispark`'s deterministic [`crate::lifecycle::shard_index`]
+//! hash of its target, so a target's whole stream lands on one shard, any
+//! process computing the routing agrees on it, and state re-hashes
+//! correctly into a *different* shard count.
 //!
 //! NC fan-out happens at the service edge, mirroring the batch daily job:
 //! a span targeting an NC also damages every VM hosted on it — except
@@ -16,22 +18,38 @@
 //! monotonicity once at the service level, then broadcasts the advance to
 //! every shard queue with *blocking* pushes — watermarks are control
 //! messages and are never shed, whatever the span policy is.
+//!
+//! ## Lifecycle (PR 6)
+//!
+//! The shard pool lives behind an `RwLock`; queries share it, and the
+//! lifecycle operations swap it. Writes (ingest, watermark) additionally
+//! pass through an [`AdmissionGate`], which a [`CdiService::resize`] or
+//! [`CdiService::rolling_restart`] fences: admission pauses, in-flight
+//! deliveries finish, queues drain to the fence watermark, per-target
+//! state splits/merges through the snapshot re-hash path, the new pool
+//! cuts over atomically, and the fence lifts. Producers observe a stall,
+//! never an error and never a lost span — stability is not downtime, and
+//! neither is elasticity.
+//!
+//! Crash supervision is built into the write path: a delivery that finds
+//! its shard dead (a drill [`CdiService::kill_shard`]) respawns it from
+//! checkpoint + journal before pushing, and [`CdiService::supervise`]
+//! sweeps the pool on demand.
 
 use std::collections::HashMap;
-use std::hash::BuildHasher;
 use std::sync::atomic::Ordering;
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use cdi_core::error::{CdiError, Result};
 use cdi_core::event::{Category, EventSpan, Target};
 use cdi_core::indicator::VmCdi;
 use cdi_core::time::Timestamp;
-use minispark::hash::FixedState;
 use simfleet::Fleet;
 
-use crate::metrics::{MetricsReport, ServiceMetrics};
+use crate::lifecycle::{moved_targets, shard_index, split_merge, AdmissionGate, ResizeOutcome};
+use crate::metrics::{LifecycleEvent, MetricsReport, ServiceMetrics, ShardTotals};
 use crate::queue::{BackpressurePolicy, PushOutcome};
-use crate::shard::{Shard, ShardMsg, ShardState, TargetCdi};
+use crate::shard::{Shard, ShardMsg, ShardState, TargetCdi, DEFAULT_CHECKPOINT_EVERY};
 use crate::snapshot::ServiceSnapshot;
 use crate::topk::merge_top_k;
 
@@ -49,6 +67,9 @@ pub struct ServeConfig {
     /// Event names that stay at NC scope instead of fanning out to hosted
     /// VMs (the batch job's host-only telemetry exclusion).
     pub host_only_events: Vec<String>,
+    /// Applied messages between per-shard checkpoints (crash-recovery
+    /// granularity: a respawn replays at most this many journal entries).
+    pub checkpoint_every: usize,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +80,7 @@ impl Default for ServeConfig {
             policy: BackpressurePolicy::Block,
             period_start: 0,
             host_only_events: vec!["inspect_cpu_power_tdp".to_string()],
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
         }
     }
 }
@@ -78,22 +100,52 @@ pub struct IngestReport {
 #[derive(Debug)]
 pub struct CdiService {
     cfg: ServeConfig,
-    shards: Vec<Shard>,
+    /// The shard pool. Queries take the read lock; lifecycle operations
+    /// swap the whole vector under the write lock (the atomic cutover).
+    pool: RwLock<Vec<Shard>>,
     /// NC → hosted VMs, for ingest-time fan-out.
     routes: HashMap<u64, Vec<u64>>,
     /// The coordinated watermark (the value last broadcast).
     watermark: Mutex<Timestamp>,
-    metrics: ServiceMetrics,
+    /// Shared with every shard so respawns land in the same event log.
+    metrics: Arc<ServiceMetrics>,
+    /// The ingest-admission fence lifecycle operations raise.
+    gate: AdmissionGate,
+    /// Serializes resize / rolling restart / kill so two lifecycle
+    /// operations never interleave their fences.
+    lifecycle: Mutex<()>,
+}
+
+fn relock<T>(r: std::sync::LockResult<T>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
 }
 
 impl CdiService {
     /// Start a service with empty state.
     pub fn new(cfg: ServeConfig) -> Result<CdiService> {
         Self::validate(&cfg)?;
-        let shards =
-            (0..cfg.shards).map(|_| Shard::spawn(cfg.period_start, cfg.queue_capacity)).collect();
+        let metrics = Arc::new(ServiceMetrics::default());
+        let pool = (0..cfg.shards)
+            .map(|i| {
+                Shard::spawn_supervised(
+                    ShardState::new(cfg.period_start),
+                    cfg.queue_capacity,
+                    cfg.checkpoint_every,
+                    i,
+                    Arc::clone(&metrics),
+                )
+            })
+            .collect();
         let watermark = Mutex::new(cfg.period_start);
-        Ok(CdiService { cfg, shards, routes: HashMap::new(), watermark, metrics: ServiceMetrics::default() })
+        Ok(CdiService {
+            cfg,
+            pool: RwLock::new(pool),
+            routes: HashMap::new(),
+            watermark,
+            metrics,
+            gate: AdmissionGate::default(),
+            lifecycle: Mutex::new(()),
+        })
     }
 
     fn validate(cfg: &ServeConfig) -> Result<()> {
@@ -116,40 +168,68 @@ impl CdiService {
         self
     }
 
-    /// The service configuration.
+    fn rd(&self) -> RwLockReadGuard<'_, Vec<Shard>> {
+        relock(self.pool.read())
+    }
+
+    fn wr(&self) -> RwLockWriteGuard<'_, Vec<Shard>> {
+        relock(self.pool.write())
+    }
+
+    /// The service configuration (the *initial* shard count; see
+    /// [`CdiService::shard_count`] for the live one).
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
     }
 
-    /// The coordinated watermark (last value broadcast to the shards).
-    pub fn watermark(&self) -> Timestamp {
-        *self.watermark.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Current number of shards in the pool.
+    pub fn shard_count(&self) -> usize {
+        self.rd().len()
     }
 
-    /// Deterministic shard index of a target.
+    /// The coordinated watermark (last value broadcast to the shards).
+    pub fn watermark(&self) -> Timestamp {
+        *relock(self.watermark.lock())
+    }
+
+    /// Deterministic shard index of a target under the *current* pool
+    /// width. Advisory: a concurrent resize can change the width between
+    /// this call and the next; internal paths compute the index under the
+    /// pool lock instead.
     pub fn shard_of(&self, target: Target) -> usize {
-        (FixedState.hash_one(target) % self.shards.len() as u64) as usize
+        shard_index(target, self.rd().len())
     }
 
     /// Offer one logical span. NC targets fan out to their hosted VMs
     /// (host-only event names excepted) in addition to the NC itself.
+    ///
+    /// Blocks while a lifecycle fence is up: elasticity stalls producers,
+    /// it never loses or errors their spans.
     pub fn ingest(&self, target: Target, span: EventSpan) -> IngestReport {
-        let mut report = IngestReport::default();
-        if let Target::Nc(nc) = target {
-            if !self.cfg.host_only_events.iter().any(|n| n == &span.name) {
-                if let Some(vms) = self.routes.get(&nc) {
-                    for &vm in vms {
-                        self.deliver(Target::Vm(vm), span.clone(), &mut report);
+        self.gate.admit(|| {
+            let pool = self.rd();
+            let mut report = IngestReport::default();
+            if let Target::Nc(nc) = target {
+                if !self.cfg.host_only_events.iter().any(|n| n == &span.name) {
+                    if let Some(vms) = self.routes.get(&nc) {
+                        for &vm in vms {
+                            self.deliver(&pool, Target::Vm(vm), span.clone(), &mut report);
+                        }
                     }
                 }
             }
-        }
-        self.deliver(target, span, &mut report);
-        report
+            self.deliver(&pool, target, span, &mut report);
+            report
+        })
     }
 
-    fn deliver(&self, target: Target, span: EventSpan, report: &mut IngestReport) {
-        let shard = &self.shards[self.shard_of(target)];
+    fn deliver(&self, pool: &[Shard], target: Target, span: EventSpan, report: &mut IngestReport) {
+        let shard = &pool[shard_index(target, pool.len())];
+        // Write-path supervision: a dead shard's queue would fill and
+        // stall a blocking producer forever, so heal before pushing.
+        if !shard.is_alive() {
+            shard.respawn_if_dead();
+        }
         match shard.queue.push(ShardMsg::Span { target, span }, self.cfg.policy) {
             PushOutcome::Accepted => {
                 shard.note_enqueued();
@@ -167,27 +247,34 @@ impl CdiService {
     /// Watermarks are control messages: the broadcast blocks for space
     /// regardless of the span backpressure policy.
     pub fn advance_watermark(&self, to: Timestamp) -> Result<()> {
-        {
-            let mut wm = self.watermark.lock().unwrap_or_else(PoisonError::into_inner);
-            if to < *wm {
-                return Err(CdiError::invalid(format!(
-                    "watermark cannot move backwards ({} -> {to})",
-                    *wm
-                )));
+        self.gate.admit(|| {
+            {
+                let mut wm = relock(self.watermark.lock());
+                if to < *wm {
+                    return Err(CdiError::invalid(format!(
+                        "watermark cannot move backwards ({} -> {to})",
+                        *wm
+                    )));
+                }
+                *wm = to;
             }
-            *wm = to;
-        }
-        for shard in &self.shards {
-            if shard.queue.push_blocking(ShardMsg::Watermark(to)) == PushOutcome::Accepted {
-                shard.note_enqueued();
+            let pool = self.rd();
+            for shard in pool.iter() {
+                if !shard.is_alive() {
+                    shard.respawn_if_dead();
+                }
+                if shard.queue.push_blocking(ShardMsg::Watermark(to)) == PushOutcome::Accepted {
+                    shard.note_enqueued();
+                }
             }
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
-    /// Block until every shard has applied everything accepted so far.
+    /// Block until every shard has applied everything accepted so far
+    /// (respawning any dead worker encountered along the way).
     pub fn flush(&self) {
-        for shard in &self.shards {
+        for shard in self.rd().iter() {
             shard.flush();
         }
     }
@@ -195,7 +282,8 @@ impl CdiService {
     /// Live CDI of one target, or `None` if the service has never seen it.
     pub fn point(&self, target: Target) -> Result<Option<TargetCdi>> {
         ServiceMetrics::bump(&self.metrics.queries);
-        self.shards[self.shard_of(target)]
+        let pool = self.rd();
+        pool[shard_index(target, pool.len())]
             .with_state(|st| st.point(target))
             .transpose()
     }
@@ -204,8 +292,9 @@ impl CdiService {
     /// shard reports its own top `k`, merged with a k-way heap merge.
     pub fn top_k(&self, k: usize, category: Category) -> Result<Vec<(Target, f64)>> {
         ServiceMetrics::bump(&self.metrics.queries);
-        let mut lists = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
+        let pool = self.rd();
+        let mut lists = Vec::with_capacity(pool.len());
+        for shard in pool.iter() {
             lists.push(shard.with_state(|st| st.top_k(k, category))?);
         }
         Ok(merge_top_k(&lists, k))
@@ -213,50 +302,269 @@ impl CdiService {
 
     /// A Formula 4-shaped row for one VM (zero damage if never seen).
     pub fn vm_row(&self, vm: u64) -> Result<VmCdi> {
-        self.shards[self.shard_of(Target::Vm(vm))].with_state(|st| st.vm_row(vm))
+        let pool = self.rd();
+        pool[shard_index(Target::Vm(vm), pool.len())].with_state(|st| st.vm_row(vm))
     }
 
     /// Total distinct targets tracked across all shards.
     pub fn target_count(&self) -> usize {
-        self.shards.iter().map(|s| s.with_state(|st| st.target_count())).sum()
+        self.rd().iter().map(|s| s.with_state(|st| st.target_count())).sum()
     }
 
-    /// Service counters plus shard-level late/rejection totals.
+    /// Service counters plus shard-level late/rejection totals and the
+    /// pool gauges (shard count, queue depth, queue high-water mark).
     pub fn metrics(&self) -> MetricsReport {
-        let mut dropped = 0u64;
-        let mut clipped = 0u64;
+        let pool = self.rd();
+        self.metrics.report(Self::totals(&pool))
+    }
+
+    fn totals(pool: &[Shard]) -> ShardTotals {
+        let mut t = ShardTotals { shards: pool.len(), ..ShardTotals::default() };
+        for shard in pool {
+            let (d, c, r) = shard.with_state(|st| {
+                let (d, c) = st.late_totals();
+                (d, c, st.rejected())
+            });
+            t.late_dropped += d;
+            t.late_clipped += c;
+            t.rejected += r;
+            t.queue_depth += shard.queue.depth() as u64;
+            t.queue_depth_hwm = t.queue_depth_hwm.max(shard.queue.high_water_mark() as u64);
+        }
+        t
+    }
+
+    /// The earliest watermark any shard has actually *applied* — the
+    /// freshness floor of every query answer. The gap to
+    /// [`CdiService::watermark`] is the service's staleness, the SLO the
+    /// chaos drill watches.
+    pub fn min_applied_watermark(&self) -> Timestamp {
+        self.rd()
+            .iter()
+            .map(|s| s.with_state(|st| st.watermark()))
+            .min()
+            .unwrap_or(self.cfg.period_start)
+    }
+
+    /// Read-and-reset the worst per-shard queue high-water mark — the
+    /// auto-scaler's sampling primitive: each call sees the deepest any
+    /// queue has been since the previous call.
+    pub fn take_queue_hwm(&self) -> u64 {
+        self.rd().iter().map(|s| s.queue.take_high_water_mark() as u64).max().unwrap_or(0)
+    }
+
+    /// Sweep the pool for dead shard workers and respawn them from their
+    /// checkpoints + journals. Returns how many were healed.
+    pub fn supervise(&self) -> usize {
+        self.rd().iter().filter(|s| s.respawn_if_dead()).count()
+    }
+
+    /// Raise the admission fence and wait for in-flight writes to finish,
+    /// healing dead shards throughout: a fenced producer may be parked on
+    /// a dead shard's full queue, and only a respawned worker can make the
+    /// space that lets it finish.
+    fn quiesce_fenced(&self) {
+        self.gate.fence_begin();
+        loop {
+            for shard in self.rd().iter() {
+                shard.respawn_if_dead();
+            }
+            if self.gate.is_quiesced() {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Elastically resize the shard pool to `new_shards` while producers
+    /// keep writing: fence admission, drain every queue to the fence
+    /// watermark, split/merge per-target state through the snapshot
+    /// re-hash path, cut the new pool over atomically, lift the fence.
+    ///
+    /// Producers observe a stall (Block) or shed window of zero — the
+    /// fence parks them *before* their span is offered, so nothing is
+    /// lost and the resized service agrees bit-for-bit with one that was
+    /// never resized.
+    pub fn resize(&self, new_shards: usize) -> Result<ResizeOutcome> {
+        if new_shards == 0 {
+            return Err(CdiError::invalid("cannot resize to zero shards"));
+        }
+        let _lc = relock(self.lifecycle.lock());
+        let from = self.shard_count();
+        if new_shards == from {
+            return Ok(ResizeOutcome {
+                epoch: self.metrics.fence_epoch.load(Ordering::Relaxed),
+                from_shards: from,
+                to_shards: from,
+                moved_targets: 0,
+                drained_msgs: 0,
+            });
+        }
+        let epoch = self.metrics.fence_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics.events.record(LifecycleEvent::ResizeStarted {
+            epoch,
+            from_shards: from,
+            to_shards: new_shards,
+        });
+        self.quiesce_fenced();
+        let result = self.resize_fenced(epoch, from, new_shards);
+        self.gate.lift();
+        result
+    }
+
+    /// The fenced body of [`CdiService::resize`]: build the new pool
+    /// first, swap only on success — an error leaves the old pool serving.
+    fn resize_fenced(&self, epoch: u64, from: usize, to: usize) -> Result<ResizeOutcome> {
+        let mut pool = self.wr();
+        let drained_msgs: u64 = pool.iter().map(|s| s.queue.depth() as u64).sum();
+        for shard in pool.iter() {
+            shard.drain_to_fence();
+        }
+        let watermark = self.watermark();
+        let mut targets = Vec::new();
         let mut rejected = 0u64;
-        for shard in &self.shards {
-            let (d, c) = shard.with_state(|st| st.late_totals());
-            dropped += d;
-            clipped += c;
+        for shard in pool.iter() {
+            targets.extend(shard.with_state(|st| st.snapshot()));
             rejected += shard.with_state(|st| st.rejected());
         }
-        self.metrics.report(dropped, clipped, rejected)
+        targets.sort_by_key(|t| t.target);
+        let states = split_merge(&targets, to, self.cfg.period_start, watermark)?;
+        let moved = moved_targets(&targets, from, to);
+        // Only mutate counters past the last fallible step.
+        self.metrics.rejected_carried.fetch_add(rejected, Ordering::Relaxed);
+        let new_pool: Vec<Shard> = states
+            .into_iter()
+            .enumerate()
+            .map(|(i, st)| {
+                Shard::spawn_supervised(
+                    st,
+                    self.cfg.queue_capacity,
+                    self.cfg.checkpoint_every,
+                    i,
+                    Arc::clone(&self.metrics),
+                )
+            })
+            .collect();
+        // The atomic cutover: readers blocked on the pool lock see only
+        // the new width. Old shards shut down on drop (queues empty).
+        *pool = new_pool;
+        drop(pool);
+        ServiceMetrics::bump(&self.metrics.resizes);
+        self.metrics.events.record(LifecycleEvent::ResizeFinished {
+            epoch,
+            from_shards: from,
+            to_shards: to,
+            moved_targets: moved,
+            drained_msgs,
+        });
+        Ok(ResizeOutcome {
+            epoch,
+            from_shards: from,
+            to_shards: to,
+            moved_targets: moved,
+            drained_msgs,
+        })
     }
 
-    /// Freeze the whole service into a serializable snapshot: flushes all
-    /// shards, then collects every target's accumulator snapshots sorted
-    /// by target (stable bytes for identical state).
+    /// Restart every shard in place, one at a time, each under its own
+    /// fence epoch: drain the shard, rebuild its state through the
+    /// snapshot path, swap the rebuilt shard in. The pool width never
+    /// changes and only one shard is ever offline — the single-shard
+    /// upgrade/roll primitive.
+    pub fn rolling_restart(&self) -> Result<()> {
+        let _lc = relock(self.lifecycle.lock());
+        let n = self.shard_count();
+        for i in 0..n {
+            let epoch = self.metrics.fence_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+            self.quiesce_fenced();
+            let result = self.restart_one_fenced(epoch, i);
+            self.gate.lift();
+            result?;
+        }
+        Ok(())
+    }
+
+    fn restart_one_fenced(&self, epoch: u64, i: usize) -> Result<()> {
+        let mut pool = self.wr();
+        if i >= pool.len() {
+            return Ok(());
+        }
+        let drained_msgs = pool[i].queue.depth() as u64;
+        pool[i].drain_to_fence();
+        let (snaps, watermark, rejected) =
+            pool[i].with_state(|st| (st.snapshot(), st.watermark(), st.rejected()));
+        let mut st = ShardState::new(self.cfg.period_start);
+        st.set_watermark(watermark);
+        st.set_rejected(rejected);
+        for snap in &snaps {
+            st.restore_target(snap)?;
+        }
+        pool[i] = Shard::spawn_supervised(
+            st,
+            self.cfg.queue_capacity,
+            self.cfg.checkpoint_every,
+            i,
+            Arc::clone(&self.metrics),
+        );
+        drop(pool);
+        ServiceMetrics::bump(&self.metrics.shard_restarts);
+        self.metrics.events.record(LifecycleEvent::ShardRestarted {
+            epoch,
+            shard: i,
+            drained_msgs,
+        });
+        Ok(())
+    }
+
+    /// Chaos drill: kill one shard worker. Its live state is wiped as a
+    /// crash would; queued messages survive in the queue and supervision
+    /// (the next delivery, flush, or [`CdiService::supervise`]) respawns
+    /// it from checkpoint + journal. Returns `false` for an out-of-range
+    /// index.
+    pub fn kill_shard(&self, shard: usize) -> bool {
+        let _lc = relock(self.lifecycle.lock());
+        let pool = self.rd();
+        let Some(s) = pool.get(shard) else {
+            return false;
+        };
+        s.kill();
+        ServiceMetrics::bump(&self.metrics.shard_kills);
+        self.metrics.events.record(LifecycleEvent::ShardKilled { shard });
+        true
+    }
+
+    /// Freeze the whole service into a serializable snapshot under a
+    /// lifecycle fence: admission pauses, queues drain, every target's
+    /// accumulator snapshots are collected sorted by target (stable bytes
+    /// for identical state), and the fence lifts.
     pub fn snapshot(&self) -> ServiceSnapshot {
-        self.flush();
-        ServiceMetrics::bump(&self.metrics.snapshots);
-        let mut targets = Vec::new();
-        for shard in &self.shards {
-            targets.extend(shard.with_state(|st| st.snapshot()));
-        }
-        targets.sort_by_key(|a| a.target);
-        ServiceSnapshot {
-            period_start: self.cfg.period_start,
-            watermark: self.watermark(),
-            targets,
-            metrics: self.metrics(),
-        }
+        let _lc = relock(self.lifecycle.lock());
+        self.quiesce_fenced();
+        let snap = {
+            let pool = self.rd();
+            for shard in pool.iter() {
+                shard.drain_to_fence();
+            }
+            ServiceMetrics::bump(&self.metrics.snapshots);
+            let mut targets = Vec::new();
+            for shard in pool.iter() {
+                targets.extend(shard.with_state(|st| st.snapshot()));
+            }
+            targets.sort_by_key(|a| a.target);
+            ServiceSnapshot {
+                period_start: self.cfg.period_start,
+                watermark: self.watermark(),
+                targets,
+                metrics: self.metrics.report(Self::totals(&pool)),
+            }
+        };
+        self.gate.lift();
+        snap
     }
 
     /// Revive a service from a snapshot. The shard count of `cfg` may
-    /// differ from the snapshotted service's — targets re-hash, which is
-    /// how an operator re-shards: snapshot, restore at the new width.
+    /// differ from the snapshotted service's — targets re-hash through the
+    /// same [`split_merge`] path an elastic resize uses.
     pub fn restore(cfg: ServeConfig, snap: &ServiceSnapshot) -> Result<CdiService> {
         Self::validate(&cfg)?;
         if snap.watermark < snap.period_start {
@@ -266,22 +574,31 @@ impl CdiService {
             )));
         }
         let cfg = ServeConfig { period_start: snap.period_start, ..cfg };
-        let mut states: Vec<ShardState> =
-            (0..cfg.shards).map(|_| ShardState::new(cfg.period_start)).collect();
-        for st in &mut states {
-            st.set_watermark(snap.watermark);
-        }
-        for target_snap in &snap.targets {
-            let idx =
-                (FixedState.hash_one(target_snap.target) % cfg.shards as u64) as usize;
-            states[idx].restore_target(target_snap)?;
-        }
-        let queue_capacity = cfg.queue_capacity;
-        let shards =
-            states.into_iter().map(|st| Shard::spawn_with_state(st, queue_capacity)).collect();
+        let states = split_merge(&snap.targets, cfg.shards, cfg.period_start, snap.watermark)?;
+        let metrics = Arc::new(ServiceMetrics::default());
+        let pool: Vec<Shard> = states
+            .into_iter()
+            .enumerate()
+            .map(|(i, st)| {
+                Shard::spawn_supervised(
+                    st,
+                    cfg.queue_capacity,
+                    cfg.checkpoint_every,
+                    i,
+                    Arc::clone(&metrics),
+                )
+            })
+            .collect();
         let watermark = Mutex::new(snap.watermark);
-        let service =
-            CdiService { cfg, shards, routes: HashMap::new(), watermark, metrics: ServiceMetrics::default() };
+        let service = CdiService {
+            cfg,
+            pool: RwLock::new(pool),
+            routes: HashMap::new(),
+            watermark,
+            metrics,
+            gate: AdmissionGate::default(),
+            lifecycle: Mutex::new(()),
+        };
         service.metrics.reseed(&snap.metrics);
         Ok(service)
     }
@@ -289,7 +606,7 @@ impl CdiService {
     /// Close every queue and join every worker. Further ingest is shed;
     /// queries keep answering from the final state.
     pub fn shutdown(&mut self) {
-        for shard in &mut self.shards {
+        for shard in self.wr().iter() {
             shard.shutdown();
         }
     }
@@ -297,7 +614,7 @@ impl CdiService {
     /// Test/bench instrumentation: pause or resume all shard workers to
     /// deterministically exercise full-queue behaviour.
     pub fn set_paused(&self, paused: bool) {
-        for shard in &self.shards {
+        for shard in self.rd().iter() {
             if paused {
                 shard.queue.pause();
             } else {

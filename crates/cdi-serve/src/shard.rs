@@ -1,5 +1,5 @@
 //! One shard: a worker thread draining a bounded queue into per-target
-//! streaming accumulators.
+//! streaming accumulators — with crash-respawn durability.
 //!
 //! A shard owns every target whose `FixedState` hash maps to it. Per
 //! target it keeps three [`CdiAccumulator`]s — one per stability category,
@@ -11,10 +11,23 @@
 //! every shard *after* the spans of the tick (and producers enqueue spans
 //! before the watermark), each shard's state at a watermark equals a batch
 //! computation over everything it has seen.
+//!
+//! ## Crash durability (PR 6)
+//!
+//! Each shard continuously maintains a [`Checkpoint`] (a full
+//! [`TargetSnapshot`] set, refreshed every `checkpoint_every` applied
+//! messages) plus a journal of the messages applied since. A
+//! [`ShardMsg::Crash`] control message — the chaos drill's kill switch —
+//! makes the worker wipe its live state and exit, exactly as a crashed
+//! process loses its heap. Supervision ([`Shard::respawn_if_dead`]) then
+//! rebuilds the state from checkpoint + journal replay and spawns a fresh
+//! worker over the *same* queue, so messages that were still queued at the
+//! crash are drained by the successor and nothing is lost: the respawned
+//! shard converges bit-for-bit with one that never crashed.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use cdi_core::error::{CdiError, Result};
@@ -24,6 +37,7 @@ use cdi_core::streaming::{AccumulatorSnapshot, CdiAccumulator};
 use cdi_core::time::Timestamp;
 use serde::{Deserialize, Serialize};
 
+use crate::metrics::{LifecycleEvent, ServiceMetrics};
 use crate::queue::BoundedQueue;
 
 /// A message on a shard's ingest queue.
@@ -38,6 +52,11 @@ pub enum ShardMsg {
     },
     /// Advance every accumulator in the shard to this watermark.
     Watermark(Timestamp),
+    /// Chaos-drill kill switch: the worker wipes its live state and exits
+    /// as if the thread had crashed. Never journaled, never counted as an
+    /// applied message; supervision rebuilds the shard from its last
+    /// checkpoint plus the journal.
+    Crash,
 }
 
 /// Index of a category in the per-target accumulator triple.
@@ -89,6 +108,27 @@ pub struct TargetSnapshot {
     pub control_plane: AccumulatorSnapshot,
 }
 
+/// One shard's durable image: everything needed to rebuild its state
+/// after a crash, minus what is still in the journal and the queue.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Watermark the checkpointed accumulators are advanced to.
+    pub watermark: Timestamp,
+    /// Accumulator rejections counted up to the checkpoint.
+    pub rejected: u64,
+    /// Every tracked target at the checkpoint.
+    pub targets: Vec<TargetSnapshot>,
+}
+
+/// The checkpoint + journal pair supervision rebuilds a crashed shard
+/// from. Writers: the worker thread (exclusively, while alive). Readers:
+/// [`Shard::respawn_if_dead`] (only while the worker is dead).
+#[derive(Debug)]
+struct Durable {
+    checkpoint: Mutex<Checkpoint>,
+    journal: Mutex<Vec<ShardMsg>>,
+}
+
 /// The accumulator table of one shard.
 #[derive(Debug)]
 pub struct ShardState {
@@ -113,6 +153,8 @@ impl ShardState {
 
     /// Apply one message. Accumulator-level rejections are counted, not
     /// propagated: one malformed delivery must not stall the queue.
+    /// [`ShardMsg::Crash`] is not applicable to a state and counts as a
+    /// rejection (the worker intercepts it before `apply`).
     pub fn apply(&mut self, msg: ShardMsg) {
         match msg {
             ShardMsg::Span { target, span } => {
@@ -148,6 +190,9 @@ impl ShardState {
                         }
                     }
                 }
+            }
+            ShardMsg::Crash => {
+                self.rejected += 1;
             }
         }
     }
@@ -287,10 +332,45 @@ impl ShardState {
     pub(crate) fn set_watermark(&mut self, to: Timestamp) {
         self.watermark = to;
     }
+
+    /// Seed the rejection counter — restore path only, so a rebuilt shard
+    /// keeps the loss accounting of the state it replaces.
+    pub(crate) fn set_rejected(&mut self, rejected: u64) {
+        self.rejected = rejected;
+    }
+
+    /// Full checkpoint of this state (watermark + rejections + targets).
+    fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            watermark: self.watermark,
+            rejected: self.rejected,
+            targets: self.snapshot(),
+        }
+    }
+
+    /// Rebuild a state from a checkpoint. Target snapshots that fail
+    /// validation (impossible for a worker-written checkpoint) are counted
+    /// as rejections rather than propagated — supervision must always
+    /// produce a serving shard.
+    fn from_checkpoint(period_start: Timestamp, ck: &Checkpoint) -> ShardState {
+        let mut st = ShardState::new(period_start);
+        st.set_watermark(ck.watermark);
+        st.set_rejected(ck.rejected);
+        for snap in &ck.targets {
+            if st.restore_target(snap).is_err() {
+                st.rejected += 1;
+            }
+        }
+        st
+    }
 }
 
-/// A running shard: queue, worker thread, and the shared state they drain
-/// into.
+fn relock<'a, T>(r: std::sync::LockResult<MutexGuard<'a, T>>) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A running shard: queue, worker thread, the shared state they drain
+/// into, and the checkpoint + journal supervision rebuilds it from.
 #[derive(Debug)]
 pub struct Shard {
     /// The ingest queue producers push to.
@@ -300,7 +380,69 @@ pub struct Shard {
     enqueued: Arc<AtomicU64>,
     /// Messages applied by the worker, with a condvar for flush waiters.
     applied: Arc<(Mutex<u64>, Condvar)>,
-    worker: Option<JoinHandle<()>>,
+    /// Checkpoint + journal for crash recovery.
+    durable: Arc<Durable>,
+    /// False between a crash and the respawn that heals it.
+    alive: Arc<AtomicBool>,
+    /// Crash messages injected (bumped *before* the push), matched by
+    /// [`Shard::crashes_landed`] — equal counts mean no crash is queued or
+    /// mid-pop, which is what a fence drain must prove.
+    kills: Arc<AtomicU64>,
+    /// Crash messages the worker has fully processed (bumped *after* the
+    /// state wipe and the dead flag).
+    crashes_landed: Arc<AtomicU64>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    period_start: Timestamp,
+    checkpoint_every: usize,
+    /// This shard's index in the pool, for lifecycle events.
+    index: usize,
+    /// Shared service counters + event log (respawns are recorded here).
+    metrics: Arc<ServiceMetrics>,
+}
+
+/// Everything the worker loop needs, cloned out of the [`Shard`].
+struct WorkerCtx {
+    queue: Arc<BoundedQueue<ShardMsg>>,
+    state: Arc<Mutex<ShardState>>,
+    applied: Arc<(Mutex<u64>, Condvar)>,
+    durable: Arc<Durable>,
+    alive: Arc<AtomicBool>,
+    crashes_landed: Arc<AtomicU64>,
+    period_start: Timestamp,
+    checkpoint_every: usize,
+}
+
+fn worker_loop(ctx: WorkerCtx) {
+    // Journaled-but-uncheckpointed messages survive a respawn; start the
+    // countdown where the journal left off so checkpoints stay bounded.
+    let mut since_checkpoint = relock(ctx.durable.journal.lock()).len();
+    while let Some(msg) = ctx.queue.pop() {
+        if matches!(msg, ShardMsg::Crash) {
+            // Simulated crash: the live heap is lost. Mark dead *before*
+            // waking flush waiters so they observe the death and respawn.
+            *relock(ctx.state.lock()) = ShardState::new(ctx.period_start);
+            ctx.alive.store(false, Ordering::SeqCst);
+            let (_, cv) = &*ctx.applied;
+            cv.notify_all();
+            // Landed last: once counts match, the wipe is fully visible.
+            ctx.crashes_landed.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+        relock(ctx.durable.journal.lock()).push(msg.clone());
+        relock(ctx.state.lock()).apply(msg);
+        {
+            let (count, cv) = &*ctx.applied;
+            *relock(count.lock()) += 1;
+            cv.notify_all();
+        }
+        since_checkpoint += 1;
+        if since_checkpoint >= ctx.checkpoint_every {
+            let ck = relock(ctx.state.lock()).checkpoint();
+            *relock(ctx.durable.checkpoint.lock()) = ck;
+            relock(ctx.durable.journal.lock()).clear();
+            since_checkpoint = 0;
+        }
+    }
 }
 
 impl Shard {
@@ -309,26 +451,65 @@ impl Shard {
         Self::spawn_with_state(ShardState::new(period_start), queue_capacity)
     }
 
-    /// Spawn a shard worker over pre-built (restored) state.
+    /// Spawn a shard worker over pre-built (restored) state, with default
+    /// supervision plumbing (standalone/test use).
     pub fn spawn_with_state(state: ShardState, queue_capacity: usize) -> Shard {
-        let queue = Arc::new(BoundedQueue::new(queue_capacity));
-        let state = Arc::new(Mutex::new(state));
-        let enqueued = Arc::new(AtomicU64::new(0));
-        let applied = Arc::new((Mutex::new(0u64), Condvar::new()));
+        Self::spawn_supervised(
+            state,
+            queue_capacity,
+            DEFAULT_CHECKPOINT_EVERY,
+            0,
+            Arc::new(ServiceMetrics::default()),
+        )
+    }
 
-        let worker_queue = Arc::clone(&queue);
-        let worker_state = Arc::clone(&state);
-        let worker_applied = Arc::clone(&applied);
-        let worker = std::thread::spawn(move || {
-            while let Some(msg) = worker_queue.pop() {
-                worker_state.lock().unwrap_or_else(PoisonError::into_inner).apply(msg);
-                let (count, cv) = &*worker_applied;
-                *count.lock().unwrap_or_else(PoisonError::into_inner) += 1;
-                cv.notify_all();
-            }
+    /// Spawn a shard worker over pre-built state, wired into the service's
+    /// shared metrics/event log. The initial checkpoint is taken from
+    /// `state` itself, so a crash before the first periodic checkpoint
+    /// still recovers everything the shard started with.
+    pub fn spawn_supervised(
+        state: ShardState,
+        queue_capacity: usize,
+        checkpoint_every: usize,
+        index: usize,
+        metrics: Arc<ServiceMetrics>,
+    ) -> Shard {
+        let period_start = state.period_start;
+        let durable = Arc::new(Durable {
+            checkpoint: Mutex::new(state.checkpoint()),
+            journal: Mutex::new(Vec::new()),
         });
+        let shard = Shard {
+            queue: Arc::new(BoundedQueue::new(queue_capacity)),
+            state: Arc::new(Mutex::new(state)),
+            enqueued: Arc::new(AtomicU64::new(0)),
+            applied: Arc::new((Mutex::new(0u64), Condvar::new())),
+            durable,
+            alive: Arc::new(AtomicBool::new(true)),
+            kills: Arc::new(AtomicU64::new(0)),
+            crashes_landed: Arc::new(AtomicU64::new(0)),
+            worker: Mutex::new(None),
+            period_start,
+            checkpoint_every: checkpoint_every.max(1),
+            index,
+            metrics,
+        };
+        *relock(shard.worker.lock()) = Some(shard.spawn_worker());
+        shard
+    }
 
-        Shard { queue, state, enqueued, applied, worker: Some(worker) }
+    fn spawn_worker(&self) -> JoinHandle<()> {
+        let ctx = WorkerCtx {
+            queue: Arc::clone(&self.queue),
+            state: Arc::clone(&self.state),
+            applied: Arc::clone(&self.applied),
+            durable: Arc::clone(&self.durable),
+            alive: Arc::clone(&self.alive),
+            crashes_landed: Arc::clone(&self.crashes_landed),
+            period_start: self.period_start,
+            checkpoint_every: self.checkpoint_every,
+        };
+        std::thread::spawn(move || worker_loop(ctx))
     }
 
     /// Record that a message was accepted into the queue. Producers must
@@ -338,25 +519,118 @@ impl Shard {
         self.enqueued.fetch_add(1, Ordering::SeqCst);
     }
 
-    /// Block until every message accepted so far has been applied.
+    /// Is the worker thread alive (i.e. not between a crash and its
+    /// respawn)?
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Inject a crash: the worker wipes its live state and exits when the
+    /// `Crash` message reaches the front of its queue. Not counted as an
+    /// enqueued message — it will never be "applied".
+    pub fn kill(&self) {
+        // Counted before the push: a drain that sees matching kill/landed
+        // counts *and* an empty queue knows no crash is still in flight.
+        self.kills.fetch_add(1, Ordering::SeqCst);
+        self.queue.push_blocking(ShardMsg::Crash);
+    }
+
+    /// Supervision: if the worker is dead, rebuild the state from the
+    /// last checkpoint plus journal replay and spawn a fresh worker over
+    /// the same queue. Returns `true` if a respawn happened.
+    pub fn respawn_if_dead(&self) -> bool {
+        if self.alive.load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut worker = relock(self.worker.lock());
+        // Double-check under the lock: a racing supervisor may have
+        // already healed this shard.
+        if self.alive.load(Ordering::SeqCst) {
+            return false;
+        }
+        if let Some(h) = worker.take() {
+            let _ = h.join();
+        }
+        // Rebuild: checkpoint, then everything journaled since. The
+        // journal is cloned so replay does not hold its lock.
+        let ck = relock(self.durable.checkpoint.lock()).clone();
+        let journal: Vec<ShardMsg> = relock(self.durable.journal.lock()).clone();
+        let restored_targets = ck.targets.len();
+        let replayed_msgs = journal.len() as u64;
+        let mut st = ShardState::from_checkpoint(self.period_start, &ck);
+        for msg in journal {
+            st.apply(msg);
+        }
+        *relock(self.state.lock()) = st;
+        // Publish the healed state before the new worker starts draining.
+        self.alive.store(true, Ordering::SeqCst);
+        *worker = Some(self.spawn_worker());
+        ServiceMetrics::bump(&self.metrics.shard_respawns);
+        self.metrics.events.record(LifecycleEvent::ShardRespawned {
+            shard: self.index,
+            restored_targets,
+            replayed_msgs,
+        });
+        true
+    }
+
+    /// Block until every message accepted so far has been applied,
+    /// respawning the worker if a crash interrupts the drain.
     pub fn flush(&self) {
         let goal = self.enqueued.load(Ordering::SeqCst);
-        let (count, cv) = &*self.applied;
-        let mut done = count.lock().unwrap_or_else(PoisonError::into_inner);
-        while *done < goal {
-            done = cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+        loop {
+            self.respawn_if_dead();
+            let (count, cv) = &*self.applied;
+            let mut done = relock(count.lock());
+            while *done < goal {
+                if !self.alive.load(Ordering::SeqCst) {
+                    break;
+                }
+                done = relock(cv.wait(done));
+            }
+            if *done >= goal {
+                return;
+            }
+        }
+    }
+
+    /// Drain this shard completely for a lifecycle fence: every accepted
+    /// message applied, the queue empty, no crash queued *or mid-pop*, and
+    /// the worker alive. Only safe to rely on once producers are fenced
+    /// (nothing new can arrive); returns with the state at the fence
+    /// watermark, ready to be split, merged, or rebuilt.
+    ///
+    /// The crash-counter check closes a TOCTOU hole `flush` alone leaves
+    /// open: a `Crash` is never "applied", so flush can return while one
+    /// is still queued — or worse, popped but not yet finished wiping the
+    /// state. Matching kill/landed counts prove every injected crash has
+    /// fully landed, after which `respawn_if_dead` heals the last one.
+    pub fn drain_to_fence(&self) {
+        loop {
+            self.respawn_if_dead();
+            self.flush();
+            if self.queue.is_empty()
+                && self.kills.load(Ordering::SeqCst)
+                    == self.crashes_landed.load(Ordering::SeqCst)
+                && self.is_alive()
+            {
+                return;
+            }
+            std::thread::yield_now();
         }
     }
 
     /// Run `f` against the shard state under its lock.
     pub fn with_state<R>(&self, f: impl FnOnce(&ShardState) -> R) -> R {
-        f(&self.state.lock().unwrap_or_else(PoisonError::into_inner))
+        f(&relock(self.state.lock()))
     }
 
-    /// Close the queue and join the worker (drains remaining messages).
-    pub fn shutdown(&mut self) {
+    /// Close the queue and join the worker (drains remaining messages; a
+    /// dead worker is respawned first so nothing queued is abandoned).
+    pub fn shutdown(&self) {
+        self.respawn_if_dead();
         self.queue.close();
-        if let Some(h) = self.worker.take() {
+        if let Some(h) = relock(self.worker.lock()).take() {
             // A worker that panicked already poisoned nothing we read past
             // this point; ignore the join error rather than propagating a
             // panic through shutdown.
@@ -364,6 +638,9 @@ impl Shard {
         }
     }
 }
+
+/// Default number of applied messages between checkpoints.
+pub const DEFAULT_CHECKPOINT_EVERY: usize = 512;
 
 impl Drop for Shard {
     fn drop(&mut self) {
@@ -473,5 +750,118 @@ mod tests {
         // Watermark mismatch is rejected.
         let mut stale = ShardState::new(0);
         assert!(stale.restore_target(&snaps[0]).is_err());
+    }
+
+    /// Deterministic seeded kill/respawn: a shard crashed at a fixed point
+    /// in a fixed stream converges bit-for-bit with one that never
+    /// crashed. The seed fixes the stream shape and the kill position, so
+    /// every run exercises the same checkpoint/journal split.
+    #[test]
+    fn seeded_kill_respawn_is_lossless() {
+        // SplitMix64, the workspace's deterministic generator idiom.
+        fn splitmix(z: &mut u64) -> u64 {
+            *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = *z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+        let mut seed = 0xC0FFEE_u64;
+        let total = 200usize;
+        let kill_at = (splitmix(&mut seed) % 150 + 25) as usize;
+
+        let mut msgs = Vec::new();
+        let mut mark = 0i64;
+        for i in 0..total {
+            let r = splitmix(&mut seed);
+            let vm = r % 7;
+            let start = mark + (r >> 8) as i64 % 5;
+            let len = 1 + (r >> 16) as i64 % 10;
+            let cat = match r % 3 {
+                0 => Category::Unavailability,
+                1 => Category::Performance,
+                _ => Category::ControlPlane,
+            };
+            msgs.push(ShardMsg::Span {
+                target: Target::Vm(vm),
+                span: span(start, start + len, 0.5, cat),
+            });
+            if i % 20 == 19 {
+                mark += 30;
+                msgs.push(ShardMsg::Watermark(minutes(mark)));
+            }
+        }
+        msgs.push(ShardMsg::Watermark(minutes(mark + 60)));
+
+        // Small checkpoint interval so the kill lands between checkpoints
+        // and the journal replay actually carries state.
+        let victim = Shard::spawn_supervised(
+            ShardState::new(0),
+            1024,
+            16,
+            0,
+            Arc::new(ServiceMetrics::default()),
+        );
+        let control = Shard::spawn(0, 1024);
+        for (i, msg) in msgs.iter().enumerate() {
+            if i == kill_at {
+                victim.kill();
+            }
+            for shard in [&victim, &control] {
+                shard.queue.push_blocking(msg.clone());
+                shard.note_enqueued();
+            }
+        }
+        victim.flush();
+        control.flush();
+        assert!(victim.is_alive(), "flush must have respawned the victim");
+
+        let a = victim.with_state(|st| (st.snapshot(), st.watermark(), st.rejected()));
+        let b = control.with_state(|st| (st.snapshot(), st.watermark(), st.rejected()));
+        assert_eq!(a.0, b.0, "accumulator state must survive the crash exactly");
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+    }
+
+    /// A crash with an idle supervisor leaves the shard dead (degraded but
+    /// not down); the first supervision touch heals it from checkpoint +
+    /// journal.
+    #[test]
+    fn explicit_respawn_restores_from_checkpoint_and_journal() {
+        let metrics = Arc::new(ServiceMetrics::default());
+        let shard = Shard::spawn_supervised(
+            ShardState::new(0),
+            64,
+            4, // checkpoint every 4 messages
+            3,
+            Arc::clone(&metrics),
+        );
+        for i in 0..6u64 {
+            shard.queue.push_blocking(ShardMsg::Span {
+                target: Target::Vm(i % 2),
+                span: span(0, 10 + i as i64, 0.5, Category::Performance),
+            });
+            shard.note_enqueued();
+        }
+        shard.kill();
+        // Wait for the crash to land: the worker wipes state and dies.
+        while shard.is_alive() {
+            std::thread::yield_now();
+        }
+        assert_eq!(shard.with_state(|st| st.target_count()), 0, "live state lost");
+
+        assert!(shard.respawn_if_dead());
+        assert!(!shard.respawn_if_dead(), "second supervisor sees a healed shard");
+        shard.flush();
+        assert_eq!(shard.with_state(|st| st.target_count()), 2);
+        assert_eq!(metrics.shard_respawns.load(Ordering::Relaxed), 1);
+        let events = metrics.events.snapshot();
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                LifecycleEvent::ShardRespawned { shard: 3, .. }
+            )),
+            "respawn must be recorded in the event log: {events:?}"
+        );
     }
 }

@@ -145,10 +145,14 @@ fn snapshot_bytes_are_stable_for_identical_state() {
         let svc = CdiService::new(cfg(shards)).unwrap().with_fleet_routing(&world.fleet);
         stream(&svc, &feed, 0..feed.batches.len());
         let mut snap = svc.snapshot();
-        // Query/snapshot counters legitimately differ run-to-run; blank
-        // them so the comparison is about CDI state.
+        // Query/snapshot counters and the pool gauges (shard count, queue
+        // high-water marks) legitimately differ run-to-run; blank them so
+        // the comparison is about CDI state.
         snap.metrics.queries = 0;
         snap.metrics.snapshots = 0;
+        snap.metrics.shards = 0;
+        snap.metrics.queue_depth = 0;
+        snap.metrics.queue_depth_hwm = 0;
         jsons.push(snap.to_json().unwrap());
     }
     assert_eq!(jsons[0], jsons[1]);

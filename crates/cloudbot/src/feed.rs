@@ -115,6 +115,55 @@ impl LiveFeed {
     pub fn total_spans(&self) -> usize {
         self.batches.iter().map(|b| b.spans.len()).sum()
     }
+
+    /// Split the feed into `n` producer-local feeds for multi-producer
+    /// delivery (the chaos-drill load generator): every partition keeps
+    /// the full batch/watermark skeleton, and each target's spans land in
+    /// exactly one partition, chosen by a stable hash of the target.
+    ///
+    /// Per-target exclusivity is the property that matters: a target's
+    /// spans keep their in-feed order through a single producer, so
+    /// floating-point accumulation order downstream is independent of how
+    /// the producers interleave — concurrent delivery stays bit-identical
+    /// to sequential delivery. Quarantine accounting is not split; it
+    /// rides with partition 0.
+    pub fn partition(&self, n: usize) -> Vec<LiveFeed> {
+        let n = n.max(1);
+        let mut parts: Vec<LiveFeed> = (0..n)
+            .map(|i| LiveFeed {
+                period_start: self.period_start,
+                period_end: self.period_end,
+                batches: self
+                    .batches
+                    .iter()
+                    .map(|b| FeedBatch { watermark: b.watermark, spans: Vec::new() })
+                    .collect(),
+                quarantined: if i == 0 { self.quarantined.clone() } else { Vec::new() },
+            })
+            .collect();
+        for (bi, batch) in self.batches.iter().enumerate() {
+            for (target, span) in &batch.spans {
+                let slot = (target_hash(*target) % n as u64) as usize;
+                parts[slot].batches[bi].spans.push((*target, span.clone()));
+            }
+        }
+        parts
+    }
+}
+
+/// Stable 64-bit hash of a target (FNV-1a over the variant tag and id) —
+/// deterministic across runs and platforms, independent of the serving
+/// layer's shard routing.
+fn target_hash(target: Target) -> u64 {
+    let (tag, id) = match target {
+        Target::Vm(id) => (0u8, id),
+        Target::Nc(id) => (1u8, id),
+    };
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in std::iter::once(tag).chain(id.to_le_bytes()) {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -203,6 +252,46 @@ mod tests {
         let p = DailyPipeline::default();
         let feed = LiveFeed::build(&p, &w, 0, 6 * HOUR, HOUR).unwrap();
         assert_eq!(feed.quarantined.len(), chaos.total());
+    }
+
+    #[test]
+    fn partition_is_exhaustive_target_exclusive_and_order_preserving() {
+        let w = world();
+        let p = DailyPipeline::default();
+        let feed = LiveFeed::build(&p, &w, 0, 6 * HOUR, 15 * MIN).unwrap();
+        let parts = feed.partition(3);
+        assert_eq!(parts.len(), 3);
+
+        // Same batch/watermark skeleton everywhere; spans conserved.
+        let mut total = 0;
+        for part in &parts {
+            assert_eq!(part.batches.len(), feed.batches.len());
+            for (a, b) in part.batches.iter().zip(feed.batches.iter()) {
+                assert_eq!(a.watermark, b.watermark);
+            }
+            total += part.total_spans();
+        }
+        assert_eq!(total, feed.total_spans());
+
+        // A target's spans live in exactly one partition, in feed order.
+        let mut owner: std::collections::HashMap<Target, usize> = std::collections::HashMap::new();
+        for (i, part) in parts.iter().enumerate() {
+            for b in &part.batches {
+                for (t, _) in &b.spans {
+                    assert_eq!(*owner.entry(*t).or_insert(i), i, "{t} split across producers");
+                }
+            }
+        }
+        for (i, part) in parts.iter().enumerate() {
+            let mine: Vec<_> = part.batches.iter().flat_map(|b| b.spans.iter()).collect();
+            let expect: Vec<_> = feed
+                .batches
+                .iter()
+                .flat_map(|b| b.spans.iter())
+                .filter(|(t, _)| owner.get(t) == Some(&i))
+                .collect();
+            assert_eq!(mine, expect, "partition {i} must preserve feed order");
+        }
     }
 
     #[test]
