@@ -166,12 +166,13 @@ fn run_drill(seed: u64, quick: bool) {
         report.slo_ramp.steps.last().map_or(0, |s| s.staleness_ms),
     );
     println!(
-        "chaos agreement: shard path {:?}, {} kill(s), {} respawn(s), {} restart(s), max CDI delta {:.3e} → {}",
+        "chaos agreement: shard path {:?}, {} kill(s), {} respawn(s), {} restart(s), max CDI delta {:.3e}, {} lock-order violation(s) → {}",
         report.chaos_agreement.shard_path,
         report.chaos_agreement.kills,
         report.chaos_agreement.respawns,
         report.chaos_agreement.restarts,
         report.chaos_agreement.max_cdi_delta,
+        report.chaos_agreement.lock_order_violations,
         if report.chaos_agreement.passed { "PASS" } else { "FAIL" },
     );
     println!(

@@ -208,7 +208,11 @@ pub struct ChaosAgreement {
     pub restarts: u64,
     /// Largest per-target, per-indicator |chaos − reference| delta.
     pub max_cdi_delta: f64,
-    /// `max_cdi_delta < 1e-9`.
+    /// Lock-order violations the runtime sanitizer recorded during the
+    /// chaos run (debug builds only; the sanitizer compiles out of
+    /// release benches, where this is always zero).
+    pub lock_order_violations: usize,
+    /// `max_cdi_delta < 1e-9` and no lock-order violations.
     pub passed: bool,
 }
 
@@ -292,6 +296,13 @@ fn chaos_agreement(seed: u64, quick: bool) -> ChaosAgreement {
         }
     }
     let m = svc.metrics();
+    // In debug builds the whole drill ran under the lock-order sanitizer:
+    // a chaos run that produced the right numbers through an undeclared
+    // acquisition order still fails the gate.
+    let lock_violations = cdi_serve::tracked::take_violations();
+    for v in &lock_violations {
+        eprintln!("chaos drill: {v}");
+    }
     ChaosAgreement {
         spans: TARGETS * cycles as u64,
         producers,
@@ -300,7 +311,8 @@ fn chaos_agreement(seed: u64, quick: bool) -> ChaosAgreement {
         respawns: m.shard_respawns,
         restarts: m.shard_restarts,
         max_cdi_delta: max_delta,
-        passed: max_delta < 1e-9,
+        lock_order_violations: lock_violations.len(),
+        passed: max_delta < 1e-9 && lock_violations.is_empty(),
     }
 }
 

@@ -43,6 +43,7 @@ pub mod service;
 pub mod shard;
 pub mod snapshot;
 pub mod topk;
+pub mod tracked;
 
 pub use lifecycle::{AdmissionGate, AutoScalerPolicy, ResizeOutcome};
 pub use metrics::{LifecycleEvent, MetricsReport, ServiceMetrics};
@@ -53,3 +54,4 @@ pub use service::{CdiService, IngestReport, ServeConfig};
 pub use shard::{ShardMsg, TargetCdi, TargetSnapshot};
 pub use snapshot::ServiceSnapshot;
 pub use topk::merge_top_k;
+pub use tracked::{TrackedCondvar, TrackedMutex, TrackedRwLock};

@@ -32,7 +32,7 @@
 //! is shed or late) are sampled per interval and mapped to a grow/shrink
 //! decision, which the caller executes as a fenced resize.
 
-use std::sync::{Condvar, Mutex, PoisonError};
+use std::sync::PoisonError;
 
 use cdi_core::error::Result;
 use cdi_core::time::Timestamp;
@@ -41,6 +41,7 @@ use serde::{Deserialize, Serialize};
 use std::hash::BuildHasher;
 
 use crate::shard::{ShardState, TargetSnapshot};
+use crate::tracked::{TrackedCondvar, TrackedMutex};
 
 /// Deterministic shard index of a target in a pool of `shards` shards —
 /// the single routing function shared by ingest, queries, snapshots, and
@@ -109,10 +110,10 @@ pub struct ResizeOutcome {
 /// in-flight ones to finish, and lowers it with [`AdmissionGate::lift`],
 /// which wakes parked producers. Queries never touch the gate — a resize
 /// pauses writes, not reads.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AdmissionGate {
-    state: Mutex<GateState>,
-    cv: Condvar,
+    state: TrackedMutex<GateState>,
+    cv: TrackedCondvar,
 }
 
 #[derive(Debug, Default)]
@@ -121,12 +122,21 @@ struct GateState {
     in_flight: usize,
 }
 
+impl Default for AdmissionGate {
+    fn default() -> Self {
+        AdmissionGate {
+            state: TrackedMutex::new("gate", GateState::default()),
+            cv: TrackedCondvar::new(),
+        }
+    }
+}
+
 impl AdmissionGate {
     /// Run `f` as an admitted producer: waits while the fence is up, then
     /// counts itself in-flight for the duration of `f`.
     pub fn admit<R>(&self, f: impl FnOnce() -> R) -> R {
         {
-            let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner); // lock: gate
             while st.fenced {
                 st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
@@ -134,7 +144,7 @@ impl AdmissionGate {
         }
         let out = f();
         {
-            let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner); // lock: gate
             st.in_flight -= 1;
             if st.fenced && st.in_flight == 0 {
                 // The fencer waits on the same condvar.
@@ -148,7 +158,7 @@ impl AdmissionGate {
     /// in-flight admission has finished. On return the caller has
     /// exclusive write access to the ingest path.
     pub fn fence(&self) {
-        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner); // lock: gate
         st.fenced = true;
         while st.in_flight > 0 {
             st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
@@ -163,27 +173,27 @@ impl AdmissionGate {
     /// only a respawned worker can unblock it. A plain [`AdmissionGate::fence`]
     /// would deadlock there.
     pub fn fence_begin(&self) {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner).fenced = true;
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).fenced = true; // lock: gate
     }
 
     /// Is the fence up with no admission in flight (the point at which the
     /// caller owns the write path)?
     pub fn is_quiesced(&self) -> bool {
-        let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let st = self.state.lock().unwrap_or_else(PoisonError::into_inner); // lock: gate
         st.fenced && st.in_flight == 0
     }
 
     /// Lower the fence and wake parked producers (one notification burst —
     /// they re-check the flag under the lock).
     pub fn lift(&self) {
-        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner); // lock: gate
         st.fenced = false;
         self.cv.notify_all();
     }
 
     /// Is the fence currently raised?
     pub fn is_fenced(&self) -> bool {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner).fenced
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).fenced // lock: gate
     }
 }
 

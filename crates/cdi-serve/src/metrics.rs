@@ -17,9 +17,11 @@
 //! fence.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::PoisonError;
 
 use serde::{Deserialize, Serialize};
+
+use crate::tracked::TrackedMutex;
 
 /// One structured entry in the shard-lifecycle audit log.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,7 +85,7 @@ pub enum LifecycleEvent {
 /// audit reads — intact.
 #[derive(Debug)]
 pub struct EventLog {
-    entries: Mutex<Vec<LifecycleEvent>>,
+    entries: TrackedMutex<Vec<LifecycleEvent>>,
     capacity: usize,
     dropped: AtomicU64,
 }
@@ -98,7 +100,7 @@ impl EventLog {
     /// A log keeping at most `capacity` recent events (minimum 1).
     pub fn new(capacity: usize) -> EventLog {
         EventLog {
-            entries: Mutex::new(Vec::new()),
+            entries: TrackedMutex::new("events", Vec::new()),
             capacity: capacity.max(1),
             dropped: AtomicU64::new(0),
         }
@@ -106,29 +108,33 @@ impl EventLog {
 
     /// Append one event, evicting the oldest if the log is full.
     pub fn record(&self, event: LifecycleEvent) {
-        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner); // lock: events
         if entries.len() >= self.capacity {
             entries.remove(0);
+            // ordering: independent eviction statistic, read only for reports
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
+        // bound: capped at `capacity` by the eviction right above
         entries.push(event);
     }
 
     /// Copy of the retained events, oldest first.
     pub fn snapshot(&self) -> Vec<LifecycleEvent> {
-        self.entries.lock().unwrap_or_else(PoisonError::into_inner).clone()
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner).clone() // lock: events
     }
 
     /// Events evicted because the log was full.
     pub fn dropped(&self) -> u64 {
+        // ordering: point-in-time statistic read, no memory rides on it
         self.dropped.load(Ordering::Relaxed)
     }
 
     /// Replace the retained events (snapshot-restore path).
     pub fn reseed(&self, events: &[LifecycleEvent]) {
-        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner); // lock: events
         entries.clear();
         let skip = events.len().saturating_sub(self.capacity);
+        // bound: `skip` keeps at most `capacity` entries
         entries.extend_from_slice(&events[skip..]);
     }
 }
@@ -190,6 +196,7 @@ pub struct ShardTotals {
 impl ServiceMetrics {
     /// Bump a counter by one.
     pub fn bump(counter: &AtomicU64) {
+        // ordering: independent monotonic counter, never a synchronization point
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -197,20 +204,30 @@ impl ServiceMetrics {
     /// totals sampled from the shard pool.
     pub fn report(&self, totals: ShardTotals) -> MetricsReport {
         MetricsReport {
+            // ordering: point-in-time statistic read, no memory rides on it
             spans_ingested: self.spans_ingested.load(Ordering::Relaxed),
+            // ordering: point-in-time statistic read, no memory rides on it
             spans_shed: self.spans_shed.load(Ordering::Relaxed),
             late_dropped: totals.late_dropped,
             late_clipped: totals.late_clipped,
+            // ordering: point-in-time statistic read, no memory rides on it
             rejected: totals.rejected + self.rejected_carried.load(Ordering::Relaxed),
+            // ordering: point-in-time statistic read, no memory rides on it
             queries: self.queries.load(Ordering::Relaxed),
+            // ordering: point-in-time statistic read, no memory rides on it
             snapshots: self.snapshots.load(Ordering::Relaxed),
             shards: totals.shards,
             queue_depth: totals.queue_depth,
             queue_depth_hwm: totals.queue_depth_hwm,
+            // ordering: point-in-time statistic read, no memory rides on it
             resizes: self.resizes.load(Ordering::Relaxed),
+            // ordering: point-in-time statistic read, no memory rides on it
             shard_restarts: self.shard_restarts.load(Ordering::Relaxed),
+            // ordering: point-in-time statistic read, no memory rides on it
             shard_kills: self.shard_kills.load(Ordering::Relaxed),
+            // ordering: point-in-time statistic read, no memory rides on it
             shard_respawns: self.shard_respawns.load(Ordering::Relaxed),
+            // ordering: point-in-time statistic read, no memory rides on it
             fence_epoch: self.fence_epoch.load(Ordering::Relaxed),
             events: self.events.snapshot(),
         }
@@ -220,18 +237,28 @@ impl ServiceMetrics {
     /// recovery keeps the loss accounting and the lifecycle audit trail,
     /// not just the CDI state).
     pub fn reseed(&self, report: &MetricsReport) {
+        // ordering: reseed runs under the restore fence, before readers exist
         self.spans_ingested.store(report.spans_ingested, Ordering::Relaxed);
+        // ordering: reseed runs under the restore fence, before readers exist
         self.spans_shed.store(report.spans_shed, Ordering::Relaxed);
+        // ordering: reseed runs under the restore fence, before readers exist
         self.queries.store(report.queries, Ordering::Relaxed);
+        // ordering: reseed runs under the restore fence, before readers exist
         self.snapshots.store(report.snapshots, Ordering::Relaxed);
+        // ordering: reseed runs under the restore fence, before readers exist
         self.resizes.store(report.resizes, Ordering::Relaxed);
+        // ordering: reseed runs under the restore fence, before readers exist
         self.shard_restarts.store(report.shard_restarts, Ordering::Relaxed);
+        // ordering: reseed runs under the restore fence, before readers exist
         self.shard_kills.store(report.shard_kills, Ordering::Relaxed);
+        // ordering: reseed runs under the restore fence, before readers exist
         self.shard_respawns.store(report.shard_respawns, Ordering::Relaxed);
+        // ordering: reseed runs under the restore fence, before readers exist
         self.fence_epoch.store(report.fence_epoch, Ordering::Relaxed);
         // The restored pool's shard states start with zero local
         // rejections; carrying the snapshotted total forward keeps the
         // service-level count monotone across a crash.
+        // ordering: reseed runs under the restore fence, before readers exist
         self.rejected_carried.store(report.rejected, Ordering::Relaxed);
         self.events.reseed(&report.events);
     }

@@ -36,7 +36,9 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{LockResult, PoisonError};
+
+use crate::tracked::{TrackedCondvar, TrackedMutex};
 
 /// What a producer experiences when the queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,18 +72,16 @@ struct State<T> {
 #[derive(Debug)]
 pub struct BoundedQueue<T> {
     capacity: usize,
-    state: Mutex<State<T>>,
+    state: TrackedMutex<State<T>>,
     /// Signalled when space appears (producers wait here under `Block`).
-    not_full: Condvar,
+    not_full: TrackedCondvar,
     /// Signalled when an item appears, the queue closes, or pause lifts.
-    not_empty: Condvar,
+    not_empty: TrackedCondvar,
     /// Deepest the queue has been since the gauge was last taken.
     high_water: AtomicUsize,
 }
 
-fn relock<'a, T>(
-    r: std::sync::LockResult<MutexGuard<'a, State<T>>>,
-) -> MutexGuard<'a, State<T>> {
+fn relock<G>(r: LockResult<G>) -> G {
     // A poisoned lock means another thread panicked mid-push/pop; the queue
     // state itself is still structurally valid (VecDeque ops don't tear),
     // so serving degraded beats deadlocking the whole service.
@@ -93,9 +93,12 @@ impl<T> BoundedQueue<T> {
     pub fn new(capacity: usize) -> Self {
         BoundedQueue {
             capacity: capacity.max(1),
-            state: Mutex::new(State { items: VecDeque::new(), closed: false, paused: false }),
-            not_full: Condvar::new(),
-            not_empty: Condvar::new(),
+            state: TrackedMutex::new(
+                "queue",
+                State { items: VecDeque::new(), closed: false, paused: false },
+            ),
+            not_full: TrackedCondvar::new(),
+            not_empty: TrackedCondvar::new(),
             high_water: AtomicUsize::new(0),
         }
     }
@@ -113,7 +116,7 @@ impl<T> BoundedQueue<T> {
     /// Enqueue, waiting for space if full. Returns [`PushOutcome::Closed`]
     /// if the queue closed while waiting.
     pub fn push_blocking(&self, item: T) -> PushOutcome {
-        let mut st = relock(self.state.lock());
+        let mut st = relock(self.state.lock()); // lock: queue
         while st.items.len() >= self.capacity && !st.closed {
             st = relock(self.not_full.wait(st));
         }
@@ -128,7 +131,7 @@ impl<T> BoundedQueue<T> {
 
     /// Enqueue only if space is available right now.
     pub fn try_push(&self, item: T) -> PushOutcome {
-        let mut st = relock(self.state.lock());
+        let mut st = relock(self.state.lock()); // lock: queue
         if st.closed {
             return PushOutcome::Closed;
         }
@@ -148,7 +151,7 @@ impl<T> BoundedQueue<T> {
     /// `close` overrides `pause`: a paused queue that closes still drains
     /// and terminates, so a worker can always be joined.
     pub fn pop(&self) -> Option<T> {
-        let mut st = relock(self.state.lock());
+        let mut st = relock(self.state.lock()); // lock: queue
         loop {
             if !st.paused || st.closed {
                 if let Some(item) = st.items.pop_front() {
@@ -166,7 +169,7 @@ impl<T> BoundedQueue<T> {
     /// Close the queue: producers are rejected, the consumer drains what
     /// remains and then sees `None` (even if the queue is paused).
     pub fn close(&self) {
-        let mut st = relock(self.state.lock());
+        let mut st = relock(self.state.lock()); // lock: queue
         st.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -176,7 +179,7 @@ impl<T> BoundedQueue<T> {
     /// one shard with this; tests use it for deterministic backpressure
     /// scenarios.
     pub fn pause(&self) {
-        relock(self.state.lock()).paused = true;
+        relock(self.state.lock()).paused = true; // lock: queue
     }
 
     /// Resume a paused consumer.
@@ -189,7 +192,7 @@ impl<T> BoundedQueue<T> {
     /// next. A `notify_all` here would stampede every blocked producer at
     /// a queue that still has at most one free slot.
     pub fn resume(&self) {
-        let mut st = relock(self.state.lock());
+        let mut st = relock(self.state.lock()); // lock: queue
         st.paused = false;
         self.not_empty.notify_all();
         self.not_full.notify_one();
@@ -197,7 +200,7 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        relock(self.state.lock()).items.len()
+        relock(self.state.lock()).items.len() // lock: queue
     }
 
     /// Whether the queue is currently empty.
@@ -214,16 +217,19 @@ impl<T> BoundedQueue<T> {
     /// Deepest the queue has been since the gauge was last
     /// [taken](BoundedQueue::take_high_water_mark).
     pub fn high_water_mark(&self) -> usize {
+        // ordering: monotone gauge read for reporting, never for synchronization
         self.high_water.load(Ordering::Relaxed)
     }
 
     /// Read and reset the high-water mark — the auto-scaler's sampling
     /// primitive: each sample sees the worst depth of its own interval.
     pub fn take_high_water_mark(&self) -> usize {
+        // ordering: gauge swap is its own atom; no other memory rides on it
         self.high_water.swap(0, Ordering::Relaxed)
     }
 
     fn note_depth(&self, depth: usize) {
+        // ordering: lossy statistic; the queue mutex already orders the depth
         self.high_water.fetch_max(depth, Ordering::Relaxed);
     }
 }

@@ -38,7 +38,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, PoisonError};
 
 use cdi_core::error::{CdiError, Result};
 use cdi_core::event::{Category, EventSpan, Target};
@@ -52,6 +52,7 @@ use crate::queue::{BackpressurePolicy, PushOutcome};
 use crate::shard::{Shard, ShardMsg, ShardState, TargetCdi, DEFAULT_CHECKPOINT_EVERY};
 use crate::snapshot::ServiceSnapshot;
 use crate::topk::merge_top_k;
+use crate::tracked::{TrackedMutex, TrackedReadGuard, TrackedRwLock, TrackedWriteGuard};
 
 /// Configuration of a [`CdiService`].
 #[derive(Debug, Clone)]
@@ -97,23 +98,32 @@ pub struct IngestReport {
 }
 
 /// The sharded, live CDI service.
+///
+/// The canonical lock order for the whole crate is declared below. The
+/// static analyzer (stability-lint R6) merges these chains with every
+/// inferred same-scope nesting and fails on any cycle; the runtime
+/// sanitizer ([`crate::tracked`]) mirrors the same chains in
+/// `DECLARED_CHAINS` and checks every debug-build acquisition against
+/// them. Edit both together — `tests/lock_sanitizer.rs` keeps them equal.
+// lock-order: lifecycle -> gate -> pool -> worker -> queue -> applied -> checkpoint -> journal -> state -> events
+// lock-order: pool -> watermark -> events
 #[derive(Debug)]
 pub struct CdiService {
     cfg: ServeConfig,
     /// The shard pool. Queries take the read lock; lifecycle operations
     /// swap the whole vector under the write lock (the atomic cutover).
-    pool: RwLock<Vec<Shard>>,
+    pool: TrackedRwLock<Vec<Shard>>,
     /// NC → hosted VMs, for ingest-time fan-out.
     routes: HashMap<u64, Vec<u64>>,
     /// The coordinated watermark (the value last broadcast).
-    watermark: Mutex<Timestamp>,
+    watermark: TrackedMutex<Timestamp>,
     /// Shared with every shard so respawns land in the same event log.
     metrics: Arc<ServiceMetrics>,
     /// The ingest-admission fence lifecycle operations raise.
     gate: AdmissionGate,
     /// Serializes resize / rolling restart / kill so two lifecycle
     /// operations never interleave their fences.
-    lifecycle: Mutex<()>,
+    lifecycle: TrackedMutex<()>,
 }
 
 fn relock<T>(r: std::sync::LockResult<T>) -> T {
@@ -136,15 +146,15 @@ impl CdiService {
                 )
             })
             .collect();
-        let watermark = Mutex::new(cfg.period_start);
+        let watermark = TrackedMutex::new("watermark", cfg.period_start);
         Ok(CdiService {
             cfg,
-            pool: RwLock::new(pool),
+            pool: TrackedRwLock::new("pool", pool),
             routes: HashMap::new(),
             watermark,
             metrics,
             gate: AdmissionGate::default(),
-            lifecycle: Mutex::new(()),
+            lifecycle: TrackedMutex::new("lifecycle", ()),
         })
     }
 
@@ -168,11 +178,11 @@ impl CdiService {
         self
     }
 
-    fn rd(&self) -> RwLockReadGuard<'_, Vec<Shard>> {
+    fn rd(&self) -> TrackedReadGuard<'_, Vec<Shard>> {
         relock(self.pool.read())
     }
 
-    fn wr(&self) -> RwLockWriteGuard<'_, Vec<Shard>> {
+    fn wr(&self) -> TrackedWriteGuard<'_, Vec<Shard>> {
         relock(self.pool.write())
     }
 
@@ -207,7 +217,7 @@ impl CdiService {
     /// it never loses or errors their spans.
     pub fn ingest(&self, target: Target, span: EventSpan) -> IngestReport {
         self.gate.admit(|| {
-            let pool = self.rd();
+            let pool = self.rd(); // lock: pool
             let mut report = IngestReport::default();
             if let Target::Nc(nc) = target {
                 if !self.cfg.host_only_events.iter().any(|n| n == &span.name) {
@@ -258,13 +268,27 @@ impl CdiService {
                 }
                 *wm = to;
             }
-            let pool = self.rd();
-            for shard in pool.iter() {
-                if !shard.is_alive() {
-                    shard.respawn_if_dead();
-                }
-                if shard.queue.push_blocking(ShardMsg::Watermark(to)) == PushOutcome::Accepted {
-                    shard.note_enqueued();
+            // Collect queue handles under the pool lock, then push after
+            // releasing it: `push_blocking` can park on a full queue, and
+            // blocking while holding the pool guard would stall every
+            // query behind the broadcast (stability-lint R7). The handles
+            // outlive the guard safely because the broadcast runs inside
+            // `gate.admit`, and a resize fences admission (waiting for
+            // in-flight admissions) before it swaps the pool.
+            let queues: Vec<_> = {
+                let pool = self.rd(); // lock: pool
+                pool.iter()
+                    .map(|shard| {
+                        if !shard.is_alive() {
+                            shard.respawn_if_dead();
+                        }
+                        (Arc::clone(&shard.queue), shard.enqueued_handle())
+                    })
+                    .collect()
+            };
+            for (queue, enqueued) in queues {
+                if queue.push_blocking(ShardMsg::Watermark(to)) == PushOutcome::Accepted {
+                    enqueued.fetch_add(1, Ordering::SeqCst);
                 }
             }
             Ok(())
@@ -393,6 +417,7 @@ impl CdiService {
         let from = self.shard_count();
         if new_shards == from {
             return Ok(ResizeOutcome {
+                // ordering: gauge echoed in a no-op result, nothing synchronizes on it
                 epoch: self.metrics.fence_epoch.load(Ordering::Relaxed),
                 from_shards: from,
                 to_shards: from,
@@ -400,6 +425,7 @@ impl CdiService {
                 drained_msgs: 0,
             });
         }
+        // ordering: epoch bumps happen only under the lifecycle lock, which orders them
         let epoch = self.metrics.fence_epoch.fetch_add(1, Ordering::Relaxed) + 1;
         self.metrics.events.record(LifecycleEvent::ResizeStarted {
             epoch,
@@ -415,7 +441,7 @@ impl CdiService {
     /// The fenced body of [`CdiService::resize`]: build the new pool
     /// first, swap only on success — an error leaves the old pool serving.
     fn resize_fenced(&self, epoch: u64, from: usize, to: usize) -> Result<ResizeOutcome> {
-        let mut pool = self.wr();
+        let mut pool = self.wr(); // lock: pool
         let drained_msgs: u64 = pool.iter().map(|s| s.queue.depth() as u64).sum();
         for shard in pool.iter() {
             shard.drain_to_fence();
@@ -431,6 +457,7 @@ impl CdiService {
         let states = split_merge(&targets, to, self.cfg.period_start, watermark)?;
         let moved = moved_targets(&targets, from, to);
         // Only mutate counters past the last fallible step.
+        // ordering: loss statistic for reports; the pool write lock orders the cutover
         self.metrics.rejected_carried.fetch_add(rejected, Ordering::Relaxed);
         let new_pool: Vec<Shard> = states
             .into_iter()
@@ -475,6 +502,7 @@ impl CdiService {
         let _lc = relock(self.lifecycle.lock());
         let n = self.shard_count();
         for i in 0..n {
+            // ordering: bumped only under the lifecycle lock, same as resize
             let epoch = self.metrics.fence_epoch.fetch_add(1, Ordering::Relaxed) + 1;
             self.quiesce_fenced();
             let result = self.restart_one_fenced(epoch, i);
@@ -485,7 +513,7 @@ impl CdiService {
     }
 
     fn restart_one_fenced(&self, epoch: u64, i: usize) -> Result<()> {
-        let mut pool = self.wr();
+        let mut pool = self.wr(); // lock: pool
         if i >= pool.len() {
             return Ok(());
         }
@@ -523,7 +551,7 @@ impl CdiService {
     /// index.
     pub fn kill_shard(&self, shard: usize) -> bool {
         let _lc = relock(self.lifecycle.lock());
-        let pool = self.rd();
+        let pool = self.rd(); // lock: pool
         let Some(s) = pool.get(shard) else {
             return false;
         };
@@ -541,7 +569,7 @@ impl CdiService {
         let _lc = relock(self.lifecycle.lock());
         self.quiesce_fenced();
         let snap = {
-            let pool = self.rd();
+            let pool = self.rd(); // lock: pool
             for shard in pool.iter() {
                 shard.drain_to_fence();
             }
@@ -589,15 +617,15 @@ impl CdiService {
                 )
             })
             .collect();
-        let watermark = Mutex::new(snap.watermark);
+        let watermark = TrackedMutex::new("watermark", snap.watermark);
         let service = CdiService {
             cfg,
-            pool: RwLock::new(pool),
+            pool: TrackedRwLock::new("pool", pool),
             routes: HashMap::new(),
             watermark,
             metrics,
             gate: AdmissionGate::default(),
-            lifecycle: Mutex::new(()),
+            lifecycle: TrackedMutex::new("lifecycle", ()),
         };
         service.metrics.reseed(&snap.metrics);
         Ok(service)
@@ -625,6 +653,7 @@ impl CdiService {
 
     /// Snapshot of one internal counter for tests: total spans accepted.
     pub fn spans_ingested(&self) -> u64 {
+        // ordering: point-in-time statistic read for tests
         self.metrics.spans_ingested.load(Ordering::Relaxed)
     }
 }

@@ -27,7 +27,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, LockResult, PoisonError};
 use std::thread::JoinHandle;
 
 use cdi_core::error::{CdiError, Result};
@@ -39,6 +39,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::metrics::{LifecycleEvent, ServiceMetrics};
 use crate::queue::BoundedQueue;
+use crate::tracked::{TrackedCondvar, TrackedMutex};
 
 /// A message on a shard's ingest queue.
 #[derive(Debug, Clone)]
@@ -125,8 +126,8 @@ pub struct Checkpoint {
 /// [`Shard::respawn_if_dead`] (only while the worker is dead).
 #[derive(Debug)]
 struct Durable {
-    checkpoint: Mutex<Checkpoint>,
-    journal: Mutex<Vec<ShardMsg>>,
+    checkpoint: TrackedMutex<Checkpoint>,
+    journal: TrackedMutex<Vec<ShardMsg>>,
 }
 
 /// The accumulator table of one shard.
@@ -158,6 +159,7 @@ impl ShardState {
     pub fn apply(&mut self, msg: ShardMsg) {
         match msg {
             ShardMsg::Span { target, span } => {
+                // bound: one entry per target routed here — fleet-sized, not stream-sized
                 let accs = self.targets.entry(target).or_insert_with(|| {
                     let mut fresh = [
                         CdiAccumulator::new(self.period_start),
@@ -323,6 +325,7 @@ impl ShardState {
                 )));
             }
         }
+        // bound: one entry per target in the restored snapshot, same fleet-sized bound as apply
         self.targets.insert(snap.target, [u, p, c]);
         Ok(())
     }
@@ -365,7 +368,7 @@ impl ShardState {
     }
 }
 
-fn relock<'a, T>(r: std::sync::LockResult<MutexGuard<'a, T>>) -> MutexGuard<'a, T> {
+fn relock<G>(r: LockResult<G>) -> G {
     r.unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -375,11 +378,11 @@ fn relock<'a, T>(r: std::sync::LockResult<MutexGuard<'a, T>>) -> MutexGuard<'a, 
 pub struct Shard {
     /// The ingest queue producers push to.
     pub queue: Arc<BoundedQueue<ShardMsg>>,
-    state: Arc<Mutex<ShardState>>,
+    state: Arc<TrackedMutex<ShardState>>,
     /// Messages accepted into the queue (producers bump this on accept).
     enqueued: Arc<AtomicU64>,
     /// Messages applied by the worker, with a condvar for flush waiters.
-    applied: Arc<(Mutex<u64>, Condvar)>,
+    applied: Arc<(TrackedMutex<u64>, TrackedCondvar)>,
     /// Checkpoint + journal for crash recovery.
     durable: Arc<Durable>,
     /// False between a crash and the respawn that heals it.
@@ -391,7 +394,7 @@ pub struct Shard {
     /// Crash messages the worker has fully processed (bumped *after* the
     /// state wipe and the dead flag).
     crashes_landed: Arc<AtomicU64>,
-    worker: Mutex<Option<JoinHandle<()>>>,
+    worker: TrackedMutex<Option<JoinHandle<()>>>,
     period_start: Timestamp,
     checkpoint_every: usize,
     /// This shard's index in the pool, for lifecycle events.
@@ -403,8 +406,8 @@ pub struct Shard {
 /// Everything the worker loop needs, cloned out of the [`Shard`].
 struct WorkerCtx {
     queue: Arc<BoundedQueue<ShardMsg>>,
-    state: Arc<Mutex<ShardState>>,
-    applied: Arc<(Mutex<u64>, Condvar)>,
+    state: Arc<TrackedMutex<ShardState>>,
+    applied: Arc<(TrackedMutex<u64>, TrackedCondvar)>,
     durable: Arc<Durable>,
     alive: Arc<AtomicBool>,
     crashes_landed: Arc<AtomicU64>,
@@ -428,11 +431,12 @@ fn worker_loop(ctx: WorkerCtx) {
             ctx.crashes_landed.fetch_add(1, Ordering::SeqCst);
             return;
         }
+        // bound: cleared every `checkpoint_every` applied messages by the checkpoint below
         relock(ctx.durable.journal.lock()).push(msg.clone());
         relock(ctx.state.lock()).apply(msg);
         {
             let (count, cv) = &*ctx.applied;
-            *relock(count.lock()) += 1;
+            *relock(count.lock()) += 1; // lock: applied
             cv.notify_all();
         }
         since_checkpoint += 1;
@@ -476,19 +480,19 @@ impl Shard {
     ) -> Shard {
         let period_start = state.period_start;
         let durable = Arc::new(Durable {
-            checkpoint: Mutex::new(state.checkpoint()),
-            journal: Mutex::new(Vec::new()),
+            checkpoint: TrackedMutex::new("checkpoint", state.checkpoint()),
+            journal: TrackedMutex::new("journal", Vec::new()),
         });
         let shard = Shard {
             queue: Arc::new(BoundedQueue::new(queue_capacity)),
-            state: Arc::new(Mutex::new(state)),
+            state: Arc::new(TrackedMutex::new("state", state)),
             enqueued: Arc::new(AtomicU64::new(0)),
-            applied: Arc::new((Mutex::new(0u64), Condvar::new())),
+            applied: Arc::new((TrackedMutex::new("applied", 0u64), TrackedCondvar::new())),
             durable,
             alive: Arc::new(AtomicBool::new(true)),
             kills: Arc::new(AtomicU64::new(0)),
             crashes_landed: Arc::new(AtomicU64::new(0)),
-            worker: Mutex::new(None),
+            worker: TrackedMutex::new("worker", None),
             period_start,
             checkpoint_every: checkpoint_every.max(1),
             index,
@@ -517,6 +521,13 @@ impl Shard {
     /// what to wait for.
     pub fn note_enqueued(&self) {
         self.enqueued.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Clone of the accepted-message counter, for producers that must
+    /// record an accept *after* releasing the pool lock (the watermark
+    /// broadcast hoists its blocking pushes out of the guard).
+    pub(crate) fn enqueued_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.enqueued)
     }
 
     /// Is the worker thread alive (i.e. not between a crash and its
@@ -581,7 +592,7 @@ impl Shard {
         loop {
             self.respawn_if_dead();
             let (count, cv) = &*self.applied;
-            let mut done = relock(count.lock());
+            let mut done = relock(count.lock()); // lock: applied
             while *done < goal {
                 if !self.alive.load(Ordering::SeqCst) {
                     break;
@@ -622,7 +633,8 @@ impl Shard {
 
     /// Run `f` against the shard state under its lock.
     pub fn with_state<R>(&self, f: impl FnOnce(&ShardState) -> R) -> R {
-        f(&relock(self.state.lock()))
+        let st = relock(self.state.lock());
+        f(&st)
     }
 
     /// Close the queue and join the worker (drains remaining messages; a

@@ -1,0 +1,395 @@
+//! Named lock wrappers with a debug-only lock-order sanitizer.
+//!
+//! [`TrackedMutex`] / [`TrackedRwLock`] wrap their `std::sync` namesakes
+//! and carry a *lock name* — the same names the static analyzer's
+//! `// lock-order:` chains in [`crate::service`] declare. In debug builds
+//! (tests, chaos drills, the CI debug job) every acquisition is recorded
+//! against a thread-local held-lock stack:
+//!
+//! - the pair `(top-of-stack, acquired)` is added to the **observed
+//!   acquisition graph**, and
+//! - if the declared order cannot reach `acquired` from `top-of-stack`,
+//!   a violation is recorded (collected, not panicked, so a drill can
+//!   finish and report).
+//!
+//! The static↔runtime contract: the observed graph must be a subgraph of
+//! the declared order's reachability closure. `stability-lint` R6 proves
+//! the declared order is acyclic; this module proves the code actually
+//! follows it under real concurrency. Tests call [`take_violations`] at
+//! the end and assert emptiness.
+//!
+//! In release builds (`cfg(not(debug_assertions))`) the recording hooks
+//! compile to empty inline functions: the wrappers cost one `&'static
+//! str` per lock object and nothing per acquisition, so the bench smoke
+//! and production paths are unaffected.
+
+use std::sync::{Condvar, LockResult, Mutex, MutexGuard, PoisonError};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// The declared lock order, mirroring the `// lock-order:` chains in
+/// `service.rs` (the contract test in `tests/lock_sanitizer.rs` keeps the
+/// two in sync). An acquisition of `b` while holding `a` is legal iff `b`
+/// is reachable from `a` along consecutive chain edges.
+pub const DECLARED_CHAINS: &[&[&str]] = &[
+    &[
+        "lifecycle",
+        "gate",
+        "pool",
+        "worker",
+        "queue",
+        "applied",
+        "checkpoint",
+        "journal",
+        "state",
+        "events",
+    ],
+    &["pool", "watermark", "events"],
+];
+
+/// Consecutive-pair edges of [`DECLARED_CHAINS`].
+pub fn declared_edges() -> Vec<(&'static str, &'static str)> {
+    let mut out = Vec::new();
+    for chain in DECLARED_CHAINS {
+        for pair in chain.windows(2) {
+            if !out.contains(&(pair[0], pair[1])) {
+                out.push((pair[0], pair[1]));
+            }
+        }
+    }
+    out
+}
+
+/// Is `to` reachable from `from` along declared edges? (`from == to` is
+/// *not* reachable: same-name nesting would self-deadlock.)
+pub fn declared_reaches(from: &str, to: &str) -> bool {
+    let edges = declared_edges();
+    let mut frontier = vec![from];
+    let mut seen = vec![from];
+    while let Some(cur) = frontier.pop() {
+        for (a, b) in &edges {
+            if *a == cur && !seen.contains(b) {
+                if *b == to {
+                    return true;
+                }
+                seen.push(b);
+                frontier.push(b);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(debug_assertions)]
+mod sanitizer {
+    use std::cell::RefCell;
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, PoisonError};
+
+    thread_local! {
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+    static OBSERVED: Mutex<BTreeSet<(&'static str, &'static str)>> =
+        Mutex::new(BTreeSet::new());
+    static VIOLATIONS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    pub(super) fn on_acquire(name: &'static str) {
+        let top = HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            let top = h.last().copied();
+            h.push(name);
+            top
+        });
+        let Some(top) = top else { return };
+        let fresh = OBSERVED
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            // bound: at most one entry per distinct (held, acquired) name pair
+            .insert((top, name));
+        if fresh && !super::declared_reaches(top, name) {
+            // bound: `fresh` dedupes, so growth is capped by distinct name pairs
+            VIOLATIONS.lock().unwrap_or_else(PoisonError::into_inner).push(format!(
+                "lock-order violation: acquired `{name}` while holding `{top}`, \
+                 but the declared order does not reach {top} -> {name}"
+            ));
+        }
+    }
+
+    pub(super) fn on_release(name: &'static str) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            // Guards may drop out of acquisition order; remove the most
+            // recent matching entry, not blindly the top.
+            if let Some(pos) = h.iter().rposition(|&n| n == name) {
+                h.remove(pos);
+            }
+        });
+    }
+
+    pub(super) fn observed() -> Vec<(&'static str, &'static str)> {
+        OBSERVED
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    pub(super) fn take() -> Vec<String> {
+        std::mem::take(&mut *VIOLATIONS.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+/// The observed acquisition-order graph so far (empty in release builds,
+/// where the sanitizer is compiled out).
+pub fn observed_edges() -> Vec<(&'static str, &'static str)> {
+    #[cfg(debug_assertions)]
+    {
+        sanitizer::observed()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        Vec::new()
+    }
+}
+
+/// Drain the recorded lock-order violations. Tests and drills call this
+/// at the end and assert emptiness; always empty in release builds.
+pub fn take_violations() -> Vec<String> {
+    #[cfg(debug_assertions)]
+    {
+        sanitizer::take()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        Vec::new()
+    }
+}
+
+#[inline]
+fn acquire(name: &'static str) -> Held {
+    #[cfg(debug_assertions)]
+    sanitizer::on_acquire(name);
+    Held { name }
+}
+
+/// Held-stack entry tied to a guard's lifetime. A separate member (rather
+/// than `Drop` on the guard itself) so [`TrackedCondvar::wait`] can
+/// destructure the guard, wait on the inner `std` guard, and reassemble
+/// it without the entry ever popping — the thread still holds the lock
+/// conceptually across the wait.
+#[derive(Debug)]
+pub struct Held {
+    name: &'static str,
+}
+
+impl Drop for Held {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        sanitizer::on_release(self.name);
+        #[cfg(not(debug_assertions))]
+        let _ = self.name;
+    }
+}
+
+/// A [`Mutex`] with a lock name known to the sanitizer.
+#[derive(Debug)]
+pub struct TrackedMutex<T> {
+    name: &'static str,
+    inner: Mutex<T>,
+}
+
+/// Guard returned by [`TrackedMutex::lock`]; derefs to the inner data.
+#[derive(Debug)]
+pub struct TrackedMutexGuard<'a, T> {
+    inner: MutexGuard<'a, T>,
+    held: Held,
+}
+
+impl<T> TrackedMutex<T> {
+    /// Wrap `value` in a mutex registered under `name` (one of the names
+    /// in [`DECLARED_CHAINS`]).
+    pub fn new(name: &'static str, value: T) -> Self {
+        TrackedMutex { name, inner: Mutex::new(value) }
+    }
+
+    /// Acquire, recording the `(held-top, name)` edge in debug builds.
+    /// Mirrors [`Mutex::lock`], including poison semantics.
+    pub fn lock(&self) -> LockResult<TrackedMutexGuard<'_, T>> {
+        let held = acquire(self.name);
+        match self.inner.lock() {
+            Ok(inner) => Ok(TrackedMutexGuard { inner, held }),
+            Err(p) => Err(PoisonError::new(TrackedMutexGuard { inner: p.into_inner(), held })),
+        }
+    }
+}
+
+impl<T> std::ops::Deref for TrackedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for TrackedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A [`Condvar`] that understands [`TrackedMutexGuard`]: the held-stack
+/// entry survives the wait (the thread re-holds the lock on wake, and a
+/// parked thread acquires nothing else meanwhile).
+#[derive(Debug, Default)]
+pub struct TrackedCondvar {
+    inner: Condvar,
+}
+
+impl TrackedCondvar {
+    /// A new condition variable.
+    pub fn new() -> Self {
+        TrackedCondvar { inner: Condvar::new() }
+    }
+
+    /// Mirror of [`Condvar::wait`] over a tracked guard.
+    pub fn wait<'a, T>(
+        &self,
+        guard: TrackedMutexGuard<'a, T>,
+    ) -> LockResult<TrackedMutexGuard<'a, T>> {
+        let TrackedMutexGuard { inner, held } = guard;
+        match self.inner.wait(inner) {
+            Ok(inner) => Ok(TrackedMutexGuard { inner, held }),
+            Err(p) => Err(PoisonError::new(TrackedMutexGuard { inner: p.into_inner(), held })),
+        }
+    }
+
+    /// Mirror of [`Condvar::wait_timeout`] over a tracked guard.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: TrackedMutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(TrackedMutexGuard<'a, T>, std::sync::WaitTimeoutResult)> {
+        let TrackedMutexGuard { inner, held } = guard;
+        match self.inner.wait_timeout(inner, dur) {
+            Ok((inner, timeout)) => Ok((TrackedMutexGuard { inner, held }, timeout)),
+            Err(p) => {
+                let (inner, timeout) = p.into_inner();
+                Err(PoisonError::new((TrackedMutexGuard { inner, held }, timeout)))
+            }
+        }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// An [`RwLock`] with a lock name known to the sanitizer. Read and write
+/// acquisitions record the same edge — the order contract is about
+/// acquisition sequence, not exclusivity.
+#[derive(Debug)]
+pub struct TrackedRwLock<T> {
+    name: &'static str,
+    inner: RwLock<T>,
+}
+
+/// Guard returned by [`TrackedRwLock::read`].
+#[derive(Debug)]
+pub struct TrackedReadGuard<'a, T> {
+    inner: RwLockReadGuard<'a, T>,
+    #[allow(dead_code)]
+    held: Held,
+}
+
+/// Guard returned by [`TrackedRwLock::write`].
+#[derive(Debug)]
+pub struct TrackedWriteGuard<'a, T> {
+    inner: RwLockWriteGuard<'a, T>,
+    #[allow(dead_code)]
+    held: Held,
+}
+
+impl<T> TrackedRwLock<T> {
+    /// Wrap `value` in an rwlock registered under `name`.
+    pub fn new(name: &'static str, value: T) -> Self {
+        TrackedRwLock { name, inner: RwLock::new(value) }
+    }
+
+    /// Shared acquisition; mirrors [`RwLock::read`].
+    pub fn read(&self) -> LockResult<TrackedReadGuard<'_, T>> {
+        let held = acquire(self.name);
+        match self.inner.read() {
+            Ok(inner) => Ok(TrackedReadGuard { inner, held }),
+            Err(p) => Err(PoisonError::new(TrackedReadGuard { inner: p.into_inner(), held })),
+        }
+    }
+
+    /// Exclusive acquisition; mirrors [`RwLock::write`].
+    pub fn write(&self) -> LockResult<TrackedWriteGuard<'_, T>> {
+        let held = acquire(self.name);
+        match self.inner.write() {
+            Ok(inner) => Ok(TrackedWriteGuard { inner, held }),
+            Err(p) => Err(PoisonError::new(TrackedWriteGuard { inner: p.into_inner(), held })),
+        }
+    }
+}
+
+impl<T> std::ops::Deref for TrackedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::Deref for TrackedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for TrackedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declared_order_is_a_dag_with_expected_reach() {
+        assert!(declared_reaches("lifecycle", "events"));
+        assert!(declared_reaches("pool", "queue"));
+        assert!(declared_reaches("pool", "watermark"));
+        assert!(!declared_reaches("events", "lifecycle"));
+        assert!(!declared_reaches("state", "pool"));
+        // Same-name nesting is never legal.
+        assert!(!declared_reaches("pool", "pool"));
+    }
+
+    #[test]
+    fn in_order_nesting_records_edges_without_violations() {
+        let a = TrackedMutex::new("pool", 1u32);
+        let b = TrackedMutex::new("queue", 2u32);
+        {
+            let ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+            let gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+            assert_eq!(*ga + *gb, 3);
+        }
+        let violations = take_violations();
+        assert!(
+            !violations.iter().any(|v| v.contains("`queue` while holding `pool`")),
+            "{violations:?}"
+        );
+        if cfg!(debug_assertions) {
+            assert!(observed_edges().contains(&("pool", "queue")));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The static ↔ runtime lock-order contract.
+//!
+//! `stability-lint` R6 proves the declared chains are acyclic and that no
+//! scanned nesting reverses them; `cdi_serve::tracked` checks the same
+//! chains against real debug-build acquisitions. This binary pins the two
+//! halves together: the chains must be literally equal, and the runtime
+//! sanitizer must actually be able to report a reversed acquisition
+//! (a sanitizer that cannot fail proves nothing).
+
+use std::sync::PoisonError;
+
+use cdi_serve::tracked::{self, TrackedMutex};
+
+/// `service.rs` declares the canonical chains as comments for the static
+/// analyzer; [`tracked::DECLARED_CHAINS`] is the runtime copy. Parse the
+/// former out of the source and assert equality, so neither side can
+/// drift without this test failing.
+#[test]
+fn declared_chains_match_the_service_rs_comments() {
+    let source = include_str!("../src/service.rs");
+    // Assemble the tag at runtime so the analyzer's raw-line scan never
+    // mistakes this test's own string literals for a chain declaration.
+    let tag = ["// lock-", "order:"].concat();
+    let parsed: Vec<Vec<String>> = source
+        .lines()
+        .filter_map(|line| line.trim_start().strip_prefix(tag.as_str()))
+        .map(|chain| chain.split("->").map(|name| name.trim().to_string()).collect())
+        .collect();
+    assert!(!parsed.is_empty(), "service.rs lost its chain declarations");
+    let declared: Vec<Vec<String>> = tracked::DECLARED_CHAINS
+        .iter()
+        .map(|chain| chain.iter().map(|name| name.to_string()).collect())
+        .collect();
+    assert_eq!(
+        parsed, declared,
+        "the service.rs chain comments and tracked::DECLARED_CHAINS drifted apart"
+    );
+}
+
+#[test]
+fn declared_edges_are_the_consecutive_chain_pairs() {
+    let edges = tracked::declared_edges();
+    assert_eq!(edges.len(), 11, "9 main-chain edges + 2 watermark-chain edges");
+    assert!(edges.contains(&("lifecycle", "gate")));
+    assert!(edges.contains(&("pool", "watermark")));
+    assert!(edges.contains(&("watermark", "events")));
+    // Reachability is transitive along a chain, not just adjacent pairs,
+    // and never crosses chains backwards.
+    assert!(tracked::declared_reaches("gate", "journal"));
+    assert!(!tracked::declared_reaches("watermark", "queue"));
+}
+
+/// The sanitizer must be able to fail: acquire two locks in an order the
+/// declared chains cannot reach and assert the violation names both
+/// locks. (Only this test in the binary drains `take_violations`, so the
+/// drain cannot race another test's assertion.)
+#[test]
+fn reversed_acquisition_is_reported_as_a_violation() {
+    let first = TrackedMutex::new("events", 0u32);
+    let second = TrackedMutex::new("lifecycle", 0u32);
+    {
+        let _outer = first.lock().unwrap_or_else(PoisonError::into_inner);
+        let _inner = second.lock().unwrap_or_else(PoisonError::into_inner);
+    }
+    if cfg!(debug_assertions) {
+        let violations = tracked::take_violations();
+        assert!(
+            violations.iter().any(|v| v.contains("`lifecycle` while holding `events`")),
+            "expected the reversed acquisition to be reported, got {violations:?}"
+        );
+        // The reversed edge still lands in the observed graph — the
+        // sanitizer records what happened, then judges it.
+        assert!(tracked::observed_edges().contains(&("events", "lifecycle")));
+    }
+}

@@ -202,4 +202,11 @@ fn resize_and_kill_under_live_producers_matches_fixed_shard_run() {
         e,
         cdi_serve::LifecycleEvent::ShardKilled { .. }
     )));
+
+    // Lock-order sanitizer gate: the whole chaos run — live producers,
+    // two resizes, one kill/respawn — acquired locks strictly within the
+    // declared order. (No-op in release builds; this binary runs in the
+    // debug test profile, where every acquisition was recorded.)
+    let violations = cdi_serve::tracked::take_violations();
+    assert!(violations.is_empty(), "lock-order violations during drill: {violations:#?}");
 }

@@ -158,6 +158,7 @@ struct ShufflePlan<K: Data + Hash + Eq, V: Data> {
 impl<K: Data + Hash + Eq, V: Data> ShufflePlan<K, V> {
     fn buckets(&self, ctx: &ExecContext) -> &Vec<Partition<(K, V)>> {
         self.cache.get_or_init(|| {
+            // ordering: independent statistic counter, never a synchronization point
             ctx.metrics.shuffles.fetch_add(1, Ordering::Relaxed);
             let n_in = self.parent.num_partitions();
             // Map side: compute every input partition in parallel and
@@ -198,6 +199,7 @@ impl<K: Data + Hash + Eq, V: Data> ShufflePlan<K, V> {
                 Partition::new(rows)
             });
             let moved: u64 = out.iter().map(|p| p.len() as u64).sum();
+            // ordering: independent statistic counter, never a synchronization point
             ctx.metrics.shuffled_records.fetch_add(moved, Ordering::Relaxed);
             out
         })

@@ -70,13 +70,21 @@ impl ExecMetrics {
     /// Snapshot the counters as plain numbers.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
+            // ordering: independent statistic counter, never a synchronization point
             scheduled_tasks: self.scheduled_tasks.load(Ordering::Relaxed),
+            // ordering: independent statistic counter, never a synchronization point
             completed_tasks: self.completed_tasks.load(Ordering::Relaxed),
+            // ordering: independent statistic counter, never a synchronization point
             failed_tasks: self.failed_tasks.load(Ordering::Relaxed),
+            // ordering: independent statistic counter, never a synchronization point
             retried_tasks: self.retried_tasks.load(Ordering::Relaxed),
+            // ordering: independent statistic counter, never a synchronization point
             shuffled_records: self.shuffled_records.load(Ordering::Relaxed),
+            // ordering: independent statistic counter, never a synchronization point
             shuffles: self.shuffles.load(Ordering::Relaxed),
+            // ordering: independent statistic counter, never a synchronization point
             rows_cloned: self.rows_cloned.load(Ordering::Relaxed),
+            // ordering: independent statistic counter, never a synchronization point
             bytes_cloned: self.bytes_cloned.load(Ordering::Relaxed),
         }
     }
@@ -206,6 +214,7 @@ impl ExecContext {
         loop {
             match catch_unwind(AssertUnwindSafe(|| f(i))) {
                 Ok(r) => {
+                    // ordering: independent statistic counter, never a synchronization point
                     self.metrics.completed_tasks.fetch_add(1, Ordering::Relaxed);
                     return Ok(r);
                 }
@@ -216,12 +225,14 @@ impl ExecContext {
                         payload: payload_string(payload),
                     };
                     if attempt < self.retry.max_attempts {
+                        // ordering: independent statistic counter, never a synchronization point
                         self.metrics.retried_tasks.fetch_add(1, Ordering::Relaxed);
                         if let Some(hook) = &self.on_retry {
                             hook(&err);
                         }
                         attempt += 1;
                     } else {
+                        // ordering: independent statistic counter, never a synchronization point
                         self.metrics.failed_tasks.fetch_add(1, Ordering::Relaxed);
                         return Err(err);
                     }
@@ -248,6 +259,7 @@ impl ExecContext {
         if n == 0 {
             return Ok(Vec::new());
         }
+        // ordering: independent statistic counter, never a synchronization point
         self.metrics.scheduled_tasks.fetch_add(n as u64, Ordering::Relaxed);
         if self.threads == 1 || n == 1 {
             let mut out = Vec::with_capacity(n);
@@ -275,20 +287,24 @@ impl ExecContext {
                     scope.spawn(move || {
                         let mut local = Vec::new();
                         'claims: loop {
+                            // ordering: advisory early-exit flag; a stale read only delays draining
                             if failed.load(Ordering::Relaxed) {
                                 break;
                             }
+                            // ordering: the RMW itself hands out disjoint chunks; no other memory rides on it
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                             if start >= n {
                                 break;
                             }
                             for i in start..(start + chunk).min(n) {
+                                // ordering: advisory early-exit flag; a stale read only delays draining
                                 if failed.load(Ordering::Relaxed) {
                                     break 'claims;
                                 }
                                 match self.run_task(i, f) {
                                     Ok(r) => local.push((i, r)),
                                     Err(e) => {
+                                        // ordering: advisory flag; the scope join is the real synchronization
                                         failed.store(true, Ordering::Relaxed);
                                         return Err(e);
                                     }
@@ -463,10 +479,12 @@ mod tests {
             .with_retry(RetryPolicy::new(4))
             .with_on_retry(move |e| {
                 assert_eq!(e.partition, 0);
+                // ordering: independent statistic, never a synchronization point
                 seen2.fetch_add(1, Ordering::Relaxed);
             });
         let err = ctx.try_parallel_indexed(1, |_| -> usize { panic!("always") }).unwrap_err();
         assert_eq!(err.attempts, 4);
+        // ordering: independent statistic, never a synchronization point
         assert_eq!(seen.load(Ordering::Relaxed), 3, "retries = attempts - 1");
     }
 
@@ -479,6 +497,7 @@ mod tests {
             if i == 0 {
                 panic!("first task dies");
             }
+            // ordering: independent statistic, never a synchronization point
             done.fetch_add(1, Ordering::Relaxed);
             i
         });
@@ -486,6 +505,7 @@ mod tests {
         // many ran depends on scheduling; at least the co-claimed ones.)
         let m = ctx.metrics.snapshot();
         assert_eq!(m.failed_tasks, 1);
+        // ordering: independent statistic, never a synchronization point
         assert_eq!(m.completed_tasks, done.load(Ordering::Relaxed));
     }
 

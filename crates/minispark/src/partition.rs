@@ -73,9 +73,11 @@ impl<T: Clone> Partition<T> {
             Ok(rows) => rows,
             Err(shared) => {
                 let n = shared.len() as u64;
+                // ordering: independent statistic counter, never a synchronization point
                 metrics.rows_cloned.fetch_add(n, Ordering::Relaxed);
                 metrics
                     .bytes_cloned
+                    // ordering: independent statistic counter, never a synchronization point
                     .fetch_add(n * std::mem::size_of::<T>() as u64, Ordering::Relaxed);
                 shared.as_ref().clone()
             }

@@ -229,7 +229,7 @@ reason = "whole-file audit"
     #[test]
     fn unknown_rule_is_an_error() {
         let err =
-            Config::parse("[[allow]]\nrule = \"R9\"\npath = \"x\"\nreason = \"r\"\n").unwrap_err();
+            Config::parse("[[allow]]\nrule = \"R12\"\npath = \"x\"\nreason = \"r\"\n").unwrap_err();
         assert!(err.contains("unknown rule"), "{err}");
     }
 

@@ -4,6 +4,7 @@
 use crate::config::Config;
 use crate::diagnostics::{Severity, Violation};
 use crate::lexer;
+use crate::lockgraph::{self, Annotations, LockEdge};
 use crate::rules::{self, FileCtx, RuleId};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -48,6 +49,10 @@ pub fn run(root: &Path, config: &Config) -> Result<Report, String> {
 pub fn run_on_files(root: &Path, files: &[PathBuf], config: &Config) -> Result<Report, String> {
     let mut report = Report::default();
     let mut matched = vec![false; config.allow.len()];
+    // Per-file R6 findings (kept or allowed) so the workspace-wide pass
+    // does not re-report a cycle already caught within one file.
+    let mut seen_r6: Vec<(String, u32)> = Vec::new();
+    let mut all_edges: Vec<LockEdge> = Vec::new();
     for rel in files {
         let rel_str = rel.to_string_lossy().replace('\\', "/");
         let crate_name = crate_of(&rel_str);
@@ -57,7 +62,12 @@ pub fn run_on_files(root: &Path, files: &[PathBuf], config: &Config) -> Result<R
         let source = fs::read_to_string(root.join(rel))
             .map_err(|e| format!("{rel_str}: {e}"))?;
         report.files_scanned += 1;
-        for v in lint_source(&rel_str, &crate_name, &source) {
+        let (violations, edges) = lint_source_full(&rel_str, &crate_name, &source);
+        all_edges.extend(edges);
+        for v in violations {
+            if v.rule == RuleId::R6 {
+                seen_r6.push((v.path.clone(), v.line));
+            }
             let v = Violation { severity: config.severity_of(v.rule), ..v };
             match config.match_allow(&v) {
                 Some(idx) => {
@@ -66,6 +76,19 @@ pub fn run_on_files(root: &Path, files: &[PathBuf], config: &Config) -> Result<R
                 }
                 None => report.violations.push(v),
             }
+        }
+    }
+    // Workspace-wide lock graph: declared chains and inferred nesting from
+    // every scanned file merge by lock *name*, so an ABBA ordering split
+    // across crates still closes a cycle here.
+    for v in global_lock_cycles(&all_edges, &seen_r6) {
+        let v = Violation { severity: config.severity_of(v.rule), ..v };
+        match config.match_allow(&v) {
+            Some(idx) => {
+                matched[idx] = true;
+                report.allowed.push(v);
+            }
+            None => report.violations.push(v),
         }
     }
     report.stale_allows = matched
@@ -87,16 +110,52 @@ pub fn run_on_files(root: &Path, files: &[PathBuf], config: &Config) -> Result<R
 /// Lint one in-memory source file under an explicit crate name. This is
 /// the kernel of the engine; everything else is discovery and filtering.
 pub fn lint_source(rel_path: &str, crate_name: &str, source: &str) -> Vec<Violation> {
+    lint_source_full(rel_path, crate_name, source).0
+}
+
+/// [`lint_source`] plus the file's lock-graph edges (empty when R6 does
+/// not apply), so `run_on_files` can assemble the workspace-wide graph
+/// without lexing twice.
+pub fn lint_source_full(
+    rel_path: &str,
+    crate_name: &str,
+    source: &str,
+) -> (Vec<Violation>, Vec<LockEdge>) {
     let toks = lexer::lex(source);
     let in_test = rules::test_mask(&toks);
-    let ctx = FileCtx { path: rel_path, crate_name, toks: &toks, in_test: &in_test };
+    let annots = Annotations::parse(source);
+    let ctx =
+        FileCtx { path: rel_path, crate_name, toks: &toks, in_test: &in_test, annots: &annots };
     let mut out = Vec::new();
     for rule in RuleId::all() {
         if rule.applies_to_crate(crate_name) && rule.applies_to_file(rel_path) {
             out.extend(rule.check(&ctx));
         }
     }
-    out
+    let edges = if RuleId::R6.applies_to_crate(crate_name) {
+        lockgraph::scan(&ctx).edges
+    } else {
+        Vec::new()
+    };
+    (out, edges)
+}
+
+/// Cycle-check the merged workspace lock graph, skipping witnesses whose
+/// location was already reported by a per-file R6 pass.
+pub fn global_lock_cycles(edges: &[LockEdge], already: &[(String, u32)]) -> Vec<Violation> {
+    lockgraph::find_cycles(edges)
+        .into_iter()
+        .filter(|c| !already.iter().any(|(p, l)| *p == c.path && *l == c.line))
+        .map(|c| Violation {
+            rule: RuleId::R6,
+            severity: RuleId::R6.default_severity(),
+            path: c.path,
+            line: c.line,
+            message: format!("lock-order cycle (workspace graph): {}", c.names.join(" -> ")),
+            hint: "acquire locks in one global order (see the `// lock-order:` chains in cdi-serve::service); restructure so the reversed nesting is impossible"
+                .to_string(),
+        })
+        .collect()
 }
 
 /// Which crate owns a workspace-relative path.

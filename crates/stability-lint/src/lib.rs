@@ -8,15 +8,30 @@
 //! those failure modes; this crate makes them *statically impossible* to
 //! reintroduce. It parses every `.rs` file in the workspace with a
 //! dependency-free lexer (the build must work offline, so no `syn`) and
-//! enforces five repo-specific invariants:
+//! enforces nine repo-specific invariants:
 //!
 //! | id | name | scope | default |
 //! |----|------|-------|---------|
 //! | R1 | no-panic-path | library crates, outside tests | deny |
 //! | R2 | nan-unsafe-sort | whole workspace | deny |
-//! | R3 | nondeterminism | `simfleet`, `cdi-core` | deny |
+//! | R3 | nondeterminism | `simfleet`, `cdi-core`, `cdi-serve` | deny |
 //! | R4 | lossy-numeric-cast | metric-math modules | deny |
-//! | R5 | undocumented-pub | `cdi-core` public API | warn |
+//! | R5 | undocumented-pub | `cdi-core` public API | deny |
+//! | R6 | lock-order-cycle | `cdi-serve`, `minispark`, `cdi-core` | deny |
+//! | R7 | blocking-while-locked | `cdi-serve`, `minispark`, `cdi-core` | deny |
+//! | R8 | unjustified-ordering | `cdi-serve`, `minispark`, `cdi-core` | deny |
+//! | R9 | unbounded-growth | `cdi-serve` | warn |
+//!
+//! R6–R9 are the concurrency pass ([`lockgraph`]): R6 merges declared
+//! `// lock-order:` chains with inferred same-scope nesting into one
+//! workspace lock graph and fails on cycles with a witness path; R7 flags
+//! blocking calls reachable while a guard is live; R8 requires every
+//! non-SeqCst atomic `Ordering::` to carry an `// ordering:`
+//! justification; R9 requires a `// bound:` note wherever long-lived
+//! state grows on a hot path. The static declarations are cross-checked
+//! at runtime by `cdi-serve::tracked`, a debug-only lock sanitizer that
+//! asserts the *observed* acquisition graph stays inside the declared
+//! order during tests and chaos drills.
 //!
 //! Audited exceptions live in `lint.toml` at the workspace root — every
 //! entry carries a mandatory `reason`, and entries that stop matching are
@@ -31,9 +46,11 @@ pub mod config;
 pub mod diagnostics;
 pub mod engine;
 pub mod lexer;
+pub mod lockgraph;
 pub mod rules;
 
 pub use config::{AllowEntry, Config};
 pub use diagnostics::{Severity, Violation};
-pub use engine::{lint_source, run, run_on_files, Report};
+pub use engine::{lint_source, lint_source_full, run, run_on_files, Report};
+pub use lockgraph::{Annotations, CycleWitness, LockEdge};
 pub use rules::RuleId;

@@ -39,7 +39,7 @@ fn parse_args() -> Result<Args, String> {
             "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => {
                 println!(
-                    "stability-lint: enforce the workspace reliability invariants (R1-R5)\n\n\
+                    "stability-lint: enforce the workspace reliability invariants (R1-R9)\n\n\
                      USAGE: stability-lint [--root DIR] [--config lint.toml] [--format text|json] [--quiet]\n\n\
                      Exit status: 0 clean, 1 deny-severity violations, 2 usage/config error.\n\
                      Default config: <root>/lint.toml if present."

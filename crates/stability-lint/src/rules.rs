@@ -1,4 +1,4 @@
-//! The invariant rules (R1–R5) and the token-stream analyses they share.
+//! The invariant rules (R1–R9) and the token-stream analyses they share.
 //!
 //! Every rule is a pure function from a [`FileCtx`] to violations; the
 //! engine decides which files each rule sees (crate scoping, test-file
@@ -7,6 +7,7 @@
 
 use crate::diagnostics::{Severity, Violation};
 use crate::lexer::{Tok, TokKind};
+use crate::lockgraph::{self, Annotations};
 
 /// Everything a rule needs to know about one source file.
 #[derive(Debug)]
@@ -20,6 +21,10 @@ pub struct FileCtx<'a> {
     /// Parallel to `toks`: true for tokens inside `#[cfg(test)]` /
     /// `#[test]` regions (including the attribute itself).
     pub in_test: &'a [bool],
+    /// Comment-level annotations (`// lock-order:`, `// lock:`,
+    /// `// ordering:`, `// bound:`) parsed from the raw source, since the
+    /// lexer drops plain comments.
+    pub annots: &'a Annotations,
 }
 
 /// Stable rule identifier (`R1`..`R5`), also the allowlist key.
@@ -37,6 +42,18 @@ pub enum RuleId {
     R4,
     /// Public items in `cdi-core` must carry doc comments.
     R5,
+    /// The lock-acquisition graph (declared `// lock-order:` chains plus
+    /// inferred same-scope nesting) must be acyclic.
+    R6,
+    /// No blocking operations (sleep/join/recv/socket I/O/blocking push)
+    /// while a lock guard is live.
+    R7,
+    /// Every non-SeqCst `Ordering::` use must carry an `// ordering:`
+    /// justification.
+    R8,
+    /// Growth into long-lived state on hot paths must carry a `// bound:`
+    /// note naming the bound or eviction policy.
+    R9,
 }
 
 impl RuleId {
@@ -48,6 +65,10 @@ impl RuleId {
             RuleId::R3 => "R3",
             RuleId::R4 => "R4",
             RuleId::R5 => "R5",
+            RuleId::R6 => "R6",
+            RuleId::R7 => "R7",
+            RuleId::R8 => "R8",
+            RuleId::R9 => "R9",
         }
     }
 
@@ -59,10 +80,14 @@ impl RuleId {
             RuleId::R3 => "nondeterminism",
             RuleId::R4 => "lossy-numeric-cast",
             RuleId::R5 => "undocumented-pub",
+            RuleId::R6 => "lock-order-cycle",
+            RuleId::R7 => "blocking-while-locked",
+            RuleId::R8 => "unjustified-ordering",
+            RuleId::R9 => "unbounded-growth",
         }
     }
 
-    /// Parse `"R1"`..`"R5"`.
+    /// Parse `"R1"`..`"R9"`.
     pub fn parse(s: &str) -> Option<RuleId> {
         match s {
             "R1" => Some(RuleId::R1),
@@ -70,21 +95,36 @@ impl RuleId {
             "R3" => Some(RuleId::R3),
             "R4" => Some(RuleId::R4),
             "R5" => Some(RuleId::R5),
+            "R6" => Some(RuleId::R6),
+            "R7" => Some(RuleId::R7),
+            "R8" => Some(RuleId::R8),
+            "R9" => Some(RuleId::R9),
             _ => None,
         }
     }
 
     /// All rules, in id order.
-    pub fn all() -> [RuleId; 5] {
-        [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4, RuleId::R5]
+    pub fn all() -> [RuleId; 9] {
+        [
+            RuleId::R1,
+            RuleId::R2,
+            RuleId::R3,
+            RuleId::R4,
+            RuleId::R5,
+            RuleId::R6,
+            RuleId::R7,
+            RuleId::R8,
+            RuleId::R9,
+        ]
     }
 
-    /// Built-in severity. R5 starts as `warn` (doc debt should not block a
-    /// build mid-burn-down); everything else is `deny`. `lint.toml` can
-    /// override either way.
+    /// Built-in severity. R9 starts as `warn` (growth-bound notes roll out
+    /// incrementally); everything else is `deny`. `lint.toml` can override
+    /// either way — R5 began life as `warn` and was flipped to `deny` once
+    /// the cdi-core doc debt hit zero.
     pub fn default_severity(self) -> Severity {
         match self {
-            RuleId::R5 => Severity::Warn,
+            RuleId::R9 => Severity::Warn,
             _ => Severity::Deny,
         }
     }
@@ -107,6 +147,14 @@ impl RuleId {
             RuleId::R3 => matches!(crate_name, "simfleet" | "cdi-core" | "cdi-serve"),
             RuleId::R4 => crate_name == "cdi-core",
             RuleId::R5 => crate_name == "cdi-core",
+            // The concurrency rules cover the crates that actually hold
+            // locks on hot paths: the serving layer, the execution engine,
+            // and the core accumulators.
+            RuleId::R6 | RuleId::R7 | RuleId::R8 => {
+                matches!(crate_name, "cdi-serve" | "minispark" | "cdi-core")
+            }
+            // Long-lived ingest/query state lives in the serving layer.
+            RuleId::R9 => crate_name == "cdi-serve",
         }
     }
 
@@ -131,6 +179,10 @@ impl RuleId {
             RuleId::R3 => r3_nondeterminism(ctx),
             RuleId::R4 => r4_lossy_numeric_cast(ctx),
             RuleId::R5 => r5_undocumented_pub(ctx),
+            RuleId::R6 => r6_lock_order_cycle(ctx),
+            RuleId::R7 => r7_blocking_while_locked(ctx),
+            RuleId::R8 => r8_unjustified_ordering(ctx),
+            RuleId::R9 => r9_unbounded_growth(ctx),
         }
     }
 }
@@ -498,6 +550,152 @@ fn r5_undocumented_pub(ctx: &FileCtx<'_>) -> Vec<Violation> {
         ));
     }
     out
+}
+
+/// R6: lock-order cycles. Builds this file's lock graph (declared
+/// `// lock-order:` chains plus same-scope nesting inferred by the
+/// guard-liveness scan) and reports every cycle with its witness path.
+/// The engine additionally runs a workspace-wide pass over the merged
+/// graph so an ABBA split across files is still caught.
+fn r6_lock_order_cycle(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    let info = lockgraph::scan(ctx);
+    lockgraph::find_cycles(&info.edges)
+        .into_iter()
+        .filter(|c| c.path == ctx.path)
+        .map(|c| {
+            violation(
+                RuleId::R6,
+                ctx,
+                c.line,
+                format!("lock-order cycle: {}", c.names.join(" -> ")),
+                "acquire locks in one global order (see the `// lock-order:` chains in cdi-serve::service); restructure so the reversed nesting is impossible",
+            )
+        })
+        .collect()
+}
+
+/// R7: blocking while a guard is live. Uses the same guard-liveness scan
+/// as R6; condvar waits are exempt (releasing the paired mutex is the
+/// whole point), protocol-safe sites go in lint.toml with a reason.
+fn r7_blocking_while_locked(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    let info = lockgraph::scan(ctx);
+    info.blocking
+        .into_iter()
+        .map(|b| {
+            violation(
+                RuleId::R7,
+                ctx,
+                b.line,
+                format!(
+                    "blocking `{}` while holding lock(s): {}",
+                    b.op,
+                    b.held.join(", ")
+                ),
+                "hoist the blocking call out of the guarded region (collect what you need under the lock, drop the guard, then block); if the protocol makes this safe, allowlist it with the argument written down",
+            )
+        })
+        .collect()
+}
+
+/// Memory orderings weaker than SeqCst that need a written justification.
+const WEAK_ORDERINGS: [&str; 4] = ["Relaxed", "Acquire", "Release", "AcqRel"];
+
+/// R8: atomics-ordering audit. Every `Ordering::<weak>` use must carry an
+/// `// ordering:` justification on the same or preceding line; `SeqCst`
+/// needs none. The `kills`/`crashes_landed` SeqCst pair in
+/// `cdi-serve::shard` is the documented exemplar of why the default is
+/// strict.
+fn r8_unjustified_ordering(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test[i] || !t.is_ident("Ordering") {
+            continue;
+        }
+        let path = ctx.toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && ctx.toks.get(i + 2).is_some_and(|n| n.is_punct(':'));
+        if !path {
+            continue;
+        }
+        let Some(ord) = ctx.toks.get(i + 3) else { continue };
+        if ord.kind != TokKind::Ident || !WEAK_ORDERINGS.contains(&ord.text.as_str()) {
+            continue;
+        }
+        if ctx.annots.justified_ordering(ord.line) {
+            continue;
+        }
+        out.push(violation(
+            RuleId::R8,
+            ctx,
+            ord.line,
+            format!("`Ordering::{}` without an `// ordering:` justification", ord.text),
+            "default to SeqCst; if the weaker ordering is deliberate, say why in an `// ordering:` comment on or above the line (see the kills/crashes_landed SeqCst pair in cdi-serve::shard for the counter-example)",
+        ));
+    }
+    out
+}
+
+/// Growth methods R9 watches on long-lived receivers.
+const GROWERS: [&str; 5] = ["push", "push_back", "insert", "extend", "entry"];
+
+/// R9: unbounded growth. Flags `push`/`insert`/`entry`/`extend` calls
+/// whose receiver is long-lived — the receiver chain mentions `self` or
+/// goes through a lock guard — unless a `// bound:` note on or above the
+/// line names the bound or eviction policy.
+fn r9_unbounded_growth(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test[i]
+            || t.kind != TokKind::Ident
+            || !GROWERS.contains(&t.text.as_str())
+        {
+            continue;
+        }
+        if i == 0
+            || !ctx.toks[i - 1].is_punct('.')
+            || !ctx.toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            continue;
+        }
+        if !receiver_is_long_lived(ctx.toks, i - 1) {
+            continue;
+        }
+        if ctx.annots.bounded(t.line) {
+            continue;
+        }
+        out.push(violation(
+            RuleId::R9,
+            ctx,
+            t.line,
+            format!("`.{}()` into long-lived state with no growth bound", t.text),
+            "cap it (ring/eviction like metrics::EventLog) or write the bound down in a `// bound:` note on or above the line",
+        ));
+    }
+    out
+}
+
+/// Walk the receiver chain left of the `.` at `dot` back to the statement
+/// boundary; long-lived means it mentions `self` or routes through a
+/// `lock()/read()/write()` guard.
+fn receiver_is_long_lived(toks: &[Tok], dot: usize) -> bool {
+    let mut j = dot;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            return false;
+        }
+        if t.is_ident("self") {
+            return true;
+        }
+        if (t.is_ident("lock") || t.is_ident("read") || t.is_ident("write"))
+            && toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+            && j > 0
+            && toks[j - 1].is_punct('.')
+        {
+            return true;
+        }
+    }
+    false
 }
 
 /// Does the file open with `//!` module docs? Inner attributes

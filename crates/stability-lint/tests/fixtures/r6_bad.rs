@@ -1,0 +1,25 @@
+//! R6 fixture: `forward` nests a→b while `backward` nests b→a — the
+//! classic ABBA deadlock the lock graph must report as a cycle, with the
+//! witness attributed to the earliest acquisition that closes it.
+
+use std::sync::{Mutex, PoisonError};
+
+/// Two locks with no declared order.
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+/// Acquires `a`, then `b` while `a` is held.
+pub fn forward(p: &Pair) -> u32 {
+    let ga = p.a.lock().unwrap_or_else(PoisonError::into_inner);
+    let gb = p.b.lock().unwrap_or_else(PoisonError::into_inner); //~ R6
+    *ga + *gb
+}
+
+/// Acquires `b`, then `a` while `b` is held — the reversed nesting.
+pub fn backward(p: &Pair) -> u32 {
+    let gb = p.b.lock().unwrap_or_else(PoisonError::into_inner);
+    let ga = p.a.lock().unwrap_or_else(PoisonError::into_inner);
+    *ga + *gb
+}

@@ -1,0 +1,32 @@
+//! R6 fixture (clean): both call paths honour the declared chain, and a
+//! guard dropped before the next acquisition creates no edge at all.
+
+// lock-order: outer -> inner
+
+use std::sync::{Mutex, PoisonError};
+
+/// Two locks with a declared order.
+pub struct Pair {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+}
+
+/// Nests in declared order: `outer` held while taking `inner`.
+pub fn nested(p: &Pair) -> u32 {
+    let go = p.outer.lock().unwrap_or_else(PoisonError::into_inner);
+    let gi = p.inner.lock().unwrap_or_else(PoisonError::into_inner);
+    *go + *gi
+}
+
+/// Takes `inner` then `outer`, but *sequentially* — the first guard is
+/// dropped before the second acquisition, so no reverse edge exists.
+pub fn sequential(p: &Pair) -> u32 {
+    let mut total = 0;
+    {
+        let gi = p.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        total += *gi;
+    }
+    let go = p.outer.lock().unwrap_or_else(PoisonError::into_inner);
+    total += *go;
+    total
+}

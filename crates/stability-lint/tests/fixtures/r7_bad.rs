@@ -1,0 +1,31 @@
+//! R7 fixture: blocking operations reached while a lock guard is live —
+//! a sleep, a thread join, and a blocking queue push, each under a guard.
+
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// State guarded by a mutex.
+pub struct Svc {
+    state: Mutex<Vec<u32>>,
+}
+
+/// Sleeps while holding the state lock.
+pub fn nap(s: &Svc) {
+    let st = s.state.lock().unwrap_or_else(PoisonError::into_inner);
+    std::thread::sleep(Duration::from_millis(1)); //~ R7
+    drop(st);
+}
+
+/// Joins a worker thread while holding the state lock.
+pub fn reap(s: &Svc, h: std::thread::JoinHandle<()>) {
+    let st = s.state.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = h.join(); //~ R7
+    drop(st);
+}
+
+/// Blocks on a channel receive while holding the state lock.
+pub fn drain(s: &Svc, rx: &std::sync::mpsc::Receiver<u32>) {
+    let st = s.state.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = rx.recv(); //~ R7
+    drop(st);
+}

@@ -1,0 +1,34 @@
+//! R7 fixture (clean): the blocking work happens after the guard is
+//! dropped — collect under the lock, release, then block.
+
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// State guarded by a mutex.
+pub struct Svc {
+    state: Mutex<Vec<u32>>,
+}
+
+/// Drops the guard before sleeping.
+pub fn polite_nap(s: &Svc) {
+    let st = s.state.lock().unwrap_or_else(PoisonError::into_inner);
+    let _len = st.len();
+    drop(st);
+    std::thread::sleep(Duration::from_millis(1));
+}
+
+/// The guard is a statement temporary: dead before the join on the next
+/// line.
+pub fn polite_reap(s: &Svc, h: std::thread::JoinHandle<()>) {
+    s.state.lock().unwrap_or_else(PoisonError::into_inner).clear();
+    let _ = h.join();
+}
+
+/// Block-scoped guard, then the receive happens lock-free.
+pub fn polite_drain(s: &Svc, rx: &std::sync::mpsc::Receiver<u32>) {
+    {
+        let st = s.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let _len = st.len();
+    }
+    let _ = rx.recv();
+}

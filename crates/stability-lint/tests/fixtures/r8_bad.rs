@@ -1,0 +1,20 @@
+//! R8 fixture: non-SeqCst atomic orderings without an `// ordering:`
+//! justification, in load/store/RMW position.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A counter.
+pub struct Hits {
+    n: AtomicU64,
+}
+
+/// Relaxed RMW with no written reason.
+pub fn bump(h: &Hits) {
+    h.n.fetch_add(1, Ordering::Relaxed); //~ R8
+}
+
+/// Acquire/Release pair with no written reason.
+pub fn publish(h: &Hits, v: u64) -> u64 {
+    h.n.store(v, Ordering::Release); //~ R8
+    h.n.load(Ordering::Acquire) //~ R8
+}

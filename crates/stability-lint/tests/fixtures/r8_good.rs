@@ -1,0 +1,26 @@
+//! R8 fixture (clean): SeqCst needs no justification, and a weaker
+//! ordering passes when the `// ordering:` reason is written down on or
+//! directly above the line.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A counter.
+pub struct Hits {
+    n: AtomicU64,
+}
+
+/// SeqCst is the audited default.
+pub fn bump_strict(h: &Hits) {
+    h.n.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Justified on the preceding line.
+pub fn bump_relaxed(h: &Hits) {
+    // ordering: independent statistic, never read for synchronization
+    h.n.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Justified on the same line.
+pub fn observe(h: &Hits) -> u64 {
+    h.n.load(Ordering::Relaxed) // ordering: monotone gauge, staleness is fine
+}

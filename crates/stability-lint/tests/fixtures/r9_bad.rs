@@ -1,0 +1,25 @@
+//! R9 fixture: growth into long-lived state — fields of `self` and
+//! collections behind a lock — with no `// bound:` note.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+
+/// Long-lived ingest state.
+pub struct Ledger {
+    rows: Vec<u64>,
+    index: HashMap<u64, usize>,
+    shared: Mutex<Vec<u64>>,
+}
+
+impl Ledger {
+    /// Grows two fields without a bound note.
+    pub fn ingest(&mut self, row: u64) {
+        self.rows.push(row); //~ R9
+        self.index.insert(row, 0); //~ R9
+    }
+
+    /// Pushes into locked shared state without a bound note.
+    pub fn publish(&self, row: u64) {
+        self.shared.lock().unwrap_or_else(PoisonError::into_inner).push(row); //~ R9
+    }
+}

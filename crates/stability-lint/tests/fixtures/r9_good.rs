@@ -1,0 +1,36 @@
+//! R9 fixture (clean): growth with the bound written down, growth into
+//! locals, and bounded eviction.
+
+use std::sync::{Mutex, PoisonError};
+
+/// Long-lived ingest state.
+pub struct Ledger {
+    rows: Vec<u64>,
+    shared: Mutex<Vec<u64>>,
+}
+
+impl Ledger {
+    /// The bound is stated on the preceding line.
+    pub fn ingest(&mut self, row: u64) {
+        // bound: capped at 512 by the eviction right below
+        self.rows.push(row);
+        if self.rows.len() > 512 {
+            self.rows.remove(0);
+        }
+    }
+
+    /// Same-line note also counts.
+    pub fn publish(&self, row: u64) {
+        let mut g = self.shared.lock().unwrap_or_else(PoisonError::into_inner);
+        g.push(row); // bound: ring of 512, evicted by the caller's drain
+    }
+
+    /// Growth into a local is not long-lived state.
+    pub fn transform(&self, rows: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for r in rows {
+            out.push(r * 2);
+        }
+        out
+    }
+}

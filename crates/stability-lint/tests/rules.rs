@@ -8,7 +8,7 @@
 //! Fixtures live under `tests/fixtures/`, which the engine's workspace walk
 //! skips, so they never pollute a real `cargo run -p stability-lint`.
 
-use stability_lint::{lint_source, RuleId};
+use stability_lint::{lint_source, lint_source_full, RuleId};
 
 /// Collect `(rule, line)` expectations from `//~` markers in a fixture.
 fn expected_markers(src: &str) -> Vec<(&'static str, u32)> {
@@ -181,5 +181,140 @@ fn r5_is_scoped_to_cdi_core() {
     assert!(
         violations.is_empty(),
         "R5 must only apply to cdi-core, got {violations:?}"
+    );
+}
+
+#[test]
+fn r6_fires_on_abba_nesting() {
+    check(
+        include_str!("fixtures/r6_bad.rs"),
+        "crates/cdi-serve/src/fixture.rs",
+        "cdi-serve",
+    );
+}
+
+#[test]
+fn r6_accepts_declared_order_and_sequential_locking() {
+    check(
+        include_str!("fixtures/r6_good.rs"),
+        "crates/cdi-serve/src/fixture.rs",
+        "cdi-serve",
+    );
+}
+
+#[test]
+fn r6_cycle_message_carries_the_witness_path() {
+    let vs = lint_source(
+        "crates/cdi-serve/src/fixture.rs",
+        "cdi-serve",
+        include_str!("fixtures/r6_bad.rs"),
+    );
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert!(
+        vs[0].message.contains("a -> b -> a"),
+        "witness path missing from `{}`",
+        vs[0].message
+    );
+}
+
+#[test]
+fn r6_catches_abba_split_across_files() {
+    // `forward.rs` nests a→b, `backward.rs` nests b→a: each file is clean
+    // on its own, but the merged workspace graph closes the cycle.
+    let fwd = "pub fn forward(p: &P) {\n\
+               let ga = p.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+               let gb = p.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+               }\n";
+    let bwd = "pub fn backward(p: &P) {\n\
+               let gb = p.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+               let ga = p.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+               }\n";
+    let (v1, e1) = lint_source_full("crates/cdi-serve/src/forward.rs", "cdi-serve", fwd);
+    let (v2, e2) = lint_source_full("crates/cdi-serve/src/backward.rs", "cdi-serve", bwd);
+    assert!(v1.iter().chain(&v2).all(|v| v.rule != RuleId::R6), "per-file must be clean");
+    let mut edges = e1;
+    edges.extend(e2);
+    let global = stability_lint::engine::global_lock_cycles(&edges, &[]);
+    assert_eq!(global.len(), 1, "{global:?}");
+    assert!(global[0].message.contains("a -> b -> a"), "{}", global[0].message);
+}
+
+#[test]
+fn r7_fires_on_each_blocking_call_under_guard() {
+    check(
+        include_str!("fixtures/r7_bad.rs"),
+        "crates/cdi-serve/src/fixture.rs",
+        "cdi-serve",
+    );
+}
+
+#[test]
+fn r7_accepts_hoisted_blocking_work() {
+    check(
+        include_str!("fixtures/r7_good.rs"),
+        "crates/cdi-serve/src/fixture.rs",
+        "cdi-serve",
+    );
+}
+
+#[test]
+fn r7_is_scoped_to_concurrent_crates() {
+    let violations = lint_source(
+        "crates/cloudbot/src/fixture.rs",
+        "cloudbot",
+        include_str!("fixtures/r7_bad.rs"),
+    );
+    assert!(
+        violations.is_empty(),
+        "R6-R8 must not apply to cloudbot, got {violations:?}"
+    );
+}
+
+#[test]
+fn r8_fires_on_unjustified_weak_orderings() {
+    check(
+        include_str!("fixtures/r8_bad.rs"),
+        "crates/cdi-serve/src/fixture.rs",
+        "cdi-serve",
+    );
+}
+
+#[test]
+fn r8_accepts_seqcst_and_justified_orderings() {
+    check(
+        include_str!("fixtures/r8_good.rs"),
+        "crates/cdi-serve/src/fixture.rs",
+        "cdi-serve",
+    );
+}
+
+#[test]
+fn r9_fires_on_unbounded_growth_into_long_lived_state() {
+    check(
+        include_str!("fixtures/r9_bad.rs"),
+        "crates/cdi-serve/src/fixture.rs",
+        "cdi-serve",
+    );
+}
+
+#[test]
+fn r9_accepts_bounded_growth_and_locals() {
+    check(
+        include_str!("fixtures/r9_good.rs"),
+        "crates/cdi-serve/src/fixture.rs",
+        "cdi-serve",
+    );
+}
+
+#[test]
+fn r9_is_scoped_to_the_serving_layer() {
+    let violations = lint_source(
+        "crates/minispark/src/fixture.rs",
+        "minispark",
+        include_str!("fixtures/r9_bad.rs"),
+    );
+    assert!(
+        violations.iter().all(|v| v.rule != RuleId::R9),
+        "R9 is cdi-serve only, got {violations:?}"
     );
 }
