@@ -18,6 +18,7 @@
 //!   bench   engine throughput probes (JSON lines)   [--iters N, default 3]
 //!   bench-serve  cdi-serve ingest/query probes      [--iters N] [--quick]
 //!   drill   cdi-serve chaos drill → BENCH_PR6.json  [--seed N] [--quick]
+//!   scenarios  detector scoring matrix → BENCH_PR8.json  [--seed N] [--quick]
 //! ```
 //!
 //! Each run also writes machine-readable JSON into `results/`.
@@ -48,6 +49,11 @@ fn main() {
     if cmd == "drill" {
         let quick = args.iter().any(|a| a == "--quick");
         run_drill(seed, quick);
+        return;
+    }
+    if cmd == "scenarios" {
+        let quick = args.iter().any(|a| a == "--quick");
+        run_scenarios(seed, quick);
         return;
     }
 
@@ -201,6 +207,68 @@ fn run_drill(seed: u64, quick: bool) {
     }
     if !report.gate.passed {
         eprintln!("chaos agreement gate FAILED");
+        std::process::exit(1);
+    }
+}
+
+fn run_scenarios(seed: u64, quick: bool) {
+    heading("Scenario suite — detector scoring matrix");
+    eprintln!(
+        "(seed {seed}{}; deterministic: two runs produce byte-identical BENCH_PR8.json)",
+        if quick { ", quick mode" } else { "" }
+    );
+    let report = match bench::scenarios::run(seed, quick) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scenario evaluation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rows: Vec<Vec<String>> = report
+        .matrix
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.scenario.clone(),
+                c.detector.clone(),
+                format!("{:.3}", c.score.precision),
+                format!("{:.3}", c.score.recall),
+                format!("{:.3}", c.score.f1),
+                c.score
+                    .mean_ttd_ms
+                    .map_or("-".to_string(), |t| format!("{:.1}", t / 60_000.0)),
+                format!("{}/{}", c.score.detected_windows, c.score.total_windows),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["scenario", "detector", "precision", "recall", "F1", "TTD (min)", "windows"],
+            &rows,
+        )
+    );
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_PR8.json", json + "\n") {
+                eprintln!("cannot write BENCH_PR8.json: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote BENCH_PR8.json");
+        }
+        Err(e) => {
+            eprintln!("scenario report failed to serialize: {e}");
+            std::process::exit(1);
+        }
+    }
+    if report.passed() {
+        println!("floor gate: PASS ({} floors)", report.floors.len());
+    } else {
+        for v in &report.violations {
+            eprintln!("floor violation: {v}");
+        }
+        eprintln!("floor gate FAILED ({} violation(s))", report.violations.len());
         std::process::exit(1);
     }
 }

@@ -14,10 +14,9 @@ pub mod drill;
 pub mod experiments;
 pub mod perfbench;
 pub mod report;
+pub mod scenarios;
 pub mod servebench;
 
-use cdi_core::catalog::{EventCatalog, PeriodKind};
-use cloudbot::collector::Collector;
 use cloudbot::pipeline::DailyPipeline;
 
 /// A pipeline whose collector samples VM metrics every `step_min` minutes
@@ -28,28 +27,13 @@ use cloudbot::pipeline::DailyPipeline;
 /// laptop-friendly; the incident-level experiments use the paper's
 /// 1-minute windows.
 pub fn pipeline_with_step(step_min: i64) -> DailyPipeline {
-    let step_ms = step_min * 60_000;
-    let mut catalog = EventCatalog::paper_defaults();
-    let specs: Vec<(String, cdi_core::catalog::EventSpec)> = catalog
-        .iter()
-        .map(|(n, s)| (n.to_string(), s.clone()))
-        .collect();
-    for (name, mut spec) in specs {
-        if let PeriodKind::Windowed { window_ms } = &mut spec.period {
-            *window_ms = step_ms;
-        }
-        catalog.register(name, spec);
-    }
-    DailyPipeline {
-        collector: Collector { vm_step: step_ms, nc_step: step_ms.max(5 * 60_000), ..Collector::default() },
-        catalog,
-        ..DailyPipeline::default()
-    }
+    DailyPipeline::with_step_ms(step_min * 60_000)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cdi_core::catalog::PeriodKind;
 
     #[test]
     fn pipeline_step_rewrites_windows() {

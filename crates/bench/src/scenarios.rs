@@ -1,0 +1,53 @@
+//! The scenario-oriented detector evaluation (`experiments scenarios`).
+//!
+//! Builds the seeded scenario catalog, runs the three standard detector
+//! adapters over every scenario, checks the scores against the pinned
+//! regression floors, and packages everything as the deterministic
+//! `BENCH_PR8.json` artifact CI byte-compares across runs.
+
+use cdi_core::error::Result;
+use scenario_suite::{
+    check_floors, default_detectors, pinned_floors, run_matrix, Floor, ScenarioConfig, ScoreMatrix,
+};
+use serde::Serialize;
+
+/// Everything `experiments scenarios` writes to `BENCH_PR8.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioReport {
+    /// The scenario × detector score matrix.
+    pub matrix: ScoreMatrix,
+    /// The floors the matrix was checked against.
+    pub floors: Vec<Floor>,
+    /// Human-readable floor breaches (empty = gate passes).
+    pub violations: Vec<String>,
+}
+
+impl ScenarioReport {
+    /// Whether the floor gate passes.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Run the full evaluation: catalog → matrix → floor check.
+pub fn run(seed: u64, quick: bool) -> Result<ScenarioReport> {
+    let cfg = if quick { ScenarioConfig::quick(seed) } else { ScenarioConfig::new(seed) };
+    let matrix = run_matrix(&cfg, &default_detectors())?;
+    let floors = pinned_floors(quick);
+    let violations = check_floors(&matrix, &floors);
+    Ok(ScenarioReport { matrix, floors, violations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_is_deterministic_and_passes_floors() {
+        let a = run(20250, true).unwrap();
+        let b = run(20250, true).unwrap();
+        assert_eq!(a.matrix, b.matrix);
+        assert!(a.passed(), "floor violations: {:?}", a.violations);
+        assert_eq!(a.matrix.cells.len(), 8 * 3);
+    }
+}

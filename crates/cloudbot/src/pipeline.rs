@@ -91,6 +91,34 @@ impl Default for DailyPipeline {
 }
 
 impl DailyPipeline {
+    /// A pipeline whose collector samples VM metrics every `step_ms`
+    /// milliseconds and whose windowed-event catalog entries match that
+    /// step, so event periods still tile the damage they represent.
+    ///
+    /// The paper's incident-level experiments use 1-minute windows; the
+    /// year-long and scenario-suite runs use 5-minute sampling to keep
+    /// runtimes laptop-friendly.
+    pub fn with_step_ms(step_ms: i64) -> DailyPipeline {
+        let mut catalog = EventCatalog::paper_defaults();
+        let specs: Vec<(String, cdi_core::catalog::EventSpec)> =
+            catalog.iter().map(|(n, s)| (n.to_string(), s.clone())).collect();
+        for (name, mut spec) in specs {
+            if let cdi_core::catalog::PeriodKind::Windowed { window_ms } = &mut spec.period {
+                *window_ms = step_ms;
+            }
+            catalog.register(name, spec);
+        }
+        DailyPipeline {
+            collector: Collector {
+                vm_step: step_ms,
+                nc_step: step_ms.max(5 * 60_000),
+                ..Collector::default()
+            },
+            catalog,
+            ..DailyPipeline::default()
+        }
+    }
+
     /// Collect and extract all events for `[start, end)`.
     ///
     /// If the world carries a [`simfleet::ChaosConfig`], its malformed

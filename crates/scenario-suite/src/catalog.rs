@@ -1,0 +1,555 @@
+//! The scenario catalog: eight named, seeded, parameterized failure
+//! stories, each with labeled ground truth.
+//!
+//! ## Seed-slot placement
+//!
+//! Every scenario schedules its incident inside one of [`SLOTS`] fixed
+//! time slots, chosen by `seed % SLOTS`, starting at
+//! `SLOT_BASE + slot · SLOT_STRIDE`. Each scenario's whole incident fits
+//! inside one stride, which gives two properties the proptests pin:
+//!
+//! - **Same seed ⇒ byte-identical**: placement, target choice, and all
+//!   intensities derive only from the seed (SplitMix64, no OS entropy).
+//! - **Different slot residues ⇒ time-disjoint damage windows**: two seeds
+//!   whose `seed % SLOTS` differ place their incidents in non-overlapping
+//!   slots, so every pair of ground-truth windows across the two builds is
+//!   disjoint.
+//!
+//! `SLOT_BASE` also guarantees every incident starts *after* the trailing
+//! calibration window of the K-Sigma adapter (12 ticks × 15 min = 3 h) and
+//! the surge detector's armed history (6 × 10 min), so no detector is
+//! structurally blind to the catalog.
+
+use cdi_core::error::{CdiError, Result};
+use cdi_core::event::Severity;
+use simfleet::faults::{DamageCategory, FaultInjection, FaultKind, FaultTarget, SimRange};
+use simfleet::scenario::{DAY, HOUR, MINUTE};
+use simfleet::topology::{DeploymentArch, Fleet, FleetConfig, NcId, VmId};
+use simfleet::{Scope, SimWorld};
+
+use crate::truth::{DamageWindow, GroundTruth, TruthScope};
+
+/// Number of disjoint incident slots in the placement scheme.
+pub const SLOTS: u64 = 4;
+/// Stride between slot starts; every scenario's incident budget fits
+/// inside one stride (the widest incident in the catalog spans 3 h).
+pub const SLOT_STRIDE: i64 = 4 * HOUR;
+/// First slot start: after every detector's calibration window.
+pub const SLOT_BASE: i64 = 5 * HOUR;
+
+/// The eight scenario names, in matrix order.
+pub const SCENARIO_NAMES: [&str; 8] = [
+    "control-plane-brownout",
+    "correlated-switch-failure",
+    "ddos-blackhole-wave",
+    "flapping-recoveries",
+    "live-migration-storm",
+    "noisy-neighbor-saturation",
+    "regional-failover",
+    "slow-burn-disk-degradation",
+];
+
+/// Parameters shared by every scenario build.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Seed driving placement, target choice, and the simulated telemetry.
+    pub seed: u64,
+    /// Fleet shape (at least two regions for the failover scenario).
+    pub fleet: FleetConfig,
+    /// Tick size of the live feed and of the per-tick damage tables.
+    pub tick_ms: i64,
+    /// Whether this is the reduced quick-mode fleet (selects which pinned
+    /// floor set applies).
+    pub quick: bool,
+}
+
+impl ScenarioConfig {
+    /// The full evaluation fleet: 2 regions × 2 AZs × 2 clusters × 2 NCs
+    /// × 4 VMs = 64 VMs, one simulated day, 15-minute ticks.
+    pub fn new(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            fleet: FleetConfig {
+                regions: vec!["r-east".into(), "r-west".into()],
+                azs_per_region: 2,
+                clusters_per_az: 2,
+                ncs_per_cluster: 2,
+                vms_per_nc: 4,
+                nc_cores: 32,
+                machine_models: vec!["modelA".into(), "modelB".into()],
+                arch: DeploymentArch::Hybrid,
+            },
+            tick_ms: 15 * MINUTE,
+            quick: false,
+        }
+    }
+
+    /// A reduced fleet (2 regions × 1 AZ × 1 cluster × 2 NCs × 2 VMs =
+    /// 8 VMs) for CI quick mode and property tests. Same horizon and
+    /// placement scheme, so floors pinned for quick mode stay meaningful.
+    pub fn quick(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            fleet: FleetConfig {
+                regions: vec!["r-east".into(), "r-west".into()],
+                azs_per_region: 1,
+                clusters_per_az: 1,
+                ncs_per_cluster: 2,
+                vms_per_nc: 2,
+                nc_cores: 16,
+                machine_models: vec!["modelA".into()],
+                arch: DeploymentArch::Hybrid,
+            },
+            quick: true,
+            ..ScenarioConfig::new(seed)
+        }
+    }
+
+    /// The incident slot this seed lands in (`seed % SLOTS`).
+    pub fn slot(&self) -> u64 {
+        self.seed % SLOTS
+    }
+
+    /// Start of this seed's incident slot.
+    pub fn incident_start(&self) -> i64 {
+        SLOT_BASE + self.slot() as i64 * SLOT_STRIDE
+    }
+}
+
+/// A built scenario: the world to evaluate plus its answer sheet.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable catalog name (one of [`SCENARIO_NAMES`]).
+    pub name: &'static str,
+    /// The seeded world with the scenario's faults injected.
+    pub world: SimWorld,
+    /// Labeled damage windows.
+    pub truth: GroundTruth,
+    /// Evaluation window start (ms).
+    pub start: i64,
+    /// Evaluation window end (ms).
+    pub end: i64,
+    /// Tick size for feeds and damage tables (ms).
+    pub tick_ms: i64,
+}
+
+/// SplitMix64: the catalog's only randomness, fully determined by the
+/// seed (stability-lint R3: no OS entropy in a deterministic crate).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seed-derived pick in `0..n` (0 when `n` is 0), salted so different
+/// decision points in one scenario draw independently.
+fn pick(seed: u64, salt: u64, n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let mut s = seed ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    (splitmix64(&mut s) % n as u64) as usize
+}
+
+/// `k` distinct VM ids drawn from the fleet, ascending. Deterministic in
+/// the seed; if the fleet holds fewer than `k` VMs, all of them.
+fn pick_vms(seed: u64, salt: u64, fleet: &Fleet, k: usize) -> Vec<VmId> {
+    let mut ids: Vec<VmId> = fleet.vms().iter().map(|v| v.id).collect();
+    ids.sort_unstable();
+    let mut out = Vec::new();
+    let mut s = seed ^ salt.wrapping_mul(0xA076_1D64_78BD_642F);
+    while !ids.is_empty() && out.len() < k {
+        let i = (splitmix64(&mut s) % ids.len() as u64) as usize;
+        out.push(ids.swap_remove(i));
+    }
+    out.sort_unstable();
+    out
+}
+
+fn window(
+    scope: TruthScope,
+    category: DamageCategory,
+    start: i64,
+    end: i64,
+    severity: Severity,
+) -> DamageWindow {
+    DamageWindow { scope, category, range: SimRange::new(start, end), severity }
+}
+
+struct Built {
+    world: SimWorld,
+    truth: GroundTruth,
+}
+
+/// Build one named scenario. Unknown names are a typed error.
+pub fn build(name: &str, cfg: &ScenarioConfig) -> Result<Scenario> {
+    let fleet = Fleet::build(&cfg.fleet);
+    let world = SimWorld::new(fleet, cfg.seed);
+    let t0 = cfg.incident_start();
+    let built = match name {
+        "regional-failover" => regional_failover(world, cfg, t0),
+        "ddos-blackhole-wave" => ddos_blackhole_wave(world, cfg, t0),
+        "noisy-neighbor-saturation" => noisy_neighbor_saturation(world, cfg, t0),
+        "control-plane-brownout" => control_plane_brownout(world, t0),
+        "live-migration-storm" => live_migration_storm(world, cfg, t0),
+        "slow-burn-disk-degradation" => slow_burn_disk_degradation(world, cfg, t0),
+        "flapping-recoveries" => flapping_recoveries(world, cfg, t0),
+        "correlated-switch-failure" => correlated_switch_failure(world, cfg, t0),
+        other => {
+            return Err(CdiError::invalid(format!(
+                "unknown scenario `{other}`; catalog: {SCENARIO_NAMES:?}"
+            )))
+        }
+    }?;
+    let static_name = SCENARIO_NAMES
+        .iter()
+        .find(|n| **n == name)
+        .copied()
+        .unwrap_or("regional-failover");
+    Ok(Scenario {
+        name: static_name,
+        world: built.world,
+        truth: built.truth,
+        start: 0,
+        end: DAY,
+        tick_ms: cfg.tick_ms,
+    })
+}
+
+/// Build the whole catalog in matrix order.
+pub fn catalog(cfg: &ScenarioConfig) -> Result<Vec<Scenario>> {
+    SCENARIO_NAMES.iter().map(|name| build(name, cfg)).collect()
+}
+
+/// An entire region's hosts go dark for 45 minutes — the paper's
+/// Unavailability story at its bluntest. Every NC in the seed-chosen
+/// region is struck; the label is a single region-scoped window.
+fn regional_failover(mut world: SimWorld, cfg: &ScenarioConfig, t0: i64) -> Result<Built> {
+    let regions = &cfg.fleet.regions;
+    if regions.len() < 2 {
+        return Err(CdiError::invalid("regional failover needs at least two regions"));
+    }
+    let region = regions[pick(cfg.seed, 0x01, regions.len())].clone();
+    let end = t0 + 45 * MINUTE;
+    let n = world.inject_scope(FaultKind::NcDown, &Scope::Region(region.clone()), t0, end);
+    if n == 0 {
+        return Err(CdiError::invalid(format!("region `{region}` resolved to no hosts")));
+    }
+    let truth = GroundTruth::new(vec![window(
+        TruthScope::Region(region),
+        DamageCategory::Unavailability,
+        t0,
+        end,
+        Severity::Fatal,
+    )]);
+    Ok(Built { world, truth })
+}
+
+/// A rolling DDoS mitigation wave: six victims are blackholed in
+/// staggered 25-minute episodes. Blackholing nulls traffic (an
+/// Unavailability stateful span) *and* saturates the loss metric, so each
+/// victim carries both an Unavailability and a Performance label.
+fn ddos_blackhole_wave(mut world: SimWorld, cfg: &ScenarioConfig, t0: i64) -> Result<Built> {
+    let victims = pick_vms(cfg.seed, 0x02, &world.fleet, 6);
+    if victims.is_empty() {
+        return Err(CdiError::invalid("empty fleet"));
+    }
+    let mut windows = Vec::new();
+    for (i, vm) in victims.iter().enumerate() {
+        let s = t0 + i as i64 * 10 * MINUTE;
+        let e = s + 25 * MINUTE;
+        world.inject(FaultInjection::new(
+            FaultKind::DdosBlackhole,
+            FaultTarget::Vm(*vm),
+            s,
+            e,
+        ));
+        windows.push(window(
+            TruthScope::Vm(*vm),
+            DamageCategory::Unavailability,
+            s,
+            e,
+            Severity::Fatal,
+        ));
+        windows.push(window(
+            TruthScope::Vm(*vm),
+            DamageCategory::Performance,
+            s,
+            e,
+            Severity::Error,
+        ));
+    }
+    Ok(Built { world, truth: GroundTruth::new(windows) })
+}
+
+/// Core-allocation overlap saturates two hosts of one cluster for two
+/// hours (the Case 5 hybrid-deployment bug as a steady-state noisy
+/// neighbor). Labels are per-NC Performance windows.
+fn noisy_neighbor_saturation(mut world: SimWorld, cfg: &ScenarioConfig, t0: i64) -> Result<Built> {
+    let clusters = world.fleet.cluster_names();
+    let cluster = clusters
+        .get(pick(cfg.seed, 0x03, clusters.len()))
+        .cloned()
+        .ok_or_else(|| CdiError::invalid("fleet has no clusters"))?;
+    let ncs: Vec<NcId> = world.fleet.ncs_in(&Scope::Cluster(cluster.clone()));
+    let afflicted: Vec<NcId> = ncs.iter().copied().take(2).collect();
+    if afflicted.is_empty() {
+        return Err(CdiError::invalid(format!("cluster `{cluster}` has no hosts")));
+    }
+    let end = t0 + 2 * HOUR;
+    let mut windows = Vec::new();
+    for nc in &afflicted {
+        world.inject(FaultInjection::new(
+            FaultKind::CpuContention { steal: 0.5 },
+            FaultTarget::Nc(*nc),
+            t0,
+            end,
+        ));
+        windows.push(window(
+            TruthScope::Nc(*nc),
+            DamageCategory::Performance,
+            t0,
+            end,
+            Severity::Error,
+        ));
+    }
+    Ok(Built { world, truth: GroundTruth::new(windows) })
+}
+
+/// The control plane browns out fleet-wide in three 20-minute pulses with
+/// 40-minute recoveries (the Case 2 / 2025-01-07 shape). Labels are
+/// global ControlPlane windows, one per pulse.
+fn control_plane_brownout(mut world: SimWorld, t0: i64) -> Result<Built> {
+    let mut windows = Vec::new();
+    for p in 0..3 {
+        let s = t0 + p * HOUR;
+        let e = s + 20 * MINUTE;
+        world.inject(FaultInjection::new(
+            FaultKind::ControlPlaneOutage,
+            FaultTarget::Global,
+            s,
+            e,
+        ));
+        windows.push(window(
+            TruthScope::Global,
+            DamageCategory::ControlPlane,
+            s,
+            e,
+            Severity::Error,
+        ));
+    }
+    Ok(Built { world, truth: GroundTruth::new(windows) })
+}
+
+/// A fleet-maintenance migration storm: eight VMs are live-migrated in
+/// staggered 8-minute waves; each suffers a 3-minute stall (down) and a
+/// 15-minute degraded tail while its disk cache re-warms.
+fn live_migration_storm(mut world: SimWorld, cfg: &ScenarioConfig, t0: i64) -> Result<Built> {
+    let movers = pick_vms(cfg.seed, 0x05, &world.fleet, 8);
+    if movers.is_empty() {
+        return Err(CdiError::invalid("empty fleet"));
+    }
+    let mut windows = Vec::new();
+    for (i, vm) in movers.iter().enumerate() {
+        let s = t0 + i as i64 * 8 * MINUTE;
+        let stall_end = s + 3 * MINUTE;
+        let tail_end = stall_end + 15 * MINUTE;
+        world.inject(FaultInjection::new(FaultKind::VmDown, FaultTarget::Vm(*vm), s, stall_end));
+        world.inject(FaultInjection::new(
+            FaultKind::SlowIo { factor: 6.0 },
+            FaultTarget::Vm(*vm),
+            stall_end,
+            tail_end,
+        ));
+        windows.push(window(
+            TruthScope::Vm(*vm),
+            DamageCategory::Unavailability,
+            s,
+            stall_end,
+            Severity::Fatal,
+        ));
+        windows.push(window(
+            TruthScope::Vm(*vm),
+            DamageCategory::Performance,
+            stall_end,
+            tail_end,
+            Severity::Critical,
+        ));
+    }
+    Ok(Built { world, truth: GroundTruth::new(windows) })
+}
+
+/// A cloud disk degrades slowly: IO latency ramps through six 30-minute
+/// steps from harmless to catastrophic. The early steps sit below the
+/// expert extractor's 8 ms threshold, so detectors necessarily fire late —
+/// this is the catalog's time-to-detect probe.
+fn slow_burn_disk_degradation(mut world: SimWorld, cfg: &ScenarioConfig, t0: i64) -> Result<Built> {
+    let vm = *pick_vms(cfg.seed, 0x06, &world.fleet, 1)
+        .first()
+        .ok_or_else(|| CdiError::invalid("empty fleet"))?;
+    const FACTORS: [f64; 6] = [2.0, 3.0, 4.5, 6.0, 9.0, 12.0];
+    for (i, factor) in FACTORS.iter().enumerate() {
+        let s = t0 + i as i64 * 30 * MINUTE;
+        world.inject(FaultInjection::new(
+            FaultKind::SlowIo { factor: *factor },
+            FaultTarget::Vm(vm),
+            s,
+            s + 30 * MINUTE,
+        ));
+    }
+    let truth = GroundTruth::new(vec![window(
+        TruthScope::Vm(vm),
+        DamageCategory::Performance,
+        t0,
+        t0 + FACTORS.len() as i64 * 30 * MINUTE,
+        Severity::Critical,
+    )]);
+    Ok(Built { world, truth })
+}
+
+/// A host NIC flaps in six 5-minute bursts, half an hour apart — the
+/// paper's Example 1, repeated until someone replaces the optics. Each
+/// burst is its own NC-scoped Performance label, probing repeated
+/// detection of flapping recoveries rather than one long incident.
+fn flapping_recoveries(mut world: SimWorld, cfg: &ScenarioConfig, t0: i64) -> Result<Built> {
+    let ncs: Vec<NcId> = world.fleet.ncs().iter().map(|n| n.id).collect();
+    let nc = *ncs
+        .get(pick(cfg.seed, 0x07, ncs.len()))
+        .ok_or_else(|| CdiError::invalid("fleet has no hosts"))?;
+    let mut windows = Vec::new();
+    for b in 0..6 {
+        let s = t0 + b * 30 * MINUTE;
+        let e = s + 5 * MINUTE;
+        world.inject(FaultInjection::new(FaultKind::NicFlapping, FaultTarget::Nc(nc), s, e));
+        windows.push(window(
+            TruthScope::Nc(nc),
+            DamageCategory::Performance,
+            s,
+            e,
+            Severity::Error,
+        ));
+    }
+    Ok(Built { world, truth: GroundTruth::new(windows) })
+}
+
+/// A top-of-rack switch fails: every host of one cluster sees 50% packet
+/// loss simultaneously for 40 minutes — the correlated batch-outage shape
+/// (BSODiag's motivation) a future diagnosis layer needs ground truth
+/// for. The label is a single cluster-scoped window.
+fn correlated_switch_failure(mut world: SimWorld, cfg: &ScenarioConfig, t0: i64) -> Result<Built> {
+    let clusters = world.fleet.cluster_names();
+    let cluster = clusters
+        .get(pick(cfg.seed, 0x08, clusters.len()))
+        .cloned()
+        .ok_or_else(|| CdiError::invalid("fleet has no clusters"))?;
+    let end = t0 + 40 * MINUTE;
+    let n = world.inject_scope(
+        FaultKind::PacketLoss { rate: 0.5 },
+        &Scope::Cluster(cluster.clone()),
+        t0,
+        end,
+    );
+    if n == 0 {
+        return Err(CdiError::invalid(format!("cluster `{cluster}` resolved to no hosts")));
+    }
+    let truth = GroundTruth::new(vec![window(
+        TruthScope::Cluster(cluster),
+        DamageCategory::Performance,
+        t0,
+        end,
+        Severity::Error,
+    )]);
+    Ok(Built { world, truth })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_builds_all_eight() {
+        let cfg = ScenarioConfig::quick(20250);
+        let all = catalog(&cfg).unwrap();
+        assert_eq!(all.len(), 8);
+        for s in &all {
+            assert!(SCENARIO_NAMES.contains(&s.name));
+            assert!(!s.truth.is_empty(), "{} has labels", s.name);
+            assert!(!s.world.faults().is_empty(), "{} injects faults", s.name);
+            assert_eq!((s.start, s.end), (0, DAY));
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_is_a_typed_error() {
+        assert!(build("nope", &ScenarioConfig::quick(1)).is_err());
+    }
+
+    #[test]
+    fn incidents_fit_inside_their_slot() {
+        for seed in [0u64, 1, 2, 3, 77, 20250] {
+            let cfg = ScenarioConfig::quick(seed);
+            let t0 = cfg.incident_start();
+            for s in catalog(&cfg).unwrap() {
+                let hull = s.truth.span().unwrap();
+                assert!(hull.start >= t0, "{} starts early", s.name);
+                assert!(
+                    hull.end <= t0 + SLOT_STRIDE,
+                    "{}: hull end {} exceeds slot end {}",
+                    s.name,
+                    hull.end,
+                    t0 + SLOT_STRIDE
+                );
+                assert!(hull.end <= DAY);
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_rebuilds_identically() {
+        let cfg = ScenarioConfig::quick(42);
+        for name in SCENARIO_NAMES {
+            let a = build(name, &cfg).unwrap();
+            let b = build(name, &cfg).unwrap();
+            assert_eq!(a.truth, b.truth, "{name}");
+            assert_eq!(a.world.faults(), b.world.faults(), "{name}");
+        }
+    }
+
+    #[test]
+    fn different_slots_are_time_disjoint() {
+        // Seeds 1 and 2 land in different slots.
+        let a = ScenarioConfig::quick(1);
+        let b = ScenarioConfig::quick(2);
+        assert_ne!(a.slot(), b.slot());
+        for name in SCENARIO_NAMES {
+            let ta = build(name, &a).unwrap().truth;
+            let tb = build(name, &b).unwrap().truth;
+            for wa in ta.windows() {
+                for wb in tb.windows() {
+                    assert!(
+                        !wa.range.overlaps(&wb.range),
+                        "{name}: {:?} overlaps {:?}",
+                        wa.range,
+                        wb.range
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truth_scopes_resolve_to_real_vms() {
+        let cfg = ScenarioConfig::new(20250);
+        for s in catalog(&cfg).unwrap() {
+            for w in s.truth.windows() {
+                assert!(
+                    !w.scope.vms(&s.world.fleet).is_empty(),
+                    "{}: scope {} covers no VMs",
+                    s.name,
+                    w.scope
+                );
+            }
+        }
+    }
+}

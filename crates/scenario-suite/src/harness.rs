@@ -1,0 +1,248 @@
+//! The scenario × detector score matrix and its regression floors.
+//!
+//! [`run_matrix`] prepares every catalog scenario once, runs every
+//! detector over each, and scores the result into a [`ScoreMatrix`] — the
+//! deterministic JSON artifact (`BENCH_PR8.json`) CI re-generates and
+//! byte-compares across runs. [`pinned_floors`] carries the per-cell F1
+//! floors: pinned just below the currently observed scores so any change
+//! that degrades a detector on a scenario it used to handle fails the
+//! gate, while honest improvements pass.
+
+use cdi_core::error::Result;
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::{catalog, ScenarioConfig};
+use crate::detector::{CdiThreshold, Detector, KSigmaDetector, SurgeDetector};
+use crate::run::ScenarioRun;
+use crate::score::{score, Score, ScoreConfig};
+
+/// One scored cell of the matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixCell {
+    /// Scenario name.
+    pub scenario: String,
+    /// Detector name.
+    pub detector: String,
+    /// The scores.
+    pub score: Score,
+}
+
+/// The full scenario × detector result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreMatrix {
+    /// Seed the catalog was built with.
+    pub seed: u64,
+    /// Whether the reduced quick-mode fleet was used.
+    pub quick: bool,
+    /// Tick size (ms) — also the matching slack.
+    pub tick_ms: i64,
+    /// Cells in scenario-major, detector-minor order.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl ScoreMatrix {
+    /// Look up one cell.
+    pub fn cell(&self, scenario: &str, detector: &str) -> Option<&MatrixCell> {
+        self.cells.iter().find(|c| c.scenario == scenario && c.detector == detector)
+    }
+}
+
+/// The three standard adapters every matrix run scores: the live-path
+/// CDI-threshold baseline, K-Sigma, and surge alerting.
+pub fn default_detectors() -> Vec<Box<dyn Detector>> {
+    vec![
+        Box::new(CdiThreshold::default()),
+        Box::new(KSigmaDetector::default()),
+        Box::new(SurgeDetector::default()),
+    ]
+}
+
+/// Build the catalog for `cfg`, prepare each scenario once, and score
+/// every detector against every scenario. Cells come out in
+/// scenario-major order (the catalog's alphabetical order), detectors in
+/// the order given.
+pub fn run_matrix(cfg: &ScenarioConfig, detectors: &[Box<dyn Detector>]) -> Result<ScoreMatrix> {
+    let quick = cfg.quick;
+    let mut cells = Vec::new();
+    for scenario in catalog(cfg)? {
+        let run = ScenarioRun::prepare(&scenario)?;
+        // Slack = one tick (detections are tick-granular); grace = the
+        // collector step (windowed derivation is backward-looking).
+        let score_cfg =
+            ScoreConfig { slack_ms: scenario.tick_ms, grace_ms: 5 * simfleet::scenario::MINUTE };
+        for d in detectors {
+            let detections = d.detect(&run)?;
+            cells.push(MatrixCell {
+                scenario: scenario.name.to_string(),
+                detector: d.name().to_string(),
+                score: score(&scenario.truth, &detections, run.fleet(), &score_cfg),
+            });
+        }
+    }
+    Ok(ScoreMatrix { seed: cfg.seed, quick, tick_ms: cfg.tick_ms, cells })
+}
+
+/// A per-cell regression floor.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Floor {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Detector name.
+    pub detector: &'static str,
+    /// Minimum acceptable F1.
+    pub min_f1: f64,
+}
+
+const fn floor(scenario: &'static str, detector: &'static str, min_f1: f64) -> Floor {
+    Floor { scenario, detector, min_f1 }
+}
+
+/// The pinned floors for the canonical seed (20250), full and quick
+/// fleets. Values sit just below the observed scores of the current
+/// implementation; `experiments scenarios` and CI fail when any cell
+/// drops under its floor.
+///
+/// The floors encode the expected *shape* of the matrix, not perfection:
+/// the CDI-threshold baseline should be strong everywhere its categories
+/// see damage, K-Sigma should catch every abrupt per-VM incident but is
+/// blind to the control plane (its series is damage-fraction only — the
+/// brownout floor is 0), and surge trades precision for fleet-level
+/// recall.
+pub fn pinned_floors(quick: bool) -> Vec<Floor> {
+    if quick {
+        // Observed at seed 20250 (quick): cdi-threshold and ksigma score
+        // 1.0 everywhere except the migration storm (0.897 — 3-minute
+        // stalls can fall between 5-minute samples). No surge floors: the
+        // 8-VM fleet cannot reach the production `min_count` of the surge
+        // scan, by design.
+        vec![
+            floor("control-plane-brownout", "cdi-threshold", 0.95),
+            floor("correlated-switch-failure", "cdi-threshold", 0.95),
+            floor("ddos-blackhole-wave", "cdi-threshold", 0.95),
+            floor("flapping-recoveries", "cdi-threshold", 0.95),
+            floor("live-migration-storm", "cdi-threshold", 0.8),
+            floor("noisy-neighbor-saturation", "cdi-threshold", 0.95),
+            floor("regional-failover", "cdi-threshold", 0.95),
+            floor("slow-burn-disk-degradation", "cdi-threshold", 0.95),
+            floor("control-plane-brownout", "ksigma", 0.95),
+            floor("correlated-switch-failure", "ksigma", 0.95),
+            floor("ddos-blackhole-wave", "ksigma", 0.95),
+            floor("regional-failover", "ksigma", 0.95),
+        ]
+    } else {
+        // Observed at seed 20250 (full): background control-plane noise
+        // costs a little precision fleet-wide; the migration storm's
+        // sub-sample stalls cost cdi-threshold recall; surge sees only
+        // the four fleet-broad incidents (its per-VM-staggered cells are
+        // deliberately ungated — that blindness is the finding).
+        vec![
+            floor("control-plane-brownout", "cdi-threshold", 0.95),
+            floor("correlated-switch-failure", "cdi-threshold", 0.9),
+            floor("ddos-blackhole-wave", "cdi-threshold", 0.9),
+            floor("flapping-recoveries", "cdi-threshold", 0.9),
+            floor("live-migration-storm", "cdi-threshold", 0.75),
+            floor("noisy-neighbor-saturation", "cdi-threshold", 0.9),
+            floor("regional-failover", "cdi-threshold", 0.9),
+            floor("slow-burn-disk-degradation", "cdi-threshold", 0.8),
+            floor("control-plane-brownout", "ksigma", 0.95),
+            floor("correlated-switch-failure", "ksigma", 0.9),
+            floor("ddos-blackhole-wave", "ksigma", 0.85),
+            floor("flapping-recoveries", "ksigma", 0.9),
+            floor("live-migration-storm", "ksigma", 0.85),
+            floor("noisy-neighbor-saturation", "ksigma", 0.9),
+            floor("regional-failover", "ksigma", 0.9),
+            floor("slow-burn-disk-degradation", "ksigma", 0.8),
+            floor("control-plane-brownout", "surge", 0.9),
+            floor("correlated-switch-failure", "surge", 0.9),
+            floor("noisy-neighbor-saturation", "surge", 0.9),
+            floor("regional-failover", "surge", 0.9),
+        ]
+    }
+}
+
+/// Check a matrix against floors. Returns one human-readable violation
+/// per breached cell (empty = pass). A floor whose cell is missing from
+/// the matrix is itself a violation — renaming a scenario must not
+/// silently disarm its gate.
+pub fn check_floors(matrix: &ScoreMatrix, floors: &[Floor]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for f in floors {
+        match matrix.cell(f.scenario, f.detector) {
+            None => violations.push(format!(
+                "{} × {}: cell missing from matrix (floor {})",
+                f.scenario, f.detector, f.min_f1
+            )),
+            Some(cell) => {
+                if cell.score.f1 < f.min_f1 {
+                    violations.push(format!(
+                        "{} × {}: F1 {:.4} below floor {:.4} (p {:.4}, r {:.4})",
+                        f.scenario,
+                        f.detector,
+                        cell.score.f1,
+                        f.min_f1,
+                        cell.score.precision,
+                        cell.score.recall
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::GroundTruth;
+
+    fn dummy_matrix() -> ScoreMatrix {
+        let s = score(
+            &GroundTruth::new(vec![]),
+            &[],
+            &simfleet::topology::Fleet::build(&ScenarioConfig::quick(0).fleet),
+            &ScoreConfig::default(),
+        );
+        ScoreMatrix {
+            seed: 0,
+            quick: true,
+            tick_ms: 1,
+            cells: vec![MatrixCell {
+                scenario: "regional-failover".into(),
+                detector: "cdi-threshold".into(),
+                score: s,
+            }],
+        }
+    }
+
+    #[test]
+    fn check_floors_flags_low_and_missing_cells() {
+        let mut m = dummy_matrix();
+        // Perfect vacuous score passes any floor.
+        let pass = check_floors(&m, &[floor("regional-failover", "cdi-threshold", 0.9)]);
+        assert!(pass.is_empty(), "{pass:?}");
+        // Degrade the cell below the floor.
+        m.cells[0].score.f1 = 0.1;
+        let fail = check_floors(&m, &[floor("regional-failover", "cdi-threshold", 0.9)]);
+        assert_eq!(fail.len(), 1);
+        assert!(fail[0].contains("below floor"));
+        // A missing cell is a violation, not a silent pass.
+        let missing = check_floors(&m, &[floor("nope", "cdi-threshold", 0.1)]);
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].contains("missing"));
+    }
+
+    #[test]
+    fn floors_reference_known_names() {
+        for quick in [true, false] {
+            for f in pinned_floors(quick) {
+                assert!(
+                    crate::catalog::SCENARIO_NAMES.contains(&f.scenario),
+                    "floor references unknown scenario {}",
+                    f.scenario
+                );
+                assert!(["cdi-threshold", "ksigma", "surge"].contains(&f.detector));
+                assert!((0.0..=1.0).contains(&f.min_f1));
+            }
+        }
+    }
+}

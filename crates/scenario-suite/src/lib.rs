@@ -1,0 +1,57 @@
+//! # scenario-suite — scenario-oriented stability evaluation
+//!
+//! The paper's core claim is that stability must be evaluated across *many
+//! kinds* of degradation, not just downtime. This crate turns that claim
+//! into a regression-gated benchmark: a catalog of named, seeded,
+//! parameterized failure scenarios — each emitting a deterministic event
+//! stream **and** a labeled [`GroundTruth`](truth::GroundTruth) of damage
+//! windows — plus a scoring harness that runs any detector implementing the
+//! small [`Detector`](detector::Detector) trait against every scenario and
+//! reports precision / recall / F1 / time-to-detect per cell.
+//!
+//! - [`truth`] — labeled damage windows: scope (VM → NC → cluster → AZ →
+//!   region → global), damage category, time range, expected severity.
+//! - [`catalog`] — the eight scenarios (regional failover, DDoS blackhole
+//!   wave, noisy neighbor, control-plane brownout, live-migration storm,
+//!   slow-burn disk degradation, flapping recoveries, correlated switch
+//!   failure) and the seed-slot placement scheme that makes different seeds
+//!   produce time-disjoint incidents.
+//! - [`run`] — a prepared scenario: extracted events, the live
+//!   [`LiveFeed`](cloudbot::feed::LiveFeed), and the batch per-tick damage
+//!   table every detector can share.
+//! - [`table`] — per-VM, per-category, per-tick damage-fraction tables,
+//!   computed either from raw [`CdiAccumulator`](cdi_core::streaming) triples
+//!   (the batch path) or through a sharded live
+//!   [`CdiService`](cdi_serve::CdiService) (the serving path). The two are
+//!   the batch/live parity pair of `tests/serve_parity.rs`.
+//! - [`detector`] — the trait plus three adapters: a CDI-threshold baseline
+//!   over the live stream, `statskit`'s K-Sigma on per-VM damage series, and
+//!   `cloudbot`'s event-surge alerting.
+//! - [`score`] — the matching and scoring math (window `[start, end)`
+//!   semantics, scope overlap through the fleet, optional slack).
+//! - [`harness`] — the scenario × detector [`ScoreMatrix`](harness::ScoreMatrix)
+//!   with pinned per-cell regression floors (`BENCH_PR8.json`).
+//!
+//! Everything is clock-free and seeded (stability-lint R3) and panic-free
+//! outside tests (R1): failures travel as [`cdi_core::error::CdiError`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+pub mod detector;
+pub mod harness;
+pub mod run;
+pub mod score;
+pub mod table;
+pub mod truth;
+
+pub use catalog::{build, catalog, Scenario, ScenarioConfig, SCENARIO_NAMES};
+pub use detector::{CdiThreshold, Detection, Detector, KSigmaDetector, SurgeDetector};
+pub use harness::{
+    check_floors, default_detectors, pinned_floors, run_matrix, Floor, MatrixCell, ScoreMatrix,
+};
+pub use run::ScenarioRun;
+pub use score::{score, Score, ScoreConfig};
+pub use truth::{DamageWindow, GroundTruth, TruthScope};

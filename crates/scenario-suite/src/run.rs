@@ -1,0 +1,88 @@
+//! A prepared scenario: the shared inputs every detector consumes.
+//!
+//! Preparing a scenario runs the expensive, detector-independent work once —
+//! extraction, span derivation, live-feed slicing, and the batch per-tick
+//! damage table — so a matrix run with N detectors pays for the pipeline
+//! once, not N times, and all detectors provably score the *same* input.
+
+use cdi_core::error::Result;
+use cdi_core::event::RawEvent;
+use cloudbot::feed::LiveFeed;
+use cloudbot::pipeline::DailyPipeline;
+use simfleet::scenario::MINUTE;
+use simfleet::topology::Fleet;
+
+use crate::catalog::Scenario;
+use crate::table::{batch_table, TickTable};
+
+/// A scenario plus everything derived from it that detectors share.
+#[derive(Debug)]
+pub struct ScenarioRun {
+    /// The scenario being evaluated.
+    pub scenario: Scenario,
+    /// The pipeline used for extraction and span derivation (5-minute
+    /// sampling, the scenario-suite default).
+    pub pipeline: DailyPipeline,
+    /// All extracted raw events over the evaluation window.
+    pub events: Vec<RawEvent>,
+    /// The window replayed as watermarked tick batches (the live path's
+    /// input; also what `tests/serve_parity.rs` feeds `cdi-serve`).
+    pub feed: LiveFeed,
+    /// Per-VM, per-category, per-tick damage fractions computed on the
+    /// batch accumulator path.
+    pub batch: TickTable,
+}
+
+impl ScenarioRun {
+    /// Run extraction, feed slicing, and the batch damage table for a
+    /// scenario.
+    pub fn prepare(scenario: &Scenario) -> Result<ScenarioRun> {
+        let pipeline = DailyPipeline::with_step_ms(5 * MINUTE);
+        let events = pipeline.events(&scenario.world, scenario.start, scenario.end);
+        let feed = LiveFeed::build(
+            &pipeline,
+            &scenario.world,
+            scenario.start,
+            scenario.end,
+            scenario.tick_ms,
+        )?;
+        let batch = batch_table(&pipeline, scenario, &events)?;
+        Ok(ScenarioRun { scenario: scenario.clone(), pipeline, events, feed, batch })
+    }
+
+    /// The fleet the scenario runs on (scoring resolves truth scopes
+    /// against it).
+    pub fn fleet(&self) -> &Fleet {
+        &self.scenario.world.fleet
+    }
+
+    /// Number of ticks in the evaluation window.
+    pub fn ticks(&self) -> usize {
+        self.feed.batches.len()
+    }
+
+    /// Start timestamp of tick `i`.
+    pub fn tick_start(&self, i: usize) -> i64 {
+        self.scenario.start + i as i64 * self.scenario.tick_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{build, ScenarioConfig};
+
+    #[test]
+    fn prepare_extracts_events_and_tables() {
+        let cfg = ScenarioConfig::quick(3);
+        let s = build("regional-failover", &cfg).unwrap();
+        let run = ScenarioRun::prepare(&s).unwrap();
+        assert!(!run.events.is_empty(), "a regional outage must extract events");
+        assert_eq!(run.ticks(), ((s.end - s.start) / s.tick_ms) as usize);
+        assert_eq!(run.tick_start(0), s.start);
+        assert_eq!(run.tick_start(4), s.start + 4 * s.tick_ms);
+        assert_eq!(run.batch.ticks(), run.ticks());
+        assert_eq!(run.batch.vms().len(), run.fleet().vms().len());
+        assert!(run.feed.quarantined.is_empty(), "clean worlds quarantine nothing");
+    }
+}

@@ -1,0 +1,145 @@
+//! Matching detections against labeled windows and turning the match into
+//! precision / recall / F1 / time-to-detect.
+//!
+//! ## Matching semantics (pinned by `tests/scoring_fixtures.rs`)
+//!
+//! A detection carries a point timestamp plus a slack horizon
+//! ([`ScoreConfig::slack_ms`], normally one tick): it *claims* the
+//! half-open interval `[time, time + max(slack, 1))`. A detection matches
+//! a window iff
+//!
+//! 1. its claimed interval overlaps the window's half-open range, with
+//!    the window start pulled back by [`ScoreConfig::grace_ms`] (so a
+//!    detection exactly at `start` matches, one exactly at `end` with zero
+//!    slack does not),
+//! 2. its scope shares at least one VM with the window's scope under the
+//!    scenario fleet (a region-wide label is satisfied by a detection on
+//!    any VM inside it), and
+//! 3. its category, when it states one, equals the window's (a
+//!    category-free detection matches any category).
+//!
+//! Precision is over detections (`matched / emitted`; vacuously 1 when
+//! nothing was emitted), recall over windows (`detected / labeled`;
+//! vacuously 1 when nothing was labeled), F1 their harmonic mean (0 when
+//! both are 0). Time-to-detect of a window is the earliest matching
+//! detection's time minus the window start, clamped at 0 for detections
+//! whose slack reached *forward* into the window; the reported value is
+//! the mean over detected windows only (`None` when nothing was
+//! detected).
+
+use serde::{Deserialize, Serialize};
+use simfleet::faults::SimRange;
+use simfleet::topology::Fleet;
+
+use crate::detector::Detection;
+use crate::truth::GroundTruth;
+
+/// Matching parameters.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ScoreConfig {
+    /// How far past its timestamp a detection claims (ms). The harness
+    /// passes the tick size: a tick-granular detector that fires on the
+    /// tick *containing* a short burst still matches it.
+    pub slack_ms: i64,
+    /// Backward grace on window starts (ms): a window `[s, e)` accepts
+    /// detections as if it started at `s − grace`. The harness passes the
+    /// collector step, because windowed period derivation is
+    /// backward-looking (`[t − window, t]`): the first in-fault sample
+    /// legitimately attributes damage to the collector window *preceding*
+    /// the fault start.
+    pub grace_ms: i64,
+}
+
+/// A scored scenario × detector cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Score {
+    /// Labeled windows in the ground truth.
+    pub total_windows: usize,
+    /// Windows with at least one matching detection.
+    pub detected_windows: usize,
+    /// Detections emitted.
+    pub detections: usize,
+    /// Detections matching at least one window.
+    pub matched_detections: usize,
+    /// `matched_detections / detections` (1 when no detections).
+    pub precision: f64,
+    /// `detected_windows / total_windows` (1 when no windows).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub f1: f64,
+    /// Mean over detected windows of `max(0, first matching detection −
+    /// window start)` in ms; `None` when no window was detected.
+    pub mean_ttd_ms: Option<f64>,
+}
+
+fn matches(d: &Detection, w: &crate::truth::DamageWindow, fleet: &Fleet, cfg: &ScoreConfig) -> bool {
+    let claimed = SimRange::new(d.time, d.time + cfg.slack_ms.max(1));
+    let accepted = SimRange::new(w.range.start - cfg.grace_ms, w.range.end);
+    if !claimed.overlaps(&accepted) {
+        return false;
+    }
+    if let Some(cat) = d.category {
+        if cat != w.category {
+            return false;
+        }
+    }
+    d.scope.overlaps(&w.scope, fleet)
+}
+
+/// Score a detection list against a ground truth over a fleet.
+pub fn score(
+    truth: &GroundTruth,
+    detections: &[Detection],
+    fleet: &Fleet,
+    cfg: &ScoreConfig,
+) -> Score {
+    let mut matched_detections = 0usize;
+    let mut detected_windows = 0usize;
+    let mut ttds: Vec<f64> = Vec::new();
+    for d in detections {
+        if truth.windows().iter().any(|w| matches(d, w, fleet, cfg)) {
+            matched_detections += 1;
+        }
+    }
+    for w in truth.windows() {
+        let first = detections
+            .iter()
+            .filter(|d| matches(d, w, fleet, cfg))
+            .map(|d| d.time)
+            .min();
+        if let Some(t) = first {
+            detected_windows += 1;
+            ttds.push(cdi_core::num::ms_f64((t - w.range.start).max(0)));
+        }
+    }
+    let precision = if detections.is_empty() {
+        1.0
+    } else {
+        cdi_core::num::count_f64(matched_detections) / cdi_core::num::count_f64(detections.len())
+    };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        cdi_core::num::count_f64(detected_windows) / cdi_core::num::count_f64(truth.len())
+    };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    let mean_ttd_ms = if ttds.is_empty() {
+        None
+    } else {
+        Some(ttds.iter().sum::<f64>() / cdi_core::num::count_f64(ttds.len()))
+    };
+    Score {
+        total_windows: truth.len(),
+        detected_windows,
+        detections: detections.len(),
+        matched_detections,
+        precision,
+        recall,
+        f1,
+        mean_ttd_ms,
+    }
+}

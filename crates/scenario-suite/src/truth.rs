@@ -1,0 +1,243 @@
+//! Labeled ground truth: who was damaged, how, when, and how badly.
+//!
+//! Every scenario in the [`catalog`](crate::catalog) emits a
+//! [`GroundTruth`] alongside its event stream — the oracle's answer sheet a
+//! [`Detector`](crate::detector::Detector) is scored against. A label is a
+//! [`DamageWindow`]: a topology scope (which can be a single VM, a whole
+//! host, or an entire region), the damaged stability category (per the
+//! paper's Definition 1), a half-open time range, and the expected
+//! severity. Scopes are resolved against the fleet placement at scoring
+//! time, so a detection on any VM inside a region-scoped window counts.
+
+use cdi_core::event::Severity;
+use serde::{Deserialize, Serialize};
+use simfleet::faults::{DamageCategory, SimRange};
+use simfleet::topology::{Fleet, NcId, VmId};
+use simfleet::Scope;
+
+/// Where a damage label applies. A superset of [`simfleet::Scope`] with a
+/// `Global` level for fleet-wide control-plane incidents.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TruthScope {
+    /// A single VM.
+    Vm(VmId),
+    /// One physical host and everything on it.
+    Nc(NcId),
+    /// A cluster, by name.
+    Cluster(String),
+    /// An availability zone, by name.
+    Az(String),
+    /// A whole region, by name.
+    Region(String),
+    /// The entire fleet.
+    Global,
+}
+
+impl TruthScope {
+    /// The VMs this scope covers under `fleet`'s placement, ascending.
+    /// Unknown names and ids cover nothing (the empty-rollup convention of
+    /// [`Fleet::vms_in`]).
+    pub fn vms(&self, fleet: &Fleet) -> Vec<VmId> {
+        match self {
+            TruthScope::Vm(id) => fleet.vms_in(&Scope::Vm(*id)),
+            TruthScope::Nc(id) => fleet.vms_in(&Scope::Nc(*id)),
+            TruthScope::Cluster(name) => fleet.vms_in(&Scope::Cluster(name.clone())),
+            TruthScope::Az(name) => fleet.vms_in(&Scope::Az(name.clone())),
+            TruthScope::Region(name) => fleet.vms_in(&Scope::Region(name.clone())),
+            TruthScope::Global => {
+                let mut all: Vec<VmId> = fleet.vms().iter().map(|v| v.id).collect();
+                all.sort_unstable();
+                all
+            }
+        }
+    }
+
+    /// Whether two scopes cover at least one common VM under `fleet`.
+    /// `Global` overlaps everything, including another `Global`.
+    pub fn overlaps(&self, other: &TruthScope, fleet: &Fleet) -> bool {
+        if matches!(self, TruthScope::Global) || matches!(other, TruthScope::Global) {
+            return true;
+        }
+        let a = self.vms(fleet);
+        let b = other.vms(fleet);
+        // Both sorted ascending: a single merge walk finds any intersection.
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// A total-order key for deterministic sorting and display: variant
+    /// rank, numeric id, name.
+    pub(crate) fn sort_key(&self) -> (u8, u64, &str) {
+        match self {
+            TruthScope::Vm(id) => (0, *id, ""),
+            TruthScope::Nc(id) => (1, *id, ""),
+            TruthScope::Cluster(name) => (2, 0, name),
+            TruthScope::Az(name) => (3, 0, name),
+            TruthScope::Region(name) => (4, 0, name),
+            TruthScope::Global => (5, 0, ""),
+        }
+    }
+}
+
+impl std::fmt::Display for TruthScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TruthScope::Vm(id) => write!(f, "vm-{id}"),
+            TruthScope::Nc(id) => write!(f, "nc-{id}"),
+            TruthScope::Cluster(name) => write!(f, "cluster-{name}"),
+            TruthScope::Az(name) => write!(f, "az-{name}"),
+            TruthScope::Region(name) => write!(f, "region-{name}"),
+            TruthScope::Global => write!(f, "global"),
+        }
+    }
+}
+
+/// One labeled damage interval: the unit a detector is scored against.
+///
+/// The range is half-open `[start, end)`, matching [`SimRange`] and the
+/// rest of the pipeline: a detection exactly at `start` is inside the
+/// window, one exactly at `end` is outside.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DamageWindow {
+    /// Where the damage lands.
+    pub scope: TruthScope,
+    /// Which stability category is damaged.
+    pub category: DamageCategory,
+    /// When the damage is active, half-open.
+    pub range: SimRange,
+    /// Expected severity of the extracted events.
+    pub severity: Severity,
+}
+
+/// The full answer sheet of one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    windows: Vec<DamageWindow>,
+}
+
+/// Deterministic ordering rank of a category (catalog order of
+/// [`cdi_core::event::Category::ALL`]).
+pub fn category_rank(category: DamageCategory) -> u8 {
+    match category {
+        DamageCategory::Unavailability => 0,
+        DamageCategory::Performance => 1,
+        DamageCategory::ControlPlane => 2,
+    }
+}
+
+impl GroundTruth {
+    /// Build a ground truth; windows are sorted into a deterministic total
+    /// order (start, end, scope, category) so serializations are stable
+    /// regardless of construction order.
+    pub fn new(mut windows: Vec<DamageWindow>) -> GroundTruth {
+        windows.sort_by(|a, b| {
+            (a.range.start, a.range.end, a.scope.sort_key(), category_rank(a.category)).cmp(&(
+                b.range.start,
+                b.range.end,
+                b.scope.sort_key(),
+                category_rank(b.category),
+            ))
+        });
+        GroundTruth { windows }
+    }
+
+    /// The labeled windows, in deterministic order.
+    pub fn windows(&self) -> &[DamageWindow] {
+        &self.windows
+    }
+
+    /// Number of labeled windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether there are no labels (a healthy-world scenario).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The hull `[min start, max end)` of all windows, if any.
+    pub fn span(&self) -> Option<SimRange> {
+        let start = self.windows.iter().map(|w| w.range.start).min()?;
+        let end = self.windows.iter().map(|w| w.range.end).max()?;
+        Some(SimRange::new(start, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simfleet::topology::{DeploymentArch, FleetConfig};
+
+    fn fleet() -> Fleet {
+        Fleet::build(&FleetConfig {
+            regions: vec!["r1".into(), "r2".into()],
+            azs_per_region: 2,
+            clusters_per_az: 1,
+            ncs_per_cluster: 2,
+            vms_per_nc: 2,
+            nc_cores: 8,
+            machine_models: vec!["m".into()],
+            arch: DeploymentArch::Hybrid,
+        })
+    }
+
+    #[test]
+    fn scope_resolution_matches_topology() {
+        let f = fleet();
+        assert_eq!(TruthScope::Vm(3).vms(&f), vec![3]);
+        assert_eq!(TruthScope::Nc(0).vms(&f).len(), 2);
+        assert_eq!(TruthScope::Region("r1".into()).vms(&f).len(), 8);
+        assert_eq!(TruthScope::Global.vms(&f).len(), 16);
+        assert!(TruthScope::Region("nope".into()).vms(&f).is_empty());
+    }
+
+    #[test]
+    fn overlap_walks_the_hierarchy() {
+        let f = fleet();
+        let vm0_host = f.vm(0).map(|v| v.nc).unwrap_or_default();
+        assert!(TruthScope::Vm(0).overlaps(&TruthScope::Nc(vm0_host), &f));
+        assert!(TruthScope::Vm(0).overlaps(&TruthScope::Region("r1".into()), &f));
+        assert!(!TruthScope::Region("r1".into()).overlaps(&TruthScope::Region("r2".into()), &f));
+        assert!(TruthScope::Global.overlaps(&TruthScope::Vm(9999), &f), "global covers all");
+        assert!(!TruthScope::Vm(0).overlaps(&TruthScope::Vm(1), &f));
+    }
+
+    #[test]
+    fn ground_truth_sorts_deterministically() {
+        let w1 = DamageWindow {
+            scope: TruthScope::Vm(5),
+            category: DamageCategory::Performance,
+            range: SimRange::new(100, 200),
+            severity: Severity::Error,
+        };
+        let w2 = DamageWindow {
+            scope: TruthScope::Vm(1),
+            category: DamageCategory::Unavailability,
+            range: SimRange::new(50, 80),
+            severity: Severity::Fatal,
+        };
+        let a = GroundTruth::new(vec![w1.clone(), w2.clone()]);
+        let b = GroundTruth::new(vec![w2, w1]);
+        assert_eq!(a, b);
+        assert_eq!(a.windows()[0].range.start, 50);
+        assert_eq!(a.span(), Some(SimRange::new(50, 200)));
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert!(GroundTruth::new(vec![]).span().is_none());
+    }
+
+    #[test]
+    fn scope_display_is_stable() {
+        assert_eq!(TruthScope::Vm(7).to_string(), "vm-7");
+        assert_eq!(TruthScope::Global.to_string(), "global");
+        assert_eq!(TruthScope::Region("r1".into()).to_string(), "region-r1");
+    }
+}

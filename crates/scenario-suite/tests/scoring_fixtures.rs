@@ -1,0 +1,172 @@
+//! Hand-computed scoring fixtures: every branch of the precision /
+//! recall / TTD math checked against values derived on paper, including
+//! the degenerate and boundary cases the matrix must get right.
+
+use cdi_core::event::Severity;
+use scenario_suite::detector::Detection;
+use scenario_suite::score::{score, ScoreConfig};
+use scenario_suite::truth::{DamageWindow, GroundTruth, TruthScope};
+use simfleet::faults::{DamageCategory, SimRange};
+use simfleet::topology::{DeploymentArch, Fleet, FleetConfig};
+
+fn fleet() -> Fleet {
+    // 2 regions × 1 AZ × 1 cluster × 2 NCs × 2 VMs = 8 VMs (0..8).
+    Fleet::build(&FleetConfig {
+        regions: vec!["r1".into(), "r2".into()],
+        azs_per_region: 1,
+        clusters_per_az: 1,
+        ncs_per_cluster: 2,
+        vms_per_nc: 2,
+        nc_cores: 8,
+        machine_models: vec!["m".into()],
+        arch: DeploymentArch::Hybrid,
+    })
+}
+
+fn window(vm: u64, start: i64, end: i64) -> DamageWindow {
+    DamageWindow {
+        scope: TruthScope::Vm(vm),
+        category: DamageCategory::Performance,
+        range: SimRange::new(start, end),
+        severity: Severity::Error,
+    }
+}
+
+fn det(vm: u64, time: i64) -> Detection {
+    Detection {
+        scope: TruthScope::Vm(vm),
+        time,
+        category: Some(DamageCategory::Performance),
+    }
+}
+
+const CFG: ScoreConfig = ScoreConfig { slack_ms: 0, grace_ms: 0 };
+
+#[test]
+fn zero_detections_is_perfect_precision_zero_recall() {
+    let truth = GroundTruth::new(vec![window(0, 100, 200)]);
+    let s = score(&truth, &[], &fleet(), &CFG);
+    assert_eq!(s.precision, 1.0);
+    assert_eq!(s.recall, 0.0);
+    assert_eq!(s.f1, 0.0);
+    assert_eq!(s.mean_ttd_ms, None);
+    assert_eq!((s.detections, s.matched_detections), (0, 0));
+    assert_eq!((s.total_windows, s.detected_windows), (1, 0));
+}
+
+#[test]
+fn zero_windows_makes_every_detection_false() {
+    let truth = GroundTruth::new(vec![]);
+    let s = score(&truth, &[det(0, 100), det(1, 200)], &fleet(), &CFG);
+    assert_eq!(s.precision, 0.0);
+    assert_eq!(s.recall, 1.0, "vacuous recall: nothing to miss");
+    assert_eq!(s.f1, 0.0);
+    assert_eq!(s.mean_ttd_ms, None);
+}
+
+#[test]
+fn empty_truth_and_no_detections_is_vacuously_perfect() {
+    let s = score(&GroundTruth::new(vec![]), &[], &fleet(), &CFG);
+    assert_eq!((s.precision, s.recall, s.f1), (1.0, 1.0, 1.0));
+    assert_eq!(s.mean_ttd_ms, None);
+}
+
+#[test]
+fn hand_computed_partial_match() {
+    // 3 windows on VM 0; 4 detections, 2 inside windows.
+    // precision = 2/4 = 0.5, recall = 2/3, F1 = 2·(1/2)·(2/3)/(1/2+2/3) = 4/7.
+    let truth = GroundTruth::new(vec![
+        window(0, 100, 200),
+        window(0, 300, 400),
+        window(0, 500, 600),
+    ]);
+    let dets = vec![det(0, 150), det(0, 350), det(0, 450), det(0, 700)];
+    let s = score(&truth, &dets, &fleet(), &CFG);
+    assert_eq!(s.precision, 0.5);
+    assert!((s.recall - 2.0 / 3.0).abs() < 1e-12);
+    assert!((s.f1 - 4.0 / 7.0).abs() < 1e-12);
+    // TTD: windows detected at 150 (ttd 50) and 350 (ttd 50) → mean 50.
+    assert_eq!(s.mean_ttd_ms, Some(50.0));
+}
+
+#[test]
+fn one_detection_can_satisfy_overlapping_windows() {
+    // Two overlapping labels (e.g. DDoS: unavailability + performance on
+    // the same interval) detected by a single category-free detection.
+    let truth = GroundTruth::new(vec![
+        DamageWindow {
+            scope: TruthScope::Vm(0),
+            category: DamageCategory::Unavailability,
+            range: SimRange::new(100, 300),
+            severity: Severity::Fatal,
+        },
+        DamageWindow {
+            scope: TruthScope::Vm(0),
+            category: DamageCategory::Performance,
+            range: SimRange::new(150, 250),
+            severity: Severity::Error,
+        },
+    ]);
+    let dets = vec![Detection { scope: TruthScope::Vm(0), time: 200, category: None }];
+    let s = score(&truth, &dets, &fleet(), &CFG);
+    assert_eq!((s.detected_windows, s.total_windows), (2, 2));
+    assert_eq!((s.matched_detections, s.detections), (1, 1));
+    assert_eq!((s.precision, s.recall, s.f1), (1.0, 1.0, 1.0));
+}
+
+#[test]
+fn boundaries_are_half_open() {
+    let truth = GroundTruth::new(vec![window(0, 100, 200)]);
+    // Exactly at start: inside. Exactly at end: outside (zero slack).
+    assert_eq!(score(&truth, &[det(0, 100)], &fleet(), &CFG).recall, 1.0);
+    assert_eq!(score(&truth, &[det(0, 200)], &fleet(), &CFG).recall, 0.0);
+    assert_eq!(score(&truth, &[det(0, 99)], &fleet(), &CFG).recall, 0.0);
+    // Slack lets a tick-start detection reach forward into the window.
+    let slack = ScoreConfig { slack_ms: 10, grace_ms: 0 };
+    assert_eq!(score(&truth, &[det(0, 95)], &fleet(), &slack).recall, 1.0);
+    // Grace pulls the window start back for backward-looking derivation.
+    let grace = ScoreConfig { slack_ms: 0, grace_ms: 10 };
+    assert_eq!(score(&truth, &[det(0, 95)], &fleet(), &grace).recall, 1.0);
+    assert_eq!(score(&truth, &[det(0, 85)], &fleet(), &grace).recall, 0.0);
+}
+
+#[test]
+fn early_detection_ttd_clamps_at_zero() {
+    let truth = GroundTruth::new(vec![window(0, 100, 200)]);
+    let grace = ScoreConfig { slack_ms: 0, grace_ms: 20 };
+    let s = score(&truth, &[det(0, 90)], &fleet(), &grace);
+    assert_eq!(s.recall, 1.0);
+    assert_eq!(s.mean_ttd_ms, Some(0.0), "detections before the start count as 0, not negative");
+}
+
+#[test]
+fn scope_and_category_must_both_agree() {
+    let truth = GroundTruth::new(vec![window(0, 100, 200)]);
+    // Right time, wrong VM.
+    assert_eq!(score(&truth, &[det(1, 150)], &fleet(), &CFG).recall, 0.0);
+    // Right time and VM, wrong category.
+    let wrong_cat = Detection {
+        scope: TruthScope::Vm(0),
+        time: 150,
+        category: Some(DamageCategory::Unavailability),
+    };
+    assert_eq!(score(&truth, &[wrong_cat], &fleet(), &CFG).recall, 0.0);
+    // Category-free matches; so does an enclosing scope (VM 0's host).
+    let no_cat = Detection { scope: TruthScope::Vm(0), time: 150, category: None };
+    assert_eq!(score(&truth, &[no_cat], &fleet(), &CFG).recall, 1.0);
+    let host = fleet().vm(0).map(|v| v.nc).unwrap_or_default();
+    let nc_scope = Detection { scope: TruthScope::Nc(host), time: 150, category: None };
+    assert_eq!(score(&truth, &[nc_scope], &fleet(), &CFG).recall, 1.0);
+    // Global detections satisfy any scope.
+    let global = Detection { scope: TruthScope::Global, time: 150, category: None };
+    assert_eq!(score(&truth, &[global], &fleet(), &CFG).recall, 1.0);
+}
+
+#[test]
+fn ttd_uses_the_earliest_matching_detection() {
+    let truth = GroundTruth::new(vec![window(0, 1000, 5000)]);
+    let dets = vec![det(0, 4000), det(0, 1500), det(0, 3000)];
+    let s = score(&truth, &dets, &fleet(), &CFG);
+    assert_eq!(s.mean_ttd_ms, Some(500.0));
+    assert_eq!(s.matched_detections, 3);
+}

@@ -253,6 +253,36 @@ impl Fleet {
         out
     }
 
+    /// NCs inside a hierarchy scope, in ascending id order. A `Vm` scope
+    /// resolves to its current host; unknown names and ids yield an empty
+    /// list, mirroring [`Fleet::vms_in`].
+    pub fn ncs_in(&self, scope: &Scope) -> Vec<NcId> {
+        let mut out: Vec<NcId> = match scope {
+            Scope::Region(name) => {
+                self.ncs.iter().filter(|n| &n.region == name).map(|n| n.id).collect()
+            }
+            Scope::Az(name) => {
+                self.ncs.iter().filter(|n| &n.az == name).map(|n| n.id).collect()
+            }
+            Scope::Cluster(name) => {
+                self.ncs.iter().filter(|n| &n.cluster == name).map(|n| n.id).collect()
+            }
+            Scope::Nc(id) => self.nc(*id).map(|n| vec![n.id]).unwrap_or_default(),
+            Scope::Vm(id) => self.host_of(*id).map(|n| vec![n.id]).unwrap_or_default(),
+        };
+        out.sort_unstable();
+        out
+    }
+
+    /// Sorted cluster names, the enumeration space of
+    /// [`Scope::Cluster`]-targeted fault campaigns.
+    pub fn cluster_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.ncs.iter().map(|n| n.cluster.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
     /// Migrate a VM to a new host (live migration / cold migration effect).
     /// Fails if the destination is locked, decommissioned, or unknown.
     pub fn migrate(&mut self, vm: VmId, to: NcId) -> Result<(), String> {
@@ -457,6 +487,34 @@ mod tests {
         for vm in f.vms_in(&Scope::Az("r1-b".into())) {
             assert!(region.contains(&vm));
         }
+    }
+
+    #[test]
+    fn ncs_in_selects_the_hierarchy() {
+        let f = small_fleet();
+        // 2 regions × 2 AZs × 1 cluster × 2 NCs.
+        assert_eq!(f.ncs_in(&Scope::Region("r1".into())).len(), 4);
+        assert_eq!(f.ncs_in(&Scope::Az("r1-a".into())).len(), 2);
+        assert_eq!(f.ncs_in(&Scope::Cluster("r1-a-c0".into())).len(), 2);
+        assert_eq!(f.ncs_in(&Scope::Nc(1)), vec![1]);
+        // A VM scope resolves to its host.
+        let vm = f.vms()[0].clone();
+        assert_eq!(f.ncs_in(&Scope::Vm(vm.id)), vec![vm.nc]);
+        assert!(f.ncs_in(&Scope::Region("nope".into())).is_empty());
+        assert!(f.ncs_in(&Scope::Nc(9999)).is_empty());
+        assert!(f.ncs_in(&Scope::Vm(9999)).is_empty());
+        // Sorted ascending.
+        let ids = f.ncs_in(&Scope::Region("r2".into()));
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn cluster_names_sorted_unique() {
+        let f = small_fleet();
+        let names = f.cluster_names();
+        assert_eq!(names.len(), 4);
+        assert!(names.windows(2).all(|w| w[0] < w[1]));
+        assert!(names.contains(&"r1-a-c0".to_string()));
     }
 
     #[test]

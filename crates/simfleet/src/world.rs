@@ -128,6 +128,35 @@ impl SimWorld {
         }
     }
 
+    /// Topology-aware injection: strike every host inside a hierarchy
+    /// scope. `Region`/`Az`/`Cluster` scopes expand to one injection per
+    /// contained NC (so the fault rides the *hosts* and the usual NC → VM
+    /// damage rules apply, host-only telemetry included); an `Nc` scope
+    /// injects that host; a `Vm` scope injects the single VM. Returns the
+    /// number of injections added — zero for unknown names or ids, matching
+    /// the empty-rollup convention of [`Fleet::vms_in`].
+    pub fn inject_scope(
+        &mut self,
+        kind: FaultKind,
+        scope: &crate::topology::Scope,
+        start: i64,
+        end: i64,
+    ) -> usize {
+        if let crate::topology::Scope::Vm(vm) = scope {
+            if self.fleet.vm(*vm).is_none() {
+                return 0;
+            }
+            self.inject(FaultInjection::new(kind, FaultTarget::Vm(*vm), start, end));
+            return 1;
+        }
+        let ncs = self.fleet.ncs_in(scope);
+        let n = ncs.len();
+        for nc in ncs {
+            self.inject(FaultInjection::new(kind.clone(), FaultTarget::Nc(nc), start, end));
+        }
+        n
+    }
+
     /// All injected faults.
     pub fn faults(&self) -> &[FaultInjection] {
         &self.faults
@@ -556,6 +585,48 @@ mod tests {
         assert!(batch.iter().all(|e| w.fleet.vm(e.vm).is_some()));
         w.set_chaos(None);
         assert!(w.chaos_events(0, HOUR).is_empty());
+    }
+
+    #[test]
+    fn inject_scope_expands_to_hosts() {
+        use crate::topology::Scope;
+        let mut w = world();
+        // 2 regions × 2 AZs × 1 cluster × 2 NCs: a region holds 4 NCs.
+        let n = w.inject_scope(FaultKind::NcDown, &Scope::Region("r1".into()), 0, HOUR);
+        assert_eq!(n, 4);
+        assert_eq!(w.faults().len(), 4);
+        assert!(w
+            .faults()
+            .iter()
+            .all(|f| matches!(f.target, FaultTarget::Nc(_)) && f.kind == FaultKind::NcDown));
+        // Every VM in the region is down; every VM outside is healthy.
+        for vm in w.fleet.vms() {
+            let in_r1 = w.fleet.host_of(vm.id).unwrap().region == "r1";
+            let hb = w.vm_metric_series(vm.id, Metric::Heartbeat, 0, HOUR, 30 * 60_000);
+            assert_eq!(hb.iter().all(|&(_, v)| v == 0.0), in_r1, "vm {}", vm.id);
+        }
+    }
+
+    #[test]
+    fn inject_scope_handles_vm_cluster_and_unknown() {
+        use crate::topology::Scope;
+        let mut w = world();
+        assert_eq!(w.inject_scope(FaultKind::VmDown, &Scope::Vm(3), 0, HOUR), 1);
+        assert_eq!(w.faults()[0].target, FaultTarget::Vm(3));
+        let cluster = w.fleet.cluster_names()[0].clone();
+        let n = w.inject_scope(
+            FaultKind::PacketLoss { rate: 0.5 },
+            &Scope::Cluster(cluster),
+            0,
+            HOUR,
+        );
+        assert_eq!(n, 2, "a cluster holds 2 NCs in this fleet");
+        assert_eq!(w.inject_scope(FaultKind::VmDown, &Scope::Vm(9999), 0, HOUR), 0);
+        assert_eq!(
+            w.inject_scope(FaultKind::VmDown, &Scope::Region("nope".into()), 0, HOUR),
+            0
+        );
+        assert_eq!(w.faults().len(), 3);
     }
 
     #[test]

@@ -136,15 +136,24 @@ impl RuleId {
             RuleId::R1 => {
                 matches!(
                     crate_name,
-                    "cdi-core" | "statskit" | "minispark" | "simfleet" | "cloudbot" | "cdi-serve"
+                    "cdi-core"
+                        | "statskit"
+                        | "minispark"
+                        | "simfleet"
+                        | "cloudbot"
+                        | "cdi-serve"
+                        | "scenario-suite"
                 )
             }
             // NaN-safety matters everywhere floats are ordered.
             RuleId::R2 => true,
             // Deterministic-replay crates. cdi-serve is included so the
             // serving layer stays clock-free: watermarks come from the
-            // feed, never from wall time.
-            RuleId::R3 => matches!(crate_name, "simfleet" | "cdi-core" | "cdi-serve"),
+            // feed, never from wall time; scenario-suite so the catalog's
+            // seeded placement and artifacts stay byte-reproducible.
+            RuleId::R3 => {
+                matches!(crate_name, "simfleet" | "cdi-core" | "cdi-serve" | "scenario-suite")
+            }
             RuleId::R4 => crate_name == "cdi-core",
             RuleId::R5 => crate_name == "cdi-core",
             // The concurrency rules cover the crates that actually hold

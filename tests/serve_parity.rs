@@ -153,3 +153,76 @@ fn rollups_are_consistent_with_vm_rows() {
     let all = cdi_serve::rollup(&service, &world.fleet, &simfleet::Scope::Region("r2".into()));
     assert!(all.is_ok());
 }
+
+/// A catalog scenario replayed through BOTH evaluation paths — the
+/// minispark batch daily job and the sharded live service — yields the
+/// same per-VM CDI within 1e-9, and the CDI-threshold detector scores the
+/// two paths identically. This is the scenario suite's own parity claim:
+/// floors pinned against the live path also bind the batch path.
+#[test]
+fn scenario_replay_agrees_across_batch_and_live_paths() {
+    use scenario_suite::catalog::{build, ScenarioConfig};
+    use scenario_suite::detector::{CdiThreshold, Detector};
+    use scenario_suite::run::ScenarioRun;
+    use scenario_suite::score::{score, ScoreConfig};
+
+    let cfg = ScenarioConfig::quick(20250);
+    let scenario = build("ddos-blackhole-wave", &cfg).unwrap();
+
+    // Path 1: the batch daily job, with the scenario's 5-minute sampling.
+    let pipeline = DailyPipeline::with_step_ms(5 * MIN);
+    let batch =
+        run(&scenario.world, &pipeline, 0, scenario.start, scenario.end, DailyJobConfig::default())
+            .unwrap();
+
+    // Path 2: the live service fed tick by tick.
+    let service = CdiService::new(ServeConfig {
+        shards: 3,
+        period_start: scenario.start,
+        ..ServeConfig::default()
+    })
+    .unwrap()
+    .with_fleet_routing(&scenario.world.fleet);
+    let feed =
+        LiveFeed::build(&pipeline, &scenario.world, scenario.start, scenario.end, scenario.tick_ms)
+            .unwrap();
+    for b in &feed.batches {
+        for (target, span) in &b.spans {
+            service.ingest(*target, span.clone());
+        }
+        service.advance_watermark(b.watermark).unwrap();
+    }
+    service.flush();
+
+    assert!(!batch.rows.is_empty());
+    for row in &batch.rows {
+        let live = service.vm_row(row.vm).unwrap();
+        assert_eq!(live.service_time, row.service_time, "vm {}", row.vm);
+        for (l, b, what) in [
+            (live.unavailability, row.unavailability, "unavailability"),
+            (live.performance, row.performance, "performance"),
+            (live.control_plane, row.control_plane, "control-plane"),
+        ] {
+            assert!((l - b).abs() < 1e-9, "vm {} {what}: live {l} vs batch {b}", row.vm);
+        }
+    }
+
+    // The detector sees the same incidents on both paths…
+    let replay = ScenarioRun::prepare(&scenario).unwrap();
+    let batch_dets = CdiThreshold { shards: None, ..CdiThreshold::default() }.detect(&replay).unwrap();
+    let live_dets = CdiThreshold { shards: Some(3), ..CdiThreshold::default() }.detect(&replay).unwrap();
+    assert_eq!(batch_dets, live_dets, "batch and live detections diverge");
+
+    // …so the score matrices agree within 1e-9 too.
+    let score_cfg = ScoreConfig { slack_ms: scenario.tick_ms, grace_ms: 5 * MIN };
+    let sb = score(&scenario.truth, &batch_dets, &scenario.world.fleet, &score_cfg);
+    let sl = score(&scenario.truth, &live_dets, &scenario.world.fleet, &score_cfg);
+    assert!((sb.precision - sl.precision).abs() < 1e-9);
+    assert!((sb.recall - sl.recall).abs() < 1e-9);
+    assert!((sb.f1 - sl.f1).abs() < 1e-9);
+    assert_eq!(sb.mean_ttd_ms.is_some(), sl.mean_ttd_ms.is_some());
+    if let (Some(tb), Some(tl)) = (sb.mean_ttd_ms, sl.mean_ttd_ms) {
+        assert!((tb - tl).abs() < 1e-9);
+    }
+    assert!(sb.f1 > 0.9, "the DDoS wave must actually be caught (F1 {})", sb.f1);
+}
