@@ -19,6 +19,7 @@
 //!   bench-serve  cdi-serve ingest/query probes      [--iters N] [--quick]
 //!   drill   cdi-serve chaos drill → BENCH_PR6.json  [--seed N] [--quick]
 //!   scenarios  detector scoring matrix → BENCH_PR8.json  [--seed N] [--quick]
+//!   bench-codec  cdipack codec gates → BENCH_PR9.json  [--iters N] [--quick] [--sizes-only]
 //! ```
 //!
 //! Each run also writes machine-readable JSON into `results/`.
@@ -54,6 +55,13 @@ fn main() {
     if cmd == "scenarios" {
         let quick = args.iter().any(|a| a == "--quick");
         run_scenarios(seed, quick);
+        return;
+    }
+    if cmd == "bench-codec" {
+        let iters = flag_value(&args, "--iters").unwrap_or(3) as usize;
+        let quick = args.iter().any(|a| a == "--quick");
+        let sizes_only = args.iter().any(|a| a == "--sizes-only");
+        run_bench_codec(iters.max(1), quick, sizes_only);
         return;
     }
 
@@ -269,6 +277,70 @@ fn run_scenarios(seed: u64, quick: bool) {
             eprintln!("floor violation: {v}");
         }
         eprintln!("floor gate FAILED ({} violation(s))", report.violations.len());
+        std::process::exit(1);
+    }
+}
+
+fn run_bench_codec(iters: usize, quick: bool, sizes_only: bool) {
+    eprintln!(
+        "(cdipack codec gates, best of {iters} timed iterations{}{})",
+        if quick { ", quick mode" } else { "" },
+        if sizes_only { ", sizes only — deterministic report bytes" } else { "" },
+    );
+    let report = bench::codecbench::run(iters, quick, sizes_only);
+    println!(
+        "snapshot: {} targets, JSON {} B vs cdipack {} B → {:.2}x smaller",
+        report.snapshot_targets,
+        report.snapshot_json_bytes,
+        report.snapshot_pack_bytes,
+        report.snapshot_size_ratio,
+    );
+    if !sizes_only {
+        eprintln!(
+            "wire ingest ({} spans, 8 clients): cdipack batches {:.0} eps vs JSON lines {:.0} eps → {:.2}x",
+            report.wire_spans, report.wire_pack_eps, report.wire_json_eps, report.ingest_speedup,
+        );
+        eprintln!(
+            "in-process API: batched {:.0} eps vs per-span {:.0} eps (PR-5 reference box: {:.0} eps)",
+            report.api_batch_eps, report.api_per_span_eps, report.ingest_pr5_reference_eps,
+        );
+        eprintln!(
+            "restore (decode + rebuild, 8 shards): JSON {:.4}s vs cdipack {:.4}s → {:.2}x faster",
+            report.restore_json_secs, report.restore_pack_secs, report.restore_speedup,
+        );
+    }
+    println!(
+        "restore agreement: cross-shard max |CDI delta| {:.3e}, dialect restores bit-identical: {}",
+        report.cross_shard_max_abs_delta, report.dialects_bit_identical,
+    );
+    for g in &report.gates {
+        println!(
+            "gate {}: {}",
+            g.name,
+            if !g.evaluated {
+                "SKIPPED (sizes-only)".to_string()
+            } else if g.pass {
+                format!("PASS ({:.3} >= {:.3})", g.value, g.min)
+            } else {
+                format!("FAIL ({:.3} < {:.3})", g.value, g.min)
+            }
+        );
+    }
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_PR9.json", json + "\n") {
+                eprintln!("cannot write BENCH_PR9.json: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote BENCH_PR9.json");
+        }
+        Err(e) => {
+            eprintln!("codec report failed to serialize: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !report.pass {
+        eprintln!("codec gate FAILED");
         std::process::exit(1);
     }
 }

@@ -1,0 +1,499 @@
+//! Codec benchmarks for the `cdipack` binary format (`experiments
+//! bench-codec`): snapshot size vs serde-JSON, batched binary ingest
+//! throughput vs the PR-5 per-span baseline, restore (decode + rebuild)
+//! latency for both dialects, and the cross-dialect / cross-shard-count
+//! restore agreement checks.
+//!
+//! Two knobs matter for CI:
+//!
+//! - `quick` shrinks the synthetic stream for smoke runs;
+//! - `sizes_only` zeroes every wall-clock field so the report bytes are a
+//!   pure function of the deterministic encoders — the CI job runs it
+//!   twice and byte-compares the two reports.
+//!
+//! Gates are recorded per-row in the report; timing gates are skipped (not
+//! silently passed) in `sizes_only` mode.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cdi_core::event::{Category, EventSpan, Target};
+use cdi_serve::cdipack;
+use cdi_serve::proto::{IngestItem, Request};
+use cdi_serve::snapshot::ServiceSnapshot;
+use cdi_serve::{serve, BackpressurePolicy, CdiService, ServeConfig};
+use serde::Serialize;
+
+const MIN: i64 = 60_000;
+/// Distinct VM targets in the synthetic stream.
+const TARGETS: u64 = 512;
+/// Concurrent producer threads on the batched ingest side — matches the
+/// PR-5 `serve_ingest_8p` workload shape so the throughputs compare.
+const PRODUCERS: usize = 8;
+/// Spans per `IngestBatch` frame on the batched path.
+const BATCH: usize = 256;
+/// PR-5 `serve_ingest_8p` at 8 shards from the committed BENCH_PR5.json
+/// (per-span `Ingest`, 8 producers). Recorded for reference only: the
+/// speedup gate compares against the *same workload re-measured in this
+/// run*, because absolute eps is a property of the box, not the code.
+const PR5_REFERENCE_EPS: f64 = 993_820.0;
+
+/// One pass/fail acceptance gate.
+#[derive(Debug, Clone, Serialize)]
+pub struct CodecGate {
+    /// Gate name.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Minimum acceptable value.
+    pub min: f64,
+    /// Whether the gate was evaluated (timing gates are skipped in
+    /// `sizes_only` mode) and passed.
+    pub pass: bool,
+    /// Whether the gate was evaluated at all.
+    pub evaluated: bool,
+}
+
+/// The full `bench-codec` report, serialized to `BENCH_PR9.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct CodecReport {
+    /// Quick (CI smoke) mode.
+    pub quick: bool,
+    /// Deterministic sizes-only mode: wall-clock fields are zeroed.
+    pub sizes_only: bool,
+    /// Targets in the benchmark snapshot.
+    pub snapshot_targets: usize,
+    /// Spans accumulated into the benchmark snapshot.
+    pub snapshot_spans: u64,
+    /// serde-JSON snapshot size in bytes.
+    pub snapshot_json_bytes: u64,
+    /// Columnar `cdipack` snapshot size in bytes.
+    pub snapshot_pack_bytes: u64,
+    /// `json_bytes / pack_bytes` — the headline compression ratio.
+    pub snapshot_size_ratio: f64,
+    /// Spans streamed over the wire per timed ingest iteration.
+    pub wire_spans: u64,
+    /// Over-the-wire ingest throughput of the `serve_ingest_8p` workload
+    /// in the pre-PR dialect: one JSON-lines `Ingest` request per span,
+    /// pipelined, 8 client connections.
+    pub wire_json_eps: f64,
+    /// Same workload over the cdipack dialect: dictionary-compressed
+    /// `IngestBatch` frames, 8 client connections.
+    pub wire_pack_eps: f64,
+    /// `wire_pack_eps / wire_json_eps` — what the binary wire buys the
+    /// serving stack on its own ingest workload.
+    pub ingest_speedup: f64,
+    /// In-process `CdiService::ingest_batch` throughput on the same
+    /// stream (no wire), for locating where the time goes.
+    pub api_batch_eps: f64,
+    /// In-process per-span `CdiService::ingest` throughput (no wire).
+    pub api_per_span_eps: f64,
+    /// The committed PR-5 `serve_ingest_8p` number, for cross-PR context
+    /// (a property of the box it ran on, not gated against).
+    pub ingest_pr5_reference_eps: f64,
+    /// Best-of-N seconds to restore a service from the JSON snapshot.
+    pub restore_json_secs: f64,
+    /// Best-of-N seconds to restore a service from the pack snapshot.
+    pub restore_pack_secs: f64,
+    /// `restore_json_secs / restore_pack_secs`.
+    pub restore_speedup: f64,
+    /// Max |CDI delta| across targets and categories between restores at
+    /// different shard counts (must be within 1e-9; in practice 0.0).
+    pub cross_shard_max_abs_delta: f64,
+    /// Whether the pack-path restore yields bit-identical target state to
+    /// the JSON-path restore.
+    pub dialects_bit_identical: bool,
+    /// Acceptance gates.
+    pub gates: Vec<CodecGate>,
+    /// All evaluated gates passed.
+    pub pass: bool,
+}
+
+/// The `i`-th span of the synthetic stream: targets cycle, time advances
+/// one minute every full cycle, categories and fault names rotate (four
+/// names, so the snapshot span dictionary is exercised).
+fn nth_item(i: u64) -> IngestItem {
+    let tick = (i / TARGETS) as i64;
+    let cat = match i % 3 {
+        0 => Category::Unavailability,
+        1 => Category::Performance,
+        _ => Category::ControlPlane,
+    };
+    let name = ["host_down", "nic_flapping", "slow_io", "live_migration"][(i % 4) as usize];
+    let span = EventSpan::new(name, cat, tick * MIN, (tick + 1) * MIN, 0.5);
+    IngestItem { target: Target::Vm(i % TARGETS), span }
+}
+
+fn service(shards: usize) -> CdiService {
+    let cfg = ServeConfig {
+        shards,
+        queue_capacity: 256,
+        policy: BackpressurePolicy::Block,
+        period_start: 0,
+        ..ServeConfig::default()
+    };
+    CdiService::new(cfg).unwrap_or_else(|e| unreachable!("static config is valid: {e}"))
+}
+
+/// A populated, flushed service: the full synthetic stream behind the
+/// watermark. Deterministic, so its snapshot bytes are too.
+fn populated(shards: usize, spans: u64) -> CdiService {
+    let svc = service(shards);
+    let mut batch = Vec::with_capacity(BATCH);
+    let mut i = 0;
+    while i < spans {
+        batch.clear();
+        while batch.len() < BATCH && i < spans {
+            batch.push(nth_item(i));
+            i += 1;
+        }
+        svc.ingest_batch(&batch);
+    }
+    let horizon = ((spans / TARGETS) as i64 + 1) * MIN;
+    let _ = svc.advance_watermark(horizon);
+    svc.flush();
+    svc
+}
+
+/// One timed ingest run of the `serve_ingest_8p` workload: `spans`
+/// deliveries from [`PRODUCERS`] concurrent producers, then a final
+/// watermark + flush so every span is applied. `batched` selects the
+/// path under test: [`BATCH`]-sized `IngestBatch` calls vs one `ingest`
+/// per span — the same stream either way, so the eps compare directly.
+fn ingest_once(shards: usize, spans: u64, batched: bool) -> f64 {
+    let svc = Arc::new(service(shards));
+    let t = Instant::now();
+    let mut handles = Vec::with_capacity(PRODUCERS);
+    let chunk = spans / PRODUCERS as u64;
+    for p in 0..PRODUCERS as u64 {
+        let svc = Arc::clone(&svc);
+        handles.push(std::thread::spawn(move || {
+            let hi = if p + 1 == PRODUCERS as u64 { spans } else { (p + 1) * chunk };
+            if batched {
+                let mut batch = Vec::with_capacity(BATCH);
+                let mut i = p * chunk;
+                while i < hi {
+                    batch.clear();
+                    while batch.len() < BATCH && i < hi {
+                        batch.push(nth_item(i));
+                        i += 1;
+                    }
+                    svc.ingest_batch(&batch);
+                }
+            } else {
+                for i in (p * chunk)..hi {
+                    let item = nth_item(i);
+                    svc.ingest(item.target, item.span);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let horizon = ((spans / TARGETS) as i64 + 1) * MIN;
+    let _ = svc.advance_watermark(horizon);
+    svc.flush();
+    t.elapsed().as_secs_f64()
+}
+
+/// One timed over-the-wire run of the `serve_ingest_8p` workload in one
+/// dialect: [`PRODUCERS`] client connections stream the synthetic spans
+/// to a live loopback server — pipelined buffered writes, a reader
+/// thread per client draining responses — then a final watermark + flush
+/// through the service handle so every span is applied before the clock
+/// stops. `pack` selects cdipack `IngestBatch` frames vs one JSON-lines
+/// `Ingest` request per span (the pre-PR wire).
+fn wire_ingest_once(spans: u64, pack: bool) -> f64 {
+    let svc = Arc::new(service(8));
+    let mut handle = serve(Arc::clone(&svc), None, "127.0.0.1:0", PRODUCERS)
+        .expect("loopback serve");
+    let addr = handle.addr();
+    let t = Instant::now();
+    let chunk = spans / PRODUCERS as u64;
+    let mut clients = Vec::with_capacity(PRODUCERS);
+    for p in 0..PRODUCERS as u64 {
+        clients.push(std::thread::spawn(move || {
+            let hi = if p + 1 == PRODUCERS as u64 { spans } else { (p + 1) * chunk };
+            let lo = p * chunk;
+            let stream = TcpStream::connect(addr).expect("loopback connect");
+            let read_half = stream.try_clone().expect("clone stream");
+            let mut writer = BufWriter::new(stream);
+            if pack {
+                let batches = {
+                    let n = hi - lo;
+                    n / BATCH as u64 + u64::from(!n.is_multiple_of(BATCH as u64))
+                };
+                let reader = std::thread::spawn(move || {
+                    let mut read_half = read_half;
+                    for _ in 0..batches {
+                        let payload = cdipack::read_frame(&mut read_half)
+                            .expect("framed reply")
+                            .expect("server closed early");
+                        let _ = cdipack::decode_response(&payload).expect("reply decodes");
+                    }
+                });
+                writer.write_all(&cdipack::WIRE_MAGIC).expect("write magic");
+                let mut batch = Vec::with_capacity(BATCH);
+                let mut i = lo;
+                while i < hi {
+                    batch.clear();
+                    while batch.len() < BATCH && i < hi {
+                        batch.push(nth_item(i));
+                        i += 1;
+                    }
+                    let req = Request::IngestBatch { items: std::mem::take(&mut batch) };
+                    cdipack::write_frame(&mut writer, &cdipack::encode_request(&req))
+                        .expect("write frame");
+                    batch = match req {
+                        Request::IngestBatch { items } => items,
+                        _ => unreachable!("just built"),
+                    };
+                }
+                writer.flush().expect("flush frames");
+                reader.join().expect("reader thread");
+            } else {
+                let reader = std::thread::spawn(move || {
+                    let mut lines = BufReader::new(read_half).lines();
+                    for _ in lo..hi {
+                        let line = lines
+                            .next()
+                            .expect("server closed early")
+                            .expect("reply line");
+                        assert!(!line.is_empty());
+                    }
+                });
+                for i in lo..hi {
+                    let item = nth_item(i);
+                    let req = Request::Ingest { target: item.target, span: item.span };
+                    let line = serde_json::to_string(&req).expect("request serializes");
+                    writer.write_all(line.as_bytes()).expect("write line");
+                    writer.write_all(b"\n").expect("write newline");
+                }
+                writer.flush().expect("flush lines");
+                reader.join().expect("reader thread");
+            }
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let horizon = ((spans / TARGETS) as i64 + 1) * MIN;
+    let _ = svc.advance_watermark(horizon);
+    svc.flush();
+    let elapsed = t.elapsed().as_secs_f64();
+    handle.stop();
+    elapsed
+}
+
+fn best_of(iters: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut best = f(); // doubles as warm-up
+    for _ in 1..iters {
+        best = best.min(f());
+    }
+    best
+}
+
+/// Max |CDI delta| across every target and category between two restored
+/// services. Both must know exactly the same targets.
+fn max_cdi_delta(a: &CdiService, b: &CdiService, snap: &ServiceSnapshot) -> f64 {
+    let mut worst: f64 = 0.0;
+    for t in &snap.targets {
+        let pa = a
+            .point(t.target)
+            .ok()
+            .flatten()
+            .unwrap_or_else(|| panic!("restored service lost target {:?}", t.target));
+        let pb = b
+            .point(t.target)
+            .ok()
+            .flatten()
+            .unwrap_or_else(|| panic!("restored service lost target {:?}", t.target));
+        for cat in [Category::Unavailability, Category::Performance, Category::ControlPlane] {
+            worst = worst.max((pa.get(cat) - pb.get(cat)).abs());
+        }
+    }
+    worst
+}
+
+/// Run the codec benchmark suite. `iters` is the best-of-N count for the
+/// timed probes; `quick` shrinks the stream; `sizes_only` skips every
+/// wall-clock measurement so the report bytes are deterministic.
+pub fn run(iters: usize, quick: bool, sizes_only: bool) -> CodecReport {
+    let spans: u64 = if quick { 20_000 } else { 200_000 };
+
+    // --- Snapshot size: serde-JSON vs columnar cdipack, same value. ---
+    let svc = populated(8, spans);
+    let snap = svc.snapshot();
+    let json = snap.to_json().unwrap_or_else(|e| unreachable!("snapshot is serializable: {e}"));
+    let pack = snap.to_pack();
+    let size_ratio = json.len() as f64 / pack.len() as f64;
+
+    // --- Restore agreement: both dialects, two shard widths. ---
+    // The pack bytes must rebuild the exact state the JSON bytes do, and
+    // restoring at a different shard count must not move any CDI.
+    let decoded_json = ServiceSnapshot::from_json(&json)
+        .unwrap_or_else(|e| unreachable!("own JSON snapshot parses: {e}"));
+    let decoded_pack = ServiceSnapshot::from_pack(&pack)
+        .unwrap_or_else(|e| unreachable!("own pack snapshot decodes: {e}"));
+    let dialects_bit_identical = decoded_pack == decoded_json && decoded_pack == snap;
+    let restored_8 = CdiService::restore(
+        ServeConfig { shards: 8, period_start: 0, ..ServeConfig::default() },
+        &decoded_pack,
+    )
+    .unwrap_or_else(|e| unreachable!("restore at 8 shards: {e}"));
+    let restored_3 = CdiService::restore(
+        ServeConfig { shards: 3, period_start: 0, ..ServeConfig::default() },
+        &decoded_pack,
+    )
+    .unwrap_or_else(|e| unreachable!("restore at 3 shards: {e}"));
+    let cross_shard_max_abs_delta = max_cdi_delta(&restored_8, &restored_3, &snap);
+
+    // --- Timed probes (skipped entirely in sizes_only mode). ---
+    let wire_spans: u64 = if quick { 8_000 } else { 80_000 };
+    let (wire_json_eps, wire_pack_eps, batch_eps, per_span_eps, restore_json_secs, restore_pack_secs) =
+        if sizes_only {
+            (0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        } else {
+            let wire_json_secs = best_of(iters, || wire_ingest_once(wire_spans, false));
+            let wire_pack_secs = best_of(iters, || wire_ingest_once(wire_spans, true));
+            let batch_secs = best_of(iters, || ingest_once(8, spans, true));
+            let per_span_secs = best_of(iters, || ingest_once(8, spans, false));
+            // Restore = decode the durable bytes + rebuild the service;
+            // the rebuild is shared, the decode is the dialect under test.
+            let rj = best_of(iters.max(3), || {
+                let t = Instant::now();
+                let s = ServiceSnapshot::from_json(std::hint::black_box(&json))
+                    .unwrap_or_else(|e| unreachable!("own JSON snapshot parses: {e}"));
+                let svc = CdiService::restore(
+                    ServeConfig { shards: 8, period_start: 0, ..ServeConfig::default() },
+                    &s,
+                )
+                .unwrap_or_else(|e| unreachable!("restore: {e}"));
+                std::hint::black_box(svc.target_count());
+                t.elapsed().as_secs_f64()
+            });
+            let rp = best_of(iters.max(3), || {
+                let t = Instant::now();
+                let s = ServiceSnapshot::from_pack(std::hint::black_box(&pack))
+                    .unwrap_or_else(|e| unreachable!("own pack snapshot decodes: {e}"));
+                let svc = CdiService::restore(
+                    ServeConfig { shards: 8, period_start: 0, ..ServeConfig::default() },
+                    &s,
+                )
+                .unwrap_or_else(|e| unreachable!("restore: {e}"));
+                std::hint::black_box(svc.target_count());
+                t.elapsed().as_secs_f64()
+            });
+            (
+                wire_spans as f64 / wire_json_secs,
+                wire_spans as f64 / wire_pack_secs,
+                spans as f64 / batch_secs,
+                spans as f64 / per_span_secs,
+                rj,
+                rp,
+            )
+        };
+    let ingest_speedup = if wire_json_eps > 0.0 { wire_pack_eps / wire_json_eps } else { 0.0 };
+    let restore_speedup =
+        if restore_pack_secs > 0.0 { restore_json_secs / restore_pack_secs } else { 0.0 };
+
+    // --- Gates. ---
+    let mut gates = vec![
+        CodecGate {
+            name: "snapshot_size_ratio_ge_5x".into(),
+            value: size_ratio,
+            min: 5.0,
+            pass: size_ratio >= 5.0,
+            evaluated: true,
+        },
+        CodecGate {
+            name: "cross_shard_cdi_within_1e9".into(),
+            // Gate direction is "min", so record the margin below the
+            // tolerance (negative = violation).
+            value: 1e-9 - cross_shard_max_abs_delta,
+            min: 0.0,
+            pass: cross_shard_max_abs_delta <= 1e-9,
+            evaluated: true,
+        },
+        CodecGate {
+            name: "dialect_restores_bit_identical".into(),
+            value: if dialects_bit_identical { 1.0 } else { 0.0 },
+            min: 1.0,
+            pass: dialects_bit_identical,
+            evaluated: true,
+        },
+    ];
+    if !sizes_only {
+        gates.push(CodecGate {
+            name: "wire_ingest_speedup_ge_1p3x".into(),
+            value: ingest_speedup,
+            min: 1.3,
+            pass: ingest_speedup >= 1.3,
+            evaluated: true,
+        });
+        gates.push(CodecGate {
+            name: "restore_pack_faster_than_json".into(),
+            value: restore_speedup,
+            min: 1.0,
+            pass: restore_speedup >= 1.0,
+            evaluated: true,
+        });
+    } else {
+        for name in ["wire_ingest_speedup_ge_1p3x", "restore_pack_faster_than_json"] {
+            gates.push(CodecGate {
+                name: name.into(),
+                value: 0.0,
+                min: 0.0,
+                pass: true,
+                evaluated: false,
+            });
+        }
+    }
+    let pass = gates.iter().all(|g| g.pass);
+
+    CodecReport {
+        quick,
+        sizes_only,
+        snapshot_targets: snap.targets.len(),
+        snapshot_spans: spans,
+        snapshot_json_bytes: json.len() as u64,
+        snapshot_pack_bytes: pack.len() as u64,
+        snapshot_size_ratio: size_ratio,
+        wire_spans,
+        wire_json_eps,
+        wire_pack_eps,
+        ingest_speedup,
+        api_batch_eps: batch_eps,
+        api_per_span_eps: per_span_eps,
+        ingest_pr5_reference_eps: PR5_REFERENCE_EPS,
+        restore_json_secs,
+        restore_pack_secs,
+        restore_speedup,
+        cross_shard_max_abs_delta,
+        dialects_bit_identical,
+        gates,
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_only_quick_run_passes_and_is_deterministic() {
+        let a = run(1, true, true);
+        assert!(a.pass, "gates: {:?}", a.gates);
+        assert!(a.snapshot_size_ratio >= 5.0, "ratio {}", a.snapshot_size_ratio);
+        assert_eq!(a.cross_shard_max_abs_delta, 0.0);
+        assert!(a.dialects_bit_identical);
+        // Byte determinism is what the CI run-twice compare leans on.
+        let b = run(1, true, true);
+        let ja = serde_json::to_string(&a).unwrap();
+        let jb = serde_json::to_string(&b).unwrap();
+        assert_eq!(ja, jb);
+    }
+}

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_debug_implementations)]
 
+pub mod codecbench;
 pub mod drill;
 pub mod experiments;
 pub mod perfbench;

@@ -7,8 +7,11 @@
 //! With `--demo`, a small deterministic simfleet world is built, a few
 //! faults are injected, and one simulated day is streamed through the
 //! service before serving — so `Point`/`TopK`/`Rollup` queries have
-//! something to answer immediately. Without it the service starts empty
-//! and is populated over the wire with `Ingest`/`Advance` requests.
+//! something to answer immediately. The demo then self-connects in *both*
+//! wire dialects — JSON lines and cdipack binary frames — and checks they
+//! answer the same top-K, so a fresh checkout demonstrates the negotiated
+//! wire end-to-end. Without `--demo` the service starts empty and is
+//! populated over the wire with `Ingest`/`Advance` requests.
 //!
 //! Speak to it in JSON lines, e.g.:
 //!
@@ -19,11 +22,18 @@
 //! ```
 //!
 //! (Variants without a payload — `Flush`, `Metrics`, `Snapshot`,
-//! `Shutdown` — are bare JSON strings on the wire.)
+//! `Shutdown` — are bare JSON strings on the wire.) Or lead with
+//! [`cdi_serve::cdipack::WIRE_MAGIC`] and speak varint-framed binary
+//! (see `cdi_serve::cdipack` for the frame layout).
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use cdi_core::event::Category;
+use cdi_serve::cdipack;
+use cdi_serve::proto::{Request, Response};
 use cdi_serve::{serve, CdiService, ServeConfig};
 use cloudbot::feed::LiveFeed;
 use cloudbot::DailyPipeline;
@@ -105,6 +115,44 @@ fn demo_world() -> SimWorld {
     world
 }
 
+/// Self-connect in each wire dialect, ask both for the same top-K, and
+/// verify the answers agree — the negotiated wire, demonstrated live.
+fn demo_exercise_both_dialects(addr: std::net::SocketAddr) -> Result<(), String> {
+    let req = Request::TopK { k: 3, category: Category::Performance };
+
+    // Dialect 1: JSON lines.
+    let json_stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let mut json_reader =
+        BufReader::new(json_stream.try_clone().map_err(|e| e.to_string())?);
+    let mut json_writer = json_stream;
+    let line = serde_json::to_string(&req).map_err(|e| e.to_string())?;
+    json_writer
+        .write_all(line.as_bytes())
+        .and_then(|()| json_writer.write_all(b"\n"))
+        .map_err(|e| e.to_string())?;
+    let mut reply = String::new();
+    json_reader.read_line(&mut reply).map_err(|e| e.to_string())?;
+    let json_resp: Response = serde_json::from_str(&reply).map_err(|e| e.to_string())?;
+
+    // Dialect 2: cdipack frames behind the wire magic.
+    let mut pack_stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    pack_stream.write_all(&cdipack::WIRE_MAGIC).map_err(|e| e.to_string())?;
+    cdipack::write_frame(&mut pack_stream, &cdipack::encode_request(&req))
+        .map_err(|e| e.to_string())?;
+    let payload = cdipack::read_frame(&mut pack_stream)
+        .map_err(|e| e.to_string())?
+        .ok_or("cdipack demo connection closed early")?;
+    let pack_resp = cdipack::decode_response(&payload).map_err(|e| e.to_string())?;
+
+    match (&json_resp, &pack_resp) {
+        (Response::TopK { entries: a }, Response::TopK { entries: b }) if a == b => {
+            println!("demo: both dialects agree on top-{} ({} entries)", 3, a.len());
+            Ok(())
+        }
+        other => Err(format!("demo: dialects disagreed: {other:?}")),
+    }
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let cfg = ServeConfig { shards: args.shards, ..ServeConfig::default() };
@@ -131,9 +179,17 @@ fn run() -> Result<(), String> {
     }
 
     let fleet = Arc::new(world.fleet.clone());
+    let demo = args.demo;
     let handle = serve(Arc::new(service), Some(fleet), &args.addr, args.workers)
         .map_err(|e| e.to_string())?;
-    println!("cdi-serve listening on {} (JSON lines; send \"Shutdown\" to stop)", handle.addr());
+    println!(
+        "cdi-serve listening on {} (JSON lines, or cdipack frames after the \
+         4-byte magic; send \"Shutdown\" to stop)",
+        handle.addr()
+    );
+    if demo {
+        demo_exercise_both_dialects(handle.addr())?;
+    }
     handle.join();
     println!("cdi-serve stopped");
     Ok(())

@@ -21,18 +21,25 @@
 //!   targets via per-shard top-K plus a k-way heap merge, and Formula 4
 //!   rollups over the simfleet hierarchy (region → AZ → cluster → NC →
 //!   VM).
-//! - **Durability** ([`snapshot`]): serde-JSON snapshots of every
-//!   accumulator, restorable into a *different* shard count (targets
-//!   re-hash) — the crash-recovery and re-sharding story, chaos-tested to
-//!   converge within 1e-9 of an uninterrupted run.
-//! - **The wire** ([`proto`], [`server`]): a JSON-lines protocol over
-//!   `std::net` TCP with a small thread pool. No async runtime, no new
-//!   dependencies.
+//! - **Durability** ([`snapshot`], [`cdipack`]): snapshots of every
+//!   accumulator in either dialect — serde-JSON or the compact columnar
+//!   `cdipack` binary — restorable into a *different* shard count
+//!   (targets re-hash) — the crash-recovery and re-sharding story,
+//!   chaos-tested to converge within 1e-9 of an uninterrupted run. Shard
+//!   respawn replays a base checkpoint plus a bounded chain of
+//!   incremental epoch deltas and a byte journal, all `cdipack`-encoded,
+//!   so recovery cost is O(recent change), not O(total state).
+//! - **The wire** ([`proto`], [`server`], [`cdipack`]): one
+//!   request/response protocol over `std::net` TCP with a small thread
+//!   pool, in two negotiated dialects — JSON lines for scriptability, or
+//!   varint-framed columnar binary frames when the client leads with
+//!   [`cdipack::WIRE_MAGIC`]. No async runtime, no new dependencies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cdipack;
 pub mod lifecycle;
 pub mod metrics;
 pub mod proto;
@@ -45,13 +52,15 @@ pub mod snapshot;
 pub mod topk;
 pub mod tracked;
 
+pub use cdipack::{ShardDelta, WIRE_MAGIC};
 pub use lifecycle::{AdmissionGate, AutoScalerPolicy, ResizeOutcome};
 pub use metrics::{LifecycleEvent, MetricsReport, ServiceMetrics};
+pub use proto::IngestItem;
 pub use queue::{BackpressurePolicy, BoundedQueue, PushOutcome};
 pub use rollup::{rollup, Rollup};
 pub use server::{serve, ServerHandle};
 pub use service::{CdiService, IngestReport, ServeConfig};
-pub use shard::{ShardMsg, TargetCdi, TargetSnapshot};
+pub use shard::{DurableStats, ShardMsg, TargetCdi, TargetSnapshot};
 pub use snapshot::ServiceSnapshot;
 pub use topk::merge_top_k;
 pub use tracked::{TrackedCondvar, TrackedMutex, TrackedRwLock};

@@ -65,15 +65,20 @@ pub enum LifecycleEvent {
         /// Index of the killed shard.
         shard: usize,
     },
-    /// Supervision rebuilt a killed shard from its last checkpoint plus
-    /// the journaled messages applied since.
+    /// Supervision rebuilt a killed shard from its last durable base plus
+    /// the bounded delta chain and the journaled messages applied since.
     ShardRespawned {
         /// Index of the respawned shard.
         shard: usize,
-        /// Targets revived from the checkpoint.
+        /// Targets revived from the durable base checkpoint.
         restored_targets: usize,
-        /// Journaled messages replayed on top of the checkpoint.
+        /// Journaled messages replayed on top of the delta chain.
         replayed_msgs: u64,
+        /// Encoded bytes replayed *beyond* the base image (delta chain +
+        /// journal) — the incremental cost of the respawn. Bounded by the
+        /// checkpoint cadence and the dirty-target rate, not by total
+        /// state size.
+        replayed_bytes: u64,
     },
 }
 
@@ -198,6 +203,13 @@ impl ServiceMetrics {
     pub fn bump(counter: &AtomicU64) {
         // ordering: independent monotonic counter, never a synchronization point
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bump a counter by `n` — the batched-ingest path accounts a whole
+    /// group in one update.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        // ordering: independent monotonic counter, never a synchronization point
+        counter.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Point-in-time copy of the service counters, extended with the

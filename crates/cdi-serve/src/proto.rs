@@ -1,14 +1,23 @@
-//! The wire protocol: JSON-lines over TCP.
+//! The wire protocol: one request/response enum, two dialects.
 //!
-//! One request per line, one response line per request, both serde-JSON
-//! enums tagged by variant name — payload variants serialize as
-//! `{"Variant":{...}}`, payload-free ones (`Flush`, `Metrics`,
-//! `Snapshot`, `Shutdown`) as the bare string `"Variant"` — trivially
-//! scriptable with `nc` and a JSON tool. The protocol is deliberately stateless per line (no session
-//! state beyond the TCP connection), so any number of clients can ingest
-//! and query concurrently; ordering guarantees are exactly the service's:
-//! a client that needs "all my spans are visible" sends `Flush` and waits
-//! for its `Ok`.
+//! The *JSON-lines* dialect is one request per line, one response line per
+//! request, both serde-JSON enums tagged by variant name — payload
+//! variants serialize as `{"Variant":{...}}`, payload-free ones (`Flush`,
+//! `Metrics`, `Snapshot`, `Shutdown`) as the bare string `"Variant"` —
+//! trivially scriptable with `nc` and a JSON tool.
+//!
+//! The *cdipack* dialect carries the same enums as binary frames
+//! (varint-length-prefixed, delta-encoded timestamps, dictionary-encoded
+//! targets and names; see [`crate::cdipack`]). A connection selects it by
+//! leading with [`crate::cdipack::WIRE_MAGIC`], whose first byte can never
+//! begin a JSON line; anything else is served as JSON-lines, so existing
+//! `nc` scripts keep working unchanged.
+//!
+//! Either way the protocol is deliberately stateless per request (no
+//! session state beyond the TCP connection and its negotiated dialect), so
+//! any number of clients can ingest and query concurrently; ordering
+//! guarantees are exactly the service's: a client that needs "all my spans
+//! are visible" sends `Flush` and waits for its `Ok`.
 
 use cdi_core::event::{Category, EventSpan, Target};
 use cdi_core::indicator::CdiBreakdown;
@@ -71,6 +80,22 @@ pub enum Request {
     },
     /// Stop accepting connections and shut the server down.
     Shutdown,
+    /// Deliver many spans in one request (the batch form the cdipack
+    /// dialect compresses with target/name dictionaries and delta-encoded
+    /// timestamps; also valid, if verbose, in JSON).
+    IngestBatch {
+        /// The spans, in delivery order.
+        items: Vec<IngestItem>,
+    },
+}
+
+/// One span delivery inside an [`Request::IngestBatch`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestItem {
+    /// The span's target.
+    pub target: Target,
+    /// The weighted span.
+    pub span: EventSpan,
 }
 
 /// A chaos-drill operation, driven over the wire so drills audit the
@@ -186,6 +211,18 @@ mod tests {
             Request::Drill { op: DrillOp::RollingRestart },
             Request::Drill { op: DrillOp::Supervise },
             Request::Shutdown,
+            Request::IngestBatch {
+                items: vec![IngestItem {
+                    target: Target::Nc(2),
+                    span: EventSpan::new(
+                        "nic_flapping",
+                        Category::Unavailability,
+                        1_000,
+                        2_000,
+                        1.0,
+                    ),
+                }],
+            },
         ];
         for req in reqs {
             let line = serde_json::to_string(&req).unwrap();

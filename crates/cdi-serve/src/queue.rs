@@ -144,6 +144,53 @@ impl<T> BoundedQueue<T> {
         PushOutcome::Accepted
     }
 
+    /// Enqueue a whole group of items with one lock acquisition per burst
+    /// of available space instead of one per item — the producer-side
+    /// twin of [`BoundedQueue::pop_batch`], and what makes a batched
+    /// ingest request cheaper than its per-span equivalent.
+    ///
+    /// Under [`BackpressurePolicy::Block`] the call waits for space
+    /// whenever the queue fills mid-group, so it is lossless like
+    /// [`BoundedQueue::push_blocking`]; under [`BackpressurePolicy::Shed`]
+    /// whatever does not fit *right now* is dropped and counted. Returns
+    /// `(accepted, dropped)`; `dropped` covers both shed items and items
+    /// offered after the queue closed. The consumer gets one wakeup per
+    /// empty→non-empty transition, not one per item: a single consumer
+    /// drains everything it was woken for.
+    pub fn push_many(&self, items: Vec<T>, policy: BackpressurePolicy) -> (u64, u64) {
+        let total = items.len() as u64;
+        let mut accepted = 0u64;
+        let mut it = items.into_iter().peekable();
+        let mut st = relock(self.state.lock()); // lock: queue
+        while it.peek().is_some() {
+            if st.closed {
+                return (accepted, total - accepted);
+            }
+            let was_empty = st.items.is_empty();
+            while st.items.len() < self.capacity {
+                match it.next() {
+                    // bound: at most `capacity` items seated per burst
+                    Some(item) => {
+                        st.items.push_back(item);
+                        accepted += 1;
+                    }
+                    None => break,
+                }
+            }
+            self.note_depth(st.items.len());
+            if was_empty && !st.items.is_empty() {
+                self.not_empty.notify_one();
+            }
+            if it.peek().is_some() {
+                match policy {
+                    BackpressurePolicy::Block => st = relock(self.not_full.wait(st)),
+                    BackpressurePolicy::Shed => return (accepted, total - accepted),
+                }
+            }
+        }
+        (accepted, 0)
+    }
+
     /// Dequeue, blocking until an item is available (and the queue is not
     /// paused). Returns `None` once the queue is closed *and* drained —
     /// the consumer's termination signal.
@@ -160,6 +207,55 @@ impl<T> BoundedQueue<T> {
                 }
                 if st.closed {
                     return None;
+                }
+            }
+            st = relock(self.not_empty.wait(st));
+        }
+    }
+
+    /// Dequeue up to `max` items in one lock acquisition, appending them
+    /// to `out` in arrival order. Blocks like [`BoundedQueue::pop`] until
+    /// at least one item is available (pause-aware, close-overrides-pause);
+    /// returns `false` once the queue is closed *and* drained.
+    ///
+    /// `stop` marks control items that must terminate a batch: the first
+    /// matching item is *included* as the batch's last element and nothing
+    /// after it is taken, so the consumer can apply the plain prefix as a
+    /// unit and then handle the control item alone (the shard worker stops
+    /// at `Crash`).
+    ///
+    /// Wakeups: a batch frees up to `max` slots at once, so blocked
+    /// pushers get a `notify_all` when more than one slot opened (each
+    /// freed slot can seat a distinct producer — this is a handoff of many
+    /// slots, not the single-slot chain `pop` uses).
+    pub fn pop_batch(&self, max: usize, stop: impl Fn(&T) -> bool, out: &mut Vec<T>) -> bool {
+        let max = max.max(1);
+        let mut st = relock(self.state.lock()); // lock: queue
+        loop {
+            if !st.paused || st.closed {
+                if !st.items.is_empty() {
+                    while out.len() < max {
+                        match st.items.pop_front() {
+                            Some(item) => {
+                                let is_stop = stop(&item);
+                                // bound: at most `max` items per batch
+                                out.push(item);
+                                if is_stop {
+                                    break;
+                                }
+                            }
+                            None => break,
+                        }
+                    }
+                    if out.len() > 1 {
+                        self.not_full.notify_all();
+                    } else {
+                        self.not_full.notify_one();
+                    }
+                    return true;
+                }
+                if st.closed {
+                    return false;
                 }
             }
             st = relock(self.not_empty.wait(st));
@@ -339,6 +435,50 @@ mod tests {
         drained.sort_unstable();
         assert_eq!(drained, vec![0, 1, 2, 3, 100, 101]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_takes_a_prefix_and_stops_at_control_items() {
+        let q = BoundedQueue::new(16);
+        for v in [1, 2, 99, 3, 4] {
+            q.push_blocking(v);
+        }
+        let mut batch = Vec::new();
+        // 99 is the "crash": included as the last element, nothing after.
+        assert!(q.pop_batch(16, |v| *v == 99, &mut batch));
+        assert_eq!(batch, vec![1, 2, 99]);
+        batch.clear();
+        assert!(q.pop_batch(2, |v| *v == 99, &mut batch));
+        assert_eq!(batch, vec![3, 4], "max caps the batch");
+        q.close();
+        batch.clear();
+        assert!(!q.pop_batch(16, |v| *v == 99, &mut batch), "closed + drained");
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_unblocks_many_pushers_at_once() {
+        const PUSHERS: usize = 4;
+        let q = Arc::new(BoundedQueue::new(PUSHERS));
+        for i in 0..PUSHERS {
+            q.push_blocking(i as u32);
+        }
+        let producers: Vec<_> = (0..PUSHERS)
+            .map(|i| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.push_blocking(100 + i as u32))
+            })
+            .collect();
+        std::thread::yield_now();
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(PUSHERS, |_| false, &mut batch));
+        assert_eq!(batch.len(), PUSHERS, "one lock drains the whole prefix");
+        for p in producers {
+            assert_eq!(p.join().unwrap(), PushOutcome::Accepted);
+        }
+        batch.clear();
+        assert!(q.pop_batch(PUSHERS, |_| false, &mut batch));
+        assert_eq!(batch.len(), PUSHERS);
     }
 
     #[test]

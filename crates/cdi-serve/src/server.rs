@@ -1,18 +1,23 @@
-//! The TCP front-end: `std::net` listener, a small thread pool, JSON
-//! lines in, JSON lines out.
+//! The TCP front-end: `std::net` listener, a small thread pool, two wire
+//! dialects over one dispatch.
 //!
 //! Zero async runtime, zero external dependencies: an accept thread hands
 //! connections to a fixed pool of workers over the same [`BoundedQueue`]
 //! the shards use (blocking policy — a connection is never shed). Each
-//! worker speaks the [`crate::proto`] protocol line-by-line against the
-//! shared [`CdiService`].
+//! worker speaks the [`crate::proto`] protocol against the shared
+//! [`CdiService`], in whichever dialect the connection's first byte
+//! selects: a client leading with [`crate::cdipack::WIRE_MAGIC`] gets
+//! varint-length-prefixed binary frames ([`crate::cdipack`]); anything
+//! else is served as JSON lines, so `nc`-style scripting keeps working
+//! unchanged. Both dialects share request execution (`dispatch` is
+//! dialect-blind), so answers are identical modulo encoding.
 //!
 //! Shutdown is cooperative and clock-free: the `Shutdown` request (or
 //! [`ServerHandle::stop`]) raises a flag and pokes the accept loop with a
 //! loopback connection so it observes the flag without needing accept
 //! timeouts.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -21,6 +26,7 @@ use std::thread::JoinHandle;
 use cdi_core::error::{CdiError, Result};
 use simfleet::Fleet;
 
+use crate::cdipack;
 use crate::proto::{DrillOp, Request, Response, TopEntry};
 use crate::queue::BoundedQueue;
 use crate::rollup::rollup;
@@ -144,11 +150,23 @@ pub fn serve(
     Ok(ServerHandle { addr: bound, ctx, conns, accept_thread: Some(accept_thread), workers: handles })
 }
 
-/// Serve one connection until EOF or a `Shutdown` request.
+/// Serve one connection until EOF or a `Shutdown` request, in whichever
+/// dialect its first byte selects.
 fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
     let Ok(write_half) = stream.try_clone() else { return };
     let mut writer = write_half;
-    let reader = BufReader::new(stream);
+    let mut reader = BufReader::new(stream);
+    // Dialect negotiation: peek one byte. `WIRE_MAGIC` starts with 0xCD,
+    // which can never begin a JSON line (it is not even valid UTF-8 as a
+    // leading byte), so the peek is unambiguous.
+    let first = match reader.fill_buf() {
+        Ok(buf) => buf.first().copied(),
+        Err(_) => return,
+    };
+    if first == Some(cdipack::WIRE_MAGIC[0]) {
+        serve_cdipack(reader, writer, ctx);
+        return;
+    }
     for line in reader.lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
@@ -183,6 +201,57 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
     }
 }
 
+/// Serve one negotiated cdipack connection: verify the 4-byte magic, then
+/// loop varint-framed request → dispatch → varint-framed response until
+/// EOF, an unrecoverable framing error, or a `Shutdown` request.
+///
+/// Error handling is two-tier: a frame that *arrives* but does not decode
+/// as a request gets a framed `Error` response and the connection
+/// continues (the stream is still in sync); a framing-layer error
+/// (truncated length, oversized declaration) means the stream position is
+/// unknowable, so the server answers once and closes.
+fn serve_cdipack(mut reader: BufReader<TcpStream>, mut writer: TcpStream, ctx: &ServerCtx) {
+    let mut magic = [0u8; 4];
+    if reader.read_exact(&mut magic).is_err() || magic != cdipack::WIRE_MAGIC {
+        // Same leading byte but a different version: answer in the dialect
+        // the client chose, then drop the connection.
+        let resp = Response::Error {
+            message: "unsupported cdipack wire version".to_string(),
+        };
+        let _ = cdipack::write_frame(&mut writer, &cdipack::encode_response(&resp));
+        return;
+    }
+    loop {
+        let payload = match cdipack::read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            // Clean EOF between frames: the client hung up.
+            Ok(None) => return,
+            Err(e) => {
+                let resp = Response::Error { message: e.to_string() };
+                let _ = cdipack::write_frame(&mut writer, &cdipack::encode_response(&resp));
+                return;
+            }
+        };
+        let (response, shutdown) = match cdipack::decode_request(&payload) {
+            Ok(req) => dispatch(req, ctx),
+            Err(e) => (Response::Error { message: e.to_string() }, false),
+        };
+        if shutdown {
+            // Raise the flag before acknowledging, so a client that has
+            // read the reply observes the server as shutting down.
+            ctx.shutdown.store(true, Ordering::SeqCst);
+        }
+        if cdipack::write_frame(&mut writer, &cdipack::encode_response(&response)).is_err() {
+            return;
+        }
+        if shutdown {
+            // Poke the accept loop awake so it exits.
+            let _ = TcpStream::connect(ctx.addr);
+            return;
+        }
+    }
+}
+
 /// Execute one request. Returns the response and whether the server
 /// should shut down after sending it.
 fn dispatch(req: Request, ctx: &ServerCtx) -> (Response, bool) {
@@ -190,6 +259,10 @@ fn dispatch(req: Request, ctx: &ServerCtx) -> (Response, bool) {
     let response = match req {
         Request::Ingest { target, span } => {
             let report = service.ingest(target, span);
+            Response::Ingested { accepted: report.accepted, shed: report.shed }
+        }
+        Request::IngestBatch { items } => {
+            let report = service.ingest_batch(&items);
             Response::Ingested { accepted: report.accepted, shed: report.shed }
         }
         Request::Advance { watermark } => match service.advance_watermark(watermark) {

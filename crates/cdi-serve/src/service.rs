@@ -48,6 +48,7 @@ use simfleet::Fleet;
 
 use crate::lifecycle::{moved_targets, shard_index, split_merge, AdmissionGate, ResizeOutcome};
 use crate::metrics::{LifecycleEvent, MetricsReport, ServiceMetrics, ShardTotals};
+use crate::proto::IngestItem;
 use crate::queue::{BackpressurePolicy, PushOutcome};
 use crate::shard::{Shard, ShardMsg, ShardState, TargetCdi, DEFAULT_CHECKPOINT_EVERY};
 use crate::snapshot::ServiceSnapshot;
@@ -219,18 +220,88 @@ impl CdiService {
         self.gate.admit(|| {
             let pool = self.rd(); // lock: pool
             let mut report = IngestReport::default();
-            if let Target::Nc(nc) = target {
-                if !self.cfg.host_only_events.iter().any(|n| n == &span.name) {
-                    if let Some(vms) = self.routes.get(&nc) {
-                        for &vm in vms {
-                            self.deliver(&pool, Target::Vm(vm), span.clone(), &mut report);
-                        }
+            self.fan_out(&pool, target, &span, &mut report);
+            report
+        })
+    }
+
+    /// Offer many logical spans in one request: the whole batch passes
+    /// the lifecycle gate once, fans out under a single pool read guard,
+    /// and is grouped per shard so each queue is locked once per group
+    /// rather than once per span — the server-side half of
+    /// [`crate::proto::Request::IngestBatch`], which the cdipack wire
+    /// dialect compresses into one frame.
+    ///
+    /// Per-shard delivery order within the batch matches the per-span
+    /// path; only the interleaving *across* shards differs, which
+    /// concurrent producers never ordered anyway.
+    pub fn ingest_batch(&self, items: &[IngestItem]) -> IngestReport {
+        self.gate.admit(|| {
+            let pool = self.rd(); // lock: pool
+            let mut report = IngestReport::default();
+            let mut groups: Vec<Vec<ShardMsg>> = Vec::with_capacity(pool.len());
+            groups.resize_with(pool.len(), Vec::new);
+            for item in items {
+                self.expand(&pool, item.target, &item.span, &mut groups);
+            }
+            for (shard, msgs) in pool.iter().zip(groups) {
+                if msgs.is_empty() {
+                    continue;
+                }
+                // Write-path supervision, once per group (the per-span
+                // path checks per push for the same reason).
+                if !shard.is_alive() {
+                    shard.respawn_if_dead();
+                }
+                let (accepted, dropped) = shard.queue.push_many(msgs, self.cfg.policy);
+                shard.note_enqueued_many(accepted);
+                ServiceMetrics::add(&self.metrics.spans_ingested, accepted);
+                ServiceMetrics::add(&self.metrics.spans_shed, dropped);
+                report.accepted += usize::try_from(accepted).unwrap_or(usize::MAX);
+                report.shed += usize::try_from(dropped).unwrap_or(usize::MAX);
+            }
+            report
+        })
+    }
+
+    /// The group-building twin of [`CdiService::fan_out`]: expand one
+    /// logical span (including its NC→VM fan-out) into per-shard message
+    /// groups instead of pushing each delivery individually.
+    fn expand(
+        &self,
+        pool: &[Shard],
+        target: Target,
+        span: &EventSpan,
+        groups: &mut [Vec<ShardMsg>],
+    ) {
+        if let Target::Nc(nc) = target {
+            if !self.cfg.host_only_events.iter().any(|n| n == &span.name) {
+                if let Some(vms) = self.routes.get(&nc) {
+                    for &vm in vms {
+                        let t = Target::Vm(vm);
+                        groups[shard_index(t, pool.len())]
+                            .push(ShardMsg::Span { target: t, span: span.clone() });
                     }
                 }
             }
-            self.deliver(&pool, target, span, &mut report);
-            report
-        })
+        }
+        groups[shard_index(target, pool.len())]
+            .push(ShardMsg::Span { target, span: span.clone() });
+    }
+
+    /// NC fan-out for one logical span: hosted VMs first (unless the
+    /// event is host-only), then the target itself.
+    fn fan_out(&self, pool: &[Shard], target: Target, span: &EventSpan, report: &mut IngestReport) {
+        if let Target::Nc(nc) = target {
+            if !self.cfg.host_only_events.iter().any(|n| n == &span.name) {
+                if let Some(vms) = self.routes.get(&nc) {
+                    for &vm in vms {
+                        self.deliver(pool, Target::Vm(vm), span.clone(), report);
+                    }
+                }
+            }
+        }
+        self.deliver(pool, target, span.clone(), report);
     }
 
     fn deliver(&self, pool: &[Shard], target: Target, span: EventSpan, report: &mut IngestReport) {

@@ -1,4 +1,4 @@
-//! The service snapshot format: serde-JSON, inspectable, re-shardable.
+//! The service snapshot format: two dialects over one logical state.
 //!
 //! A snapshot is the full durable state of a [`crate::service::CdiService`]
 //! at a flushed watermark: one [`crate::shard::TargetSnapshot`] per target
@@ -7,6 +7,13 @@
 //! routing — is configuration, deliberately *not* part of the snapshot, so
 //! an operator can restore into a different deployment shape (that is the
 //! re-sharding procedure: snapshot, restore at the new width).
+//!
+//! Snapshots serialize either as inspectable serde-JSON
+//! ([`ServiceSnapshot::to_json`]) or as the compact columnar `cdipack`
+//! binary ([`ServiceSnapshot::to_pack`], see [`crate::cdipack`] for the
+//! byte layout). The two dialects are interchangeable: decode of either
+//! yields the same [`ServiceSnapshot`] value, so a restore is bit-for-bit
+//! identical no matter which encoding carried it.
 //!
 //! Restores re-validate every accumulator invariant; a corrupted or
 //! hand-edited snapshot surfaces a typed error instead of a silently wrong
@@ -44,5 +51,17 @@ impl ServiceSnapshot {
     pub fn from_json(s: &str) -> Result<ServiceSnapshot> {
         serde_json::from_str(s)
             .map_err(|e| CdiError::invalid(format!("snapshot parse failed: {e}")))
+    }
+
+    /// Serialize to compact columnar `cdipack` bytes
+    /// ([`crate::cdipack::encode_snapshot`]).
+    pub fn to_pack(&self) -> Vec<u8> {
+        crate::cdipack::encode_snapshot(self)
+    }
+
+    /// Parse from `cdipack` bytes. Total on arbitrary input: truncation,
+    /// bit flips, and trailing garbage all surface as typed errors.
+    pub fn from_pack(bytes: &[u8]) -> Result<ServiceSnapshot> {
+        crate::cdipack::decode_snapshot(bytes)
     }
 }

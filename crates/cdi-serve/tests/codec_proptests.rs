@@ -1,0 +1,123 @@
+//! Property-based tests of the cdipack codec: arbitrary accumulated
+//! states round-trip through the columnar snapshot encoding bit-exactly,
+//! re-encoding is byte-deterministic, and the decoder is *total* — any
+//! truncation or bit flip anywhere in the byte stream yields a typed
+//! error or a (harmless) decoded value, never a panic.
+
+use cdi_core::event::{Category, EventSpan, Target};
+use cdi_core::time::minutes;
+use cdi_serve::cdipack::{self, decode_snapshot, encode_snapshot};
+use cdi_serve::shard::{ShardMsg, ShardState};
+use cdi_serve::snapshot::ServiceSnapshot;
+use cdi_serve::proto::{IngestItem, Request};
+use proptest::prelude::*;
+
+const HORIZON_MIN: i64 = 600;
+
+/// Strategy: one delivery — a target drawn from a small id space (so
+/// targets repeat and accumulate multi-span state, exercising the span
+/// dictionary) and a minute-aligned span with weight on a grid.
+fn delivery_strategy() -> impl Strategy<Value = (Target, EventSpan)> {
+    (0u64..24, 0u64..2, 0i64..HORIZON_MIN, 1i64..120, 1usize..=10, 0usize..12)
+        .prop_map(|(id, kind, start, len, w10, cat_name)| {
+            let target = if kind == 0 { Target::Vm(id) } else { Target::Nc(id) };
+            let category = match cat_name % 3 {
+                0 => Category::Unavailability,
+                1 => Category::Performance,
+                _ => Category::ControlPlane,
+            };
+            let name = ["host_down", "nic_flapping", "slow_io", "live_migration"][cat_name / 3];
+            let span = EventSpan::new(
+                name,
+                category,
+                minutes(start),
+                minutes(start + len),
+                w10 as f64 / 10.0,
+            );
+            (target, span)
+        })
+}
+
+/// Accumulate the deliveries into a snapshot the way the service would:
+/// through a shard state, watermark last, open spans left open.
+fn build_snapshot(deliveries: &[(Target, EventSpan)], mark: i64) -> ServiceSnapshot {
+    let mut st = ShardState::new(0);
+    for (target, span) in deliveries {
+        st.apply(ShardMsg::Span { target: *target, span: span.clone() });
+    }
+    st.apply(ShardMsg::Watermark(minutes(mark)));
+    ServiceSnapshot {
+        period_start: 0,
+        watermark: st.watermark(),
+        targets: st.snapshot(),
+        metrics: cdipack::empty_metrics(),
+    }
+}
+
+proptest! {
+    /// Decode of encode is the identity — on the full structure, open
+    /// spans, f64 frozen integrals and all, for arbitrary accumulated
+    /// state. This is the guarantee that lets the binary snapshot replace
+    /// the JSON one without a parity caveat.
+    #[test]
+    fn snapshot_round_trips_bit_exactly(
+        deliveries in prop::collection::vec(delivery_strategy(), 1..60),
+        mark in 1i64..=HORIZON_MIN,
+    ) {
+        let snap = build_snapshot(&deliveries, mark);
+        let bytes = encode_snapshot(&snap);
+        let back = decode_snapshot(&bytes).unwrap();
+        prop_assert_eq!(back, snap);
+    }
+
+    /// Encoding is byte-deterministic: re-encoding a decoded snapshot
+    /// reproduces the exact byte string. (The CI quick-bench leans on
+    /// this to diff two independent runs.)
+    #[test]
+    fn reencode_is_byte_identical(
+        deliveries in prop::collection::vec(delivery_strategy(), 1..40),
+        mark in 1i64..=HORIZON_MIN,
+    ) {
+        let snap = build_snapshot(&deliveries, mark);
+        let bytes = encode_snapshot(&snap);
+        let again = encode_snapshot(&decode_snapshot(&bytes).unwrap());
+        prop_assert_eq!(again, bytes);
+    }
+
+    /// The decoder is total under corruption: flip any byte by any mask
+    /// and/or truncate at any point — decode returns, it never panics.
+    /// (A flip that happens to decode is fine; restore-path validation is
+    /// the semantic backstop.)
+    #[test]
+    fn snapshot_decoder_is_total_under_corruption(
+        deliveries in prop::collection::vec(delivery_strategy(), 1..20),
+        mark in 1i64..=HORIZON_MIN,
+        at in 0usize..4096,
+        mask in 1u8..=255,
+        cut in 0usize..4096,
+    ) {
+        let snap = build_snapshot(&deliveries, mark);
+        let mut bytes = encode_snapshot(&snap);
+        let at = at % bytes.len();
+        bytes[at] ^= mask;
+        let cut = cut % (bytes.len() + 1);
+        let _ = decode_snapshot(&bytes[..cut]).map(|_| ());
+        let _ = decode_snapshot(&bytes).map(|_| ());
+    }
+
+    /// Batched ingest requests — the hot wire path — round-trip through
+    /// the frame codec with their dictionaries intact.
+    #[test]
+    fn ingest_batches_round_trip(
+        deliveries in prop::collection::vec(delivery_strategy(), 1..50),
+    ) {
+        let req = Request::IngestBatch {
+            items: deliveries
+                .into_iter()
+                .map(|(target, span)| IngestItem { target, span })
+                .collect(),
+        };
+        let bytes = cdipack::encode_request(&req);
+        prop_assert_eq!(cdipack::decode_request(&bytes).unwrap(), req);
+    }
+}

@@ -362,6 +362,21 @@ impl<T: Data> Dataset<T> {
         Ok(Dataset { plan: Arc::new(SourcePlan { partitions }) })
     }
 
+    /// Create a dataset directly from already-materialized [`Partition`]s.
+    ///
+    /// No rows are copied: the plan pins the given arcs and downstream
+    /// consumers read them by refcount bump. This is the zero-copy entry
+    /// point for decoded `cdipack` columns
+    /// ([`crate::store::PackedTable`]) — the decode materializes each
+    /// column once, and every plan built over it shares that one
+    /// materialization.
+    pub fn from_partitions(partitions: Vec<Partition<T>>) -> Result<Self> {
+        if partitions.is_empty() {
+            return Err(SparkError::invalid("at least one partition is required"));
+        }
+        Ok(Dataset { plan: Arc::new(SourcePlan { partitions }) })
+    }
+
     /// Number of partitions in the current plan.
     pub fn num_partitions(&self) -> usize {
         self.plan.num_partitions()

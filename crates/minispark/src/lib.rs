@@ -24,9 +24,12 @@
 //!   what makes joins co-partition and committed results reproducible.
 //! - [`store`] — the storage substrates of the paper's Fig. 4: an
 //!   append-only time-indexed [`store::EventLog`] (Simple Log Service
-//!   stand-in), columnar [`store::Table`]s with CSV/JSON persistence
-//!   (MaxCompute stand-in) and a versioned [`store::ConfigStore`] (MySQL
-//!   stand-in).
+//!   stand-in), columnar [`store::Table`]s with CSV/JSON/`cdipack`
+//!   persistence (MaxCompute stand-in) and a versioned [`store::ConfigStore`]
+//!   (MySQL stand-in).
+//! - [`pack`] — the `cdipack` binary encoding primitives (varints, zigzag
+//!   deltas, bit-exact floats, length-prefixed strings) shared by table
+//!   persistence here and the cdi-serve wire/snapshot codecs.
 //! - [`bi`] — the Business-Intelligence layer: aggregation queries over
 //!   tables with dimension drill-down and the weighted-ratio aggregate that
 //!   realizes the paper's Formula 4 at any grouping level.
@@ -40,6 +43,7 @@ pub mod dataset;
 pub mod error;
 pub mod exec;
 pub mod hash;
+pub mod pack;
 pub mod partition;
 pub mod store;
 

@@ -1,0 +1,441 @@
+//! `cdipack` primitives — the binary, columnar, length-prefixed encoding
+//! shared by the serving wire protocol, service snapshots, and table
+//! persistence.
+//!
+//! The format is built from four primitives, all little-endian:
+//!
+//! - **varint** — LEB128 unsigned 64-bit integers (7 payload bits per byte,
+//!   high bit = continuation; at most [`MAX_VARINT_BYTES`] bytes);
+//! - **zigzag** — signed 64-bit integers mapped to unsigned
+//!   (`0, -1, 1, -2, …` → `0, 1, 2, 3, …`) then varint-encoded, so small
+//!   magnitudes of either sign stay short — the representation delta-encoded
+//!   timestamps ride on;
+//! - **f64 bits** — floats as their raw 8 IEEE-754 bytes, so every value
+//!   (including NaN payloads and signed zeros) round-trips bit-exactly;
+//! - **string** — varint byte length followed by UTF-8 bytes.
+//!
+//! [`PackWriter`] appends primitives to a growable buffer; [`PackReader`] is
+//! a bounds-checked cursor over a byte slice. Every read is total: corrupt,
+//! truncated, or over-length input surfaces as a typed [`PackError`], never
+//! a panic — the reader is on the untrusted side of a network socket.
+//!
+//! This module is deliberately cast-free: all width changes go through
+//! `to_le_bytes`/`from_le_bytes` and `try_from`, so the stability-lint R4
+//! rule (no raw `as` numeric casts) holds over the codec as well as the
+//! metric math.
+
+use std::fmt;
+
+use crate::error::SparkError;
+
+/// Maximum encoded size of one varint (10 × 7 bits ≥ 64 bits).
+pub const MAX_VARINT_BYTES: usize = 10;
+
+/// Typed decode failure. Every variant names what the cursor was trying to
+/// read so wire errors are actionable without a hex dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackError {
+    /// The buffer ended before the requested bytes.
+    Truncated {
+        /// Bytes the read needed.
+        need: usize,
+        /// Bytes that remained.
+        have: usize,
+    },
+    /// A varint ran past [`MAX_VARINT_BYTES`] or overflowed 64 bits.
+    VarintOverflow,
+    /// A magic/version preamble did not match.
+    BadMagic {
+        /// What the decoder expected.
+        expected: &'static [u8],
+        /// What the buffer held.
+        found: Vec<u8>,
+    },
+    /// An enum tag byte was outside the known range.
+    BadTag {
+        /// Which tag space the byte came from.
+        context: &'static str,
+        /// The unknown byte.
+        tag: u8,
+    },
+    /// A declared length exceeds what the buffer (or a caller cap) allows —
+    /// the over-length-frame guard.
+    TooLarge {
+        /// The declared length.
+        declared: u64,
+        /// The applicable limit.
+        limit: u64,
+    },
+    /// String bytes were not valid UTF-8.
+    BadUtf8,
+    /// A structural invariant of the format was violated.
+    Malformed(String),
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackError::Truncated { need, have } => {
+                write!(f, "truncated input: needed {need} bytes, {have} remain")
+            }
+            PackError::VarintOverflow => write!(f, "varint overflows 64 bits"),
+            PackError::BadMagic { expected, found } => {
+                write!(f, "bad magic: expected {expected:?}, found {found:?}")
+            }
+            PackError::BadTag { context, tag } => {
+                write!(f, "unknown {context} tag 0x{tag:02x}")
+            }
+            PackError::TooLarge { declared, limit } => {
+                write!(f, "declared length {declared} exceeds limit {limit}")
+            }
+            PackError::BadUtf8 => write!(f, "string bytes are not valid UTF-8"),
+            PackError::Malformed(m) => write!(f, "malformed cdipack data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+impl From<PackError> for SparkError {
+    fn from(e: PackError) -> Self {
+        SparkError::Serde(e.to_string())
+    }
+}
+
+/// Map a signed integer onto the zigzag unsigned line (`-1 → 1`, `1 → 2`).
+pub fn zigzag_encode(n: i64) -> u64 {
+    // (n << 1) ^ (n >> 63): arithmetic shift smears the sign bit, the xor
+    // folds negatives onto odd codes. Wrapping shl keeps i64::MIN total.
+    let z = n.wrapping_shl(1) ^ (n >> 63);
+    u64::from_le_bytes(z.to_le_bytes())
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(z: u64) -> i64 {
+    let unsigned = (z >> 1) ^ 0u64.wrapping_sub(z & 1);
+    i64::from_le_bytes(unsigned.to_le_bytes())
+}
+
+/// Append-only encoder over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct PackWriter {
+    buf: Vec<u8>,
+}
+
+impl PackWriter {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        PackWriter { buf: Vec::new() }
+    }
+
+    /// Writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        PackWriter { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// View of the encoded bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one raw byte.
+    pub fn put_u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    /// Append raw bytes verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a LEB128 varint.
+    pub fn put_varint(&mut self, mut v: u64) {
+        while v >= 0x80 {
+            // Low 7 bits with the continuation bit set; `to_le_bytes()[0]`
+            // is the cast-free low-byte view.
+            self.buf.push(v.to_le_bytes()[0] | 0x80);
+            v >>= 7;
+        }
+        self.buf.push(v.to_le_bytes()[0]);
+    }
+
+    /// Append a zigzag-varint signed integer.
+    pub fn put_zigzag(&mut self, n: i64) {
+        self.put_varint(zigzag_encode(n));
+    }
+
+    /// Append a float as its raw IEEE-754 bits (exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_varint(len_u64(s.len()));
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Widen a buffer length to `u64` without a cast (`usize` ≤ 64 bits on all
+/// supported targets; a failure would need a >2^64-byte buffer).
+fn len_u64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
+/// Bounds-checked decode cursor over a byte slice.
+///
+/// All reads return [`PackError`] on any malformed input; the cursor never
+/// advances past the end of the buffer.
+#[derive(Debug, Clone)]
+pub struct PackReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PackReader<'a> {
+    /// Cursor at the start of a buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        PackReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Error unless the cursor consumed the whole buffer — rejects frames
+    /// with trailing garbage.
+    pub fn finish(&self) -> Result<(), PackError> {
+        if self.is_done() {
+            Ok(())
+        } else {
+            Err(PackError::Malformed(format!(
+                "{} trailing bytes after the last field",
+                self.remaining()
+            )))
+        }
+    }
+
+    /// Read `n` raw bytes.
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], PackError> {
+        if self.remaining() < n {
+            return Err(PackError::Truncated { need: n, have: self.remaining() });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn take_u8(&mut self) -> Result<u8, PackError> {
+        Ok(self.take_bytes(1)?[0])
+    }
+
+    /// Read a LEB128 varint.
+    pub fn take_varint(&mut self) -> Result<u64, PackError> {
+        let mut out: u64 = 0;
+        let mut shift: u32 = 0;
+        for _ in 0..MAX_VARINT_BYTES {
+            let b = self.take_u8()?;
+            let low = u64::from(b & 0x7f);
+            // The 10th byte may only contribute the single remaining bit.
+            if shift == 63 && low > 1 {
+                return Err(PackError::VarintOverflow);
+            }
+            out |= low << shift;
+            if b & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(PackError::VarintOverflow);
+            }
+        }
+        Err(PackError::VarintOverflow)
+    }
+
+    /// Read a zigzag-varint signed integer.
+    pub fn take_zigzag(&mut self) -> Result<i64, PackError> {
+        Ok(zigzag_decode(self.take_varint()?))
+    }
+
+    /// Read an IEEE-754 bit-exact float.
+    pub fn take_f64(&mut self) -> Result<f64, PackError> {
+        let bytes = self.take_bytes(8)?;
+        let arr: [u8; 8] = bytes
+            .try_into()
+            .map_err(|_| PackError::Truncated { need: 8, have: bytes.len() })?;
+        Ok(f64::from_bits(u64::from_le_bytes(arr)))
+    }
+
+    /// Read a varint and validate it as an in-buffer length or count: it
+    /// must not exceed the remaining bytes (each counted item occupies at
+    /// least one byte), which rejects over-length declarations up front
+    /// instead of letting them drive huge allocations.
+    pub fn take_len(&mut self) -> Result<usize, PackError> {
+        let declared = self.take_varint()?;
+        let limit = len_u64(self.remaining());
+        if declared > limit {
+            return Err(PackError::TooLarge { declared, limit });
+        }
+        usize::try_from(declared)
+            .map_err(|_| PackError::TooLarge { declared, limit: len_u64(usize::MAX) })
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String, PackError> {
+        let n = self.take_len()?;
+        let bytes = self.take_bytes(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| PackError::BadUtf8)
+    }
+
+    /// Consume and verify a magic/version preamble.
+    pub fn expect_magic(&mut self, expected: &'static [u8]) -> Result<(), PackError> {
+        let have = self.remaining().min(expected.len());
+        if self.remaining() < expected.len() || &self.buf[self.pos..self.pos + have] != expected {
+            return Err(PackError::BadMagic {
+                expected,
+                found: self.buf[self.pos..self.pos + have].to_vec(),
+            });
+        }
+        self.pos += expected.len();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u64::from(u32::MAX), u64::MAX] {
+            let mut w = PackWriter::new();
+            w.put_varint(v);
+            let mut r = PackReader::new(w.as_slice());
+            assert_eq!(r.take_varint().unwrap(), v, "value {v}");
+            assert!(r.is_done());
+        }
+    }
+
+    #[test]
+    fn varint_sizes_match_leb128() {
+        let mut w = PackWriter::new();
+        w.put_varint(127);
+        assert_eq!(w.len(), 1);
+        let mut w = PackWriter::new();
+        w.put_varint(128);
+        assert_eq!(w.len(), 2);
+        let mut w = PackWriter::new();
+        w.put_varint(u64::MAX);
+        assert_eq!(w.len(), MAX_VARINT_BYTES);
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for n in [0i64, -1, 1, -2, 2, i64::MIN, i64::MAX, -1_000_000, 1_000_000] {
+            assert_eq!(zigzag_decode(zigzag_encode(n)), n, "value {n}");
+            let mut w = PackWriter::new();
+            w.put_zigzag(n);
+            let mut r = PackReader::new(w.as_slice());
+            assert_eq!(r.take_zigzag().unwrap(), n);
+        }
+        // Small magnitudes stay short regardless of sign.
+        let mut w = PackWriter::new();
+        w.put_zigzag(-3);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn f64_bits_exact_including_nan_and_negzero() {
+        for v in [0.0f64, -0.0, 1.5, f64::NAN, f64::INFINITY, f64::MIN_POSITIVE, 1e300] {
+            let mut w = PackWriter::new();
+            w.put_f64(v);
+            let mut r = PackReader::new(w.as_slice());
+            let back = r.take_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn strings_round_trip_and_reject_bad_utf8() {
+        let mut w = PackWriter::new();
+        w.put_str("héllo\n\"world\"");
+        w.put_str("");
+        let mut r = PackReader::new(w.as_slice());
+        assert_eq!(r.take_str().unwrap(), "héllo\n\"world\"");
+        assert_eq!(r.take_str().unwrap(), "");
+        assert!(r.finish().is_ok());
+
+        let bad = [1u8, 0xff];
+        let mut r = PackReader::new(&bad);
+        assert_eq!(r.take_str(), Err(PackError::BadUtf8));
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut r = PackReader::new(&[0x80]); // continuation bit, then EOF
+        assert!(matches!(r.take_varint(), Err(PackError::Truncated { .. })));
+        let mut r = PackReader::new(&[1, 2, 3]);
+        assert!(matches!(r.take_f64(), Err(PackError::Truncated { need: 8, have: 3 })));
+        let mut r = PackReader::new(&[]);
+        assert!(matches!(r.take_u8(), Err(PackError::Truncated { .. })));
+    }
+
+    #[test]
+    fn overlong_varint_is_overflow_not_panic() {
+        // 11 continuation bytes: more than any 64-bit value needs.
+        let bytes = [0xffu8; 11];
+        let mut r = PackReader::new(&bytes);
+        assert_eq!(r.take_varint(), Err(PackError::VarintOverflow));
+        // 10 bytes whose 10th contributes more than the last bit.
+        let mut bytes = [0x80u8; 10];
+        bytes[9] = 0x02;
+        let mut r = PackReader::new(&bytes);
+        assert_eq!(r.take_varint(), Err(PackError::VarintOverflow));
+    }
+
+    #[test]
+    fn over_length_declaration_rejected_before_allocation() {
+        // Declares a 2^40-byte string in a 3-byte buffer.
+        let mut w = PackWriter::new();
+        w.put_varint(1 << 40);
+        let bytes = w.into_bytes();
+        let mut r = PackReader::new(&bytes);
+        assert!(matches!(r.take_str(), Err(PackError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn magic_mismatch_and_trailing_bytes() {
+        let mut w = PackWriter::new();
+        w.put_bytes(b"MSP1");
+        w.put_u8(7);
+        let bytes = w.into_bytes();
+        let mut r = PackReader::new(&bytes);
+        assert!(r.expect_magic(b"XXXX").is_err());
+        assert!(r.expect_magic(b"MSP1").is_ok());
+        assert!(matches!(r.finish(), Err(PackError::Malformed(_))));
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert!(r.finish().is_ok());
+    }
+}

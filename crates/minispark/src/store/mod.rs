@@ -3,7 +3,7 @@
 //! | Paper (production)         | Here                          |
 //! |----------------------------|-------------------------------|
 //! | Simple Log Service (SLS)   | [`EventLog`] — append-only, time-indexed |
-//! | MaxCompute tables          | [`Table`] / [`Catalog`] — columnar, CSV/JSON persistence |
+//! | MaxCompute tables          | [`Table`] / [`Catalog`] — columnar, CSV/JSON/`cdipack` persistence |
 //! | MySQL configuration        | [`ConfigStore`] — versioned key-value store |
 
 mod config;
@@ -12,4 +12,7 @@ mod table;
 
 pub use config::{ConfigStore, ConfigVersion};
 pub use event_log::EventLog;
-pub use table::{Catalog, Column, ColumnType, Row, Schema, Table, Value};
+pub use table::{
+    Catalog, Column, ColumnArc, ColumnType, PackedTable, Row, Schema, Table, Value,
+    TABLE_PACK_MAGIC,
+};

@@ -14,6 +14,12 @@ use std::path::{Path, PathBuf};
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, SparkError};
+use crate::exec::ExecMetrics;
+use crate::pack::{PackError, PackReader, PackWriter};
+use crate::partition::Partition;
+
+/// Magic + version preamble of a `cdipack` table file.
+pub const TABLE_PACK_MAGIC: &[u8] = b"MSPK\x01";
 
 /// Type of a column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -394,6 +400,271 @@ impl Table {
         let r = BufReader::new(fs::File::open(path)?);
         Ok(serde_json::from_reader(r)?)
     }
+
+    /// Encode as `cdipack` bytes: a columnar binary layout with
+    /// zigzag-delta integer columns, bit-exact float columns, and
+    /// dictionary-encoded string columns. See `DESIGN.md` §11.
+    pub fn to_pack_bytes(&self) -> Vec<u8> {
+        let mut w = PackWriter::with_capacity(64 + self.rows * self.schema.len());
+        w.put_bytes(TABLE_PACK_MAGIC);
+        w.put_varint(u64::try_from(self.schema.len()).unwrap_or(u64::MAX));
+        for (name, t) in self.schema.iter() {
+            w.put_str(name);
+            w.put_u8(type_tag(t));
+        }
+        w.put_varint(u64::try_from(self.rows).unwrap_or(u64::MAX));
+        for col in &self.columns {
+            match col {
+                Column::Int(c) => {
+                    // Delta chain: sorted id-like columns collapse to ~1
+                    // byte per row; zigzag keeps descending runs short too.
+                    let mut prev = 0i64;
+                    for &v in c {
+                        w.put_zigzag(v.wrapping_sub(prev));
+                        prev = v;
+                    }
+                }
+                Column::Float(c) => {
+                    for &v in c {
+                        w.put_f64(v);
+                    }
+                }
+                Column::Str(c) => {
+                    // First-seen-order dictionary, then one varint index per
+                    // row — deterministic, so equal tables encode to equal
+                    // bytes.
+                    let mut dict: Vec<&str> = Vec::new();
+                    let mut index_of: HashMap<&str, u64> = HashMap::new();
+                    let mut indices: Vec<u64> = Vec::with_capacity(c.len());
+                    for v in c {
+                        let next = u64::try_from(dict.len()).unwrap_or(u64::MAX);
+                        let idx = *index_of.entry(v.as_str()).or_insert_with(|| {
+                            dict.push(v.as_str());
+                            next
+                        });
+                        indices.push(idx);
+                    }
+                    w.put_varint(u64::try_from(dict.len()).unwrap_or(u64::MAX));
+                    for s in dict {
+                        w.put_str(s);
+                    }
+                    for idx in indices {
+                        w.put_varint(idx);
+                    }
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Write as a `cdipack` file.
+    pub fn to_pack(&self, path: &Path) -> Result<()> {
+        let mut w = BufWriter::new(fs::File::create(path)?);
+        w.write_all(&self.to_pack_bytes())?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Decode `cdipack` bytes into a [`PackedTable`] — each column is
+    /// materialized exactly once into a [`Partition`] arc; downstream
+    /// consumers read by refcount bump.
+    pub fn from_pack_bytes(bytes: &[u8]) -> Result<PackedTable> {
+        decode_pack(bytes).map_err(SparkError::from)
+    }
+
+    /// Read a `cdipack` file written by [`Table::to_pack`].
+    pub fn from_pack(path: &Path) -> Result<PackedTable> {
+        let bytes = fs::read(path)?;
+        Table::from_pack_bytes(&bytes)
+    }
+}
+
+fn type_tag(t: ColumnType) -> u8 {
+    match t {
+        ColumnType::Int => 0,
+        ColumnType::Float => 1,
+        ColumnType::Str => 2,
+    }
+}
+
+fn type_from_tag(tag: u8) -> std::result::Result<ColumnType, PackError> {
+    match tag {
+        0 => Ok(ColumnType::Int),
+        1 => Ok(ColumnType::Float),
+        2 => Ok(ColumnType::Str),
+        tag => Err(PackError::BadTag { context: "column type", tag }),
+    }
+}
+
+fn decode_pack(bytes: &[u8]) -> std::result::Result<PackedTable, PackError> {
+    let mut r = PackReader::new(bytes);
+    r.expect_magic(TABLE_PACK_MAGIC)?;
+    let ncols = r.take_len()?;
+    let mut fields: Vec<(String, ColumnType)> = Vec::with_capacity(ncols.min(r.remaining()));
+    for _ in 0..ncols {
+        let name = r.take_str()?;
+        let t = type_from_tag(r.take_u8()?)?;
+        fields.push((name, t));
+    }
+    let rows = usize::try_from(r.take_varint()?)
+        .map_err(|_| PackError::Malformed("row count exceeds usize".into()))?;
+    let mut columns: Vec<ColumnArc> = Vec::with_capacity(fields.len());
+    for (_, t) in &fields {
+        // Pre-size against the bytes actually present so a corrupt row
+        // count cannot drive a huge allocation before the reads fail.
+        let cap = rows.min(r.remaining().max(1));
+        match t {
+            ColumnType::Int => {
+                let mut c: Vec<i64> = Vec::with_capacity(cap);
+                let mut prev = 0i64;
+                for _ in 0..rows {
+                    prev = prev.wrapping_add(r.take_zigzag()?);
+                    c.push(prev);
+                }
+                columns.push(ColumnArc::Int(Partition::new(c)));
+            }
+            ColumnType::Float => {
+                let mut c: Vec<f64> = Vec::with_capacity(cap);
+                for _ in 0..rows {
+                    c.push(r.take_f64()?);
+                }
+                columns.push(ColumnArc::Float(Partition::new(c)));
+            }
+            ColumnType::Str => {
+                let dict_len = r.take_len()?;
+                let mut dict: Vec<String> = Vec::with_capacity(dict_len);
+                for _ in 0..dict_len {
+                    dict.push(r.take_str()?);
+                }
+                let mut c: Vec<String> = Vec::with_capacity(cap);
+                for _ in 0..rows {
+                    let idx = usize::try_from(r.take_varint()?)
+                        .map_err(|_| PackError::Malformed("dict index exceeds usize".into()))?;
+                    let s = dict.get(idx).ok_or_else(|| {
+                        PackError::Malformed(format!(
+                            "dict index {idx} out of range (dict has {dict_len})"
+                        ))
+                    })?;
+                    c.push(s.clone());
+                }
+                columns.push(ColumnArc::Str(Partition::new(c)));
+            }
+        }
+    }
+    r.finish()?;
+    let schema = Schema::new(fields.iter().map(|(n, t)| (n.as_str(), *t)).collect())
+        .map_err(|e| PackError::Malformed(e.to_string()))?;
+    Ok(PackedTable { schema, columns, rows })
+}
+
+/// One decoded `cdipack` column, pinned in a [`Partition`] arc.
+#[derive(Debug, Clone)]
+pub enum ColumnArc {
+    /// Integer column.
+    Int(Partition<i64>),
+    /// Float column.
+    Float(Partition<f64>),
+    /// String column.
+    Str(Partition<String>),
+}
+
+impl ColumnArc {
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnArc::Int(p) => p.len(),
+            ColumnArc::Float(p) => p.len(),
+            ColumnArc::Str(p) => p.len(),
+        }
+    }
+
+    /// Whether the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A `cdipack`-decoded table whose columns live in shared [`Partition`]
+/// arcs: the decode materializes each column exactly once, and every
+/// consumer after that — [`PackedTable::floats`] handed to a
+/// [`crate::Dataset`], or a full [`PackedTable::to_table`] — either bumps a
+/// refcount or pays a clone that is accounted in
+/// [`ExecMetrics::rows_cloned`]/`bytes_cloned`.
+#[derive(Debug, Clone)]
+pub struct PackedTable {
+    schema: Schema,
+    columns: Vec<ColumnArc>,
+    rows: usize,
+}
+
+impl PackedTable {
+    /// The decoded schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Column arc by name (refcount view, no copy).
+    pub fn column(&self, name: &str) -> Result<&ColumnArc> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// Float column by name as a shared partition — an `Arc` bump, never a
+    /// row copy. Feed it to [`crate::Dataset::from_partitions`] to run
+    /// plans over the decoded bytes with zero additional materialization.
+    pub fn floats(&self, name: &str) -> Result<Partition<f64>> {
+        match self.column(name)? {
+            ColumnArc::Float(p) => Ok(p.clone()),
+            _ => Err(SparkError::schema(format!("column '{name}' is not a float column"))),
+        }
+    }
+
+    /// Integer column by name as a shared partition (`Arc` bump).
+    pub fn ints(&self, name: &str) -> Result<Partition<i64>> {
+        match self.column(name)? {
+            ColumnArc::Int(p) => Ok(p.clone()),
+            _ => Err(SparkError::schema(format!("column '{name}' is not an int column"))),
+        }
+    }
+
+    /// String column by name as a shared partition (`Arc` bump).
+    pub fn strs(&self, name: &str) -> Result<Partition<String>> {
+        match self.column(name)? {
+            ColumnArc::Str(p) => Ok(p.clone()),
+            _ => Err(SparkError::schema(format!("column '{name}' is not a string column"))),
+        }
+    }
+
+    /// Materialize an owned [`Table`], keeping this packed view alive: the
+    /// copies are real and show up in `metrics.rows_cloned`/`bytes_cloned`.
+    pub fn to_table(&self, metrics: &ExecMetrics) -> Table {
+        self.clone().into_table(metrics)
+    }
+
+    /// Convert into an owned [`Table`]. Columns nobody else holds are moved
+    /// out for free; shared columns are cloned with metric accounting —
+    /// the same ownership-transfer contract as [`Partition::into_vec`].
+    pub fn into_table(self, metrics: &ExecMetrics) -> Table {
+        let columns = self
+            .columns
+            .into_iter()
+            .map(|c| match c {
+                ColumnArc::Int(p) => Column::Int(p.into_vec(metrics)),
+                ColumnArc::Float(p) => Column::Float(p.into_vec(metrics)),
+                ColumnArc::Str(p) => Column::Str(p.into_vec(metrics)),
+            })
+            .collect();
+        Table { schema: self.schema, columns, rows: self.rows }
+    }
 }
 
 fn parse_cell(cell: &str, t: ColumnType) -> Result<Value> {
@@ -442,7 +713,9 @@ fn parse_csv_line(line: &str) -> Vec<String> {
     out
 }
 
-/// A directory of named tables (saved as JSON for fidelity).
+/// A directory of named tables. Two on-disk dialects coexist: JSON
+/// (`{name}.json`, human-greppable) and `cdipack` (`{name}.cdp`, the
+/// compact binary columnar format). [`Catalog::load`] resolves either.
 #[derive(Debug)]
 pub struct Catalog {
     dir: PathBuf,
@@ -456,33 +729,56 @@ impl Catalog {
         Ok(Catalog { dir })
     }
 
-    /// Persist a table under a name (overwrites).
+    /// Persist a table under a name as JSON (overwrites).
     pub fn save(&self, name: &str, table: &Table) -> Result<()> {
-        table.to_json(&self.path_of(name))
+        table.to_json(&self.json_path_of(name))
     }
 
-    /// Load a table by name.
+    /// Persist a table under a name as `cdipack` (overwrites).
+    pub fn save_packed(&self, name: &str, table: &Table) -> Result<()> {
+        table.to_pack(&self.pack_path_of(name))
+    }
+
+    /// Load a table by name: the JSON file wins if both dialects exist
+    /// (it is the older, authoritative artifact), otherwise the `cdipack`
+    /// file is decoded and materialized (free moves — the decode's
+    /// partitions have no other owner yet).
     pub fn load(&self, name: &str) -> Result<Table> {
-        Table::from_json(&self.path_of(name))
+        let json = self.json_path_of(name);
+        if json.exists() {
+            return Table::from_json(&json);
+        }
+        let metrics = ExecMetrics::default();
+        Ok(Table::from_pack(&self.pack_path_of(name))?.into_table(&metrics))
     }
 
-    /// Names of the stored tables, sorted.
+    /// Load the `cdipack` dialect as a zero-copy [`PackedTable`].
+    pub fn load_packed(&self, name: &str) -> Result<PackedTable> {
+        Table::from_pack(&self.pack_path_of(name))
+    }
+
+    /// Names of the stored tables (either dialect), sorted and deduplicated.
     pub fn list(&self) -> Result<Vec<String>> {
         let mut names = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
             let p = entry?.path();
-            if p.extension().is_some_and(|e| e == "json") {
+            if p.extension().is_some_and(|e| e == "json" || e == "cdp") {
                 if let Some(stem) = p.file_stem().and_then(|s| s.to_str()) {
                     names.push(stem.to_string());
                 }
             }
         }
         names.sort();
+        names.dedup();
         Ok(names)
     }
 
-    fn path_of(&self, name: &str) -> PathBuf {
+    fn json_path_of(&self, name: &str) -> PathBuf {
         self.dir.join(format!("{name}.json"))
+    }
+
+    fn pack_path_of(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.cdp"))
     }
 }
 

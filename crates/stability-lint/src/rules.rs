@@ -154,7 +154,11 @@ impl RuleId {
             RuleId::R3 => {
                 matches!(crate_name, "simfleet" | "cdi-core" | "cdi-serve" | "scenario-suite")
             }
-            RuleId::R4 => crate_name == "cdi-core",
+            // cdi-core's metric kernels plus the cast-free codec modules:
+            // cdipack/pack encode sizes and ids through to_le_bytes /
+            // TryFrom / widening From only, so R4 covers them with zero
+            // allowlist entries.
+            RuleId::R4 => matches!(crate_name, "cdi-core" | "minispark" | "cdi-serve"),
             RuleId::R5 => crate_name == "cdi-core",
             // The concurrency rules cover the crates that actually hold
             // locks on hot paths: the serving layer, the execution engine,
@@ -170,11 +174,15 @@ impl RuleId {
     /// Does this rule look at the given file? (On top of crate scoping.)
     pub fn applies_to_file(self, path: &str) -> bool {
         match self {
-            // Metric-math modules only: the hot numeric kernels.
+            // Metric-math modules (the hot numeric kernels) and the
+            // binary codec modules (size/id arithmetic that must never
+            // silently truncate).
             RuleId::R4 => {
                 path.ends_with("indicator.rs")
                     || path.ends_with("weight.rs")
                     || path.ends_with("streaming.rs")
+                    || path.ends_with("pack.rs")
+                    || path.ends_with("cdipack.rs")
             }
             _ => true,
         }
