@@ -19,6 +19,7 @@
 //!   bench-serve  cdi-serve ingest/query probes      [--iters N] [--quick]
 //!   drill   cdi-serve chaos drill → BENCH_PR6.json  [--seed N] [--quick]
 //!   scenarios  detector scoring matrix → BENCH_PR8.json  [--seed N] [--quick]
+//!   diagnose  outage-diag gates → BENCH_PR10.json  [--seed N] [--quick]
 //!   bench-codec  cdipack codec gates → BENCH_PR9.json  [--iters N] [--quick] [--sizes-only]
 //! ```
 //!
@@ -55,6 +56,11 @@ fn main() {
     if cmd == "scenarios" {
         let quick = args.iter().any(|a| a == "--quick");
         run_scenarios(seed, quick);
+        return;
+    }
+    if cmd == "diagnose" {
+        let quick = args.iter().any(|a| a == "--quick");
+        run_diagnose(seed, quick);
         return;
     }
     if cmd == "bench-codec" {
@@ -277,6 +283,68 @@ fn run_scenarios(seed: u64, quick: bool) {
             eprintln!("floor violation: {v}");
         }
         eprintln!("floor gate FAILED ({} violation(s))", report.violations.len());
+        std::process::exit(1);
+    }
+}
+
+fn run_diagnose(seed: u64, quick: bool) {
+    heading("Outage diagnosis — correlated-scenario gates");
+    eprintln!(
+        "(seed {seed}{}; deterministic: two runs produce byte-identical BENCH_PR10.json)",
+        if quick { ", quick mode" } else { "" }
+    );
+    let report = match bench::diagbench::run(seed, quick) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("diagnosis evaluation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rows: Vec<Vec<String>> = report
+        .scenarios
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                format!("{:.3}", r.score.f1),
+                format!("{}/{}", r.score.detected_windows, r.score.total_windows),
+                format!("{}", r.diagnoses.len()),
+                if r.exact_scope { "yes".into() } else { "NO".into() },
+                if r.batch_live_identical { "yes".into() } else { "NO".into() },
+                if r.shard_invariant { "yes".into() } else { "NO".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["scenario", "F1", "windows", "diagnoses", "exact scope", "batch=live", "shard-inv"],
+            &rows,
+        )
+    );
+    for note in &report.notes {
+        println!("note: {note}");
+    }
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_PR10.json", json + "\n") {
+                eprintln!("cannot write BENCH_PR10.json: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote BENCH_PR10.json");
+        }
+        Err(e) => {
+            eprintln!("diagnosis report failed to serialize: {e}");
+            std::process::exit(1);
+        }
+    }
+    if report.passed() {
+        println!("diagnosis gate: PASS ({} floors + structural gates)", report.floors.len());
+    } else {
+        for v in &report.violations {
+            eprintln!("diagnosis violation: {v}");
+        }
+        eprintln!("diagnosis gate FAILED ({} violation(s))", report.violations.len());
         std::process::exit(1);
     }
 }

@@ -11,6 +11,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod codecbench;
+pub mod diagbench;
 pub mod drill;
 pub mod experiments;
 pub mod perfbench;

@@ -22,9 +22,12 @@
 //! ```
 //!
 //! (Variants without a payload — `Flush`, `Metrics`, `Snapshot`,
-//! `Shutdown` — are bare JSON strings on the wire.) Or lead with
-//! [`cdi_serve::cdipack::WIRE_MAGIC`] and speak varint-framed binary
-//! (see `cdi_serve::cdipack` for the frame layout).
+//! `Diagnose`, `Shutdown` — are bare JSON strings on the wire.) Or lead
+//! with [`cdi_serve::cdipack::WIRE_MAGIC`] and speak varint-framed binary
+//! (see `cdi_serve::cdipack` for the frame layout). This binary serves
+//! without a diagnosis layer, so `Diagnose` answers a clean `Error`;
+//! embedders attach one with [`cdi_serve::serve_with_diag`] (the
+//! `outage-diag` crate provides the provider).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;

@@ -41,7 +41,7 @@ use simfleet::Scope;
 
 use crate::lifecycle::ResizeOutcome;
 use crate::metrics::{LifecycleEvent, MetricsReport, ShardTotals};
-use crate::proto::{DrillOp, IngestItem, Request, Response, TopEntry};
+use crate::proto::{DrillOp, IngestItem, OutageScope, OutageSummary, Request, Response, TopEntry};
 use crate::shard::{Checkpoint, ShardMsg, TargetCdi, TargetSnapshot};
 use crate::snapshot::ServiceSnapshot;
 
@@ -797,6 +797,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.put_u8(11);
             put_ingest_batch(&mut w, items);
         }
+        Request::Diagnose => w.put_u8(12),
     }
     w.into_bytes()
 }
@@ -836,6 +837,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request> {
         }
         10 => Request::Shutdown,
         11 => Request::IngestBatch { items: take_ingest_batch(&mut r)? },
+        12 => Request::Diagnose,
         _ => return Err(perr(PackError::BadTag { context: "request", tag })),
     };
     r.finish().map_err(perr)?;
@@ -991,8 +993,63 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.put_varint(as_u64(*respawned));
         }
         Response::ShuttingDown => w.put_u8(10),
+        Response::Diagnoses { outages } => {
+            w.put_u8(11);
+            w.put_varint(as_u64(outages.len()));
+            for o in outages {
+                put_outage_scope(&mut w, &o.scope);
+                w.put_u8(cat_tag(o.category));
+                w.put_zigzag(o.start);
+                w.put_zigzag(o.end);
+                w.put_varint(as_u64(o.ticks));
+                w.put_varint(as_u64(o.spiking_vms));
+                w.put_varint(as_u64(o.total_vms));
+                w.put_varint(as_u64(o.spiking_ncs));
+                w.put_f64(o.concentration);
+                w.put_f64(o.confidence);
+            }
+        }
     }
     w.into_bytes()
+}
+
+fn put_outage_scope(w: &mut PackWriter, scope: &OutageScope) {
+    match scope {
+        OutageScope::Vm(id) => {
+            w.put_u8(0);
+            w.put_varint(*id);
+        }
+        OutageScope::Nc(id) => {
+            w.put_u8(1);
+            w.put_varint(*id);
+        }
+        OutageScope::Cluster(name) => {
+            w.put_u8(2);
+            w.put_str(name);
+        }
+        OutageScope::Az(name) => {
+            w.put_u8(3);
+            w.put_str(name);
+        }
+        OutageScope::Region(name) => {
+            w.put_u8(4);
+            w.put_str(name);
+        }
+        OutageScope::Global => w.put_u8(5),
+    }
+}
+
+fn take_outage_scope(r: &mut PackReader<'_>) -> Result<OutageScope> {
+    let tag = r.take_u8().map_err(perr)?;
+    Ok(match tag {
+        0 => OutageScope::Vm(r.take_varint().map_err(perr)?),
+        1 => OutageScope::Nc(r.take_varint().map_err(perr)?),
+        2 => OutageScope::Cluster(r.take_str().map_err(perr)?),
+        3 => OutageScope::Az(r.take_str().map_err(perr)?),
+        4 => OutageScope::Region(r.take_str().map_err(perr)?),
+        5 => OutageScope::Global,
+        _ => return Err(perr(PackError::BadTag { context: "outage scope", tag })),
+    })
 }
 
 /// Decode one response frame payload. Trailing bytes are rejected.
@@ -1059,6 +1116,26 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response> {
             respawned: to_usize(r.take_varint().map_err(perr)?, "respawned")?,
         },
         10 => Response::ShuttingDown,
+        11 => {
+            let n = r.take_len().map_err(perr)?;
+            let mut outages = Vec::new();
+            for _ in 0..n {
+                // bound: one outage per decoded record, truncation errors first
+                outages.push(OutageSummary {
+                    scope: take_outage_scope(&mut r)?,
+                    category: cat_from_tag(r.take_u8().map_err(perr)?)?,
+                    start: r.take_zigzag().map_err(perr)?,
+                    end: r.take_zigzag().map_err(perr)?,
+                    ticks: to_usize(r.take_varint().map_err(perr)?, "ticks")?,
+                    spiking_vms: to_usize(r.take_varint().map_err(perr)?, "spiking_vms")?,
+                    total_vms: to_usize(r.take_varint().map_err(perr)?, "total_vms")?,
+                    spiking_ncs: to_usize(r.take_varint().map_err(perr)?, "spiking_ncs")?,
+                    concentration: r.take_f64().map_err(perr)?,
+                    confidence: r.take_f64().map_err(perr)?,
+                });
+            }
+            Response::Diagnoses { outages }
+        }
         _ => return Err(perr(PackError::BadTag { context: "response", tag })),
     };
     r.finish().map_err(perr)?;
@@ -1182,6 +1259,7 @@ mod tests {
                     },
                 ],
             },
+            Request::Diagnose,
         ];
         for req in reqs {
             let bytes = encode_request(&req);
@@ -1226,6 +1304,47 @@ mod tests {
             },
             Response::Supervised { respawned: 1 },
             Response::ShuttingDown,
+            Response::Diagnoses { outages: vec![] },
+            Response::Diagnoses {
+                outages: vec![
+                    OutageSummary {
+                        scope: OutageScope::Az("r1-a1".into()),
+                        category: Category::Unavailability,
+                        start: 18_000_000,
+                        end: 20_700_000,
+                        ticks: 3,
+                        spiking_vms: 16,
+                        total_vms: 16,
+                        spiking_ncs: 4,
+                        concentration: 1.0,
+                        confidence: 1.0,
+                    },
+                    OutageSummary {
+                        scope: OutageScope::Vm(42),
+                        category: Category::Performance,
+                        start: -5,
+                        end: 5,
+                        ticks: 1,
+                        spiking_vms: 1,
+                        total_vms: 1,
+                        spiking_ncs: 1,
+                        concentration: 0.5,
+                        confidence: 0.25,
+                    },
+                    OutageSummary {
+                        scope: OutageScope::Global,
+                        category: Category::ControlPlane,
+                        start: 0,
+                        end: 900_000,
+                        ticks: 1,
+                        spiking_vms: 64,
+                        total_vms: 64,
+                        spiking_ncs: 16,
+                        concentration: 1.0,
+                        confidence: 1.0,
+                    },
+                ],
+            },
         ];
         for resp in resps {
             let bytes = encode_response(&resp);

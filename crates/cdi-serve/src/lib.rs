@@ -55,10 +55,10 @@ pub mod tracked;
 pub use cdipack::{ShardDelta, WIRE_MAGIC};
 pub use lifecycle::{AdmissionGate, AutoScalerPolicy, ResizeOutcome};
 pub use metrics::{LifecycleEvent, MetricsReport, ServiceMetrics};
-pub use proto::IngestItem;
+pub use proto::{IngestItem, OutageScope, OutageSummary};
 pub use queue::{BackpressurePolicy, BoundedQueue, PushOutcome};
 pub use rollup::{rollup, Rollup};
-pub use server::{serve, ServerHandle};
+pub use server::{serve, serve_with_diag, DiagProvider, ServerHandle};
 pub use service::{CdiService, IngestReport, ServeConfig};
 pub use shard::{DurableStats, ShardMsg, TargetCdi, TargetSnapshot};
 pub use snapshot::ServiceSnapshot;

@@ -87,6 +87,9 @@ pub enum Request {
         /// The spans, in delivery order.
         items: Vec<IngestItem>,
     },
+    /// Current active batch-outage clusters from the attached diagnosis
+    /// layer (an error if the server was started without one).
+    Diagnose,
 }
 
 /// One span delivery inside an [`Request::IngestBatch`].
@@ -113,6 +116,50 @@ pub enum DrillOp {
     RollingRestart,
     /// Sweep the pool for dead shards and respawn them.
     Supervise,
+}
+
+/// Where a diagnosed outage lands in the fleet hierarchy — the wire's
+/// topology-tagged mirror of a diagnosis scope (a superset of
+/// [`simfleet::Scope`] with a `Global` level).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutageScope {
+    /// A single VM.
+    Vm(u64),
+    /// One physical host and everything on it.
+    Nc(u64),
+    /// A cluster, by name.
+    Cluster(String),
+    /// An availability zone, by name.
+    Az(String),
+    /// A whole region, by name.
+    Region(String),
+    /// The entire fleet.
+    Global,
+}
+
+/// One active diagnosed batch outage, as answered by [`Request::Diagnose`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutageSummary {
+    /// The diagnosed root scope.
+    pub scope: OutageScope,
+    /// The damaged stability category.
+    pub category: Category,
+    /// When the outage opened (ms).
+    pub start: Timestamp,
+    /// End of the last tick that extended it (ms, exclusive).
+    pub end: Timestamp,
+    /// Ticks the outage has spanned so far.
+    pub ticks: usize,
+    /// Peak simultaneous spiking VMs inside the scope.
+    pub spiking_vms: usize,
+    /// VMs the scope covers.
+    pub total_vms: usize,
+    /// Peak distinct spiking hosts inside the scope.
+    pub spiking_ncs: usize,
+    /// Peak damage concentration (spiking / covered VMs).
+    pub concentration: f64,
+    /// Peak ranker confidence (concentration × scope isolation).
+    pub confidence: f64,
 }
 
 /// One entry of a top-K answer.
@@ -180,6 +227,11 @@ pub enum Response {
     },
     /// Acknowledgement of `Shutdown`; the server exits after this line.
     ShuttingDown,
+    /// Answer to `Diagnose`: active outage clusters, most severe first.
+    Diagnoses {
+        /// The currently open diagnosed outages.
+        outages: Vec<OutageSummary>,
+    },
 }
 
 #[cfg(test)]
@@ -223,6 +275,7 @@ mod tests {
                     ),
                 }],
             },
+            Request::Diagnose,
         ];
         for req in reqs {
             let line = serde_json::to_string(&req).unwrap();
@@ -252,6 +305,20 @@ mod tests {
             },
             Response::Supervised { respawned: 1 },
             Response::ShuttingDown,
+            Response::Diagnoses {
+                outages: vec![OutageSummary {
+                    scope: OutageScope::Cluster("r1-a0-c1".into()),
+                    category: Category::Performance,
+                    start: 18_000_000,
+                    end: 20_700_000,
+                    ticks: 3,
+                    spiking_vms: 8,
+                    total_vms: 8,
+                    spiking_ncs: 2,
+                    concentration: 1.0,
+                    confidence: 1.0,
+                }],
+            },
         ];
         for resp in resps {
             let line = serde_json::to_string(&resp).unwrap();

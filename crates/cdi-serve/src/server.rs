@@ -24,13 +24,32 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use cdi_core::error::{CdiError, Result};
+use cdi_core::time::Timestamp;
 use simfleet::Fleet;
 
 use crate::cdipack;
-use crate::proto::{DrillOp, Request, Response, TopEntry};
+use crate::proto::{DrillOp, OutageSummary, Request, Response, TopEntry};
 use crate::queue::BoundedQueue;
 use crate::rollup::rollup;
 use crate::service::CdiService;
+
+/// A diagnosis layer attached to the server: observes every committed
+/// watermark advance and answers `Diagnose` with the currently open
+/// outage clusters. Implemented by `outage-diag`'s live tap; the server
+/// stays decoupled from the diagnosis crate through this trait.
+pub trait DiagProvider: Send + Sync {
+    /// Called after each successful `Advance`, with the committed
+    /// watermark — one diagnosis tick per advance.
+    fn on_advance(&self, watermark: Timestamp);
+    /// The currently open diagnosed outages, in deterministic order.
+    fn active(&self) -> Vec<OutageSummary>;
+}
+
+impl std::fmt::Debug for dyn DiagProvider + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DiagProvider")
+    }
+}
 
 /// Shared context of every connection handler.
 #[derive(Debug)]
@@ -39,6 +58,9 @@ struct ServerCtx {
     /// Topology for `Rollup` requests; without one, rollups answer with an
     /// error instead of a wrong empty aggregate.
     fleet: Option<Arc<Fleet>>,
+    /// Diagnosis layer for `Diagnose` requests; without one, they answer
+    /// with an error instead of a wrong empty cluster list.
+    diag: Option<Arc<dyn DiagProvider>>,
     shutdown: AtomicBool,
     addr: SocketAddr,
 }
@@ -107,6 +129,18 @@ pub fn serve(
     addr: &str,
     workers: usize,
 ) -> Result<ServerHandle> {
+    serve_with_diag(service, fleet, None, addr, workers)
+}
+
+/// [`serve`], with a diagnosis layer attached: `diag` observes every
+/// committed watermark advance and answers `Diagnose` requests.
+pub fn serve_with_diag(
+    service: Arc<CdiService>,
+    fleet: Option<Arc<Fleet>>,
+    diag: Option<Arc<dyn DiagProvider>>,
+    addr: &str,
+    workers: usize,
+) -> Result<ServerHandle> {
     let listener = TcpListener::bind(addr)
         .map_err(|e| CdiError::invalid(format!("cannot bind {addr}: {e}")))?;
     let bound = listener
@@ -115,6 +149,7 @@ pub fn serve(
     let ctx = Arc::new(ServerCtx {
         service,
         fleet,
+        diag,
         shutdown: AtomicBool::new(false),
         addr: bound,
     });
@@ -266,7 +301,14 @@ fn dispatch(req: Request, ctx: &ServerCtx) -> (Response, bool) {
             Response::Ingested { accepted: report.accepted, shed: report.shed }
         }
         Request::Advance { watermark } => match service.advance_watermark(watermark) {
-            Ok(()) => Response::Ok,
+            Ok(()) => {
+                // The diagnosis layer ticks on committed watermarks only,
+                // so a rejected (regressing) advance never produces a tick.
+                if let Some(diag) = &ctx.diag {
+                    diag.on_advance(watermark);
+                }
+                Response::Ok
+            }
             Err(e) => Response::Error { message: e.to_string() },
         },
         Request::Flush => {
@@ -293,6 +335,12 @@ fn dispatch(req: Request, ctx: &ServerCtx) -> (Response, bool) {
             },
             None => Response::Error {
                 message: "server has no fleet topology; rollups unavailable".to_string(),
+            },
+        },
+        Request::Diagnose => match &ctx.diag {
+            Some(diag) => Response::Diagnoses { outages: diag.active() },
+            None => Response::Error {
+                message: "server has no diagnosis layer; Diagnose unavailable".to_string(),
             },
         },
         Request::Metrics => Response::Metrics { report: service.metrics() },

@@ -1,0 +1,220 @@
+//! Streaming spatio-temporal clustering of CDI spikes.
+//!
+//! The [`OutageClusterer`] consumes one tick of per-VM damage fractions
+//! at a time — the same `[f64; 3]` cells as the scenario suite's
+//! [`TickTable`](scenario_suite::table::TickTable) — and groups
+//! simultaneous spikes into scoped outages:
+//!
+//! 1. **Spatial**: per category, every VM whose damage fraction exceeds
+//!    [`DiagConfig::spike_threshold`] joins the tick's spike set, and
+//!    [`rank_root_scopes`](crate::rank::rank_root_scopes) names the
+//!    maximal scopes that explain it.
+//! 2. **Temporal**: a winning `(category, scope)` either extends an
+//!    already-open outage or opens a new one. An open outage that goes
+//!    unextended for more than [`DiagConfig::gap_ticks`] ticks closes and
+//!    is emitted.
+//!
+//! All state is integer counts, tick indices, and caller-supplied
+//! timestamps in `BTreeMap` order, so the emitted diagnoses are
+//! byte-identical for byte-identical inputs — which is what lets the
+//! batch-table and live-service paths be compared with `==` instead of a
+//! tolerance.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use scenario_suite::truth::TruthScope;
+use simfleet::faults::DamageCategory;
+use simfleet::topology::{Fleet, VmId};
+
+use crate::rank::{owned_key, rank_root_scopes, RankConfig};
+
+/// Clustering parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagConfig {
+    /// Per-tick damage fraction above which a VM counts as spiking —
+    /// the same 0.05 default as the suite's CDI-threshold baseline
+    /// (≈ 45 s of fatal damage per 15-minute tick).
+    pub spike_threshold: f64,
+    /// How many consecutive quiet ticks an open outage survives before it
+    /// closes. 1 tolerates a single-tick flicker inside one incident
+    /// while keeping incidents an hour apart separate.
+    pub gap_ticks: i64,
+    /// Root-scope eligibility thresholds.
+    pub rank: RankConfig,
+}
+
+impl Default for DiagConfig {
+    fn default() -> Self {
+        DiagConfig { spike_threshold: 0.05, gap_ticks: 1, rank: RankConfig::default() }
+    }
+}
+
+/// One diagnosed batch outage: a scoped, categorized, time-bounded
+/// cluster of simultaneous CDI spikes.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OutageDiagnosis {
+    /// The diagnosed root scope.
+    pub scope: TruthScope,
+    /// The damaged stability category.
+    pub category: DamageCategory,
+    /// Start of the first tick that opened the outage (ms).
+    pub start: i64,
+    /// End of the last tick that extended it (ms, exclusive).
+    pub end: i64,
+    /// Ticks in which the scope spiked.
+    pub ticks: usize,
+    /// Peak simultaneous spiking VMs inside the scope.
+    pub peak_spiking_vms: usize,
+    /// VMs the scope covers.
+    pub total_vms: usize,
+    /// Peak distinct spiking hosts inside the scope.
+    pub spiking_ncs: usize,
+    /// Peak damage concentration.
+    pub concentration: f64,
+    /// Peak ranker confidence.
+    pub confidence: f64,
+}
+
+/// Deterministic output order: start, scope, category.
+pub fn sort_diagnoses(out: &mut [OutageDiagnosis]) {
+    out.sort_by(|a, b| {
+        (a.start, a.scope.sort_key(), scenario_suite::truth::category_rank(a.category)).cmp(&(
+            b.start,
+            b.scope.sort_key(),
+            scenario_suite::truth::category_rank(b.category),
+        ))
+    });
+}
+
+/// An outage that is currently open.
+#[derive(Debug, Clone)]
+struct ActiveOutage {
+    diagnosis: OutageDiagnosis,
+    /// Tick index (clusterer-local) of the last extension.
+    last_tick: i64,
+}
+
+/// The streaming clusterer. Feed it ticks in order; it emits each outage
+/// once, when the outage closes (or at [`OutageClusterer::finish`]).
+#[derive(Debug)]
+pub struct OutageClusterer {
+    fleet: Fleet,
+    config: DiagConfig,
+    /// Open outages keyed by (category rank, scope key).
+    active: BTreeMap<(u8, (u8, u64, String)), ActiveOutage>,
+    /// Ticks observed so far (the temporal gap is measured in calls, not
+    /// wall time — the caller defines the tick cadence).
+    tick: i64,
+}
+
+/// The three damage categories in cell-index order (the order of
+/// [`cdi_core::event::Category::ALL`] and of the table's `[f64; 3]`).
+const CATEGORIES: [DamageCategory; 3] = [
+    DamageCategory::Unavailability,
+    DamageCategory::Performance,
+    DamageCategory::ControlPlane,
+];
+
+impl OutageClusterer {
+    /// A clusterer over `fleet`'s topology.
+    pub fn new(fleet: Fleet, config: DiagConfig) -> OutageClusterer {
+        OutageClusterer { fleet, config, active: BTreeMap::new(), tick: 0 }
+    }
+
+    /// Observe one tick covering `[tick_start, tick_end)`: per-VM damage
+    /// fractions in table cell order. Returns the outages that *closed*
+    /// on this tick, in deterministic order.
+    pub fn observe_tick(
+        &mut self,
+        tick_start: i64,
+        tick_end: i64,
+        cells: &BTreeMap<VmId, [f64; 3]>,
+    ) -> Vec<OutageDiagnosis> {
+        let tick = self.tick;
+        self.tick += 1;
+        for (ci, category) in CATEGORIES.iter().enumerate() {
+            let spiking: BTreeSet<VmId> = cells
+                .iter()
+                .filter(|(_, cell)| cell[ci] > self.config.spike_threshold)
+                .map(|(vm, _)| *vm)
+                .collect();
+            let winners = rank_root_scopes(&self.fleet, &spiking, &self.config.rank);
+            for w in winners {
+                let key = (
+                    scenario_suite::truth::category_rank(*category),
+                    owned_key(&w.scope),
+                );
+                match self.active.get_mut(&key) {
+                    Some(open) => {
+                        let d = &mut open.diagnosis;
+                        d.end = tick_end;
+                        d.ticks += 1;
+                        d.peak_spiking_vms = d.peak_spiking_vms.max(w.spiking_vms);
+                        d.spiking_ncs = d.spiking_ncs.max(w.spiking_ncs);
+                        d.concentration = d.concentration.max(w.concentration);
+                        d.confidence = d.confidence.max(w.confidence);
+                        open.last_tick = tick;
+                    }
+                    None => {
+                        self.active.insert(
+                            key,
+                            ActiveOutage {
+                                diagnosis: OutageDiagnosis {
+                                    scope: w.scope.clone(),
+                                    category: *category,
+                                    start: tick_start,
+                                    end: tick_end,
+                                    ticks: 1,
+                                    peak_spiking_vms: w.spiking_vms,
+                                    total_vms: w.total_vms,
+                                    spiking_ncs: w.spiking_ncs,
+                                    concentration: w.concentration,
+                                    confidence: w.confidence,
+                                },
+                                last_tick: tick,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        // Close every open outage whose quiet streak exceeds the gap.
+        let expired: Vec<(u8, (u8, u64, String))> = self
+            .active
+            .iter()
+            .filter(|(_, open)| tick - open.last_tick > self.config.gap_ticks)
+            .map(|(key, _)| key.clone())
+            .collect();
+        let mut closed = Vec::new();
+        for key in expired {
+            if let Some(open) = self.active.remove(&key) {
+                closed.push(open.diagnosis);
+            }
+        }
+        sort_diagnoses(&mut closed);
+        closed
+    }
+
+    /// Snapshots of the currently open outages, in deterministic order.
+    pub fn active(&self) -> Vec<OutageDiagnosis> {
+        let mut out: Vec<OutageDiagnosis> =
+            self.active.values().map(|open| open.diagnosis.clone()).collect();
+        sort_diagnoses(&mut out);
+        out
+    }
+
+    /// Close and return every still-open outage (end of stream).
+    pub fn finish(&mut self) -> Vec<OutageDiagnosis> {
+        let mut out: Vec<OutageDiagnosis> = std::mem::take(&mut self.active)
+            .into_values()
+            .map(|open| open.diagnosis)
+            .collect();
+        sort_diagnoses(&mut out);
+        out
+    }
+
+    /// The fleet topology the clusterer ranks against.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+}

@@ -1,0 +1,48 @@
+//! # outage-diag — global batch-outage diagnosis over live CDI streams
+//!
+//! The paper scores damage per target; real incidents are *correlated* —
+//! a bad switch, a rollout wave, a power-domain event damages many hosts
+//! at once, and per-server CDI alone cannot name the blast radius. This
+//! crate closes that gap in the BSODiag direction: it consumes the
+//! per-target per-tick CDI damage stream and emits scoped
+//! [`OutageDiagnosis`] events.
+//!
+//! - [`cluster`] — the streaming spatio-temporal
+//!   [`OutageClusterer`](cluster::OutageClusterer): per tick, VMs whose
+//!   damage fraction crosses a threshold form the spike set; winners from
+//!   the root-scope ranker extend or open scoped outages, which close
+//!   after a bounded quiet gap.
+//! - [`rank`] — [`rank_root_scopes`](rank::rank_root_scopes): walk each
+//!   spiking VM's NC → cluster → AZ → region chain (plus `Global`), score
+//!   every scope by damage concentration, keep the *maximal* eligible
+//!   scopes, and attach a confidence that rewards clean isolation of the
+//!   blast radius.
+//! - [`detector`] — [`DiagDetector`](detector::DiagDetector), the fourth
+//!   scenario-suite [`Detector`](scenario_suite::detector::Detector):
+//!   diagnosis scored as precision/recall/F1/TTD against injected ground
+//!   truth, over either the batch table or the sharded live-service
+//!   replay (byte-identical by construction).
+//! - [`live`] — [`ServiceTap`](live::ServiceTap) and
+//!   [`LiveDiag`](live::LiveDiag): the same clusterer attached to a
+//!   running [`CdiService`](cdi_serve::CdiService), ticking on committed
+//!   watermark advances and answering the wire's `Diagnose` request.
+//!
+//! Everything is clock-free, seeded upstream, and panic-free outside
+//! tests: the crate is scoped into stability-lint R1 (no panic paths),
+//! R3 (no wall clocks or OS entropy), and R4 (no `as` numeric casts in
+//! the metric math of `rank.rs`/`cluster.rs`) with zero allowlist
+//! entries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod detector;
+pub mod live;
+pub mod rank;
+
+pub use cluster::{DiagConfig, OutageClusterer, OutageDiagnosis};
+pub use detector::{diag_floors, DiagDetector};
+pub use live::{LiveDiag, ServiceTap};
+pub use rank::{rank_root_scopes, RankConfig, ScopeScore};

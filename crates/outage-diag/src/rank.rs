@@ -1,0 +1,183 @@
+//! Root-scope ranking: given the set of VMs spiking in one tick, walk the
+//! NC → cluster → AZ → region → global hierarchy and name the scopes that
+//! best explain the spike pattern.
+//!
+//! ## Concentration and confidence
+//!
+//! For a candidate scope `S`, the **concentration** is the fraction of
+//! `S`'s VMs that are spiking — `|spiking ∩ S| / |S|`. A scope is
+//! *eligible* as an outage root when its concentration reaches
+//! [`RankConfig::min_concentration`] **and** the spiking VMs inside it
+//! span at least [`RankConfig::min_ncs`] distinct hosts (a batch outage
+//! is by definition multi-host; single-host damage is the per-target
+//! detectors' job, not this crate's).
+//!
+//! The **winners** are the *maximal* eligible scopes: an eligible scope
+//! whose parent is also eligible is subsumed (a fully-spiking cluster
+//! inside a fully-spiking AZ is an AZ event, not eight cluster events).
+//! Each winner's **confidence** is `concentration × (1 − outside_rate)`,
+//! where `outside_rate` is the fraction of VMs *outside* the scope that
+//! are also spiking — a scope that cleanly isolates the blast radius
+//! scores higher than one chosen while the rest of the fleet burns.
+//!
+//! Everything is computed from integer counts via
+//! [`cdi_core::num::count_f64`], iterated in `BTreeMap` order, and
+//! tie-broken by [`TruthScope::sort_key`], so the ranking is
+//! byte-deterministic (stability-lint R3/R4).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cdi_core::num::count_f64;
+use scenario_suite::truth::TruthScope;
+use simfleet::topology::{Fleet, VmId};
+
+/// Eligibility thresholds for root scopes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankConfig {
+    /// Minimum fraction of a scope's VMs that must spike for the scope to
+    /// be an outage-root candidate. Must be above 0.5: the generated
+    /// topologies fan out in powers of two, so exactly half a scope
+    /// spiking means a *child* scope is the real root.
+    pub min_concentration: f64,
+    /// Minimum distinct spiking hosts inside the scope — what makes a
+    /// diagnosis a *batch* outage rather than per-server damage.
+    pub min_ncs: usize,
+}
+
+impl Default for RankConfig {
+    fn default() -> Self {
+        RankConfig { min_concentration: 0.6, min_ncs: 2 }
+    }
+}
+
+/// One scored candidate scope.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScopeScore {
+    /// The candidate root scope.
+    pub scope: TruthScope,
+    /// Spiking VMs inside the scope.
+    pub spiking_vms: usize,
+    /// VMs the scope covers.
+    pub total_vms: usize,
+    /// Distinct hosts with at least one spiking VM inside the scope.
+    pub spiking_ncs: usize,
+    /// `spiking_vms / total_vms`.
+    pub concentration: f64,
+    /// Fraction of VMs outside the scope that are also spiking (0 when
+    /// the scope covers the whole fleet).
+    pub outside_rate: f64,
+    /// `concentration × (1 − outside_rate)`.
+    pub confidence: f64,
+}
+
+/// An owned total-order key for a scope (the borrowed
+/// [`TruthScope::sort_key`] cannot key a map that outlives its scopes).
+pub(crate) fn owned_key(scope: &TruthScope) -> (u8, u64, String) {
+    let (rank, id, name) = scope.sort_key();
+    (rank, id, name.to_string())
+}
+
+/// Score every candidate scope touched by `spiking` and return the
+/// maximal eligible ones, best confidence first.
+///
+/// Candidates are the ancestor chains (NC, cluster, AZ, region) of every
+/// spiking VM's host, plus `Global`. Winners are eligible scopes with no
+/// eligible ancestor, sorted by descending confidence (`total_cmp`), then
+/// by scope order for determinism.
+pub fn rank_root_scopes(
+    fleet: &Fleet,
+    spiking: &BTreeSet<VmId>,
+    cfg: &RankConfig,
+) -> Vec<ScopeScore> {
+    if spiking.is_empty() {
+        return Vec::new();
+    }
+    // Candidate scopes, keyed for deterministic iteration, plus each
+    // scope's parent key for the maximality walk.
+    let mut candidates: BTreeMap<(u8, u64, String), TruthScope> = BTreeMap::new();
+    let mut parent: BTreeMap<(u8, u64, String), (u8, u64, String)> = BTreeMap::new();
+    let global_key = owned_key(&TruthScope::Global);
+    candidates.insert(global_key.clone(), TruthScope::Global);
+    for vm in spiking {
+        let Some(host) = fleet.vm(*vm).and_then(|v| fleet.nc(v.nc)) else { continue };
+        let chain = [
+            TruthScope::Nc(host.id),
+            TruthScope::Cluster(host.cluster.clone()),
+            TruthScope::Az(host.az.clone()),
+            TruthScope::Region(host.region.clone()),
+            TruthScope::Global,
+        ];
+        for pair in chain.windows(2) {
+            let key = owned_key(&pair[0]);
+            parent.insert(key.clone(), owned_key(&pair[1]));
+            candidates.insert(key, pair[0].clone());
+        }
+    }
+
+    // Score every candidate; remember which are eligible.
+    let fleet_vms = count_f64(fleet.vms().len());
+    let fleet_spiking = count_f64(spiking.len());
+    let mut scored: BTreeMap<(u8, u64, String), ScopeScore> = BTreeMap::new();
+    let mut eligible: BTreeSet<(u8, u64, String)> = BTreeSet::new();
+    for (key, scope) in &candidates {
+        let covered = scope.vms(fleet);
+        let total_vms = covered.len();
+        if total_vms == 0 {
+            continue;
+        }
+        let mut spiking_vms = 0usize;
+        let mut hosts: BTreeSet<u64> = BTreeSet::new();
+        for vm in &covered {
+            if spiking.contains(vm) {
+                spiking_vms += 1;
+                if let Some(v) = fleet.vm(*vm) {
+                    hosts.insert(v.nc);
+                }
+            }
+        }
+        let concentration = count_f64(spiking_vms) / count_f64(total_vms);
+        let outside_total = fleet_vms - count_f64(total_vms);
+        let outside_spiking = fleet_spiking - count_f64(spiking_vms);
+        let outside_rate =
+            if outside_total > 0.0 { outside_spiking / outside_total } else { 0.0 };
+        let confidence = concentration * (1.0 - outside_rate);
+        let score = ScopeScore {
+            scope: scope.clone(),
+            spiking_vms,
+            total_vms,
+            spiking_ncs: hosts.len(),
+            concentration,
+            outside_rate,
+            confidence,
+        };
+        if concentration >= cfg.min_concentration && score.spiking_ncs >= cfg.min_ncs {
+            eligible.insert(key.clone());
+        }
+        scored.insert(key.clone(), score);
+    }
+
+    // Winners: eligible scopes with no eligible ancestor.
+    let mut winners: Vec<ScopeScore> = Vec::new();
+    for key in &eligible {
+        let mut cursor = key.clone();
+        let mut subsumed = false;
+        while let Some(p) = parent.get(&cursor) {
+            if eligible.contains(p) {
+                subsumed = true;
+                break;
+            }
+            cursor = p.clone();
+        }
+        if !subsumed {
+            if let Some(score) = scored.get(key) {
+                winners.push(score.clone());
+            }
+        }
+    }
+    winners.sort_by(|a, b| {
+        b.confidence
+            .total_cmp(&a.confidence)
+            .then_with(|| a.scope.sort_key().cmp(&b.scope.sort_key()))
+    });
+    winners
+}

@@ -1,0 +1,143 @@
+//! Hand-computed root-scope ranking fixtures: concentration arithmetic,
+//! maximality, tie-breaking, and the batch-outage eligibility bar.
+
+use std::collections::BTreeSet;
+
+use outage_diag::rank::{rank_root_scopes, RankConfig};
+use scenario_suite::truth::TruthScope;
+use simfleet::topology::{DeploymentArch, Fleet, FleetConfig, VmId};
+use simfleet::Scope;
+
+/// The full evaluation fleet shape: 2 regions × 2 AZs × 2 clusters ×
+/// 2 NCs × 4 VMs = 64 VMs, 16 NCs, 8 clusters.
+fn full_fleet() -> Fleet {
+    Fleet::build(&FleetConfig {
+        regions: vec!["r-east".into(), "r-west".into()],
+        azs_per_region: 2,
+        clusters_per_az: 2,
+        ncs_per_cluster: 2,
+        vms_per_nc: 4,
+        nc_cores: 32,
+        machine_models: vec!["modelA".into(), "modelB".into()],
+        arch: DeploymentArch::Hybrid,
+    })
+}
+
+fn vms_of(fleet: &Fleet, scope: &Scope) -> BTreeSet<VmId> {
+    fleet.vms_in(scope).into_iter().collect()
+}
+
+#[test]
+fn a_fully_spiking_cluster_wins_at_cluster_level() {
+    let fleet = full_fleet();
+    let cluster = fleet.cluster_names()[0].clone();
+    let spiking = vms_of(&fleet, &Scope::Cluster(cluster.clone()));
+    assert_eq!(spiking.len(), 8);
+    let winners = rank_root_scopes(&fleet, &spiking, &RankConfig::default());
+    assert_eq!(winners.len(), 1);
+    let w = &winners[0];
+    assert_eq!(w.scope, TruthScope::Cluster(cluster));
+    // 8 of 8 VMs, on 2 hosts, nothing spiking outside.
+    assert_eq!((w.spiking_vms, w.total_vms, w.spiking_ncs), (8, 8, 2));
+    assert_eq!(w.concentration, 1.0);
+    assert_eq!(w.outside_rate, 0.0);
+    assert_eq!(w.confidence, 1.0);
+}
+
+#[test]
+fn two_fully_spiking_sibling_clusters_escalate_to_the_az() {
+    let fleet = full_fleet();
+    // Both clusters of one AZ: the AZ (concentration 1.0) subsumes them.
+    let az = fleet.ncs()[0].az.clone();
+    let spiking = vms_of(&fleet, &Scope::Az(az.clone()));
+    assert_eq!(spiking.len(), 16);
+    let winners = rank_root_scopes(&fleet, &spiking, &RankConfig::default());
+    assert_eq!(winners.len(), 1);
+    assert_eq!(winners[0].scope, TruthScope::Az(az));
+    assert_eq!(winners[0].concentration, 1.0);
+    // The region is half spiking (0.5 < 0.6): not eligible, no escalation.
+}
+
+#[test]
+fn a_cluster_plus_half_its_sibling_escalates_to_the_az_at_lower_confidence() {
+    let fleet = full_fleet();
+    let clusters = fleet.cluster_names();
+    // Cluster 0 fully spiking, plus one of the two NCs of its sibling
+    // cluster 1 (same AZ): AZ concentration 12/16 = 0.75 ≥ 0.6, and the
+    // AZ is an eligible ancestor of the fully-spiking cluster.
+    let mut spiking = vms_of(&fleet, &Scope::Cluster(clusters[0].clone()));
+    let sibling_ncs = fleet.ncs_in(&Scope::Cluster(clusters[1].clone()));
+    spiking.extend(fleet.vms_on(sibling_ncs[0]).iter().copied());
+    assert_eq!(spiking.len(), 12);
+    let winners = rank_root_scopes(&fleet, &spiking, &RankConfig::default());
+    assert_eq!(winners.len(), 1);
+    let w = &winners[0];
+    assert_eq!(w.scope, TruthScope::Az(fleet.ncs()[0].az.clone()));
+    assert_eq!((w.spiking_vms, w.total_vms, w.spiking_ncs), (12, 16, 3));
+    assert_eq!(w.concentration, 0.75);
+    assert_eq!(w.outside_rate, 0.0);
+    assert_eq!(w.confidence, 0.75);
+}
+
+#[test]
+fn distant_equal_clusters_tie_break_by_scope_order() {
+    let fleet = full_fleet();
+    let clusters = fleet.cluster_names();
+    // Two fully-spiking clusters in *different regions*: identical
+    // concentration and outside rate, so the tie breaks on the
+    // deterministic scope order (cluster names ascending).
+    // `cluster_names()` is sorted ascending, so `a < b`.
+    let (a, b) = (clusters[0].clone(), clusters[7].clone());
+    let mut spiking = vms_of(&fleet, &Scope::Cluster(a.clone()));
+    spiking.extend(vms_of(&fleet, &Scope::Cluster(b.clone())));
+    let winners = rank_root_scopes(&fleet, &spiking, &RankConfig::default());
+    assert_eq!(winners.len(), 2);
+    assert_eq!(winners[0].scope, TruthScope::Cluster(a));
+    assert_eq!(winners[1].scope, TruthScope::Cluster(b));
+    assert_eq!(winners[0].confidence, winners[1].confidence);
+    // Each cluster's confidence is docked by the other's spiking VMs:
+    // outside rate 8 / 56.
+    assert!((winners[0].outside_rate - 8.0 / 56.0).abs() < 1e-12);
+}
+
+#[test]
+fn single_host_damage_is_not_a_batch_outage() {
+    let fleet = full_fleet();
+    // One NC fully spiking: the NC level is excluded by min_ncs = 2, and
+    // its cluster sits at concentration 0.5 < 0.6 — no diagnosis. This is
+    // the per-target detectors' territory, by design.
+    let nc = fleet.ncs()[0].id;
+    let spiking: BTreeSet<VmId> = fleet.vms_on(nc).iter().copied().collect();
+    assert_eq!(spiking.len(), 4);
+    let winners = rank_root_scopes(&fleet, &spiking, &RankConfig::default());
+    assert!(winners.is_empty(), "{winners:?}");
+}
+
+#[test]
+fn a_fleet_wide_spike_is_global() {
+    let fleet = full_fleet();
+    let spiking: BTreeSet<VmId> = fleet.vms().iter().map(|v| v.id).collect();
+    let winners = rank_root_scopes(&fleet, &spiking, &RankConfig::default());
+    assert_eq!(winners.len(), 1);
+    assert_eq!(winners[0].scope, TruthScope::Global);
+    assert_eq!(winners[0].confidence, 1.0);
+    assert_eq!(winners[0].spiking_ncs, 16);
+}
+
+#[test]
+fn empty_spike_set_yields_nothing() {
+    let fleet = full_fleet();
+    assert!(rank_root_scopes(&fleet, &BTreeSet::new(), &RankConfig::default()).is_empty());
+}
+
+#[test]
+fn ranking_is_deterministic_across_repeats() {
+    let fleet = full_fleet();
+    let clusters = fleet.cluster_names();
+    let mut spiking = vms_of(&fleet, &Scope::Cluster(clusters[2].clone()));
+    spiking.extend(vms_of(&fleet, &Scope::Cluster(clusters[5].clone())));
+    let first = rank_root_scopes(&fleet, &spiking, &RankConfig::default());
+    for _ in 0..5 {
+        assert_eq!(rank_root_scopes(&fleet, &spiking, &RankConfig::default()), first);
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end `Diagnose` over the wire: a server started with
+//! [`serve_with_diag`] ticks the diagnosis layer on every committed
+//! `Advance` and answers `Diagnose` with the open outage clusters — in
+//! BOTH dialects, JSON lines and cdipack frames, with value-identical
+//! answers. After the full replay, the wire-driven tap must have closed
+//! exactly the diagnoses the offline [`DiagDetector`] computes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use cdi_serve::cdipack::{self, WIRE_MAGIC};
+use cdi_serve::proto::{IngestItem, Request, Response};
+use cdi_serve::{serve_with_diag, CdiService, DiagProvider, OutageSummary, ServeConfig};
+use outage_diag::live::to_summary;
+use outage_diag::{DiagConfig, DiagDetector, LiveDiag, OutageDiagnosis, ServiceTap};
+use scenario_suite::catalog::{build, ScenarioConfig};
+use scenario_suite::run::ScenarioRun;
+use scenario_suite::truth::category_rank;
+
+struct JsonClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl JsonClient {
+    fn connect(addr: std::net::SocketAddr) -> JsonClient {
+        let stream = TcpStream::connect(addr).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        JsonClient { reader, writer: stream }
+    }
+
+    fn call(&mut self, req: &Request) -> Response {
+        let line = serde_json::to_string(req).unwrap();
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        serde_json::from_str(&reply).unwrap()
+    }
+}
+
+struct PackClient {
+    stream: TcpStream,
+}
+
+impl PackClient {
+    fn connect(addr: std::net::SocketAddr) -> PackClient {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&WIRE_MAGIC).unwrap();
+        PackClient { stream }
+    }
+
+    fn call(&mut self, req: &Request) -> Response {
+        cdipack::write_frame(&mut self.stream, &cdipack::encode_request(req)).unwrap();
+        let payload = cdipack::read_frame(&mut self.stream).unwrap().expect("a framed reply");
+        cdipack::decode_response(&payload).unwrap()
+    }
+}
+
+fn outages(resp: Response) -> Vec<OutageSummary> {
+    match resp {
+        Response::Diagnoses { outages } => outages,
+        other => panic!("unexpected reply {other:?}"),
+    }
+}
+
+/// The detector's deterministic (start, scope, category) order, so the
+/// wire-driven closed set can be compared `==` against the offline one.
+fn in_detector_order(mut diags: Vec<OutageDiagnosis>) -> Vec<OutageDiagnosis> {
+    diags.sort_by(|a, b| {
+        (a.start, a.scope.sort_key(), category_rank(a.category)).cmp(&(
+            b.start,
+            b.scope.sort_key(),
+            category_rank(b.category),
+        ))
+    });
+    diags
+}
+
+#[test]
+fn diagnose_over_both_dialects_tracks_the_incident() {
+    let cfg = ScenarioConfig::quick(20250);
+    let s = build("correlated-switch-failure", &cfg).unwrap();
+    let run = ScenarioRun::prepare(&s).unwrap();
+
+    let service = Arc::new(
+        CdiService::new(ServeConfig {
+            shards: 2,
+            period_start: s.start,
+            ..ServeConfig::default()
+        })
+        .unwrap()
+        .with_fleet_routing(run.fleet()),
+    );
+    let tap = ServiceTap::new(run.fleet().clone(), s.start, DiagConfig::default());
+    let diag = Arc::new(LiveDiag::new(Arc::clone(&service), tap));
+    let provider: Arc<dyn DiagProvider> = Arc::clone(&diag) as Arc<dyn DiagProvider>;
+    let handle =
+        serve_with_diag(Arc::clone(&service), None, Some(provider), "127.0.0.1:0", 2).unwrap();
+
+    let mut json = JsonClient::connect(handle.addr());
+    let mut pack = PackClient::connect(handle.addr());
+
+    // Before any ingest, Diagnose answers an empty (not error) set.
+    assert!(outages(json.call(&Request::Diagnose)).is_empty());
+    assert!(outages(pack.call(&Request::Diagnose)).is_empty());
+
+    // Replay the scenario feed over the wire, alternating ingest dialects;
+    // every committed Advance ticks the diagnosis layer server-side.
+    let mut saw_active = false;
+    for (i, batch) in run.feed.batches.iter().enumerate() {
+        let items: Vec<IngestItem> = batch
+            .spans
+            .iter()
+            .map(|(target, span)| IngestItem { target: *target, span: span.clone() })
+            .collect();
+        if !items.is_empty() {
+            let reply = if i % 2 == 0 {
+                pack.call(&Request::IngestBatch { items })
+            } else {
+                json.call(&Request::IngestBatch { items })
+            };
+            assert!(matches!(reply, Response::Ingested { shed: 0, .. }), "{reply:?}");
+        }
+        assert!(matches!(
+            pack.call(&Request::Advance { watermark: batch.watermark }),
+            Response::Ok
+        ));
+
+        // Both dialects answer the same snapshot of open outages.
+        let via_json = outages(json.call(&Request::Diagnose));
+        let via_pack = outages(pack.call(&Request::Diagnose));
+        assert_eq!(via_json, via_pack, "dialects disagree after batch {i}");
+        if !via_json.is_empty() {
+            saw_active = true;
+            for o in &via_json {
+                assert!(o.concentration >= 0.6, "{o:?}");
+                assert!(o.spiking_ncs >= 2, "{o:?}");
+            }
+        }
+    }
+    assert!(saw_active, "the incident was never visible through Diagnose");
+    assert_eq!(diag.errors(), 0, "diagnosis layer swallowed errors");
+
+    // Close the stream: the wire-driven diagnoses must be exactly the
+    // offline detector's, and the scoped summary must match the labeled
+    // ground truth.
+    diag.tap().finish().unwrap();
+    let closed = in_detector_order(diag.tap().closed().unwrap());
+    let offline = DiagDetector::default().diagnose(&run).unwrap();
+    assert_eq!(closed, offline);
+    assert!(!closed.is_empty());
+    let truth = &s.truth.windows()[0];
+    assert!(
+        closed.iter().any(|d| {
+            d.category == truth.category && d.start < truth.range.end && d.end > truth.range.start
+        }),
+        "no closed diagnosis overlaps the labeled incident: {closed:?}"
+    );
+    // The wire summary is a faithful projection of the diagnosis.
+    for d in &closed {
+        let o = to_summary(d);
+        assert_eq!((o.start, o.end, o.ticks), (d.start, d.end, d.ticks));
+        assert_eq!(o.confidence, d.confidence);
+    }
+
+    assert!(matches!(pack.call(&Request::Shutdown), Response::ShuttingDown));
+    drop(json);
+    drop(pack);
+    handle.join();
+}
+
+#[test]
+fn diagnose_without_a_diagnosis_layer_is_a_clean_error() {
+    let service = Arc::new(CdiService::new(ServeConfig::default()).unwrap());
+    let mut handle = cdi_serve::serve(service, None, "127.0.0.1:0", 1).unwrap();
+    let mut json = JsonClient::connect(handle.addr());
+    match json.call(&Request::Diagnose) {
+        Response::Error { message } => assert!(message.contains("no diagnosis layer")),
+        other => panic!("unexpected reply {other:?}"),
+    }
+    drop(json);
+    handle.stop();
+}

@@ -1,4 +1,4 @@
-//! The scenario catalog: eight named, seeded, parameterized failure
+//! The scenario catalog: ten named, seeded, parameterized failure
 //! stories, each with labeled ground truth.
 //!
 //! ## Seed-slot placement
@@ -23,7 +23,7 @@
 use cdi_core::error::{CdiError, Result};
 use cdi_core::event::Severity;
 use simfleet::faults::{DamageCategory, FaultInjection, FaultKind, FaultTarget, SimRange};
-use simfleet::scenario::{DAY, HOUR, MINUTE};
+use simfleet::scenario::{fail_power_domain, rollout_wave, DAY, HOUR, MINUTE};
 use simfleet::topology::{DeploymentArch, Fleet, FleetConfig, NcId, VmId};
 use simfleet::{Scope, SimWorld};
 
@@ -32,19 +32,22 @@ use crate::truth::{DamageWindow, GroundTruth, TruthScope};
 /// Number of disjoint incident slots in the placement scheme.
 pub const SLOTS: u64 = 4;
 /// Stride between slot starts; every scenario's incident budget fits
-/// inside one stride (the widest incident in the catalog spans 3 h).
+/// inside one stride (the widest incident in the catalog — the five-step
+/// rollout wave — spans 3 h 25 m).
 pub const SLOT_STRIDE: i64 = 4 * HOUR;
 /// First slot start: after every detector's calibration window.
 pub const SLOT_BASE: i64 = 5 * HOUR;
 
-/// The eight scenario names, in matrix order.
-pub const SCENARIO_NAMES: [&str; 8] = [
+/// The ten scenario names, in matrix order.
+pub const SCENARIO_NAMES: [&str; 10] = [
+    "bad-rollout-wave",
     "control-plane-brownout",
     "correlated-switch-failure",
     "ddos-blackhole-wave",
     "flapping-recoveries",
     "live-migration-storm",
     "noisy-neighbor-saturation",
+    "power-domain-event",
     "regional-failover",
     "slow-burn-disk-degradation",
 ];
@@ -196,6 +199,8 @@ pub fn build(name: &str, cfg: &ScenarioConfig) -> Result<Scenario> {
         "slow-burn-disk-degradation" => slow_burn_disk_degradation(world, cfg, t0),
         "flapping-recoveries" => flapping_recoveries(world, cfg, t0),
         "correlated-switch-failure" => correlated_switch_failure(world, cfg, t0),
+        "bad-rollout-wave" => bad_rollout_wave(world, cfg, t0),
+        "power-domain-event" => power_domain_event(world, cfg, t0),
         other => {
             return Err(CdiError::invalid(format!(
                 "unknown scenario `{other}`; catalog: {SCENARIO_NAMES:?}"
@@ -463,15 +468,85 @@ fn correlated_switch_failure(mut world: SimWorld, cfg: &ScenarioConfig, t0: i64)
     Ok(Built { world, truth })
 }
 
+/// A bad rollout marches through the deploy order: up to five clusters
+/// each suffer 25 minutes of heavy CPU steal, starting 45 minutes apart.
+/// The 45-minute stagger keeps consecutive clusters' damage in disjoint
+/// 15-minute ticks even after the collector's 5-minute backward window
+/// smears each fault one tick earlier, so a scope-aware diagnoser should
+/// see a *sequence* of cluster-scoped outages, never an AZ-wide one.
+/// Labels are per-cluster Performance windows in deploy order.
+fn bad_rollout_wave(mut world: SimWorld, cfg: &ScenarioConfig, t0: i64) -> Result<Built> {
+    let clusters = world.fleet.cluster_names();
+    if clusters.is_empty() {
+        return Err(CdiError::invalid("fleet has no clusters"));
+    }
+    // Deploy order: the sorted cluster list rotated by a seeded offset.
+    let first = pick(cfg.seed, 0x09, clusters.len());
+    let wave_len = clusters.len().min(5);
+    let order: Vec<String> = (0..wave_len)
+        .map(|i| clusters[(first + i) % clusters.len()].clone())
+        .collect();
+    let schedule = rollout_wave(
+        &mut world,
+        &order,
+        FaultKind::CpuContention { steal: 0.6 },
+        t0,
+        45 * MINUTE,
+        25 * MINUTE,
+    );
+    if schedule.len() != wave_len {
+        return Err(CdiError::invalid("rollout wave hit an empty cluster"));
+    }
+    let windows = schedule
+        .into_iter()
+        .map(|(cluster, s, e)| {
+            window(
+                TruthScope::Cluster(cluster),
+                DamageCategory::Performance,
+                s,
+                e,
+                Severity::Error,
+            )
+        })
+        .collect();
+    Ok(Built { world, truth: GroundTruth::new(windows) })
+}
+
+/// A shared power domain fails: every host under one seed-chosen AZ goes
+/// dark simultaneously for 35 minutes. Sits between the cluster-scoped
+/// switch failure and the region-scoped failover in the hierarchy, so a
+/// root-scope ranker must name the AZ — not one of its clusters, not the
+/// whole region. The label is a single AZ-scoped Unavailability window.
+fn power_domain_event(mut world: SimWorld, cfg: &ScenarioConfig, t0: i64) -> Result<Built> {
+    let azs = world.az_names();
+    let az = azs
+        .get(pick(cfg.seed, 0x0A, azs.len()))
+        .cloned()
+        .ok_or_else(|| CdiError::invalid("fleet has no AZs"))?;
+    let end = t0 + 35 * MINUTE;
+    let n = fail_power_domain(&mut world, &az, t0, end);
+    if n == 0 {
+        return Err(CdiError::invalid(format!("AZ `{az}` resolved to no hosts")));
+    }
+    let truth = GroundTruth::new(vec![window(
+        TruthScope::Az(az),
+        DamageCategory::Unavailability,
+        t0,
+        end,
+        Severity::Fatal,
+    )]);
+    Ok(Built { world, truth })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn catalog_builds_all_eight() {
+    fn catalog_builds_all_ten() {
         let cfg = ScenarioConfig::quick(20250);
         let all = catalog(&cfg).unwrap();
-        assert_eq!(all.len(), 8);
+        assert_eq!(all.len(), 10);
         for s in &all {
             assert!(SCENARIO_NAMES.contains(&s.name));
             assert!(!s.truth.is_empty(), "{} has labels", s.name);

@@ -114,14 +114,18 @@ pub fn pinned_floors(quick: bool) -> Vec<Floor> {
         // 1.0 everywhere except the migration storm (0.897 — 3-minute
         // stalls can fall between 5-minute samples). No surge floors: the
         // 8-VM fleet cannot reach the production `min_count` of the surge
-        // scan, by design.
+        // scan, by design. ksigma stays ungated on the two correlated
+        // rollout/power scenarios — it alerts, but per VM, with no notion
+        // of the blast radius (the gap the outage-diag floors cover).
         vec![
+            floor("bad-rollout-wave", "cdi-threshold", 0.95),
             floor("control-plane-brownout", "cdi-threshold", 0.95),
             floor("correlated-switch-failure", "cdi-threshold", 0.95),
             floor("ddos-blackhole-wave", "cdi-threshold", 0.95),
             floor("flapping-recoveries", "cdi-threshold", 0.95),
             floor("live-migration-storm", "cdi-threshold", 0.8),
             floor("noisy-neighbor-saturation", "cdi-threshold", 0.95),
+            floor("power-domain-event", "cdi-threshold", 0.95),
             floor("regional-failover", "cdi-threshold", 0.95),
             floor("slow-burn-disk-degradation", "cdi-threshold", 0.95),
             floor("control-plane-brownout", "ksigma", 0.95),
@@ -133,12 +137,17 @@ pub fn pinned_floors(quick: bool) -> Vec<Floor> {
         // Observed at seed 20250 (full): background control-plane noise
         // costs a little precision fleet-wide; the migration storm's
         // sub-sample stalls cost cdi-threshold recall; surge sees only
-        // the four fleet-broad incidents (its per-VM-staggered cells are
-        // deliberately ungated — that blindness is the finding).
+        // the fleet-broad incidents (its per-VM-staggered cells are
+        // deliberately ungated — that blindness is the finding). surge
+        // and ksigma also stay ungated on bad-rollout-wave and
+        // power-domain-event: they fire there, but without scope — only
+        // outage-diag names the blast radius, so the gates live with it.
         vec![
+            floor("bad-rollout-wave", "cdi-threshold", 0.9),
             floor("control-plane-brownout", "cdi-threshold", 0.95),
             floor("correlated-switch-failure", "cdi-threshold", 0.9),
             floor("ddos-blackhole-wave", "cdi-threshold", 0.9),
+            floor("power-domain-event", "cdi-threshold", 0.9),
             floor("flapping-recoveries", "cdi-threshold", 0.9),
             floor("live-migration-storm", "cdi-threshold", 0.75),
             floor("noisy-neighbor-saturation", "cdi-threshold", 0.9),

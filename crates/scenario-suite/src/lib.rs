@@ -11,11 +11,12 @@
 //!
 //! - [`truth`] — labeled damage windows: scope (VM → NC → cluster → AZ →
 //!   region → global), damage category, time range, expected severity.
-//! - [`catalog`] — the eight scenarios (regional failover, DDoS blackhole
+//! - [`catalog`] — the ten scenarios (regional failover, DDoS blackhole
 //!   wave, noisy neighbor, control-plane brownout, live-migration storm,
 //!   slow-burn disk degradation, flapping recoveries, correlated switch
-//!   failure) and the seed-slot placement scheme that makes different seeds
-//!   produce time-disjoint incidents.
+//!   failure, bad-rollout wave, power-domain event) and the seed-slot
+//!   placement scheme that makes different seeds produce time-disjoint
+//!   incidents.
 //! - [`run`] — a prepared scenario: extracted events, the live
 //!   [`LiveFeed`](cloudbot::feed::LiveFeed), and the batch per-tick damage
 //!   table every detector can share.

@@ -74,7 +74,7 @@ impl TruthScope {
 
     /// A total-order key for deterministic sorting and display: variant
     /// rank, numeric id, name.
-    pub(crate) fn sort_key(&self) -> (u8, u64, &str) {
+    pub fn sort_key(&self) -> (u8, u64, &str) {
         match self {
             TruthScope::Vm(id) => (0, *id, ""),
             TruthScope::Nc(id) => (1, *id, ""),

@@ -19,7 +19,7 @@ proptest! {
     /// the same bytes: faults, extracted events, ground truth, and the
     /// sliced feed all match exactly.
     #[test]
-    fn same_seed_is_byte_identical(seed in 0u64..1000, idx in 0usize..8) {
+    fn same_seed_is_byte_identical(seed in 0u64..1000, idx in 0usize..10) {
         let name = SCENARIO_NAMES[idx];
         let cfg = ScenarioConfig::quick(seed);
         let a = build(name, &cfg).unwrap();
@@ -43,7 +43,7 @@ proptest! {
     /// counts: partitioning by target never changes per-target float
     /// operation order.
     #[test]
-    fn live_table_is_shard_count_invariant(seed in 0u64..500, idx in 0usize..8) {
+    fn live_table_is_shard_count_invariant(seed in 0u64..500, idx in 0usize..10) {
         let cfg = ScenarioConfig::quick(seed);
         let s = build(SCENARIO_NAMES[idx], &cfg).unwrap();
         let run = ScenarioRun::prepare(&s).unwrap();
@@ -55,7 +55,7 @@ proptest! {
     /// Different slot residues ⇒ every pair of damage windows across the
     /// two builds is time-disjoint (the placement-scheme guarantee).
     #[test]
-    fn different_slots_never_overlap(base in 0u64..250, offset in 1u64..4, idx in 0usize..8) {
+    fn different_slots_never_overlap(base in 0u64..250, offset in 1u64..4, idx in 0usize..10) {
         let seed_a = base * SLOTS + (base % SLOTS);
         let seed_b = seed_a + offset; // different residue mod SLOTS
         let cfg_a = ScenarioConfig::quick(seed_a);

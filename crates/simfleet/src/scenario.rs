@@ -501,6 +501,53 @@ pub fn fig2_ticket_world(seed: u64, days: usize) -> SimWorld {
     world
 }
 
+// ---------------------------------------------------------------------------
+// Correlated batch-outage generators (BSODiag direction)
+// ---------------------------------------------------------------------------
+
+/// Inject a staggered bad-rollout wave: visit `clusters` in deploy order,
+/// striking every host of each cluster with `kind` for `duration` ms,
+/// starting `stagger` ms apart. Returns the `(cluster, start, end)`
+/// schedule of clusters that resolved to at least one host — the caller's
+/// ground truth. Unknown cluster names are skipped, matching the
+/// empty-rollup convention of [`SimWorld::inject_scope`].
+pub fn rollout_wave(
+    world: &mut SimWorld,
+    clusters: &[String],
+    kind: FaultKind,
+    t0: i64,
+    stagger: i64,
+    duration: i64,
+) -> Vec<(String, i64, i64)> {
+    let mut schedule = Vec::new();
+    for (i, cluster) in clusters.iter().enumerate() {
+        let start = t0 + i as i64 * stagger;
+        let end = start + duration;
+        let struck = world.inject_scope(
+            kind.clone(),
+            &crate::topology::Scope::Cluster(cluster.clone()),
+            start,
+            end,
+        );
+        if struck > 0 {
+            schedule.push((cluster.clone(), start, end));
+        }
+    }
+    schedule
+}
+
+/// A shared power-domain event: every host under one AZ loses power
+/// simultaneously over `[t0, end)`. Returns the number of hosts struck
+/// (zero for an unknown AZ name).
+pub fn fail_power_domain(world: &mut SimWorld, az: &str, t0: i64, end: i64) -> usize {
+    world.inject_scope(
+        FaultKind::NcDown,
+        &crate::topology::Scope::Az(az.to_string()),
+        t0,
+        end,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -664,5 +711,51 @@ mod tests {
         assert!((u / total - 0.19).abs() < 0.06, "u share {}", u / total);
         assert!((p / total - 0.55).abs() < 0.08, "p share {}", p / total);
         assert!((cp / total - 0.26).abs() < 0.06, "cp share {}", cp / total);
+    }
+
+    #[test]
+    fn rollout_wave_staggers_clusters_in_order() {
+        let fleet = default_fleet();
+        let mut clusters = fleet.cluster_names();
+        clusters.truncate(3);
+        clusters.push("no-such-cluster".to_string());
+        let mut w = SimWorld::new(fleet, 7);
+        let schedule = rollout_wave(
+            &mut w,
+            &clusters,
+            FaultKind::CpuContention { steal: 0.6 },
+            HOUR,
+            45 * MINUTE,
+            25 * MINUTE,
+        );
+        // Unknown cluster skipped; the three real ones keep deploy order.
+        assert_eq!(schedule.len(), 3);
+        for (i, (name, start, end)) in schedule.iter().enumerate() {
+            assert_eq!(name, &clusters[i]);
+            assert_eq!(*start, HOUR + i as i64 * 45 * MINUTE);
+            assert_eq!(*end, start + 25 * MINUTE);
+        }
+        // Every injected fault lands inside its cluster's window.
+        assert!(w.faults().iter().all(|f| schedule
+            .iter()
+            .any(|(_, s, e)| f.range.start == *s && f.range.end == *e)));
+    }
+
+    #[test]
+    fn power_domain_event_strikes_every_host_in_the_az() {
+        let fleet = default_fleet();
+        let az = fleet.ncs()[0].az.clone();
+        let ncs_in_az = fleet.ncs().iter().filter(|nc| nc.az == az).count();
+        let mut w = SimWorld::new(fleet, 7);
+        let struck = fail_power_domain(&mut w, &az, 2 * HOUR, 2 * HOUR + 35 * MINUTE);
+        assert_eq!(struck, ncs_in_az);
+        assert!(w
+            .faults()
+            .iter()
+            .all(|f| matches!(f.kind, FaultKind::NcDown)
+                && f.range.start == 2 * HOUR
+                && f.range.end == 2 * HOUR + 35 * MINUTE));
+        // Unknown AZ: nothing injected.
+        assert_eq!(fail_power_domain(&mut w, "nope", 0, HOUR), 0);
     }
 }

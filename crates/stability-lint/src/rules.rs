@@ -143,6 +143,7 @@ impl RuleId {
                         | "cloudbot"
                         | "cdi-serve"
                         | "scenario-suite"
+                        | "outage-diag"
                 )
             }
             // NaN-safety matters everywhere floats are ordered.
@@ -150,15 +151,23 @@ impl RuleId {
             // Deterministic-replay crates. cdi-serve is included so the
             // serving layer stays clock-free: watermarks come from the
             // feed, never from wall time; scenario-suite so the catalog's
-            // seeded placement and artifacts stay byte-reproducible.
+            // seeded placement and artifacts stay byte-reproducible;
+            // outage-diag so diagnoses tick on committed watermarks only
+            // and BENCH_PR10.json stays byte-reproducible.
             RuleId::R3 => {
-                matches!(crate_name, "simfleet" | "cdi-core" | "cdi-serve" | "scenario-suite")
+                matches!(
+                    crate_name,
+                    "simfleet" | "cdi-core" | "cdi-serve" | "scenario-suite" | "outage-diag"
+                )
             }
             // cdi-core's metric kernels plus the cast-free codec modules:
             // cdipack/pack encode sizes and ids through to_le_bytes /
             // TryFrom / widening From only, so R4 covers them with zero
-            // allowlist entries.
-            RuleId::R4 => matches!(crate_name, "cdi-core" | "minispark" | "cdi-serve"),
+            // allowlist entries; outage-diag's concentration/confidence
+            // math goes through cdi_core::num the same way.
+            RuleId::R4 => {
+                matches!(crate_name, "cdi-core" | "minispark" | "cdi-serve" | "outage-diag")
+            }
             RuleId::R5 => crate_name == "cdi-core",
             // The concurrency rules cover the crates that actually hold
             // locks on hot paths: the serving layer, the execution engine,
@@ -183,6 +192,8 @@ impl RuleId {
                     || path.ends_with("streaming.rs")
                     || path.ends_with("pack.rs")
                     || path.ends_with("cdipack.rs")
+                    || path.ends_with("rank.rs")
+                    || path.ends_with("cluster.rs")
             }
             _ => true,
         }
